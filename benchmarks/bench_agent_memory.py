@@ -1,0 +1,122 @@
+"""Experiment P6 — the agent memory archive improves reliability
+(paper §2.3).
+
+"DB-GPT's Multi-Agent framework archives the entire communication
+history among its agents within a local storage system, thereby
+significantly enhancing the reliability of the generated content."
+
+Measured two ways: (1) answer consistency — with the archive on,
+repeating a request returns the archived answer verbatim, so repeated
+analyses are byte-identical; (2) cost — recalled answers skip model
+calls entirely.
+"""
+
+import pytest
+
+from repro.agents import AgentMemory, DataAnalysisTeam
+from repro.datasets import build_sales_database
+from repro.datasources import EngineSource
+
+GOAL = "sales report from three distinct dimensions"
+REPEATS = 4
+
+
+@pytest.fixture(scope="module")
+def stack(sales_dbgpt):
+    source = sales_dbgpt.sources.get("sales")
+    return source, sales_dbgpt.client
+
+
+def run_repeated(source, client, use_recall: bool):
+    team = DataAnalysisTeam(
+        source, client, memory=AgentMemory(), use_recall=use_recall
+    )
+    dashboards = []
+    for _ in range(REPEATS):
+        report = team.run(GOAL)
+        dashboards.append(report.dashboard.render_text())
+    recalls = sum(
+        1
+        for message in team.memory.conversation(
+            team.memory.conversation_ids()[-1]
+        )
+        if "recalled_from" in message.metadata
+    )
+    return dashboards, team, recalls
+
+
+def test_memory_on_answers_are_consistent(stack):
+    source, client = stack
+    dashboards, _team, recalls = run_repeated(source, client, True)
+    unique = len(set(dashboards))
+    print(
+        f"\n=== P6: {REPEATS} repeated analyses with memory ON — "
+        f"{unique} distinct outputs, {recalls} recalled replies in the "
+        "final run ==="
+    )
+    assert unique == 1
+    assert recalls >= 1
+
+
+def test_memory_off_recomputes_every_time(stack):
+    source, client = stack
+    team = DataAnalysisTeam(
+        source, client, memory=AgentMemory(), use_recall=False
+    )
+    first = team.run(GOAL)
+    second = team.run(GOAL)
+    recalled = [
+        message
+        for message in team.memory.conversation(second.conversation_id)
+        if "recalled_from" in message.metadata
+    ]
+    assert recalled == []
+    # Deterministic models make outputs equal anyway; the point is the
+    # second run paid full model traffic again.
+    assert second.message_count == first.message_count
+
+
+def test_memory_saves_model_calls(sales_dbgpt):
+    source = sales_dbgpt.sources.get("sales")
+    client = sales_dbgpt.client
+
+    def count_requests():
+        metrics = sales_dbgpt.model_metrics()
+        return sum(m["requests"] for m in metrics.values())
+
+    before = count_requests()
+    team = DataAnalysisTeam(source, client, memory=AgentMemory())
+    team.run(GOAL)
+    after_first = count_requests()
+    team.run(GOAL)
+    after_second = count_requests()
+    first_cost = after_first - before
+    second_cost = after_second - after_first
+    print(
+        f"\n=== P6: model requests — first run {first_cost}, "
+        f"second identical run {second_cost} (recalled) ==="
+    )
+    # Planner and chart agents replay from the archive; only the
+    # aggregator (recall disabled: it must re-collect) may call out.
+    assert second_cost <= 1
+    assert second_cost < first_cost
+
+
+def test_archive_persists_across_restarts(tmp_path, stack):
+    source, client = stack
+    path = tmp_path / "archive.json"
+    team = DataAnalysisTeam(source, client, memory=AgentMemory(path))
+    report = team.run(GOAL)
+    # "Restart": a fresh team over the same archive file.
+    revived = DataAnalysisTeam(source, client, memory=AgentMemory(path))
+    archived = revived.memory.conversation(report.conversation_id)
+    assert len(archived) == report.message_count
+
+
+def test_recall_round_trip_speed(benchmark, stack):
+    source, client = stack
+    team = DataAnalysisTeam(source, client, memory=AgentMemory())
+    team.run(GOAL)  # warm the archive
+
+    result = benchmark(lambda: team.run(GOAL))
+    assert len(result.dashboard.charts) == 3

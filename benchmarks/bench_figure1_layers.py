@@ -1,0 +1,66 @@
+"""Experiment F1 — Figure 1's four-layer system design round trip.
+
+Exercises one request through every layer: application layer entry
+(direct call), then the same interaction through the optional server
+layer (middleware + routing), then the module layer (SMMF serving) and
+protocol layer (an AWEL workflow wrapping the same call). Asserts all
+four paths agree and measures the per-layer overhead.
+"""
+
+import pytest
+
+from repro.awel import DAG, InputOperator, MapOperator, run_dag
+from repro.server import Request
+
+QUESTION = "How many orders are there?"
+EXPECTED = "The answer is 300."
+
+
+def test_application_layer_direct(benchmark, sales_dbgpt):
+    app = sales_dbgpt.app("chat2data")
+    result = benchmark(lambda: app.chat(QUESTION))
+    assert result.text == EXPECTED
+
+
+def test_server_layer_round_trip(benchmark, sales_dbgpt):
+    server = sales_dbgpt.server()
+    request = Request(
+        "POST", "/api/chat/chat2data", {"message": QUESTION}
+    )
+
+    def call():
+        return server.handle(
+            Request(request.method, request.path, dict(request.body))
+        )
+
+    response = benchmark(call)
+    assert response.status == 200
+    assert response.body["text"] == EXPECTED
+
+
+def test_module_layer_smmf_call(benchmark, sales_dbgpt):
+    from repro.llm import build_text2sql_prompt
+
+    source = sales_dbgpt.sources.get("sales")
+    prompt = build_text2sql_prompt(source, QUESTION)
+
+    sql = benchmark(
+        lambda: sales_dbgpt.client.generate(
+            "sql-coder", prompt, task="text2sql"
+        )
+    )
+    assert sql == "SELECT COUNT(*) FROM orders"
+
+
+def test_protocol_layer_awel_wrapping(benchmark, sales_dbgpt):
+    app = sales_dbgpt.app("chat2data")
+
+    def build_and_run():
+        with DAG("layer-probe") as dag:
+            question = InputOperator(name="question")
+            answer = MapOperator(lambda q: app.chat(q).text, name="answer")
+            question >> answer
+        return run_dag(dag, QUESTION)
+
+    result = benchmark(build_and_run)
+    assert result == EXPECTED

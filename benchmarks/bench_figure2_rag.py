@@ -1,0 +1,112 @@
+"""Experiment F2 — Figure 2's RAG pipeline quality and throughput.
+
+Builds the labelled synthetic corpus, runs every retrieval strategy
+over the gold query set, and reports precision@5 / recall@5 / MRR per
+strategy. Shape assertions: hybrid fusion is at least as good as any
+single index overall, and the graph index dominates on entity queries
+(the reason the paper adds it to "traditional vector-based knowledge
+representation").
+"""
+
+import pytest
+
+from repro.datasets import build_corpus
+from repro.rag import Document, KnowledgeBase
+
+STRATEGIES = ("vector", "keyword", "graph", "hybrid")
+K = 5
+
+
+@pytest.fixture(scope="module")
+def corpus_and_kb():
+    corpus = build_corpus(seed=11, docs_per_topic=8, queries_per_topic=4)
+    kb = KnowledgeBase(name="bench-kb")
+    for doc_id, text in corpus.documents.items():
+        kb.add_document(
+            Document(doc_id, text), entities=corpus.doc_entities[doc_id]
+        )
+    return corpus, kb
+
+
+def score(kb, queries, strategy):
+    recall_sum, precision_sum, mrr_sum = 0.0, 0.0, 0.0
+    for case in queries:
+        hits = kb.retrieve(case.query, k=K, strategy=strategy)
+        got = [hit.chunk.doc_id for hit in hits]
+        relevant = case.relevant_ids
+        found = len(set(got) & relevant)
+        recall_sum += found / min(len(relevant), K)
+        precision_sum += found / K
+        for rank, doc_id in enumerate(got, start=1):
+            if doc_id in relevant:
+                mrr_sum += 1.0 / rank
+                break
+    n = len(queries)
+    return {
+        "recall@5": recall_sum / n,
+        "precision@5": precision_sum / n,
+        "mrr": mrr_sum / n,
+    }
+
+
+def test_figure2_strategy_quality(corpus_and_kb):
+    corpus, kb = corpus_and_kb
+    table = {s: score(kb, corpus.queries, s) for s in STRATEGIES}
+
+    print("\n=== Figure 2: retrieval quality by strategy (all queries) ===")
+    print(f"{'strategy':9s} {'recall@5':>9s} {'prec@5':>7s} {'mrr':>6s}")
+    for strategy in STRATEGIES:
+        metrics = table[strategy]
+        print(
+            f"{strategy:9s} {metrics['recall@5']:9.2f} "
+            f"{metrics['precision@5']:7.2f} {metrics['mrr']:6.2f}"
+        )
+
+    # Shape: hybrid >= each single strategy (small tolerance for ties).
+    for strategy in ("vector", "keyword", "graph"):
+        assert (
+            table["hybrid"]["recall@5"] >= table[strategy]["recall@5"] - 0.02
+        ), f"hybrid lost to {strategy}"
+    # Dense and sparse retrieval are both individually useful.
+    assert table["vector"]["recall@5"] >= 0.6
+    assert table["keyword"]["recall@5"] >= 0.6
+
+
+def test_figure2_graph_dominates_entity_queries(corpus_and_kb):
+    corpus, kb = corpus_and_kb
+    entity_queries = [q for q in corpus.queries if q.kind == "entity"]
+    assert entity_queries
+    graph = score(kb, entity_queries, "graph")
+    vector = score(kb, entity_queries, "vector")
+
+    print("\n=== Figure 2: entity-hop queries ===")
+    print(f"graph  recall@5={graph['recall@5']:.2f}")
+    print(f"vector recall@5={vector['recall@5']:.2f}")
+    assert graph["recall@5"] >= vector["recall@5"], (
+        "graph index should win entity-hop queries"
+    )
+    assert graph["recall@5"] >= 0.6
+
+
+def test_figure2_construction_throughput(benchmark):
+    corpus = build_corpus(seed=11)
+
+    def construct():
+        kb = KnowledgeBase(name="tmp")
+        for doc_id, text in corpus.documents.items():
+            kb.add_document(Document(doc_id, text))
+        return kb
+
+    kb = benchmark(construct)
+    assert len(kb) == len(corpus.documents)
+
+
+def test_figure2_hybrid_retrieval_throughput(benchmark, corpus_and_kb):
+    corpus, kb = corpus_and_kb
+    queries = [case.query for case in corpus.queries]
+
+    def run_all():
+        return [kb.retrieve(q, k=K, strategy="hybrid") for q in queries]
+
+    results = benchmark(run_all)
+    assert all(results)

@@ -1,0 +1,86 @@
+"""Experiment P1 — fine-tuned Text-to-SQL beats zero-shot (paper §2.5).
+
+"Although LLMs ... have shown successful results for Text-to-SQL, they
+still have a gap with the fine-tuned alternatives in specific
+application scenarios." Regenerated across all four synthetic Spider
+domains: zero-shot vs DB-GPT-Hub fine-tuned, exact-match and execution
+accuracy.
+"""
+
+import pytest
+
+from repro.datasets import build_spider_database
+from repro.datasets.spider import list_domains
+from repro.datasources import EngineSource
+from repro.hub import FineTuner, Text2SqlDataset, evaluate_model
+from repro.llm import SqlCoderModel
+from repro.nlu import SchemaIndex
+
+
+def run_domain(domain: str):
+    db = build_spider_database(domain)
+    source = EngineSource(db)
+    index = SchemaIndex.from_source(source)
+    dataset = Text2SqlDataset.from_domain(
+        domain, n_train=80, n_test=40, seed=3
+    )
+    adapter, training = FineTuner(index, db).fit(
+        dataset.train, domain=domain
+    )
+    base = SqlCoderModel("zero-shot")
+    tuned = adapter.apply_to(base, model_name="fine-tuned")
+    return (
+        evaluate_model(base, source, db, dataset.test),
+        evaluate_model(tuned, source, db, dataset.test),
+        training,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {domain: run_domain(domain) for domain in list_domains()}
+
+
+def test_finetuned_beats_zero_shot_everywhere(results):
+    print("\n=== P1: zero-shot vs fine-tuned Text-to-SQL ===")
+    print(
+        f"{'domain':8s} {'base EM':>8s} {'base EX':>8s} "
+        f"{'tuned EM':>9s} {'tuned EX':>9s} {'learned':>8s}"
+    )
+    for domain, (base, tuned, training) in results.items():
+        print(
+            f"{domain:8s} {base.exact_accuracy:8.2f} "
+            f"{base.execution_accuracy:8.2f} {tuned.exact_accuracy:9.2f} "
+            f"{tuned.execution_accuracy:9.2f} {len(training.learned):8d}"
+        )
+    for domain, (base, tuned, _training) in results.items():
+        # Join and value-linked questions are zero-shot-solvable, so the
+        # base is not hopeless; the synonym-phrased share still yields a
+        # consistent gap.
+        assert (
+            tuned.execution_accuracy >= base.execution_accuracy + 0.05
+        ), f"{domain}: no meaningful fine-tuning gain"
+        assert tuned.execution_accuracy >= 0.9, domain
+
+
+def test_zero_shot_gap_comes_from_synonyms(results):
+    # Zero-shot already handles schema-literal phrasing; the gap is the
+    # domain vocabulary, which is what the adapters learn.
+    for domain, (base, _tuned, training) in results.items():
+        assert base.execution_accuracy >= 0.5, (
+            f"{domain}: zero-shot should not be hopeless"
+        )
+        learned_phrases = {entry.phrase for entry in training.learned}
+        assert learned_phrases, f"{domain}: nothing learned"
+
+
+def test_training_curve_monotonic(results):
+    for domain, (_base, _tuned, training) in results.items():
+        accuracies = [epoch.train_accuracy for epoch in training.epochs]
+        assert accuracies == sorted(accuracies), domain
+
+
+def test_finetune_wall_time(benchmark):
+    benchmark.pedantic(
+        lambda: run_domain("retail"), rounds=1, iterations=1
+    )

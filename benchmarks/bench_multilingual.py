@@ -1,0 +1,104 @@
+"""Experiment P5 — multilingual interactions (paper §1, Table 1 row 9).
+
+DB-GPT "supports multilingual functionality, accommodating both
+English and Chinese". Paired EN/ZH Text-to-SQL evaluation over every
+domain: execution accuracy parity between languages, for both the
+zero-shot and fine-tuned models.
+"""
+
+import pytest
+
+from repro.datasets import build_spider_database, generate_examples
+from repro.datasets.spider import list_domains
+from repro.datasources import EngineSource
+from repro.hub import FineTuner, Text2SqlDataset, evaluate_model
+from repro.llm import SqlCoderModel
+from repro.nlu import SchemaIndex
+
+
+def accuracy(model, domain, language):
+    db = build_spider_database(domain)
+    source = EngineSource(db)
+    examples = generate_examples(
+        domain, n=40, seed=21, language=language
+    )
+    report = evaluate_model(model, source, db, examples)
+    return report.execution_accuracy
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for domain in list_domains():
+        db = build_spider_database(domain)
+        source = EngineSource(db)
+        index = SchemaIndex.from_source(source)
+        dataset = Text2SqlDataset.from_domain(
+            domain, n_train=80, n_test=1, seed=3
+        )
+        adapter, _ = FineTuner(index, db).fit(dataset.train, domain=domain)
+        base = SqlCoderModel("base")
+        tuned = adapter.apply_to(base, model_name="tuned")
+        table[domain] = {
+            ("base", "en"): accuracy(base, domain, "en"),
+            ("base", "zh"): accuracy(base, domain, "zh"),
+            ("tuned", "en"): accuracy(tuned, domain, "en"),
+            ("tuned", "zh"): accuracy(tuned, domain, "zh"),
+        }
+    return table
+
+
+def test_multilingual_parity(results):
+    print("\n=== P5: EN/ZH execution accuracy ===")
+    print(
+        f"{'domain':8s} {'base en':>8s} {'base zh':>8s} "
+        f"{'tuned en':>9s} {'tuned zh':>9s}"
+    )
+    for domain, cells in results.items():
+        print(
+            f"{domain:8s} {cells[('base', 'en')]:8.2f} "
+            f"{cells[('base', 'zh')]:8.2f} {cells[('tuned', 'en')]:9.2f} "
+            f"{cells[('tuned', 'zh')]:9.2f}"
+        )
+    for domain, cells in results.items():
+        # Chinese works out of the box — no worse than English at the
+        # tuned level, and strong already zero-shot (the built-in
+        # bilingual vocabulary).
+        assert cells[("tuned", "zh")] >= 0.9, domain
+        assert cells[("base", "zh")] >= 0.8, domain
+        # Parity within tolerance; Chinese can even be *easier* since
+        # its surface forms map deterministically onto schema concepts
+        # while English questions use learned synonyms.
+        assert (
+            abs(cells[("tuned", "zh")] - cells[("tuned", "en")]) <= 0.15
+        ), domain
+
+
+def test_multilingual_chat_round_trip(sales_dbgpt):
+    en = sales_dbgpt.chat("chat2data", "How many orders are there?")
+    zh = sales_dbgpt.chat("chat2data", "订单一共有多少个？")
+    print(f"\nEN: {en.text}\nZH: {zh.text}")
+    assert en.text == zh.text == "The answer is 300."
+
+
+def test_multilingual_parse_throughput(benchmark):
+    db = build_spider_database("hr")
+    index = SchemaIndex.from_source(EngineSource(db))
+    from repro.nlu import Text2SqlParser
+
+    parser = Text2SqlParser(index)
+    questions = [e.question for e in generate_examples(
+        "hr", n=20, seed=2, language="zh"
+    )]
+
+    def parse_all():
+        done = 0
+        for question in questions:
+            try:
+                parser.parse(question)
+                done += 1
+            except Exception:
+                pass
+        return done
+
+    assert benchmark(parse_all) >= 15

@@ -1,0 +1,124 @@
+"""Experiment P4 — RAG index ablation (paper §2.3).
+
+"DB-GPT enhances traditional vector-based knowledge representation by
+integrating inverted index and graph index methods." Ablates the
+enhancement: vector-only, vector+inverted, vector+graph, and the full
+triple fusion, scored on the labelled corpus overall and split by
+query kind.
+"""
+
+import pytest
+
+from repro.datasets import build_corpus
+from repro.rag import Document, KnowledgeBase
+from repro.rag.retriever import (
+    GraphRetriever,
+    HybridRetriever,
+    KeywordRetriever,
+)
+
+K = 5
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = build_corpus(seed=23, docs_per_topic=8, queries_per_topic=4)
+    kb = KnowledgeBase(name="ablation-kb")
+    for doc_id, text in corpus.documents.items():
+        kb.add_document(
+            Document(doc_id, text), entities=corpus.doc_entities[doc_id]
+        )
+    return corpus, kb
+
+
+def make_variants(kb):
+    vector = kb.retriever("vector")
+    keyword = kb.retriever("keyword")
+    graph = kb.retriever("graph")
+    return {
+        "vector only": vector,
+        "vector+inverted": HybridRetriever([vector, keyword]),
+        "vector+graph": HybridRetriever([vector, graph]),
+        "vector+inverted+graph": HybridRetriever([vector, keyword, graph]),
+    }
+
+
+def recall_at_k(kb, retriever, queries):
+    total = 0.0
+    for case in queries:
+        hits = retriever.retrieve(case.query, k=K)
+        got = {hit.chunk_id.split("#")[0] for hit in hits}
+        total += len(got & case.relevant_ids) / min(len(case.relevant_ids), K)
+    return total / len(queries)
+
+
+def test_ablation_each_index_adds_recall(setup):
+    corpus, kb = setup
+    variants = make_variants(kb)
+    topical = [q for q in corpus.queries if q.kind == "topical"]
+    entity = [q for q in corpus.queries if q.kind == "entity"]
+
+    print(f"\n=== P4: index ablation (recall@{K}) ===")
+    print(f"{'variant':22s} {'all':>6s} {'topical':>8s} {'entity':>7s}")
+    table = {}
+    for name, retriever in variants.items():
+        row = {
+            "all": recall_at_k(kb, retriever, corpus.queries),
+            "topical": recall_at_k(kb, retriever, topical),
+            "entity": recall_at_k(kb, retriever, entity),
+        }
+        table[name] = row
+        print(
+            f"{name:22s} {row['all']:6.2f} {row['topical']:8.2f} "
+            f"{row['entity']:7.2f}"
+        )
+
+    full = table["vector+inverted+graph"]
+    assert full["all"] >= table["vector only"]["all"] - 0.02
+    # The inverted index lifts topical keyword queries.
+    assert (
+        table["vector+inverted"]["topical"]
+        >= table["vector only"]["topical"] - 0.02
+    )
+    # The graph index lifts entity-hop queries over vector-only.
+    assert (
+        table["vector+graph"]["entity"]
+        >= table["vector only"]["entity"]
+    )
+    # Full fusion is the best (or tied) on the overall mix.
+    best = max(row["all"] for row in table.values())
+    assert full["all"] >= best - 0.02
+
+
+def test_ablation_reranker_improves_precision(setup):
+    corpus, kb = setup
+    improved, regressed = 0, 0
+    for case in corpus.queries:
+        plain = {
+            hit.chunk.doc_id
+            for hit in kb.retrieve(case.query, k=3, strategy="hybrid")
+        }
+        reranked = {
+            hit.chunk.doc_id
+            for hit in kb.retrieve(
+                case.query, k=3, strategy="hybrid", rerank=True
+            )
+        }
+        plain_hits = len(plain & case.relevant_ids)
+        rerank_hits = len(reranked & case.relevant_ids)
+        if rerank_hits > plain_hits:
+            improved += 1
+        elif rerank_hits < plain_hits:
+            regressed += 1
+    print(
+        f"\n=== P4: reranking — improved {improved}, "
+        f"regressed {regressed} of {len(corpus.queries)} queries ==="
+    )
+    assert regressed <= improved + 2
+
+
+def test_ablation_query_throughput(benchmark, setup):
+    corpus, kb = setup
+    retriever = make_variants(kb)["vector+inverted+graph"]
+    queries = [case.query for case in corpus.queries]
+    benchmark(lambda: [retriever.retrieve(q, k=K) for q in queries])

@@ -1,0 +1,159 @@
+"""Experiment P2 — SMMF multi-model serving (paper §2.3).
+
+Measures the deployment layer's behaviour: request throughput through
+the API server, load spread per balancing policy, and failover when
+workers crash mid-traffic. Shapes: round-robin spreads evenly,
+least-busy never exceeds round-robin's imbalance, and a worker crash
+loses zero requests.
+"""
+
+import pytest
+
+from repro.llm import ChatModel, GenerationRequest, SqlCoderModel
+from repro.smmf import (
+    LeastBusyBalancer,
+    ModelSpec,
+    RandomBalancer,
+    RoundRobinBalancer,
+    deploy,
+)
+
+REQUESTS = 60
+REPLICAS = 4
+
+
+def make_stack(balancer):
+    return deploy(
+        [
+            ModelSpec("chat", lambda: ChatModel("chat"), replicas=REPLICAS),
+        ],
+        balancer=balancer,
+    )
+
+
+def spread(controller):
+    counts = [
+        controller.metrics.worker_requests(record.worker.worker_id)
+        for record in controller.workers("chat")
+    ]
+    return max(counts) - min(counts)
+
+
+def test_balancer_spread_shapes():
+    rows = []
+    for balancer, name in (
+        (RoundRobinBalancer(), "round_robin"),
+        (RandomBalancer(seed=7), "random"),
+        (LeastBusyBalancer(), "least_busy"),
+    ):
+        controller, client = make_stack(balancer)
+        for index in range(REQUESTS):
+            client.generate("chat", f"request {index}", task="chat")
+        rows.append((name, spread(controller)))
+
+    print("\n=== P2: load spread by balancing policy "
+          f"({REQUESTS} requests, {REPLICAS} replicas) ===")
+    print(f"{'policy':12s} {'max-min spread':>14s}")
+    for name, value in rows:
+        print(f"{name:12s} {value:14d}")
+
+    by_name = dict(rows)
+    assert by_name["round_robin"] == 0
+    assert by_name["least_busy"] <= by_name["random"] + 1
+    assert by_name["random"] >= 0
+
+
+def test_failover_loses_no_requests():
+    controller, client = make_stack(RoundRobinBalancer())
+    workers = controller.workers("chat")
+    served = 0
+    for index in range(REQUESTS):
+        if index == 10:
+            workers[0].worker.kill()
+        if index == 25:
+            workers[1].worker.fail_next = 2
+        client.generate("chat", f"request {index}", task="chat")
+        served += 1
+    assert served == REQUESTS
+    metrics = controller.metrics.model("chat")
+    print(
+        f"\n=== P2: failover — {metrics.requests} served, "
+        f"{metrics.retries} retries, {metrics.failures} failures ==="
+    )
+    assert metrics.requests == REQUESTS
+    assert metrics.failures == 0
+    # The killed worker and the crashing worker each cost (at least)
+    # one retried request before being marked unhealthy.
+    assert metrics.retries >= 1
+
+
+def test_multi_model_isolation():
+    controller, client = deploy(
+        [
+            ModelSpec("chat", lambda: ChatModel("chat"), replicas=2),
+            ModelSpec(
+                "sql-coder", lambda: SqlCoderModel("sql-coder"), replicas=2
+            ),
+        ]
+    )
+    for record in controller.workers("chat"):
+        record.worker.kill()
+    # sql-coder traffic is unaffected by the chat outage.
+    from repro.smmf.client import ClientError
+
+    with pytest.raises(ClientError) as excinfo:
+        client.generate("chat", "hello", task="chat")
+    assert excinfo.value.status == 503
+    health = client.health()
+    assert health["healthy"] == 2
+    assert set(client.models()) == {"chat", "sql-coder"}
+
+
+def test_autoscaler_tracks_bursty_load():
+    """Replica count follows the load curve: burst up, idle down."""
+    from repro.smmf.autoscaler import AutoScaler, AutoScalerConfig
+
+    spec = ModelSpec("chat", lambda: ChatModel("chat"), replicas=1)
+    controller, client = deploy([spec])
+    scaler = AutoScaler(
+        controller,
+        spec,
+        AutoScalerConfig(
+            min_replicas=1, max_replicas=4,
+            high_watermark=8, low_watermark=2, step=1,
+        ),
+    )
+    timeline = []
+    bursts = [30, 30, 30, 0, 0, 0]
+    for window, burst in enumerate(bursts):
+        for index in range(burst):
+            client.generate("chat", f"w{window}r{index}", task="chat")
+        decision = scaler.evaluate()
+        timeline.append((burst, decision.replicas, decision.action))
+
+    print("\n=== P2: autoscaler timeline (requests -> replicas) ===")
+    for burst, replicas, action in timeline:
+        print(f"  load={burst:3d} replicas={replicas} ({action})")
+
+    peak = max(replicas for _b, replicas, _a in timeline)
+    final = timeline[-1][1]
+    assert peak >= 3, "burst should scale the pool up"
+    assert final == 1, "idle windows should scale back to the floor"
+
+
+def test_serving_throughput(benchmark):
+    _controller, client = make_stack(RoundRobinBalancer())
+
+    def serve_batch():
+        for index in range(50):
+            client.generate("chat", f"request {index}", task="chat")
+
+    benchmark(serve_batch)
+
+
+def test_worker_direct_inference_throughput(benchmark):
+    from repro.smmf import ModelWorker
+
+    worker = ModelWorker(ChatModel("chat"))
+    request = GenerationRequest("hello world", task="chat")
+    benchmark(lambda: worker.handle(request))

@@ -1,0 +1,66 @@
+"""Quickstart: boot DB-GPT and talk to your data.
+
+Run with::
+
+    python examples/quickstart.py
+
+Boots the full stack (SMMF model serving, application layer), loads a
+seeded sales database, and walks through the core data interaction
+functionalities: chat2db, chat2data, Text-to-SQL, SQL-to-Text and
+chat2visualization.
+"""
+
+from repro.core import DBGPT
+from repro.datasets import build_sales_database, sales_summary
+from repro.datasources import EngineSource
+
+
+def main() -> None:
+    print("== Booting DB-GPT (private local models via SMMF) ==")
+    dbgpt = DBGPT.boot()
+
+    db = build_sales_database(seed=7, n_orders=400)
+    dbgpt.register_source(EngineSource(db))
+    print(f"Loaded sales database: {sales_summary(db)}")
+    print(f"Applications: {', '.join(dbgpt.app_names())}\n")
+
+    print("== chat2db: inspect and query ==")
+    session = dbgpt.session("chat2db")
+    for question in (
+        "show tables",
+        "How many orders are there?",
+        "What are the product name of the top 3 products by price?",
+    ):
+        response = session.send(question)
+        print(f"user> {question}")
+        print(f"dbgpt> {response.text}\n")
+
+    print("== chat2data: narrative analytics ==")
+    for question in (
+        "What is the total amount per region?",
+        "What is the average age of the users?",
+        "订单一共有多少个？",  # multilingual: same stack, Chinese in
+    ):
+        response = dbgpt.chat("chat2data", question)
+        print(f"user> {question}")
+        print(f"dbgpt> {response.text}\n")
+
+    print("== Text-to-SQL and SQL-to-Text ==")
+    sql = dbgpt.chat("text2sql", "How many users are there per segment?")
+    print(f"text2sql> {sql.text}")
+    explained = dbgpt.chat("sql2text", sql.text)
+    print(f"sql2text> {explained.text}\n")
+
+    print("== chat2viz: charts from questions ==")
+    chart = dbgpt.chat(
+        "chat2viz", "share of total amount per category as a donut chart"
+    )
+    print(chart.text)
+
+    print("\n== Model serving metrics ==")
+    for model, metrics in dbgpt.model_metrics().items():
+        print(f"  {model}: {metrics}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The sandboxed environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. This shim
+keeps ``python setup.py develop`` working as the offline equivalent.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""DB-GPT reproduction: LLM-empowered data interaction, from scratch.
+
+The four-layer system of the VLDB 2024 demo paper on deterministic
+laptop-scale substrates. Start with :class:`repro.core.DBGPT`::
+
+    from repro import DBGPT
+    dbgpt = DBGPT.boot()
+
+See README.md for the tour, DESIGN.md for the architecture and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import DBGPT, DbGptConfig
+
+__version__ = "0.1.0"
+
+__all__ = ["DBGPT", "DbGptConfig", "__version__"]

@@ -1,0 +1,57 @@
+"""Multi-Agents framework.
+
+The paper's module-layer component for complex data interaction tasks
+(generative data analysis): a planner agent decomposes the goal, chart
+agents execute each analysis dimension, and an aggregator assembles the
+report — with the *entire communication history archived in local
+storage* (:class:`AgentMemory`), the reliability mechanism the paper
+highlights against MetaGPT/AutoGen. Users can also custom-define agents
+(:class:`AgentRegistry`), the flexibility claim against LlamaIndex.
+"""
+
+from repro.agents.actions import Action, ActionResult, ChartAction, SqlAction
+from repro.agents.awel_integration import (
+    AgentOperator,
+    build_analysis_dag,
+    run_analysis_workflow,
+)
+from repro.agents.base import Agent, AgentError, ConversableAgent
+from repro.agents.forecast import ForecastAgent, SeasonalForecaster
+from repro.agents.data_agents import (
+    AggregatorAgent,
+    AnalystAgent,
+    ChartAgent,
+    SqlAgent,
+)
+from repro.agents.memory import AgentMemory
+from repro.agents.messages import AgentMessage
+from repro.agents.planner import Plan, PlannerAgent, PlanStep
+from repro.agents.registry import AgentRegistry
+from repro.agents.team import AnalysisReport, DataAnalysisTeam
+
+__all__ = [
+    "Action",
+    "ActionResult",
+    "Agent",
+    "AgentError",
+    "AgentMemory",
+    "AgentMessage",
+    "AgentOperator",
+    "AgentRegistry",
+    "ForecastAgent",
+    "SeasonalForecaster",
+    "build_analysis_dag",
+    "run_analysis_workflow",
+    "AggregatorAgent",
+    "AnalysisReport",
+    "AnalystAgent",
+    "ChartAction",
+    "ChartAgent",
+    "ConversableAgent",
+    "DataAnalysisTeam",
+    "Plan",
+    "PlanStep",
+    "PlannerAgent",
+    "SqlAction",
+    "SqlAgent",
+]

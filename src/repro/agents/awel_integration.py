@@ -1,0 +1,194 @@
+"""AWEL <-> agents: each agent as a workflow operator.
+
+The paper's protocol layer: "DB-GPT's AWEL models each agent as a
+distinct operator, thus enabling users to intricately design their
+agent-based workflows ... by interconnecting multiple agents to
+construct a DAG."
+
+:class:`AgentOperator` wraps any :class:`ConversableAgent`;
+:func:`build_analysis_dag` expresses the Figure 3 analysis flow as an
+explicit DAG — the declarative alternative to the imperative
+:class:`~repro.agents.team.DataAnalysisTeam` — and
+:func:`run_analysis_workflow` executes it. Chart agents run as
+independent DAG branches, so they execute concurrently under the async
+runner.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.agents.base import AgentError, ConversableAgent
+from repro.agents.data_agents import AggregatorAgent, ChartAgent
+from repro.agents.memory import AgentMemory
+from repro.agents.messages import AgentMessage
+from repro.agents.planner import PlannerAgent
+from repro.awel.dag import DAG, DAGContext
+from repro.awel.operators import (
+    InputOperator,
+    JoinOperator,
+    MapOperator,
+    Operator,
+)
+from repro.awel.runner import WorkflowRunner
+from repro.datasources.base import DataSource
+from repro.viz.dashboard import Dashboard
+from repro.viz.spec import ChartSpec
+
+
+class AgentOperator(Operator):
+    """An AWEL operator that delivers its input to one agent.
+
+    The upstream value becomes the message content (strings) or the
+    message metadata (dicts with a ``content`` key); the operator's
+    output is the agent's reply message.
+    """
+
+    def __init__(
+        self,
+        agent: ConversableAgent,
+        conversation_id: str = "awel",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.agent = agent
+        self.conversation_id = conversation_id
+
+    async def execute(self, ctx: DAGContext, inputs: list[Any]) -> Any:
+        if len(inputs) != 1:
+            raise AgentError(
+                f"agent operator {self.node_id!r} expects one input"
+            )
+        value = inputs[0]
+        if isinstance(value, AgentMessage):
+            content = value.content
+            metadata = dict(value.metadata)
+        elif isinstance(value, dict):
+            content = str(value.get("content", ""))
+            metadata = {k: v for k, v in value.items() if k != "content"}
+        else:
+            content = str(value)
+            metadata = {}
+        ctx.tick(self.cost)
+        message = AgentMessage(
+            sender="workflow",
+            recipient=self.agent.name,
+            content=content,
+            conversation_id=self.conversation_id,
+            metadata=metadata,
+        )
+        self.agent.memory.append(message)
+        reply = self.agent.receive(message)
+        self.agent.memory.append(reply)
+        return reply
+
+
+def build_analysis_dag(
+    source: DataSource,
+    llm_client,
+    memory: Optional[AgentMemory] = None,
+    dimensions: Optional[list[dict[str, str]]] = None,
+    measure: str = "amount",
+) -> tuple[DAG, AgentMemory]:
+    """Declare the Figure 3 analysis flow as an AWEL DAG.
+
+    ``dimensions`` defaults to the paper's three (category/donut,
+    user/bar, month/area). Layout::
+
+        goal -> planner -+-> chart-agent-1 -+
+                         +-> chart-agent-2 -+-> aggregate -> dashboard
+                         +-> chart-agent-3 -+
+    """
+    memory = memory if memory is not None else AgentMemory()
+    if dimensions is None:
+        dimensions = [
+            {"dimension": "category", "chart_type": "donut"},
+            {"dimension": "user", "chart_type": "bar"},
+            {"dimension": "month", "chart_type": "area"},
+        ]
+    planner = PlannerAgent(
+        memory, llm_client, schema=source.describe_schema()
+    )
+    aggregator = AggregatorAgent(memory, llm_client)
+
+    with DAG("generative-analysis") as dag:
+        goal_input = InputOperator(name="goal")
+        plan_node = AgentOperator(planner, name="planner")
+        goal_input >> plan_node
+
+        chart_nodes = []
+        for index, params in enumerate(dimensions, start=1):
+            agent = ChartAgent(
+                memory,
+                llm_client,
+                source,
+                name=f"chart-agent-{index}",
+                measure=measure,
+            )
+            prepare = MapOperator(
+                _make_step_builder(dict(params)),
+                name=f"step-{index}",
+            )
+            chart_node = AgentOperator(agent, name=f"chart-{index}")
+            plan_node >> prepare >> chart_node
+            chart_nodes.append(chart_node)
+
+        collect = JoinOperator(
+            lambda *replies: {
+                "content": "aggregate the charts",
+                "charts": [
+                    reply.metadata["chart"]
+                    for reply in replies
+                    if reply.metadata.get("ok")
+                ],
+                "title": "Workflow analysis report",
+            },
+            name="collect",
+        )
+        for chart_node in chart_nodes:
+            chart_node >> collect
+        aggregate_node = AgentOperator(aggregator, name="aggregate")
+        to_dashboard = MapOperator(_reply_to_dashboard, name="dashboard")
+        collect >> aggregate_node >> to_dashboard
+    return dag, memory
+
+
+def _make_step_builder(params: dict[str, str]):
+    def build(plan_reply: AgentMessage) -> dict[str, str]:
+        # The plan reply certifies planning happened; each branch then
+        # carries its own dimension parameters.
+        if not plan_reply.metadata.get("plan"):
+            raise AgentError("planner produced no plan")
+        return {
+            "content": f"produce the {params['dimension']} chart",
+            **params,
+        }
+
+    return build
+
+
+def _reply_to_dashboard(reply: AgentMessage) -> Dashboard:
+    charts_json = reply.metadata.get("charts", [])
+    if not charts_json:
+        raise AgentError("aggregation produced no charts")
+    return Dashboard(
+        title=reply.metadata.get("title", "Workflow analysis report"),
+        charts=[ChartSpec.from_json(text) for text in charts_json],
+        narrative=reply.metadata.get("narrative", ""),
+    )
+
+
+def run_analysis_workflow(
+    source: DataSource,
+    llm_client,
+    goal: str,
+    memory: Optional[AgentMemory] = None,
+    dimensions: Optional[list[dict[str, str]]] = None,
+) -> Dashboard:
+    """Build and run the declarative analysis workflow for ``goal``."""
+    dag, _memory = build_analysis_dag(
+        source, llm_client, memory=memory, dimensions=dimensions
+    )
+    ctx = WorkflowRunner(dag).run(goal)
+    return ctx.results["dashboard"]

@@ -1,0 +1,122 @@
+"""Agent base classes."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from repro.agents.memory import AgentMemory
+from repro.agents.messages import AgentMessage
+
+
+class AgentError(Exception):
+    """An agent could not complete its task."""
+
+
+class Agent(abc.ABC):
+    """An autonomous participant in the multi-agent conversation."""
+
+    def __init__(self, name: str, profile: str) -> None:
+        self.name = name
+        self.profile = profile
+
+    @abc.abstractmethod
+    def generate_reply(self, message: AgentMessage) -> AgentMessage:
+        """Produce a reply to ``message`` (already archived by send)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ConversableAgent(Agent):
+    """An agent wired into shared memory and (optionally) SMMF.
+
+    ``send`` archives the outbound message, delivers it, archives the
+    reply and returns it — the communication history is therefore
+    complete by construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        profile: str,
+        memory: AgentMemory,
+        llm_client: Any = None,
+        model: Optional[str] = None,
+        use_recall: bool = True,
+    ) -> None:
+        super().__init__(name, profile)
+        self.memory = memory
+        self.llm_client = llm_client
+        self.model = model
+        self.use_recall = use_recall
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(
+        self,
+        recipient: "ConversableAgent",
+        content: str,
+        conversation_id: str = "default",
+        round: int = 0,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> AgentMessage:
+        message = AgentMessage(
+            sender=self.name,
+            recipient=recipient.name,
+            content=content,
+            conversation_id=conversation_id,
+            round=round,
+            metadata=dict(metadata or {}),
+        )
+        self.memory.append(message)
+        reply = recipient.receive(message)
+        self.memory.append(reply)
+        return reply
+
+    def receive(self, message: AgentMessage) -> AgentMessage:
+        """Handle an inbound message, consulting the archive first."""
+        if self.use_recall:
+            recalled = self.memory.recall_similar(
+                message.content, sender=self.name
+            )
+            if recalled is not None:
+                return AgentMessage(
+                    sender=self.name,
+                    recipient=message.sender,
+                    content=recalled.content,
+                    conversation_id=message.conversation_id,
+                    round=message.round,
+                    metadata={
+                        **recalled.metadata,
+                        "recalled_from": recalled.message_id,
+                        "request": message.content,
+                    },
+                )
+        return self.generate_reply(message)
+
+    def reply_to(
+        self,
+        message: AgentMessage,
+        content: str,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> AgentMessage:
+        merged = dict(metadata or {})
+        merged.setdefault("request", message.content)
+        return AgentMessage(
+            sender=self.name,
+            recipient=message.sender,
+            content=content,
+            conversation_id=message.conversation_id,
+            round=message.round,
+            metadata=merged,
+        )
+
+    # -- LLM access --------------------------------------------------------
+
+    def ask_llm(self, prompt: str, task: Optional[str] = None) -> str:
+        if self.llm_client is None or self.model is None:
+            raise AgentError(
+                f"agent {self.name!r} has no LLM binding for task {task!r}"
+            )
+        return self.llm_client.generate(self.model, prompt, task=task)

@@ -1,0 +1,242 @@
+"""The specialized data agents: SQL, chart, analyst, aggregator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.agents.actions import ChartAction, SqlAction
+from repro.agents.base import AgentError, ConversableAgent
+from repro.agents.memory import AgentMemory
+from repro.agents.messages import AgentMessage
+from repro.datasources.base import DataSource
+from repro.llm.prompts import build_text2sql_prompt
+from repro.smmf.client import ClientError
+from repro.viz.dashboard import Dashboard
+from repro.viz.spec import ChartSpec
+
+#: dimension -> (question template, default measure phrase)
+_DIMENSION_QUESTIONS = {
+    "category": "What is the total {measure} per category?",
+    "user": "What is the total {measure} per user name?",
+    "month": "What is the total {measure} per month?",
+    "region": "What is the total {measure} per region?",
+    "segment": "What is the total {measure} per segment?",
+}
+
+
+class SqlAgent(ConversableAgent):
+    """Answers natural-language questions with SQL over one source.
+
+    Includes the repair loop real Text-to-SQL deployments need: when
+    the generated SQL fails to execute, the error is reported and one
+    simplified retry is attempted.
+    """
+
+    def __init__(
+        self,
+        memory: AgentMemory,
+        llm_client,
+        source: DataSource,
+        model: str = "sql-coder",
+        name: str = "sql-agent",
+    ) -> None:
+        super().__init__(
+            name=name,
+            profile="Translates questions to SQL and executes them.",
+            memory=memory,
+            llm_client=llm_client,
+            model=model,
+        )
+        self.source = source
+        self._action = SqlAction(source)
+
+    def generate_reply(self, message: AgentMessage) -> AgentMessage:
+        question = message.content
+        prompt = build_text2sql_prompt(self.source, question)
+        try:
+            sql = self.ask_llm(prompt, task="text2sql")
+        except ClientError as exc:
+            return self.reply_to(
+                message,
+                f"I could not translate that question: {exc}",
+                metadata={"ok": False, "error": str(exc)},
+            )
+        result = self._action.run(sql=sql)
+        attempts = 1
+        if not result.ok:
+            # Repair loop: strip qualifiers and retry once.
+            simplified = question.rstrip("?.! ") + "?"
+            try:
+                sql = self.ask_llm(
+                    build_text2sql_prompt(self.source, simplified),
+                    task="text2sql",
+                )
+                result = self._action.run(sql=sql)
+                attempts += 1
+            except ClientError:
+                pass
+        if not result.ok:
+            return self.reply_to(
+                message,
+                f"The generated SQL failed: {result.error}",
+                metadata={"ok": False, "sql": sql, "error": result.error},
+            )
+        return self.reply_to(
+            message,
+            result.content,
+            metadata={
+                "ok": True,
+                "sql": sql,
+                "attempts": attempts,
+                "rows": [list(r) for r in result.payload.rows[:50]],
+                "columns": result.payload.columns,
+            },
+        )
+
+
+class ChartAgent(ConversableAgent):
+    """Produces one analysis chart for a plan step (Figure 3, area 4)."""
+
+    def __init__(
+        self,
+        memory: AgentMemory,
+        llm_client,
+        source: DataSource,
+        model: str = "sql-coder",
+        name: str = "chart-agent",
+        measure: str = "amount",
+    ) -> None:
+        super().__init__(
+            name=name,
+            profile="Generates a chart for one analysis dimension.",
+            memory=memory,
+            llm_client=llm_client,
+            model=model,
+        )
+        self.source = source
+        self.measure = measure
+        self._action = ChartAction(source)
+
+    def generate_reply(self, message: AgentMessage) -> AgentMessage:
+        dimension = message.metadata.get("dimension")
+        chart_type = message.metadata.get("chart_type", "bar")
+        if dimension not in _DIMENSION_QUESTIONS:
+            return self.reply_to(
+                message,
+                f"I do not know how to chart dimension {dimension!r}.",
+                metadata={"ok": False, "error": f"unknown dimension {dimension}"},
+            )
+        question = _DIMENSION_QUESTIONS[dimension].format(measure=self.measure)
+        prompt = build_text2sql_prompt(self.source, question)
+        try:
+            sql = self.ask_llm(prompt, task="text2sql")
+        except ClientError as exc:
+            return self.reply_to(
+                message,
+                f"chart query generation failed: {exc}",
+                metadata={"ok": False, "error": str(exc)},
+            )
+        title = f"Total {self.measure} by {dimension}"
+        result = self._action.run(
+            sql=sql, chart_type=chart_type, title=title
+        )
+        if not result.ok:
+            return self.reply_to(
+                message,
+                f"chart generation failed: {result.error}",
+                metadata={"ok": False, "sql": sql, "error": result.error},
+            )
+        spec: ChartSpec = result.payload
+        return self.reply_to(
+            message,
+            result.content,
+            metadata={
+                "ok": True,
+                "sql": sql,
+                "chart": spec.to_json(),
+                "dimension": dimension,
+                "chart_type": chart_type,
+            },
+        )
+
+
+class AnalystAgent(ConversableAgent):
+    """Summarizes results in natural language via the chat model."""
+
+    def __init__(
+        self,
+        memory: AgentMemory,
+        llm_client,
+        model: str = "chat",
+        name: str = "analyst",
+    ) -> None:
+        super().__init__(
+            name=name,
+            profile="Writes narrative summaries of analysis results.",
+            memory=memory,
+            llm_client=llm_client,
+            model=model,
+        )
+
+    def generate_reply(self, message: AgentMessage) -> AgentMessage:
+        prompt = (
+            "Summarize the following result for the user:\n"
+            f"{message.content}\nSummary:"
+        )
+        summary = self.ask_llm(prompt, task="summary")
+        return self.reply_to(message, summary, metadata={"ok": True})
+
+
+class AggregatorAgent(ConversableAgent):
+    """Collects chart specs into the final dashboard (Figure 3, area 5)."""
+
+    def __init__(
+        self,
+        memory: AgentMemory,
+        llm_client=None,
+        name: str = "aggregator",
+    ) -> None:
+        super().__init__(
+            name=name,
+            profile="Assembles charts into one report for the front-end.",
+            memory=memory,
+            llm_client=llm_client,
+            model="chat" if llm_client is not None else None,
+            use_recall=False,
+        )
+
+    def generate_reply(self, message: AgentMessage) -> AgentMessage:
+        charts_json = message.metadata.get("charts", [])
+        if not charts_json:
+            raise AgentError("aggregator received no charts")
+        charts = [ChartSpec.from_json(text) for text in charts_json]
+        dashboard = Dashboard(
+            title=message.metadata.get("title", "Analysis report"),
+            charts=charts,
+        )
+        lines = [
+            f"{spec.title}: {len(spec.points)} data points, "
+            f"total {spec.total:g}"
+            for spec in charts
+        ]
+        narrative = " ".join(lines)
+        if self.llm_client is not None:
+            prompt = (
+                "Summarize the following result for the user:\n"
+                + "\n".join(lines)
+                + "\nSummary:"
+            )
+            try:
+                narrative = self.ask_llm(prompt, task="summary")
+            except ClientError:
+                pass  # fall back to the plain-line narrative
+        dashboard.narrative = narrative
+        return self.reply_to(
+            message,
+            dashboard.render_text(),
+            metadata={
+                "ok": True,
+                "charts": [spec.to_json() for spec in dashboard.charts],
+                "narrative": narrative,
+            },
+        )

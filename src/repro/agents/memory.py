@@ -1,0 +1,105 @@
+"""The local communication archive.
+
+The paper: "DB-GPT's Multi-Agent framework archives the entire
+communication history among its agents within a local storage system,
+thereby significantly enhancing the reliability of the generated
+content." Every message passes through here; the archive persists to a
+JSON file and is queryable by conversation, agent and keyword — the
+consistency benchmark (P6) replays answers from it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional
+
+from repro.agents.messages import AgentMessage
+
+
+class AgentMemory:
+    """Append-only message archive with optional file persistence."""
+
+    def __init__(self, path: Optional[pathlib.Path | str] = None) -> None:
+        self._messages: list[AgentMessage] = []
+        self._path = pathlib.Path(path) if path is not None else None
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def append(self, message: AgentMessage) -> None:
+        self._messages.append(message)
+        if self._path is not None:
+            self._persist()
+
+    def conversation(self, conversation_id: str) -> list[AgentMessage]:
+        return [
+            m for m in self._messages
+            if m.conversation_id == conversation_id
+        ]
+
+    def by_agent(self, name: str) -> list[AgentMessage]:
+        return [
+            m for m in self._messages
+            if m.sender == name or m.recipient == name
+        ]
+
+    def search(self, keyword: str) -> list[AgentMessage]:
+        lowered = keyword.lower()
+        return [
+            m for m in self._messages if lowered in m.content.lower()
+        ]
+
+    def last_answer(
+        self, conversation_id: str, sender: Optional[str] = None
+    ) -> Optional[AgentMessage]:
+        """Most recent message in a conversation (optionally by sender)."""
+        for message in reversed(self.conversation(conversation_id)):
+            if sender is None or message.sender == sender:
+                return message
+        return None
+
+    def recall_similar(
+        self, content: str, sender: Optional[str] = None
+    ) -> Optional[AgentMessage]:
+        """Find an archived answer to an (almost) identical request.
+
+        This is the reliability mechanism: before re-deriving an
+        answer, agents check whether the same question was already
+        answered this session and reuse the archived result.
+        """
+        normalized = _normalize(content)
+        for message in reversed(self._messages):
+            if sender is not None and message.sender != sender:
+                continue
+            if _normalize(message.metadata.get("request", "")) == normalized:
+                return message
+        return None
+
+    def conversation_ids(self) -> list[str]:
+        seen: list[str] = []
+        for message in self._messages:
+            if message.conversation_id not in seen:
+                seen.append(message.conversation_id)
+        return seen
+
+    def clear(self) -> None:
+        self._messages.clear()
+        if self._path is not None:
+            self._persist()
+
+    # -- persistence -------------------------------------------------------
+
+    def _persist(self) -> None:
+        payload = [m.to_dict() for m in self._messages]
+        self._path.write_text(json.dumps(payload, ensure_ascii=False))
+
+    def _load(self) -> None:
+        payload = json.loads(self._path.read_text())
+        self._messages = [AgentMessage.from_dict(item) for item in payload]
+
+
+def _normalize(text: str) -> str:
+    return " ".join(str(text).lower().split())

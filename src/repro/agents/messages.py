@@ -1,0 +1,54 @@
+"""Agent messages."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class AgentMessage:
+    """One utterance in the multi-agent conversation.
+
+    ``round`` is the logical turn index within a conversation;
+    ``metadata`` carries structured payloads (plans, chart specs) next
+    to the human-readable ``content``.
+    """
+
+    sender: str
+    recipient: str
+    content: str
+    conversation_id: str = "default"
+    role: str = "assistant"  # 'user' | 'assistant' | 'system'
+    round: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "message_id": self.message_id,
+            "sender": self.sender,
+            "recipient": self.recipient,
+            "content": self.content,
+            "conversation_id": self.conversation_id,
+            "role": self.role,
+            "round": self.round,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AgentMessage":
+        message = cls(
+            sender=data["sender"],
+            recipient=data["recipient"],
+            content=data["content"],
+            conversation_id=data.get("conversation_id", "default"),
+            role=data.get("role", "assistant"),
+            round=data.get("round", 0),
+            metadata=data.get("metadata", {}),
+        )
+        message.message_id = data.get("message_id", message.message_id)
+        return message

@@ -1,0 +1,43 @@
+"""Custom agent registration.
+
+The paper contrasts DB-GPT with LlamaIndex's "constrained behaviours":
+users can custom-define agents for their own data interaction tasks.
+The registry maps role names to agent factories so teams are assembled
+by configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.agents.base import Agent, AgentError
+
+
+class AgentRegistry:
+    """Role name -> agent factory registry."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[..., Agent]] = {}
+
+    def register(
+        self, role: str, factory: Callable[..., Agent]
+    ) -> None:
+        key = role.lower()
+        if key in self._factories:
+            raise AgentError(f"role {role!r} is already registered")
+        self._factories[key] = factory
+
+    def create(self, role: str, **kwargs) -> Agent:
+        factory = self._factories.get(role.lower())
+        if factory is None:
+            raise AgentError(
+                f"no agent registered for role {role!r}; "
+                f"known roles: {self.roles()}"
+            )
+        return factory(**kwargs)
+
+    def roles(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, role: str) -> bool:
+        return role.lower() in self._factories

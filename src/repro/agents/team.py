@@ -1,0 +1,176 @@
+"""Team orchestration: the generative data analysis flow of Figure 3.
+
+A user goal enters; the planner devises a strategy; chart agents
+execute each step; the aggregator assembles the dashboard. Every
+message is archived in the shared :class:`AgentMemory`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agents.base import AgentError, ConversableAgent
+from repro.agents.data_agents import AggregatorAgent, ChartAgent
+from repro.agents.memory import AgentMemory
+from repro.agents.messages import AgentMessage
+from repro.agents.planner import Plan, PlannerAgent
+from repro.datasources.base import DataSource
+from repro.viz.dashboard import Dashboard
+from repro.viz.spec import ChartSpec
+
+_conversation_ids = itertools.count(1)
+
+
+@dataclass
+class AnalysisReport:
+    """The team's final deliverable."""
+
+    goal: str
+    plan: Plan
+    dashboard: Dashboard
+    conversation_id: str
+    message_count: int
+    failures: list[str] = field(default_factory=list)
+
+
+class _UserProxy(ConversableAgent):
+    """Stands in for the human user inside the conversation."""
+
+    def __init__(self, memory: AgentMemory) -> None:
+        super().__init__(
+            name="user",
+            profile="The human requesting the analysis.",
+            memory=memory,
+            use_recall=False,
+        )
+
+    def generate_reply(self, message: AgentMessage) -> AgentMessage:
+        return self.reply_to(message, "(received)")
+
+
+class DataAnalysisTeam:
+    """Planner + chart agents + aggregator over one data source."""
+
+    def __init__(
+        self,
+        source: DataSource,
+        llm_client,
+        memory: Optional[AgentMemory] = None,
+        measure: str = "amount",
+        use_recall: bool = True,
+    ) -> None:
+        self.memory = memory if memory is not None else AgentMemory()
+        self.source = source
+        self.user = _UserProxy(self.memory)
+        self.planner = PlannerAgent(
+            self.memory, llm_client, schema=source.describe_schema()
+        )
+        self.chart_agents = [
+            ChartAgent(
+                self.memory,
+                llm_client,
+                source,
+                name=f"chart-agent-{index}",
+                measure=measure,
+            )
+            for index in range(1, 4)
+        ]
+        from repro.agents.forecast import ForecastAgent
+
+        self.forecaster = ForecastAgent(
+            self.memory, llm_client, source, measure=measure
+        )
+        for agent in [self.planner, *self.chart_agents, self.forecaster]:
+            agent.use_recall = use_recall
+        self.aggregator = AggregatorAgent(self.memory, llm_client)
+
+    def run(self, goal: str) -> AnalysisReport:
+        """Execute the full Figure 3 flow for ``goal``."""
+        conversation_id = f"analysis-{next(_conversation_ids)}"
+        before = len(self.memory)
+
+        plan_reply = self.user.send(
+            self.planner, goal, conversation_id=conversation_id, round=0
+        )
+        steps = plan_reply.metadata.get("plan")
+        if not steps:
+            raise AgentError("planner returned no plan")
+        plan = Plan(
+            goal=goal,
+            steps=[_step_from_dict(item) for item in steps],
+        )
+
+        charts: list[str] = []
+        failures: list[str] = []
+        chart_cycle = itertools.cycle(self.chart_agents)
+        executable = [
+            step for step in plan.steps
+            if step.action in ("chart", "forecast")
+        ]
+        for round_index, step in enumerate(executable, start=1):
+            if step.action == "forecast":
+                agent = self.forecaster
+                content = (
+                    f"produce the forecast for step {step.step}: "
+                    f"{step.description}"
+                )
+            else:
+                agent = next(chart_cycle)
+                content = (
+                    f"produce the chart for step {step.step}: "
+                    f"{step.description}"
+                )
+            reply = self.user.send(
+                agent,
+                content,
+                conversation_id=conversation_id,
+                round=round_index,
+                metadata=step.params,
+            )
+            if reply.metadata.get("ok") and "chart" in reply.metadata:
+                charts.append(reply.metadata["chart"])
+            else:
+                failures.append(
+                    f"step {step.step}: {reply.metadata.get('error', 'failed')}"
+                )
+        if not charts:
+            raise AgentError(
+                f"no charts were produced; failures: {failures}"
+            )
+
+        final = self.user.send(
+            self.aggregator,
+            f"aggregate the report for: {goal}",
+            conversation_id=conversation_id,
+            round=len(plan.steps),
+            metadata={"charts": charts, "title": f"Report: {goal}"},
+        )
+        dashboard = Dashboard(
+            title=f"Report: {goal}",
+            charts=[
+                ChartSpec.from_json(text)
+                for text in final.metadata["charts"]
+            ],
+            narrative=final.metadata.get("narrative", ""),
+        )
+        return AnalysisReport(
+            goal=goal,
+            plan=plan,
+            dashboard=dashboard,
+            conversation_id=conversation_id,
+            message_count=len(self.memory) - before,
+            failures=failures,
+        )
+
+
+def _step_from_dict(item: dict) -> "PlanStep":
+    from repro.agents.planner import PlanStep
+
+    return PlanStep(
+        step=item["step"],
+        action=item["action"],
+        description=item.get("description", ""),
+        params=item.get("params", {}),
+    )

@@ -1,0 +1,31 @@
+"""The application layer: the data interaction functionalities.
+
+One class per paper-listed functionality: Text-to-SQL, SQL-to-Text,
+chat2db, chat2data, chat2excel, chat2visualization, knowledge-base QA
+and generative data analysis. All share the :class:`Application`
+interface (``chat(text) -> AppResponse``) so the server layer and the
+capability probes treat them uniformly.
+"""
+
+from repro.apps.base import Application, AppResponse
+from repro.apps.chat2data import Chat2DataApp
+from repro.apps.chat2db import Chat2DbApp
+from repro.apps.chat2excel import Chat2ExcelApp
+from repro.apps.chat2viz import Chat2VizApp
+from repro.apps.data_analysis import GenerativeAnalysisApp
+from repro.apps.knowledge_qa import KnowledgeQAApp
+from repro.apps.sql2text import Sql2TextApp
+from repro.apps.text2sql import Text2SqlApp
+
+__all__ = [
+    "AppResponse",
+    "Application",
+    "Chat2DataApp",
+    "Chat2DbApp",
+    "Chat2ExcelApp",
+    "Chat2VizApp",
+    "GenerativeAnalysisApp",
+    "KnowledgeQAApp",
+    "Sql2TextApp",
+    "Text2SqlApp",
+]

@@ -1,0 +1,36 @@
+"""Shared application interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class AppResponse:
+    """What every application returns for one user turn.
+
+    ``text`` is the user-facing answer; ``payload`` carries structured
+    results (a ResultSet, ChartSpec, Dashboard, ...); ``ok`` is False
+    when the turn failed but the failure was handled conversationally.
+    """
+
+    text: str
+    ok: bool = True
+    payload: Any = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class Application(abc.ABC):
+    """A named data interaction functionality."""
+
+    name = "app"
+    description = ""
+
+    @abc.abstractmethod
+    def chat(self, text: str) -> AppResponse:
+        """Handle one user utterance."""
+
+    def reset(self) -> None:
+        """Clear any per-conversation state (default: stateless)."""

@@ -1,0 +1,57 @@
+"""Text-to-SQL application: question in, SQL out."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import Application, AppResponse
+from repro.datasources.base import DataSource
+from repro.llm.prompts import build_text2sql_prompt
+from repro.smmf.client import ClientError, LLMClient
+
+
+class Text2SqlApp(Application):
+    """Translate natural language to SQL via the served model.
+
+    Does not execute the SQL (that is chat2db); optional validation
+    parses the output to guarantee syntactic well-formedness.
+    """
+
+    name = "text2sql"
+    description = "Translate a natural-language question into SQL."
+
+    def __init__(
+        self,
+        client: LLMClient,
+        source: DataSource,
+        model: str = "sql-coder",
+        validate: bool = True,
+    ) -> None:
+        self._client = client
+        self._source = source
+        self._model = model
+        self._validate = validate
+
+    def chat(self, text: str) -> AppResponse:
+        prompt = build_text2sql_prompt(self._source, text)
+        try:
+            sql = self._client.generate(self._model, prompt, task="text2sql")
+        except ClientError as exc:
+            return AppResponse(
+                text=f"I could not translate that question: {exc}",
+                ok=False,
+                metadata={"error": str(exc)},
+            )
+        if self._validate:
+            from repro.sqlengine import SqlSyntaxError, parse_sql
+
+            try:
+                parse_sql(sql)
+            except SqlSyntaxError as exc:
+                return AppResponse(
+                    text=f"The model produced invalid SQL: {exc}",
+                    ok=False,
+                    payload=sql,
+                    metadata={"error": str(exc)},
+                )
+        return AppResponse(text=sql, payload=sql, metadata={"model": self._model})

@@ -1,0 +1,59 @@
+"""Agentic Workflow Expression Language (AWEL).
+
+The paper's protocol layer: Airflow-style DAGs of operators, where each
+operator is a discrete task (and each agent can be modelled as an
+operator). Workflows are declared in a few lines::
+
+    with DAG("pipeline") as dag:
+        start = InputOperator()
+        upper = MapOperator(str.upper)
+        start >> upper
+    result = run_dag(dag, "hello")
+
+Supports batch processing, stream processing (lazy element-wise flow
+through :class:`AsyncStream`) and asynchronous execution (operators run
+concurrently once their inputs are ready).
+"""
+
+from repro.awel.dag import DAG, DAGContext
+from repro.awel.errors import AwelError, CycleError
+from repro.awel.flow import AsyncStream, collect_stream, stream_of
+from repro.awel.operators import (
+    BranchOperator,
+    InputOperator,
+    JoinOperator,
+    MapOperator,
+    Operator,
+    ReduceOperator,
+    StreamFilterOperator,
+    StreamMapOperator,
+    StreamifyOperator,
+    UnstreamifyOperator,
+)
+from repro.awel.runner import WorkflowRunner, run_dag
+from repro.awel.trigger import HttpTrigger, ManualTrigger, ScheduleTrigger
+
+__all__ = [
+    "AsyncStream",
+    "AwelError",
+    "BranchOperator",
+    "CycleError",
+    "DAG",
+    "DAGContext",
+    "HttpTrigger",
+    "InputOperator",
+    "JoinOperator",
+    "ManualTrigger",
+    "MapOperator",
+    "Operator",
+    "ReduceOperator",
+    "ScheduleTrigger",
+    "StreamFilterOperator",
+    "StreamMapOperator",
+    "StreamifyOperator",
+    "UnstreamifyOperator",
+    "WorkflowRunner",
+    "collect_stream",
+    "run_dag",
+    "stream_of",
+]

@@ -1,0 +1,15 @@
+"""AWEL exception types."""
+
+from __future__ import annotations
+
+
+class AwelError(Exception):
+    """Base error for workflow construction and execution."""
+
+
+class CycleError(AwelError):
+    """The DAG contains a cycle."""
+
+
+class SkippedBranch(Exception):
+    """Internal control-flow marker: this node's branch was not taken."""

@@ -1,0 +1,80 @@
+"""Streams: lazy async element flow between operators."""
+
+from __future__ import annotations
+
+from typing import Any, AsyncIterator, Awaitable, Callable, Iterable, Optional
+
+
+class AsyncStream:
+    """A lazy async sequence with map/filter combinators.
+
+    Laziness is the point: a downstream consumer receives the first
+    element before upstream finishes producing the rest, which is what
+    the stream-vs-batch benchmark measures.
+    """
+
+    def __init__(self, source: AsyncIterator[Any]) -> None:
+        self._source = source
+
+    def __aiter__(self) -> AsyncIterator[Any]:
+        return self._source
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        on_element: Optional[Callable[[], None]] = None,
+    ) -> "AsyncStream":
+        """Element-wise transform; ``on_element`` is a per-element hook
+        (used for logical-cost accounting)."""
+
+        async def generator() -> AsyncIterator[Any]:
+            async for item in self._source:
+                if on_element is not None:
+                    on_element()
+                result = fn(item)
+                if hasattr(result, "__await__"):
+                    result = await result
+                yield result
+
+        return AsyncStream(generator())
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "AsyncStream":
+        async def generator() -> AsyncIterator[Any]:
+            async for item in self._source:
+                if predicate(item):
+                    yield item
+
+        return AsyncStream(generator())
+
+    async def collect(self) -> list[Any]:
+        return [item async for item in self._source]
+
+    async def reduce(
+        self, fn: Callable[[Any, Any], Any], initial: Any
+    ) -> Any:
+        accumulator = initial
+        async for item in self._source:
+            accumulator = fn(accumulator, item)
+        return accumulator
+
+    async def first(self) -> Any:
+        async for item in self._source:
+            return item
+        raise ValueError("stream is empty")
+
+
+def stream_of(items: Iterable[Any]) -> AsyncStream:
+    """Build a stream from a concrete iterable."""
+
+    async def generator() -> AsyncIterator[Any]:
+        for item in items:
+            yield item
+
+    return AsyncStream(generator())
+
+
+async def collect_stream(value: Any) -> Any:
+    """Materialize a stream to a list; pass anything else through."""
+    if isinstance(value, AsyncStream):
+        return await value.collect()
+    return value

@@ -1,0 +1,127 @@
+"""Workflow execution: async scheduling over the DAG."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.awel.dag import DAG, DAGContext
+from repro.awel.errors import AwelError
+from repro.awel.operators import SKIPPED, BranchOperator, JoinOperator, Operator
+
+
+class WorkflowRunner:
+    """Executes a DAG asynchronously.
+
+    Every operator runs as its own task that awaits its upstream
+    results, so independent subgraphs proceed concurrently — the
+    "asynchronous operations" AWEL advertises.
+    """
+
+    def __init__(self, dag: DAG) -> None:
+        dag.validate()
+        self.dag = dag
+
+    async def run_async(
+        self, payload: Any = None, ctx: Optional[DAGContext] = None
+    ) -> DAGContext:
+        ctx = ctx or DAGContext(payload)
+        loop = asyncio.get_running_loop()
+        futures: dict[str, asyncio.Future] = {
+            node_id: loop.create_future() for node_id in self.dag.nodes
+        }
+
+        async def run_node(node: Operator) -> None:
+            # Any failure — including one raised while awaiting an
+            # upstream — must resolve this node's future, or downstream
+            # tasks would await it forever and deadlock the run.
+            try:
+                upstream_ids = self.dag.upstream_of(node.node_id)
+                upstream_values = [
+                    await futures[up_id] for up_id in upstream_ids
+                ]
+                if futures[node.node_id].done():
+                    # A branch pre-resolved this node as a not-taken path.
+                    return
+                # Branch-skip semantics: drop skipped inputs for joins;
+                # otherwise a skipped input skips this node too.
+                if any(value is SKIPPED for value in upstream_values):
+                    if isinstance(node, JoinOperator):
+                        upstream_values = [
+                            v for v in upstream_values if v is not SKIPPED
+                        ]
+                        if not upstream_values:
+                            futures[node.node_id].set_result(SKIPPED)
+                            ctx.results[node.node_id] = SKIPPED
+                            return
+                    else:
+                        futures[node.node_id].set_result(SKIPPED)
+                        ctx.results[node.node_id] = SKIPPED
+                        return
+                result = await node.execute(ctx, upstream_values)
+            except Exception as exc:
+                if not futures[node.node_id].done():
+                    futures[node.node_id].set_exception(exc)
+                raise
+            ctx.results[node.node_id] = result
+            futures[node.node_id].set_result(result)
+            if isinstance(node, BranchOperator):
+                chosen = node.choose(result)
+                for down_id in self.dag.downstream_of(node.node_id):
+                    if down_id != chosen:
+                        _mark_branch_skipped(self.dag, down_id, ctx, futures)
+
+        tasks = [
+            asyncio.create_task(run_node(node))
+            for node in self.dag.topological_order()
+        ]
+        done, _pending = await asyncio.wait(
+            tasks, return_when=asyncio.ALL_COMPLETED
+        )
+        # Mark future exceptions retrieved (cascaded copies of the task
+        # errors) so asyncio does not warn about them at GC time.
+        for future in futures.values():
+            if future.done() and not future.cancelled():
+                future.exception()
+        errors = [t.exception() for t in done if t.exception() is not None]
+        if errors:
+            raise errors[0]
+        return ctx
+
+    def run(self, payload: Any = None) -> DAGContext:
+        """Synchronous convenience wrapper."""
+        return asyncio.run(self.run_async(payload))
+
+
+def _mark_branch_skipped(
+    dag: DAG,
+    node_id: str,
+    ctx: DAGContext,
+    futures: dict[str, "asyncio.Future"],
+) -> None:
+    """Pre-resolve a not-taken branch head as SKIPPED.
+
+    Only the direct downstream is marked; transitive propagation is
+    handled by each node observing SKIPPED inputs.
+    """
+    future = futures[node_id]
+    if not future.done():
+        future.set_result(SKIPPED)
+        ctx.results[node_id] = SKIPPED
+
+
+def run_dag(dag: DAG, payload: Any = None) -> Any:
+    """Run a DAG and return its single leaf's result.
+
+    For multi-leaf DAGs use :class:`WorkflowRunner` and read
+    ``ctx.results`` instead.
+    """
+    runner = WorkflowRunner(dag)
+    ctx = runner.run(payload)
+    leaves = dag.leaves()
+    if len(leaves) != 1:
+        raise AwelError(
+            f"run_dag needs exactly one leaf, found "
+            f"{[leaf.node_id for leaf in leaves]}"
+        )
+    return ctx.results[leaves[0].node_id]

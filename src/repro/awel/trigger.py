@@ -1,0 +1,109 @@
+"""Workflow triggers: how runs start.
+
+AWEL workflows can be kicked off manually, by an HTTP-shaped request
+(through the server layer), or on a logical schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.awel.dag import DAG, DAGContext
+from repro.awel.errors import AwelError
+from repro.awel.runner import WorkflowRunner
+
+
+@dataclass
+class TriggerResult:
+    """One fired run."""
+
+    payload: Any
+    context: DAGContext
+
+
+class ManualTrigger:
+    """Fire a DAG on demand with an explicit payload."""
+
+    def __init__(self, dag: DAG) -> None:
+        self._runner = WorkflowRunner(dag)
+        self.runs: list[TriggerResult] = []
+
+    def fire(self, payload: Any = None) -> DAGContext:
+        ctx = self._runner.run(payload)
+        self.runs.append(TriggerResult(payload, ctx))
+        return ctx
+
+
+class HttpTrigger:
+    """Adapt HTTP-shaped requests into workflow runs.
+
+    ``path`` is matched exactly; the request body becomes the payload.
+    Designed to be mounted on :class:`repro.server.router.Router`.
+    """
+
+    def __init__(self, dag: DAG, path: str, method: str = "POST") -> None:
+        self._runner = WorkflowRunner(dag)
+        self.path = path
+        self.method = method.upper()
+        self.runs: list[TriggerResult] = []
+
+    def matches(self, method: str, path: str) -> bool:
+        return method.upper() == self.method and path == self.path
+
+    def fire(self, body: dict[str, Any]) -> DAGContext:
+        ctx = self._runner.run(body)
+        self.runs.append(TriggerResult(body, ctx))
+        return ctx
+
+    def mount(self, router) -> None:
+        """Register this trigger on a server-layer router.
+
+        The workflow's leaf results are returned as the response body,
+        keyed by node id — the glue between the paper's server layer
+        and the AWEL protocol layer.
+        """
+        from repro.server.request import ok
+
+        def handler(request):
+            ctx = self.fire(dict(request.body))
+            leaves = {
+                node.node_id: ctx.results.get(node.node_id)
+                for node in self._runner.dag.leaves()
+            }
+            return ok({"results": leaves})
+
+        router.add_route(self.method, self.path, handler)
+
+
+class ScheduleTrigger:
+    """Fire every ``interval`` logical ticks.
+
+    Wall-clock scheduling would make tests flaky; the logical clock
+    keeps the scheduling *protocol* (tick, due, fire) intact.
+    """
+
+    def __init__(
+        self,
+        dag: DAG,
+        interval: int,
+        payload: Any = None,
+    ) -> None:
+        if interval <= 0:
+            raise AwelError("interval must be positive")
+        self._runner = WorkflowRunner(dag)
+        self.interval = interval
+        self.payload = payload
+        self.runs: list[TriggerResult] = []
+        self._since_last = 0
+
+    def tick(self, ticks: int = 1) -> list[DAGContext]:
+        """Advance time; returns contexts of any runs that fired."""
+        fired: list[DAGContext] = []
+        self._since_last += ticks
+        while self._since_last >= self.interval:
+            self._since_last -= self.interval
+            ctx = self._runner.run(self.payload)
+            self.runs.append(TriggerResult(self.payload, ctx))
+            fired.append(ctx)
+        return fired

@@ -1,0 +1,343 @@
+"""Behavioural capability probes and the Table 1 matrix builder.
+
+Each probe *exercises* a capability through the shared adapter
+interface and verifies observable evidence (executed SQL, branch
+outputs, gateway traffic). The matrix is therefore measured, not
+asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.baselines.base import FrameworkAdapter, ModelGateway, NotSupported
+from repro.datasets.sales import build_sales_database
+from repro.datasources.engine_source import EngineSource
+from repro.hub.dataset import Text2SqlDataset
+from repro.datasets.spider import build_spider_database
+from repro.llm.chat_model import ChatModel
+from repro.llm.planner_model import PlannerModel
+from repro.llm.sql_coder import SqlCoderModel
+from repro.smmf.deploy import deploy
+from repro.smmf.spec import ModelSpec
+
+#: Row labels, in the paper's order.
+CAPABILITY_ROWS = [
+    "Multi-Agents Framework",
+    "Multi-LLMs Support",
+    "RAG from Multiple Data Sources",
+    "Agent Workflow Expression Language",
+    "Fine-tuned Text-to-SQL Model",
+    "Text-to-SQL / SQL-to-Text",
+    "Chat2DB / Chat2Data / Chat2Excel",
+    "Data Privacy and Security",
+    "Multilingual Interactions",
+    "Generative Data Analysis",
+]
+
+FRAMEWORK_ORDER = ["LangChain", "LlamaIndex", "PrivateGPT", "ChatDB", "DB-GPT"]
+
+#: External (hosted-API) model names observed by the privacy probe.
+EXTERNAL_MODELS = {"gpt-4", "gpt-4-sql", "qwen-sql"}
+
+_PII_QUESTION = (
+    "How many orders are there? my email is bob@example.com"
+)
+
+
+def build_environment():
+    """The shared serving stack every framework runs against."""
+    specs = [
+        ModelSpec("sql-coder", lambda: SqlCoderModel("sql-coder")),
+        ModelSpec("chat", lambda: ChatModel("chat")),
+        ModelSpec("planner", lambda: PlannerModel("planner")),
+        ModelSpec("local-llm", lambda: ChatModel("local-llm")),
+        ModelSpec("gpt-4", lambda: ChatModel("gpt-4")),
+        ModelSpec(
+            "gpt-4-sql",
+            lambda: SqlCoderModel("gpt-4-sql", languages=("en",)),
+        ),
+        ModelSpec("qwen-sql", lambda: SqlCoderModel("qwen-sql")),
+    ]
+    _controller, client = deploy(specs)
+    return client
+
+
+_CORPUS = [
+    ("notes-pg", "text", "PostgreSQL vacuum reclaims dead tuples in tables."),
+    ("guide-net", "markdown", "The tcp handshake opens every connection."),
+    ("prices", "csv", "item is widget; price is 20; region is north"),
+]
+
+
+@dataclass
+class ProbeOutcome:
+    supported: bool
+    detail: str = ""
+
+
+class _Probes:
+    """All ten probes, sharing one sales source per matrix build."""
+
+    def __init__(self) -> None:
+        self.db = build_sales_database(n_orders=150)
+        self.source = EngineSource(self.db)
+        self.order_count = self.db.execute(
+            "SELECT COUNT(*) FROM orders"
+        ).scalar()
+
+    def multi_agents(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            evidence = fw.run_agents(
+                "how many orders are there", self.source
+            )
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        distinct_roles = len(set(evidence.roles)) >= 2
+        produced = bool(evidence.outputs)
+        return ProbeOutcome(
+            distinct_roles and produced,
+            f"roles={evidence.roles}",
+        )
+
+    def multi_llms(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            responses = fw.deploy_models(["gpt-4", "local-llm"])
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        models_used = {
+            call.model for call in fw.gateway.calls
+        }
+        ok = (
+            len(responses) == 2
+            and all(responses.values())
+            and {"gpt-4", "local-llm"} <= models_used
+        )
+        return ProbeOutcome(ok, f"models={sorted(models_used)}")
+
+    def rag_multi_source(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            fw.index_documents(_CORPUS)
+            pg_hits = fw.rag_query("How does vacuum reclaim dead tuples?")
+            csv_hits = fw.rag_query("What is the price of the widget?")
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        ok = "notes-pg" in pg_hits[:2] and "prices" in csv_hits[:2]
+        return ProbeOutcome(ok, f"hits={pg_hits[:2]}, {csv_hits[:2]}")
+
+    def awel(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            high, low = fw.build_branching_workflow()
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        ok = high == ("high", 42) and low == ("low", 3)
+        return ProbeOutcome(ok, f"high={high}, low={low}")
+
+    def finetuned_text2sql(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            database = build_spider_database("clinic")
+            dataset = Text2SqlDataset.from_domain(
+                "clinic", n_train=60, n_test=30, seed=5
+            )
+            base, tuned = fw.finetune_text2sql(
+                dataset, EngineSource(database), database
+            )
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        ok = tuned > base + 0.05 and tuned >= 0.8
+        return ProbeOutcome(ok, f"base={base:.2f}, tuned={tuned:.2f}")
+
+    def text2sql_both_ways(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            sql = fw.text_to_sql("How many orders are there?", self.source)
+            value = self.source.query(sql).scalar()
+            explanation = fw.sql_to_text("SELECT COUNT(*) FROM orders")
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        except Exception as exc:
+            return ProbeOutcome(False, f"failed: {exc}")
+        ok = value == self.order_count and "number of rows" in explanation
+        return ProbeOutcome(ok, f"count={value}")
+
+    def chat2db_family(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        from repro.datasources.excel_source import ExcelSource, Sheet, Workbook
+
+        workbook = Workbook(
+            [
+                Sheet.from_records(
+                    "inventory",
+                    [
+                        {"item": "pen", "qty": 5},
+                        {"item": "book", "qty": 7},
+                    ],
+                )
+            ]
+        )
+        excel_source = ExcelSource(workbook, name="inventory-book")
+        try:
+            db_rows = fw.chat_db("How many products are there?", self.source)
+            excel_rows = fw.chat_db(
+                "What is the total qty of the inventory?", excel_source
+            )
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        except Exception as exc:
+            return ProbeOutcome(False, f"failed: {exc}")
+        ok = db_rows == [(25,)] and excel_rows == [(12,)]
+        return ProbeOutcome(ok, f"db={db_rows}, excel={excel_rows}")
+
+    def privacy(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        fw.gateway.reset()
+        try:
+            fw.chat_db(_PII_QUESTION, self.source)
+        except NotSupported:
+            ask = getattr(fw, "ask", None)
+            ingest = getattr(fw, "ingest", None)
+            if ask is None or ingest is None:
+                return ProbeOutcome(False, "no conversational surface")
+            ingest("doc", "Orders arrive every day.")
+            ask(_PII_QUESTION)
+        except Exception as exc:
+            return ProbeOutcome(False, f"failed: {exc}")
+        leaked = [
+            prompt
+            for prompt in fw.gateway.external_prompts()
+            if "bob@example.com" in prompt
+        ]
+        return ProbeOutcome(
+            not leaked,
+            f"external_calls={len(fw.gateway.external_prompts())}, "
+            f"leaks={len(leaked)}",
+        )
+
+    def multilingual(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            rows = fw.chat_db("订单一共有多少个？", self.source)
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        except Exception as exc:
+            return ProbeOutcome(False, f"failed: {exc}")
+        ok = rows == [(self.order_count,)]
+        return ProbeOutcome(ok, f"rows={rows}")
+
+    def generative_analysis(self, fw: FrameworkAdapter) -> ProbeOutcome:
+        try:
+            evidence = fw.generative_analysis(
+                "Build sales reports and analyze user orders from at "
+                "least three distinct dimensions",
+                self.source,
+            )
+        except NotSupported as exc:
+            return ProbeOutcome(False, str(exc))
+        ok = (
+            evidence.plan_steps >= 4
+            and len(evidence.charts) >= 3
+            and evidence.aggregated
+        )
+        return ProbeOutcome(
+            ok,
+            f"steps={evidence.plan_steps}, charts={len(evidence.charts)}",
+        )
+
+    def all_probes(self) -> list[tuple[str, Callable]]:
+        return [
+            (CAPABILITY_ROWS[0], self.multi_agents),
+            (CAPABILITY_ROWS[1], self.multi_llms),
+            (CAPABILITY_ROWS[2], self.rag_multi_source),
+            (CAPABILITY_ROWS[3], self.awel),
+            (CAPABILITY_ROWS[4], self.finetuned_text2sql),
+            (CAPABILITY_ROWS[5], self.text2sql_both_ways),
+            (CAPABILITY_ROWS[6], self.chat2db_family),
+            (CAPABILITY_ROWS[7], self.privacy),
+            (CAPABILITY_ROWS[8], self.multilingual),
+            (CAPABILITY_ROWS[9], self.generative_analysis),
+        ]
+
+
+@dataclass
+class CapabilityMatrix:
+    """Measured capability grid plus probe details."""
+
+    cells: dict[str, dict[str, bool]] = field(default_factory=dict)
+    details: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def mark(
+        self, row: str, framework: str, outcome: ProbeOutcome
+    ) -> None:
+        self.cells.setdefault(row, {})[framework] = outcome.supported
+        self.details.setdefault(row, {})[framework] = outcome.detail
+
+    def format_table(self) -> str:
+        width = max(len(row) for row in CAPABILITY_ROWS) + 2
+        header = "".ljust(width) + " | ".join(
+            name.center(10) for name in FRAMEWORK_ORDER
+        )
+        lines = [header, "-" * len(header)]
+        for row in CAPABILITY_ROWS:
+            marks = " | ".join(
+                ("yes" if self.cells[row].get(name) else "no").center(10)
+                for name in FRAMEWORK_ORDER
+            )
+            lines.append(row.ljust(width) + marks)
+        return "\n".join(lines)
+
+    def matches(self, expected: dict[str, dict[str, bool]]) -> list[str]:
+        """Cells that differ from ``expected`` ('row/framework')."""
+        mismatches = []
+        for row, frameworks in expected.items():
+            for name, value in frameworks.items():
+                if self.cells.get(row, {}).get(name) != value:
+                    mismatches.append(f"{row}/{name}")
+        return mismatches
+
+
+def paper_table1() -> dict[str, dict[str, bool]]:
+    """The checkmarks exactly as printed in the paper's Table 1."""
+    yes_no = {
+        "Multi-Agents Framework": [True, True, False, False, True],
+        "Multi-LLMs Support": [True, True, False, True, True],
+        "RAG from Multiple Data Sources": [True, True, False, False, True],
+        "Agent Workflow Expression Language": [False, False, False, False, True],
+        "Fine-tuned Text-to-SQL Model": [False, True, False, False, True],
+        "Text-to-SQL / SQL-to-Text": [True, True, False, True, True],
+        "Chat2DB / Chat2Data / Chat2Excel": [True, True, False, True, True],
+        "Data Privacy and Security": [False, False, True, False, True],
+        "Multilingual Interactions": [False, False, False, True, True],
+        "Generative Data Analysis": [False, False, False, False, True],
+    }
+    return {
+        row: dict(zip(FRAMEWORK_ORDER, values))
+        for row, values in yes_no.items()
+    }
+
+
+def build_matrix(
+    frameworks: Optional[list[FrameworkAdapter]] = None,
+) -> CapabilityMatrix:
+    """Probe every framework and return the measured matrix."""
+    if frameworks is None:
+        from repro.baselines.chatdb_like import ChatDbLike
+        from repro.baselines.dbgpt_adapter import DbGptAdapter
+        from repro.baselines.langchain_like import LangChainLike
+        from repro.baselines.llamaindex_like import LlamaIndexLike
+        from repro.baselines.privategpt_like import PrivateGptLike
+
+        client = build_environment()
+        frameworks = [
+            cls(ModelGateway(client, EXTERNAL_MODELS))
+            for cls in (
+                LangChainLike,
+                LlamaIndexLike,
+                PrivateGptLike,
+                ChatDbLike,
+                DbGptAdapter,
+            )
+        ]
+    probes = _Probes()
+    matrix = CapabilityMatrix()
+    for row, probe in probes.all_probes():
+        for framework in frameworks:
+            outcome = probe(framework)
+            matrix.mark(row, framework.name, outcome)
+    return matrix

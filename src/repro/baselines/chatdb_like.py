@@ -1,0 +1,56 @@
+"""ChatDB-pattern baseline: an LLM with a database as symbolic memory.
+
+Architecture reproduced: the model converses with its database through
+chain-of-memory steps — each user turn becomes one or more SQL
+operations executed against the symbolic memory, whose results feed the
+next step. ChatDB supports multiple LLM backends and Chinese (its demo
+model is bilingual), but it is a single-agent loop: no multi-agent
+planning, no RAG document stores, no workflow language, no fine-tuning
+pipeline, and prompts go to the hosted backend unmasked.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.base import FrameworkAdapter, ModelGateway
+from repro.datasources.base import DataSource
+from repro.llm.prompts import build_sql2text_prompt, build_text2sql_prompt
+
+
+class ChatDbLike(FrameworkAdapter):
+    name = "ChatDB"
+
+    #: The bilingual backend (simulating ChatGPT/GLM with zh support).
+    _SQL_MODEL = "qwen-sql"
+    _CHAT_MODEL = "gpt-4"
+
+    def deploy_models(self, model_names: list[str]) -> dict[str, str]:
+        # ChatDB is backend-agnostic: any configured LLM serves.
+        return {
+            model: self.gateway.generate(
+                model, f"ping from {self.name}", task="chat"
+            )
+            for model in model_names
+        }
+
+    def text_to_sql(self, question: str, source: DataSource) -> str:
+        prompt = build_text2sql_prompt(source, question)
+        return self.gateway.generate(
+            self._SQL_MODEL, prompt, task="text2sql"
+        )
+
+    def sql_to_text(self, sql: str) -> str:
+        return self.gateway.generate(
+            self._CHAT_MODEL, build_sql2text_prompt(sql), task="sql2text"
+        )
+
+    def chat_db(self, question: str, source: DataSource):
+        """One chain-of-memory turn: NL -> SQL -> symbolic memory."""
+        sql = self.text_to_sql(question, source)
+        return source.query(sql).rows
+
+    def memory_write(self, source: DataSource, statement: str) -> int:
+        """Symbolic-memory manipulation (INSERT/UPDATE/DELETE)."""
+        result = source.query(statement)
+        return result.rowcount

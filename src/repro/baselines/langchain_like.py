@@ -1,0 +1,144 @@
+"""LangChain-pattern baseline: sequential chains + tool agents.
+
+Architecture reproduced: composable *chains* (prompt -> LLM -> parser)
+and a tool-using agent executor. Calls go to hosted API models through
+the gateway (the typical LangChain deployment), so the privacy probe
+observes raw externally-bound prompts. Chains are strictly linear —
+there is no DAG/branch workflow language — and there is no fine-tuning
+story, no planner/aggregator analysis flow, and the parser is
+English-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.baselines.base import (
+    AgentRunEvidence,
+    FrameworkAdapter,
+    ModelGateway,
+    NotSupported,
+)
+from repro.datasources.base import DataSource
+from repro.llm.prompts import build_sql2text_prompt, build_text2sql_prompt
+from repro.rag.document import Document
+from repro.rag.knowledge_base import KnowledgeBase
+
+
+class Chain:
+    """A linear sequence of callables (the LangChain primitive)."""
+
+    def __init__(self, steps: list[Callable[[Any], Any]]) -> None:
+        if not steps:
+            raise ValueError("a chain needs at least one step")
+        self.steps = steps
+
+    def run(self, value: Any) -> Any:
+        for step in self.steps:
+            value = step(value)
+        return value
+
+    def __or__(self, other: "Chain") -> "Chain":
+        return Chain(self.steps + other.steps)
+
+
+class Tool:
+    """A named callable an agent may invoke."""
+
+    def __init__(self, name: str, fn: Callable[[str], str]) -> None:
+        self.name = name
+        self.fn = fn
+
+
+class AgentExecutor:
+    """A tool-calling agent: route the task to the right tool by name."""
+
+    def __init__(self, role: str, tools: list[Tool]) -> None:
+        self.role = role
+        self.tools = {tool.name: tool for tool in tools}
+
+    def run(self, task: str) -> str:
+        for name, tool in self.tools.items():
+            if name in task.lower():
+                return tool.fn(task)
+        # Default to the first tool.
+        first = next(iter(self.tools.values()))
+        return first.fn(task)
+
+
+class LangChainLike(FrameworkAdapter):
+    name = "LangChain"
+
+    def __init__(self, gateway: ModelGateway) -> None:
+        super().__init__(gateway)
+        self._kb = KnowledgeBase(name="langchain-kb")
+
+    # -- multi-agents (chain of specialized tool agents) --------------------
+
+    def run_agents(self, task: str, source: DataSource) -> AgentRunEvidence:
+        sql_agent = AgentExecutor(
+            "sql-runner",
+            [Tool("sql", lambda t: self._run_sql_tool(t, source))],
+        )
+        summarizer = AgentExecutor(
+            "summarizer",
+            [
+                Tool(
+                    "summary",
+                    lambda t: self.gateway.generate(
+                        "gpt-4",
+                        f"Summarize the following result for the user:\n{t}"
+                        "\nSummary:",
+                        task="summary",
+                    ),
+                )
+            ],
+        )
+        first = sql_agent.run(f"sql {task}")
+        second = summarizer.run(first)
+        return AgentRunEvidence(
+            roles=[sql_agent.role, summarizer.role],
+            outputs=[first, second],
+        )
+
+    def _run_sql_tool(self, task: str, source: DataSource) -> str:
+        question = task.replace("sql", "", 1).strip()
+        sql = self.text_to_sql(question, source)
+        return source.query(sql).format_table(max_rows=5)
+
+    # -- multi-LLMs ----------------------------------------------------------
+
+    def deploy_models(self, model_names: list[str]) -> dict[str, str]:
+        responses = {}
+        for model in model_names:
+            responses[model] = self.gateway.generate(
+                model, f"ping from {self.name}", task="chat"
+            )
+        return responses
+
+    # -- RAG from multiple sources --------------------------------------------
+
+    def index_documents(self, documents: list[tuple[str, str, str]]) -> None:
+        for doc_id, doc_format, text in documents:
+            self._kb.add_document(
+                Document(doc_id, text, metadata={"format": doc_format})
+            )
+
+    def rag_query(self, question: str, k: int = 4) -> list[str]:
+        hits = self._kb.retrieve(question, k=k, strategy="vector")
+        return [hit.chunk.doc_id for hit in hits]
+
+    # -- Text-to-SQL / SQL-to-Text / chat2db -----------------------------------
+
+    def text_to_sql(self, question: str, source: DataSource) -> str:
+        prompt = build_text2sql_prompt(source, question)
+        return self.gateway.generate("gpt-4-sql", prompt, task="text2sql")
+
+    def sql_to_text(self, sql: str) -> str:
+        return self.gateway.generate(
+            "gpt-4", build_sql2text_prompt(sql), task="sql2text"
+        )
+
+    def chat_db(self, question: str, source: DataSource):
+        sql = self.text_to_sql(question, source)
+        return source.query(sql).rows

@@ -1,0 +1,148 @@
+"""LlamaIndex-pattern baseline: index-centric query engines.
+
+Architecture reproduced: documents go into a central vector index;
+*query engines* wrap the index for QA; a constrained set of prebuilt
+agent behaviours (a router agent over query engines); and a Text-to-SQL
+fine-tuning path (LlamaIndex ships one — Table 1 credits it). Like the
+LangChain baseline it calls hosted models through the gateway, has no
+DAG workflow language, no privacy handling, English-only parsing, and
+no planner/aggregator generative-analysis flow.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.base import (
+    AgentRunEvidence,
+    FrameworkAdapter,
+    ModelGateway,
+)
+from repro.datasources.base import DataSource
+from repro.hub.adapters import LexiconAdapter
+from repro.hub.evaluator import evaluate_model
+from repro.hub.trainer import FineTuner
+from repro.llm.prompts import build_sql2text_prompt, build_text2sql_prompt
+from repro.llm.sql_coder import SqlCoderModel
+from repro.nlu.schema_linking import SchemaIndex
+from repro.rag.document import Document
+from repro.rag.knowledge_base import KnowledgeBase
+
+
+class QueryEngine:
+    """The LlamaIndex primitive: an index plus an answer synthesizer."""
+
+    def __init__(self, kb: KnowledgeBase, gateway: ModelGateway) -> None:
+        self._kb = kb
+        self._gateway = gateway
+
+    def query(self, question: str, k: int = 4) -> tuple[str, list[str]]:
+        packed = self._kb.build_context(question, k=k, strategy="vector")
+        prompt = (
+            "You are a helpful data assistant. Use only the context.\n"
+            f"Context:\n{packed.text}\n\nQuestion: {question}\nAnswer:"
+        )
+        answer = self._gateway.generate("gpt-4", prompt, task="qa")
+        citations = [
+            self._kb.chunk(chunk_id).doc_id
+            for chunk_id in packed.used_chunk_ids
+        ]
+        return answer, citations
+
+
+class RouterAgent:
+    """A constrained prebuilt agent: routes between named engines."""
+
+    role = "router"
+
+    def __init__(self, engines: dict[str, Any]) -> None:
+        self.engines = engines
+
+    def run(self, task: str) -> tuple[str, Any]:
+        for name, engine in self.engines.items():
+            if name in task.lower():
+                return name, engine(task)
+        name, engine = next(iter(self.engines.items()))
+        return name, engine(task)
+
+
+class LlamaIndexLike(FrameworkAdapter):
+    name = "LlamaIndex"
+
+    def __init__(self, gateway: ModelGateway) -> None:
+        super().__init__(gateway)
+        self._kb = KnowledgeBase(name="llamaindex-kb")
+        self._engine = QueryEngine(self._kb, gateway)
+
+    # -- multi-agents (router + synthesizer, the prebuilt behaviours) --------
+
+    def run_agents(self, task: str, source: DataSource) -> AgentRunEvidence:
+        router = RouterAgent(
+            {
+                "sql": lambda t: self.chat_db(
+                    t.replace("sql", "", 1).strip(), source
+                ),
+                "docs": lambda t: self._engine.query(t)[0],
+            }
+        )
+        engine_name, output = router.run(f"sql {task}")
+        summary = self.gateway.generate(
+            "gpt-4",
+            f"Summarize the following result for the user:\n{output}\nSummary:",
+            task="summary",
+        )
+        return AgentRunEvidence(
+            roles=[router.role, "synthesizer"],
+            outputs=[output, summary],
+        )
+
+    # -- multi-LLMs ----------------------------------------------------------
+
+    def deploy_models(self, model_names: list[str]) -> dict[str, str]:
+        return {
+            model: self.gateway.generate(
+                model, f"ping from {self.name}", task="chat"
+            )
+            for model in model_names
+        }
+
+    # -- RAG -----------------------------------------------------------------
+
+    def index_documents(self, documents: list[tuple[str, str, str]]) -> None:
+        for doc_id, doc_format, text in documents:
+            self._kb.add_document(
+                Document(doc_id, text, metadata={"format": doc_format})
+            )
+
+    def rag_query(self, question: str, k: int = 4) -> list[str]:
+        _answer, citations = self._engine.query(question, k=k)
+        return citations
+
+    # -- Text-to-SQL and fine-tuning -------------------------------------------
+
+    def text_to_sql(self, question: str, source: DataSource) -> str:
+        prompt = build_text2sql_prompt(source, question)
+        return self.gateway.generate("gpt-4-sql", prompt, task="text2sql")
+
+    def sql_to_text(self, sql: str) -> str:
+        return self.gateway.generate(
+            "gpt-4", build_sql2text_prompt(sql), task="sql2text"
+        )
+
+    def chat_db(self, question: str, source: DataSource):
+        sql = self.text_to_sql(question, source)
+        return source.query(sql).rows
+
+    def finetune_text2sql(self, dataset, source: DataSource, database):
+        """LlamaIndex's local Text-to-SQL fine-tune path."""
+        index = SchemaIndex.from_source(source)
+        tuner = FineTuner(index, database)
+        adapter, _report = tuner.fit(dataset.train, domain=dataset.domain)
+        base = SqlCoderModel("li-base", languages=("en",))
+        tuned = adapter.apply_to(base, model_name="li-tuned")
+        base_report = evaluate_model(base, source, database, dataset.test)
+        tuned_report = evaluate_model(tuned, source, database, dataset.test)
+        return (
+            base_report.execution_accuracy,
+            tuned_report.execution_accuracy,
+        )

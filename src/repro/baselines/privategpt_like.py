@@ -1,0 +1,37 @@
+"""PrivateGPT-pattern baseline: local-only document question answering.
+
+Architecture reproduced: a single locally served model, documents
+ingested into a single local store, QA strictly on-device. That is the
+whole surface — no agents, no multi-model management, no structured
+RAG over heterogeneous sources (Table 1 scopes its RAG row to multiple
+data sources), no SQL capabilities, no workflow language. Its one
+checkmark is privacy: nothing ever goes through an external endpoint.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FrameworkAdapter, ModelGateway
+from repro.rag.document import Document
+from repro.rag.knowledge_base import KnowledgeBase
+
+
+class PrivateGptLike(FrameworkAdapter):
+    name = "PrivateGPT"
+
+    def __init__(self, gateway: ModelGateway) -> None:
+        super().__init__(gateway)
+        self._kb = KnowledgeBase(name="privategpt-kb")
+
+    def ingest(self, doc_id: str, text: str) -> None:
+        """Load one local text document (the ``ingest`` CLI step)."""
+        self._kb.add_document(Document(doc_id, text))
+
+    def ask(self, question: str) -> str:
+        """Local QA over the ingested documents."""
+        packed = self._kb.build_context(question, k=4, strategy="vector")
+        prompt = (
+            "You are a helpful data assistant. Use only the context.\n"
+            f"Context:\n{packed.text}\n\nQuestion: {question}\nAnswer:"
+        )
+        # The defining property: always the local model, never hosted.
+        return self.gateway.generate("local-llm", prompt, task="qa")

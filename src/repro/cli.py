@@ -1,0 +1,152 @@
+"""Interactive command-line front-end.
+
+The laptop stand-in for DB-GPT's web UI: a chat REPL over the booted
+application layer.
+
+Run::
+
+    python -m repro.cli                    # demo sales database
+    python -m repro.cli --csv ./data_dir   # your own CSV tables
+    python -m repro.cli --command "show tables" --command "/apps"
+
+Slash commands switch context; anything else goes to the active app::
+
+    /apps            list applications
+    /app <name>      switch the active application
+    /metrics         model serving metrics
+    /help            this text
+    /quit            exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Optional
+
+from repro.core import DBGPT
+from repro.datasets import build_sales_database
+from repro.datasources import CsvSource, EngineSource
+
+_HELP = (
+    "commands: /apps, /app <name>, /metrics, /help, /quit — anything "
+    "else is sent to the active app"
+)
+
+
+class CliSession:
+    """The REPL engine, separable from stdin/stdout for testing."""
+
+    def __init__(self, dbgpt: Optional[DBGPT] = None) -> None:
+        if dbgpt is None:
+            dbgpt = DBGPT.boot()
+            dbgpt.register_source(EngineSource(build_sales_database()))
+        self.dbgpt = dbgpt
+        self.active_app = (
+            "chat2db" if "chat2db" in dbgpt.app_names() else
+            (dbgpt.app_names()[0] if dbgpt.app_names() else "")
+        )
+        self.done = False
+
+    def handle(self, line: str) -> str:
+        """Process one input line; returns the text to display."""
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("/"):
+            return self._command(line)
+        if not self.active_app:
+            return "no applications registered; load a data source first"
+        response = self.dbgpt.chat(self.active_app, line)
+        prefix = "" if response.ok else "(failed) "
+        return f"{prefix}{response.text}"
+
+    def _command(self, line: str) -> str:
+        parts = line.split()
+        command, args = parts[0].lower(), parts[1:]
+        if command in ("/quit", "/exit", "/q"):
+            self.done = True
+            return "bye"
+        if command == "/help":
+            return _HELP
+        if command == "/apps":
+            lines = [
+                f"{'-> ' if name == self.active_app else '   '}{name}"
+                for name in self.dbgpt.app_names()
+            ]
+            return "\n".join(lines)
+        if command == "/app":
+            if not args:
+                return "usage: /app <name>"
+            name = args[0].lower()
+            if name not in self.dbgpt.app_names():
+                return (
+                    f"no app named {name!r}; known: "
+                    f"{', '.join(self.dbgpt.app_names())}"
+                )
+            self.active_app = name
+            return f"switched to {name}"
+        if command == "/metrics":
+            lines = [
+                f"{model}: {metrics}"
+                for model, metrics in self.dbgpt.model_metrics().items()
+            ]
+            return "\n".join(lines) or "no traffic yet"
+        return f"unknown command {command!r}; {_HELP}"
+
+    def run_commands(self, commands: Iterable[str]) -> list[str]:
+        """Batch mode: process each command, collecting the outputs."""
+        outputs = []
+        for command in commands:
+            outputs.append(self.handle(command))
+            if self.done:
+                break
+        return outputs
+
+
+def build_dbgpt(args: argparse.Namespace) -> DBGPT:
+    dbgpt = DBGPT.boot()
+    if args.csv:
+        dbgpt.register_source(CsvSource(args.csv))
+    else:
+        dbgpt.register_source(EngineSource(build_sales_database()))
+    return dbgpt
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Chat with your data (DB-GPT repro)."
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    parser.add_argument(
+        "--command",
+        action="append",
+        default=[],
+        help="run one command non-interactively (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    session = CliSession(build_dbgpt(args))
+
+    if args.command:
+        for output in session.run_commands(args.command):
+            print(output)
+        return 0
+
+    print("DB-GPT repro CLI — /help for commands")
+    print(f"active app: {session.active_app}")
+    while not session.done:
+        try:
+            line = input(f"{session.active_app}> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = session.handle(line)
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The DB-GPT core facade: one object wiring all four layers.
+
+:class:`DBGPT` boots the module layer (SMMF model serving, RAG
+knowledge base, agents), registers data sources, instantiates the
+application layer, and optionally mounts everything behind the server
+layer — the "complete solution" packaging the paper demonstrates.
+"""
+
+from repro.core.config import DbGptConfig, ModelConfig
+from repro.core.dbgpt import DBGPT
+from repro.core.session import ChatSession, ChatTurn
+
+__all__ = [
+    "ChatSession",
+    "ChatTurn",
+    "DBGPT",
+    "DbGptConfig",
+    "ModelConfig",
+]

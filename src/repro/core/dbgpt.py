@@ -1,0 +1,168 @@
+"""The DBGPT facade."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.agents.memory import AgentMemory
+from repro.apps.base import Application
+from repro.apps.chat2data import Chat2DataApp
+from repro.apps.chat2db import Chat2DbApp
+from repro.apps.chat2excel import Chat2ExcelApp
+from repro.apps.chat2viz import Chat2VizApp
+from repro.apps.data_analysis import GenerativeAnalysisApp
+from repro.apps.knowledge_qa import KnowledgeQAApp
+from repro.apps.sql2text import Sql2TextApp
+from repro.apps.text2sql import Text2SqlApp
+from repro.core.config import DbGptConfig, ModelConfig
+from repro.core.session import ChatSession
+from repro.datasources.base import DataSource
+from repro.datasources.excel_source import Workbook
+from repro.datasources.registry import DataSourceRegistry
+from repro.llm.chat_model import ChatModel
+from repro.llm.embedding_model import EmbeddingModel
+from repro.llm.planner_model import PlannerModel
+from repro.llm.sql_coder import SqlCoderModel
+from repro.rag.knowledge_base import KnowledgeBase
+from repro.rag.loaders import Loader
+from repro.server.middleware import (
+    AuthMiddleware,
+    LoggingMiddleware,
+    Middleware,
+    PrivacyMiddleware,
+)
+from repro.server.service import DbGptServer
+from repro.smmf.deploy import deploy
+from repro.smmf.spec import ModelSpec
+
+
+def _model_factory(config: ModelConfig):
+    builders = {
+        "sql-coder": lambda: SqlCoderModel(config.name),
+        "chat": lambda: ChatModel(config.name),
+        "planner": lambda: PlannerModel(config.name),
+        "embedding": lambda: EmbeddingModel(config.name),
+    }
+    return builders[config.kind]
+
+
+class DBGPT:
+    """Boot and operate a complete DB-GPT instance.
+
+    >>> # dbgpt = DBGPT.boot()
+    >>> # dbgpt.register_source(EngineSource(db))
+    >>> # dbgpt.chat("chat2db", "how many orders are there?")
+    """
+
+    def __init__(self, config: Optional[DbGptConfig] = None) -> None:
+        self.config = config or DbGptConfig()
+        self.controller, self.client = deploy(
+            [
+                ModelSpec(
+                    model.name,
+                    _model_factory(model),
+                    replicas=model.replicas,
+                    latency_ms=model.latency_ms,
+                )
+                for model in self.config.models
+            ]
+        )
+        self.sources = DataSourceRegistry()
+        self.knowledge = KnowledgeBase(name="dbgpt-knowledge")
+        self.memory = AgentMemory(self.config.memory_path)
+        self._apps: dict[str, Application] = {}
+        self._sessions: dict[str, ChatSession] = {}
+        self._default_source: Optional[DataSource] = None
+
+    @classmethod
+    def boot(cls, config: Optional[DbGptConfig] = None) -> "DBGPT":
+        return cls(config)
+
+    # -- data registration ---------------------------------------------------
+
+    def register_source(
+        self, source: DataSource, default: bool = False
+    ) -> None:
+        """Register a data source and build its applications."""
+        self.sources.register(source)
+        if default or self._default_source is None:
+            self._default_source = source
+            self._build_source_apps(source)
+
+    def register_workbook(self, workbook: Workbook) -> None:
+        self._apps["chat2excel"] = Chat2ExcelApp(self.client, workbook)
+
+    def load_knowledge(self, loader: Loader) -> int:
+        """Index documents and (re)build the knowledge QA app."""
+        count = self.knowledge.load(loader)
+        self._apps["knowledge_qa"] = KnowledgeQAApp(
+            self.client,
+            self.knowledge,
+            strategy=self.config.retrieval_strategy,
+        )
+        return count
+
+    def add_documents(self, documents) -> int:
+        count = self.knowledge.add_documents(documents)
+        self._apps["knowledge_qa"] = KnowledgeQAApp(
+            self.client,
+            self.knowledge,
+            strategy=self.config.retrieval_strategy,
+        )
+        return count
+
+    def _build_source_apps(self, source: DataSource) -> None:
+        self._apps["text2sql"] = Text2SqlApp(self.client, source)
+        self._apps["sql2text"] = Sql2TextApp(self.client)
+        self._apps["chat2db"] = Chat2DbApp(self.client, source)
+        self._apps["chat2data"] = Chat2DataApp(self.client, source)
+        self._apps["chat2viz"] = Chat2VizApp(self.client, source)
+        self._apps["data_analysis"] = GenerativeAnalysisApp(
+            self.client, source, memory=self.memory
+        )
+
+    # -- interaction -----------------------------------------------------------
+
+    def app(self, name: str) -> Application:
+        application = self._apps.get(name.lower())
+        if application is None:
+            raise KeyError(
+                f"no app named {name!r}; available: {self.app_names()}"
+            )
+        return application
+
+    def app_names(self) -> list[str]:
+        return sorted(self._apps)
+
+    def chat(self, app_name: str, text: str):
+        """One-shot interaction with an application."""
+        return self.app(app_name).chat(text)
+
+    def session(self, app_name: str) -> ChatSession:
+        """Start (or resume) a chat session with an application."""
+        key = app_name.lower()
+        if key not in self._sessions:
+            self._sessions[key] = ChatSession(self.app(key))
+        return self._sessions[key]
+
+    # -- server layer -----------------------------------------------------------
+
+    def server(
+        self, middlewares: Optional[list[Middleware]] = None
+    ) -> DbGptServer:
+        """Mount all applications behind the HTTP-shaped server."""
+        if middlewares is None:
+            middlewares = [LoggingMiddleware()]
+            if self.config.auth_token:
+                middlewares.append(AuthMiddleware(self.config.auth_token))
+            if self.config.privacy:
+                middlewares.append(PrivacyMiddleware())
+        server = DbGptServer(middlewares)
+        for application in self._apps.values():
+            server.register_app(application)
+        return server
+
+    # -- observability -------------------------------------------------------
+
+    def model_metrics(self) -> dict:
+        return self.controller.metrics.snapshot()

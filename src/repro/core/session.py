@@ -1,0 +1,56 @@
+"""Chat sessions: multi-turn interaction state per application."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.base import Application, AppResponse
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class ChatTurn:
+    """One user/assistant exchange."""
+
+    user: str
+    assistant: str
+    ok: bool
+    metadata: dict = field(default_factory=dict)
+
+
+class ChatSession:
+    """A conversation with one application (Figure 3, areas 1 and 7).
+
+    Keeps the turn history so the front-end can re-render the thread
+    and users can continue engaging with their data.
+    """
+
+    def __init__(self, app: Application, session_id: Optional[str] = None) -> None:
+        self.app = app
+        self.session_id = session_id or f"session-{next(_session_ids)}"
+        self.turns: list[ChatTurn] = []
+
+    def send(self, text: str) -> AppResponse:
+        response = self.app.chat(text)
+        self.turns.append(
+            ChatTurn(
+                user=text,
+                assistant=response.text,
+                ok=response.ok,
+                metadata=dict(response.metadata),
+            )
+        )
+        return response
+
+    def transcript(self) -> str:
+        lines = []
+        for turn in self.turns:
+            lines.append(f"user> {turn.user}")
+            lines.append(f"{self.app.name}> {turn.assistant}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.turns)

@@ -1,0 +1,34 @@
+"""Seeded synthetic datasets.
+
+The paper demonstrates on proprietary enterprise data we do not have;
+these generators produce the closest synthetic equivalents (documented
+in DESIGN.md):
+
+- :mod:`repro.datasets.sales` — the Figure 3 demo workload (orders with
+  product-category / user / month dimensions).
+- :mod:`repro.datasets.spider` — Spider-style (question, SQL) pairs over
+  several domain schemas, for Text-to-SQL training and evaluation.
+- :mod:`repro.datasets.documents` — a topical document corpus with gold
+  relevance labels, for RAG retrieval benchmarks.
+"""
+
+from repro.datasets.documents import CorpusSpec, QueryCase, build_corpus
+from repro.datasets.sales import build_sales_database, sales_summary
+from repro.datasets.spider import (
+    Text2SqlExample,
+    build_spider_database,
+    generate_examples,
+    list_domains,
+)
+
+__all__ = [
+    "CorpusSpec",
+    "QueryCase",
+    "Text2SqlExample",
+    "build_corpus",
+    "build_sales_database",
+    "build_spider_database",
+    "generate_examples",
+    "list_domains",
+    "sales_summary",
+]

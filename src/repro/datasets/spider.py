@@ -1,0 +1,642 @@
+"""Spider-style synthetic Text-to-SQL dataset.
+
+Four domain schemas, each with a *gold synonym lexicon*: the phrasing
+vocabulary real users employ ("clients" for the ``customers`` table,
+"earnings" for the ``cost`` column). Questions are generated from
+templates using those synonyms, in English and Chinese.
+
+The zero-shot Text-to-SQL model only knows the schema identifiers, so it
+misses synonym-phrased questions; fine-tuning (``repro.hub``) learns the
+synonym -> schema mappings from training pairs. This reproduces — with
+the same causal mechanism, domain vocabulary acquisition — the paper's
+claim that fine-tuned models beat zero-shot LLMs on domain Text-to-SQL.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sqlengine import Database
+
+
+@dataclass(frozen=True)
+class Text2SqlExample:
+    """One NL question paired with its gold SQL."""
+
+    question: str
+    sql: str
+    domain: str
+    language: str = "en"  # 'en' | 'zh'
+    template: str = ""
+
+
+@dataclass
+class _Domain:
+    name: str
+    ddl: list[str]
+    rows: dict[str, list[tuple]]
+    #: phrase -> (kind, target): kind is 'table' or 'column'.
+    synonyms: dict[str, tuple[str, str]]
+    #: numeric columns per table (aggregable)
+    numeric: dict[str, list[str]]
+    #: categorical columns per table (filterable/groupable)
+    categorical: dict[str, list[str]]
+    #: the human-readable label column per table
+    label_column: dict[str, str]
+    #: Chinese names for tables/columns (surface forms)
+    zh: dict[str, str] = field(default_factory=dict)
+    #: join paths for cross-table questions:
+    #: (fact table, join key, dimension table, dimension label column)
+    joins: list[tuple[str, str, str, str]] = field(default_factory=list)
+
+
+def _retail() -> _Domain:
+    return _Domain(
+        name="retail",
+        ddl=[
+            "CREATE TABLE customers (customer_id INTEGER PRIMARY KEY, "
+            "name TEXT, country TEXT, segment TEXT)",
+            "CREATE TABLE purchases (purchase_id INTEGER PRIMARY KEY, "
+            "customer_id INTEGER, item TEXT, cost REAL, qty INTEGER)",
+        ],
+        rows={
+            "customers": [
+                (1, "acme", "france", "enterprise"),
+                (2, "blue sky", "japan", "startup"),
+                (3, "corex", "france", "startup"),
+                (4, "delta", "brazil", "enterprise"),
+                (5, "ensoft", "japan", "smb"),
+                (6, "flywheel", "brazil", "smb"),
+            ],
+            "purchases": [
+                (1, 1, "widget", 120.0, 3),
+                (2, 1, "gadget", 80.0, 1),
+                (3, 2, "widget", 60.0, 2),
+                (4, 3, "doohickey", 200.0, 5),
+                (5, 4, "gadget", 150.0, 2),
+                (6, 5, "widget", 90.0, 1),
+                (7, 6, "doohickey", 45.0, 4),
+            ],
+        },
+        synonyms={
+            "clients": ("table", "customers"),
+            "buyers": ("table", "customers"),
+            "transactions": ("table", "purchases"),
+            "spend": ("column", "cost"),
+            "earnings": ("column", "cost"),
+            "market": ("column", "country"),
+            "tier": ("column", "segment"),
+        },
+        numeric={"purchases": ["cost", "qty"]},
+        categorical={
+            "customers": ["country", "segment"],
+            "purchases": ["item"],
+        },
+        label_column={"customers": "name", "purchases": "item"},
+        joins=[("purchases", "customer_id", "customers", "name")],
+        zh={
+            "customers": "客户",
+            "purchases": "采购记录",
+            "cost": "花费",
+            "qty": "数量",
+            "country": "国家",
+            "segment": "类型",
+            "item": "商品",
+            "name": "名称",
+        },
+    )
+
+
+def _hr() -> _Domain:
+    return _Domain(
+        name="hr",
+        ddl=[
+            "CREATE TABLE employees (emp_id INTEGER PRIMARY KEY, "
+            "name TEXT, dept TEXT, salary REAL, level INTEGER)",
+            "CREATE TABLE departments (dept TEXT PRIMARY KEY, "
+            "head TEXT, budget REAL)",
+        ],
+        rows={
+            "employees": [
+                (1, "ada", "engineering", 120.0, 5),
+                (2, "bob", "sales", 90.0, 3),
+                (3, "cara", "engineering", 110.0, 4),
+                (4, "dina", "finance", 95.0, 4),
+                (5, "egon", "sales", 70.0, 2),
+                (6, "fred", "finance", 105.0, 5),
+            ],
+            "departments": [
+                ("engineering", "ada", 900.0),
+                ("sales", "bob", 500.0),
+                ("finance", "dina", 650.0),
+            ],
+        },
+        synonyms={
+            "staff": ("table", "employees"),
+            "workers": ("table", "employees"),
+            "teams": ("table", "departments"),
+            "pay": ("column", "salary"),
+            "compensation": ("column", "salary"),
+            "grade": ("column", "level"),
+            "division": ("column", "dept"),
+        },
+        numeric={"employees": ["salary", "level"], "departments": ["budget"]},
+        categorical={"employees": ["dept"], "departments": ["head"]},
+        label_column={"employees": "name", "departments": "dept"},
+        zh={
+            "employees": "员工",
+            "departments": "部门",
+            "salary": "工资",
+            "level": "级别",
+            "dept": "部门名",
+            "budget": "预算",
+            "head": "负责人",
+            "name": "姓名",
+        },
+    )
+
+
+def _library() -> _Domain:
+    return _Domain(
+        name="library",
+        ddl=[
+            "CREATE TABLE books (book_id INTEGER PRIMARY KEY, title TEXT, "
+            "author TEXT, genre TEXT, pages INTEGER)",
+            "CREATE TABLE loans (loan_id INTEGER PRIMARY KEY, "
+            "book_id INTEGER, member TEXT, weeks INTEGER)",
+        ],
+        rows={
+            "books": [
+                (1, "dune", "herbert", "scifi", 412),
+                (2, "emma", "austen", "classic", 474),
+                (3, "foundation", "asimov", "scifi", 255),
+                (4, "gatsby", "fitzgerald", "classic", 180),
+                (5, "hyperion", "simmons", "scifi", 482),
+            ],
+            "loans": [
+                (1, 1, "mona", 2),
+                (2, 3, "nick", 1),
+                (3, 1, "olga", 3),
+                (4, 4, "pete", 2),
+                (5, 5, "mona", 4),
+            ],
+        },
+        synonyms={
+            "titles": ("table", "books"),
+            "volumes": ("table", "books"),
+            "checkouts": ("table", "loans"),
+            "borrowings": ("table", "loans"),
+            "length": ("column", "pages"),
+            "category": ("column", "genre"),
+            "writer": ("column", "author"),
+            "reader": ("column", "member"),
+        },
+        numeric={"books": ["pages"], "loans": ["weeks"]},
+        categorical={"books": ["genre", "author"], "loans": ["member"]},
+        label_column={"books": "title", "loans": "member"},
+        joins=[("loans", "book_id", "books", "title")],
+        zh={
+            "books": "图书",
+            "loans": "借阅记录",
+            "pages": "页数",
+            "genre": "类别",
+            "author": "作者",
+            "member": "会员",
+            "weeks": "周数",
+            "title": "书名",
+        },
+    )
+
+
+def _clinic() -> _Domain:
+    return _Domain(
+        name="clinic",
+        ddl=[
+            "CREATE TABLE patients (patient_id INTEGER PRIMARY KEY, "
+            "name TEXT, age INTEGER, city TEXT)",
+            "CREATE TABLE visits (visit_id INTEGER PRIMARY KEY, "
+            "patient_id INTEGER, doctor TEXT, fee REAL)",
+        ],
+        rows={
+            "patients": [
+                (1, "quin", 34, "lyon"),
+                (2, "rosa", 58, "nice"),
+                (3, "sam", 45, "lyon"),
+                (4, "tina", 29, "paris"),
+                (5, "uma", 61, "paris"),
+            ],
+            "visits": [
+                (1, 1, "dr gray", 50.0),
+                (2, 2, "dr wu", 75.0),
+                (3, 2, "dr gray", 60.0),
+                (4, 3, "dr wu", 90.0),
+                (5, 5, "dr li", 40.0),
+            ],
+        },
+        synonyms={
+            "cases": ("table", "patients"),
+            "appointments": ("table", "visits"),
+            "consultations": ("table", "visits"),
+            "charge": ("column", "fee"),
+            "billing": ("column", "fee"),
+            "physician": ("column", "doctor"),
+            "town": ("column", "city"),
+        },
+        numeric={"patients": ["age"], "visits": ["fee"]},
+        categorical={"patients": ["city"], "visits": ["doctor"]},
+        label_column={"patients": "name", "visits": "doctor"},
+        joins=[("visits", "patient_id", "patients", "name")],
+        zh={
+            "patients": "病人",
+            "visits": "就诊记录",
+            "age": "年龄",
+            "city": "城市",
+            "fee": "费用",
+            "doctor": "医生",
+            "name": "姓名",
+        },
+    )
+
+
+_DOMAINS = {
+    "retail": _retail,
+    "hr": _hr,
+    "library": _library,
+    "clinic": _clinic,
+}
+
+
+def list_domains() -> list[str]:
+    return sorted(_DOMAINS)
+
+
+def get_domain(name: str) -> _Domain:
+    factory = _DOMAINS.get(name)
+    if factory is None:
+        raise KeyError(f"unknown domain {name!r}; known: {list_domains()}")
+    return factory()
+
+
+def build_spider_database(domain: str) -> Database:
+    """Create and load the database for one domain."""
+    spec = get_domain(domain)
+    db = Database(domain)
+    for ddl in spec.ddl:
+        db.execute(ddl)
+    for table, rows in spec.rows.items():
+        db.insert_rows(table, rows)
+    return db
+
+
+def domain_synonyms(domain: str) -> dict[str, tuple[str, str]]:
+    """The gold synonym lexicon (what fine-tuning should recover)."""
+    return dict(get_domain(domain).synonyms)
+
+
+# ---------------------------------------------------------------------------
+# Question generation
+# ---------------------------------------------------------------------------
+
+
+def generate_examples(
+    domain: str,
+    n: int = 40,
+    seed: int = 0,
+    language: str = "en",
+    synonym_rate: float = 0.7,
+) -> list[Text2SqlExample]:
+    """Generate ``n`` (question, SQL) pairs for a domain.
+
+    ``synonym_rate`` is the probability a table/column mention uses a
+    domain synonym instead of its schema identifier — the knob that
+    separates zero-shot from fine-tuned accuracy.
+    """
+    spec = get_domain(domain)
+    rng = random.Random(seed)
+    examples = []
+    attempts = 0
+    # Some templates abstain on domains lacking the needed structure
+    # (e.g. join templates without a join path); keep drawing so the
+    # caller always gets exactly ``n`` examples.
+    while len(examples) < n and attempts < n * 10:
+        attempts += 1
+        template = rng.choice(_TEMPLATES)
+        example = template(spec, rng, language, synonym_rate)
+        if example is not None:
+            examples.append(example)
+    return examples
+
+
+def _surface(
+    spec: _Domain,
+    rng: random.Random,
+    kind: str,
+    target: str,
+    language: str,
+    synonym_rate: float,
+) -> str:
+    """Pick the phrase used for a table/column mention."""
+    if language == "zh":
+        return spec.zh.get(target, target)
+    candidates = [
+        phrase
+        for phrase, (k, t) in spec.synonyms.items()
+        if k == kind and t == target
+    ]
+    if candidates and rng.random() < synonym_rate:
+        return rng.choice(candidates)
+    return target.replace("_", " ")
+
+
+def _pick_numeric(spec: _Domain, rng: random.Random):
+    table = rng.choice([t for t, cols in spec.numeric.items() if cols])
+    return table, rng.choice(spec.numeric[table])
+
+
+def _pick_categorical(spec: _Domain, rng: random.Random, table: Optional[str] = None):
+    if table is None or table not in spec.categorical:
+        table = rng.choice([t for t, cols in spec.categorical.items() if cols])
+    column = rng.choice(spec.categorical[table])
+    column_index = _column_position(spec, table, column)
+    value = rng.choice(spec.rows[table])[column_index]
+    return table, column, value
+
+
+def _column_position(spec: _Domain, table: str, column: str) -> int:
+    ddl = next(d for d in spec.ddl if f"TABLE {table} " in d)
+    inside = ddl[ddl.index("(") + 1 : ddl.rindex(")")]
+    names = [part.strip().split()[0] for part in inside.split(",")]
+    return names.index(column)
+
+
+def _count_all(spec, rng, language, synonym_rate):
+    table = rng.choice(list(spec.rows))
+    mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    if language == "zh":
+        question = f"{mention}一共有多少个？"
+    else:
+        question = f"How many {mention} are there?"
+    return Text2SqlExample(
+        question, f"SELECT COUNT(*) FROM {table}", spec.name, language,
+        template="count_all",
+    )
+
+
+def _avg_column(spec, rng, language, synonym_rate):
+    table, column = _pick_numeric(spec, rng)
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    if language == "zh":
+        question = f"{table_mention}的平均{column_mention}是多少？"
+    else:
+        question = f"What is the average {column_mention} of the {table_mention}?"
+    return Text2SqlExample(
+        question, f"SELECT AVG({column}) FROM {table}", spec.name, language,
+        template="avg_column",
+    )
+
+
+def _sum_column(spec, rng, language, synonym_rate):
+    table, column = _pick_numeric(spec, rng)
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    if language == "zh":
+        question = f"{table_mention}的总{column_mention}是多少？"
+    else:
+        question = f"What is the total {column_mention} of the {table_mention}?"
+    return Text2SqlExample(
+        question, f"SELECT SUM({column}) FROM {table}", spec.name, language,
+        template="sum_column",
+    )
+
+
+def _minmax_column(spec, rng, language, synonym_rate):
+    table, column = _pick_numeric(spec, rng)
+    fn = rng.choice(["MAX", "MIN"])
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    if language == "zh":
+        word = "最大" if fn == "MAX" else "最小"
+        question = f"{table_mention}的{word}{column_mention}是多少？"
+    else:
+        word = "maximum" if fn == "MAX" else "minimum"
+        question = f"What is the {word} {column_mention} of the {table_mention}?"
+    return Text2SqlExample(
+        question, f"SELECT {fn}({column}) FROM {table}", spec.name, language,
+        template="minmax_column",
+    )
+
+
+def _list_filtered(spec, rng, language, synonym_rate):
+    table, column, value = _pick_categorical(spec, rng)
+    label = spec.label_column[table]
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    label_mention = _surface(spec, rng, "column", label, language, synonym_rate)
+    if language == "zh":
+        question = f"列出{column_mention}为{value}的{table_mention}的{label_mention}。"
+    else:
+        question = (
+            f"List the {label_mention} of the {table_mention} "
+            f"whose {column_mention} is {value}."
+        )
+    sql = f"SELECT {label} FROM {table} WHERE {column} = '{value}'"
+    return Text2SqlExample(question, sql, spec.name, language, template="list_filtered")
+
+
+def _count_filtered(spec, rng, language, synonym_rate):
+    table, column, value = _pick_categorical(spec, rng)
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    if language == "zh":
+        question = f"{column_mention}为{value}的{table_mention}有多少个？"
+    else:
+        question = (
+            f"How many {table_mention} have {column_mention} {value}?"
+        )
+    sql = f"SELECT COUNT(*) FROM {table} WHERE {column} = '{value}'"
+    return Text2SqlExample(question, sql, spec.name, language, template="count_filtered")
+
+
+def _group_count(spec, rng, language, synonym_rate):
+    table = rng.choice([t for t, cols in spec.categorical.items() if cols])
+    column = rng.choice(spec.categorical[table])
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    if language == "zh":
+        question = f"每个{column_mention}有多少个{table_mention}？"
+    else:
+        question = f"How many {table_mention} are there per {column_mention}?"
+    sql = f"SELECT {column}, COUNT(*) FROM {table} GROUP BY {column}"
+    return Text2SqlExample(question, sql, spec.name, language, template="group_count")
+
+
+def _top_n(spec, rng, language, synonym_rate):
+    table, column = _pick_numeric(spec, rng)
+    label = spec.label_column[table]
+    n = rng.randint(2, 3)
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    label_mention = _surface(spec, rng, "column", label, language, synonym_rate)
+    if language == "zh":
+        question = (
+            f"{column_mention}最高的{n}个{table_mention}的{label_mention}是什么？"
+        )
+    else:
+        question = (
+            f"What are the {label_mention} of the top {n} {table_mention} "
+            f"by {column_mention}?"
+        )
+    sql = (
+        f"SELECT {label} FROM {table} ORDER BY {column} DESC LIMIT {n}"
+    )
+    return Text2SqlExample(question, sql, spec.name, language, template="top_n")
+
+
+def _distinct_values(spec, rng, language, synonym_rate):
+    table = rng.choice([t for t, cols in spec.categorical.items() if cols])
+    column = rng.choice(spec.categorical[table])
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    if language == "zh":
+        question = f"列出{table_mention}所有不同的{column_mention}。"
+    else:
+        question = (
+            f"List all the distinct {column_mention} of the {table_mention}."
+        )
+    sql = f"SELECT DISTINCT {column} FROM {table}"
+    return Text2SqlExample(question, sql, spec.name, language, template="distinct_values")
+
+
+def _count_distinct(spec, rng, language, synonym_rate):
+    table = rng.choice([t for t, cols in spec.categorical.items() if cols])
+    column = rng.choice(spec.categorical[table])
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    column_mention = _surface(spec, rng, "column", column, language, synonym_rate)
+    if language == "zh":
+        question = f"{table_mention}一共有多少个不同的{column_mention}？"
+    else:
+        question = (
+            f"How many different {column_mention} do the "
+            f"{table_mention} have?"
+        )
+    sql = f"SELECT COUNT(DISTINCT {column}) FROM {table}"
+    return Text2SqlExample(
+        question, sql, spec.name, language, template="count_distinct"
+    )
+
+
+def _avg_group(spec, rng, language, synonym_rate):
+    table, measure = _pick_numeric(spec, rng)
+    if table not in spec.categorical or not spec.categorical[table]:
+        return None
+    group = rng.choice(spec.categorical[table])
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    measure_mention = _surface(spec, rng, "column", measure, language, synonym_rate)
+    group_mention = _surface(spec, rng, "column", group, language, synonym_rate)
+    if language == "zh":
+        question = f"每个{group_mention}的平均{measure_mention}是多少？"
+    else:
+        question = (
+            f"What is the average {measure_mention} per {group_mention}?"
+        )
+    sql = f"SELECT {group}, AVG({measure}) FROM {table} GROUP BY {group}"
+    return Text2SqlExample(
+        question, sql, spec.name, language, template="avg_group"
+    )
+
+
+def _list_between(spec, rng, language, synonym_rate):
+    table, measure = _pick_numeric(spec, rng)
+    label = spec.label_column[table]
+    position = _column_position(spec, table, measure)
+    values = sorted(row[position] for row in spec.rows[table])
+    low, high = values[0], values[-1]
+    table_mention = _surface(spec, rng, "table", table, language, synonym_rate)
+    measure_mention = _surface(spec, rng, "column", measure, language, synonym_rate)
+    label_mention = _surface(spec, rng, "column", label, language, synonym_rate)
+    if language == "zh":
+        # Chinese range phrasing is out of the simulated model's scope;
+        # fall back to another template for zh generations.
+        return _list_filtered(spec, rng, language, synonym_rate)
+    question = (
+        f"List the {label_mention} of the {table_mention} with "
+        f"{measure_mention} between {low:g} and {high:g}."
+    )
+    sql = (
+        f"SELECT {label} FROM {table} "
+        f"WHERE {measure} BETWEEN {low:g} AND {high:g}"
+    )
+    return Text2SqlExample(
+        question, sql, spec.name, language, template="list_between"
+    )
+
+
+def _join_count(spec, rng, language, synonym_rate):
+    """Cross-table count: filter the fact table by a dimension value."""
+    if not spec.joins:
+        return None
+    fact, key, dim, dim_label = rng.choice(spec.joins)
+    label_position = _column_position(spec, dim, dim_label)
+    value = rng.choice(spec.rows[dim])[label_position]
+    fact_mention = _surface(spec, rng, "table", fact, language, synonym_rate)
+    if language == "zh":
+        question = f"{value}有多少个{fact_mention}？"
+    else:
+        question = f"How many {fact_mention} does {value} have?"
+    sql = (
+        f"SELECT COUNT(*) FROM {fact} JOIN {dim} "
+        f"ON {fact}.{key} = {dim}.{key} "
+        f"WHERE {dim}.{dim_label} = '{value}'"
+    )
+    return Text2SqlExample(
+        question, sql, spec.name, language, template="join_count"
+    )
+
+
+def _join_sum(spec, rng, language, synonym_rate):
+    """Cross-table aggregate: total a fact measure for one dim value."""
+    if not spec.joins:
+        return None
+    fact, key, dim, dim_label = rng.choice(spec.joins)
+    numerics = spec.numeric.get(fact, [])
+    if not numerics:
+        return None
+    measure = rng.choice(numerics)
+    label_position = _column_position(spec, dim, dim_label)
+    value = rng.choice(spec.rows[dim])[label_position]
+    measure_mention = _surface(
+        spec, rng, "column", measure, language, synonym_rate
+    )
+    if language == "zh":
+        question = f"{value}的总{measure_mention}是多少？"
+    else:
+        question = f"What is the total {measure_mention} of {value}?"
+    sql = (
+        f"SELECT SUM({fact}.{measure}) FROM {fact} JOIN {dim} "
+        f"ON {fact}.{key} = {dim}.{key} "
+        f"WHERE {dim}.{dim_label} = '{value}'"
+    )
+    return Text2SqlExample(
+        question, sql, spec.name, language, template="join_sum"
+    )
+
+
+_TEMPLATES = [
+    _count_all,
+    _avg_column,
+    _sum_column,
+    _minmax_column,
+    _list_filtered,
+    _count_filtered,
+    _group_count,
+    _top_n,
+    _distinct_values,
+    _count_distinct,
+    _avg_group,
+    _list_between,
+    _join_count,
+    _join_sum,
+]

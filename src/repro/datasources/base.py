@@ -1,0 +1,72 @@
+"""The uniform data source interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.sqlengine import ResultSet
+
+
+class DataSourceError(Exception):
+    """Raised when a connector cannot satisfy a request."""
+
+
+@dataclass
+class TableInfo:
+    """Lightweight table description shown to users and LLM prompts."""
+
+    name: str
+    columns: list[str]
+    column_types: list[str]
+    row_count: int
+    comment: str = ""
+
+    def describe(self) -> str:
+        cols = ", ".join(
+            f"{name} {ctype}"
+            for name, ctype in zip(self.columns, self.column_types)
+        )
+        return f"{self.name}({cols}) [{self.row_count} rows]"
+
+
+class DataSource(abc.ABC):
+    """A queryable collection of tables.
+
+    Every connector supports the same four operations so the application
+    layer (and the agents) never special-case the backing store.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def tables(self) -> list[TableInfo]:
+        """List the tables this source exposes."""
+
+    @abc.abstractmethod
+    def query(self, sql: str, parameters: Sequence[Any] = ()) -> ResultSet:
+        """Run a SQL query against the source."""
+
+    def describe_schema(self) -> str:
+        """Schema text injected into Text-to-SQL prompts."""
+        return "\n".join(info.describe() for info in self.tables())
+
+    def table_names(self) -> list[str]:
+        return [info.name for info in self.tables()]
+
+    def has_table(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(info.name.lower() == lowered for info in self.tables())
+
+    def sample_rows(self, table: str, limit: int = 5) -> ResultSet:
+        """A few example rows, used for few-shot prompt context."""
+        if not self.has_table(table):
+            raise DataSourceError(
+                f"source {self.name!r} has no table {table!r}"
+            )
+        return self.query(f"SELECT * FROM {table} LIMIT {int(limit)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,92 @@
+"""Connector for directories of CSV files."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Any, Iterable
+
+from repro.datasources.base import DataSourceError
+from repro.datasources.engine_source import EngineSource
+from repro.sqlengine import Database
+
+
+def _parse_cell(text: str) -> Any:
+    """Best-effort typed parse of one CSV cell."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def read_csv_records(path: pathlib.Path | str) -> list[dict[str, Any]]:
+    """Read a CSV file into typed dict records."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise DataSourceError(f"no such CSV file: {path}")
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataSourceError(f"CSV file {path} has no header row")
+        records = [
+            {key: _parse_cell(value) for key, value in row.items()}
+            for row in reader
+        ]
+    if not records:
+        raise DataSourceError(f"CSV file {path} has no data rows")
+    return records
+
+
+def write_csv_records(
+    path: pathlib.Path | str,
+    records: Iterable[dict[str, Any]],
+) -> None:
+    """Write dict records to a CSV file (inverse of read_csv_records)."""
+    records = list(records)
+    if not records:
+        raise DataSourceError("cannot write zero records")
+    path = pathlib.Path(path)
+    fieldnames = list(records[0].keys())
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(
+                {
+                    key: "" if value is None else value
+                    for key, value in record.items()
+                }
+            )
+
+
+class CsvSource(EngineSource):
+    """A directory of ``*.csv`` files, one table per file.
+
+    The file stem becomes the table name (``sales.csv`` -> ``sales``).
+    """
+
+    def __init__(
+        self, directory: pathlib.Path | str, name: str | None = None
+    ) -> None:
+        directory = pathlib.Path(directory)
+        if not directory.is_dir():
+            raise DataSourceError(f"no such directory: {directory}")
+        database = Database(name or directory.name)
+        files = sorted(directory.glob("*.csv"))
+        if not files:
+            raise DataSourceError(f"no CSV files found in {directory}")
+        for file_path in files:
+            records = read_csv_records(file_path)
+            database.load_table(file_path.stem, records)
+        super().__init__(database, name or directory.name)
+        self.directory = directory

@@ -1,0 +1,327 @@
+"""Workbook model and connector for chat2excel.
+
+The paper's chat2excel lets users converse with spreadsheet data. We
+model a workbook as named sheets of rows; sheets load into the SQL
+engine so natural-language questions compile to SQL over them. A
+minimal XLSX reader/writer (zip + SpreadsheetML, no third-party
+dependencies) round-trips real ``.xlsx`` files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import zipfile
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+from xml.etree import ElementTree
+
+from repro.datasources.base import DataSourceError
+from repro.datasources.engine_source import EngineSource
+from repro.sqlengine import Database
+
+_NS = "{http://schemas.openxmlformats.org/spreadsheetml/2006/main}"
+_REL_NS = (
+    "{http://schemas.openxmlformats.org/officeDocument/2006/relationships}"
+)
+
+
+@dataclass
+class Sheet:
+    """One worksheet: a header row plus data rows."""
+
+    name: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    @classmethod
+    def from_records(
+        cls, name: str, records: Sequence[dict[str, Any]]
+    ) -> "Sheet":
+        if not records:
+            raise DataSourceError(f"sheet {name!r} needs at least one record")
+        columns = list(records[0].keys())
+        rows = [[record.get(column) for column in columns] for record in records]
+        return cls(name, columns, rows)
+
+
+class Workbook:
+    """An ordered collection of sheets with XLSX round-trip support."""
+
+    def __init__(self, sheets: Sequence[Sheet] = ()) -> None:
+        self.sheets: list[Sheet] = list(sheets)
+
+    def sheet(self, name: str) -> Sheet:
+        lowered = name.lower()
+        for sheet in self.sheets:
+            if sheet.name.lower() == lowered:
+                return sheet
+        raise DataSourceError(f"no sheet named {name!r}")
+
+    def add_sheet(self, sheet: Sheet) -> None:
+        if any(s.name.lower() == sheet.name.lower() for s in self.sheets):
+            raise DataSourceError(f"sheet {sheet.name!r} already exists")
+        self.sheets.append(sheet)
+
+    def sheet_names(self) -> list[str]:
+        return [sheet.name for sheet in self.sheets]
+
+    # -- XLSX round trip ---------------------------------------------------
+
+    def save_xlsx(self, path: pathlib.Path | str) -> None:
+        """Write a minimal but valid ``.xlsx`` file."""
+        if not self.sheets:
+            raise DataSourceError("cannot save an empty workbook")
+        path = pathlib.Path(path)
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr("[Content_Types].xml", _content_types(self))
+            archive.writestr("_rels/.rels", _ROOT_RELS)
+            archive.writestr(
+                "xl/workbook.xml", _workbook_xml(self.sheet_names())
+            )
+            archive.writestr(
+                "xl/_rels/workbook.xml.rels",
+                _workbook_rels(len(self.sheets)),
+            )
+            for index, sheet in enumerate(self.sheets, start=1):
+                archive.writestr(
+                    f"xl/worksheets/sheet{index}.xml", _sheet_xml(sheet)
+                )
+
+    @classmethod
+    def load_xlsx(cls, path: pathlib.Path | str) -> "Workbook":
+        """Read a ``.xlsx`` file (inline and shared strings supported)."""
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise DataSourceError(f"no such workbook: {path}")
+        with zipfile.ZipFile(path) as archive:
+            shared = _read_shared_strings(archive)
+            names_and_targets = _read_sheet_index(archive)
+            sheets = []
+            for sheet_name, target in names_and_targets:
+                xml = archive.read(f"xl/{target}")
+                sheets.append(_parse_sheet(sheet_name, xml, shared))
+        return cls(sheets)
+
+
+class ExcelSource(EngineSource):
+    """Query a :class:`Workbook` with SQL (one table per sheet)."""
+
+    def __init__(self, workbook: Workbook, name: str = "workbook") -> None:
+        if not workbook.sheets:
+            raise DataSourceError("workbook has no sheets")
+        database = Database(name)
+        for sheet in workbook.sheets:
+            table_name = _safe_table_name(sheet.name)
+            database.load_table(table_name, sheet.to_records())
+        super().__init__(database, name)
+        self.workbook = workbook
+
+    @classmethod
+    def from_xlsx(
+        cls, path: pathlib.Path | str, name: str | None = None
+    ) -> "ExcelSource":
+        workbook = Workbook.load_xlsx(path)
+        return cls(workbook, name or pathlib.Path(path).stem)
+
+
+def _safe_table_name(sheet_name: str) -> str:
+    cleaned = re.sub(r"\W+", "_", sheet_name.strip()).strip("_")
+    return cleaned.lower() or "sheet"
+
+
+# ---------------------------------------------------------------------------
+# XLSX writing helpers
+# ---------------------------------------------------------------------------
+
+_ROOT_RELS = (
+    '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>'
+    '<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/'
+    'relationships"><Relationship Id="rId1" Type="http://schemas.openxml'
+    'formats.org/officeDocument/2006/relationships/officeDocument" '
+    'Target="xl/workbook.xml"/></Relationships>'
+)
+
+
+def _content_types(workbook: Workbook) -> str:
+    overrides = "".join(
+        f'<Override PartName="/xl/worksheets/sheet{i}.xml" ContentType='
+        '"application/vnd.openxmlformats-officedocument.spreadsheetml.'
+        'worksheet+xml"/>'
+        for i in range(1, len(workbook.sheets) + 1)
+    )
+    return (
+        '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>'
+        '<Types xmlns="http://schemas.openxmlformats.org/package/2006/'
+        'content-types">'
+        '<Default Extension="rels" ContentType="application/vnd.openxml'
+        'formats-package.relationships+xml"/>'
+        '<Default Extension="xml" ContentType="application/xml"/>'
+        '<Override PartName="/xl/workbook.xml" ContentType="application/'
+        'vnd.openxmlformats-officedocument.spreadsheetml.sheet.main+xml"/>'
+        f"{overrides}</Types>"
+    )
+
+
+def _workbook_xml(names: list[str]) -> str:
+    sheets = "".join(
+        f'<sheet name="{_xml_escape(name)}" sheetId="{i}" r:id="rId{i}"/>'
+        for i, name in enumerate(names, start=1)
+    )
+    return (
+        '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>'
+        '<workbook xmlns="http://schemas.openxmlformats.org/spreadsheetml/'
+        '2006/main" xmlns:r="http://schemas.openxmlformats.org/office'
+        f'Document/2006/relationships"><sheets>{sheets}</sheets></workbook>'
+    )
+
+
+def _workbook_rels(count: int) -> str:
+    rels = "".join(
+        f'<Relationship Id="rId{i}" Type="http://schemas.openxmlformats.org/'
+        'officeDocument/2006/relationships/worksheet" '
+        f'Target="worksheets/sheet{i}.xml"/>'
+        for i in range(1, count + 1)
+    )
+    return (
+        '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>'
+        '<Relationships xmlns="http://schemas.openxmlformats.org/package/'
+        f'2006/relationships">{rels}</Relationships>'
+    )
+
+
+def _sheet_xml(sheet: Sheet) -> str:
+    lines = []
+    all_rows = [sheet.columns] + sheet.rows
+    for row_index, row in enumerate(all_rows, start=1):
+        cells = []
+        for col_index, value in enumerate(row):
+            ref = f"{_column_letter(col_index)}{row_index}"
+            cells.append(_cell_xml(ref, value))
+        lines.append(f'<row r="{row_index}">{"".join(cells)}</row>')
+    return (
+        '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>'
+        '<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/'
+        f'2006/main"><sheetData>{"".join(lines)}</sheetData></worksheet>'
+    )
+
+
+def _cell_xml(ref: str, value: Any) -> str:
+    if value is None:
+        return f'<c r="{ref}"/>'
+    if isinstance(value, bool):
+        return f'<c r="{ref}" t="b"><v>{int(value)}</v></c>'
+    if isinstance(value, (int, float)):
+        return f'<c r="{ref}"><v>{value}</v></c>'
+    escaped = _xml_escape(str(value))
+    return f'<c r="{ref}" t="inlineStr"><is><t>{escaped}</t></is></c>'
+
+
+def _column_letter(index: int) -> str:
+    letters = ""
+    index += 1
+    while index:
+        index, remainder = divmod(index - 1, 26)
+        letters = chr(ord("A") + remainder) + letters
+    return letters
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+# ---------------------------------------------------------------------------
+# XLSX reading helpers
+# ---------------------------------------------------------------------------
+
+
+def _read_shared_strings(archive: zipfile.ZipFile) -> list[str]:
+    try:
+        xml = archive.read("xl/sharedStrings.xml")
+    except KeyError:
+        return []
+    root = ElementTree.fromstring(xml)
+    strings = []
+    for si in root.findall(f"{_NS}si"):
+        strings.append("".join(t.text or "" for t in si.iter(f"{_NS}t")))
+    return strings
+
+
+def _read_sheet_index(archive: zipfile.ZipFile) -> list[tuple[str, str]]:
+    workbook_root = ElementTree.fromstring(archive.read("xl/workbook.xml"))
+    rels_root = ElementTree.fromstring(
+        archive.read("xl/_rels/workbook.xml.rels")
+    )
+    rel_targets = {
+        rel.get("Id"): rel.get("Target")
+        for rel in rels_root
+    }
+    pairs = []
+    for sheet in workbook_root.iter(f"{_NS}sheet"):
+        rel_id = sheet.get(f"{_REL_NS}id")
+        target = rel_targets.get(rel_id)
+        if target is None:
+            raise DataSourceError(
+                f"sheet {sheet.get('name')!r} has no relationship target"
+            )
+        pairs.append((sheet.get("name"), target.lstrip("/")))
+    return pairs
+
+
+def _parse_sheet(name: str, xml: bytes, shared: list[str]) -> Sheet:
+    root = ElementTree.fromstring(xml)
+    grid: list[list[Any]] = []
+    for row in root.iter(f"{_NS}row"):
+        values: dict[int, Any] = {}
+        for cell in row.findall(f"{_NS}c"):
+            column_index = _parse_column_index(cell.get("r", "A1"))
+            values[column_index] = _parse_cell_value(cell, shared)
+        if not values:
+            continue
+        width = max(values) + 1
+        grid.append([values.get(i) for i in range(width)])
+    if not grid:
+        raise DataSourceError(f"sheet {name!r} is empty")
+    width = max(len(row) for row in grid)
+    grid = [row + [None] * (width - len(row)) for row in grid]
+    header = ["" if v is None else str(v) for v in grid[0]]
+    return Sheet(name, header, grid[1:])
+
+
+def _parse_column_index(ref: str) -> int:
+    letters = "".join(ch for ch in ref if ch.isalpha())
+    index = 0
+    for ch in letters:
+        index = index * 26 + (ord(ch.upper()) - ord("A") + 1)
+    return index - 1
+
+
+def _parse_cell_value(cell, shared: list[str]) -> Any:
+    cell_type = cell.get("t", "n")
+    if cell_type == "inlineStr":
+        return "".join(t.text or "" for t in cell.iter(f"{_NS}t"))
+    v = cell.find(f"{_NS}v")
+    if v is None or v.text is None:
+        return None
+    text = v.text
+    if cell_type == "s":
+        return shared[int(text)]
+    if cell_type == "b":
+        return text == "1"
+    if cell_type == "str":
+        return text
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    if number.is_integer():
+        return int(number)
+    return number

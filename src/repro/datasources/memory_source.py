@@ -1,0 +1,41 @@
+"""Connector for plain Python records (chat2data over in-memory frames)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.datasources.base import DataSourceError
+from repro.datasources.engine_source import EngineSource
+from repro.sqlengine import Database
+
+
+class MemorySource(EngineSource):
+    """A data source built from lists of dict records.
+
+    Records are loaded into a private SQL engine so the full query
+    surface works over them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tables: dict[str, Sequence[dict[str, Any]]],
+    ) -> None:
+        database = Database(name)
+        for table_name, records in tables.items():
+            if not records:
+                raise DataSourceError(
+                    f"table {table_name!r} needs at least one record "
+                    "to infer a schema"
+                )
+            database.load_table(table_name, list(records))
+        super().__init__(database, name)
+
+    def add_table(
+        self, table_name: str, records: Sequence[dict[str, Any]]
+    ) -> None:
+        if not records:
+            raise DataSourceError(
+                f"table {table_name!r} needs at least one record"
+            )
+        self.database.load_table(table_name, list(records))

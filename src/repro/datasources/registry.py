@@ -1,0 +1,81 @@
+"""Connection-string registry for data sources.
+
+Mirrors the paper's "multiple data sources" design: applications name a
+source by URI and the registry resolves the connector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasources.base import DataSource, DataSourceError
+
+
+class DataSourceRegistry:
+    """Name -> source registry with URI-based construction.
+
+    >>> registry = DataSourceRegistry()
+    >>> from repro.sqlengine import Database
+    >>> from repro.datasources import EngineSource
+    >>> registry.register(EngineSource(Database("sales")))
+    >>> registry.get("sales").name
+    'sales'
+    """
+
+    def __init__(self) -> None:
+        self._sources: dict[str, DataSource] = {}
+        self._schemes: dict[str, Callable[[str], DataSource]] = {
+            "csv": self._connect_csv,
+            "xlsx": self._connect_xlsx,
+        }
+
+    def register(self, source: DataSource) -> None:
+        key = source.name.lower()
+        if key in self._sources:
+            raise DataSourceError(
+                f"a source named {source.name!r} is already registered"
+            )
+        self._sources[key] = source
+
+    def unregister(self, name: str) -> None:
+        if name.lower() not in self._sources:
+            raise DataSourceError(f"no source named {name!r}")
+        del self._sources[name.lower()]
+
+    def get(self, name: str) -> DataSource:
+        source = self._sources.get(name.lower())
+        if source is None:
+            raise DataSourceError(
+                f"no source named {name!r}; known: {self.names()}"
+            )
+        return source
+
+    def names(self) -> list[str]:
+        return sorted(source.name for source in self._sources.values())
+
+    def connect(self, uri: str) -> DataSource:
+        """Create, register and return a source from a URI.
+
+        Supported: ``csv:///path/to/dir`` and ``xlsx:///path/to/file``.
+        """
+        scheme, _, rest = uri.partition("://")
+        factory = self._schemes.get(scheme.lower())
+        if factory is None:
+            raise DataSourceError(
+                f"unknown scheme {scheme!r}; known: {sorted(self._schemes)}"
+            )
+        source = factory(rest)
+        self.register(source)
+        return source
+
+    @staticmethod
+    def _connect_csv(path: str) -> DataSource:
+        from repro.datasources.csv_source import CsvSource
+
+        return CsvSource(path)
+
+    @staticmethod
+    def _connect_xlsx(path: str) -> DataSource:
+        from repro.datasources.excel_source import ExcelSource
+
+        return ExcelSource.from_xlsx(path)

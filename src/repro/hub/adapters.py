@@ -1,0 +1,104 @@
+"""Adapters: attachable lexicon deltas (the LoRA analogue).
+
+A :class:`LexiconAdapter` is a named set of learned synonyms that can
+be attached to a base :class:`SqlCoderModel` without copying it —
+multiple domain adapters can be managed and swapped, mirroring how
+DB-GPT-Hub users keep per-domain fine-tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.sql_coder import SqlCoderModel
+from repro.nlu.lexicon import Lexicon, LexiconEntry
+
+
+@dataclass
+class LexiconAdapter:
+    """A named learned-synonym delta."""
+
+    name: str
+    lexicon: Lexicon = field(default_factory=Lexicon)
+
+    def __len__(self) -> int:
+        return len(self.lexicon)
+
+    # -- serialization (share/reload fine-tunes like weight files) -----
+
+    def save(self, path) -> None:
+        import json
+        import pathlib
+
+        entries = []
+        for phrase in self.lexicon.phrases():
+            for entry in self.lexicon.lookup(phrase):
+                entries.append(
+                    {
+                        "phrase": entry.phrase,
+                        "kind": entry.kind,
+                        "target": entry.target,
+                        "table": entry.table,
+                        "weight": entry.weight,
+                    }
+                )
+        pathlib.Path(path).write_text(
+            json.dumps({"name": self.name, "entries": entries},
+                       ensure_ascii=False)
+        )
+
+    @classmethod
+    def load(cls, path) -> "LexiconAdapter":
+        import json
+        import pathlib
+
+        payload = json.loads(pathlib.Path(path).read_text())
+        lexicon = Lexicon.from_entries(
+            LexiconEntry(
+                phrase=item["phrase"],
+                kind=item["kind"],
+                target=item["target"],
+                table=item.get("table"),
+                weight=item.get("weight", 1.0),
+            )
+            for item in payload["entries"]
+        )
+        return cls(name=payload["name"], lexicon=lexicon)
+
+    def apply_to(
+        self, base: SqlCoderModel, model_name: str | None = None
+    ) -> SqlCoderModel:
+        """Build a tuned model = base lexicon + this adapter."""
+        merged = base.lexicon.copy()
+        merged.merge(self.lexicon)
+        return SqlCoderModel(
+            name=model_name or f"{base.name}+{self.name}",
+            lexicon=merged,
+        )
+
+
+class AdapterRegistry:
+    """Named adapter store (per-domain fine-tunes)."""
+
+    def __init__(self) -> None:
+        self._adapters: dict[str, LexiconAdapter] = {}
+
+    def register(self, adapter: LexiconAdapter) -> None:
+        key = adapter.name.lower()
+        if key in self._adapters:
+            raise ValueError(f"adapter {adapter.name!r} already registered")
+        self._adapters[key] = adapter
+
+    def get(self, name: str) -> LexiconAdapter:
+        adapter = self._adapters.get(name.lower())
+        if adapter is None:
+            raise KeyError(
+                f"no adapter named {name!r}; known: {self.names()}"
+            )
+        return adapter
+
+    def names(self) -> list[str]:
+        return sorted(a.name for a in self._adapters.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._adapters

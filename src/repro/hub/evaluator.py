@@ -1,0 +1,94 @@
+"""Text-to-SQL evaluation: exact match and execution accuracy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.spider import Text2SqlExample
+from repro.llm.prompts import build_text2sql_prompt
+from repro.llm.base import GenerationRequest, LLMError
+from repro.llm.sql_coder import SqlCoderModel
+from repro.datasources.base import DataSource
+from repro.sqlengine import Database, SqlEngineError, parse_sql
+
+
+def canonical_sql(sql: str) -> str:
+    """Canonical form via parse -> to_sql (whitespace/paren neutral)."""
+    return parse_sql(sql).to_sql().upper()
+
+
+def exact_match(predicted: str, gold: str) -> bool:
+    try:
+        return canonical_sql(predicted) == canonical_sql(gold)
+    except SqlEngineError:
+        return False
+
+
+def execution_match(db: Database, predicted: str, gold: str) -> bool:
+    """Same multiset of result rows (order-insensitive)."""
+    try:
+        got = db.execute(predicted)
+        expected = db.execute(gold)
+    except SqlEngineError:
+        return False
+    return sorted(map(repr, got.rows)) == sorted(map(repr, expected.rows))
+
+
+@dataclass
+class EvalReport:
+    model: str
+    total: int
+    exact: int = 0
+    executed: int = 0
+    errors: int = 0
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def exact_accuracy(self) -> float:
+        return self.exact / self.total if self.total else 0.0
+
+    @property
+    def execution_accuracy(self) -> float:
+        return self.executed / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.model}: EM={self.exact_accuracy:.2%} "
+            f"EX={self.execution_accuracy:.2%} "
+            f"({self.errors} generation errors, n={self.total})"
+        )
+
+
+def evaluate_model(
+    model: SqlCoderModel,
+    source: DataSource,
+    database: Database,
+    examples: list[Text2SqlExample],
+    keep_failures: int = 5,
+) -> EvalReport:
+    """Score a model on (question, SQL) examples.
+
+    Reports both exact-match (canonical SQL string) and execution
+    accuracy (result-set equivalence), the two standard Spider metrics.
+    """
+    report = EvalReport(model=model.name, total=len(examples))
+    for example in examples:
+        prompt = build_text2sql_prompt(source, example.question)
+        try:
+            predicted = model.generate(GenerationRequest(prompt)).text
+        except LLMError as exc:
+            report.errors += 1
+            if len(report.failures) < keep_failures:
+                report.failures.append(
+                    (example.question, example.sql, f"ERROR: {exc}")
+                )
+            continue
+        if exact_match(predicted, example.sql):
+            report.exact += 1
+        if execution_match(database, predicted, example.sql):
+            report.executed += 1
+        elif len(report.failures) < keep_failures:
+            report.failures.append(
+                (example.question, example.sql, predicted)
+            )
+    return report

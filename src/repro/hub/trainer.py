@@ -1,0 +1,260 @@
+"""Lexicon-induction fine-tuning for the Text-to-SQL model.
+
+Algorithm (per DESIGN.md): for every training pair, parse the gold SQL
+to its schema elements, find the question phrases the base lexicon
+cannot link, and count phrase/element co-occurrences. Alignments with
+enough support and purity become learned synonyms. The loop is run for
+several epochs with the acceptance threshold annealed, and training
+accuracy is reported per epoch — the analogue of a loss curve.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets.spider import Text2SqlExample
+from repro.hub.adapters import LexiconAdapter
+from repro.hub.evaluator import execution_match
+from repro.nlu.lexicon import Lexicon, LexiconEntry
+from repro.nlu.multilingual import detect_language, translate_zh_phrases
+from repro.nlu.schema_linking import SchemaIndex, SchemaLinker
+from repro.nlu.text2sql import Text2SqlError, Text2SqlParser
+from repro.rag.embedder import tokenize_words
+from repro.sqlengine import Database, nodes, parse_sql
+
+#: Words never learned as synonyms (intent and function words).
+_BLOCKED = frozenset(
+    "how many what is the of a an are there per top all list whose have "
+    "has was by for each and or in on at to from with total average "
+    "maximum minimum highest lowest distinct".split()
+)
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    new_synonyms: int
+    train_accuracy: float
+
+
+@dataclass
+class TrainingReport:
+    domain: str
+    epochs: list[EpochStats] = field(default_factory=list)
+    learned: list[LexiconEntry] = field(default_factory=list)
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.epochs[-1].train_accuracy if self.epochs else 0.0
+
+
+class FineTuner:
+    """Fit a :class:`LexiconAdapter` on (question, SQL) pairs."""
+
+    def __init__(
+        self,
+        index: SchemaIndex,
+        database: Database,
+        min_support: int = 2,
+        min_purity: float = 0.6,
+        epochs: int = 3,
+    ) -> None:
+        if not 0.0 < min_purity <= 1.0:
+            raise ValueError("min_purity must be in (0, 1]")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.index = index
+        self.database = database
+        self.min_support = min_support
+        self.min_purity = min_purity
+        self.epochs = epochs
+
+    def fit(
+        self,
+        examples: list[Text2SqlExample],
+        domain: str = "custom",
+    ) -> tuple[LexiconAdapter, TrainingReport]:
+        """Learn synonyms; returns the adapter and a training report."""
+        report = TrainingReport(domain=domain)
+        learned = Lexicon()
+        for epoch in range(1, self.epochs + 1):
+            # Lower the support requirement as epochs proceed — late
+            # epochs mop up rarer phrases (annealed acceptance).
+            support = max(1, self.min_support - (epoch - 1))
+            additions = self._induce(examples, learned, support)
+            for entry in additions:
+                learned.add(entry)
+                report.learned.append(entry)
+            accuracy = self._train_accuracy(examples, learned)
+            report.epochs.append(
+                EpochStats(epoch, len(additions), accuracy)
+            )
+            if not additions and epoch > 1:
+                break
+        adapter = LexiconAdapter(name=f"{domain}-adapter", lexicon=learned)
+        return adapter, report
+
+    # -- alignment ----------------------------------------------------------
+
+    def _induce(
+        self,
+        examples: list[Text2SqlExample],
+        learned: Lexicon,
+        support: int,
+    ) -> list[LexiconEntry]:
+        base = self.index.base_lexicon()
+        base.merge(learned)
+        linker = SchemaLinker(self.index, base)
+        counts: dict[str, Counter] = defaultdict(Counter)
+        phrase_occurrences: Counter = Counter()
+        target_occurrences: Counter = Counter()
+        for example in examples:
+            text = example.question.lower()
+            if detect_language(text) == "zh":
+                text = translate_zh_phrases(text)
+            targets = self._sql_targets(example.sql)
+            if not targets:
+                continue
+            for target in targets:
+                target_occurrences[target] += 1
+            unlinked = self._unlinked_phrases(text, linker, example.sql)
+            for phrase in set(unlinked):
+                phrase_occurrences[phrase] += 1
+                for target in targets:
+                    counts[phrase][target] += 1
+        additions: list[LexiconEntry] = []
+        for phrase, target_counts in counts.items():
+            # Dice-style association: count^2 / (occ(phrase) * occ(target))
+            # favours the target that co-occurs most *exclusively* with
+            # the phrase, not just the globally frequent one.
+            scored = sorted(
+                target_counts.items(),
+                key=lambda pair: -(
+                    pair[1] ** 2
+                    / (
+                        phrase_occurrences[phrase]
+                        * target_occurrences[pair[0]]
+                    )
+                ),
+            )
+            (kind, target, table), count = scored[0]
+            purity = count / phrase_occurrences[phrase]
+            if count >= support and purity >= self.min_purity:
+                if phrase in learned or phrase in base:
+                    continue
+                additions.append(
+                    LexiconEntry(
+                        phrase=phrase,
+                        kind=kind,
+                        target=target,
+                        table=table,
+                        weight=purity,
+                    )
+                )
+        return additions
+
+    def _sql_targets(
+        self, sql: str
+    ) -> list[tuple[str, str, Optional[str]]]:
+        """(kind, target, table) triples used by the gold SQL."""
+        try:
+            statement = parse_sql(sql)
+        except Exception:
+            return []
+        if not isinstance(statement, nodes.Select):
+            return []
+        targets: list[tuple[str, str, Optional[str]]] = []
+        tables: list[str] = []
+        if statement.source is not None:
+            for table in _named_tables(statement.source):
+                tables.append(table)
+                targets.append(("table", table, None))
+        for item in statement.items:
+            for expr in nodes.walk_expressions(item.expression):
+                if isinstance(expr, nodes.ColumnRef):
+                    owner = self._column_owner(expr.name, tables)
+                    targets.append(("column", expr.name, owner))
+        for clause in (statement.where, *statement.group_by):
+            if clause is None:
+                continue
+            for expr in nodes.walk_expressions(clause):
+                if isinstance(expr, nodes.ColumnRef):
+                    owner = self._column_owner(expr.name, tables)
+                    targets.append(("column", expr.name, owner))
+        for order in statement.order_by:
+            for expr in nodes.walk_expressions(order.expression):
+                if isinstance(expr, nodes.ColumnRef):
+                    owner = self._column_owner(expr.name, tables)
+                    targets.append(("column", expr.name, owner))
+        deduped = []
+        for target in targets:
+            if target not in deduped:
+                deduped.append(target)
+        return deduped
+
+    def _column_owner(
+        self, column: str, tables: list[str]
+    ) -> Optional[str]:
+        for table in tables:
+            if column in self.index.tables.get(table, []):
+                return table
+        return None
+
+    def _unlinked_phrases(
+        self, text: str, linker: SchemaLinker, sql: str
+    ) -> list[str]:
+        """Question unigrams/bigrams the current lexicon cannot link."""
+        link = linker.link(text)
+        covered: set[str] = set()
+        for mention in link.mentions:
+            covered.update(tokenize_words(mention.phrase))
+        for value in link.values:
+            covered.update(tokenize_words(value.value))
+        sql_literals = set(tokenize_words(sql))
+        words = [
+            word
+            for word in tokenize_words(text)
+            if word not in _BLOCKED
+            and word not in covered
+            and not word.isdigit()
+        ]
+        phrases = list(words)
+        for left, right in zip(words, words[1:]):
+            phrases.append(f"{left} {right}")
+        # Drop phrases that literally appear in the SQL (values, noise).
+        return [
+            phrase
+            for phrase in phrases
+            if not set(tokenize_words(phrase)) <= sql_literals
+        ]
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _train_accuracy(
+        self, examples: list[Text2SqlExample], learned: Lexicon
+    ) -> float:
+        lexicon = self.index.base_lexicon()
+        lexicon.merge(learned)
+        parser = Text2SqlParser(self.index, lexicon)
+        correct = 0
+        for example in examples:
+            try:
+                predicted = parser.parse(example.question).sql
+            except Text2SqlError:
+                continue
+            if execution_match(self.database, predicted, example.sql):
+                correct += 1
+        return correct / len(examples) if examples else 0.0
+
+
+def _named_tables(source: nodes.TableRef) -> list[str]:
+    if isinstance(source, nodes.NamedTable):
+        return [source.name]
+    if isinstance(source, nodes.Join):
+        return _named_tables(source.left) + _named_tables(source.right)
+    if isinstance(source, nodes.SubqueryTable):
+        inner = source.subquery.source
+        return _named_tables(inner) if inner is not None else []
+    return []

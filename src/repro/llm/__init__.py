@@ -1,0 +1,41 @@
+"""Simulated large language models.
+
+Each model implements the :class:`LanguageModel` interface served by
+SMMF. The substitution for real neural LLMs (documented in DESIGN.md):
+generation is deterministic — a grammar-driven Text-to-SQL parser, a
+rule-based planner, extractive QA/summarization — behind exactly the
+prompt-in/text-out contract a real model would have, so every serving,
+prompt-assembly and post-processing code path is identical.
+"""
+
+from repro.llm.base import (
+    GenerationRequest,
+    GenerationResponse,
+    LanguageModel,
+    LLMError,
+)
+from repro.llm.chat_model import ChatModel
+from repro.llm.embedding_model import EmbeddingModel
+from repro.llm.planner_model import PlannerModel
+from repro.llm.prompts import (
+    build_qa_prompt,
+    build_sql2text_prompt,
+    build_text2sql_prompt,
+    parse_prompt_sections,
+)
+from repro.llm.sql_coder import SqlCoderModel
+
+__all__ = [
+    "ChatModel",
+    "EmbeddingModel",
+    "GenerationRequest",
+    "GenerationResponse",
+    "LLMError",
+    "LanguageModel",
+    "PlannerModel",
+    "SqlCoderModel",
+    "build_qa_prompt",
+    "build_sql2text_prompt",
+    "build_text2sql_prompt",
+    "parse_prompt_sections",
+]

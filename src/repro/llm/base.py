@@ -1,0 +1,99 @@
+"""The language-model interface served by SMMF."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.rag.embedder import tokenize_words
+
+
+class LLMError(Exception):
+    """A model failed to produce a response."""
+
+
+@dataclass
+class GenerationRequest:
+    """One inference call.
+
+    ``task`` is an optional routing hint ("text2sql", "plan", "qa",
+    "summary"); models that serve several tasks dispatch on it, and the
+    SMMF balancer can route by capability.
+    """
+
+    prompt: str
+    task: Optional[str] = None
+    max_tokens: int = 512
+    temperature: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class GenerationResponse:
+    """The model's answer plus usage accounting."""
+
+    text: str
+    model: str
+    prompt_tokens: int
+    completion_tokens: int
+    finish_reason: str = "stop"
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+def count_tokens(text: str) -> int:
+    """Token accounting used by every simulated model."""
+    return len(tokenize_words(text))
+
+
+class LanguageModel(abc.ABC):
+    """A deployable model: name, capabilities, and generate()."""
+
+    def __init__(self, name: str, capabilities: frozenset[str]) -> None:
+        self.name = name
+        self.capabilities = capabilities
+
+    @abc.abstractmethod
+    def complete(self, request: GenerationRequest) -> str:
+        """Produce the completion text for ``request``."""
+
+    def generate(self, request: GenerationRequest) -> GenerationResponse:
+        """Run inference with usage accounting and budget enforcement."""
+        if request.task is not None and request.task not in self.capabilities:
+            raise LLMError(
+                f"model {self.name!r} does not support task "
+                f"{request.task!r} (capabilities: {sorted(self.capabilities)})"
+            )
+        text = self.complete(request)
+        completion_tokens = count_tokens(text)
+        finish_reason = "stop"
+        if completion_tokens > request.max_tokens:
+            words = text.split()
+            text = " ".join(words[: request.max_tokens])
+            completion_tokens = request.max_tokens
+            finish_reason = "length"
+        return GenerationResponse(
+            text=text,
+            model=self.name,
+            prompt_tokens=count_tokens(request.prompt),
+            completion_tokens=completion_tokens,
+            finish_reason=finish_reason,
+        )
+
+    def stream(self, request: GenerationRequest):
+        """Yield the completion in token-sized chunks.
+
+        The deterministic models produce the full completion and chunk
+        it; the interface matches how serving stacks stream tokens, so
+        client-side streaming code paths are real.
+        """
+        response = self.generate(request)
+        words = response.text.split(" ")
+        for index, word in enumerate(words):
+            yield word if index == 0 else f" {word}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,85 @@
+"""The simulated conversational model: extractive QA, SQL explanation
+and result summarization."""
+
+from __future__ import annotations
+
+import re
+
+from repro.llm.base import GenerationRequest, LanguageModel, LLMError
+from repro.llm.prompts import parse_prompt_sections
+from repro.nlu.sql2text import sql_to_text
+from repro.rag.embedder import tokenize_words
+from repro.rag.inverted_index import STOPWORDS
+from repro.sqlengine.errors import SqlEngineError
+
+
+class ChatModel(LanguageModel):
+    """Prompt -> fluent text. Capabilities: ``qa``, ``sql2text``,
+    ``summary``, ``chat``."""
+
+    def __init__(self, name: str = "chat") -> None:
+        super().__init__(
+            name, frozenset({"qa", "sql2text", "summary", "chat"})
+        )
+
+    def complete(self, request: GenerationRequest) -> str:
+        sections = parse_prompt_sections(request.prompt)
+        if "sql" in sections:
+            return self._explain_sql(sections["sql"])
+        if "context" in sections and "qa_question" in sections:
+            return self._answer(sections["context"], sections["qa_question"])
+        if request.task == "summary" or "Summarize" in request.prompt:
+            return self._summarize(request.prompt)
+        # Generic chat: echo a polite acknowledgement of the request.
+        head = request.prompt.strip().splitlines()[0][:160]
+        return f"I understood your request: {head}"
+
+    @staticmethod
+    def _explain_sql(sql: str) -> str:
+        try:
+            return sql_to_text(sql)
+        except SqlEngineError as exc:
+            raise LLMError(f"cannot explain invalid SQL: {exc}") from exc
+
+    @staticmethod
+    def _answer(context: str, question: str) -> str:
+        """Extractive QA: the context sentence(s) most like the question."""
+        sentences = [
+            s.strip()
+            for s in re.split(r"(?<=[.!?。])\s+|\n", context)
+            if s.strip()
+        ]
+        if not sentences:
+            return "I could not find relevant information in the context."
+        question_terms = {
+            t for t in tokenize_words(question) if t not in STOPWORDS
+        }
+        scored = []
+        for sentence in sentences:
+            terms = set(tokenize_words(sentence))
+            overlap = len(question_terms & terms)
+            scored.append((overlap, sentence))
+        scored.sort(key=lambda pair: -pair[0])
+        best_score, best = scored[0]
+        if best_score == 0:
+            return "I could not find relevant information in the context."
+        picked = [best]
+        for score, sentence in scored[1:3]:
+            if score >= max(1, best_score - 1) and sentence not in picked:
+                picked.append(sentence)
+        return " ".join(picked)
+
+    @staticmethod
+    def _summarize(prompt: str) -> str:
+        """Extractive summary of the content after the instruction line."""
+        _instruction, _, body = prompt.partition("\n")
+        lines = [line.strip() for line in body.splitlines() if line.strip()]
+        if not lines:
+            return "There is nothing to summarize."
+        if lines[-1].rstrip(":").lower() == "summary":
+            lines = lines[:-1]
+        shown = lines[:3]
+        summary = "; ".join(shown)
+        if len(lines) > 3:
+            summary += f" (and {len(lines) - 3} more)"
+        return summary

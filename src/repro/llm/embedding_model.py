@@ -1,0 +1,43 @@
+"""The embedding model served by SMMF (text -> vector as JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.llm.base import GenerationRequest, LanguageModel
+from repro.rag.embedder import HashingEmbedder
+
+
+class EmbeddingModel(LanguageModel):
+    """Prompt text -> JSON-encoded embedding vector.
+
+    SMMF serves embedding models exactly like chat models (the paper's
+    multi-model management covers encoders too); the response body is a
+    JSON list so it crosses the same text-only transport.
+    """
+
+    def __init__(self, name: str = "embedder", dim: int = 128) -> None:
+        super().__init__(name, frozenset({"embed"}))
+        self._embedder = HashingEmbedder(dim=dim)
+
+    @property
+    def dim(self) -> int:
+        return self._embedder.dim
+
+    def complete(self, request: GenerationRequest) -> str:
+        vector = self._embedder.embed(request.prompt)
+        return json.dumps([round(float(x), 6) for x in vector])
+
+    def generate(self, request: GenerationRequest):
+        # Vectors must never be truncated by max_tokens; bypass the
+        # budget clamp while keeping usage accounting.
+        response = super().generate(
+            GenerationRequest(
+                prompt=request.prompt,
+                task=request.task,
+                max_tokens=10**9,
+                temperature=request.temperature,
+                metadata=request.metadata,
+            )
+        )
+        return response

@@ -1,0 +1,170 @@
+"""The simulated planning model.
+
+Given a data-analysis goal, emits a JSON plan the multi-agent framework
+executes: one step per analysis dimension plus a final aggregation
+step. The dimension -> chart-type mapping follows the paper's Figure 3
+walkthrough (donut for categorical share, bar for per-user comparison,
+area for monthly trends).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.llm.base import GenerationRequest, LanguageModel, LLMError
+from repro.llm.prompts import parse_prompt_sections, parse_schema_text
+
+#: goal keyword -> (dimension name, chart type, short description)
+_DIMENSION_RULES: list[tuple[tuple[str, ...], str, str, str]] = [
+    (
+        ("category", "categories", "product", "类别", "产品"),
+        "category",
+        "donut",
+        "total sales by product category",
+    ),
+    (
+        ("user", "customer", "demographic", "用户", "客户"),
+        "user",
+        "bar",
+        "sales by user",
+    ),
+    (
+        ("month", "monthly", "trend", "time", "月", "趋势"),
+        "month",
+        "area",
+        "monthly sales trend",
+    ),
+    (
+        ("region", "geography", "地区"),
+        "region",
+        "bar",
+        "sales by region",
+    ),
+    (
+        ("segment", "tier"),
+        "segment",
+        "donut",
+        "sales by customer segment",
+    ),
+]
+
+_DEFAULT_DIMENSIONS = ("category", "user", "month")
+
+_NUMBER_WORDS = {
+    "one": 1, "two": 2, "three": 3, "four": 4, "five": 5, "三": 3,
+}
+
+
+class PlannerModel(LanguageModel):
+    """Goal prompt -> JSON plan. Capabilities: ``plan``."""
+
+    def __init__(self, name: str = "planner") -> None:
+        super().__init__(name, frozenset({"plan"}))
+
+    def complete(self, request: GenerationRequest) -> str:
+        sections = parse_prompt_sections(request.prompt)
+        goal = sections.get("goal")
+        if not goal:
+            raise LLMError(f"{self.name}: prompt lacks a goal section")
+        dimensions = self._choose_dimensions(goal.lower())
+        available = self._available_dimensions(sections.get("schema"))
+        if available is not None:
+            dimensions = [d for d in dimensions if d[0] in available] or dimensions
+        steps = []
+        for number, (dimension, chart, description) in enumerate(
+            dimensions, start=1
+        ):
+            steps.append(
+                {
+                    "step": number,
+                    "action": "chart",
+                    "dimension": dimension,
+                    "chart_type": chart,
+                    "description": description,
+                }
+            )
+        if self._wants_forecast(goal.lower()):
+            steps.append(
+                {
+                    "step": len(steps) + 1,
+                    "action": "forecast",
+                    "horizon": self._forecast_horizon(goal.lower()),
+                    "description": "project the measure forward",
+                }
+            )
+        steps.append(
+            {
+                "step": len(steps) + 1,
+                "action": "aggregate",
+                "description": "collect the charts into one report",
+            }
+        )
+        return json.dumps(steps)
+
+    @staticmethod
+    def _wants_forecast(goal: str) -> bool:
+        return any(
+            keyword in goal
+            for keyword in ("forecast", "predict", "projection", "预测")
+        )
+
+    @staticmethod
+    def _forecast_horizon(goal: str) -> int:
+        match = re.search(r"next\s+(\d+)|未来\s*(\d+)", goal)
+        if match:
+            return int(match.group(1) or match.group(2))
+        return 3
+
+    def _choose_dimensions(self, goal: str) -> list[tuple[str, str, str]]:
+        chosen: list[tuple[str, str, str]] = []
+        for keywords, dimension, chart, description in _DIMENSION_RULES:
+            if any(keyword in goal for keyword in keywords):
+                chosen.append((dimension, chart, description))
+        wanted = self._requested_dimension_count(goal)
+        if len(chosen) < wanted:
+            for keywords, dimension, chart, description in _DIMENSION_RULES:
+                if dimension in _DEFAULT_DIMENSIONS and all(
+                    dimension != c[0] for c in chosen
+                ):
+                    chosen.append((dimension, chart, description))
+                if len(chosen) >= wanted:
+                    break
+        return chosen[: max(wanted, len(chosen))]
+
+    @staticmethod
+    def _requested_dimension_count(goal: str) -> int:
+        match = re.search(
+            r"(?:at least\s+)?(\d+|one|two|three|four|five|三)\s*"
+            r"(?:distinct\s+)?(?:dimension|个维度|维度)",
+            goal,
+        )
+        if match:
+            token = match.group(1)
+            return _NUMBER_WORDS.get(token, None) or int(token)
+        return 3
+
+    @staticmethod
+    def _available_dimensions(schema_text: str | None) -> set[str] | None:
+        if not schema_text:
+            return None
+        tables = parse_schema_text(schema_text)
+        if not tables:
+            return None
+        columns = {
+            name.lower()
+            for table_columns in tables.values()
+            for name, _ctype in table_columns
+        }
+        available = set()
+        if "category" in columns:
+            available.add("category")
+        if any(c in columns for c in ("user_id", "user_name")):
+            available.add("user")
+        if any(c.endswith("date") for c in columns):
+            available.add("month")
+        if "region" in columns:
+            available.add("region")
+        if "segment" in columns:
+            available.add("segment")
+        return available or None

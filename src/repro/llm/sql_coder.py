@@ -1,0 +1,94 @@
+"""The simulated Text-to-SQL model ("sql-coder").
+
+Reconstructs a :class:`SchemaIndex` from the schema and value sections
+of the prompt, then runs the grammar-driven parser. The model's
+*lexicon* plays the role of its weights: the zero-shot model ships with
+schema identifiers only; :mod:`repro.hub` fine-tuning produces a model
+whose lexicon carries learned domain synonyms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.llm.base import GenerationRequest, LanguageModel, LLMError
+from repro.llm.prompts import (
+    parse_prompt_sections,
+    parse_schema_text,
+    parse_values_text,
+)
+from repro.nlu.lexicon import Lexicon
+from repro.nlu.schema_linking import SchemaIndex, guess_label_column
+from repro.nlu.text2sql import Text2SqlError, Text2SqlParser
+
+
+class SqlCoderModel(LanguageModel):
+    """Prompt -> SQL text. Capabilities: ``text2sql``."""
+
+    def __init__(
+        self,
+        name: str = "sql-coder",
+        lexicon: Optional[Lexicon] = None,
+        languages: tuple[str, ...] = ("en", "zh"),
+    ) -> None:
+        super().__init__(name, frozenset({"text2sql"}))
+        #: Learned synonyms merged into every schema's base lexicon.
+        self.lexicon = lexicon or Lexicon()
+        #: Languages the model understands; English-centric hosted
+        #: models are simulated with ``languages=("en",)``.
+        self.languages = languages
+
+    def complete(self, request: GenerationRequest) -> str:
+        from repro.nlu.multilingual import detect_language
+
+        sections = parse_prompt_sections(request.prompt)
+        schema_text = sections.get("schema")
+        question = sections.get("question")
+        if not schema_text or not question:
+            raise LLMError(
+                f"{self.name}: prompt lacks a schema or question section"
+            )
+        language = detect_language(question)
+        if language not in self.languages:
+            raise LLMError(
+                f"{self.name}: language {language!r} is not supported "
+                f"(supported: {list(self.languages)})"
+            )
+        index = self._build_index(schema_text, sections.get("values", ""))
+        lexicon = index.base_lexicon()
+        lexicon.merge(self.lexicon)
+        parser = Text2SqlParser(index, lexicon)
+        try:
+            result = parser.parse(question)
+        except Text2SqlError as exc:
+            raise LLMError(f"{self.name}: {exc}") from exc
+        return result.sql
+
+    @staticmethod
+    def _build_index(schema_text: str, values_text: str) -> SchemaIndex:
+        parsed = parse_schema_text(schema_text)
+        if not parsed:
+            raise LLMError("schema section could not be parsed")
+        tables = {
+            table: [name for name, _ctype in columns]
+            for table, columns in parsed.items()
+        }
+        column_types = {
+            (table, name): ctype
+            for table, columns in parsed.items()
+            for name, ctype in columns
+        }
+        label_columns = {
+            table: guess_label_column(
+                tables[table], column_types, table
+            )
+            for table in tables
+        }
+        value_index, value_originals = parse_values_text(values_text)
+        return SchemaIndex(
+            tables=tables,
+            column_types=column_types,
+            value_index=value_index,
+            label_columns=label_columns,
+            value_originals=value_originals,
+        )

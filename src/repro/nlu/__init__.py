@@ -1,0 +1,40 @@
+"""Natural-language understanding: the deterministic Text-to-SQL core.
+
+This package is the "model" behind the simulated Text-to-SQL LLM: a
+grammar-driven semantic parser with schema linking. It is deliberately
+split the way neural Text-to-SQL systems are analyzed:
+
+- :mod:`repro.nlu.lexicon` — phrase -> schema-element vocabulary. The
+  *base* lexicon knows only schema identifiers (zero-shot); fine-tuning
+  (:mod:`repro.hub`) extends it with learned domain synonyms.
+- :mod:`repro.nlu.multilingual` — built-in EN/ZH vocabulary so Chinese
+  questions link to English schema identifiers.
+- :mod:`repro.nlu.schema_linking` — mention detection over questions,
+  including database-content (value) linking.
+- :mod:`repro.nlu.intent` — question intent classification.
+- :mod:`repro.nlu.text2sql` — the parser assembling SQL from intent +
+  linked schema elements, with automatic foreign-key join inference.
+- :mod:`repro.nlu.sql2text` — the inverse: SQL AST -> fluent text.
+"""
+
+from repro.nlu.intent import Intent, IntentClassifier
+from repro.nlu.lexicon import Lexicon, LexiconEntry
+from repro.nlu.multilingual import detect_language, zh_dictionary
+from repro.nlu.schema_linking import SchemaIndex, SchemaLinker
+from repro.nlu.sql2text import sql_to_text
+from repro.nlu.text2sql import Text2SqlError, Text2SqlParser, Text2SqlResult
+
+__all__ = [
+    "Intent",
+    "IntentClassifier",
+    "Lexicon",
+    "LexiconEntry",
+    "SchemaIndex",
+    "SchemaLinker",
+    "Text2SqlError",
+    "Text2SqlParser",
+    "Text2SqlResult",
+    "detect_language",
+    "sql_to_text",
+    "zh_dictionary",
+]

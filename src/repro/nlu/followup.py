@@ -1,0 +1,113 @@
+"""Follow-up question rewriting for multi-turn data chat.
+
+Figure 3 area 7: users "continue to engage with their data through
+natural language inputs" — which in practice means elliptical
+follow-ups ("what about per region?", "and for france?", "only the top
+3"). The rewriter resolves those against the previous full question so
+the stateless Text-to-SQL path receives a complete utterance.
+
+Deliberately conservative: when no pattern matches, the input passes
+through untouched, so fully-specified questions are never mangled.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class Rewrite:
+    """The rewriting outcome."""
+
+    question: str
+    rewritten: bool
+    rule: str = ""
+
+
+_GROUP_SWAP = re.compile(
+    r"^(?:and|what about|how about|now)\s+(?:per|by|for each)\s+(.+?)\??$",
+    re.IGNORECASE,
+)
+_FILTER_ADD = re.compile(
+    r"^(?:and|what about|how about|now)\s+(?:for|in|only)\s+(.+?)\??$",
+    re.IGNORECASE,
+)
+_BARE_WHAT_ABOUT = re.compile(
+    r"^(?:and|what about|how about)\s+(.+?)\??$", re.IGNORECASE
+)
+_TOP_ONLY = re.compile(
+    r"^(?:only\s+)?the\s+top\s+(\d+)\??$", re.IGNORECASE
+)
+
+_EXISTING_GROUP = re.compile(
+    r"\s+(?:per|by|for each)\s+[\w\s]+?(?=\?|$)", re.IGNORECASE
+)
+_EXISTING_FILTER = re.compile(
+    r"\s+(?:for|in)\s+[\w\s]+?(?=\?|$)", re.IGNORECASE
+)
+
+
+class FollowUpRewriter:
+    """Resolve elliptical follow-ups against the previous question."""
+
+    def __init__(self) -> None:
+        self._previous: Optional[str] = None
+
+    def reset(self) -> None:
+        self._previous = None
+
+    def rewrite(self, question: str) -> Rewrite:
+        """Rewrite ``question`` if it is an ellipsis; track history."""
+        text = question.strip()
+        result = self._apply(text)
+        # A rewritten (or complete) question becomes the new context.
+        self._previous = result.question
+        return result
+
+    def _apply(self, text: str) -> Rewrite:
+        if self._previous is None:
+            return Rewrite(text, False)
+        base = self._previous.rstrip("?!. ")
+
+        match = _GROUP_SWAP.match(text)
+        if match:
+            dimension = match.group(1).strip()
+            swapped, count = _EXISTING_GROUP.subn(
+                f" per {dimension}", base, count=1
+            )
+            if count:
+                return Rewrite(swapped + "?", True, "group-swap")
+            return Rewrite(f"{base} per {dimension}?", True, "group-add")
+
+        match = _TOP_ONLY.match(text)
+        if match:
+            n = match.group(1)
+            return Rewrite(
+                f"{base} top {n}?", True, "top-n",
+            )
+
+        match = _FILTER_ADD.match(text)
+        if match:
+            value = match.group(1).strip()
+            swapped, count = _EXISTING_FILTER.subn(
+                f" for {value}", base, count=1
+            )
+            if count:
+                return Rewrite(swapped + "?", True, "filter-swap")
+            return Rewrite(f"{base} for {value}?", True, "filter-add")
+
+        match = _BARE_WHAT_ABOUT.match(text)
+        if match:
+            # "what about X?" where X names a measure/column: swap the
+            # group dimension if the base has one, else append a filter.
+            mention = match.group(1).strip()
+            swapped, count = _EXISTING_GROUP.subn(
+                f" per {mention}", base, count=1
+            )
+            if count:
+                return Rewrite(swapped + "?", True, "group-swap")
+            return Rewrite(f"{base} {mention}?", True, "append")
+
+        return Rewrite(text, False)

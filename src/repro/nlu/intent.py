@@ -1,0 +1,111 @@
+"""Question intent classification."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Intent(enum.Enum):
+    COUNT = "count"
+    COUNT_DISTINCT = "count_distinct"
+    AVG = "avg"
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+    TOP_N = "top_n"
+    GROUP_COUNT = "group_count"
+    DISTINCT = "distinct"
+    LIST = "list"
+
+
+@dataclass
+class IntentResult:
+    intent: Intent
+    #: LIMIT for TOP_N questions.
+    top_n: Optional[int] = None
+    #: True when the TOP_N direction is ascending (lowest/cheapest).
+    ascending: bool = False
+
+
+_TOP_PATTERN = re.compile(
+    r"\btop\s+(\d+)\b|\b(\d+)\s*个\b|(?:highest|largest|lowest|smallest)"
+    r"\s+(\d+)\b"
+)
+_NUMBER = re.compile(r"\d+")
+
+
+class IntentClassifier:
+    """Keyword-driven intent detection over normalized English text.
+
+    Chinese questions are pre-translated by
+    :func:`repro.nlu.multilingual.translate_zh_phrases`, so the keyword
+    tables here stay in one language.
+    """
+
+    @staticmethod
+    def _has_word(lowered: str, *words: str) -> bool:
+        return any(
+            re.search(r"(?<![a-z])" + re.escape(w) + r"(?![a-z])", lowered)
+            for w in words
+        )
+
+    def classify(self, text: str) -> IntentResult:
+        lowered = text.lower()
+
+        has_count = "how many" in lowered or self._has_word(lowered, "count")
+        has_per = self._has_word(lowered, "per") or self._has_word(
+            lowered, "for each", "by each"
+        )
+        has_distinct = self._has_word(
+            lowered, "distinct", "unique", "different"
+        )
+        if has_count and has_per:
+            return IntentResult(Intent.GROUP_COUNT)
+        if has_count and has_distinct:
+            return IntentResult(Intent.COUNT_DISTINCT)
+
+        top = self._match_top_n(lowered)
+        if top is not None:
+            return top
+
+        if has_distinct and self._has_word(lowered, "distinct", "unique"):
+            return IntentResult(Intent.DISTINCT)
+        if self._has_word(lowered, "average", "mean", "avg"):
+            return IntentResult(Intent.AVG)
+        if self._has_word(lowered, "total", "sum"):
+            return IntentResult(Intent.SUM)
+        if self._has_word(lowered, "maximum", "largest", "biggest"):
+            return IntentResult(Intent.MAX)
+        if self._has_word(lowered, "minimum", "smallest", "cheapest"):
+            return IntentResult(Intent.MIN)
+        if has_count:
+            return IntentResult(Intent.COUNT)
+        return IntentResult(Intent.LIST)
+
+    @staticmethod
+    def _match_top_n(lowered: str) -> Optional[IntentResult]:
+        # "top 3", "highest 2", "最高的2个" (post-translation: "highest ... 2 个")
+        if "top " in lowered:
+            match = _NUMBER.search(lowered[lowered.index("top ") :])
+            if match:
+                return IntentResult(Intent.TOP_N, top_n=int(match.group()))
+        for marker, ascending in (
+            ("highest", False),
+            ("largest", False),
+            ("most", False),
+            ("lowest", True),
+            ("smallest", True),
+            ("cheapest", True),
+        ):
+            if marker in lowered:
+                match = _NUMBER.search(lowered)
+                if match:
+                    return IntentResult(
+                        Intent.TOP_N,
+                        top_n=int(match.group()),
+                        ascending=ascending,
+                    )
+        return None

@@ -1,0 +1,99 @@
+"""Multilingual support: language detection and the built-in Chinese
+vocabulary of the simulated LLM.
+
+A real LLM knows from pretraining that 员工 means employee; the
+simulated model's equivalent is this dictionary of common data-domain
+words. Domain-*specific* jargon still has to be learned by fine-tuning,
+exactly as in the English case.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CJK = re.compile(r"[一-鿿]")
+
+#: Chinese surface form -> English schema concept. Covers the common
+#: business-data vocabulary (the simulated model's "pretraining").
+_ZH_DICTIONARY: dict[str, str] = {
+    "员工": "employees",
+    "部门": "departments",
+    "部门名": "dept",
+    "客户": "customers",
+    "采购记录": "purchases",
+    "订单": "orders",
+    "产品": "products",
+    "用户": "users",
+    "图书": "books",
+    "借阅记录": "loans",
+    "病人": "patients",
+    "就诊记录": "visits",
+    "工资": "salary",
+    "预算": "budget",
+    "级别": "level",
+    "负责人": "head",
+    "姓名": "name",
+    "名称": "name",
+    "花费": "cost",
+    "数量": "qty",
+    "国家": "country",
+    "类型": "segment",
+    "商品": "item",
+    "页数": "pages",
+    "类别": "genre",
+    "作者": "author",
+    "会员": "member",
+    "周数": "weeks",
+    "书名": "title",
+    "年龄": "age",
+    "城市": "city",
+    "费用": "fee",
+    "医生": "doctor",
+    "金额": "amount",
+    "月份": "month",
+    "地区": "region",
+    "价格": "price",
+}
+
+#: Chinese intent keywords -> canonical English intent keywords.
+#: "是多少" ("what is") must be listed so it translates before the
+#: embedded "多少" would wrongly become "how many".
+ZH_INTENT_KEYWORDS: dict[str, str] = {
+    "是多少": "what is",
+    "有多少": "how many",
+    "多少": "how many",
+    "平均": "average",
+    "总": "total",
+    "最大": "maximum",
+    "最小": "minimum",
+    "最高": "highest",
+    "最低": "lowest",
+    "列出": "list",
+    "不同的": "distinct",
+    "每个": "per",
+    "一共": "altogether",
+    "是什么": "what is",
+}
+
+
+def detect_language(text: str) -> str:
+    """'zh' when the text contains CJK characters, else 'en'."""
+    return "zh" if _CJK.search(text) else "en"
+
+
+def zh_dictionary() -> dict[str, str]:
+    """A copy of the built-in ZH -> EN schema-concept dictionary."""
+    return dict(_ZH_DICTIONARY)
+
+
+def translate_zh_phrases(text: str) -> str:
+    """Replace known Chinese phrases with their English concepts.
+
+    Longest phrases first so 采购记录 wins over 记录. The output is a
+    mixed-language string the English pipeline can link against.
+    """
+    for phrase in sorted(_ZH_DICTIONARY, key=len, reverse=True):
+        text = text.replace(phrase, f" {_ZH_DICTIONARY[phrase]} ")
+    for phrase in sorted(ZH_INTENT_KEYWORDS, key=len, reverse=True):
+        text = text.replace(phrase, f" {ZH_INTENT_KEYWORDS[phrase]} ")
+    return re.sub(r"\s+", " ", text).strip()

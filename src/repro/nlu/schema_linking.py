@@ -1,0 +1,236 @@
+"""Schema linking: mapping question phrases to schema elements.
+
+Two linkers cooperate:
+
+- lexicon linking — table/column mentions through the vocabulary
+  (schema identifiers for the zero-shot model, plus learned synonyms
+  after fine-tuning);
+- content linking — literal cell values found in the question resolve
+  to ``(table, column, value)`` filter candidates, the classic
+  database-content linking used by Text-to-SQL systems.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.datasources.base import DataSource
+from repro.nlu.lexicon import Lexicon, LexiconEntry
+
+
+@dataclass
+class SchemaIndex:
+    """Everything the linker knows about one data source."""
+
+    tables: dict[str, list[str]]  # table -> column names
+    column_types: dict[tuple[str, str], str]  # (table, column) -> type
+    value_index: dict[str, list[tuple[str, str]]]  # value -> [(table, col)]
+    label_columns: dict[str, str] = field(default_factory=dict)
+    #: lower-cased value -> its original database casing (SQL literals
+    #: must preserve casing; matching is case-insensitive).
+    value_originals: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: DataSource,
+        max_values_per_column: int = 200,
+    ) -> "SchemaIndex":
+        """Introspect a data source, sampling text-column values."""
+        tables: dict[str, list[str]] = {}
+        column_types: dict[tuple[str, str], str] = {}
+        value_index: dict[str, list[tuple[str, str]]] = {}
+        value_originals: dict[str, str] = {}
+        label_columns: dict[str, str] = {}
+        for info in source.tables():
+            tables[info.name] = list(info.columns)
+            for column, ctype in zip(info.columns, info.column_types):
+                column_types[(info.name, column)] = ctype
+                if ctype == "TEXT":
+                    values = source.query(
+                        f"SELECT DISTINCT {column} FROM {info.name} "
+                        f"WHERE {column} IS NOT NULL "
+                        f"LIMIT {max_values_per_column}"
+                    ).column(column)
+                    for value in values:
+                        key = str(value).lower()
+                        value_index.setdefault(key, []).append(
+                            (info.name, column)
+                        )
+                        value_originals.setdefault(key, str(value))
+            label_columns[info.name] = guess_label_column(
+                info.columns, column_types, info.name
+            )
+        return cls(
+            tables, column_types, value_index, label_columns,
+            value_originals,
+        )
+
+    def numeric_columns(self, table: str) -> list[str]:
+        return [
+            column
+            for column in self.tables.get(table, [])
+            if self.column_types.get((table, column)) in ("INTEGER", "REAL")
+            and not column.lower().endswith("_id")
+            and column.lower() != "id"
+        ]
+
+    def base_lexicon(self) -> Lexicon:
+        """The zero-shot vocabulary: schema identifiers only."""
+        lexicon = Lexicon()
+        for table, columns in self.tables.items():
+            lexicon.add(LexiconEntry(table, "table", table))
+            for column in columns:
+                lexicon.add(
+                    LexiconEntry(column, "column", column, table=table)
+                )
+        return lexicon
+
+
+def guess_label_column(
+    columns: list[str],
+    column_types: dict[tuple[str, str], str],
+    table: str,
+) -> str:
+    """The human-readable column of a table (for "list the X" answers)."""
+    preferred = ("name", "title", "label")
+    for column in columns:
+        if column.lower() in preferred:
+            return column
+    for column in columns:
+        lowered = column.lower()
+        if any(lowered.endswith(f"_{p}") or lowered.startswith(p) for p in preferred):
+            return column
+    for column in columns:
+        if column_types.get((table, column)) == "TEXT":
+            return column
+    return columns[0]
+
+
+@dataclass
+class Mention:
+    """One linked phrase with its position in the question."""
+
+    phrase: str
+    start: int
+    entry: LexiconEntry
+
+
+@dataclass
+class ValueMention:
+    """One literal value found in the question."""
+
+    value: str
+    start: int
+    candidates: list[tuple[str, str]]  # (table, column)
+
+
+@dataclass
+class LinkResult:
+    mentions: list[Mention]
+    values: list[ValueMention]
+
+    def tables(self) -> list[str]:
+        """Distinct tables mentioned, in question order."""
+        seen: list[str] = []
+        for mention in self.mentions:
+            if mention.entry.kind == "table" and mention.entry.target not in seen:
+                seen.append(mention.entry.target)
+        return seen
+
+    def columns(self) -> list[Mention]:
+        return [m for m in self.mentions if m.entry.kind == "column"]
+
+
+class SchemaLinker:
+    """Greedy longest-phrase-first linking over a question string."""
+
+    def __init__(self, index: SchemaIndex, lexicon: Lexicon) -> None:
+        self.index = index
+        self.lexicon = lexicon
+
+    def link(self, question: str) -> LinkResult:
+        text = question.lower()
+        mentions = self._link_lexicon(text)
+        values = self._link_values(text, mentions)
+        return LinkResult(mentions, values)
+
+    def _link_lexicon(self, text: str) -> list[Mention]:
+        mentions: list[Mention] = []
+        consumed = [False] * len(text)
+        candidates = list(self.lexicon.phrases())
+        # Also try singular/plural surface variants of each phrase.
+        for phrase in candidates:
+            variants = {phrase}
+            if phrase.endswith("s"):
+                variants.add(phrase[:-1])
+            else:
+                variants.add(phrase + "s")
+            for variant in sorted(variants, key=len, reverse=True):
+                for match in _find_phrase(text, variant):
+                    start, end = match
+                    if any(consumed[start:end]):
+                        continue
+                    entries = self.lexicon.lookup(phrase)
+                    if not entries:
+                        continue
+                    for position in range(start, end):
+                        consumed[position] = True
+                    mentions.append(Mention(variant, start, entries[0]))
+        mentions.sort(key=lambda m: m.start)
+        return mentions
+
+    def _link_values(
+        self, text: str, mentions: list[Mention]
+    ) -> list[ValueMention]:
+        taken = {
+            (m.start, m.start + len(m.phrase)) for m in mentions
+        }
+        values: list[ValueMention] = []
+        for value in sorted(self.index.value_index, key=len, reverse=True):
+            for start, end in _find_phrase(text, value):
+                overlaps_mention = any(
+                    start < t_end and end > t_start
+                    for t_start, t_end in taken
+                )
+                if overlaps_mention:
+                    continue
+                already = any(
+                    v.start < end and start < v.start + len(v.value)
+                    for v in values
+                )
+                if already:
+                    continue
+                values.append(
+                    ValueMention(
+                        value=value,
+                        start=start,
+                        candidates=list(self.index.value_index[value]),
+                    )
+                )
+        values.sort(key=lambda v: v.start)
+        return values
+
+
+def _find_phrase(text: str, phrase: str) -> list[tuple[int, int]]:
+    """All occurrences of ``phrase`` in ``text`` on word boundaries.
+
+    CJK phrases (no ASCII letters) match as plain substrings since
+    Chinese has no word delimiters.
+    """
+    if not phrase:
+        return []
+    has_ascii = any("a" <= ch <= "z" or "0" <= ch <= "9" for ch in phrase)
+    if not has_ascii:
+        positions = []
+        start = text.find(phrase)
+        while start != -1:
+            positions.append((start, start + len(phrase)))
+            start = text.find(phrase, start + 1)
+        return positions
+    pattern = re.compile(
+        r"(?<![a-z0-9])" + re.escape(phrase) + r"(?![a-z0-9])"
+    )
+    return [(m.start(), m.end()) for m in pattern.finditer(text)]

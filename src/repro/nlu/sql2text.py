@@ -1,0 +1,199 @@
+"""SQL-to-Text: explain a SQL statement in plain language."""
+
+from __future__ import annotations
+
+from repro.sqlengine import nodes
+from repro.sqlengine.parser import parse_sql
+
+_AGG_WORDS = {
+    "COUNT": "the number of",
+    "SUM": "the total",
+    "AVG": "the average",
+    "MAX": "the maximum",
+    "MIN": "the minimum",
+    "GROUP_CONCAT": "the concatenation of",
+}
+
+
+def sql_to_text(sql: str, language: str = "en") -> str:
+    """Render a one-sentence explanation of ``sql``.
+
+    Supports SELECT (including joins, grouping, ordering, limits) and
+    the DML/DDL statements; raises the parser's error on invalid SQL.
+    """
+    statement = parse_sql(sql)
+    if isinstance(statement, nodes.Select):
+        sentence = _explain_select(statement)
+    elif isinstance(statement, nodes.Insert):
+        count = len(statement.rows) if statement.rows else "queried"
+        sentence = f"This inserts {count} row(s) into {statement.table}"
+    elif isinstance(statement, nodes.Update):
+        columns = ", ".join(name for name, _ in statement.assignments)
+        sentence = f"This updates {columns} in {statement.table}"
+        if statement.where is not None:
+            sentence += f" where {_explain_expr(statement.where)}"
+    elif isinstance(statement, nodes.Delete):
+        sentence = f"This deletes rows from {statement.table}"
+        if statement.where is not None:
+            sentence += f" where {_explain_expr(statement.where)}"
+    elif isinstance(statement, nodes.CreateTable):
+        sentence = (
+            f"This creates table {statement.name} with "
+            f"{len(statement.columns)} column(s)"
+        )
+    elif isinstance(statement, nodes.DropTable):
+        sentence = f"This drops table {statement.name}"
+    elif isinstance(statement, nodes.CreateIndex):
+        sentence = (
+            f"This creates index {statement.name} on "
+            f"{statement.table}({statement.column})"
+        )
+    elif isinstance(statement, nodes.DropIndex):
+        sentence = f"This drops index {statement.name}"
+    elif isinstance(statement, nodes.CreateView):
+        sentence = (
+            f"This creates view {statement.name} defined as: "
+            f"{_explain_select(statement.query)[0].lower()}"
+            f"{_explain_select(statement.query)[1:]}"
+        )
+    elif isinstance(statement, nodes.DropView):
+        sentence = f"This drops view {statement.name}"
+    elif isinstance(statement, nodes.TransactionStatement):
+        verbs = {
+            "BEGIN": "starts a transaction",
+            "COMMIT": "commits the current transaction",
+            "ROLLBACK": "rolls back the current transaction",
+        }
+        sentence = f"This {verbs[statement.action]}"
+    elif isinstance(statement, nodes.Explain):
+        sentence = (
+            "This shows the execution plan of: "
+            f"{_explain_select(statement.query)[0].lower()}"
+            f"{_explain_select(statement.query)[1:]}"
+        )
+    else:  # pragma: no cover - defensive default
+        sentence = "This runs a SQL statement"
+    return sentence.strip() + "."
+
+
+def _explain_select(select: nodes.Select) -> str:
+    targets = ", ".join(
+        _explain_expr(item.expression) for item in select.items
+    )
+    sentence = f"This retrieves {targets}"
+    if select.distinct:
+        sentence = f"This retrieves the distinct {targets}"
+    if select.source is not None:
+        sentence += f" from {_explain_source(select.source)}"
+    if select.where is not None:
+        sentence += f" where {_explain_expr(select.where)}"
+    if select.group_by:
+        grouped = ", ".join(_explain_expr(e) for e in select.group_by)
+        sentence += f", grouped by {grouped}"
+    if select.having is not None:
+        sentence += f", keeping groups where {_explain_expr(select.having)}"
+    if select.order_by:
+        orders = ", ".join(
+            f"{_explain_expr(o.expression)} "
+            f"{'descending' if o.descending else 'ascending'}"
+            for o in select.order_by
+        )
+        sentence += f", sorted by {orders}"
+    if select.limit is not None:
+        sentence += f", returning at most {_explain_expr(select.limit)} row(s)"
+    for op, _query in select.compound:
+        word = {
+            "UNION": "combined (without duplicates) with",
+            "UNION ALL": "combined with",
+            "INTERSECT": "intersected with",
+            "EXCEPT": "excluding",
+        }.get(op, op.lower())
+        sentence += f", {word} another query"
+    return sentence
+
+
+def _explain_source(source: nodes.TableRef) -> str:
+    if isinstance(source, nodes.NamedTable):
+        return source.name
+    if isinstance(source, nodes.SubqueryTable):
+        return f"a subquery ({source.alias})"
+    if isinstance(source, nodes.Join):
+        verb = {
+            "INNER": "joined with",
+            "LEFT": "left-joined with",
+            "RIGHT": "right-joined with",
+            "FULL": "full-joined with",
+            "CROSS": "cross-joined with",
+        }[source.join_type]
+        text = (
+            f"{_explain_source(source.left)} {verb} "
+            f"{_explain_source(source.right)}"
+        )
+        if source.condition is not None:
+            text += f" on {_explain_expr(source.condition)}"
+        return text
+    return source.to_sql()
+
+
+def _explain_expr(expr: nodes.Expression) -> str:
+    if isinstance(expr, nodes.Star):
+        return "all columns"
+    if isinstance(expr, nodes.ColumnRef):
+        return expr.to_sql()
+    if isinstance(expr, nodes.Literal):
+        return expr.to_sql()
+    if isinstance(expr, nodes.FunctionCall):
+        phrase = _AGG_WORDS.get(expr.name)
+        if phrase:
+            inner = (
+                "rows"
+                if expr.args and isinstance(expr.args[0], nodes.Star)
+                else ", ".join(_explain_expr(a) for a in expr.args)
+            )
+            if expr.distinct:
+                inner = f"distinct {inner}"
+            return f"{phrase} {inner}"
+        inner = ", ".join(_explain_expr(a) for a in expr.args)
+        return f"{expr.name.lower()}({inner})"
+    if isinstance(expr, nodes.BinaryOp):
+        words = {
+            "=": "equals",
+            "<>": "does not equal",
+            "<": "is less than",
+            ">": "is greater than",
+            "<=": "is at most",
+            ">=": "is at least",
+            "AND": "and",
+            "OR": "or",
+        }
+        word = words.get(expr.op, expr.op)
+        return f"{_explain_expr(expr.left)} {word} {_explain_expr(expr.right)}"
+    if isinstance(expr, nodes.IsNull):
+        suffix = "is not missing" if expr.negated else "is missing"
+        return f"{_explain_expr(expr.operand)} {suffix}"
+    if isinstance(expr, nodes.Like):
+        verb = "does not match" if expr.negated else "matches"
+        return (
+            f"{_explain_expr(expr.operand)} {verb} the pattern "
+            f"{_explain_expr(expr.pattern)}"
+        )
+    if isinstance(expr, nodes.Between):
+        verb = "is not between" if expr.negated else "is between"
+        return (
+            f"{_explain_expr(expr.operand)} {verb} "
+            f"{_explain_expr(expr.low)} and {_explain_expr(expr.high)}"
+        )
+    if isinstance(expr, nodes.InList):
+        verb = "is not one of" if expr.negated else "is one of"
+        items = ", ".join(_explain_expr(i) for i in expr.items)
+        return f"{_explain_expr(expr.operand)} {verb} ({items})"
+    if isinstance(expr, nodes.InSubquery):
+        verb = "is not in" if expr.negated else "is in"
+        return f"{_explain_expr(expr.operand)} {verb} the result of a subquery"
+    if isinstance(expr, nodes.Exists):
+        return "a matching row exists in a subquery"
+    if isinstance(expr, nodes.UnaryOp):
+        if expr.op == "NOT":
+            return f"not ({_explain_expr(expr.operand)})"
+        return f"{expr.op}{_explain_expr(expr.operand)}"
+    return expr.to_sql()

@@ -1,0 +1,566 @@
+"""The Text-to-SQL semantic parser.
+
+Assembles SQL from (a) the question's intent, (b) linked schema
+elements, and (c) content-linked filter values, with automatic
+foreign-key join inference when the selected columns span tables.
+
+The parser is the inference procedure of the simulated Text-to-SQL LLM:
+its *lexicon* is the model's learnable parameter (zero-shot = schema
+identifiers only; fine-tuned = schema identifiers + learned synonyms).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.nlu.intent import Intent, IntentClassifier, IntentResult
+from repro.nlu.lexicon import Lexicon
+from repro.nlu.multilingual import detect_language, translate_zh_phrases
+from repro.nlu.schema_linking import (
+    LinkResult,
+    Mention,
+    SchemaIndex,
+    SchemaLinker,
+)
+
+
+class Text2SqlError(Exception):
+    """The question could not be grounded in the schema."""
+
+
+@dataclass
+class Text2SqlResult:
+    """Parsed SQL plus diagnostics for the repair loop / UI."""
+
+    sql: str
+    confidence: float
+    language: str
+    intent: Intent
+    tables: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+_COMPARISON = re.compile(
+    r"(?:more than|greater than|over|above|at least)\s+(\d+(?:\.\d+)?)|"
+    r"(?:less than|under|below|at most)\s+(\d+(?:\.\d+)?)"
+)
+
+_RANGE = re.compile(
+    r"between\s+(\d+(?:\.\d+)?)\s+and\s+(\d+(?:\.\d+)?)"
+)
+
+_GROUP_MARKER = re.compile(
+    r"(?<![a-z])(?:per|for each|by each|grouped by|by)(?![a-z])"
+)
+
+
+class Text2SqlParser:
+    """Parse natural-language questions to SQL over one schema.
+
+    >>> # doctest setup omitted; see tests/nlu/test_text2sql.py
+    """
+
+    def __init__(
+        self,
+        index: SchemaIndex,
+        lexicon: Optional[Lexicon] = None,
+    ) -> None:
+        self.index = index
+        self.lexicon = lexicon if lexicon is not None else index.base_lexicon()
+        self._linker = SchemaLinker(index, self.lexicon)
+        self._classifier = IntentClassifier()
+
+    # -- public API ------------------------------------------------------
+
+    def parse(self, question: str) -> Text2SqlResult:
+        """Parse ``question``; raises :class:`Text2SqlError` if hopeless."""
+        language = detect_language(question)
+        text = question.lower()
+        if language == "zh":
+            text = translate_zh_phrases(text)
+        link = self._linker.link(text)
+        intent_result = self._classifier.classify(text)
+        notes: list[str] = []
+        fallbacks = 0
+
+        primary = self._primary_table(link, notes)
+        if primary is None:
+            raise Text2SqlError(
+                f"could not identify a table in: {question!r}"
+            )
+        if not link.tables():
+            fallbacks += 1
+
+        where, where_table, where_fallback = self._build_where(
+            text, link, primary, notes
+        )
+        fallbacks += where_fallback
+
+        sql, used_tables, build_fallbacks = self._build_sql(
+            text, link, intent_result, primary, where, where_table, notes
+        )
+        fallbacks += build_fallbacks
+        confidence = max(0.0, 1.0 - 0.25 * fallbacks)
+        return Text2SqlResult(
+            sql=sql,
+            confidence=confidence,
+            language=language,
+            intent=intent_result.intent,
+            tables=used_tables,
+            notes=notes,
+        )
+
+    # -- table resolution --------------------------------------------------
+
+    def _primary_table(
+        self, link: LinkResult, notes: list[str]
+    ) -> Optional[str]:
+        tables = link.tables()
+        if tables:
+            return tables[0]
+        # Infer from column mentions.
+        for mention in link.columns():
+            if mention.entry.table:
+                notes.append(
+                    f"table inferred from column {mention.entry.target!r}"
+                )
+                return mention.entry.table
+        # Infer from a content-linked value.
+        for value in link.values:
+            if value.candidates:
+                notes.append(
+                    f"table inferred from value {value.value!r}"
+                )
+                return value.candidates[0][0]
+        return None
+
+    # -- WHERE clause -------------------------------------------------------
+
+    def _build_where(
+        self,
+        text: str,
+        link: LinkResult,
+        primary: str,
+        notes: list[str],
+    ) -> tuple[Optional[str], Optional[str], int]:
+        """Returns (condition, table of the filter column, fallbacks)."""
+        fallbacks = 0
+        for value in link.values:
+            candidates = value.candidates
+            chosen = next(
+                (c for c in candidates if c[0] == primary), None
+            )
+            if chosen is None:
+                chosen = candidates[0]
+                if len(candidates) > 1:
+                    fallbacks += 1
+                    notes.append(
+                        f"ambiguous value {value.value!r}; "
+                        f"guessed {chosen[0]}.{chosen[1]}"
+                    )
+            table, column = chosen
+            original = self.index.value_originals.get(
+                value.value, value.value
+            )
+            literal = original.replace("'", "''")
+            return f"{column} = '{literal}'", table, fallbacks
+
+        range_match = _RANGE.search(text)
+        if range_match:
+            low, high = range_match.group(1), range_match.group(2)
+            column = self._numeric_mention(link, primary)
+            if column is None:
+                numerics = self.index.numeric_columns(primary)
+                if numerics:
+                    column = numerics[0]
+                    fallbacks += 1
+                    notes.append(f"range column guessed as {column!r}")
+            if column is not None:
+                return (
+                    f"{column} BETWEEN {low} AND {high}",
+                    primary,
+                    fallbacks,
+                )
+
+        match = _COMPARISON.search(text)
+        if match:
+            threshold = match.group(1) or match.group(2)
+            op = ">" if match.group(1) else "<"
+            column = self._numeric_mention(link, primary)
+            if column is None:
+                numerics = self.index.numeric_columns(primary)
+                if numerics:
+                    column = numerics[0]
+                    fallbacks += 1
+                    notes.append(
+                        f"comparison column guessed as {column!r}"
+                    )
+            if column is not None:
+                return f"{column} {op} {threshold}", primary, fallbacks
+        return None, None, fallbacks
+
+    def _numeric_mention(
+        self, link: LinkResult, primary: str
+    ) -> Optional[str]:
+        for mention in link.columns():
+            target = mention.entry.target
+            table = self._mention_table(mention, primary)
+            if target in self.index.numeric_columns(table):
+                return target
+        return None
+
+
+    def _mention_table(self, mention: Mention, primary: str) -> str:
+        """Resolve a column mention's table, preferring the primary table
+        when it also has a column with that name."""
+        if mention.entry.target in self.index.tables.get(primary, []):
+            return primary
+        return mention.entry.table or primary
+
+    # -- SELECT assembly -----------------------------------------------------
+
+    def _build_sql(
+        self,
+        text: str,
+        link: LinkResult,
+        intent_result: IntentResult,
+        primary: str,
+        where: Optional[str],
+        where_table: Optional[str],
+        notes: list[str],
+    ) -> tuple[str, list[str], int]:
+        intent = intent_result.intent
+        fallbacks = 0
+        tables = [primary]
+
+        def qualify(table: str, column: str) -> str:
+            # The filter's table joins in at assembly time, so count it
+            # now: a future two-table query must qualify its columns.
+            multi = len(tables) > 1 or (
+                where_table is not None and where_table not in tables
+            )
+            return f"{table}.{column}" if multi else column
+
+        if intent is Intent.GROUP_COUNT:
+            group_mention = self._group_column(text, link, primary)
+            if group_mention is None:
+                temporal = self._temporal_group(text, primary)
+                if temporal is not None:
+                    select = f"{temporal}, COUNT(*)"
+                    sql = self._assemble(
+                        select, tables, where, where_table, group_by=temporal
+                    )
+                    return sql, tables, fallbacks
+                raise Text2SqlError(
+                    "grouped count without a recognizable group column"
+                )
+            group_table = self._mention_table(group_mention, primary)
+            if group_table != primary and group_table not in tables:
+                tables.append(group_table)
+            group_col = group_mention.entry.target
+            select = (
+                f"{qualify(group_table, group_col)}, COUNT(*)"
+            )
+            sql = self._assemble(
+                select, tables, where, where_table,
+                group_by=qualify(group_table, group_col),
+            )
+            return sql, tables, fallbacks
+
+        if intent in (Intent.AVG, Intent.SUM, Intent.MAX, Intent.MIN):
+            fn = intent.name
+            measure = self._measure_column(link, primary, notes)
+            if measure is None:
+                numerics = self.index.numeric_columns(primary)
+                if not numerics:
+                    raise Text2SqlError(
+                        f"no numeric column for {fn} over {primary!r}"
+                    )
+                measure = (primary, numerics[0])
+                fallbacks += 1
+                notes.append(f"measure guessed as {numerics[0]!r}")
+            measure_table, measure_col = measure
+            if measure_table != primary and measure_table not in tables:
+                tables.append(measure_table)
+            group_mention = self._group_column(
+                text, link, primary, exclude={measure_col}
+            )
+            if group_mention is None:
+                temporal = self._temporal_group(text, primary)
+                if temporal is not None:
+                    select = (
+                        f"{temporal}, {fn}({qualify(measure_table, measure_col)})"
+                    )
+                    sql = self._assemble(
+                        select, tables, where, where_table,
+                        group_by=temporal, order_by=temporal + " ASC",
+                    )
+                    return sql, tables, fallbacks
+            if group_mention is not None:
+                group_table = self._mention_table(group_mention, primary)
+                if group_table not in tables:
+                    tables.append(group_table)
+                group_ref = qualify(group_table, group_mention.entry.target)
+                select = f"{group_ref}, {fn}({qualify(measure_table, measure_col)})"
+                sql = self._assemble(
+                    select, tables, where, where_table, group_by=group_ref
+                )
+                return sql, tables, fallbacks
+            select = f"{fn}({qualify(measure_table, measure_col)})"
+            return (
+                self._assemble(select, tables, where, where_table),
+                tables,
+                fallbacks,
+            )
+
+        if intent is Intent.COUNT:
+            return (
+                self._assemble("COUNT(*)", tables, where, where_table),
+                tables,
+                fallbacks,
+            )
+
+        if intent is Intent.COUNT_DISTINCT:
+            mention = self._first_column(link, primary)
+            if mention is None:
+                raise Text2SqlError(
+                    "count-distinct question without a column"
+                )
+            column_table = self._mention_table(mention, primary)
+            if column_table not in tables:
+                tables.append(column_table)
+            select = (
+                f"COUNT(DISTINCT {qualify(column_table, mention.entry.target)})"
+            )
+            return (
+                self._assemble(select, tables, where, where_table),
+                tables,
+                fallbacks,
+            )
+
+        if intent is Intent.TOP_N:
+            measure = self._measure_column(link, primary, notes)
+            if measure is None:
+                numerics = self.index.numeric_columns(primary)
+                if not numerics:
+                    raise Text2SqlError(
+                        f"top-n without a numeric column on {primary!r}"
+                    )
+                measure = (primary, numerics[0])
+                fallbacks += 1
+            measure_table, measure_col = measure
+            label = self._label_column(link, primary, exclude={measure_col})
+            if label is None:
+                label = (primary, self.index.label_columns[primary])
+                fallbacks += 1
+                notes.append(f"label column guessed as {label[1]!r}")
+            label_table, label_col = label
+            for extra in (measure_table, label_table):
+                if extra not in tables:
+                    tables.append(extra)
+            direction = "ASC" if intent_result.ascending else "DESC"
+            n = intent_result.top_n or 1
+            select = qualify(label_table, label_col)
+            sql = self._assemble(
+                select, tables, where, where_table,
+                order_by=f"{qualify(measure_table, measure_col)} {direction}",
+                limit=n,
+            )
+            return sql, tables, fallbacks
+
+        if intent is Intent.DISTINCT:
+            mention = self._first_column(link, primary)
+            if mention is None:
+                raise Text2SqlError("distinct question without a column")
+            column_table = self._mention_table(mention, primary)
+            if column_table not in tables:
+                tables.append(column_table)
+            select = f"DISTINCT {qualify(column_table, mention.entry.target)}"
+            return (
+                self._assemble(select, tables, where, where_table),
+                tables,
+                fallbacks,
+            )
+
+        # Intent.LIST
+        where_column = where.split(" ")[0] if where else None
+        mention = self._first_column(
+            link, primary, exclude={where_column} if where_column else set()
+        )
+        if mention is not None:
+            column_table = self._mention_table(mention, primary)
+            if column_table not in tables:
+                tables.append(column_table)
+            select = qualify(column_table, mention.entry.target)
+        else:
+            select = qualify(primary, self.index.label_columns[primary])
+            fallbacks += 1
+            notes.append("select column guessed from label heuristic")
+        return (
+            self._assemble(select, tables, where, where_table),
+            tables,
+            fallbacks,
+        )
+
+    # -- column pickers --------------------------------------------------
+
+    def _measure_column(
+        self, link: LinkResult, primary: str, notes: list[str]
+    ) -> Optional[tuple[str, str]]:
+        for mention in link.columns():
+            table = self._mention_table(mention, primary)
+            if mention.entry.target in self.index.numeric_columns(table):
+                return table, mention.entry.target
+        return None
+
+    def _group_column(
+        self,
+        text: str,
+        link: LinkResult,
+        primary: str,
+        exclude: Optional[set[str]] = None,
+    ) -> Optional[Mention]:
+        exclude = exclude or set()
+        match = _GROUP_MARKER.search(text)
+        if match is None:
+            return None
+        marker_position = match.end() + 1
+        after = [
+            m
+            for m in link.columns()
+            if m.start >= marker_position - 1 and m.entry.target not in exclude
+        ]
+        if after:
+            return after[0]
+        remaining = [
+            m for m in link.columns() if m.entry.target not in exclude
+        ]
+        return remaining[0] if remaining else None
+
+    def _temporal_group(self, text: str, primary: str) -> Optional[str]:
+        """A STRFTIME group expression for month/year questions.
+
+        "total amount per month" has no literal schema column to link;
+        when the primary table has a DATE column, group by its
+        month/year bucket instead.
+        """
+        lowered = text.lower()
+        if re.search(r"(?<![a-z])month(?:ly|s)?(?![a-z])|月", lowered):
+            fmt = "%Y-%m"
+        elif re.search(r"(?<![a-z])year(?:ly|s)?(?![a-z])|年", lowered):
+            fmt = "%Y"
+        else:
+            return None
+        for column in self.index.tables.get(primary, []):
+            if self.index.column_types.get((primary, column)) == "DATE":
+                return f"STRFTIME('{fmt}', {primary}.{column})"
+        return None
+
+    def _first_column(
+        self,
+        link: LinkResult,
+        primary: str,
+        exclude: Optional[set[str]] = None,
+    ) -> Optional[Mention]:
+        exclude = exclude or set()
+        for mention in link.columns():
+            if mention.entry.target not in exclude:
+                return mention
+        return None
+
+    def _label_column(
+        self,
+        link: LinkResult,
+        primary: str,
+        exclude: set[str],
+    ) -> Optional[tuple[str, str]]:
+        for mention in link.columns():
+            if mention.entry.target in exclude:
+                continue
+            table = self._mention_table(mention, primary)
+            if mention.entry.target not in self.index.numeric_columns(table):
+                return table, mention.entry.target
+        return None
+
+    # -- FROM clause / join inference --------------------------------------
+
+    def _assemble(
+        self,
+        select: str,
+        tables: list[str],
+        where: Optional[str],
+        where_table: Optional[str],
+        group_by: Optional[str] = None,
+        order_by: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> str:
+        if where_table is not None and where_table not in tables:
+            tables.append(where_table)
+        if len(tables) == 1:
+            from_clause = tables[0]
+            where_clause = where
+        else:
+            from_clause = self._join_clause(tables)
+            where_clause = (
+                f"{where_table}.{where}" if where and where_table else where
+            )
+        parts = [f"SELECT {select}", f"FROM {from_clause}"]
+        if where_clause:
+            parts.append(f"WHERE {where_clause}")
+        if group_by:
+            parts.append(f"GROUP BY {group_by}")
+        if order_by:
+            parts.append(f"ORDER BY {order_by}")
+        if limit is not None:
+            parts.append(f"LIMIT {limit}")
+        return " ".join(parts)
+
+    def _join_clause(self, tables: list[str]) -> str:
+        clause = tables[0]
+        joined = [tables[0]]
+        for table in tables[1:]:
+            condition = self._find_join(joined, table)
+            if condition is None:
+                raise Text2SqlError(
+                    f"no join path between {joined} and {table!r}"
+                )
+            clause += f" JOIN {table} ON {condition}"
+            joined.append(table)
+        return clause
+
+    def _find_join(
+        self, joined: list[str], new_table: str
+    ) -> Optional[str]:
+        """Find a shared key column between ``new_table`` and any joined
+        table (classic name-equality foreign-key inference)."""
+        new_columns = set(self.index.tables.get(new_table, []))
+        for existing in joined:
+            shared = [
+                column
+                for column in self.index.tables.get(existing, [])
+                if column in new_columns
+                and (
+                    column.lower().endswith("_id")
+                    or column.lower() == "id"
+                    or self._is_primary_like(column, existing, new_table)
+                )
+            ]
+            if shared:
+                key = shared[0]
+                return f"{existing}.{key} = {new_table}.{key}"
+        return None
+
+    def _is_primary_like(
+        self, column: str, left: str, right: str
+    ) -> bool:
+        lowered = column.lower()
+        for table in (left, right):
+            singular = table.lower().rstrip("s")
+            if lowered == singular or lowered == f"{singular}_id":
+                return True
+        # A shared TEXT key column (e.g. departments.dept) also joins.
+        left_type = self.index.column_types.get((left, column))
+        right_type = self.index.column_types.get((right, column))
+        return left_type is not None and left_type == right_type

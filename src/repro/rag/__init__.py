@@ -1,0 +1,69 @@
+"""Retrieval-Augmented Generation from multiple data sources.
+
+Implements the paper's Figure 2 pipeline:
+
+1. **Knowledge construction** — documents are loaded, segmented into
+   chunks, and indexed three ways: a dense vector store (hash-feature
+   embeddings), an inverted index (BM25), and an entity graph index.
+2. **Knowledge retrieval** — a query is embedded and the top-k most
+   relevant chunks are fetched by the chosen strategy (vector cosine,
+   keyword similarity, graph expansion, or hybrid fusion).
+3. **Adaptive ICL** — retrieved context is packed into a prompt
+   template under a token budget, with privacy scrubbing applied before
+   any text reaches a model.
+"""
+
+from repro.rag.document import Chunk, Document
+from repro.rag.embedder import HashingEmbedder
+from repro.rag.federation import MultiSourceKnowledge
+from repro.rag.graph_index import GraphIndex
+from repro.rag.icl import ContextPacker, PromptTemplate
+from repro.rag.inverted_index import InvertedIndex
+from repro.rag.knowledge_base import KnowledgeBase, RetrievedChunk
+from repro.rag.loaders import (
+    CsvLoader,
+    DirectoryLoader,
+    MarkdownLoader,
+    TextLoader,
+)
+from repro.rag.privacy import PrivacyScrubber
+from repro.rag.retriever import (
+    EmbeddingRetriever,
+    GraphRetriever,
+    HybridRetriever,
+    KeywordRetriever,
+    Retriever,
+)
+from repro.rag.splitter import (
+    FixedSizeSplitter,
+    ParagraphSplitter,
+    SentenceSplitter,
+)
+from repro.rag.vectorstore import VectorStore
+
+__all__ = [
+    "Chunk",
+    "ContextPacker",
+    "CsvLoader",
+    "DirectoryLoader",
+    "Document",
+    "EmbeddingRetriever",
+    "FixedSizeSplitter",
+    "GraphIndex",
+    "GraphRetriever",
+    "HashingEmbedder",
+    "HybridRetriever",
+    "InvertedIndex",
+    "KeywordRetriever",
+    "KnowledgeBase",
+    "MarkdownLoader",
+    "MultiSourceKnowledge",
+    "ParagraphSplitter",
+    "PrivacyScrubber",
+    "PromptTemplate",
+    "RetrievedChunk",
+    "Retriever",
+    "SentenceSplitter",
+    "TextLoader",
+    "VectorStore",
+]

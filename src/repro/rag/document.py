@@ -1,0 +1,33 @@
+"""Document and chunk dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Document:
+    """A source document before segmentation."""
+
+    doc_id: str
+    text: str
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise ValueError("doc_id must be non-empty")
+
+
+@dataclass
+class Chunk:
+    """One indexed segment of a document."""
+
+    chunk_id: str
+    doc_id: str
+    text: str
+    position: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.text)

@@ -1,0 +1,131 @@
+"""Deterministic text embedder (neural-encoder substitute).
+
+Feature-hashing of word unigrams, word bigrams and character trigrams
+into a fixed-dimension vector, TF-weighted and L2-normalized. Texts that
+share vocabulary land near each other in cosine space, which is the
+property the retrieval benchmarks depend on. Hashes use zlib.crc32 so
+vectors are stable across processes (Python's ``hash`` is randomized).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import zlib
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+_WORD = re.compile(r"[a-z0-9]+|[一-鿿]")
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Lower-cased word tokens; CJK characters tokenize individually."""
+    return _WORD.findall(text.lower())
+
+
+class HashingEmbedder:
+    """Embed text into a ``dim``-dimensional unit vector."""
+
+    def __init__(
+        self,
+        dim: int = 512,
+        use_bigrams: bool = True,
+        use_char_trigrams: bool = True,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.use_bigrams = use_bigrams
+        self.use_char_trigrams = use_char_trigrams
+
+    def features(self, text: str) -> Iterable[tuple[str, str]]:
+        """Yield ``(feature, source_word)`` pairs for ``text``.
+
+        The source word lets callers weight derived features (bigrams,
+        character trigrams) by the importance of the word they came from.
+        """
+        words = tokenize_words(text)
+        for word in words:
+            yield word, word
+        if self.use_bigrams:
+            for left, right in zip(words, words[1:]):
+                yield f"{left}_{right}", right
+        if self.use_char_trigrams:
+            for word in words:
+                padded = f"^{word}$"
+                for i in range(len(padded) - 2):
+                    yield f"#{padded[i:i + 3]}", word
+
+    def embed(
+        self,
+        text: str,
+        word_weight: Optional[Callable[[str], float]] = None,
+    ) -> np.ndarray:
+        """Embed one text; empty text maps to the zero vector.
+
+        ``word_weight`` scales each feature's contribution by the weight
+        of its source word (e.g. corpus IDF); default weight is 1.
+        """
+        vector = np.zeros(self.dim, dtype=np.float64)
+        for feature, word in self.features(text):
+            weight = 1.0 if word_weight is None else word_weight(word)
+            if weight == 0.0:
+                continue
+            digest = zlib.crc32(feature.encode("utf-8"))
+            index = digest % self.dim
+            # Use one spare bit of the hash for the sign, the classic
+            # hashing-trick debiasing.
+            sign = 1.0 if (digest >> 31) & 1 else -1.0
+            vector[index] += sign * weight
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_batch(
+        self,
+        texts: list[str],
+        word_weight: Optional[Callable[[str], float]] = None,
+    ) -> np.ndarray:
+        """Embed many texts into a (n, dim) matrix."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(text, word_weight) for text in texts])
+
+
+class IdfTable:
+    """Document-frequency table providing IDF word weights.
+
+    Feeding every indexed chunk through :meth:`add_document` lets the
+    embedder down-weight boilerplate words shared by the whole corpus —
+    the standard TF-IDF move, applied inside the hashing embedder.
+    """
+
+    def __init__(self) -> None:
+        self._df: dict[str, int] = {}
+        self._documents = 0
+
+    @property
+    def documents(self) -> int:
+        return self._documents
+
+    def add_document(self, text: str) -> None:
+        self._documents += 1
+        for word in set(tokenize_words(text)):
+            self._df[word] = self._df.get(word, 0) + 1
+
+    def weight(self, word: str) -> float:
+        """IDF weight; unseen words get the maximum weight."""
+        if self._documents == 0:
+            return 1.0
+        df = self._df.get(word, 0)
+        return math.log(1.0 + self._documents / (1.0 + df))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0 if either is zero)."""
+    denominator = float(np.linalg.norm(a)) * float(np.linalg.norm(b))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denominator)

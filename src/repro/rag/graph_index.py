@@ -1,0 +1,127 @@
+"""Entity graph index (the paper's graph-index enhancement).
+
+Builds a bipartite chunk <-> entity graph. Entities come from supplied
+metadata or a capitalized-phrase extractor. Retrieval matches query
+entities, scores their chunks, and expands one hop through shared
+entities so entity-centric questions reach related chunks that share no
+surface keywords with the query.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import networkx as nx
+
+_CAPITALIZED = re.compile(r"\b([A-Z][a-zA-Z0-9]+(?:\s+[A-Z][a-zA-Z0-9]+)*)\b")
+
+
+def extract_entities(text: str) -> list[str]:
+    """Capitalized-phrase entity extraction.
+
+    Sentence-initial capitalization is usually grammar, not a name, so
+    those matches are kept only when they look like product names:
+    internal capitals (``PostgreSQL``) or all-caps acronyms (``TLS``).
+    """
+    entities: list[str] = []
+    for sentence in re.split(r"(?<=[.!?])\s+", text):
+        for match in _CAPITALIZED.finditer(sentence):
+            phrase = match.group(1)
+            if match.start() == 0 and not _looks_like_name(phrase):
+                continue
+            entities.append(phrase)
+    return entities
+
+
+def _looks_like_name(phrase: str) -> bool:
+    first_word = phrase.split()[0]
+    has_inner_capital = any(ch.isupper() for ch in first_word[1:])
+    is_acronym = len(first_word) >= 2 and first_word.isupper()
+    return has_inner_capital or is_acronym
+
+
+@dataclass
+class GraphHit:
+    item_id: str
+    score: float
+    via: list[str]
+
+
+class GraphIndex:
+    """Bipartite chunk/entity graph over :mod:`networkx`."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._entity_chunks: dict[str, set[str]] = defaultdict(set)
+        self._chunk_ids: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._chunk_ids)
+
+    def add(
+        self,
+        item_id: str,
+        text: str,
+        entities: Optional[Iterable[str]] = None,
+    ) -> None:
+        if item_id in self._chunk_ids:
+            raise ValueError(f"id {item_id!r} already indexed")
+        if entities is None:
+            entities = extract_entities(text)
+        self._chunk_ids.add(item_id)
+        self._graph.add_node(("chunk", item_id))
+        for entity in entities:
+            normalized = entity.strip().lower()
+            if not normalized:
+                continue
+            self._graph.add_node(("entity", normalized))
+            self._graph.add_edge(("chunk", item_id), ("entity", normalized))
+            self._entity_chunks[normalized].add(item_id)
+
+    def entities(self) -> list[str]:
+        return sorted(self._entity_chunks)
+
+    def chunks_for_entity(self, entity: str) -> set[str]:
+        return set(self._entity_chunks.get(entity.strip().lower(), set()))
+
+    def search(self, query: str, k: int = 5) -> list[GraphHit]:
+        """Entity-match retrieval with one-hop expansion.
+
+        Direct mentions score 1.0 per matched entity; chunks reached
+        through an intermediate chunk sharing that entity score 0.5.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query_lower = query.lower()
+        matched = [
+            entity
+            for entity in self._entity_chunks
+            if entity in query_lower
+        ]
+        scores: dict[str, float] = defaultdict(float)
+        via: dict[str, set[str]] = defaultdict(set)
+        for entity in matched:
+            direct = self._entity_chunks[entity]
+            for item_id in direct:
+                scores[item_id] += 1.0
+                via[item_id].add(entity)
+            # One-hop expansion: neighbours of the direct chunks through
+            # any shared entity.
+            for item_id in direct:
+                for _kind, neighbor_entity in self._graph.neighbors(
+                    ("chunk", item_id)
+                ):
+                    for sibling in self._entity_chunks[neighbor_entity]:
+                        if sibling not in direct:
+                            scores[sibling] += 0.5
+                            via[sibling].add(neighbor_entity)
+        ranked = sorted(
+            scores.items(), key=lambda pair: (-pair[1], pair[0])
+        )
+        return [
+            GraphHit(item_id, score, sorted(via[item_id]))
+            for item_id, score in ranked[:k]
+        ]

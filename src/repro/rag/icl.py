@@ -1,0 +1,115 @@
+"""In-context learning: prompt templates and adaptive context packing.
+
+The paper's third RAG stage incorporates retrieved knowledge "into a
+predefined prompt template", with the efficacy depending on the
+template configuration. :class:`PromptTemplate` renders named slots;
+:class:`ContextPacker` selects how much retrieved context fits a token
+budget, in relevance order, without splitting chunks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.rag.embedder import tokenize_words
+
+_SLOT = re.compile(r"\{([a-z_]+)\}")
+
+
+class PromptTemplate:
+    """A text template with ``{slot}`` placeholders.
+
+    >>> t = PromptTemplate("Answer using context:\\n{context}\\nQ: {question}")
+    >>> "Q: hi" in t.render(context="...", question="hi")
+    True
+    """
+
+    def __init__(self, template: str) -> None:
+        self.template = template
+        self.slots = set(_SLOT.findall(template))
+        if not self.slots:
+            raise ValueError("template has no {slot} placeholders")
+
+    def render(self, **values: Any) -> str:
+        missing = self.slots - set(values)
+        if missing:
+            raise KeyError(f"missing template slots: {sorted(missing)}")
+        result = self.template
+        for name in self.slots:
+            result = result.replace("{" + name + "}", str(values[name]))
+        return result
+
+
+#: Default templates per task, mirroring DB-GPT's prompt catalog.
+DEFAULT_TEMPLATES: dict[str, PromptTemplate] = {
+    "qa": PromptTemplate(
+        "You are a helpful data assistant. Use only the context.\n"
+        "Context:\n{context}\n\nQuestion: {question}\nAnswer:"
+    ),
+    "text2sql": PromptTemplate(
+        "Given the database schema:\n{schema}\n"
+        "Write one SQL query answering: {question}\nSQL:"
+    ),
+    "sql2text": PromptTemplate(
+        "Explain in plain language what this SQL does:\n{sql}\nExplanation:"
+    ),
+    "summary": PromptTemplate(
+        "Summarize the following result for the user:\n{content}\nSummary:"
+    ),
+}
+
+
+def estimate_tokens(text: str) -> int:
+    """Cheap token estimate: word tokens (matches the sim tokenizer)."""
+    return len(tokenize_words(text))
+
+
+@dataclass
+class PackedContext:
+    """The chunks that fit the budget, already rendered."""
+
+    text: str
+    used_chunk_ids: list[str]
+    dropped_chunk_ids: list[str]
+    token_count: int
+
+
+class ContextPacker:
+    """Pack retrieved chunks under a token budget, best-first."""
+
+    def __init__(self, max_tokens: int = 512, separator: str = "\n---\n") -> None:
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        self.max_tokens = max_tokens
+        self.separator = separator
+
+    def pack(
+        self, ranked_chunks: list[tuple[str, str]]
+    ) -> PackedContext:
+        """``ranked_chunks`` is ``[(chunk_id, text), ...]`` best first."""
+        used: list[str] = []
+        dropped: list[str] = []
+        parts: list[str] = []
+        total = 0
+        for chunk_id, text in ranked_chunks:
+            cost = estimate_tokens(text)
+            if total + cost > self.max_tokens and used:
+                dropped.append(chunk_id)
+                continue
+            if cost > self.max_tokens and not used:
+                # A single over-budget chunk is truncated rather than
+                # dropped — an empty context is strictly worse.
+                words = tokenize_words(text)[: self.max_tokens]
+                text = " ".join(words)
+                cost = len(words)
+            used.append(chunk_id)
+            parts.append(text)
+            total += cost
+        return PackedContext(
+            text=self.separator.join(parts),
+            used_chunk_ids=used,
+            dropped_chunk_ids=dropped,
+            token_count=total,
+        )

@@ -1,0 +1,96 @@
+"""Inverted index with BM25 ranking (the paper's keyword-similarity
+retrieval strategy)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rag.embedder import tokenize_words
+
+#: Minimal English stopword list; keeps the index discriminative without
+#: pulling in external data.
+STOPWORDS = frozenset(
+    "a an and are as at be by for from has have in is it of on or the to "
+    "was were will with how does do what we about".split()
+)
+
+
+@dataclass
+class KeywordHit:
+    item_id: str
+    score: float
+
+
+class InvertedIndex:
+    """Classic term -> postings index scored with BM25.
+
+    ``k1`` and ``b`` are the standard Okapi parameters.
+    """
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
+        self.k1 = k1
+        self.b = b
+        self._postings: dict[str, dict[str, int]] = defaultdict(dict)
+        self._doc_lengths: dict[str, int] = {}
+        self._total_length = 0
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._doc_lengths
+
+    @staticmethod
+    def _terms(text: str) -> list[str]:
+        return [t for t in tokenize_words(text) if t not in STOPWORDS]
+
+    def add(self, item_id: str, text: str) -> None:
+        if item_id in self._doc_lengths:
+            raise ValueError(f"id {item_id!r} already indexed")
+        terms = self._terms(text)
+        counts = Counter(terms)
+        for term, count in counts.items():
+            self._postings[term][item_id] = count
+        self._doc_lengths[item_id] = len(terms)
+        self._total_length += len(terms)
+
+    def remove(self, item_id: str) -> None:
+        if item_id not in self._doc_lengths:
+            raise KeyError(item_id)
+        for postings in self._postings.values():
+            postings.pop(item_id, None)
+        self._total_length -= self._doc_lengths.pop(item_id)
+
+    def idf(self, term: str) -> float:
+        n = len(self._doc_lengths)
+        df = len(self._postings.get(term, ()))
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def search(self, query: str, k: int = 5) -> list[KeywordHit]:
+        """Top-k documents by BM25 score for ``query``."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not self._doc_lengths:
+            return []
+        avg_length = self._total_length / len(self._doc_lengths)
+        scores: dict[str, float] = defaultdict(float)
+        for term in set(self._terms(query)):
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = self.idf(term)
+            for item_id, tf in postings.items():
+                length = self._doc_lengths[item_id]
+                denominator = tf + self.k1 * (
+                    1 - self.b + self.b * length / max(avg_length, 1e-9)
+                )
+                scores[item_id] += idf * tf * (self.k1 + 1) / denominator
+        ranked = sorted(
+            scores.items(), key=lambda pair: (-pair[1], pair[0])
+        )
+        return [KeywordHit(item_id, score) for item_id, score in ranked[:k]]

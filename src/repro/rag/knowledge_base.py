@@ -1,0 +1,290 @@
+"""The knowledge base: construction + retrieval + ICL assembly.
+
+This is the facade the applications use; it wires together the
+splitter, the three indexes, the retrieval strategies, the reranker,
+the context packer and the privacy scrubber into the paper's Figure 2
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.rag.document import Chunk, Document
+from repro.rag.embedder import HashingEmbedder
+from repro.rag.graph_index import GraphIndex
+from repro.rag.icl import ContextPacker, PackedContext
+from repro.rag.inverted_index import InvertedIndex
+from repro.rag.loaders import Loader
+from repro.rag.privacy import PrivacyScrubber
+from repro.rag.reranker import OverlapReranker
+from repro.rag.retriever import (
+    EmbeddingRetriever,
+    GraphRetriever,
+    HybridRetriever,
+    KeywordRetriever,
+    RetrievalHit,
+    Retriever,
+)
+from repro.rag.splitter import ParagraphSplitter, Splitter
+
+
+@dataclass
+class RetrievedChunk:
+    """A retrieval result with its text resolved."""
+
+    chunk: Chunk
+    score: float
+    strategy: str
+
+
+class KnowledgeBase:
+    """Multi-index knowledge store with pluggable retrieval strategies.
+
+    >>> kb = KnowledgeBase(name="docs")
+    >>> kb.add_document(Document("d1", "PostgreSQL uses MVCC for isolation."))
+    >>> kb.retrieve("How does PostgreSQL isolation work?", k=1)[0].chunk.doc_id
+    'd1'
+    """
+
+    STRATEGIES = ("vector", "keyword", "graph", "hybrid")
+
+    def __init__(
+        self,
+        name: str = "knowledge",
+        splitter: Optional[Splitter] = None,
+        embedder: Optional[HashingEmbedder] = None,
+        scrubber: Optional[PrivacyScrubber] = None,
+    ) -> None:
+        self.name = name
+        self._splitter = splitter or ParagraphSplitter()
+        self._embedder = embedder or HashingEmbedder()
+        self._scrubber = scrubber
+        self._vector_store = VectorStoreHolder(self._embedder)
+        self._inverted = InvertedIndex()
+        self._graph = GraphIndex()
+        self._chunks: dict[str, Chunk] = {}
+        self._reranker = OverlapReranker(self._embedder)
+
+    # -- construction ------------------------------------------------------
+
+    def add_document(
+        self,
+        document: Document,
+        entities: Optional[Iterable[str]] = None,
+    ) -> list[Chunk]:
+        """Segment, scrub and index one document; returns its chunks."""
+        if self._scrubber is not None:
+            scrubbed = self._scrubber.scrub(document.text)
+            document = Document(
+                document.doc_id, scrubbed.text, dict(document.metadata)
+            )
+        chunks = self._splitter.split(document)
+        for chunk in chunks:
+            self.add_chunk(chunk, entities=entities)
+        return chunks
+
+    def add_chunk(
+        self,
+        chunk: Chunk,
+        entities: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Index one pre-built chunk (used by loaders and persistence)."""
+        if chunk.chunk_id in self._chunks:
+            raise ValueError(
+                f"chunk id {chunk.chunk_id!r} already indexed"
+            )
+        self._chunks[chunk.chunk_id] = chunk
+        self._vector_store.add(chunk)
+        self._inverted.add(chunk.chunk_id, chunk.text)
+        self._graph.add(
+            chunk.chunk_id,
+            chunk.text,
+            entities=list(entities) if entities is not None else None,
+        )
+
+    def add_documents(self, documents: Iterable[Document]) -> int:
+        count = 0
+        for document in documents:
+            count += len(self.add_document(document))
+        return count
+
+    def load(self, loader: Loader) -> int:
+        """Construct knowledge from a loader (one of the data sources)."""
+        return self.add_documents(loader.load())
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def chunk(self, chunk_id: str) -> Chunk:
+        return self._chunks[chunk_id]
+
+    # -- retrieval ---------------------------------------------------------
+
+    def retriever(self, strategy: str = "hybrid") -> Retriever:
+        """Build the retriever implementing ``strategy``."""
+        if strategy == "vector":
+            return self._vector_store.make_retriever()
+        if strategy == "keyword":
+            return KeywordRetriever(self._inverted)
+        if strategy == "graph":
+            return GraphRetriever(self._graph)
+        if strategy == "hybrid":
+            return HybridRetriever(
+                [
+                    self._vector_store.make_retriever(),
+                    KeywordRetriever(self._inverted),
+                    GraphRetriever(self._graph),
+                ]
+            )
+        raise ValueError(
+            f"unknown strategy {strategy!r}; known: {self.STRATEGIES}"
+        )
+
+    def retrieve(
+        self,
+        query: str,
+        k: int = 5,
+        strategy: str = "hybrid",
+        rerank: bool = False,
+    ) -> list[RetrievedChunk]:
+        """Top-k chunks for ``query`` under the chosen strategy."""
+        hits = self.retriever(strategy).retrieve(query, k=k * 2 if rerank else k)
+        if rerank:
+            texts = {
+                hit.chunk_id: self._chunks[hit.chunk_id].text for hit in hits
+            }
+            self._reranker.word_weight = self._vector_store.idf_weight
+            hits = self._reranker.rerank(query, hits, texts, k=k)
+        return [
+            RetrievedChunk(
+                chunk=self._chunks[hit.chunk_id],
+                score=hit.score,
+                strategy=hit.strategy,
+            )
+            for hit in hits[:k]
+        ]
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the knowledge base to a JSON file.
+
+        Chunks and their entity links are stored; the three indexes are
+        deterministic functions of them and are rebuilt on load.
+        """
+        import json
+        import pathlib
+
+        payload = []
+        for chunk in self._chunks.values():
+            entities = [
+                neighbor_entity
+                for _kind, neighbor_entity in self._graph._graph.neighbors(
+                    ("chunk", chunk.chunk_id)
+                )
+            ]
+            payload.append(
+                {
+                    "chunk_id": chunk.chunk_id,
+                    "doc_id": chunk.doc_id,
+                    "text": chunk.text,
+                    "position": chunk.position,
+                    "metadata": chunk.metadata,
+                    "entities": sorted(entities),
+                }
+            )
+        pathlib.Path(path).write_text(
+            json.dumps({"name": self.name, "chunks": payload},
+                       ensure_ascii=False)
+        )
+
+    @classmethod
+    def load_file(cls, path, **kwargs) -> "KnowledgeBase":
+        """Rebuild a knowledge base saved with :meth:`save`."""
+        import json
+        import pathlib
+
+        payload = json.loads(pathlib.Path(path).read_text())
+        kb = cls(name=payload.get("name", "knowledge"), **kwargs)
+        for item in payload["chunks"]:
+            kb.add_chunk(
+                Chunk(
+                    chunk_id=item["chunk_id"],
+                    doc_id=item["doc_id"],
+                    text=item["text"],
+                    position=item.get("position", 0),
+                    metadata=item.get("metadata", {}),
+                ),
+                entities=item.get("entities"),
+            )
+        return kb
+
+    # -- ICL assembly ------------------------------------------------------
+
+    def build_context(
+        self,
+        query: str,
+        k: int = 5,
+        strategy: str = "hybrid",
+        max_tokens: int = 512,
+        rerank: bool = True,
+    ) -> PackedContext:
+        """Retrieve then pack context for a prompt, best-first."""
+        retrieved = self.retrieve(query, k=k, strategy=strategy, rerank=rerank)
+        packer = ContextPacker(max_tokens=max_tokens)
+        return packer.pack(
+            [(r.chunk.chunk_id, r.chunk.text) for r in retrieved]
+        )
+
+
+class VectorStoreHolder:
+    """Couples a vector store with the embedder and a corpus IDF table.
+
+    Every add updates the IDF table and marks stored vectors stale; the
+    store is rebuilt with current IDF weights lazily, before the first
+    search after a mutation. Corpora here are laptop-sized, so the
+    rebuild keeps semantics simple (all vectors always share one IDF
+    snapshot) at negligible cost.
+    """
+
+    def __init__(self, embedder: HashingEmbedder) -> None:
+        from repro.rag.embedder import IdfTable
+        from repro.rag.vectorstore import VectorStore
+
+        self.store = VectorStore(embedder.dim)
+        self._embedder = embedder
+        self._idf = IdfTable()
+        self._pending: list[Chunk] = []
+        self._all_chunks: list[Chunk] = []
+
+    def add(self, chunk: Chunk) -> None:
+        self._idf.add_document(chunk.text)
+        self._pending.append(chunk)
+        self._all_chunks.append(chunk)
+
+    @property
+    def idf_weight(self):
+        return self._idf.weight
+
+    def make_retriever(self) -> EmbeddingRetriever:
+        self._refresh()
+        return EmbeddingRetriever(
+            self.store, self._embedder, word_weight=self._idf.weight
+        )
+
+    def _refresh(self) -> None:
+        if not self._pending:
+            return
+        from repro.rag.vectorstore import VectorStore
+
+        # IDF weights changed for every stored vector; rebuild all.
+        self.store = VectorStore(self._embedder.dim)
+        for chunk in self._all_chunks:
+            self.store.add(
+                chunk.chunk_id,
+                self._embedder.embed(chunk.text, word_weight=self._idf.weight),
+                metadata={"doc_id": chunk.doc_id},
+            )
+        self._pending = []

@@ -1,0 +1,171 @@
+"""Document loaders for multiple data-source kinds."""
+
+from __future__ import annotations
+
+import abc
+import pathlib
+import re
+from typing import Iterable
+
+from repro.rag.document import Document
+
+
+class LoaderError(Exception):
+    """Raised when a loader cannot read its input."""
+
+
+class Loader(abc.ABC):
+    """Produce :class:`Document` objects from some source."""
+
+    @abc.abstractmethod
+    def load(self) -> list[Document]:
+        """Read and return all documents."""
+
+
+class TextLoader(Loader):
+    """One plain-text file -> one document."""
+
+    def __init__(self, path: pathlib.Path | str) -> None:
+        self.path = pathlib.Path(path)
+
+    def load(self) -> list[Document]:
+        if not self.path.is_file():
+            raise LoaderError(f"no such file: {self.path}")
+        text = self.path.read_text(encoding="utf-8")
+        return [
+            Document(
+                doc_id=self.path.stem,
+                text=text,
+                metadata={"source": str(self.path), "format": "text"},
+            )
+        ]
+
+
+class MarkdownLoader(Loader):
+    """A markdown file split at top-level headings.
+
+    Each ``#``/``##`` section becomes its own document so headings act
+    as natural retrieval units; markup is stripped to plain text.
+    """
+
+    _HEADING = re.compile(r"^#{1,2}\s+(.+)$", re.MULTILINE)
+
+    def __init__(self, path: pathlib.Path | str) -> None:
+        self.path = pathlib.Path(path)
+
+    def load(self) -> list[Document]:
+        if not self.path.is_file():
+            raise LoaderError(f"no such file: {self.path}")
+        text = self.path.read_text(encoding="utf-8")
+        sections = self._split_sections(text)
+        documents = []
+        for index, (title, body) in enumerate(sections):
+            cleaned = self._strip_markup(body)
+            if not cleaned.strip():
+                continue
+            documents.append(
+                Document(
+                    doc_id=f"{self.path.stem}-{index}",
+                    text=cleaned,
+                    metadata={
+                        "source": str(self.path),
+                        "format": "markdown",
+                        "title": title,
+                    },
+                )
+            )
+        if not documents:
+            raise LoaderError(f"markdown file {self.path} produced no text")
+        return documents
+
+    def _split_sections(self, text: str) -> list[tuple[str, str]]:
+        matches = list(self._HEADING.finditer(text))
+        if not matches:
+            return [(self.path.stem, text)]
+        sections = []
+        preamble = text[: matches[0].start()].strip()
+        if preamble:
+            sections.append((self.path.stem, preamble))
+        for i, match in enumerate(matches):
+            end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+            body = text[match.end() : end]
+            sections.append((match.group(1).strip(), body))
+        return sections
+
+    @staticmethod
+    def _strip_markup(text: str) -> str:
+        text = re.sub(r"```.*?```", " ", text, flags=re.DOTALL)
+        text = re.sub(r"`([^`]*)`", r"\1", text)
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+        text = re.sub(r"[*_>#]+", " ", text)
+        return re.sub(r"[ \t]+", " ", text).strip()
+
+
+class CsvLoader(Loader):
+    """A CSV file rendered row-by-row as retrievable sentences.
+
+    Tabular knowledge ("the price of X is Y") becomes text the indexes
+    can match, which is how DB-GPT answers KB questions over tables.
+    """
+
+    def __init__(self, path: pathlib.Path | str) -> None:
+        self.path = pathlib.Path(path)
+
+    def load(self) -> list[Document]:
+        from repro.datasources.csv_source import read_csv_records
+
+        records = read_csv_records(self.path)
+        documents = []
+        for index, record in enumerate(records):
+            text = "; ".join(
+                f"{key} is {value}" for key, value in record.items()
+                if value is not None
+            )
+            documents.append(
+                Document(
+                    doc_id=f"{self.path.stem}-row{index}",
+                    text=text,
+                    metadata={
+                        "source": str(self.path),
+                        "format": "csv",
+                        "row": index,
+                    },
+                )
+            )
+        return documents
+
+
+class DirectoryLoader(Loader):
+    """Load every supported file under a directory."""
+
+    _DISPATCH = {
+        ".txt": TextLoader,
+        ".md": MarkdownLoader,
+        ".csv": CsvLoader,
+    }
+
+    def __init__(
+        self,
+        directory: pathlib.Path | str,
+        extensions: Iterable[str] | None = None,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.extensions = (
+            set(extensions) if extensions is not None else set(self._DISPATCH)
+        )
+
+    def load(self) -> list[Document]:
+        if not self.directory.is_dir():
+            raise LoaderError(f"no such directory: {self.directory}")
+        documents: list[Document] = []
+        for path in sorted(self.directory.rglob("*")):
+            loader_cls = self._DISPATCH.get(path.suffix.lower())
+            if loader_cls is None or path.suffix.lower() not in self.extensions:
+                continue
+            documents.extend(loader_cls(path).load())
+        if not documents:
+            raise LoaderError(
+                f"no loadable files under {self.directory} "
+                f"(looked for {sorted(self.extensions)})"
+            )
+        return documents

@@ -1,0 +1,104 @@
+"""Dense vector store with cosine top-k search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+
+@dataclass
+class VectorHit:
+    """One nearest-neighbour result."""
+
+    item_id: str
+    score: float
+    metadata: dict[str, Any]
+
+
+class VectorStore:
+    """Exact cosine-similarity search over unit vectors.
+
+    Vectors are held in a contiguous matrix rebuilt lazily on first
+    search after a mutation, so bulk loading stays O(n).
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self._ids: list[str] = []
+        self._vectors: list[np.ndarray] = []
+        self._metadata: dict[str, dict[str, Any]] = {}
+        self._matrix: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._metadata
+
+    def add(
+        self,
+        item_id: str,
+        vector: np.ndarray,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> None:
+        if item_id in self._metadata:
+            raise ValueError(f"id {item_id!r} already stored")
+        if vector.shape != (self.dim,):
+            raise ValueError(
+                f"expected shape ({self.dim},), got {vector.shape}"
+            )
+        self._ids.append(item_id)
+        self._vectors.append(np.asarray(vector, dtype=np.float64))
+        self._metadata[item_id] = dict(metadata or {})
+        self._matrix = None
+
+    def remove(self, item_id: str) -> None:
+        if item_id not in self._metadata:
+            raise KeyError(item_id)
+        index = self._ids.index(item_id)
+        del self._ids[index]
+        del self._vectors[index]
+        del self._metadata[item_id]
+        self._matrix = None
+
+    def get_metadata(self, item_id: str) -> dict[str, Any]:
+        return self._metadata[item_id]
+
+    def search(self, query: np.ndarray, k: int = 5) -> list[VectorHit]:
+        """Top-k items by cosine similarity to ``query``."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not self._ids:
+            return []
+        if query.shape != (self.dim,):
+            raise ValueError(
+                f"expected shape ({self.dim},), got {query.shape}"
+            )
+        if self._matrix is None:
+            self._matrix = np.stack(self._vectors)
+        norms = np.linalg.norm(self._matrix, axis=1)
+        query_norm = float(np.linalg.norm(query))
+        if query_norm == 0.0:
+            return []
+        denominators = norms * query_norm
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = np.where(
+                denominators > 0,
+                self._matrix @ query / denominators,
+                0.0,
+            )
+        count = min(k, len(self._ids))
+        top = np.argpartition(-scores, count - 1)[:count]
+        top = top[np.argsort(-scores[top], kind="stable")]
+        return [
+            VectorHit(
+                item_id=self._ids[i],
+                score=float(scores[i]),
+                metadata=self._metadata[self._ids[i]],
+            )
+            for i in top
+        ]

@@ -1,0 +1,67 @@
+"""Middleware chain for the server layer."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.rag.privacy import PrivacyScrubber
+from repro.server.request import Request, Response, error
+
+Handler = Callable[[Request], Response]
+
+
+class Middleware(abc.ABC):
+    """Wraps request handling; middlewares compose outside-in."""
+
+    @abc.abstractmethod
+    def __call__(self, request: Request, next_handler: Handler) -> Response:
+        """Process ``request``, usually delegating to ``next_handler``."""
+
+
+class LoggingMiddleware(Middleware):
+    """Records (method, path, status) tuples for observability."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[str, str, int]] = []
+
+    def __call__(self, request: Request, next_handler: Handler) -> Response:
+        response = next_handler(request)
+        self.entries.append((request.method, request.path, response.status))
+        return response
+
+
+class AuthMiddleware(Middleware):
+    """Static bearer-token check (private deployments gate access)."""
+
+    def __init__(self, token: str) -> None:
+        if not token:
+            raise ValueError("auth token must be non-empty")
+        self._token = token
+
+    def __call__(self, request: Request, next_handler: Handler) -> Response:
+        supplied = request.header("authorization")
+        if supplied != f"Bearer {self._token}":
+            return error(401, "missing or invalid bearer token")
+        return next_handler(request)
+
+
+class PrivacyMiddleware(Middleware):
+    """Scrub PII from inbound message text before apps (and models)
+    ever see it, and restore it in the outbound answer."""
+
+    def __init__(self, scrubber: Optional[PrivacyScrubber] = None) -> None:
+        self._scrubber = scrubber or PrivacyScrubber()
+
+    def __call__(self, request: Request, next_handler: Handler) -> Response:
+        message = request.body.get("message")
+        if not isinstance(message, str):
+            return next_handler(request)
+        result = self._scrubber.scrub(message)
+        request.body["message"] = result.text
+        response = next_handler(request)
+        if result.found_pii and isinstance(response.body.get("text"), str):
+            response.body["text"] = self._scrubber.restore(
+                response.body["text"], result
+            )
+        return response

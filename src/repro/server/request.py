@@ -1,0 +1,43 @@
+"""HTTP-shaped request/response objects."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    body: dict[str, Any] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: str = "") -> str:
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default
+
+
+@dataclass
+class Response:
+    status: int
+    body: dict[str, Any] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> str:
+        return json.dumps(self.body, ensure_ascii=False)
+
+
+def ok(body: dict[str, Any]) -> Response:
+    return Response(200, body)
+
+
+def error(status: int, message: str) -> Response:
+    return Response(status, {"error": message})

@@ -1,0 +1,93 @@
+"""Route table with path parameters and a middleware chain."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.server.middleware import Handler, Middleware
+from repro.server.request import Request, Response, error
+
+_PARAM = re.compile(r"\{(\w+)\}")
+
+
+class RouterError(Exception):
+    """Invalid router configuration."""
+
+
+@dataclass
+class Route:
+    method: str
+    pattern: str
+    handler: Callable[..., Response]
+    regex: re.Pattern[str]
+    param_names: list[str]
+
+
+class Router:
+    """Dispatch requests to handlers; ``{name}`` segments capture params.
+
+    Handlers receive ``(request, **path_params)``.
+    """
+
+    def __init__(self, middlewares: Optional[list[Middleware]] = None) -> None:
+        self._routes: list[Route] = []
+        self._middlewares = list(middlewares or [])
+
+    def add_middleware(self, middleware: Middleware) -> None:
+        self._middlewares.append(middleware)
+
+    def add_route(
+        self,
+        method: str,
+        pattern: str,
+        handler: Callable[..., Response],
+    ) -> None:
+        param_names = _PARAM.findall(pattern)
+        regex_text = "^" + _PARAM.sub(r"(?P<\1>[^/]+)", re.escape(pattern).replace(r"\{", "{").replace(r"\}", "}")) + "$"
+        try:
+            regex = re.compile(regex_text)
+        except re.error as exc:
+            raise RouterError(f"bad route pattern {pattern!r}: {exc}") from exc
+        for route in self._routes:
+            if route.method == method.upper() and route.pattern == pattern:
+                raise RouterError(
+                    f"route {method} {pattern} already registered"
+                )
+        self._routes.append(
+            Route(method.upper(), pattern, handler, regex, param_names)
+        )
+
+    def routes(self) -> list[tuple[str, str]]:
+        return [(route.method, route.pattern) for route in self._routes]
+
+    def dispatch(self, request: Request) -> Response:
+        handler = self._resolve_handler
+        for middleware in reversed(self._middlewares):
+            handler = _wrap(middleware, handler)
+        return handler(request)
+
+    def _resolve_handler(self, request: Request) -> Response:
+        saw_path = False
+        for route in self._routes:
+            match = route.regex.match(request.path)
+            if match is None:
+                continue
+            saw_path = True
+            if route.method != request.method.upper():
+                continue
+            params = {
+                name: match.group(name) for name in route.param_names
+            }
+            return route.handler(request, **params)
+        if saw_path:
+            return error(405, f"method {request.method} not allowed")
+        return error(404, f"no route for {request.path}")
+
+
+def _wrap(middleware: Middleware, inner: Handler) -> Handler:
+    def wrapped(request: Request) -> Response:
+        return middleware(request, inner)
+
+    return wrapped

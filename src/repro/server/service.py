@@ -1,0 +1,86 @@
+"""DbGptServer: mounts applications behind the HTTP-shaped API."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.apps.base import Application
+from repro.server.middleware import Middleware
+from repro.server.request import Request, Response, error, ok
+from repro.server.router import Router
+
+
+class DbGptServer:
+    """Serve registered applications at ``POST /api/chat/{app}``.
+
+    Also exposes ``GET /api/apps`` (discovery) and ``GET /api/health``.
+    """
+
+    def __init__(self, middlewares: Optional[list[Middleware]] = None) -> None:
+        self.router = Router(middlewares)
+        self._apps: dict[str, Application] = {}
+        self.router.add_route("GET", "/api/apps", self._list_apps)
+        self.router.add_route("GET", "/api/health", self._health)
+        self.router.add_route("GET", "/api/openapi", self._openapi)
+        self.router.add_route("POST", "/api/chat/{app}", self._chat)
+
+    def register_app(self, app: Application) -> None:
+        key = app.name.lower()
+        if key in self._apps:
+            raise ValueError(f"app {app.name!r} already registered")
+        self._apps[key] = app
+
+    def app_names(self) -> list[str]:
+        return sorted(self._apps)
+
+    def handle(self, request: Request) -> Response:
+        return self.router.dispatch(request)
+
+    # -- handlers -----------------------------------------------------------
+
+    def _list_apps(self, request: Request) -> Response:
+        return ok(
+            {
+                "apps": [
+                    {"name": app.name, "description": app.description}
+                    for app in self._apps.values()
+                ]
+            }
+        )
+
+    def _health(self, request: Request) -> Response:
+        return ok({"status": "up", "apps": len(self._apps)})
+
+    def _openapi(self, request: Request) -> Response:
+        """A minimal OpenAPI-style description of the mounted routes."""
+        paths: dict[str, Any] = {}
+        for method, pattern in self.router.routes():
+            paths.setdefault(pattern, []).append(method)
+        return ok(
+            {
+                "openapi": "3.0-ish",
+                "info": {"title": "DB-GPT repro server", "version": "0.1.0"},
+                "paths": {
+                    pattern: sorted(methods)
+                    for pattern, methods in sorted(paths.items())
+                },
+                "apps": self.app_names(),
+            }
+        )
+
+    def _chat(self, request: Request, app: str) -> Response:
+        application = self._apps.get(app.lower())
+        if application is None:
+            return error(
+                404, f"no app named {app!r}; known: {self.app_names()}"
+            )
+        message = request.body.get("message")
+        if not isinstance(message, str) or not message.strip():
+            return error(400, "body requires a non-empty 'message'")
+        response = application.chat(message)
+        payload: dict[str, Any] = {
+            "text": response.text,
+            "ok": response.ok,
+            "metadata": response.metadata,
+        }
+        return Response(200 if response.ok else 422, payload)

@@ -1,0 +1,104 @@
+"""HTTP-shaped API server over the controller.
+
+The paper's deployment layer has "an API server and a model handler".
+Requests/responses here are dataclasses shaped like HTTP (method, path,
+JSON body, status code) so the protocol is faithful while staying
+in-process (DESIGN.md records the substitution).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.llm.base import GenerationRequest, LLMError
+from repro.smmf.controller import ModelController, SmmfError
+
+
+@dataclass
+class ApiRequest:
+    method: str
+    path: str
+    body: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ApiResponse:
+    status: int
+    body: dict[str, Any]
+
+    def json(self) -> str:
+        return json.dumps(self.body)
+
+
+class ApiServer:
+    """Routes ``/v1/*`` endpoints onto a :class:`ModelController`."""
+
+    def __init__(self, controller: ModelController) -> None:
+        self.controller = controller
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        route = (request.method.upper(), request.path)
+        if route == ("POST", "/v1/generate"):
+            return self._generate(request.body)
+        if route == ("GET", "/v1/models"):
+            return ApiResponse(200, {"models": self.controller.models()})
+        if route == ("GET", "/v1/health"):
+            return self._health()
+        if route == ("GET", "/v1/metrics"):
+            return ApiResponse(
+                200, {"metrics": self.controller.metrics.snapshot()}
+            )
+        return ApiResponse(
+            404, {"error": f"no route {request.method} {request.path}"}
+        )
+
+    def _generate(self, body: dict[str, Any]) -> ApiResponse:
+        model = body.get("model")
+        prompt = body.get("prompt")
+        if not model or prompt is None:
+            return ApiResponse(
+                400, {"error": "body requires 'model' and 'prompt'"}
+            )
+        generation_request = GenerationRequest(
+            prompt=prompt,
+            task=body.get("task"),
+            max_tokens=int(body.get("max_tokens", 512)),
+            temperature=float(body.get("temperature", 0.0)),
+            metadata=dict(body.get("metadata", {})),
+        )
+        try:
+            response = self.controller.generate(model, generation_request)
+        except SmmfError as exc:
+            return ApiResponse(503, {"error": str(exc)})
+        except LLMError as exc:
+            return ApiResponse(422, {"error": str(exc)})
+        return ApiResponse(
+            200,
+            {
+                "text": response.text,
+                "model": response.model,
+                "usage": {
+                    "prompt_tokens": response.prompt_tokens,
+                    "completion_tokens": response.completion_tokens,
+                    "total_tokens": response.total_tokens,
+                },
+                "finish_reason": response.finish_reason,
+            },
+        )
+
+    def _health(self) -> ApiResponse:
+        workers = self.controller.workers()
+        up = sum(1 for r in workers if r.healthy and r.worker.alive)
+        status = 200 if up == len(workers) and workers else 503
+        if workers and up:
+            status = 200
+        return ApiResponse(
+            status,
+            {
+                "workers": len(workers),
+                "healthy": up,
+                "models": self.controller.models(),
+            },
+        )

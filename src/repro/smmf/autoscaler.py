@@ -1,0 +1,133 @@
+"""Replica autoscaling for SMMF worker pools.
+
+The paper positions SMMF for MaaS/cloud deployments; this policy-driven
+autoscaler watches per-replica request rate between evaluations and
+grows or shrinks the worker pool between configured bounds. Decisions
+use the controller's logical clock, so tests drive scaling
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.smmf.controller import ModelController
+from repro.smmf.spec import ModelSpec
+from repro.smmf.worker import ModelWorker
+
+
+@dataclass
+class ScalingDecision:
+    """One evaluation outcome."""
+
+    action: str  # 'scale_up' | 'scale_down' | 'hold'
+    replicas: int
+    load_per_replica: float
+    reason: str
+
+
+@dataclass
+class AutoScalerConfig:
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Requests per replica per evaluation above which we scale up.
+    high_watermark: float = 10.0
+    #: ... below which we scale down.
+    low_watermark: float = 2.0
+    #: Replicas added/removed per decision.
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_replicas <= 0 or self.max_replicas < self.min_replicas:
+            raise ValueError("invalid replica bounds")
+        if self.low_watermark >= self.high_watermark:
+            raise ValueError("low_watermark must be < high_watermark")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+
+
+class AutoScaler:
+    """Scale one model's worker pool by observed request rate."""
+
+    def __init__(
+        self,
+        controller: ModelController,
+        spec: ModelSpec,
+        config: Optional[AutoScalerConfig] = None,
+    ) -> None:
+        self.controller = controller
+        self.spec = spec
+        self.config = config or AutoScalerConfig()
+        self._last_requests = self._total_requests()
+        self.history: list[ScalingDecision] = []
+
+    def _total_requests(self) -> int:
+        return self.controller.metrics.model(self.spec.name).requests
+
+    def _replicas(self) -> list:
+        return [
+            record
+            for record in self.controller.workers(self.spec.name)
+            if record.worker.alive
+        ]
+
+    def evaluate(self) -> ScalingDecision:
+        """Observe the window since the last call and act once."""
+        replicas = self._replicas()
+        count = max(len(replicas), 1)
+        total = self._total_requests()
+        window = total - self._last_requests
+        self._last_requests = total
+        load = window / count
+
+        if (
+            load > self.config.high_watermark
+            and len(replicas) < self.config.max_replicas
+        ):
+            added = 0
+            for _ in range(self.config.step):
+                if len(self._replicas()) >= self.config.max_replicas:
+                    break
+                worker = ModelWorker(
+                    self.spec.factory(), latency_ms=self.spec.latency_ms
+                )
+                self.controller.register_worker(
+                    worker, latency_ms=self.spec.latency_ms
+                )
+                added += 1
+            decision = ScalingDecision(
+                "scale_up",
+                len(self._replicas()),
+                load,
+                f"load {load:.1f} > high watermark "
+                f"{self.config.high_watermark}; +{added}",
+            )
+        elif (
+            load < self.config.low_watermark
+            and len(replicas) > self.config.min_replicas
+        ):
+            removed = 0
+            for record in sorted(
+                replicas, key=lambda r: r.worker.inflight
+            )[: self.config.step]:
+                if len(self._replicas()) <= self.config.min_replicas:
+                    break
+                if record.worker.inflight == 0:
+                    self.controller.deregister_worker(
+                        record.worker.worker_id
+                    )
+                    removed += 1
+            decision = ScalingDecision(
+                "scale_down" if removed else "hold",
+                len(self._replicas()),
+                load,
+                f"load {load:.1f} < low watermark "
+                f"{self.config.low_watermark}; -{removed}",
+            )
+        else:
+            decision = ScalingDecision(
+                "hold", len(replicas), load, "load within watermarks"
+            )
+        self.history.append(decision)
+        return decision

@@ -1,0 +1,64 @@
+"""Load-balancing policies over healthy workers."""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from repro.smmf.registry import WorkerRecord
+
+
+class LoadBalancer(abc.ABC):
+    """Choose one worker among the healthy candidates."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
+        """Pick a worker; ``candidates`` is non-empty."""
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cycle through workers per model."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursors: dict[str, int] = {}
+
+    def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
+        model = candidates[0].model_name
+        cursor = self._cursors.get(model, 0)
+        chosen = candidates[cursor % len(candidates)]
+        self._cursors[model] = cursor + 1
+        return chosen
+
+
+class RandomBalancer(LoadBalancer):
+    """Uniform random choice (seedable for reproducibility)."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
+        return self._rng.choice(candidates)
+
+
+class LeastBusyBalancer(LoadBalancer):
+    """Prefer the worker with the fewest in-flight requests, breaking
+    ties by total served (coldest worker first)."""
+
+    name = "least_busy"
+
+    def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
+        return min(
+            candidates,
+            key=lambda record: (
+                record.worker.inflight,
+                record.worker.served,
+                record.worker.worker_id,
+            ),
+        )

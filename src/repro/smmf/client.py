@@ -1,0 +1,66 @@
+"""Client SDK applications use to talk to SMMF."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.smmf.api_server import ApiRequest, ApiServer
+
+
+class ClientError(Exception):
+    """A request was rejected by the server."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+
+
+class LLMClient:
+    """Thin convenience wrapper over the API server protocol.
+
+    >>> # client = LLMClient(api_server)
+    >>> # client.generate("chat", "hello", task="chat")
+    """
+
+    def __init__(self, server: ApiServer) -> None:
+        self._server = server
+
+    def generate(
+        self,
+        model: str,
+        prompt: str,
+        task: Optional[str] = None,
+        max_tokens: int = 512,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> str:
+        """Generate text; raises :class:`ClientError` on any failure."""
+        response = self._server.handle(
+            ApiRequest(
+                "POST",
+                "/v1/generate",
+                {
+                    "model": model,
+                    "prompt": prompt,
+                    "task": task,
+                    "max_tokens": max_tokens,
+                    "metadata": metadata or {},
+                },
+            )
+        )
+        if response.status != 200:
+            raise ClientError(
+                response.status, response.body.get("error", "unknown error")
+            )
+        return response.body["text"]
+
+    def models(self) -> list[str]:
+        response = self._server.handle(ApiRequest("GET", "/v1/models"))
+        return response.body["models"]
+
+    def health(self) -> dict[str, Any]:
+        return self._server.handle(ApiRequest("GET", "/v1/health")).body
+
+    def metrics(self) -> dict[str, Any]:
+        return self._server.handle(ApiRequest("GET", "/v1/metrics")).body[
+            "metrics"
+        ]

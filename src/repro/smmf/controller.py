@@ -1,0 +1,178 @@
+"""The model controller: registry ownership, routing and failover."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.llm.base import GenerationRequest, GenerationResponse, LLMError
+from repro.smmf.balancer import LoadBalancer, RoundRobinBalancer
+from repro.smmf.metrics import MetricsCollector
+from repro.smmf.registry import ModelRegistry, WorkerRecord
+from repro.smmf.worker import ModelWorker, WorkerCrashed
+
+
+class SmmfError(Exception):
+    """A request could not be served (no workers, all retries failed)."""
+
+
+class ModelController:
+    """Routes requests to model workers with retry-based failover.
+
+    A crashed worker is marked unhealthy and the request retried on the
+    remaining replicas (up to ``max_retries``), which is the behaviour
+    the failover benchmark measures.
+    """
+
+    def __init__(
+        self,
+        balancer: Optional[LoadBalancer] = None,
+        heartbeat_timeout: float = 30.0,
+        max_retries: int = 2,
+    ) -> None:
+        self.registry = ModelRegistry(heartbeat_timeout)
+        self.balancer = balancer or RoundRobinBalancer()
+        self.metrics = MetricsCollector()
+        self.max_retries = max_retries
+        self._clock = 0.0
+
+    # -- time ------------------------------------------------------------
+
+    def advance_clock(self, seconds: float) -> float:
+        """Advance the controller's logical clock (tests/benchmarks)."""
+        self._clock += seconds
+        return self._clock
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def register_worker(
+        self, worker: ModelWorker, latency_ms: float = 10.0
+    ) -> None:
+        self.registry.register(
+            worker, now=self._clock, metadata={"latency_ms": latency_ms}
+        )
+
+    def deregister_worker(self, worker_id: str) -> None:
+        self.registry.deregister(worker_id)
+
+    def heartbeat(self, worker_id: str) -> None:
+        self.registry.heartbeat(worker_id, self._clock)
+
+    def health_sweep(self) -> list[str]:
+        """Evict workers whose heartbeats are stale."""
+        return self.registry.sweep(self._clock)
+
+    def models(self) -> list[str]:
+        return self.registry.model_names()
+
+    def workers(self, model_name: Optional[str] = None) -> list[WorkerRecord]:
+        return self.registry.all_workers(model_name)
+
+    # -- routing ----------------------------------------------------------
+
+    def generate(
+        self, model_name: str, request: GenerationRequest
+    ) -> GenerationResponse:
+        """Serve one request with failover across replicas."""
+        attempts = 0
+        tried: set[str] = set()
+        last_error: Optional[Exception] = None
+        while attempts <= self.max_retries:
+            candidates = [
+                record
+                for record in self.registry.healthy_workers(model_name)
+                if record.worker.worker_id not in tried
+            ]
+            if not candidates:
+                break
+            record = self.balancer.choose(candidates)
+            worker = record.worker
+            tried.add(worker.worker_id)
+            attempts += 1
+            try:
+                response = worker.handle(request)
+            except WorkerCrashed as exc:
+                record.healthy = False
+                last_error = exc
+                continue
+            except LLMError:
+                # A model-level error (bad prompt) is not a worker
+                # failure; surface it without burning replicas.
+                self.metrics.record_failure(model_name)
+                raise
+            latency = float(record.metadata.get("latency_ms", 0.0))
+            self.metrics.record_success(
+                model=model_name,
+                worker_id=worker.worker_id,
+                latency_ms=latency,
+                prompt_tokens=response.prompt_tokens,
+                completion_tokens=response.completion_tokens,
+                retries=attempts - 1,
+            )
+            self._clock += latency / 1000.0
+            return response
+        self.metrics.record_failure(model_name)
+        known = self.registry.model_names()
+        if model_name not in known:
+            raise SmmfError(
+                f"no model named {model_name!r} is deployed; "
+                f"available: {known}"
+            )
+        raise SmmfError(
+            f"all replicas of {model_name!r} failed "
+            f"(last error: {last_error})"
+        )
+
+    def stream(self, model_name: str, request: GenerationRequest):
+        """Streaming inference with the same failover as generate().
+
+        Failover covers the time until the first chunk is produced; a
+        crash mid-stream surfaces to the caller (tokens were already
+        delivered, so transparent retry would duplicate output).
+        """
+        attempts = 0
+        tried: set[str] = set()
+        last_error: Optional[Exception] = None
+        while attempts <= self.max_retries:
+            candidates = [
+                record
+                for record in self.registry.healthy_workers(model_name)
+                if record.worker.worker_id not in tried
+            ]
+            if not candidates:
+                break
+            record = self.balancer.choose(candidates)
+            worker = record.worker
+            tried.add(worker.worker_id)
+            attempts += 1
+            try:
+                iterator = worker.handle_stream(request)
+                first = next(iterator, None)
+            except WorkerCrashed as exc:
+                record.healthy = False
+                last_error = exc
+                continue
+
+            def chunks(first_chunk=first, rest=iterator):
+                if first_chunk is not None:
+                    yield first_chunk
+                yield from rest
+
+            latency = float(record.metadata.get("latency_ms", 0.0))
+            self.metrics.record_success(
+                model=model_name,
+                worker_id=worker.worker_id,
+                latency_ms=latency,
+                prompt_tokens=0,
+                completion_tokens=0,
+                retries=attempts - 1,
+            )
+            return chunks()
+        self.metrics.record_failure(model_name)
+        raise SmmfError(
+            f"all replicas of {model_name!r} failed to start a stream "
+            f"(last error: {last_error})"
+        )

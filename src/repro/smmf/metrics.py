@@ -1,0 +1,74 @@
+"""Serving metrics: counters and latency accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ModelMetrics:
+    """Aggregated counters for one model."""
+
+    requests: int = 0
+    failures: int = 0
+    retries: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    total_latency_ms: float = 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.total_latency_ms / self.requests
+
+
+class MetricsCollector:
+    """Per-model and per-worker metric aggregation."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, ModelMetrics] = {}
+        self._worker_requests: dict[str, int] = {}
+
+    def record_success(
+        self,
+        model: str,
+        worker_id: str,
+        latency_ms: float,
+        prompt_tokens: int,
+        completion_tokens: int,
+        retries: int = 0,
+    ) -> None:
+        metrics = self._models.setdefault(model, ModelMetrics())
+        metrics.requests += 1
+        metrics.retries += retries
+        metrics.prompt_tokens += prompt_tokens
+        metrics.completion_tokens += completion_tokens
+        metrics.total_latency_ms += latency_ms
+        self._worker_requests[worker_id] = (
+            self._worker_requests.get(worker_id, 0) + 1
+        )
+
+    def record_failure(self, model: str) -> None:
+        metrics = self._models.setdefault(model, ModelMetrics())
+        metrics.failures += 1
+
+    def model(self, name: str) -> ModelMetrics:
+        return self._models.setdefault(name, ModelMetrics())
+
+    def worker_requests(self, worker_id: str) -> int:
+        return self._worker_requests.get(worker_id, 0)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict view for dashboards and benchmark output."""
+        return {
+            name: {
+                "requests": m.requests,
+                "failures": m.failures,
+                "retries": m.retries,
+                "prompt_tokens": m.prompt_tokens,
+                "completion_tokens": m.completion_tokens,
+                "mean_latency_ms": round(m.mean_latency_ms, 3),
+            }
+            for name, m in sorted(self._models.items())
+        }

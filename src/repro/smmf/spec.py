@@ -1,0 +1,32 @@
+"""Deployment specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.llm.base import LanguageModel
+
+
+@dataclass
+class ModelSpec:
+    """How one model should be deployed.
+
+    ``factory`` builds a fresh :class:`LanguageModel` per replica, so
+    workers never share mutable state — the same isolation a process
+    boundary would give.
+    """
+
+    name: str
+    factory: Callable[[], LanguageModel]
+    replicas: int = 1
+    #: Simulated per-request inference latency in milliseconds, used by
+    #: the metrics layer (laptop substitute for GPU execution time).
+    latency_ms: float = 10.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if self.latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")

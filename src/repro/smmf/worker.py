@@ -1,0 +1,93 @@
+"""Model workers: the inference layer."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.llm.base import (
+    GenerationRequest,
+    GenerationResponse,
+    LanguageModel,
+)
+
+_worker_ids = itertools.count(1)
+
+
+class WorkerCrashed(Exception):
+    """The worker is down (failure injection or explicit kill)."""
+
+
+class ModelWorker:
+    """Hosts one model replica and executes inference requests.
+
+    Tracks in-flight and served counts (used by the least-busy
+    balancer) and supports failure injection for failover tests.
+    """
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        latency_ms: float = 10.0,
+        worker_id: Optional[str] = None,
+    ) -> None:
+        self.model = model
+        self.latency_ms = latency_ms
+        self.worker_id = worker_id or f"worker-{next(_worker_ids)}"
+        self.inflight = 0
+        self.served = 0
+        self.failed = 0
+        self.alive = True
+        #: When > 0, the next N requests crash (failure injection).
+        self.fail_next = 0
+
+    def handle(self, request: GenerationRequest) -> GenerationResponse:
+        """Run one inference call; raises :class:`WorkerCrashed` when
+        the worker is down."""
+        if not self.alive:
+            raise WorkerCrashed(f"{self.worker_id} is not alive")
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            self.failed += 1
+            raise WorkerCrashed(
+                f"{self.worker_id} crashed handling a request"
+            )
+        self.inflight += 1
+        try:
+            response = self.model.generate(request)
+        finally:
+            self.inflight -= 1
+        self.served += 1
+        return response
+
+    def handle_stream(self, request: GenerationRequest):
+        """Streaming inference: yields completion chunks."""
+        if not self.alive:
+            raise WorkerCrashed(f"{self.worker_id} is not alive")
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            self.failed += 1
+            raise WorkerCrashed(
+                f"{self.worker_id} crashed handling a request"
+            )
+        self.inflight += 1
+        try:
+            yield from self.model.stream(request)
+        finally:
+            self.inflight -= 1
+        self.served += 1
+
+    def kill(self) -> None:
+        """Simulate the worker process dying."""
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+        self.fail_next = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.alive else "down"
+        return (
+            f"ModelWorker({self.worker_id}, model={self.model.name!r}, "
+            f"{state})"
+        )

@@ -1,0 +1,42 @@
+"""In-memory relational SQL engine.
+
+This package is the database substrate for the DB-GPT reproduction: the
+SQL emitted by the Text-to-SQL models is parsed and executed here, so
+execution accuracy is measurable end to end.
+
+The engine is a classic pipeline::
+
+    SQL text --lexer--> tokens --parser--> AST --executor--> ResultSet
+
+Public entry points:
+
+- :class:`Database` — create tables, execute SQL, inspect the catalog.
+- :class:`ResultSet` — column names + rows returned by ``execute``.
+- :func:`parse_sql` — parse a statement to its AST without executing.
+"""
+
+from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
+from repro.sqlengine.database import Database, ResultSet
+from repro.sqlengine.errors import (
+    CatalogError,
+    ExecutionError,
+    SqlEngineError,
+    SqlSyntaxError,
+    TypeCheckError,
+)
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.types import DataType
+
+__all__ = [
+    "Catalog",
+    "ColumnSchema",
+    "DataType",
+    "Database",
+    "ResultSet",
+    "CatalogError",
+    "ExecutionError",
+    "SqlEngineError",
+    "SqlSyntaxError",
+    "TypeCheckError",
+    "parse_sql",
+]

@@ -1,0 +1,326 @@
+"""Public database facade: the object applications hold on to."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
+from repro.sqlengine.errors import CatalogError
+from repro.sqlengine.executor import Executor, Relation
+from repro.sqlengine.nodes import Statement
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.table import Table
+from repro.sqlengine.types import DataType, infer_type
+
+
+@dataclass
+class ResultSet:
+    """Columns and rows produced by :meth:`Database.execute`.
+
+    ``rowcount`` is meaningful for DML (-1 for queries).
+    """
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+    rowcount: int = -1
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row, or None when empty."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.lower() == lowered:
+                return [row[index] for row in self.rows]
+        raise KeyError(name)
+
+    def format_table(self, max_rows: int = 20) -> str:
+        """Plain-text grid rendering (used by chat transcripts)."""
+        shown = self.rows[:max_rows]
+        cells = [[str(c) for c in self.columns]]
+        for row in shown:
+            cells.append(
+                ["NULL" if v is None else str(v) for v in row]
+            )
+        widths = [
+            max(len(line[i]) for line in cells)
+            for i in range(len(self.columns))
+        ] if self.columns else []
+        lines = []
+        for line_index, line in enumerate(cells):
+            rendered = " | ".join(
+                value.ljust(widths[i]) for i, value in enumerate(line)
+            )
+            lines.append(rendered)
+            if line_index == 0:
+                lines.append("-+-".join("-" * w for w in widths))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+class Database:
+    """An in-memory SQL database.
+
+    >>> db = Database("demo")
+    >>> _ = db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
+    >>> _ = db.execute("INSERT INTO t VALUES (1, 'ada')")
+    >>> db.execute("SELECT name FROM t").scalar()
+    'ada'
+    """
+
+    def __init__(
+        self, name: str = "main", enable_hash_join: bool = True
+    ) -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        self.enable_hash_join = enable_hash_join
+        self._views: dict[str, Any] = {}
+        #: Transaction snapshot stack: (catalog, tables, views) triples.
+        self._snapshots: list[tuple] = []
+
+    # -- execution -------------------------------------------------------
+
+    def execute(
+        self, sql: str, parameters: Sequence[Any] = ()
+    ) -> ResultSet:
+        """Parse and execute one SQL statement."""
+        statement = parse_sql(sql)
+        return self.execute_statement(statement, parameters)
+
+    def execute_statement(
+        self, statement: Statement, parameters: Sequence[Any] = ()
+    ) -> ResultSet:
+        from repro.sqlengine import nodes as _nodes
+
+        if isinstance(statement, _nodes.TransactionStatement):
+            return self._execute_transaction(statement.action)
+        if isinstance(statement, _nodes.DropIndex):
+            return self._drop_index(statement.name)
+        executor = Executor(
+            self.catalog,
+            self._tables,
+            parameters,
+            enable_hash_join=self.enable_hash_join,
+            views=self._views,
+        )
+        relation = executor.execute(statement)
+        return _to_result(relation)
+
+    # -- transactions ------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return bool(self._snapshots)
+
+    def _execute_transaction(self, action: str) -> ResultSet:
+        from repro.sqlengine.errors import ExecutionError
+
+        if action == "BEGIN":
+            snapshot_tables = {
+                name: table.clone() for name, table in self._tables.items()
+            }
+            self._snapshots.append(
+                (self.catalog.clone(), snapshot_tables, dict(self._views))
+            )
+        elif action == "COMMIT":
+            if not self._snapshots:
+                raise ExecutionError("COMMIT without an active transaction")
+            self._snapshots.pop()
+        elif action == "ROLLBACK":
+            if not self._snapshots:
+                raise ExecutionError(
+                    "ROLLBACK without an active transaction"
+                )
+            self.catalog, self._tables, self._views = self._snapshots.pop()
+        return ResultSet(columns=["rowcount"], rows=[(0,)], rowcount=0)
+
+    # -- indexes -------------------------------------------------------------
+
+    def _drop_index(self, name: str) -> ResultSet:
+        from repro.sqlengine.errors import ExecutionError
+
+        for table in self._tables.values():
+            if name in table.index_names():
+                table.drop_secondary_index(name)
+                return ResultSet(
+                    columns=["rowcount"], rows=[(0,)], rowcount=0
+                )
+        raise ExecutionError(f"no index named {name!r}")
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    def index_names(self) -> list[str]:
+        names: list[str] = []
+        for table in self._tables.values():
+            names.extend(table.index_names())
+        return sorted(names)
+
+    def execute_script(self, sql: str) -> list[ResultSet]:
+        """Execute a ``;``-separated script, returning each result."""
+        results = []
+        for statement_text in split_statements(sql):
+            results.append(self.execute(statement_text))
+        return results
+
+    # -- programmatic schema / data helpers -------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, DataType | str]] | Sequence[ColumnSchema],
+        primary_key: Optional[str] = None,
+        comment: str = "",
+    ) -> TableSchema:
+        """Create a table from Python metadata (no SQL round trip)."""
+        schemas: list[ColumnSchema] = []
+        for column in columns:
+            if isinstance(column, ColumnSchema):
+                schemas.append(column)
+                continue
+            column_name, data_type = column
+            if isinstance(data_type, str):
+                data_type = DataType.from_name(data_type)
+            schemas.append(
+                ColumnSchema(
+                    name=column_name,
+                    data_type=data_type,
+                    primary_key=(column_name == primary_key),
+                )
+            )
+        schema = TableSchema(name, schemas, comment=comment)
+        self.catalog.create_table(schema)
+        self._tables[name.lower()] = Table(schema)
+        return schema
+
+    def insert_rows(
+        self, table: str, rows: Iterable[Sequence[Any]]
+    ) -> int:
+        """Bulk insert positional rows."""
+        storage = self._storage(table)
+        count = 0
+        for row in rows:
+            storage.insert(row)
+            count += 1
+        return count
+
+    def insert_dicts(
+        self, table: str, records: Iterable[dict[str, Any]]
+    ) -> int:
+        """Bulk insert mapping rows; missing columns get their default."""
+        storage = self._storage(table)
+        schema = storage.schema
+        count = 0
+        for record in records:
+            row = [
+                record.get(column.name, column.default)
+                for column in schema.columns
+            ]
+            storage.insert(row)
+            count += 1
+        return count
+
+    def load_table(
+        self,
+        name: str,
+        records: Sequence[dict[str, Any]],
+        primary_key: Optional[str] = None,
+    ) -> TableSchema:
+        """Infer a schema from records, create the table, and load it."""
+        if not records:
+            raise CatalogError(
+                f"cannot infer a schema for {name!r} from zero records"
+            )
+        column_types: dict[str, DataType] = {}
+        for record in records:
+            for key, value in record.items():
+                if value is None:
+                    column_types.setdefault(key, DataType.TEXT)
+                    continue
+                inferred = infer_type(value)
+                current = column_types.get(key)
+                if current is None or current is DataType.TEXT:
+                    column_types[key] = inferred
+                elif current is DataType.INTEGER and inferred is DataType.REAL:
+                    column_types[key] = DataType.REAL
+        schema = self.create_table(
+            name, list(column_types.items()), primary_key=primary_key
+        )
+        self.insert_dicts(name, records)
+        return schema
+
+    def table_rowcount(self, name: str) -> int:
+        return len(self._storage(name))
+
+    def describe(self) -> str:
+        return self.catalog.describe()
+
+    def _storage(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"no table named {name!r}")
+        return table
+
+
+def split_statements(sql: str) -> list[str]:
+    """Split a script on top-level semicolons (string-literal aware)."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if in_string:
+            current.append(ch)
+            if ch == "'":
+                if i + 1 < n and sql[i + 1] == "'":
+                    current.append("'")
+                    i += 2
+                    continue
+                in_string = False
+            i += 1
+            continue
+        if ch == "'":
+            in_string = True
+            current.append(ch)
+            i += 1
+            continue
+        if ch == ";":
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    text = "".join(current).strip()
+    if text:
+        statements.append(text)
+    return statements
+
+
+def _to_result(relation: Relation) -> ResultSet:
+    if relation.columns == [(None, "rowcount")] and len(relation.rows) == 1:
+        return ResultSet(
+            columns=["rowcount"],
+            rows=list(relation.rows),
+            rowcount=relation.rows[0][0],
+        )
+    return ResultSet(columns=relation.column_names, rows=list(relation.rows))

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the SQL engine.
+
+All engine errors derive from :class:`SqlEngineError` so callers (for
+example the chat2db application, which must report SQL failures back to
+the user conversationally) can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class SqlEngineError(Exception):
+    """Base class for every error raised by the SQL engine."""
+
+
+class SqlSyntaxError(SqlEngineError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so Text-to-SQL repair loops can point
+    at the broken fragment.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(SqlEngineError):
+    """A referenced table or column does not exist, or already exists."""
+
+
+class TypeCheckError(SqlEngineError):
+    """A value or expression does not match the declared column type."""
+
+
+class ExecutionError(SqlEngineError):
+    """A statement failed during evaluation (e.g. division by zero)."""

@@ -1,0 +1,1109 @@
+"""Statement execution: SELECT pipeline, DML and DDL.
+
+The SELECT pipeline is the textbook order of operations::
+
+    FROM/JOIN -> WHERE -> GROUP BY -> HAVING -> SELECT -> DISTINCT
+    -> ORDER BY -> LIMIT/OFFSET -> compound set operators
+
+Rows flow through as plain tuples alongside a column layout
+``[(binding, name), ...]`` held by :class:`RowContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.sqlengine import nodes
+from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
+from repro.sqlengine.errors import CatalogError, ExecutionError
+from repro.sqlengine.expressions import Evaluator, RowContext
+from repro.sqlengine.functions import (
+    Aggregate,
+    is_aggregate_function,
+    make_aggregate,
+)
+from repro.sqlengine.table import Table
+from repro.sqlengine.types import DataType, sort_key
+
+
+@dataclass
+class Relation:
+    """An intermediate result: column layout plus rows."""
+
+    columns: list[tuple[Optional[str], str]]
+    rows: list[tuple[Any, ...]]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for _binding, name in self.columns]
+
+
+class Executor:
+    """Execute parsed statements against a catalog + table storage."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        tables: dict[str, Table],
+        parameters: Sequence[Any] = (),
+        enable_hash_join: bool = True,
+        views: Optional[dict[str, nodes.Select]] = None,
+    ) -> None:
+        self._catalog = catalog
+        self._tables = tables
+        self._views = views if views is not None else {}
+        self.enable_hash_join = enable_hash_join
+        self._evaluator = Evaluator(
+            run_subquery=self._run_subquery, parameters=parameters
+        )
+
+    # -- public entry points -------------------------------------------
+
+    def execute(self, statement: nodes.Statement) -> Relation:
+        if isinstance(statement, nodes.Select):
+            return self.execute_select(statement)
+        if isinstance(statement, nodes.Explain):
+            return self.explain(statement.query)
+        if isinstance(statement, nodes.CreateIndex):
+            table = self._storage(statement.table)
+            table.create_secondary_index(statement.name, statement.column)
+            return _rowcount_relation(0)
+        if isinstance(statement, nodes.CreateView):
+            key = statement.name.lower()
+            if key in self._views or self._catalog.has_table(statement.name):
+                raise CatalogError(
+                    f"name {statement.name!r} is already in use"
+                )
+            self._views[key] = statement.query
+            return _rowcount_relation(0)
+        if isinstance(statement, nodes.DropView):
+            key = statement.name.lower()
+            if key not in self._views:
+                if statement.if_exists:
+                    return _rowcount_relation(0)
+                raise CatalogError(f"no view named {statement.name!r}")
+            del self._views[key]
+            return _rowcount_relation(0)
+        if isinstance(statement, nodes.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, nodes.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, nodes.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, nodes.CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, nodes.DropTable):
+            return self._execute_drop(statement)
+        raise ExecutionError(f"cannot execute statement: {statement!r}")
+
+    def execute_select(
+        self,
+        select: nodes.Select,
+        outer: Optional[RowContext] = None,
+    ) -> Relation:
+        if not select.compound:
+            return self._execute_select_core(select, outer)
+        import dataclasses
+
+        first = dataclasses.replace(
+            select, order_by=(), limit=None, offset=None, compound=()
+        )
+        result = self._execute_select_core(first, outer)
+        for op, query in select.compound:
+            other = self._execute_select_core(query, outer)
+            if len(other.columns) != len(result.columns):
+                raise ExecutionError(
+                    f"{op}: operand column counts differ "
+                    f"({len(result.columns)} vs {len(other.columns)})"
+                )
+            result = _apply_set_operator(op, result, other)
+        return self._sort_and_limit_compound(select, result)
+
+    def _sort_and_limit_compound(
+        self, select: nodes.Select, relation: Relation
+    ) -> Relation:
+        """Apply compound-level ORDER BY / LIMIT over the merged rows."""
+        rows = relation.rows
+        if select.order_by:
+            out_ctx = RowContext(
+                relation.columns, [None] * len(relation.columns)
+            )
+
+            def key_for(row: tuple) -> list:
+                parts = []
+                for item in select.order_by:
+                    expr = item.expression
+                    if isinstance(expr, nodes.Literal) and isinstance(
+                        expr.value, int
+                    ):
+                        ordinal = expr.value - 1
+                        if not 0 <= ordinal < len(relation.columns):
+                            raise ExecutionError(
+                                f"ORDER BY position {expr.value} out of range"
+                            )
+                        value = row[ordinal]
+                    else:
+                        value = self._evaluator.evaluate(
+                            expr, out_ctx.with_values(row)
+                        )
+                    part = sort_key(value)
+                    parts.append(_invert(part) if item.descending else part)
+                return parts
+
+            rows = sorted(rows, key=key_for)
+        if select.limit is not None:
+            base_ctx = RowContext([], [])
+            limit = self._evaluator.evaluate(select.limit, base_ctx)
+            offset = 0
+            if select.offset is not None:
+                offset = self._evaluator.evaluate(select.offset, base_ctx)
+            rows = rows[offset : offset + limit]
+        return Relation(relation.columns, list(rows))
+
+    # -- SELECT pipeline -------------------------------------------------
+
+    def _execute_select_core(
+        self,
+        select: nodes.Select,
+        outer: Optional[RowContext],
+    ) -> Relation:
+        if select.source is None:
+            source = Relation(columns=[], rows=[()])
+        else:
+            source = self._evaluate_source(
+                select.source, outer, where=select.where
+            )
+        ctx = RowContext(source.columns, [None] * len(source.columns), outer)
+
+        if select.where is not None:
+            kept = []
+            for row in source.rows:
+                if self._evaluator.evaluate_truth(
+                    select.where, ctx.with_values(row)
+                ):
+                    kept.append(row)
+            source = Relation(source.columns, kept)
+
+        items = self._expand_stars(select.items, source.columns)
+        is_grouped = bool(select.group_by) or _uses_aggregates(
+            items, select.having, select.order_by
+        )
+        if is_grouped:
+            relation = self._execute_grouped(select, items, source, ctx)
+        else:
+            relation = self._project(items, source, ctx, select.order_by)
+
+        if select.distinct:
+            relation = _distinct(relation)
+        relation = self._order_and_slice(select, relation, outer)
+        return relation
+
+    def _project(
+        self,
+        items: list[nodes.SelectItem],
+        source: Relation,
+        ctx: RowContext,
+        order_by: tuple[nodes.OrderItem, ...],
+    ) -> Relation:
+        out_columns: list[tuple[Optional[str], str]] = [
+            (None, item.output_name) for item in items
+        ]
+        # ORDER BY may reference source columns not in the select list;
+        # carry their values as hidden extras used only for sorting.
+        extra_exprs = _order_extras(order_by, items)
+        rows: list[tuple[Any, ...]] = []
+        for row in source.rows:
+            row_ctx = ctx.with_values(row)
+            values = [
+                self._evaluator.evaluate(item.expression, row_ctx)
+                for item in items
+            ]
+            extras = [
+                self._evaluator.evaluate(expr, row_ctx)
+                for expr in extra_exprs
+            ]
+            rows.append(tuple(values) + tuple(extras))
+        hidden = [(None, f"__order_{i}") for i in range(len(extra_exprs))]
+        return Relation(out_columns + hidden, rows)
+
+    def _execute_grouped(
+        self,
+        select: nodes.Select,
+        items: list[nodes.SelectItem],
+        source: Relation,
+        ctx: RowContext,
+    ) -> Relation:
+        group_exprs = list(select.group_by)
+        # Allow GROUP BY to reference select-list aliases or ordinals.
+        group_exprs = [
+            _resolve_output_reference(expr, items) for expr in group_exprs
+        ]
+        aggregate_calls = _collect_aggregates(items, select.having, select.order_by)
+
+        groups: dict[tuple, dict] = {}
+        group_order: list[tuple] = []
+        for row in source.rows:
+            row_ctx = ctx.with_values(row)
+            key = tuple(
+                _hashable(self._evaluator.evaluate(expr, row_ctx))
+                for expr in group_exprs
+            )
+            state = groups.get(key)
+            if state is None:
+                state = {
+                    "first_row": row,
+                    "aggregates": [
+                        make_aggregate(
+                            call.name,
+                            star=bool(call.args)
+                            and isinstance(call.args[0], nodes.Star),
+                            distinct=call.distinct,
+                        )
+                        for call in aggregate_calls
+                    ],
+                }
+                groups[key] = state
+                group_order.append(key)
+            for call, accumulator in zip(aggregate_calls, state["aggregates"]):
+                if call.args and not isinstance(call.args[0], nodes.Star):
+                    value = self._evaluator.evaluate(call.args[0], row_ctx)
+                else:
+                    value = True  # COUNT(*): presence only
+                accumulator.add(value)
+
+        if not groups and not select.group_by:
+            # Aggregate query over an empty input yields one row.
+            empty_state = {
+                "first_row": tuple([None] * len(source.columns)),
+                "aggregates": [
+                    make_aggregate(
+                        call.name,
+                        star=bool(call.args)
+                        and isinstance(call.args[0], nodes.Star),
+                        distinct=call.distinct,
+                    )
+                    for call in aggregate_calls
+                ],
+            }
+            groups[()] = empty_state
+            group_order.append(())
+
+        out_columns: list[tuple[Optional[str], str]] = [
+            (None, item.output_name) for item in items
+        ]
+        extra_exprs = _order_extras(select.order_by, items)
+        rows: list[tuple[Any, ...]] = []
+        for key in group_order:
+            state = groups[key]
+            row_ctx = ctx.with_values(state["first_row"])
+            aggregate_values = {
+                _agg_key(call): acc.result()
+                for call, acc in zip(aggregate_calls, state["aggregates"])
+            }
+            evaluator = _GroupEvaluator(
+                self._evaluator, aggregate_values
+            )
+            if select.having is not None:
+                value = evaluator.evaluate(select.having, row_ctx)
+                if value is None or not value:
+                    continue
+            values = [
+                evaluator.evaluate(item.expression, row_ctx) for item in items
+            ]
+            extras = [
+                evaluator.evaluate(expr, row_ctx) for expr in extra_exprs
+            ]
+            rows.append(tuple(values) + tuple(extras))
+        hidden = [(None, f"__order_{i}") for i in range(len(extra_exprs))]
+        return Relation(out_columns + hidden, rows)
+
+    def _order_and_slice(
+        self,
+        select: nodes.Select,
+        relation: Relation,
+        outer: Optional[RowContext],
+    ) -> Relation:
+        visible = len(select.items)
+        if any(isinstance(i.expression, nodes.Star) for i in select.items):
+            visible = len(relation.columns) - sum(
+                1 for _b, name in relation.columns if name.startswith("__order_")
+            )
+        if select.order_by:
+            out_ctx = RowContext(
+                relation.columns, [None] * len(relation.columns)
+            )
+            keys: list[tuple[int, Any]] = []
+
+            def order_value(row: tuple, item: nodes.OrderItem, position: int):
+                expr = item.expression
+                if isinstance(expr, nodes.Literal) and isinstance(
+                    expr.value, int
+                ):
+                    ordinal = expr.value - 1
+                    if 0 <= ordinal < visible:
+                        return row[ordinal]
+                    raise ExecutionError(
+                        f"ORDER BY position {expr.value} out of range"
+                    )
+                hidden_name = f"__order_{position}"
+                hidden_index = _find_column(relation.columns, hidden_name)
+                if hidden_index is not None:
+                    return row[hidden_index]
+                return self._evaluator.evaluate(
+                    expr, out_ctx.with_values(row)
+                )
+
+            extra_positions = _order_extra_positions(
+                select.order_by, list(select.items)
+            )
+            decorated = []
+            for row in relation.rows:
+                key_parts = []
+                for item in select.order_by:
+                    position = extra_positions.get(id(item), -1)
+                    value = order_value(row, item, position)
+                    part = sort_key(value)
+                    key_parts.append((part, item.descending))
+                decorated.append((key_parts, row))
+
+            def compare_key(entry):
+                parts = []
+                for part, descending in entry[0]:
+                    parts.append(_invert(part) if descending else part)
+                return parts
+
+            decorated.sort(key=compare_key)
+            relation = Relation(relation.columns, [r for _k, r in decorated])
+
+        rows = relation.rows
+        if select.limit is not None:
+            base_ctx = RowContext([], [])
+            limit = self._evaluator.evaluate(select.limit, base_ctx)
+            offset = 0
+            if select.offset is not None:
+                offset = self._evaluator.evaluate(select.offset, base_ctx)
+            if not isinstance(limit, int) or (
+                offset is not None and not isinstance(offset, int)
+            ):
+                raise ExecutionError("LIMIT/OFFSET must be integers")
+            rows = rows[offset : offset + limit]
+
+        # Strip hidden ORDER BY helper columns.
+        keep = [
+            index
+            for index, (_binding, name) in enumerate(relation.columns)
+            if not name.startswith("__order_")
+        ]
+        if len(keep) != len(relation.columns):
+            columns = [relation.columns[i] for i in keep]
+            rows = [tuple(row[i] for i in keep) for row in rows]
+            return Relation(columns, rows)
+        return Relation(relation.columns, list(rows))
+
+    # -- FROM clause -------------------------------------------------------
+
+    def _evaluate_source(
+        self,
+        source: nodes.TableRef,
+        outer: Optional[RowContext],
+        where: Optional[nodes.Expression] = None,
+    ) -> Relation:
+        if isinstance(source, nodes.NamedTable):
+            view = self._views.get(source.name.lower())
+            if view is not None:
+                inner = self.execute_select(view, outer)
+                binding = source.binding
+                return Relation(
+                    [(binding, name) for _b, name in inner.columns],
+                    inner.rows,
+                )
+            table = self._storage(source.name)
+            binding = source.binding
+            columns = [
+                (binding, column.name) for column in table.schema.columns
+            ]
+            rows = None
+            if where is not None:
+                indexed = self._indexed_equality(where, table, binding)
+                if indexed is not None:
+                    column_name, literal = indexed
+                    rows = table.secondary_lookup(column_name, literal)
+            if rows is None:
+                rows = table.snapshot()
+            return Relation(columns, rows)
+        if isinstance(source, nodes.SubqueryTable):
+            inner = self.execute_select(source.subquery, outer)
+            columns = [
+                (source.alias, name) for _binding, name in inner.columns
+            ]
+            return Relation(columns, inner.rows)
+        if isinstance(source, nodes.Join):
+            return self._evaluate_join(source, outer)
+        raise ExecutionError(f"unsupported FROM source: {source!r}")
+
+    def _indexed_equality(
+        self,
+        where: nodes.Expression,
+        table: Table,
+        binding: str,
+    ) -> Optional[tuple[str, Any]]:
+        """An index-covered ``col = literal`` conjunct of WHERE, if any.
+
+        The index pre-filters the scan; the full WHERE still runs on
+        the surviving rows, so correctness never depends on this.
+        """
+        from repro.sqlengine.types import coerce
+
+        for conjunct in _conjuncts(where):
+            if not (
+                isinstance(conjunct, nodes.BinaryOp) and conjunct.op == "="
+            ):
+                continue
+            pairs = (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            )
+            for column_side, literal_side in pairs:
+                if not isinstance(column_side, nodes.ColumnRef):
+                    continue
+                if not isinstance(literal_side, nodes.Literal):
+                    continue
+                if column_side.table is not None and (
+                    column_side.table.lower() != binding.lower()
+                ):
+                    continue
+                if not table.schema.has_column(column_side.name):
+                    continue
+                if not table.has_secondary_index(column_side.name):
+                    continue
+                column = table.schema.column(column_side.name)
+                try:
+                    value = coerce(literal_side.value, column.data_type)
+                except Exception:
+                    continue
+                return column_side.name, value
+        return None
+
+    def _evaluate_join(
+        self, join: nodes.Join, outer: Optional[RowContext]
+    ) -> Relation:
+        left = self._evaluate_source(join.left, outer)
+        right = self._evaluate_source(join.right, outer)
+        columns = left.columns + right.columns
+        ctx = RowContext(columns, [None] * len(columns), outer)
+        rows: list[tuple[Any, ...]] = []
+        if join.join_type == "CROSS":
+            for lrow in left.rows:
+                for rrow in right.rows:
+                    rows.append(lrow + rrow)
+            return Relation(columns, rows)
+
+        condition = join.condition
+        matched_right: set[int] = set()
+        null_right = tuple([None] * len(right.columns))
+        null_left = tuple([None] * len(left.columns))
+
+        equi = (
+            _find_equi_join(condition, left.columns, right.columns)
+            if self.enable_hash_join
+            else None
+        )
+        if equi is not None:
+            # Hash join: build on the right input, probe with the left.
+            # The full ON condition is still evaluated per candidate
+            # pair, so extra conjuncts remain correct.
+            left_pos, right_pos = equi
+            buckets: dict[Any, list[int]] = {}
+            for rindex, rrow in enumerate(right.rows):
+                key = rrow[right_pos]
+                if key is not None:
+                    buckets.setdefault(key, []).append(rindex)
+            for lrow in left.rows:
+                matched = False
+                key = lrow[left_pos]
+                for rindex in buckets.get(key, ()) if key is not None else ():
+                    rrow = right.rows[rindex]
+                    combined = lrow + rrow
+                    if self._evaluator.evaluate_truth(
+                        condition, ctx.with_values(combined)
+                    ):
+                        matched = True
+                        matched_right.add(rindex)
+                        rows.append(combined)
+                if not matched and join.join_type in ("LEFT", "FULL"):
+                    rows.append(lrow + null_right)
+        else:
+            for lrow in left.rows:
+                matched = False
+                for rindex, rrow in enumerate(right.rows):
+                    combined = lrow + rrow
+                    ok = (
+                        condition is None
+                        or self._evaluator.evaluate_truth(
+                            condition, ctx.with_values(combined)
+                        )
+                    )
+                    if ok:
+                        matched = True
+                        matched_right.add(rindex)
+                        rows.append(combined)
+                if not matched and join.join_type in ("LEFT", "FULL"):
+                    rows.append(lrow + null_right)
+        if join.join_type in ("RIGHT", "FULL"):
+            for rindex, rrow in enumerate(right.rows):
+                if rindex not in matched_right:
+                    rows.append(null_left + rrow)
+        return Relation(columns, rows)
+
+    # -- DML / DDL -----------------------------------------------------------
+
+    def _execute_insert(self, statement: nodes.Insert) -> Relation:
+        table = self._storage(statement.table)
+        schema = table.schema
+        if statement.columns:
+            indices = [
+                schema.column_index(name) for name in statement.columns
+            ]
+        else:
+            indices = list(range(len(schema.columns)))
+
+        def build_row(values: Sequence[Any]) -> list[Any]:
+            if len(values) != len(indices):
+                raise ExecutionError(
+                    f"INSERT expects {len(indices)} values, got {len(values)}"
+                )
+            full: list[Any] = []
+            provided = dict(zip(indices, values))
+            for position, column in enumerate(schema.columns):
+                if position in provided:
+                    full.append(provided[position])
+                else:
+                    full.append(column.default)
+            return full
+
+        count = 0
+        empty_ctx = RowContext([], [])
+        if statement.query is not None:
+            result = self.execute_select(statement.query)
+            for row in result.rows:
+                table.insert(build_row(row))
+                count += 1
+        else:
+            for value_exprs in statement.rows:
+                values = [
+                    self._evaluator.evaluate(expr, empty_ctx)
+                    for expr in value_exprs
+                ]
+                table.insert(build_row(values))
+                count += 1
+        return _rowcount_relation(count)
+
+    def _execute_update(self, statement: nodes.Update) -> Relation:
+        table = self._storage(statement.table)
+        schema = table.schema
+        assignments = [
+            (schema.column_index(name), expr)
+            for name, expr in statement.assignments
+        ]
+        columns = [
+            (statement.table, column.name) for column in schema.columns
+        ]
+        ctx = RowContext(columns, [None] * len(columns))
+        new_rows: list[tuple[Any, ...]] = []
+        count = 0
+        for row in table.rows():
+            row_ctx = ctx.with_values(row)
+            matches = statement.where is None or self._evaluator.evaluate_truth(
+                statement.where, row_ctx
+            )
+            if matches:
+                updated = list(row)
+                for index, expr in assignments:
+                    updated[index] = self._evaluator.evaluate(expr, row_ctx)
+                new_rows.append(tuple(updated))
+                count += 1
+            else:
+                new_rows.append(row)
+        table.replace_rows(new_rows)
+        return _rowcount_relation(count)
+
+    def _execute_delete(self, statement: nodes.Delete) -> Relation:
+        table = self._storage(statement.table)
+        columns = [
+            (statement.table, column.name)
+            for column in table.schema.columns
+        ]
+        ctx = RowContext(columns, [None] * len(columns))
+        kept: list[tuple[Any, ...]] = []
+        count = 0
+        for row in table.rows():
+            matches = statement.where is None or self._evaluator.evaluate_truth(
+                statement.where, ctx.with_values(row)
+            )
+            if matches:
+                count += 1
+            else:
+                kept.append(row)
+        table.replace_rows(kept)
+        return _rowcount_relation(count)
+
+    def _execute_create(self, statement: nodes.CreateTable) -> Relation:
+        if self._catalog.has_table(statement.name):
+            if statement.if_not_exists:
+                return _rowcount_relation(0)
+            raise CatalogError(f"table {statement.name!r} already exists")
+        empty_ctx = RowContext([], [])
+        columns = []
+        for definition in statement.columns:
+            default = None
+            if definition.default is not None:
+                default = self._evaluator.evaluate(
+                    definition.default, empty_ctx
+                )
+            columns.append(
+                ColumnSchema(
+                    name=definition.name,
+                    data_type=DataType.from_name(definition.type_name),
+                    not_null=definition.not_null,
+                    primary_key=definition.primary_key,
+                    unique=definition.unique,
+                    default=default,
+                )
+            )
+        schema = TableSchema(statement.name, columns)
+        self._catalog.create_table(schema)
+        self._tables[statement.name.lower()] = Table(schema)
+        return _rowcount_relation(0)
+
+    def _execute_drop(self, statement: nodes.DropTable) -> Relation:
+        if not self._catalog.has_table(statement.name):
+            if statement.if_exists:
+                return _rowcount_relation(0)
+            raise CatalogError(f"no table named {statement.name!r}")
+        self._catalog.drop_table(statement.name)
+        del self._tables[statement.name.lower()]
+        return _rowcount_relation(0)
+
+    # -- EXPLAIN -----------------------------------------------------------
+
+    def explain(self, select: nodes.Select) -> Relation:
+        """Describe the plan the executor would use (no execution)."""
+        lines: list[str] = []
+        if select.source is not None:
+            self._explain_source(select.source, select.where, lines, 0)
+        else:
+            lines.append("Result (no table)")
+        if select.where is not None:
+            lines.append(f"Filter: {select.where.to_sql()}")
+        if select.group_by or _uses_aggregates(
+            list(select.items), select.having, select.order_by
+        ):
+            grouped = ", ".join(e.to_sql() for e in select.group_by)
+            lines.append(f"Aggregate{f' by {grouped}' if grouped else ''}")
+        if select.having is not None:
+            lines.append(f"Having: {select.having.to_sql()}")
+        if select.distinct:
+            lines.append("Distinct")
+        if select.order_by:
+            keys = ", ".join(o.to_sql() for o in select.order_by)
+            lines.append(f"Sort: {keys}")
+        if select.limit is not None:
+            lines.append(f"Limit: {select.limit.to_sql()}")
+        for op, _query in select.compound:
+            lines.append(f"SetOp: {op}")
+        return Relation([(None, "plan")], [(line,) for line in lines])
+
+    def _explain_source(
+        self,
+        source: nodes.TableRef,
+        where: Optional[nodes.Expression],
+        lines: list[str],
+        depth: int,
+    ) -> None:
+        pad = "  " * depth
+        if isinstance(source, nodes.NamedTable):
+            table = self._storage(source.name)
+            indexed = (
+                self._indexed_equality(where, table, source.binding)
+                if where is not None
+                else None
+            )
+            if indexed is not None:
+                column, value = indexed
+                lines.append(
+                    f"{pad}IndexScan({source.name}.{column} = {value!r})"
+                )
+            else:
+                lines.append(f"{pad}SeqScan({source.name})")
+            return
+        if isinstance(source, nodes.SubqueryTable):
+            lines.append(f"{pad}Subquery({source.alias})")
+            return
+        if isinstance(source, nodes.Join):
+            left = self._relation_columns(source.left)
+            right = self._relation_columns(source.right)
+            equi = (
+                _find_equi_join(source.condition, left, right)
+                if self.enable_hash_join
+                else None
+            )
+            strategy = "HashJoin" if equi is not None else "NestedLoopJoin"
+            if source.join_type == "CROSS":
+                strategy = "CrossJoin"
+            lines.append(f"{pad}{strategy}({source.join_type})")
+            self._explain_source(source.left, None, lines, depth + 1)
+            self._explain_source(source.right, None, lines, depth + 1)
+
+    def _relation_columns(
+        self, source: nodes.TableRef
+    ) -> list[tuple[Optional[str], str]]:
+        if isinstance(source, nodes.NamedTable):
+            table = self._storage(source.name)
+            return [
+                (source.binding, column.name)
+                for column in table.schema.columns
+            ]
+        if isinstance(source, nodes.SubqueryTable):
+            items = source.subquery.items
+            return [(source.alias, item.output_name) for item in items]
+        if isinstance(source, nodes.Join):
+            return self._relation_columns(source.left) + self._relation_columns(
+                source.right
+            )
+        return []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _storage(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"no table named {name!r}")
+        return table
+
+    def _run_subquery(
+        self, select: nodes.Select, outer: Optional[RowContext]
+    ) -> Relation:
+        return self.execute_select(select, outer)
+
+    def _expand_stars(
+        self,
+        items: tuple[nodes.SelectItem, ...],
+        columns: list[tuple[Optional[str], str]],
+    ) -> list[nodes.SelectItem]:
+        expanded: list[nodes.SelectItem] = []
+        for item in items:
+            expr = item.expression
+            if isinstance(expr, nodes.Star):
+                for binding, name in columns:
+                    if expr.table is not None and (
+                        binding is None
+                        or binding.lower() != expr.table.lower()
+                    ):
+                        continue
+                    expanded.append(
+                        nodes.SelectItem(nodes.ColumnRef(name, binding))
+                    )
+                continue
+            expanded.append(item)
+        return expanded
+
+
+class _GroupEvaluator:
+    """Evaluator view that substitutes aggregate results by call shape."""
+
+    def __init__(
+        self, base: Evaluator, aggregate_values: dict[str, Any]
+    ) -> None:
+        self._base = base
+        self._values = aggregate_values
+
+    def evaluate(self, expr: nodes.Expression, ctx: RowContext) -> Any:
+        if isinstance(expr, nodes.FunctionCall) and is_aggregate_function(
+            expr.name
+        ):
+            key = _agg_key(expr)
+            if key in self._values:
+                return self._values[key]
+            raise ExecutionError(
+                f"aggregate {expr.to_sql()} was not accumulated"
+            )
+        if isinstance(expr, nodes.BinaryOp):
+            left = self.evaluate(expr.left, ctx)
+            right = self.evaluate(expr.right, ctx)
+            return self._base._binary(  # reuse scalar operator logic
+                nodes.BinaryOp(expr.op, nodes.Literal(left), nodes.Literal(right)),
+                ctx,
+            )
+        if isinstance(expr, nodes.UnaryOp):
+            inner = self.evaluate(expr.operand, ctx)
+            return self._base._unary(
+                nodes.UnaryOp(expr.op, nodes.Literal(inner)), ctx
+            )
+        if isinstance(expr, nodes.Case):
+            for condition, result in expr.branches:
+                value = self.evaluate(condition, ctx)
+                if value is not None and value:
+                    return self.evaluate(result, ctx)
+            if expr.default is not None:
+                return self.evaluate(expr.default, ctx)
+            return None
+        if isinstance(expr, nodes.FunctionCall):
+            from repro.sqlengine.functions import call_scalar
+
+            args = [self.evaluate(arg, ctx) for arg in expr.args]
+            return call_scalar(expr.name, args)
+        if isinstance(expr, nodes.Cast):
+            from repro.sqlengine.types import coerce as _coerce
+
+            value = self.evaluate(expr.operand, ctx)
+            return _coerce(value, DataType.from_name(expr.type_name))
+        return self._base.evaluate(expr, ctx)
+
+
+def _agg_key(call: nodes.FunctionCall) -> str:
+    return call.to_sql().upper()
+
+
+def _rowcount_relation(count: int) -> Relation:
+    """DML statements report their affected-row count as a relation."""
+    return Relation(columns=[(None, "rowcount")], rows=[(count,)])
+
+
+def _conjuncts(expression: nodes.Expression):
+    """Yield the top-level AND conjuncts of an expression."""
+    if isinstance(expression, nodes.BinaryOp) and expression.op == "AND":
+        yield from _conjuncts(expression.left)
+        yield from _conjuncts(expression.right)
+    else:
+        yield expression
+
+
+def _find_equi_join(
+    condition: Optional[nodes.Expression],
+    left_columns: list[tuple[Optional[str], str]],
+    right_columns: list[tuple[Optional[str], str]],
+) -> Optional[tuple[int, int]]:
+    """Positions of an equi-join pair (left pos, right pos), if any
+    conjunct is ``left_col = right_col``."""
+    if condition is None:
+        return None
+    for conjunct in _conjuncts(condition):
+        if not (
+            isinstance(conjunct, nodes.BinaryOp) and conjunct.op == "="
+        ):
+            continue
+        if not (
+            isinstance(conjunct.left, nodes.ColumnRef)
+            and isinstance(conjunct.right, nodes.ColumnRef)
+        ):
+            continue
+        for first, second in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            left_pos = _resolve_position(first, left_columns)
+            right_pos = _resolve_position(second, right_columns)
+            if left_pos is not None and right_pos is not None:
+                return left_pos, right_pos
+    return None
+
+
+def _resolve_position(
+    ref: nodes.ColumnRef,
+    columns: list[tuple[Optional[str], str]],
+) -> Optional[int]:
+    matches = [
+        index
+        for index, (binding, name) in enumerate(columns)
+        if name.lower() == ref.name.lower()
+        and (
+            ref.table is None
+            or (binding is not None and binding.lower() == ref.table.lower())
+        )
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def _uses_aggregates(
+    items: list[nodes.SelectItem],
+    having: Optional[nodes.Expression],
+    order_by: tuple[nodes.OrderItem, ...],
+) -> bool:
+    for expr in _all_expressions(items, having, order_by):
+        for sub in nodes.walk_expressions(expr):
+            if isinstance(sub, nodes.FunctionCall) and is_aggregate_function(
+                sub.name
+            ):
+                return True
+    return False
+
+
+def _collect_aggregates(
+    items: list[nodes.SelectItem],
+    having: Optional[nodes.Expression],
+    order_by: tuple[nodes.OrderItem, ...],
+) -> list[nodes.FunctionCall]:
+    calls: dict[str, nodes.FunctionCall] = {}
+    for expr in _all_expressions(items, having, order_by):
+        for sub in nodes.walk_expressions(expr):
+            if isinstance(sub, nodes.FunctionCall) and is_aggregate_function(
+                sub.name
+            ):
+                calls.setdefault(_agg_key(sub), sub)
+    return list(calls.values())
+
+
+def _all_expressions(
+    items: list[nodes.SelectItem],
+    having: Optional[nodes.Expression],
+    order_by: tuple[nodes.OrderItem, ...],
+):
+    for item in items:
+        yield item.expression
+    if having is not None:
+        yield having
+    for order in order_by:
+        yield order.expression
+
+
+def _resolve_output_reference(
+    expr: nodes.Expression, items: list[nodes.SelectItem]
+) -> nodes.Expression:
+    """Map GROUP BY aliases/ordinals back to their select expressions."""
+    if isinstance(expr, nodes.Literal) and isinstance(expr.value, int):
+        ordinal = expr.value - 1
+        if 0 <= ordinal < len(items):
+            return items[ordinal].expression
+    if isinstance(expr, nodes.ColumnRef) and expr.table is None:
+        for item in items:
+            if item.alias and item.alias.lower() == expr.name.lower():
+                return item.expression
+    return expr
+
+
+def _order_extras(
+    order_by: tuple[nodes.OrderItem, ...],
+    items: list[nodes.SelectItem],
+) -> list[nodes.Expression]:
+    """ORDER BY expressions that are not plain output references."""
+    extras = []
+    for item in order_by:
+        if _order_extra_needed(item, items):
+            extras.append(item.expression)
+    return extras
+
+
+def _order_extra_positions(
+    order_by: tuple[nodes.OrderItem, ...],
+    items: list[nodes.SelectItem],
+) -> dict[int, int]:
+    positions: dict[int, int] = {}
+    counter = 0
+    for item in order_by:
+        if _order_extra_needed(item, items):
+            positions[id(item)] = counter
+            counter += 1
+    return positions
+
+
+def _order_extra_needed(
+    item: nodes.OrderItem, items: list[nodes.SelectItem]
+) -> bool:
+    expr = item.expression
+    if isinstance(expr, nodes.Literal) and isinstance(expr.value, int):
+        return False
+    if isinstance(expr, nodes.ColumnRef) and expr.table is None:
+        for select_item in items:
+            if select_item.output_name.lower() == expr.name.lower():
+                return False
+    # Star select lists keep all source columns, so a plain column ref
+    # resolves against the output either way; still carry an extra to be
+    # safe for computed expressions.
+    return True
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def _distinct(relation: Relation) -> Relation:
+    seen: set = set()
+    rows: list[tuple[Any, ...]] = []
+    for row in relation.rows:
+        key = tuple(_hashable(v) for v in row)
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append(row)
+    return Relation(relation.columns, rows)
+
+
+def _apply_set_operator(op: str, left: Relation, right: Relation) -> Relation:
+    if op == "UNION ALL":
+        return Relation(left.columns, left.rows + right.rows)
+    left_keys = [tuple(_hashable(v) for v in row) for row in left.rows]
+    right_keys = {tuple(_hashable(v) for v in row) for row in right.rows}
+    if op == "UNION":
+        merged = _distinct(Relation(left.columns, left.rows + right.rows))
+        return merged
+    if op == "INTERSECT":
+        rows = []
+        seen: set = set()
+        for key, row in zip(left_keys, left.rows):
+            if key in right_keys and key not in seen:
+                seen.add(key)
+                rows.append(row)
+        return Relation(left.columns, rows)
+    if op == "EXCEPT":
+        rows = []
+        seen = set()
+        for key, row in zip(left_keys, left.rows):
+            if key not in right_keys and key not in seen:
+                seen.add(key)
+                rows.append(row)
+        return Relation(left.columns, rows)
+    raise ExecutionError(f"unknown set operator: {op}")
+
+
+def _find_column(
+    columns: list[tuple[Optional[str], str]], name: str
+) -> Optional[int]:
+    for index, (_binding, column_name) in enumerate(columns):
+        if column_name == name:
+            return index
+    return None
+
+
+def _invert(part: tuple) -> tuple:
+    """Invert a sort_key part for descending order.
+
+    NULLs are the smallest value (group 0), so inverting the group makes
+    them sort last under DESC — matching SQLite semantics.
+    """
+    group, type_rank, value = part
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (-group, -type_rank, -value)
+    if isinstance(value, str):
+        return (-group, -type_rank, _InvertedString(value))
+    return (-group, -type_rank, value)
+
+
+class _InvertedString(str):
+    """A string that sorts in reverse order."""
+
+    def __lt__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__gt__(self, other)
+
+    def __gt__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__lt__(self, other)
+
+    def __le__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__ge__(self, other)
+
+    def __ge__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__le__(self, other)

@@ -1,0 +1,370 @@
+"""Expression evaluation over row contexts.
+
+A :class:`RowContext` binds ``(table_binding, column_name)`` pairs to the
+values of the current row; contexts chain to their outer query's context
+so correlated subqueries resolve free column references.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional, Sequence
+
+from repro.sqlengine import nodes
+from repro.sqlengine.errors import ExecutionError
+from repro.sqlengine.functions import (
+    call_scalar,
+    is_aggregate_function,
+    is_scalar_function,
+)
+from repro.sqlengine.types import DataType, coerce
+
+
+class RowContext:
+    """Column bindings for one row, chained to an optional outer context."""
+
+    def __init__(
+        self,
+        columns: Sequence[tuple[Optional[str], str]],
+        values: Sequence[Any],
+        outer: Optional["RowContext"] = None,
+    ) -> None:
+        self.columns = list(columns)
+        self.values = list(values)
+        self.outer = outer
+        self._by_qualified: dict[tuple[str, str], int] = {}
+        self._by_name: dict[str, list[int]] = {}
+        for index, (binding, name) in enumerate(self.columns):
+            lowered = name.lower()
+            if binding is not None:
+                self._by_qualified[(binding.lower(), lowered)] = index
+            self._by_name.setdefault(lowered, []).append(index)
+
+    def with_values(self, values: Sequence[Any]) -> "RowContext":
+        """Cheap clone sharing the column layout (hot loop path)."""
+        clone = RowContext.__new__(RowContext)
+        clone.columns = self.columns
+        clone.values = list(values)
+        clone.outer = self.outer
+        clone._by_qualified = self._by_qualified
+        clone._by_name = self._by_name
+        return clone
+
+    def lookup(self, name: str, table: Optional[str] = None) -> Any:
+        index = self.find(name, table)
+        if index is not None:
+            return self.values[index]
+        if self.outer is not None:
+            return self.outer.lookup(name, table)
+        qualified = f"{table}.{name}" if table else name
+        raise ExecutionError(f"unknown column: {qualified}")
+
+    def find(self, name: str, table: Optional[str] = None) -> Optional[int]:
+        lowered = name.lower()
+        if table is not None:
+            return self._by_qualified.get((table.lower(), lowered))
+        positions = self._by_name.get(lowered)
+        if not positions:
+            return None
+        if len(positions) > 1:
+            raise ExecutionError(f"ambiguous column reference: {name}")
+        return positions[0]
+
+    def has(self, name: str, table: Optional[str] = None) -> bool:
+        try:
+            found_here = self.find(name, table) is not None
+        except ExecutionError:
+            return True  # ambiguous means "present"
+        if found_here:
+            return True
+        return self.outer.has(name, table) if self.outer else False
+
+
+SubqueryRunner = Callable[[nodes.Select, Optional[RowContext]], "object"]
+
+
+class Evaluator:
+    """Evaluate expression nodes against a row context.
+
+    ``run_subquery`` is injected by the executor so that subqueries can
+    be evaluated (with the current context as the outer scope).
+    """
+
+    def __init__(
+        self,
+        run_subquery: Optional[SubqueryRunner] = None,
+        parameters: Sequence[Any] = (),
+    ) -> None:
+        self._run_subquery = run_subquery
+        self._parameters = list(parameters)
+
+    def evaluate(self, expr: nodes.Expression, ctx: RowContext) -> Any:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise ExecutionError(
+                f"cannot evaluate expression: {expr!r}"
+            )
+        return method(self, expr, ctx)
+
+    def evaluate_truth(self, expr: nodes.Expression, ctx: RowContext) -> bool:
+        """Three-valued SQL truth: NULL counts as not-true."""
+        value = self.evaluate(expr, ctx)
+        return bool(value) if value is not None else False
+
+    # -- node handlers --------------------------------------------------
+
+    def _literal(self, expr: nodes.Literal, ctx: RowContext) -> Any:
+        return expr.value
+
+    def _parameter(self, expr: nodes.Parameter, ctx: RowContext) -> Any:
+        if expr.index >= len(self._parameters):
+            raise ExecutionError(
+                f"missing bind parameter at index {expr.index}"
+            )
+        return self._parameters[expr.index]
+
+    def _column(self, expr: nodes.ColumnRef, ctx: RowContext) -> Any:
+        return ctx.lookup(expr.name, expr.table)
+
+    def _unary(self, expr: nodes.UnaryOp, ctx: RowContext) -> Any:
+        if expr.op == "NOT":
+            value = self.evaluate(expr.operand, ctx)
+            if value is None:
+                return None
+            return not bool(value)
+        value = self.evaluate(expr.operand, ctx)
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"unary {expr.op} over {value!r}")
+        return -value if expr.op == "-" else value
+
+    def _binary(self, expr: nodes.BinaryOp, ctx: RowContext) -> Any:
+        op = expr.op
+        if op == "AND":
+            left = self.evaluate(expr.left, ctx)
+            if left is not None and not left:
+                return False
+            right = self.evaluate(expr.right, ctx)
+            if right is not None and not right:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.evaluate(expr.left, ctx)
+            if left is not None and left:
+                return True
+            right = self.evaluate(expr.right, ctx)
+            if right is not None and right:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.evaluate(expr.left, ctx)
+        right = self.evaluate(expr.right, ctx)
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        if left is None or right is None:
+            return None
+        if op in ("=", "<>", "<", ">", "<=", ">="):
+            return self._compare(op, left, right)
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise ExecutionError("division by zero")
+                result = left / right
+                if (
+                    isinstance(left, int)
+                    and isinstance(right, int)
+                    and result == int(result)
+                ):
+                    return int(result)
+                return result
+            if op == "%":
+                if right == 0:
+                    raise ExecutionError("modulo by zero")
+                return left % right
+        except TypeError:
+            raise ExecutionError(
+                f"type error: {left!r} {op} {right!r}"
+            ) from None
+        raise ExecutionError(f"unknown operator: {op}")
+
+    @staticmethod
+    def _compare(op: str, left: Any, right: Any) -> bool:
+        import datetime as _dt
+
+        # Allow DATE-vs-ISO-string comparisons, common in generated SQL.
+        if isinstance(left, _dt.date) and isinstance(right, str):
+            right = coerce(right, DataType.DATE)
+        elif isinstance(right, _dt.date) and isinstance(left, str):
+            left = coerce(left, DataType.DATE)
+        numeric = (int, float)
+        mixed_types = isinstance(left, numeric) != isinstance(right, numeric)
+        if mixed_types and op in ("=", "<>"):
+            # SQL engines vary here; equality across type groups is false.
+            return op == "<>"
+        try:
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == ">":
+                return left > right
+            if op == "<=":
+                return left <= right
+            return left >= right
+        except TypeError:
+            raise ExecutionError(
+                f"cannot compare {left!r} with {right!r}"
+            ) from None
+
+    def _is_null(self, expr: nodes.IsNull, ctx: RowContext) -> bool:
+        value = self.evaluate(expr.operand, ctx)
+        return (value is not None) if expr.negated else (value is None)
+
+    def _like(self, expr: nodes.Like, ctx: RowContext) -> Any:
+        value = self.evaluate(expr.operand, ctx)
+        pattern = self.evaluate(expr.pattern, ctx)
+        if value is None or pattern is None:
+            return None
+        matched = _like_match(str(value), str(pattern))
+        return (not matched) if expr.negated else matched
+
+    def _between(self, expr: nodes.Between, ctx: RowContext) -> Any:
+        value = self.evaluate(expr.operand, ctx)
+        low = self.evaluate(expr.low, ctx)
+        high = self.evaluate(expr.high, ctx)
+        if value is None or low is None or high is None:
+            return None
+        inside = self._compare("<=", low, value) and self._compare(
+            "<=", value, high
+        )
+        return (not inside) if expr.negated else inside
+
+    def _in_list(self, expr: nodes.InList, ctx: RowContext) -> Any:
+        value = self.evaluate(expr.operand, ctx)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            candidate = self.evaluate(item, ctx)
+            if candidate is None:
+                saw_null = True
+                continue
+            if self._compare("=", value, candidate):
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _in_subquery(self, expr: nodes.InSubquery, ctx: RowContext) -> Any:
+        value = self.evaluate(expr.operand, ctx)
+        if value is None:
+            return None
+        result = self._subquery(expr.subquery, ctx)
+        saw_null = False
+        for row in result.rows:
+            candidate = row[0]
+            if candidate is None:
+                saw_null = True
+                continue
+            if self._compare("=", value, candidate):
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _exists(self, expr: nodes.Exists, ctx: RowContext) -> bool:
+        result = self._subquery(expr.subquery, ctx)
+        found = len(result.rows) > 0
+        return (not found) if expr.negated else found
+
+    def _scalar_subquery(
+        self, expr: nodes.ScalarSubquery, ctx: RowContext
+    ) -> Any:
+        result = self._subquery(expr.subquery, ctx)
+        if not result.rows:
+            return None
+        if len(result.rows) > 1:
+            raise ExecutionError("scalar subquery returned multiple rows")
+        return result.rows[0][0]
+
+    def _subquery(self, select: nodes.Select, ctx: RowContext):
+        if self._run_subquery is None:
+            raise ExecutionError("subqueries are not available here")
+        result = self._run_subquery(select, ctx)
+        return result
+
+    def _function(self, expr: nodes.FunctionCall, ctx: RowContext) -> Any:
+        if is_aggregate_function(expr.name):
+            raise ExecutionError(
+                f"aggregate {expr.name} used outside GROUP BY context"
+            )
+        if not is_scalar_function(expr.name):
+            raise ExecutionError(f"unknown function: {expr.name}")
+        args = [self.evaluate(arg, ctx) for arg in expr.args]
+        return call_scalar(expr.name, args)
+
+    def _case(self, expr: nodes.Case, ctx: RowContext) -> Any:
+        for condition, result in expr.branches:
+            if self.evaluate_truth(condition, ctx):
+                return self.evaluate(result, ctx)
+        if expr.default is not None:
+            return self.evaluate(expr.default, ctx)
+        return None
+
+    def _cast(self, expr: nodes.Cast, ctx: RowContext) -> Any:
+        value = self.evaluate(expr.operand, ctx)
+        data_type = DataType.from_name(expr.type_name)
+        return coerce(value, data_type)
+
+    def _star(self, expr: nodes.Star, ctx: RowContext) -> Any:
+        raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+
+    _DISPATCH: dict[type, Callable] = {}
+
+
+Evaluator._DISPATCH = {
+    nodes.Literal: Evaluator._literal,
+    nodes.Parameter: Evaluator._parameter,
+    nodes.ColumnRef: Evaluator._column,
+    nodes.UnaryOp: Evaluator._unary,
+    nodes.BinaryOp: Evaluator._binary,
+    nodes.IsNull: Evaluator._is_null,
+    nodes.Like: Evaluator._like,
+    nodes.Between: Evaluator._between,
+    nodes.InList: Evaluator._in_list,
+    nodes.InSubquery: Evaluator._in_subquery,
+    nodes.Exists: Evaluator._exists,
+    nodes.ScalarSubquery: Evaluator._scalar_subquery,
+    nodes.FunctionCall: Evaluator._function,
+    nodes.Case: Evaluator._case,
+    nodes.Cast: Evaluator._cast,
+    nodes.Star: Evaluator._star,
+}
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE with % and _ wildcards, case-insensitive."""
+    regex_parts = []
+    for ch in pattern:
+        if ch == "%":
+            regex_parts.append(".*")
+        elif ch == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(ch))
+    regex = "".join(regex_parts)
+    return re.fullmatch(regex, value, flags=re.IGNORECASE | re.DOTALL) is not None

@@ -1,0 +1,151 @@
+"""SQL tokenizer.
+
+Hand-written single-pass scanner. Supports:
+
+- identifiers (bare and double-quoted), keywords
+- integer / float literals (including exponent form)
+- single-quoted strings with ``''`` escaping
+- line comments (``-- ...``) and block comments (``/* ... */``)
+- parameters (``?``)
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_BODY = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", position=i)
+            i = end + 2
+            continue
+        if ch in _IDENT_START:
+            start = i
+            while i < n and sql[i] in _IDENT_BODY:
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if ch in _DIGITS or (
+            ch == "." and i + 1 < n and sql[i + 1] in _DIGITS
+        ):
+            token, i = _scan_number(sql, i)
+            tokens.append(token)
+            continue
+        if ch == "'":
+            token, i = _scan_string(sql, i)
+            tokens.append(token)
+            continue
+        if ch == '"':
+            token, i = _scan_quoted_identifier(sql, i)
+            tokens.append(token)
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", i))
+            i += 1
+            continue
+        matched = False
+        for op in MULTI_CHAR_OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens
+
+
+def _scan_number(sql: str, start: int) -> tuple[Token, int]:
+    i = start
+    n = len(sql)
+    is_float = False
+    while i < n and sql[i] in _DIGITS:
+        i += 1
+    if i < n and sql[i] == ".":
+        is_float = True
+        i += 1
+        while i < n and sql[i] in _DIGITS:
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j] in _DIGITS:
+            is_float = True
+            i = j
+            while i < n and sql[i] in _DIGITS:
+                i += 1
+    text = sql[start:i]
+    value = float(text) if is_float else int(text)
+    return Token(TokenType.NUMBER, value, start), i
+
+
+def _scan_string(sql: str, start: int) -> tuple[Token, int]:
+    i = start + 1
+    n = len(sql)
+    parts: list[str] = []
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return Token(TokenType.STRING, "".join(parts), start), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", position=start)
+
+
+def _scan_quoted_identifier(sql: str, start: int) -> tuple[Token, int]:
+    end = sql.find('"', start + 1)
+    if end == -1:
+        raise SqlSyntaxError("unterminated quoted identifier", position=start)
+    name = sql[start + 1 : end]
+    if not name:
+        raise SqlSyntaxError("empty quoted identifier", position=start)
+    return Token(TokenType.IDENTIFIER, name, start), end + 1

@@ -1,0 +1,650 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sqlengine.nodes`.
+
+Grammar (informal)::
+
+    statement     := select | insert | update | delete | create | drop
+    select        := SELECT [DISTINCT] items [FROM source] [WHERE expr]
+                     [GROUP BY exprs] [HAVING expr] [ORDER BY orders]
+                     [LIMIT expr [OFFSET expr]]
+                     { (UNION [ALL] | INTERSECT | EXCEPT) select }
+    source        := table_ref { join }
+    expression    := or-precedence climbing down to primary
+
+Precedence, loosest first: OR, AND, NOT, comparison/IN/LIKE/BETWEEN/IS,
+additive (+, -, ||), multiplicative (*, /, %), unary sign, primary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sqlengine import nodes
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import Token, TokenType
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+
+
+def parse_sql(sql: str) -> nodes.Statement:
+    """Parse a single SQL statement (optionally ``;``-terminated)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_end()
+    return statement
+
+
+def parse_expression(sql: str) -> nodes.Expression:
+    """Parse a standalone SQL expression (used by tests and the NLU)."""
+    parser = _Parser(tokenize(sql))
+    expression = parser.parse_expr()
+    parser.expect_end()
+    return expression
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token helpers ------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *names: str) -> bool:
+        return self._current.is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._check_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> None:
+        if not self._accept_keyword(name):
+            raise self._error(f"expected {name}")
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCTUATION and token.value == char:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> None:
+        if not self._accept_punct(char):
+            raise self._error(f"expected {char!r}")
+
+    def _accept_operator(self, *ops: str) -> Optional[str]:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            self._advance()
+            return token.value
+        return None
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._current
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value
+        # Allow non-reserved-looking keywords as identifiers in a pinch
+        # (e.g. a column named "key" arrives as KEYWORD KEY).
+        if token.type is TokenType.KEYWORD and token.value in (
+            "KEY", "INDEX", "VIEW", "COLUMN",
+        ):
+            self._advance()
+            return token.value.lower()
+        raise self._error(f"expected {what}")
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        token = self._current
+        shown = "end of input" if token.type is TokenType.EOF else repr(token.value)
+        return SqlSyntaxError(
+            f"{message}, found {shown} at position {token.position}",
+            position=token.position,
+        )
+
+    def expect_end(self) -> None:
+        self._accept_punct(";")
+        if self._current.type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+
+    # -- statements ---------------------------------------------------
+
+    def parse_statement(self) -> nodes.Statement:
+        if self._check_keyword("SELECT"):
+            return self.parse_select()
+        if self._check_keyword("INSERT"):
+            return self._parse_insert()
+        if self._check_keyword("UPDATE"):
+            return self._parse_update()
+        if self._check_keyword("DELETE"):
+            return self._parse_delete()
+        if self._check_keyword("CREATE"):
+            return self._parse_create()
+        if self._check_keyword("DROP"):
+            return self._parse_drop()
+        if self._accept_keyword("BEGIN"):
+            self._accept_keyword("TRANSACTION")
+            return nodes.TransactionStatement("BEGIN")
+        if self._accept_keyword("COMMIT"):
+            self._accept_keyword("TRANSACTION")
+            return nodes.TransactionStatement("COMMIT")
+        if self._accept_keyword("ROLLBACK"):
+            self._accept_keyword("TRANSACTION")
+            return nodes.TransactionStatement("ROLLBACK")
+        if self._accept_keyword("EXPLAIN"):
+            return nodes.Explain(self.parse_select())
+        raise self._error("expected a SQL statement")
+
+    def parse_select(self) -> nodes.Select:
+        select = self._parse_select_core(allow_tail=False)
+        compound: list[tuple[str, nodes.Select]] = []
+        while True:
+            if self._accept_keyword("UNION"):
+                op = "UNION ALL" if self._accept_keyword("ALL") else "UNION"
+            elif self._accept_keyword("INTERSECT"):
+                op = "INTERSECT"
+            elif self._accept_keyword("EXCEPT"):
+                op = "EXCEPT"
+            else:
+                break
+            compound.append((op, self._parse_select_core(allow_tail=False)))
+        # ORDER BY / LIMIT bind to the whole compound (standard SQL).
+        order_by, limit, offset = self._parse_select_tail()
+        return nodes.Select(
+            items=select.items,
+            source=select.source,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=select.distinct,
+            compound=tuple(compound),
+        )
+
+    def _parse_select_tail(
+        self,
+    ) -> tuple[tuple[nodes.OrderItem, ...], Optional[nodes.Expression], Optional[nodes.Expression]]:
+        order_by: list[nodes.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+        limit = self.parse_expr() if self._accept_keyword("LIMIT") else None
+        offset = None
+        if limit is not None and self._accept_keyword("OFFSET"):
+            offset = self.parse_expr()
+        return tuple(order_by), limit, offset
+
+    def _parse_select_core(self, allow_tail: bool = True) -> nodes.Select:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        elif self._accept_keyword("ALL"):
+            pass
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        source = None
+        if self._accept_keyword("FROM"):
+            source = self._parse_source()
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+        group_by: list[nodes.Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self._accept_punct(","):
+                group_by.append(self.parse_expr())
+        having = self.parse_expr() if self._accept_keyword("HAVING") else None
+        if allow_tail:
+            order_by, limit, offset = self._parse_select_tail()
+        else:
+            order_by, limit, offset = (), None, None
+        return nodes.Select(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> nodes.SelectItem:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return nodes.SelectItem(nodes.Star())
+        # table.* form
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek_is_punct(1, ".")
+            and self._peek_is_star(2)
+        ):
+            self._advance()  # identifier
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return nodes.SelectItem(nodes.Star(table=token.value))
+        expression = self.parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return nodes.SelectItem(expression, alias)
+
+    def _peek_is_punct(self, ahead: int, char: str) -> bool:
+        idx = self._pos + ahead
+        if idx >= len(self._tokens):
+            return False
+        token = self._tokens[idx]
+        return token.type is TokenType.PUNCTUATION and token.value == char
+
+    def _peek_is_star(self, ahead: int) -> bool:
+        idx = self._pos + ahead
+        if idx >= len(self._tokens):
+            return False
+        token = self._tokens[idx]
+        return token.type is TokenType.OPERATOR and token.value == "*"
+
+    def _parse_order_item(self) -> nodes.OrderItem:
+        expression = self.parse_expr()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return nodes.OrderItem(expression, descending)
+
+    def _parse_source(self) -> nodes.TableRef:
+        left = self._parse_table_ref()
+        while True:
+            join_type = self._parse_join_type()
+            if join_type is None:
+                if self._accept_punct(","):
+                    right = self._parse_table_ref()
+                    left = nodes.Join(left, right, "CROSS")
+                    continue
+                return left
+            right = self._parse_table_ref()
+            condition = None
+            if join_type != "CROSS":
+                self._expect_keyword("ON")
+                condition = self.parse_expr()
+            left = nodes.Join(left, right, join_type, condition)
+
+    def _parse_join_type(self) -> Optional[str]:
+        if self._accept_keyword("JOIN"):
+            return "INNER"
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            return "INNER"
+        if self._accept_keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            return "CROSS"
+        for name in ("LEFT", "RIGHT", "FULL"):
+            if self._accept_keyword(name):
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                return name
+        return None
+
+    def _parse_table_ref(self) -> nodes.TableRef:
+        if self._accept_punct("("):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            self._accept_keyword("AS")
+            alias = self._expect_identifier("subquery alias")
+            return nodes.SubqueryTable(subquery, alias)
+        name = self._expect_identifier("table name")
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return nodes.NamedTable(name, alias)
+
+    # -- DML / DDL ----------------------------------------------------
+
+    def _parse_insert(self) -> nodes.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier("table name")
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_identifier("column name"))
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        if self._check_keyword("SELECT"):
+            query = self.parse_select()
+            return nodes.Insert(table, tuple(columns), query=query)
+        self._expect_keyword("VALUES")
+        rows: list[tuple[nodes.Expression, ...]] = []
+        while True:
+            self._expect_punct("(")
+            values = [self.parse_expr()]
+            while self._accept_punct(","):
+                values.append(self.parse_expr())
+            self._expect_punct(")")
+            rows.append(tuple(values))
+            if not self._accept_punct(","):
+                break
+        return nodes.Insert(table, tuple(columns), rows=tuple(rows))
+
+    def _parse_update(self) -> nodes.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("SET")
+        assignments: list[tuple[str, nodes.Expression]] = []
+        while True:
+            column = self._expect_identifier("column name")
+            if self._accept_operator("=") is None:
+                raise self._error("expected '=' in SET clause")
+            assignments.append((column, self.parse_expr()))
+            if not self._accept_punct(","):
+                break
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+        return nodes.Update(table, tuple(assignments), where)
+
+    def _parse_delete(self) -> nodes.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+        return nodes.Delete(table, where)
+
+    def _parse_create(self) -> nodes.Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("VIEW"):
+            name = self._expect_identifier("view name")
+            self._expect_keyword("AS")
+            return nodes.CreateView(name, self.parse_select())
+        if self._accept_keyword("INDEX"):
+            name = self._expect_identifier("index name")
+            self._expect_keyword("ON")
+            table = self._expect_identifier("table name")
+            self._expect_punct("(")
+            column = self._expect_identifier("column name")
+            self._expect_punct(")")
+            return nodes.CreateIndex(name, table, column)
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_identifier("table name")
+        self._expect_punct("(")
+        columns = [self._parse_column_def()]
+        while self._accept_punct(","):
+            columns.append(self._parse_column_def())
+        self._expect_punct(")")
+        return nodes.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _parse_column_def(self) -> nodes.ColumnDef:
+        name = self._expect_identifier("column name")
+        type_name = self._parse_type_name()
+        not_null = False
+        primary_key = False
+        unique = False
+        default: Optional[nodes.Expression] = None
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+                continue
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                not_null = True
+                continue
+            if self._accept_keyword("UNIQUE"):
+                unique = True
+                continue
+            if self._accept_keyword("DEFAULT"):
+                default = self._parse_primary()
+                continue
+            break
+        return nodes.ColumnDef(
+            name, type_name, not_null, primary_key, unique, default
+        )
+
+    def _parse_type_name(self) -> str:
+        token = self._current
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            self._advance()
+            type_name = str(token.value).upper()
+        else:
+            raise self._error("expected a type name")
+        # VARCHAR(30) etc. — size is accepted and ignored.
+        if self._accept_punct("("):
+            while not self._accept_punct(")"):
+                self._advance()
+        return type_name
+
+    def _parse_drop(self) -> nodes.Statement:
+        self._expect_keyword("DROP")
+        if self._accept_keyword("INDEX"):
+            return nodes.DropIndex(self._expect_identifier("index name"))
+        if self._accept_keyword("VIEW"):
+            if_exists = False
+            if self._accept_keyword("IF"):
+                self._expect_keyword("EXISTS")
+                if_exists = True
+            return nodes.DropView(
+                self._expect_identifier("view name"), if_exists
+            )
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._expect_identifier("table name")
+        return nodes.DropTable(name, if_exists)
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> nodes.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> nodes.Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = nodes.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> nodes.Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = nodes.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> nodes.Expression:
+        if self._accept_keyword("NOT"):
+            return nodes.UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> nodes.Expression:
+        left = self._parse_additive()
+        while True:
+            op = self._accept_operator(*_COMPARISON_OPS)
+            if op is not None:
+                normalized = "<>" if op == "!=" else op
+                left = nodes.BinaryOp(normalized, left, self._parse_additive())
+                continue
+            negated = False
+            save = self._pos
+            if self._accept_keyword("NOT"):
+                negated = True
+            if self._accept_keyword("IS"):
+                is_not = self._accept_keyword("NOT")
+                self._expect_keyword("NULL")
+                left = nodes.IsNull(left, negated=is_not or negated)
+                continue
+            if self._accept_keyword("LIKE"):
+                left = nodes.Like(left, self._parse_additive(), negated)
+                continue
+            if self._accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                left = nodes.Between(left, low, high, negated)
+                continue
+            if self._accept_keyword("IN"):
+                left = self._parse_in_tail(left, negated)
+                continue
+            if negated:
+                self._pos = save
+            break
+        return left
+
+    def _parse_in_tail(
+        self, operand: nodes.Expression, negated: bool
+    ) -> nodes.Expression:
+        self._expect_punct("(")
+        if self._check_keyword("SELECT"):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return nodes.InSubquery(operand, subquery, negated)
+        items = [self.parse_expr()]
+        while self._accept_punct(","):
+            items.append(self.parse_expr())
+        self._expect_punct(")")
+        return nodes.InList(operand, tuple(items), negated)
+
+    def _parse_additive(self) -> nodes.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            op = self._accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = nodes.BinaryOp(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> nodes.Expression:
+        left = self._parse_unary()
+        while True:
+            op = self._accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = nodes.BinaryOp(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> nodes.Expression:
+        op = self._accept_operator("-", "+")
+        if op is not None:
+            return nodes.UnaryOp(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> nodes.Expression:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return nodes.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return nodes.Literal(token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            index = self._param_count
+            self._param_count += 1
+            return nodes.Parameter(index)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return nodes.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return nodes.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return nodes.Literal(False)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return nodes.Exists(subquery)
+        if self._accept_punct("("):
+            if self._check_keyword("SELECT"):
+                subquery = self.parse_select()
+                self._expect_punct(")")
+                return nodes.ScalarSubquery(subquery)
+            expression = self.parse_expr()
+            self._expect_punct(")")
+            return expression
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expr()
+        raise self._error("expected an expression")
+
+    def _parse_identifier_expr(self) -> nodes.Expression:
+        name = self._advance().value
+        if self._accept_punct("("):
+            return self._parse_function_tail(name)
+        if self._accept_punct("."):
+            # table.column or table.*
+            if self._peek_is_star(0):
+                self._advance()
+                return nodes.Star(table=name)
+            column = self._expect_identifier("column name")
+            return nodes.ColumnRef(column, table=name)
+        return nodes.ColumnRef(name)
+
+    def _parse_function_tail(self, name: str) -> nodes.Expression:
+        upper = name.upper()
+        if self._accept_punct(")"):
+            return nodes.FunctionCall(upper, ())
+        distinct = self._accept_keyword("DISTINCT")
+        if self._peek_is_star(0):
+            self._advance()
+            self._expect_punct(")")
+            return nodes.FunctionCall(upper, (nodes.Star(),), distinct)
+        args = [self.parse_expr()]
+        while self._accept_punct(","):
+            args.append(self.parse_expr())
+        self._expect_punct(")")
+        return nodes.FunctionCall(upper, tuple(args), distinct)
+
+    def _parse_case(self) -> nodes.Expression:
+        self._expect_keyword("CASE")
+        branches: list[tuple[nodes.Expression, nodes.Expression]] = []
+        operand: Optional[nodes.Expression] = None
+        if not self._check_keyword("WHEN"):
+            operand = self.parse_expr()
+        while self._accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            if operand is not None:
+                condition = nodes.BinaryOp("=", operand, condition)
+            self._expect_keyword("THEN")
+            branches.append((condition, self.parse_expr()))
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        default = self.parse_expr() if self._accept_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return nodes.Case(tuple(branches), default)
+
+    def _parse_cast(self) -> nodes.Expression:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self.parse_expr()
+        self._expect_keyword("AS")
+        type_name = self._parse_type_name()
+        self._expect_punct(")")
+        return nodes.Cast(operand, type_name)

@@ -1,0 +1,174 @@
+"""Row storage for one table, with constraint enforcement."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.sqlengine.catalog import TableSchema
+from repro.sqlengine.errors import ExecutionError, TypeCheckError
+
+
+class Table:
+    """In-memory heap of rows (tuples) conforming to a schema.
+
+    Enforces NOT NULL, PRIMARY KEY and UNIQUE on mutation. Unique/PK
+    checks are maintained with hash indexes so bulk loads stay linear.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+        self._unique_indexes: dict[int, dict[Any, int]] = {}
+        #: name -> (column position, value -> row positions)
+        self._secondary: dict[str, tuple[int, dict[Any, list[int]]]] = {}
+        for index, column in enumerate(schema.columns):
+            if column.primary_key or column.unique:
+                self._unique_indexes[index] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def snapshot(self) -> list[tuple[Any, ...]]:
+        return list(self._rows)
+
+    def insert(self, values: Iterable[Any]) -> None:
+        row = self._validate_row(tuple(values))
+        for column_index, index in self._unique_indexes.items():
+            value = row[column_index]
+            if value is None:
+                continue
+            if value in index:
+                column = self.schema.columns[column_index]
+                raise ExecutionError(
+                    f"duplicate value {value!r} for unique column "
+                    f"{self.schema.name}.{column.name}"
+                )
+        position = len(self._rows)
+        self._rows.append(row)
+        for column_index, index in self._unique_indexes.items():
+            value = row[column_index]
+            if value is not None:
+                index[value] = position
+        for column_index, mapping in self._secondary.values():
+            value = row[column_index]
+            if value is not None:
+                mapping.setdefault(value, []).append(position)
+
+    def _validate_row(self, values: tuple[Any, ...]) -> tuple[Any, ...]:
+        if len(values) != len(self.schema.columns):
+            raise ExecutionError(
+                f"table {self.schema.name!r} expects "
+                f"{len(self.schema.columns)} values, got {len(values)}"
+            )
+        validated = []
+        for column, value in zip(self.schema.columns, values):
+            validated.append(column.validate(value))
+        return tuple(validated)
+
+    def replace_rows(self, rows: list[tuple[Any, ...]]) -> None:
+        """Bulk replace after UPDATE/DELETE; rebuilds unique indexes."""
+        validated = [self._validate_row(row) for row in rows]
+        new_indexes: dict[int, dict[Any, int]] = {
+            column_index: {} for column_index in self._unique_indexes
+        }
+        for position, row in enumerate(validated):
+            for column_index, index in new_indexes.items():
+                value = row[column_index]
+                if value is None:
+                    continue
+                if value in index:
+                    column = self.schema.columns[column_index]
+                    raise ExecutionError(
+                        f"duplicate value {value!r} for unique column "
+                        f"{self.schema.name}.{column.name}"
+                    )
+                index[value] = position
+        self._rows = validated
+        self._unique_indexes = new_indexes
+        for name in list(self._secondary):
+            column_index, _old = self._secondary[name]
+            self._secondary[name] = (
+                column_index,
+                self._build_secondary(column_index),
+            )
+
+    def clone(self) -> "Table":
+        """Independent copy (transaction snapshots)."""
+        twin = Table(self.schema)
+        twin._rows = list(self._rows)
+        twin._unique_indexes = {
+            key: dict(value) for key, value in self._unique_indexes.items()
+        }
+        twin._secondary = {
+            name: (position, {k: list(v) for k, v in mapping.items()})
+            for name, (position, mapping) in self._secondary.items()
+        }
+        return twin
+
+    # -- secondary indexes (CREATE INDEX) -----------------------------
+
+    def create_secondary_index(self, name: str, column_name: str) -> None:
+        if name in self._secondary:
+            raise ExecutionError(f"index {name!r} already exists")
+        column_index = self.schema.column_index(column_name)
+        self._secondary[name] = (
+            column_index,
+            self._build_secondary(column_index),
+        )
+
+    def drop_secondary_index(self, name: str) -> None:
+        if name not in self._secondary:
+            raise ExecutionError(f"no index named {name!r}")
+        del self._secondary[name]
+
+    def has_secondary_index(self, column_name: str) -> bool:
+        try:
+            column_index = self.schema.column_index(column_name)
+        except Exception:
+            return False
+        return any(
+            idx == column_index for idx, _m in self._secondary.values()
+        )
+
+    def index_names(self) -> list[str]:
+        return sorted(self._secondary)
+
+    def secondary_lookup(
+        self, column_name: str, value: Any
+    ) -> Optional[list[tuple[Any, ...]]]:
+        """Rows where ``column_name == value`` via an index, or None
+        when no index covers the column."""
+        column_index = self.schema.column_index(column_name)
+        for idx, mapping in self._secondary.values():
+            if idx == column_index:
+                return [
+                    self._rows[position]
+                    for position in mapping.get(value, [])
+                ]
+        return None
+
+    def _build_secondary(
+        self, column_index: int
+    ) -> dict[Any, list[int]]:
+        mapping: dict[Any, list[int]] = {}
+        for position, row in enumerate(self._rows):
+            value = row[column_index]
+            if value is not None:
+                mapping.setdefault(value, []).append(position)
+        return mapping
+
+    def lookup_unique(self, column_name: str, value: Any) -> Optional[tuple]:
+        """Point lookup through a unique index, or None."""
+        column_index = self.schema.column_index(column_name)
+        index = self._unique_indexes.get(column_index)
+        if index is None:
+            raise ExecutionError(
+                f"column {column_name!r} has no unique index"
+            )
+        position = index.get(value)
+        if position is None:
+            return None
+        return self._rows[position]

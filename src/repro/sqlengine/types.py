@@ -1,0 +1,146 @@
+"""Value types supported by the engine and their coercion rules."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from typing import Any
+
+from repro.sqlengine.errors import TypeCheckError
+
+
+class DataType(enum.Enum):
+    """Column data types.
+
+    ``DATE`` values are stored as :class:`datetime.date`; literals in SQL
+    are ISO-8601 strings which the engine coerces on insert/compare.
+    """
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "DECIMAL": cls.REAL,
+            "NUMERIC": cls.REAL,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOL": cls.BOOLEAN,
+            "DATETIME": cls.DATE,
+            "TIMESTAMP": cls.DATE,
+        }
+        if normalized in aliases:
+            return aliases[normalized]
+        try:
+            return cls(normalized)
+        except ValueError:
+            raise TypeCheckError(f"unknown data type: {name!r}") from None
+
+
+def parse_date(value: str) -> _dt.date:
+    """Parse an ISO date or datetime string to a date."""
+    text = value.strip()
+    try:
+        if "T" in text or " " in text:
+            return _dt.datetime.fromisoformat(text).date()
+        return _dt.date.fromisoformat(text)
+    except ValueError:
+        raise TypeCheckError(f"invalid DATE literal: {value!r}") from None
+
+
+def coerce(value: Any, data_type: DataType) -> Any:
+    """Coerce ``value`` to the Python representation of ``data_type``.
+
+    ``None`` (SQL NULL) passes through every type. Raises
+    :class:`TypeCheckError` when the value cannot represent the type.
+    """
+    if value is None:
+        return None
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                pass
+        raise TypeCheckError(f"cannot coerce {value!r} to INTEGER")
+    if data_type is DataType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+        raise TypeCheckError(f"cannot coerce {value!r} to REAL")
+    if data_type is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (_dt.date, _dt.datetime)):
+            return value.isoformat()
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float)):
+            return str(value)
+        raise TypeCheckError(f"cannot coerce {value!r} to TEXT")
+    if data_type is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise TypeCheckError(f"cannot coerce {value!r} to BOOLEAN")
+    if data_type is DataType.DATE:
+        if isinstance(value, _dt.datetime):
+            return value.date()
+        if isinstance(value, _dt.date):
+            return value
+        if isinstance(value, str):
+            return parse_date(value)
+        raise TypeCheckError(f"cannot coerce {value!r} to DATE")
+    raise TypeCheckError(f"unsupported data type: {data_type}")
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the narrowest :class:`DataType` for a Python value."""
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.REAL
+    if isinstance(value, (_dt.date, _dt.datetime)):
+        return DataType.DATE
+    return DataType.TEXT
+
+
+def sort_key(value: Any) -> tuple:
+    """Total ordering key: NULLs first, then by type group, then value."""
+    if value is None:
+        return (0, 0, 0)
+    if isinstance(value, bool):
+        return (1, 0, int(value))
+    if isinstance(value, (int, float)):
+        return (1, 1, value)
+    if isinstance(value, (_dt.date, _dt.datetime)):
+        return (1, 2, value.isoformat())
+    return (1, 3, str(value))

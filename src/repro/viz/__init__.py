@@ -1,0 +1,23 @@
+"""Visualization layer: chart specs and renderers.
+
+Agents produce :class:`ChartSpec` objects (the interface contract); the
+renderers turn them into ASCII (terminal front-end) or SVG (web
+front-end). Users can re-render a spec as a different chart type, which
+is the paper's "alter chart types according to their preferences"
+interaction (Figure 3, area 6).
+"""
+
+from repro.viz.spec import ChartSpec, ChartType, DataPoint, VizError
+from repro.viz.ascii_render import render_ascii
+from repro.viz.svg_render import render_svg
+from repro.viz.dashboard import Dashboard
+
+__all__ = [
+    "ChartSpec",
+    "ChartType",
+    "Dashboard",
+    "DataPoint",
+    "VizError",
+    "render_ascii",
+    "render_svg",
+]

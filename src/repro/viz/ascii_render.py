@@ -1,0 +1,82 @@
+"""ASCII rendering of chart specs (terminal front-end)."""
+
+from __future__ import annotations
+
+from repro.viz.spec import ChartSpec, ChartType, VizError
+
+_BAR_WIDTH = 40
+_AREA_HEIGHT = 8
+
+
+def render_ascii(spec: ChartSpec) -> str:
+    """Render ``spec`` as monospace text."""
+    renderer = {
+        ChartType.BAR: _render_bar,
+        ChartType.DONUT: _render_share,
+        ChartType.PIE: _render_share,
+        ChartType.LINE: _render_area,
+        ChartType.AREA: _render_area,
+        ChartType.TABLE: _render_table,
+    }[spec.chart_type]
+    header = f"{spec.title} ({spec.chart_type.value})"
+    return "\n".join([header, "=" * len(header), renderer(spec)])
+
+
+def _render_bar(spec: ChartSpec) -> str:
+    peak = max(abs(p.value) for p in spec.points)
+    if peak == 0:
+        peak = 1.0
+    label_width = max(len(p.label) for p in spec.points)
+    lines = []
+    for point in spec.points:
+        bar = "#" * max(1, round(abs(point.value) / peak * _BAR_WIDTH))
+        lines.append(
+            f"{point.label.ljust(label_width)} | {bar} {point.value:g}"
+        )
+    return "\n".join(lines)
+
+
+def _render_share(spec: ChartSpec) -> str:
+    """Donut/pie as a percentage breakdown with block glyphs."""
+    total = spec.total
+    if total <= 0:
+        raise VizError(f"{spec.chart_type.value} chart needs a positive total")
+    label_width = max(len(p.label) for p in spec.points)
+    lines = []
+    for point in spec.points:
+        share = point.value / total
+        blocks = "o" * max(1, round(share * 20))
+        lines.append(
+            f"{point.label.ljust(label_width)} {blocks} "
+            f"{share * 100:5.1f}% ({point.value:g})"
+        )
+    return "\n".join(lines)
+
+
+def _render_area(spec: ChartSpec) -> str:
+    """Line/area as a height-banded sparkline grid."""
+    values = [p.value for p in spec.points]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    heights = [
+        1 + round((v - low) / span * (_AREA_HEIGHT - 1)) for v in values
+    ]
+    grid = []
+    for level in range(_AREA_HEIGHT, 0, -1):
+        row = "".join(
+            " *"[height >= level] * 2 for height in heights
+        )
+        grid.append(row)
+    labels = " ".join(p.label[-2:].rjust(1) for p in spec.points)
+    grid.append("-" * (2 * len(values)))
+    grid.append(labels)
+    return "\n".join(grid)
+
+
+def _render_table(spec: ChartSpec) -> str:
+    label_width = max(len(p.label) for p in spec.points)
+    header = f"{(spec.x_label or 'label').ljust(label_width)} | {spec.y_label or 'value'}"
+    lines = [header, "-" * len(header)]
+    for point in spec.points:
+        lines.append(f"{point.label.ljust(label_width)} | {point.value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Dashboard: the aggregated multi-chart report surface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.viz.ascii_render import render_ascii
+from repro.viz.spec import ChartSpec, ChartType, VizError
+from repro.viz.svg_render import render_svg
+
+
+@dataclass
+class Dashboard:
+    """An ordered collection of charts plus narrative text.
+
+    The aggregator agent assembles one of these; the front-end renders
+    it; users can swap any chart's type in place (Figure 3, area 6).
+    """
+
+    title: str
+    charts: list[ChartSpec] = field(default_factory=list)
+    narrative: str = ""
+
+    def add_chart(self, spec: ChartSpec) -> None:
+        self.charts.append(spec)
+
+    def chart(self, title: str) -> ChartSpec:
+        lowered = title.lower()
+        for spec in self.charts:
+            if spec.title.lower() == lowered:
+                return spec
+        raise VizError(f"no chart titled {title!r}")
+
+    def alter_chart_type(
+        self, title: str, chart_type: ChartType | str
+    ) -> ChartSpec:
+        """Replace a chart with the same data in a new form."""
+        for index, spec in enumerate(self.charts):
+            if spec.title.lower() == title.lower():
+                replacement = spec.with_chart_type(chart_type)
+                self.charts[index] = replacement
+                return replacement
+        raise VizError(f"no chart titled {title!r}")
+
+    def render_text(self) -> str:
+        parts = [self.title, "#" * len(self.title)]
+        if self.narrative:
+            parts.append(self.narrative)
+        for spec in self.charts:
+            parts.append("")
+            parts.append(render_ascii(spec))
+        return "\n".join(parts)
+
+    def render_html(self) -> str:
+        """Self-contained HTML page with inline SVG charts."""
+        charts_html = "\n".join(
+            f'<figure>{render_svg(spec)}</figure>' for spec in self.charts
+        )
+        narrative = (
+            f"<p>{self.narrative}</p>" if self.narrative else ""
+        )
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{self.title}</title></head><body>"
+            f"<h1>{self.title}</h1>{narrative}{charts_html}"
+            "</body></html>"
+        )

@@ -1,0 +1,139 @@
+"""Chart specifications: the agent <-> front-end contract."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class VizError(Exception):
+    """Invalid chart specification or rendering input."""
+
+
+class ChartType(enum.Enum):
+    BAR = "bar"
+    DONUT = "donut"
+    PIE = "pie"
+    LINE = "line"
+    AREA = "area"
+    TABLE = "table"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ChartType":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise VizError(
+                f"unknown chart type {name!r}; "
+                f"known: {[t.value for t in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    label: str
+    value: float
+
+
+@dataclass
+class ChartSpec:
+    """A renderable chart: type, title, axes and data points."""
+
+    chart_type: ChartType
+    title: str
+    points: list[DataPoint]
+    x_label: str = ""
+    y_label: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise VizError(f"chart {self.title!r} has no data points")
+        if self.chart_type in (ChartType.DONUT, ChartType.PIE):
+            if any(p.value < 0 for p in self.points):
+                raise VizError(
+                    f"{self.chart_type.value} chart {self.title!r} "
+                    "cannot show negative values"
+                )
+
+    @property
+    def total(self) -> float:
+        return sum(p.value for p in self.points)
+
+    def with_chart_type(self, chart_type: ChartType | str) -> "ChartSpec":
+        """The "alter chart type" interaction: same data, new form."""
+        if isinstance(chart_type, str):
+            chart_type = ChartType.from_name(chart_type)
+        return ChartSpec(
+            chart_type=chart_type,
+            title=self.title,
+            points=list(self.points),
+            x_label=self.x_label,
+            y_label=self.y_label,
+            metadata=dict(self.metadata),
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        chart_type: ChartType | str,
+        title: str,
+        rows: list[tuple],
+        x_label: str = "",
+        y_label: str = "",
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> "ChartSpec":
+        """Build a spec from (label, value) query rows."""
+        if isinstance(chart_type, str):
+            chart_type = ChartType.from_name(chart_type)
+        points = []
+        for row in rows:
+            if len(row) < 2:
+                raise VizError(
+                    f"chart rows need (label, value); got {row!r}"
+                )
+            label, value = row[0], row[1]
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise VizError(f"non-numeric chart value: {value!r}")
+            points.append(DataPoint(str(label), float(value)))
+        return cls(
+            chart_type=chart_type,
+            title=title,
+            points=points,
+            x_label=x_label,
+            y_label=y_label,
+            metadata=dict(metadata or {}),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "chart_type": self.chart_type.value,
+                "title": self.title,
+                "x_label": self.x_label,
+                "y_label": self.y_label,
+                "points": [
+                    {"label": p.label, "value": p.value} for p in self.points
+                ],
+                "metadata": self.metadata,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChartSpec":
+        data = json.loads(text)
+        return cls(
+            chart_type=ChartType.from_name(data["chart_type"]),
+            title=data["title"],
+            points=[
+                DataPoint(p["label"], float(p["value"]))
+                for p in data["points"]
+            ],
+            x_label=data.get("x_label", ""),
+            y_label=data.get("y_label", ""),
+            metadata=data.get("metadata", {}),
+        )

@@ -1,0 +1,160 @@
+"""SVG rendering of chart specs (web front-end)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.viz.spec import ChartSpec, ChartType, VizError
+
+_WIDTH = 480
+_HEIGHT = 280
+_PALETTE = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+def render_svg(spec: ChartSpec) -> str:
+    """Render ``spec`` as a standalone SVG document."""
+    body = {
+        ChartType.BAR: _svg_bars,
+        ChartType.DONUT: lambda s: _svg_arcs(s, donut=True),
+        ChartType.PIE: lambda s: _svg_arcs(s, donut=False),
+        ChartType.LINE: lambda s: _svg_path(s, fill=False),
+        ChartType.AREA: lambda s: _svg_path(s, fill=True),
+        ChartType.TABLE: _svg_table,
+    }[spec.chart_type](spec)
+    title = _escape(spec.title)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">'
+        f'<text x="{_WIDTH / 2}" y="18" text-anchor="middle" '
+        f'font-size="14" font-family="sans-serif">{title}</text>'
+        f"{body}</svg>"
+    )
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _svg_bars(spec: ChartSpec) -> str:
+    top, bottom, left = 30, 40, 40
+    plot_height = _HEIGHT - top - bottom
+    peak = max(abs(p.value) for p in spec.points) or 1.0
+    count = len(spec.points)
+    slot = (_WIDTH - left - 20) / count
+    bar_width = slot * 0.7
+    parts = []
+    for index, point in enumerate(spec.points):
+        height = abs(point.value) / peak * plot_height
+        x = left + index * slot + slot * 0.15
+        y = top + plot_height - height
+        color = _PALETTE[index % len(_PALETTE)]
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{height:.1f}" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{_HEIGHT - 22}" '
+            f'text-anchor="middle" font-size="9" font-family="sans-serif">'
+            f"{_escape(point.label[:10])}</text>"
+        )
+    return "".join(parts)
+
+
+def _svg_arcs(spec: ChartSpec, donut: bool) -> str:
+    total = spec.total
+    if total <= 0:
+        raise VizError("share chart needs a positive total")
+    cx, cy, radius = _WIDTH / 2, (_HEIGHT + 20) / 2, 90
+    angle = -math.pi / 2
+    parts = []
+    for index, point in enumerate(spec.points):
+        sweep = point.value / total * 2 * math.pi
+        x1 = cx + radius * math.cos(angle)
+        y1 = cy + radius * math.sin(angle)
+        angle += sweep
+        x2 = cx + radius * math.cos(angle)
+        y2 = cy + radius * math.sin(angle)
+        large = 1 if sweep > math.pi else 0
+        color = _PALETTE[index % len(_PALETTE)]
+        parts.append(
+            f'<path d="M {cx:.1f} {cy:.1f} L {x1:.1f} {y1:.1f} '
+            f'A {radius} {radius} 0 {large} 1 {x2:.1f} {y2:.1f} Z" '
+            f'fill="{color}"/>'
+        )
+    if donut:
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="45" fill="white"/>'
+        )
+    # Legend on the right edge.
+    for index, point in enumerate(spec.points[:8]):
+        y = 40 + index * 16
+        color = _PALETTE[index % len(_PALETTE)]
+        parts.append(
+            f'<rect x="8" y="{y - 9}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="22" y="{y}" font-size="10" '
+            f'font-family="sans-serif">{_escape(point.label[:14])}</text>'
+        )
+    return "".join(parts)
+
+
+def _svg_path(spec: ChartSpec, fill: bool) -> str:
+    top, bottom, left = 30, 40, 40
+    plot_height = _HEIGHT - top - bottom
+    plot_width = _WIDTH - left - 20
+    values = [p.value for p in spec.points]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    count = len(values)
+    step = plot_width / max(count - 1, 1)
+    coordinates = []
+    for index, value in enumerate(values):
+        x = left + index * step
+        y = top + plot_height - (value - low) / span * plot_height
+        coordinates.append((x, y))
+    path = "M " + " L ".join(f"{x:.1f} {y:.1f}" for x, y in coordinates)
+    parts = []
+    if fill:
+        area = (
+            path
+            + f" L {coordinates[-1][0]:.1f} {top + plot_height} "
+            + f"L {coordinates[0][0]:.1f} {top + plot_height} Z"
+        )
+        parts.append(
+            f'<path d="{area}" fill="{_PALETTE[0]}" fill-opacity="0.35"/>'
+        )
+    parts.append(
+        f'<path d="{path}" fill="none" stroke="{_PALETTE[0]}" '
+        'stroke-width="2"/>'
+    )
+    for index, point in enumerate(spec.points):
+        if count > 12 and index % max(1, count // 12) != 0:
+            continue
+        x = left + index * step
+        parts.append(
+            f'<text x="{x:.1f}" y="{_HEIGHT - 22}" text-anchor="middle" '
+            f'font-size="9" font-family="sans-serif">'
+            f"{_escape(point.label[-5:])}</text>"
+        )
+    return "".join(parts)
+
+
+def _svg_table(spec: ChartSpec) -> str:
+    parts = []
+    for index, point in enumerate(spec.points[:12]):
+        y = 44 + index * 18
+        parts.append(
+            f'<text x="40" y="{y}" font-size="11" '
+            f'font-family="monospace">{_escape(point.label[:24])}</text>'
+        )
+        parts.append(
+            f'<text x="{_WIDTH - 40}" y="{y}" text-anchor="end" '
+            f'font-size="11" font-family="monospace">{point.value:g}</text>'
+        )
+    return "".join(parts)

@@ -1,0 +1,155 @@
+"""Tests for agents-as-operators (the AWEL protocol-layer link)."""
+
+import pytest
+
+from repro.agents import AgentMemory
+from repro.agents.awel_integration import (
+    AgentOperator,
+    build_analysis_dag,
+    run_analysis_workflow,
+)
+from repro.agents.base import ConversableAgent
+from repro.awel import DAG, AwelError, InputOperator, MapOperator, run_dag
+from repro.awel.runner import WorkflowRunner
+from repro.datasets import build_sales_database
+from repro.datasources import EngineSource
+from repro.llm import ChatModel, PlannerModel, SqlCoderModel
+from repro.smmf import ModelSpec, deploy
+
+
+@pytest.fixture(scope="module")
+def client():
+    _controller, client = deploy(
+        [
+            ModelSpec("sql-coder", lambda: SqlCoderModel("sql-coder")),
+            ModelSpec("planner", lambda: PlannerModel("planner")),
+            ModelSpec("chat", lambda: ChatModel("chat")),
+        ]
+    )
+    return client
+
+
+@pytest.fixture(scope="module")
+def source():
+    return EngineSource(build_sales_database(n_orders=120))
+
+
+class _UpperAgent(ConversableAgent):
+    def __init__(self, memory):
+        super().__init__("upper", "uppercases", memory, use_recall=False)
+
+    def generate_reply(self, message):
+        return self.reply_to(message, message.content.upper())
+
+
+class TestAgentOperator:
+    def test_agent_as_operator(self):
+        memory = AgentMemory()
+        with DAG("d") as dag:
+            src = InputOperator(name="src")
+            agent_node = AgentOperator(_UpperAgent(memory), name="agent")
+            extract = MapOperator(lambda reply: reply.content, name="out")
+            src >> agent_node >> extract
+        assert run_dag(dag, "hello") == "HELLO"
+        # The exchange was archived like any agent conversation.
+        assert len(memory) == 2
+
+    def test_dict_input_becomes_metadata(self):
+        memory = AgentMemory()
+
+        class Echo(ConversableAgent):
+            def __init__(self):
+                super().__init__("echo", "", memory, use_recall=False)
+
+            def generate_reply(self, message):
+                return self.reply_to(
+                    message, f"{message.content}|{message.metadata['tag']}"
+                )
+
+        with DAG("d") as dag:
+            src = InputOperator(name="src")
+            node = AgentOperator(Echo(), name="agent")
+            out = MapOperator(lambda r: r.content, name="out")
+            src >> node >> out
+        result = run_dag(dag, {"content": "hi", "tag": "t1"})
+        assert result == "hi|t1"
+
+    def test_multiple_inputs_rejected(self):
+        memory = AgentMemory()
+        with DAG("d") as dag:
+            a = InputOperator(value=1, name="a")
+            b = InputOperator(value=2, name="b")
+            node = AgentOperator(_UpperAgent(memory), name="agent")
+            a >> node
+            b >> node
+        from repro.agents import AgentError
+
+        with pytest.raises(AgentError, match="one input"):
+            run_dag(dag, None)
+
+
+class TestAnalysisWorkflow:
+    def test_declarative_flow_matches_imperative_team(self, client, source):
+        dashboard = run_analysis_workflow(
+            source, client, "sales report from three dimensions"
+        )
+        assert len(dashboard.charts) == 3
+        types = {c.chart_type.value for c in dashboard.charts}
+        assert types == {"donut", "bar", "area"}
+
+    def test_custom_dimensions(self, client, source):
+        dashboard = run_analysis_workflow(
+            source,
+            client,
+            "regional report",
+            dimensions=[
+                {"dimension": "region", "chart_type": "bar"},
+                {"dimension": "segment", "chart_type": "donut"},
+            ],
+        )
+        assert len(dashboard.charts) == 2
+
+    def test_memory_shared_across_operators(self, client, source):
+        memory = AgentMemory()
+        run_analysis_workflow(
+            source, client, "sales report", memory=memory
+        )
+        senders = {m.sender for m in memory.by_agent("workflow")}
+        assert "workflow" in senders
+        agent_names = {
+            m.sender for m in memory.conversation("awel")
+        }
+        assert "planner" in agent_names
+        assert "aggregator" in agent_names
+
+    def test_dag_shape(self, client, source):
+        dag, _memory = build_analysis_dag(source, client)
+        # goal -> planner -> 3x (step -> chart) -> collect -> aggregate
+        # -> dashboard = 1 + 1 + 6 + 1 + 1 + 1 nodes.
+        assert len(dag) == 11
+        assert [n.node_id for n in dag.roots()] == ["goal"]
+        assert [n.node_id for n in dag.leaves()] == ["dashboard"]
+
+
+class TestRunnerDeadlockRegression:
+    def test_failing_root_propagates_instead_of_hanging(self):
+        """A root-node failure must fail the run, not deadlock it."""
+        with DAG("d") as dag:
+            # MapOperator as a root: raises (expects one input).
+            bad_root = MapOperator(lambda v: v, name="bad_root")
+            downstream = MapOperator(lambda v: v, name="down")
+            bad_root >> downstream
+        with pytest.raises(AwelError, match="exactly one input"):
+            WorkflowRunner(dag).run("payload")
+
+    def test_failing_middle_node_propagates(self):
+        with DAG("d") as dag:
+            src = InputOperator(name="src")
+            boom = MapOperator(
+                lambda v: (_ for _ in ()).throw(RuntimeError("boom")),
+                name="boom",
+            )
+            after = MapOperator(lambda v: v, name="after")
+            src >> boom >> after
+        with pytest.raises(RuntimeError, match="boom"):
+            WorkflowRunner(dag).run(1)

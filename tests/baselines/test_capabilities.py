@@ -1,0 +1,201 @@
+"""Tests for the baseline frameworks and the Table 1 matrix."""
+
+import pytest
+
+from repro.baselines import (
+    ChatDbLike,
+    DbGptAdapter,
+    LangChainLike,
+    LlamaIndexLike,
+    NotSupported,
+    PrivateGptLike,
+    build_matrix,
+    paper_table1,
+)
+from repro.baselines.base import ModelGateway
+from repro.baselines.capabilities import (
+    CAPABILITY_ROWS,
+    EXTERNAL_MODELS,
+    build_environment,
+)
+from repro.datasets import build_sales_database
+from repro.datasources import EngineSource
+
+
+@pytest.fixture(scope="module")
+def client():
+    return build_environment()
+
+
+@pytest.fixture(scope="module")
+def source():
+    return EngineSource(build_sales_database(n_orders=150))
+
+
+def gateway(client):
+    return ModelGateway(client, EXTERNAL_MODELS)
+
+
+class TestGateway:
+    def test_records_external_flag(self, client):
+        gw = gateway(client)
+        gw.generate("gpt-4", "hello", task="chat")
+        gw.generate("chat", "hello", task="chat")
+        assert [call.external for call in gw.calls] == [True, False]
+        assert gw.external_prompts() == ["hello"]
+        gw.reset()
+        assert gw.calls == []
+
+
+class TestLangChainLike:
+    def test_chain_composition(self):
+        from repro.baselines.langchain_like import Chain
+
+        chain = Chain([str.upper]) | Chain([lambda s: s + "!"])
+        assert chain.run("hi") == "HI!"
+
+    def test_chat_db(self, client, source):
+        framework = LangChainLike(gateway(client))
+        rows = framework.chat_db("How many users are there?", source)
+        assert rows == [(40,)]
+
+    def test_agents_use_two_roles(self, client, source):
+        framework = LangChainLike(gateway(client))
+        evidence = framework.run_agents("how many orders are there", source)
+        assert len(set(evidence.roles)) == 2
+
+    def test_no_workflow_language(self, client):
+        framework = LangChainLike(gateway(client))
+        with pytest.raises(NotSupported):
+            framework.build_branching_workflow()
+
+    def test_prompts_go_external_unmasked(self, client, source):
+        framework = LangChainLike(gateway(client))
+        framework.chat_db(
+            "How many orders are there? my email is x@y.com", source
+        )
+        assert any(
+            "x@y.com" in prompt
+            for prompt in framework.gateway.external_prompts()
+        )
+
+
+class TestLlamaIndexLike:
+    def test_rag_query_cites_docs(self, client):
+        framework = LlamaIndexLike(gateway(client))
+        framework.index_documents(
+            [("d1", "text", "The vacuum reclaims dead tuples nightly.")]
+        )
+        assert framework.rag_query("what does vacuum reclaim?") == ["d1"]
+
+    def test_finetune_improves(self, client):
+        from repro.datasets import build_spider_database
+        from repro.hub import Text2SqlDataset
+
+        framework = LlamaIndexLike(gateway(client))
+        db = build_spider_database("retail")
+        dataset = Text2SqlDataset.from_domain(
+            "retail", n_train=60, n_test=30, seed=5
+        )
+        base, tuned = framework.finetune_text2sql(
+            dataset, EngineSource(db), db
+        )
+        assert tuned > base
+
+    def test_no_generative_analysis(self, client, source):
+        framework = LlamaIndexLike(gateway(client))
+        with pytest.raises(NotSupported):
+            framework.generative_analysis("goal", source)
+
+
+class TestPrivateGptLike:
+    def test_local_qa_never_external(self, client):
+        framework = PrivateGptLike(gateway(client))
+        framework.ingest("doc1", "The vault code rotates weekly.")
+        answer = framework.ask("How often does the vault code rotate?")
+        assert "rotates weekly" in answer
+        assert framework.gateway.external_prompts() == []
+
+    def test_no_sql_surface(self, client, source):
+        framework = PrivateGptLike(gateway(client))
+        with pytest.raises(NotSupported):
+            framework.chat_db("How many users are there?", source)
+
+
+class TestChatDbLike:
+    def test_symbolic_memory_round_trip(self, client, source):
+        framework = ChatDbLike(gateway(client))
+        rows = framework.chat_db("How many products are there?", source)
+        assert rows == [(25,)]
+
+    def test_memory_write(self, client):
+        from repro.sqlengine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE notes (id INTEGER, body TEXT)")
+        framework = ChatDbLike(gateway(client))
+        count = framework.memory_write(
+            EngineSource(db), "INSERT INTO notes VALUES (1, 'hi')"
+        )
+        assert count == 1
+
+    def test_chinese_supported(self, client, source):
+        framework = ChatDbLike(gateway(client))
+        rows = framework.chat_db("用户一共有多少个？", source)
+        assert rows == [(40,)]
+
+
+class TestDbGptAdapter:
+    def test_branching_workflow(self, client):
+        framework = DbGptAdapter(gateway(client))
+        high, low = framework.build_branching_workflow()
+        assert high == ("high", 42)
+        assert low == ("low", 3)
+
+    def test_privacy_masks_before_prompting(self, client, source):
+        framework = DbGptAdapter(gateway(client))
+        framework.chat_db(
+            "How many orders are there? my email is x@y.com", source
+        )
+        all_prompts = [call.prompt for call in framework.gateway.calls]
+        assert all("x@y.com" not in prompt for prompt in all_prompts)
+        assert framework.gateway.external_prompts() == []
+
+    def test_generative_analysis_evidence(self, client, source):
+        framework = DbGptAdapter(gateway(client))
+        evidence = framework.generative_analysis(
+            "sales report from three dimensions", source
+        )
+        assert evidence.plan_steps >= 4
+        assert len(evidence.charts) == 3
+        assert evidence.aggregated
+
+
+class TestMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return build_matrix()
+
+    def test_reproduces_paper_table1(self, matrix):
+        mismatches = matrix.matches(paper_table1())
+        details = {
+            m: matrix.details[m.rsplit("/", 1)[0]][m.rsplit("/", 1)[1]]
+            for m in mismatches
+        }
+        assert mismatches == [], details
+
+    def test_dbgpt_column_all_yes(self, matrix):
+        assert all(
+            matrix.cells[row]["DB-GPT"] for row in CAPABILITY_ROWS
+        )
+
+    def test_every_baseline_misses_something(self, matrix):
+        for name in ("LangChain", "LlamaIndex", "PrivateGPT", "ChatDB"):
+            assert not all(
+                matrix.cells[row][name] for row in CAPABILITY_ROWS
+            )
+
+    def test_format_table_renders_all_rows(self, matrix):
+        text = matrix.format_table()
+        for row in CAPABILITY_ROWS:
+            assert row in text

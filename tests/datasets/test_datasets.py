@@ -1,0 +1,154 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    build_corpus,
+    build_sales_database,
+    build_spider_database,
+    generate_examples,
+    list_domains,
+    sales_summary,
+)
+from repro.datasets.documents import topic_names
+from repro.datasets.spider import domain_synonyms, get_domain
+
+
+class TestSalesDataset:
+    def test_deterministic_for_seed(self):
+        a = sales_summary(build_sales_database(seed=3))
+        b = sales_summary(build_sales_database(seed=3))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = sales_summary(build_sales_database(seed=1))
+        b = sales_summary(build_sales_database(seed=2))
+        assert a["revenue"] != b["revenue"]
+
+    def test_sizes_respected(self):
+        db = build_sales_database(n_users=10, n_products=5, n_orders=50)
+        summary = sales_summary(db)
+        assert summary == {
+            "orders": 50,
+            "users": 10,
+            "products": 5,
+            "revenue": summary["revenue"],
+            "categories": 5,
+        }
+
+    def test_referential_integrity(self):
+        db = build_sales_database()
+        orphans = db.execute(
+            "SELECT COUNT(*) FROM orders o WHERE o.user_id NOT IN "
+            "(SELECT user_id FROM users) OR o.product_id NOT IN "
+            "(SELECT product_id FROM products)"
+        ).scalar()
+        assert orphans == 0
+
+    def test_amount_consistent_with_price(self):
+        db = build_sales_database(n_orders=100)
+        mismatches = db.execute(
+            "SELECT COUNT(*) FROM orders o JOIN products p "
+            "ON o.product_id = p.product_id "
+            "WHERE ABS(o.amount - p.price * o.quantity) > 0.05"
+        ).scalar()
+        assert mismatches == 0
+
+    def test_every_month_has_orders(self):
+        db = build_sales_database(n_orders=600)
+        months = db.execute(
+            "SELECT COUNT(DISTINCT STRFTIME('%m', order_date)) FROM orders"
+        ).scalar()
+        assert months == 12
+
+    def test_holiday_season_bump(self):
+        db = build_sales_database(n_orders=2000)
+        december = db.execute(
+            "SELECT COUNT(*) FROM orders WHERE MONTH(order_date) = 12"
+        ).scalar()
+        february = db.execute(
+            "SELECT COUNT(*) FROM orders WHERE MONTH(order_date) = 2"
+        ).scalar()
+        assert december > february
+
+
+class TestSpiderDataset:
+    def test_domains_exist(self):
+        assert list_domains() == ["clinic", "hr", "library", "retail"]
+
+    @pytest.mark.parametrize("domain", ["clinic", "hr", "library", "retail"])
+    def test_database_builds_and_loads(self, domain):
+        db = build_spider_database(domain)
+        for table in get_domain(domain).rows:
+            assert db.table_rowcount(table) > 0
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            build_spider_database("bogus")
+
+    @pytest.mark.parametrize("domain", ["clinic", "hr", "library", "retail"])
+    def test_gold_sql_executes(self, domain):
+        db = build_spider_database(domain)
+        for example in generate_examples(domain, n=30, seed=5):
+            db.execute(example.sql)  # must not raise
+
+    def test_examples_deterministic(self):
+        a = generate_examples("retail", n=10, seed=9)
+        b = generate_examples("retail", n=10, seed=9)
+        assert a == b
+
+    def test_chinese_questions(self):
+        examples = generate_examples("hr", n=10, seed=1, language="zh")
+        assert all(e.language == "zh" for e in examples)
+        assert any("多少" in e.question or "列出" in e.question for e in examples)
+
+    def test_synonym_rate_zero_uses_schema_names(self):
+        examples = generate_examples("retail", n=30, seed=2, synonym_rate=0.0)
+        synonyms = set(domain_synonyms("retail"))
+        for example in examples:
+            for phrase in synonyms:
+                assert phrase not in example.question.lower().split()
+
+    def test_synonym_rate_one_uses_synonyms_somewhere(self):
+        examples = generate_examples("retail", n=30, seed=2, synonym_rate=1.0)
+        synonyms = set(domain_synonyms("retail"))
+        joined = " ".join(e.question.lower() for e in examples)
+        assert any(phrase in joined for phrase in synonyms)
+
+    def test_filter_values_exist_in_data(self):
+        db = build_spider_database("clinic")
+        for example in generate_examples("clinic", n=40, seed=3):
+            if example.template in ("list_filtered", "count_filtered"):
+                result = db.execute(example.sql)
+                # Values are drawn from actual rows, so a COUNT query
+                # returns >= 1 and a list query is non-empty.
+                if example.template == "count_filtered":
+                    assert result.scalar() >= 1
+                else:
+                    assert len(result.rows) >= 1
+
+
+class TestDocumentCorpus:
+    def test_structure(self):
+        corpus = build_corpus(seed=1, docs_per_topic=4, queries_per_topic=2)
+        assert len(corpus.documents) == 4 * len(topic_names())
+        assert corpus.queries
+
+    def test_gold_ids_exist(self):
+        corpus = build_corpus()
+        for query in corpus.queries:
+            assert query.relevant_ids <= set(corpus.documents)
+
+    def test_deterministic(self):
+        a = build_corpus(seed=5)
+        b = build_corpus(seed=5)
+        assert a.documents == b.documents
+        assert [q.query for q in a.queries] == [q.query for q in b.queries]
+
+    def test_entity_queries_present(self):
+        corpus = build_corpus()
+        assert any(q.kind == "entity" for q in corpus.queries)
+
+    def test_topics_assigned(self):
+        corpus = build_corpus()
+        assert set(corpus.doc_topics.values()) == set(topic_names())

@@ -1,0 +1,75 @@
+"""Property-based tests for the XLSX workbook round trip."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasources.excel_source import Sheet, Workbook
+
+# Cell values the workbook supports: int, float, str, bool, None.
+cells = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(
+        min_value=-1e9, max_value=1e9,
+        allow_nan=False, allow_infinity=False,
+    ).filter(lambda f: not float(f).is_integer()),
+    st.text(
+        alphabet=string.ascii_letters + string.digits + " <>&\"'",
+        max_size=16,
+    ).filter(lambda s: s == s.strip() and s != ""),
+    st.booleans(),
+    st.none(),
+)
+
+headers = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+@st.composite
+def sheets(draw, name="s"):
+    columns = draw(headers)
+    n_rows = draw(st.integers(min_value=1, max_value=8))
+    rows = [
+        [draw(cells) for _ in columns] for _ in range(n_rows)
+    ]
+    # A fully-None trailing column would be indistinguishable from a
+    # narrower sheet, so force the last column of the first row non-None.
+    if all(v is None for v in (row[-1] for row in rows)):
+        rows[0][-1] = 1
+    return Sheet(name, columns, rows)
+
+
+def _round_trip(workbook: Workbook) -> Workbook:
+    import pathlib
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "book.xlsx"
+        workbook.save_xlsx(path)
+        return Workbook.load_xlsx(path)
+
+
+class TestWorkbookRoundTrip:
+    @given(sheets())
+    @settings(max_examples=50, deadline=None)
+    def test_single_sheet_round_trip(self, sheet):
+        restored = _round_trip(Workbook([sheet])).sheet(sheet.name)
+        assert restored.columns == sheet.columns
+        assert restored.rows == sheet.rows
+
+    @given(st.lists(headers, min_size=2, max_size=3, unique_by=tuple))
+    @settings(max_examples=20, deadline=None)
+    def test_multi_sheet_names_preserved(self, column_sets):
+        workbook = Workbook(
+            [
+                Sheet(f"sheet{i}", columns, [[1] * len(columns)])
+                for i, columns in enumerate(column_sets)
+            ]
+        )
+        loaded = _round_trip(workbook)
+        assert loaded.sheet_names() == workbook.sheet_names()

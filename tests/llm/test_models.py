@@ -1,0 +1,239 @@
+"""Tests for the simulated language models and the prompt contract."""
+
+import json
+
+import pytest
+
+from repro.datasets import build_sales_database, build_spider_database
+from repro.datasources import EngineSource
+from repro.llm import (
+    ChatModel,
+    EmbeddingModel,
+    GenerationRequest,
+    LLMError,
+    PlannerModel,
+    SqlCoderModel,
+    build_qa_prompt,
+    build_sql2text_prompt,
+    build_text2sql_prompt,
+    parse_prompt_sections,
+)
+from repro.llm.prompts import (
+    build_plan_prompt,
+    parse_schema_text,
+    parse_values_text,
+)
+from repro.nlu.lexicon import Lexicon
+
+
+class TestPromptContract:
+    def test_text2sql_prompt_round_trip(self):
+        source = EngineSource(build_spider_database("hr"))
+        prompt = build_text2sql_prompt(source, "How many employees?")
+        sections = parse_prompt_sections(prompt)
+        assert "employees(" in sections["schema"]
+        assert sections["question"] == "How many employees?"
+        assert "employees.name" in sections["values"]
+
+    def test_qa_prompt_round_trip(self):
+        prompt = build_qa_prompt("ctx body", "the question?")
+        sections = parse_prompt_sections(prompt)
+        assert sections["context"] == "ctx body"
+        assert sections["qa_question"] == "the question?"
+
+    def test_sql2text_prompt_round_trip(self):
+        prompt = build_sql2text_prompt("SELECT 1")
+        assert parse_prompt_sections(prompt)["sql"] == "SELECT 1"
+
+    def test_plan_prompt_round_trip(self):
+        prompt = build_plan_prompt("do the thing", schema="t(a INTEGER)")
+        sections = parse_prompt_sections(prompt)
+        assert sections["goal"] == "do the thing"
+        assert "t(a INTEGER)" in sections["schema"]
+
+    def test_parse_schema_text(self):
+        parsed = parse_schema_text(
+            "users(id INTEGER, name TEXT) [4 rows]\norders(oid INTEGER)"
+        )
+        assert parsed["users"] == [("id", "INTEGER"), ("name", "TEXT")]
+        assert "orders" in parsed
+
+    def test_parse_values_text(self):
+        index, originals = parse_values_text(
+            "users.city: London, paris\nskip this line"
+        )
+        assert index["london"] == [("users", "city")]
+        assert index["paris"] == [("users", "city")]
+        assert originals["london"] == "London"  # casing preserved
+
+
+class TestSqlCoder:
+    def test_generates_executable_sql(self):
+        db = build_spider_database("hr")
+        source = EngineSource(db)
+        model = SqlCoderModel()
+        prompt = build_text2sql_prompt(source, "How many employees are there?")
+        response = model.generate(GenerationRequest(prompt, task="text2sql"))
+        assert db.execute(response.text).scalar() == 6
+
+    def test_value_linking_through_prompt(self):
+        db = build_spider_database("clinic")
+        source = EngineSource(db)
+        model = SqlCoderModel()
+        prompt = build_text2sql_prompt(
+            source, "How many patients have city lyon?"
+        )
+        response = model.generate(GenerationRequest(prompt))
+        assert db.execute(response.text).scalar() == 2
+
+    def test_lexicon_is_the_learnable_parameter(self):
+        db = build_spider_database("retail")
+        source = EngineSource(db)
+        prompt = build_text2sql_prompt(source, "How many clients are there?")
+        base = SqlCoderModel("base")
+        with pytest.raises(LLMError):
+            base.generate(GenerationRequest(prompt))
+        tuned_lexicon = Lexicon()
+        tuned_lexicon.add_synonym("clients", "table", "customers")
+        tuned = SqlCoderModel("tuned", lexicon=tuned_lexicon)
+        response = tuned.generate(GenerationRequest(prompt))
+        assert db.execute(response.text).scalar() == 6
+
+    def test_missing_sections_rejected(self):
+        model = SqlCoderModel()
+        with pytest.raises(LLMError, match="schema or question"):
+            model.generate(GenerationRequest("just some text"))
+
+    def test_capability_enforcement(self):
+        model = SqlCoderModel()
+        with pytest.raises(LLMError, match="does not support"):
+            model.generate(GenerationRequest("x", task="qa"))
+
+    def test_usage_accounting(self):
+        db = build_spider_database("hr")
+        prompt = build_text2sql_prompt(
+            EngineSource(db), "How many employees are there?"
+        )
+        response = SqlCoderModel().generate(GenerationRequest(prompt))
+        assert response.prompt_tokens > 10
+        assert response.completion_tokens > 0
+        assert response.total_tokens == (
+            response.prompt_tokens + response.completion_tokens
+        )
+
+
+class TestPlanner:
+    def run(self, goal, schema=None):
+        model = PlannerModel()
+        prompt = build_plan_prompt(goal, schema=schema)
+        response = model.generate(GenerationRequest(prompt, task="plan"))
+        return json.loads(response.text)
+
+    def test_figure3_goal_plan(self):
+        plan = self.run(
+            "Build sales reports and analyze user orders from at least "
+            "three distinct dimensions"
+        )
+        chart_steps = [s for s in plan if s["action"] == "chart"]
+        assert len(chart_steps) == 3
+        assert plan[-1]["action"] == "aggregate"
+        chart_types = {s["chart_type"] for s in chart_steps}
+        assert chart_types == {"donut", "bar", "area"}
+
+    def test_dimension_keywords_respected(self):
+        plan = self.run("analyze sales by region and category, 2 dimensions")
+        dims = [s["dimension"] for s in plan if s["action"] == "chart"]
+        assert "region" in dims
+        assert "category" in dims
+
+    def test_steps_are_numbered_sequentially(self):
+        plan = self.run("build a report from three dimensions")
+        assert [s["step"] for s in plan] == list(range(1, len(plan) + 1))
+
+    def test_schema_filters_unavailable_dimensions(self):
+        schema = (
+            "orders(order_id INTEGER, user_id INTEGER, amount REAL, "
+            "order_date DATE)\nusers(user_id INTEGER, user_name TEXT)"
+        )
+        plan = self.run("sales report from three dimensions", schema=schema)
+        dims = {s["dimension"] for s in plan if s["action"] == "chart"}
+        assert "category" not in dims  # schema has no category column
+
+    def test_goal_required(self):
+        model = PlannerModel()
+        with pytest.raises(LLMError, match="goal"):
+            model.generate(GenerationRequest("no goal here"))
+
+
+class TestChatModel:
+    def test_sql_explanation(self):
+        model = ChatModel()
+        prompt = build_sql2text_prompt("SELECT COUNT(*) FROM t")
+        response = model.generate(GenerationRequest(prompt, task="sql2text"))
+        assert "number of rows" in response.text
+
+    def test_invalid_sql_explanation_fails(self):
+        model = ChatModel()
+        with pytest.raises(LLMError):
+            model.generate(GenerationRequest(build_sql2text_prompt("NOT SQL")))
+
+    def test_extractive_qa_picks_relevant_sentence(self):
+        model = ChatModel()
+        context = (
+            "The buffer pool caches pages. Vacuum reclaims dead tuples. "
+            "Indexes speed up lookups."
+        )
+        prompt = build_qa_prompt(context, "What does vacuum do?")
+        response = model.generate(GenerationRequest(prompt, task="qa"))
+        assert "Vacuum reclaims dead tuples." in response.text
+
+    def test_qa_no_overlap_admits_ignorance(self):
+        model = ChatModel()
+        prompt = build_qa_prompt("apples are red", "quantum chromodynamics?")
+        response = model.generate(GenerationRequest(prompt))
+        assert "could not find" in response.text
+
+    def test_summary(self):
+        model = ChatModel()
+        prompt = (
+            "Summarize the following result for the user:\n"
+            "row one\nrow two\nrow three\nrow four\nSummary:"
+        )
+        response = model.generate(GenerationRequest(prompt, task="summary"))
+        assert "row one" in response.text
+        assert "1 more" in response.text
+
+    def test_generic_chat_fallback(self):
+        model = ChatModel()
+        response = model.generate(GenerationRequest("hello there"))
+        assert "hello there" in response.text
+
+    def test_max_tokens_truncates(self):
+        model = ChatModel()
+        prompt = build_qa_prompt(
+            "alpha beta gamma delta epsilon zeta eta theta", "alpha beta?"
+        )
+        response = model.generate(GenerationRequest(prompt, max_tokens=2))
+        assert response.completion_tokens == 2
+        assert response.finish_reason == "length"
+
+
+class TestEmbeddingModel:
+    def test_returns_json_vector(self):
+        model = EmbeddingModel(dim=16)
+        response = model.generate(GenerationRequest("hello", task="embed"))
+        vector = json.loads(response.text)
+        assert len(vector) == 16
+
+    def test_never_truncated(self):
+        model = EmbeddingModel(dim=256)
+        response = model.generate(
+            GenerationRequest("hello", task="embed", max_tokens=4)
+        )
+        assert len(json.loads(response.text)) == 256
+
+    def test_deterministic(self):
+        model = EmbeddingModel(dim=16)
+        a = model.generate(GenerationRequest("same text")).text
+        b = model.generate(GenerationRequest("same text")).text
+        assert a == b

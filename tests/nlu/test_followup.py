@@ -1,0 +1,107 @@
+"""Tests for follow-up question rewriting (Figure 3, area 7)."""
+
+import pytest
+
+from repro.nlu.followup import FollowUpRewriter
+
+
+class TestFollowUpRewriter:
+    @pytest.fixture
+    def rewriter(self):
+        rewriter = FollowUpRewriter()
+        rewriter.rewrite("What is the total amount per category?")
+        return rewriter
+
+    def test_first_question_passes_through(self):
+        rewriter = FollowUpRewriter()
+        result = rewriter.rewrite("How many orders are there?")
+        assert not result.rewritten
+        assert result.question == "How many orders are there?"
+
+    def test_group_swap(self, rewriter):
+        result = rewriter.rewrite("what about per region?")
+        assert result.rewritten
+        assert result.question == "What is the total amount per region?"
+        assert result.rule == "group-swap"
+
+    def test_chained_follow_ups_build_on_rewrites(self, rewriter):
+        rewriter.rewrite("what about per region?")
+        result = rewriter.rewrite("and per month?")
+        assert result.question == "What is the total amount per month?"
+
+    def test_group_add_when_no_existing_group(self):
+        rewriter = FollowUpRewriter()
+        rewriter.rewrite("What is the total amount?")
+        result = rewriter.rewrite("and per region?")
+        assert result.question == "What is the total amount per region?"
+        assert result.rule == "group-add"
+
+    def test_filter_add(self):
+        rewriter = FollowUpRewriter()
+        rewriter.rewrite("What is the total amount?")
+        result = rewriter.rewrite("and for Electronics?")
+        assert result.question == "What is the total amount for Electronics?"
+
+    def test_filter_swap(self):
+        rewriter = FollowUpRewriter()
+        rewriter.rewrite("What is the total amount for Electronics?")
+        result = rewriter.rewrite("what about for Clothing?")
+        assert result.question == "What is the total amount for Clothing?"
+
+    def test_top_n_follow_up(self):
+        rewriter = FollowUpRewriter()
+        rewriter.rewrite("What are the names of the products by price?")
+        result = rewriter.rewrite("only the top 3?")
+        assert "top 3" in result.question
+
+    def test_complete_question_not_mangled(self, rewriter):
+        result = rewriter.rewrite("How many users are there?")
+        assert not result.rewritten
+        assert result.question == "How many users are there?"
+
+    def test_reset_clears_context(self, rewriter):
+        rewriter.reset()
+        result = rewriter.rewrite("what about per region?")
+        assert not result.rewritten
+
+    def test_bare_what_about_appends(self):
+        rewriter = FollowUpRewriter()
+        rewriter.rewrite("List the names of the users")
+        result = rewriter.rewrite("what about the products?")
+        assert result.rewritten
+
+
+class TestChat2DataFollowUps:
+    @pytest.fixture(scope="class")
+    def app(self):
+        from repro.core import DBGPT
+        from repro.datasets import build_sales_database
+        from repro.datasources import EngineSource
+
+        dbgpt = DBGPT.boot()
+        dbgpt.register_source(
+            EngineSource(build_sales_database(n_orders=200))
+        )
+        return dbgpt.app("chat2data")
+
+    def test_conversational_flow(self, app):
+        app.reset()
+        first = app.chat("What is the total amount per category?")
+        assert "Electronics" in first.text
+        second = app.chat("what about per region?")
+        assert second.metadata["rewritten_from"] == "what about per region?"
+        assert "West" in second.text
+
+    def test_value_filter_preserves_db_casing(self, app):
+        app.reset()
+        app.chat("What is the total amount?")
+        result = app.chat("and for Electronics?")
+        assert "Electronics" in result.metadata["sql"]
+        assert result.text.startswith("The answer is")
+        assert "None" not in result.text
+
+    def test_reset_clears_conversation(self, app):
+        app.reset()
+        result = app.chat("what about per region?")
+        # No prior context: treated as a fresh (odd) question.
+        assert "rewritten_from" not in result.metadata

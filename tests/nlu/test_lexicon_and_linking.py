@@ -1,0 +1,168 @@
+"""Tests for the lexicon, multilingual helpers and schema linking."""
+
+import pytest
+
+from repro.datasets import build_spider_database
+from repro.datasources import EngineSource
+from repro.nlu import Lexicon, LexiconEntry, SchemaIndex, SchemaLinker
+from repro.nlu.multilingual import (
+    detect_language,
+    translate_zh_phrases,
+    zh_dictionary,
+)
+
+
+class TestLexicon:
+    def test_add_and_lookup(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym("clients", "table", "customers")
+        entries = lexicon.lookup("clients")
+        assert entries[0].target == "customers"
+
+    def test_lookup_singular_fold(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym("client", "table", "customers")
+        assert lexicon.lookup("clients")[0].target == "customers"
+
+    def test_lookup_plural_fold(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym("clients", "table", "customers")
+        assert lexicon.lookup("client")[0].target == "customers"
+
+    def test_underscore_normalization(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym("order_date", "column", "order_date", "orders")
+        assert lexicon.lookup("order date")
+
+    def test_weight_orders_entries(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym("x", "column", "a", "t1", weight=0.5)
+        lexicon.add_synonym("x", "column", "b", "t2", weight=0.9)
+        assert lexicon.lookup("x")[0].target == "b"
+
+    def test_duplicate_keeps_higher_weight(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym("x", "column", "a", "t", weight=0.5)
+        lexicon.add_synonym("x", "column", "a", "t", weight=0.9)
+        assert len(lexicon.lookup("x")) == 1
+        assert lexicon.lookup("x")[0].weight == 0.9
+
+    def test_merge_and_copy(self):
+        a = Lexicon()
+        a.add_synonym("x", "table", "t1")
+        b = Lexicon()
+        b.add_synonym("y", "table", "t2")
+        a.merge(b)
+        assert "y" in a
+        clone = a.copy()
+        clone.add_synonym("z", "table", "t3")
+        assert "z" not in a
+
+    def test_phrases_longest_first(self):
+        lexicon = Lexicon()
+        lexicon.add_synonym("a", "table", "t")
+        lexicon.add_synonym("a very long phrase", "table", "t")
+        assert lexicon.phrases()[0] == "a very long phrase"
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(ValueError):
+            Lexicon().add(LexiconEntry("", "table", "t"))
+
+
+class TestMultilingual:
+    def test_detect_language(self):
+        assert detect_language("how many users") == "en"
+        assert detect_language("有多少用户") == "zh"
+
+    def test_dictionary_copy_is_isolated(self):
+        d = zh_dictionary()
+        d["新词"] = "nonsense"
+        assert "新词" not in zh_dictionary()
+
+    def test_translate_table_words(self):
+        text = translate_zh_phrases("员工一共有多少个？")
+        assert "employees" in text
+        assert "how many" in text
+
+    def test_translate_longest_phrase_first(self):
+        # 部门名 must translate as a unit, not as 部门 + 名.
+        text = translate_zh_phrases("部门名")
+        assert "dept" in text
+        assert "departments" not in text
+
+    def test_what_is_not_confused_with_how_many(self):
+        text = translate_zh_phrases("总花费是多少？")
+        assert "how many" not in text
+        assert "total" in text
+
+
+class TestSchemaIndex:
+    @pytest.fixture
+    def index(self):
+        db = build_spider_database("retail")
+        return SchemaIndex.from_source(EngineSource(db))
+
+    def test_tables_and_columns(self, index):
+        assert set(index.tables) == {"customers", "purchases"}
+        assert "country" in index.tables["customers"]
+
+    def test_value_index_contains_cell_values(self, index):
+        assert ("customers", "country") in index.value_index["france"]
+
+    def test_numeric_columns_exclude_ids(self, index):
+        numerics = index.numeric_columns("purchases")
+        assert "cost" in numerics
+        assert "purchase_id" not in numerics
+        assert "customer_id" not in numerics
+
+    def test_label_columns(self, index):
+        assert index.label_columns["customers"] == "name"
+
+    def test_base_lexicon_has_schema_identifiers(self, index):
+        lexicon = index.base_lexicon()
+        assert lexicon.lookup("customers")[0].kind == "table"
+        assert lexicon.lookup("cost")[0].kind == "column"
+
+
+class TestSchemaLinker:
+    @pytest.fixture
+    def linker(self):
+        db = build_spider_database("retail")
+        index = SchemaIndex.from_source(EngineSource(db))
+        return SchemaLinker(index, index.base_lexicon())
+
+    def test_links_table_mention(self, linker):
+        result = linker.link("how many customers are there")
+        assert result.tables() == ["customers"]
+
+    def test_links_column_mention(self, linker):
+        result = linker.link("average cost of purchases")
+        targets = [m.entry.target for m in result.columns()]
+        assert "cost" in targets
+
+    def test_links_value_mention(self, linker):
+        result = linker.link("customers from france")
+        assert result.values
+        assert result.values[0].value == "france"
+        assert ("customers", "country") in result.values[0].candidates
+
+    def test_word_boundary_no_partial_match(self, linker):
+        # 'cost' must not match inside 'costume'.
+        result = linker.link("the costume party")
+        assert not result.columns()
+
+    def test_longest_phrase_wins(self):
+        db = build_spider_database("retail")
+        index = SchemaIndex.from_source(EngineSource(db))
+        lexicon = index.base_lexicon()
+        lexicon.add_synonym("customer id", "column", "customer_id", "customers")
+        linker = SchemaLinker(index, lexicon)
+        result = linker.link("show the customer id")
+        targets = [m.entry.target for m in result.columns()]
+        assert "customer_id" in targets
+
+    def test_value_overlapping_mention_skipped(self, linker):
+        # 'widget' is both a purchases.item value; ensure a column
+        # mention at the same spot is not double-linked.
+        result = linker.link("purchases of widget")
+        assert any(v.value == "widget" for v in result.values)

@@ -1,0 +1,261 @@
+"""Tests for intent classification, the Text-to-SQL parser and SQL2Text."""
+
+import pytest
+
+from repro.datasets import (
+    build_sales_database,
+    build_spider_database,
+    generate_examples,
+)
+from repro.datasets.spider import domain_synonyms, list_domains
+from repro.datasources import EngineSource
+from repro.nlu import (
+    Intent,
+    IntentClassifier,
+    SchemaIndex,
+    Text2SqlError,
+    Text2SqlParser,
+    sql_to_text,
+)
+
+
+class TestIntentClassifier:
+    @pytest.fixture
+    def classifier(self):
+        return IntentClassifier()
+
+    @pytest.mark.parametrize(
+        "question,intent",
+        [
+            ("How many users are there?", Intent.COUNT),
+            ("What is the average salary?", Intent.AVG),
+            ("What is the total revenue?", Intent.SUM),
+            ("What is the maximum price?", Intent.MAX),
+            ("What is the minimum age?", Intent.MIN),
+            ("List the names of employees", Intent.LIST),
+            ("List all the distinct cities", Intent.DISTINCT),
+            ("How many orders are there per region?", Intent.GROUP_COUNT),
+            ("How many different cities are there?", Intent.COUNT_DISTINCT),
+            ("How many unique users are there?", Intent.COUNT_DISTINCT),
+        ],
+    )
+    def test_basic_intents(self, classifier, question, intent):
+        assert classifier.classify(question).intent is intent
+
+    def test_top_n_with_count(self, classifier):
+        result = classifier.classify("top 3 products by sales")
+        assert result.intent is Intent.TOP_N
+        assert result.top_n == 3
+        assert not result.ascending
+
+    def test_lowest_n_ascending(self, classifier):
+        result = classifier.classify("the 2 employees with the lowest pay")
+        assert result.intent is Intent.TOP_N
+        assert result.ascending
+
+    def test_country_does_not_trigger_count(self, classifier):
+        result = classifier.classify("list users by country")
+        assert result.intent is Intent.LIST
+
+    def test_summary_word_does_not_trigger_sum(self, classifier):
+        assert classifier.classify("list the summary").intent is Intent.LIST
+
+
+def make_parser(domain, tuned=False):
+    db = build_spider_database(domain)
+    index = SchemaIndex.from_source(EngineSource(db))
+    lexicon = index.base_lexicon()
+    if tuned:
+        for phrase, (kind, target) in domain_synonyms(domain).items():
+            table = None
+            if kind == "column":
+                for t, cols in index.tables.items():
+                    if target in cols:
+                        table = t
+                        break
+            lexicon.add_synonym(phrase, kind, target, table)
+    return db, Text2SqlParser(index, lexicon)
+
+
+class TestText2SqlParser:
+    def test_count_all(self):
+        db, parser = make_parser("hr")
+        result = parser.parse("How many employees are there?")
+        assert result.sql == "SELECT COUNT(*) FROM employees"
+        assert db.execute(result.sql).scalar() == 6
+
+    def test_avg(self):
+        _db, parser = make_parser("hr")
+        result = parser.parse("What is the average salary of the employees?")
+        assert result.sql == "SELECT AVG(salary) FROM employees"
+
+    def test_filtered_list_with_value_linking(self):
+        db, parser = make_parser("hr")
+        result = parser.parse(
+            "List the name of the employees whose dept is sales."
+        )
+        assert db.execute(result.sql).column("name") == ["bob", "egon"]
+
+    def test_count_filtered(self):
+        db, parser = make_parser("clinic")
+        result = parser.parse("How many patients have city lyon?")
+        assert db.execute(result.sql).scalar() == 2
+
+    def test_group_count(self):
+        db, parser = make_parser("clinic")
+        result = parser.parse("How many visits are there per doctor?")
+        rows = dict(db.execute(result.sql).rows)
+        assert rows["dr gray"] == 2
+
+    def test_top_n(self):
+        db, parser = make_parser("hr")
+        result = parser.parse(
+            "What are the name of the top 2 employees by salary?"
+        )
+        assert db.execute(result.sql).column("name") == ["ada", "cara"]
+
+    def test_distinct(self):
+        db, parser = make_parser("retail")
+        result = parser.parse("List all the distinct segment of the customers.")
+        values = set(db.execute(result.sql).column("segment"))
+        assert values == {"enterprise", "startup", "smb"}
+
+    def test_numeric_comparison_filter(self):
+        db, parser = make_parser("hr")
+        result = parser.parse("How many employees have salary more than 100?")
+        assert db.execute(result.sql).scalar() == 3
+
+    def test_count_distinct(self):
+        db, parser = make_parser("hr")
+        result = parser.parse(
+            "How many different dept do the employees have?"
+        )
+        assert result.sql == "SELECT COUNT(DISTINCT dept) FROM employees"
+        assert db.execute(result.sql).scalar() == 3
+
+    def test_count_distinct_chinese(self):
+        db, parser = make_parser("clinic")
+        result = parser.parse("病人一共有多少个不同的城市？")
+        assert db.execute(result.sql).scalar() == 3
+
+    def test_avg_per_group(self):
+        db, parser = make_parser("hr")
+        result = parser.parse("What is the average salary per dept?")
+        rows = dict(db.execute(result.sql).rows)
+        assert rows["engineering"] == pytest.approx(115.0)
+
+    def test_numeric_between_filter(self):
+        db, parser = make_parser("hr")
+        result = parser.parse(
+            "List the name of the employees with salary between 90 and 110."
+        )
+        names = set(db.execute(result.sql).column("name"))
+        assert names == {"bob", "cara", "dina", "fred"}
+
+    def test_chinese_question(self):
+        db, parser = make_parser("hr")
+        result = parser.parse("员工一共有多少个？")
+        assert result.language == "zh"
+        assert db.execute(result.sql).scalar() == 6
+
+    def test_unknown_synonym_fails_zero_shot(self):
+        _db, parser = make_parser("retail", tuned=False)
+        with pytest.raises(Text2SqlError):
+            parser.parse("How many clients are there?")
+
+    def test_known_synonym_succeeds_after_tuning(self):
+        db, parser = make_parser("retail", tuned=True)
+        result = parser.parse("How many clients are there?")
+        assert db.execute(result.sql).scalar() == 6
+
+    def test_confidence_reflects_fallbacks(self):
+        _db, parser = make_parser("hr")
+        clean = parser.parse("How many employees are there?")
+        assert clean.confidence == 1.0
+
+    def test_cross_table_join_inference(self):
+        db = build_sales_database(n_orders=50)
+        index = SchemaIndex.from_source(EngineSource(db))
+        parser = Text2SqlParser(index)
+        result = parser.parse("What is the total amount per category?")
+        assert "JOIN" in result.sql
+        rows = db.execute(result.sql).rows
+        assert len(rows) == 5  # five product categories
+
+    @pytest.mark.parametrize("domain", list_domains())
+    def test_tuned_accuracy_over_95(self, domain):
+        db, parser = make_parser(domain, tuned=True)
+        examples = generate_examples(domain, n=40, seed=7)
+        correct = 0
+        for example in examples:
+            gold = db.execute(example.sql)
+            try:
+                got = db.execute(parser.parse(example.question).sql)
+            except Exception:
+                continue
+            if sorted(map(repr, got.rows)) == sorted(map(repr, gold.rows)):
+                correct += 1
+        assert correct / len(examples) >= 0.95
+
+    @pytest.mark.parametrize("domain", list_domains())
+    def test_base_model_has_synonym_gap(self, domain):
+        db, parser = make_parser(domain, tuned=False)
+        examples = generate_examples(domain, n=40, seed=7, synonym_rate=1.0)
+        correct = 0
+        for example in examples:
+            gold = db.execute(example.sql)
+            try:
+                got = db.execute(parser.parse(example.question).sql)
+            except Exception:
+                continue
+            if sorted(map(repr, got.rows)) == sorted(map(repr, gold.rows)):
+                correct += 1
+        assert correct / len(examples) < 0.9
+
+
+class TestSql2Text:
+    def test_simple_select(self):
+        text = sql_to_text("SELECT name FROM users")
+        assert text == "This retrieves name from users."
+
+    def test_aggregate_where(self):
+        text = sql_to_text("SELECT COUNT(*) FROM users WHERE age > 30")
+        assert "the number of rows" in text
+        assert "age is greater than 30" in text
+
+    def test_join_group_order_limit(self):
+        text = sql_to_text(
+            "SELECT u.name, SUM(o.amount) FROM users u JOIN orders o "
+            "ON u.id = o.uid GROUP BY u.name ORDER BY u.name DESC LIMIT 3"
+        )
+        assert "joined with" in text
+        assert "grouped by" in text
+        assert "descending" in text
+        assert "at most 3" in text
+
+    def test_dml_statements(self):
+        assert "inserts" in sql_to_text("INSERT INTO t (a) VALUES (1)")
+        assert "updates" in sql_to_text("UPDATE t SET a = 1 WHERE a = 0")
+        assert "deletes" in sql_to_text("DELETE FROM t WHERE a IS NULL")
+        assert "creates table" in sql_to_text("CREATE TABLE t (a INTEGER)")
+        assert "drops table" in sql_to_text("DROP TABLE t")
+
+    def test_like_between_in(self):
+        text = sql_to_text(
+            "SELECT a FROM t WHERE a LIKE 'x%' AND b BETWEEN 1 AND 5 "
+            "AND c IN (1, 2)"
+        )
+        assert "matches the pattern" in text
+        assert "is between 1 and 5" in text
+        assert "is one of" in text
+
+    def test_distinct_and_union(self):
+        text = sql_to_text("SELECT DISTINCT a FROM t UNION SELECT a FROM s")
+        assert "distinct" in text
+        assert "combined" in text
+
+    def test_invalid_sql_raises(self):
+        from repro.sqlengine.errors import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            sql_to_text("SELEKT nope")

@@ -1,0 +1,89 @@
+"""Tests for federated multi-source retrieval."""
+
+import pytest
+
+from repro.rag import Document, KnowledgeBase
+from repro.rag.federation import FederationError, MultiSourceKnowledge
+
+
+@pytest.fixture
+def federation():
+    wiki = KnowledgeBase(name="wiki")
+    wiki.add_document(
+        Document("wiki-pg", "PostgreSQL vacuum reclaims dead tuples nightly.")
+    )
+    wiki.add_document(
+        Document("wiki-net", "The tcp handshake opens every connection.")
+    )
+    tickets = KnowledgeBase(name="tickets")
+    tickets.add_document(
+        Document(
+            "ticket-42",
+            "Incident: vacuum stalled on the orders table last tuesday.",
+        )
+    )
+    tickets.add_document(
+        Document("ticket-43", "Feature request: dark mode for dashboards.")
+    )
+    federation = MultiSourceKnowledge()
+    federation.register("wiki", wiki)
+    federation.register("tickets", tickets)
+    return federation
+
+
+class TestRegistration:
+    def test_sources_listed(self, federation):
+        assert federation.sources() == ["tickets", "wiki"]
+        assert len(federation) == 4
+
+    def test_duplicate_rejected(self, federation):
+        with pytest.raises(FederationError):
+            federation.register("WIKI", KnowledgeBase())
+
+    def test_unregister(self, federation):
+        federation.unregister("wiki")
+        assert federation.sources() == ["tickets"]
+
+    def test_unregister_unknown(self, federation):
+        with pytest.raises(FederationError):
+            federation.unregister("ghost")
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(FederationError, match="no knowledge bases"):
+            MultiSourceKnowledge().retrieve("anything")
+
+
+class TestFusedRetrieval:
+    def test_hits_come_from_both_sources(self, federation):
+        hits = federation.retrieve("vacuum dead tuples stalled", k=4)
+        sources = {hit.source for hit in hits}
+        assert sources == {"wiki", "tickets"}
+
+    def test_attribution_is_correct(self, federation):
+        hits = federation.retrieve("dark mode dashboards", k=1)
+        assert hits[0].source == "tickets"
+        assert hits[0].chunk.doc_id == "ticket-43"
+
+    def test_scores_descending(self, federation):
+        hits = federation.retrieve("vacuum", k=4)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_source_filter(self, federation):
+        hits = federation.retrieve("vacuum", k=4, sources=["wiki"])
+        assert all(hit.source == "wiki" for hit in hits)
+
+    def test_unknown_source_filter(self, federation):
+        with pytest.raises(FederationError, match="unknown sources"):
+            federation.retrieve("x", sources=["ghost"])
+
+    def test_k_truncates(self, federation):
+        assert len(federation.retrieve("the", k=2)) <= 2
+
+
+class TestFederatedContext:
+    def test_context_tags_sources(self, federation):
+        packed = federation.build_context("vacuum incident", k=3)
+        assert "[wiki]" in packed.text or "[tickets]" in packed.text
+        assert packed.used_chunk_ids
+        assert all(":" in cid for cid in packed.used_chunk_ids)

@@ -1,0 +1,257 @@
+"""Tests for SMMF: workers, registry, balancing, controller, API."""
+
+import pytest
+
+from repro.llm import ChatModel, GenerationRequest
+from repro.smmf import (
+    ApiRequest,
+    ApiServer,
+    LeastBusyBalancer,
+    LLMClient,
+    ModelController,
+    ModelSpec,
+    ModelWorker,
+    RandomBalancer,
+    RoundRobinBalancer,
+    SmmfError,
+    WorkerCrashed,
+    deploy,
+)
+from repro.smmf.registry import ModelRegistry, RegistryError
+from repro.smmf.client import ClientError
+
+
+def chat_spec(name="chat", replicas=1, latency_ms=10.0):
+    return ModelSpec(
+        name, lambda: ChatModel(name), replicas=replicas, latency_ms=latency_ms
+    )
+
+
+class TestWorker:
+    def test_handle_serves(self):
+        worker = ModelWorker(ChatModel("chat"))
+        response = worker.handle(GenerationRequest("hello"))
+        assert response.model == "chat"
+        assert worker.served == 1
+
+    def test_failure_injection(self):
+        worker = ModelWorker(ChatModel("chat"))
+        worker.fail_next = 1
+        with pytest.raises(WorkerCrashed):
+            worker.handle(GenerationRequest("x"))
+        # Recovers after the injected failure.
+        worker.handle(GenerationRequest("x"))
+        assert worker.failed == 1
+        assert worker.served == 1
+
+    def test_killed_worker_raises(self):
+        worker = ModelWorker(ChatModel("chat"))
+        worker.kill()
+        with pytest.raises(WorkerCrashed):
+            worker.handle(GenerationRequest("x"))
+        worker.restart()
+        worker.handle(GenerationRequest("x"))
+
+    def test_worker_ids_unique(self):
+        a = ModelWorker(ChatModel("chat"))
+        b = ModelWorker(ChatModel("chat"))
+        assert a.worker_id != b.worker_id
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = ModelRegistry()
+        worker = ModelWorker(ChatModel("chat"))
+        registry.register(worker, now=0.0)
+        assert registry.model_names() == ["chat"]
+        assert registry.healthy_workers("chat")[0].worker is worker
+
+    def test_duplicate_registration_rejected(self):
+        registry = ModelRegistry()
+        worker = ModelWorker(ChatModel("chat"))
+        registry.register(worker)
+        with pytest.raises(RegistryError):
+            registry.register(worker)
+
+    def test_deregister(self):
+        registry = ModelRegistry()
+        worker = ModelWorker(ChatModel("chat"))
+        registry.register(worker)
+        registry.deregister(worker.worker_id)
+        assert registry.model_names() == []
+
+    def test_deregister_unknown(self):
+        with pytest.raises(RegistryError):
+            ModelRegistry().deregister("ghost")
+
+    def test_heartbeat_sweep(self):
+        registry = ModelRegistry(heartbeat_timeout=10.0)
+        worker = ModelWorker(ChatModel("chat"))
+        registry.register(worker, now=0.0)
+        assert registry.sweep(now=5.0) == []
+        stale = registry.sweep(now=11.0)
+        assert stale == [worker.worker_id]
+        assert registry.healthy_workers("chat") == []
+        # A fresh heartbeat revives the worker.
+        registry.heartbeat(worker.worker_id, now=12.0)
+        assert len(registry.healthy_workers("chat")) == 1
+
+    def test_dead_worker_not_healthy(self):
+        registry = ModelRegistry()
+        worker = ModelWorker(ChatModel("chat"))
+        registry.register(worker)
+        worker.kill()
+        assert registry.healthy_workers("chat") == []
+
+
+class TestBalancers:
+    def make_records(self, count=3):
+        registry = ModelRegistry()
+        workers = [ModelWorker(ChatModel("chat")) for _ in range(count)]
+        for worker in workers:
+            registry.register(worker)
+        return registry.healthy_workers("chat"), workers
+
+    def test_round_robin_cycles(self):
+        records, workers = self.make_records(3)
+        balancer = RoundRobinBalancer()
+        chosen = [balancer.choose(records).worker for _ in range(6)]
+        assert chosen == workers * 2
+
+    def test_random_seeded_deterministic(self):
+        records, _ = self.make_records(3)
+        a = [RandomBalancer(seed=1).choose(records).worker.worker_id for _ in [0]]
+        b = [RandomBalancer(seed=1).choose(records).worker.worker_id for _ in [0]]
+        assert a == b
+
+    def test_least_busy_prefers_idle(self):
+        records, workers = self.make_records(2)
+        workers[0].inflight = 5
+        balancer = LeastBusyBalancer()
+        assert balancer.choose(records).worker is workers[1]
+
+    def test_least_busy_tie_breaks_by_served(self):
+        records, workers = self.make_records(2)
+        workers[0].served = 10
+        assert LeastBusyBalancer().choose(records).worker is workers[1]
+
+
+class TestControllerAndFailover:
+    def test_routing_spreads_round_robin(self):
+        controller, client = deploy([chat_spec(replicas=3)])
+        for _ in range(6):
+            client.generate("chat", "hi")
+        counts = [
+            controller.metrics.worker_requests(r.worker.worker_id)
+            for r in controller.workers("chat")
+        ]
+        assert counts == [2, 2, 2]
+
+    def test_failover_retries_other_replica(self):
+        controller, client = deploy([chat_spec(replicas=2)])
+        records = controller.workers("chat")
+        records[0].worker.fail_next = 1
+        text = client.generate("chat", "hello")
+        assert text
+        assert controller.metrics.model("chat").retries == 1
+
+    def test_all_replicas_down_raises(self):
+        controller, _client = deploy([chat_spec(replicas=2)])
+        for record in controller.workers("chat"):
+            record.worker.kill()
+        with pytest.raises(SmmfError, match="failed|no model"):
+            controller.generate("chat", GenerationRequest("x"))
+
+    def test_unknown_model_raises(self):
+        controller, _client = deploy([chat_spec()])
+        with pytest.raises(SmmfError, match="no model named"):
+            controller.generate("ghost", GenerationRequest("x"))
+
+    def test_crashed_worker_marked_unhealthy(self):
+        controller, client = deploy([chat_spec(replicas=2)])
+        records = controller.workers("chat")
+        records[0].worker.fail_next = 1
+        client.generate("chat", "x")
+        healthy = controller.registry.healthy_workers("chat")
+        assert len(healthy) == 1
+
+    def test_clock_advances_with_latency(self):
+        controller, client = deploy([chat_spec(latency_ms=100.0)])
+        before = controller.clock
+        client.generate("chat", "x")
+        assert controller.clock == pytest.approx(before + 0.1)
+
+    def test_health_sweep_evicts_silent_workers(self):
+        controller, _client = deploy(
+            [chat_spec(replicas=2)], heartbeat_timeout=5.0
+        )
+        workers = controller.workers("chat")
+        controller.advance_clock(10.0)
+        controller.heartbeat(workers[0].worker.worker_id)
+        stale = controller.health_sweep()
+        assert stale == [workers[1].worker.worker_id]
+
+
+class TestApiServerAndClient:
+    @pytest.fixture
+    def client(self):
+        _controller, client = deploy([chat_spec(replicas=1)])
+        return client
+
+    def test_generate_endpoint(self, client):
+        assert client.generate("chat", "say hi", task="chat")
+
+    def test_models_endpoint(self, client):
+        assert client.models() == ["chat"]
+
+    def test_health_endpoint(self, client):
+        health = client.health()
+        assert health["workers"] == 1
+        assert health["healthy"] == 1
+
+    def test_metrics_endpoint(self, client):
+        client.generate("chat", "x")
+        metrics = client.metrics()
+        assert metrics["chat"]["requests"] == 1
+
+    def test_missing_fields_400(self):
+        _controller, client = deploy([chat_spec()])
+        server = client._server
+        response = server.handle(ApiRequest("POST", "/v1/generate", {}))
+        assert response.status == 400
+
+    def test_unknown_route_404(self, client):
+        server = client._server
+        assert server.handle(ApiRequest("GET", "/nope")).status == 404
+
+    def test_unserved_model_503(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.generate("ghost", "x")
+        assert excinfo.value.status == 503
+
+    def test_model_error_422(self, client):
+        from repro.llm import SqlCoderModel
+
+        _controller2, client2 = deploy(
+            [ModelSpec("sql-coder", lambda: SqlCoderModel("sql-coder"))]
+        )
+        with pytest.raises(ClientError) as excinfo:
+            client2.generate("sql-coder", "not a structured prompt")
+        assert excinfo.value.status == 422
+
+
+class TestDeploy:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ModelSpec("x", lambda: ChatModel("x"), replicas=0)
+        with pytest.raises(ValueError):
+            ModelSpec("x", lambda: ChatModel("x"), latency_ms=-1)
+
+    def test_factory_name_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="must agree"):
+            deploy([ModelSpec("a", lambda: ChatModel("b"))])
+
+    def test_replicas_isolated_instances(self):
+        controller, _client = deploy([chat_spec(replicas=3)])
+        models = {id(r.worker.model) for r in controller.workers("chat")}
+        assert len(models) == 3

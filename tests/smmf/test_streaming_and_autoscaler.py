@@ -1,0 +1,143 @@
+"""Tests for SMMF streaming inference and autoscaling."""
+
+import pytest
+
+from repro.llm import ChatModel, GenerationRequest
+from repro.smmf import ModelSpec, ModelWorker, SmmfError, deploy
+from repro.smmf.autoscaler import AutoScaler, AutoScalerConfig, ScalingDecision
+
+
+def chat_spec(replicas=1):
+    return ModelSpec("chat", lambda: ChatModel("chat"), replicas=replicas)
+
+
+class TestStreaming:
+    def test_model_stream_reassembles_to_generate(self):
+        model = ChatModel("chat")
+        request = GenerationRequest("hello there friend")
+        full = model.generate(request).text
+        streamed = "".join(model.stream(request))
+        assert streamed == full
+
+    def test_stream_yields_multiple_chunks(self):
+        model = ChatModel("chat")
+        chunks = list(model.stream(GenerationRequest("hello there friend")))
+        assert len(chunks) > 1
+
+    def test_worker_stream_counts_served(self):
+        worker = ModelWorker(ChatModel("chat"))
+        chunks = list(worker.handle_stream(GenerationRequest("hi")))
+        assert chunks
+        assert worker.served == 1
+        assert worker.inflight == 0
+
+    def test_controller_stream_round_trip(self):
+        controller, _client = deploy([chat_spec(replicas=2)])
+        stream = controller.stream("chat", GenerationRequest("hello world"))
+        text = "".join(stream)
+        assert "hello world" in text
+
+    def test_controller_stream_failover_before_first_chunk(self):
+        controller, _client = deploy([chat_spec(replicas=2)])
+        controller.workers("chat")[0].worker.fail_next = 1
+        stream = controller.stream("chat", GenerationRequest("hi"))
+        assert "".join(stream)
+        assert controller.metrics.model("chat").retries == 1
+
+    def test_controller_stream_all_down(self):
+        controller, _client = deploy([chat_spec(replicas=1)])
+        controller.workers("chat")[0].worker.kill()
+        with pytest.raises(SmmfError):
+            controller.stream("chat", GenerationRequest("hi"))
+
+
+class TestAutoScalerConfig:
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            AutoScalerConfig(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoScalerConfig(min_replicas=4, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoScalerConfig(low_watermark=5, high_watermark=5)
+        with pytest.raises(ValueError):
+            AutoScalerConfig(step=0)
+
+
+class TestAutoScaler:
+    def make(self, replicas=1, **config):
+        spec = chat_spec(replicas=replicas)
+        controller, client = deploy([spec])
+        scaler = AutoScaler(
+            controller, spec, AutoScalerConfig(**config)
+        )
+        return controller, client, scaler
+
+    def drive(self, client, n):
+        for index in range(n):
+            client.generate("chat", f"request {index}", task="chat")
+
+    def test_scale_up_under_load(self):
+        controller, client, scaler = self.make(
+            replicas=1, high_watermark=10, low_watermark=2, max_replicas=4
+        )
+        self.drive(client, 30)
+        decision = scaler.evaluate()
+        assert decision.action == "scale_up"
+        assert decision.replicas == 2
+        assert len(controller.workers("chat")) == 2
+
+    def test_scale_up_respects_max(self):
+        _controller, client, scaler = self.make(
+            replicas=1, high_watermark=1, low_watermark=0.5, max_replicas=2
+        )
+        self.drive(client, 20)
+        scaler.evaluate()
+        self.drive(client, 20)
+        decision = scaler.evaluate()
+        assert decision.replicas <= 2
+
+    def test_scale_down_when_idle(self):
+        controller, client, scaler = self.make(
+            replicas=1, high_watermark=10, low_watermark=2, max_replicas=4
+        )
+        self.drive(client, 30)
+        scaler.evaluate()  # up to 2
+        decision = scaler.evaluate()  # zero traffic since last window
+        assert decision.action == "scale_down"
+        assert len(controller.workers("chat")) == 1
+
+    def test_scale_down_respects_min(self):
+        _controller, _client, scaler = self.make(
+            replicas=1, high_watermark=10, low_watermark=2, min_replicas=1
+        )
+        decision = scaler.evaluate()
+        assert decision.action == "hold"
+        assert decision.replicas == 1
+
+    def test_hold_between_watermarks(self):
+        _controller, client, scaler = self.make(
+            replicas=1, high_watermark=50, low_watermark=1
+        )
+        self.drive(client, 10)
+        assert scaler.evaluate().action == "hold"
+
+    def test_history_records_decisions(self):
+        _controller, client, scaler = self.make(replicas=1)
+        self.drive(client, 30)
+        scaler.evaluate()
+        scaler.evaluate()
+        assert len(scaler.history) == 2
+        assert all(isinstance(d, ScalingDecision) for d in scaler.history)
+
+    def test_scaled_up_workers_serve_traffic(self):
+        controller, client, scaler = self.make(
+            replicas=1, high_watermark=5, low_watermark=1, max_replicas=3
+        )
+        self.drive(client, 20)
+        scaler.evaluate()
+        self.drive(client, 20)
+        counts = [
+            controller.metrics.worker_requests(r.worker.worker_id)
+            for r in controller.workers("chat")
+        ]
+        assert all(count > 0 for count in counts)

@@ -1,0 +1,319 @@
+"""Tests for indexes, EXPLAIN, transactions and the hash join."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, v INTEGER)"
+    )
+    database.insert_rows(
+        "t", [(i, f"k{i % 10}", i * 2) for i in range(1, 101)]
+    )
+    return database
+
+
+class TestSecondaryIndexes:
+    def test_create_and_query(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        assert db.index_names() == ["idx_k"]
+        assert db.execute("SELECT COUNT(*) FROM t WHERE k = 'k3'").scalar() == 10
+
+    def test_index_results_equal_scan_results(self, db):
+        before = db.execute("SELECT id FROM t WHERE k = 'k7' ORDER BY id").rows
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        after = db.execute("SELECT id FROM t WHERE k = 'k7' ORDER BY id").rows
+        assert before == after
+
+    def test_index_maintained_on_insert(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        db.execute("INSERT INTO t VALUES (999, 'k3', 0)")
+        assert db.execute(
+            "SELECT COUNT(*) FROM t WHERE k = 'k3'"
+        ).scalar() == 11
+
+    def test_index_maintained_on_delete_and_update(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        db.execute("DELETE FROM t WHERE id <= 10")
+        assert db.execute(
+            "SELECT COUNT(*) FROM t WHERE k = 'k3'"
+        ).scalar() == 9
+        db.execute("UPDATE t SET k = 'k3' WHERE id = 11")
+        assert db.execute(
+            "SELECT COUNT(*) FROM t WHERE k = 'k3'"
+        ).scalar() == 10
+
+    def test_residual_predicates_still_apply(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        rows = db.execute(
+            "SELECT id FROM t WHERE k = 'k3' AND v > 100 ORDER BY id"
+        ).rows
+        assert rows == [(53,), (63,), (73,), (83,), (93,)]
+
+    def test_duplicate_index_rejected(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        with pytest.raises(ExecutionError, match="already exists"):
+            db.execute("CREATE INDEX idx_k ON t (k)")
+
+    def test_drop_index(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        db.execute("DROP INDEX idx_k")
+        assert db.index_names() == []
+
+    def test_drop_missing_index(self, db):
+        with pytest.raises(ExecutionError, match="no index"):
+            db.execute("DROP INDEX ghost")
+
+
+class TestExplain:
+    def test_seq_scan(self, db):
+        plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t").rows]
+        assert plan[0] == "SeqScan(t)"
+
+    def test_index_scan_reported(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        plan = [
+            row[0]
+            for row in db.execute(
+                "EXPLAIN SELECT * FROM t WHERE k = 'k1'"
+            ).rows
+        ]
+        assert plan[0].startswith("IndexScan(t.k")
+
+    def test_join_strategy_reported(self, db):
+        db.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+        hash_plan = [
+            row[0]
+            for row in db.execute(
+                "EXPLAIN SELECT * FROM t JOIN u ON t.id = u.t_id"
+            ).rows
+        ]
+        assert hash_plan[0] == "HashJoin(INNER)"
+        nested_plan = [
+            row[0]
+            for row in db.execute(
+                "EXPLAIN SELECT * FROM t JOIN u ON t.id > u.t_id"
+            ).rows
+        ]
+        assert nested_plan[0] == "NestedLoopJoin(INNER)"
+
+    def test_plan_lists_pipeline_steps(self, db):
+        plan = [
+            row[0]
+            for row in db.execute(
+                "EXPLAIN SELECT k, COUNT(*) FROM t WHERE v > 2 GROUP BY k "
+                "HAVING COUNT(*) > 1 ORDER BY k LIMIT 3"
+            ).rows
+        ]
+        joined = "\n".join(plan)
+        for step in ("Filter:", "Aggregate by k", "Having:", "Sort:", "Limit: 3"):
+            assert step in joined
+
+    def test_explain_does_not_execute(self, db):
+        db.execute("EXPLAIN SELECT * FROM t")
+        assert db.table_rowcount("t") == 100
+
+
+class TestTransactions:
+    def test_rollback_restores_rows(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        assert db.table_rowcount("t") == 0
+        db.execute("ROLLBACK")
+        assert db.table_rowcount("t") == 100
+
+    def test_commit_keeps_changes(self, db):
+        db.execute("BEGIN TRANSACTION")
+        db.execute("UPDATE t SET v = -1 WHERE id = 5")
+        db.execute("COMMIT")
+        assert db.execute("SELECT v FROM t WHERE id = 5").scalar() == -1
+
+    def test_rollback_restores_dropped_table(self, db):
+        db.execute("BEGIN")
+        db.execute("DROP TABLE t")
+        db.execute("ROLLBACK")
+        assert db.table_rowcount("t") == 100
+
+    def test_rollback_removes_created_table(self, db):
+        db.execute("BEGIN")
+        db.execute("CREATE TABLE scratch (a INTEGER)")
+        db.execute("ROLLBACK")
+        assert not db.catalog.has_table("scratch")
+
+    def test_nested_transactions(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t WHERE id <= 50")
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        db.execute("ROLLBACK")  # inner
+        assert db.table_rowcount("t") == 50
+        db.execute("ROLLBACK")  # outer
+        assert db.table_rowcount("t") == 100
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("COMMIT")
+
+    def test_rollback_without_begin(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("ROLLBACK")
+
+    def test_in_transaction_flag(self, db):
+        assert not db.in_transaction
+        db.execute("BEGIN")
+        assert db.in_transaction
+        db.execute("COMMIT")
+        assert not db.in_transaction
+
+    def test_index_survives_rollback_of_data(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        db.execute("ROLLBACK")
+        assert db.execute(
+            "SELECT COUNT(*) FROM t WHERE k = 'k1'"
+        ).scalar() == 10
+
+
+class TestViews:
+    @pytest.fixture
+    def vdb(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER, k TEXT, v INTEGER)")
+        database.execute(
+            "INSERT INTO t VALUES (1,'a',10),(2,'b',20),(3,'a',30)"
+        )
+        database.execute(
+            "CREATE VIEW totals AS SELECT k, SUM(v) AS total FROM t GROUP BY k"
+        )
+        return database
+
+    def test_select_from_view(self, vdb):
+        assert vdb.execute("SELECT * FROM totals ORDER BY k").rows == [
+            ("a", 40), ("b", 20),
+        ]
+
+    def test_view_reflects_underlying_changes(self, vdb):
+        vdb.execute("INSERT INTO t VALUES (4, 'a', 5)")
+        assert vdb.execute(
+            "SELECT total FROM totals WHERE k = 'a'"
+        ).scalar() == 45
+
+    def test_view_joins_with_tables(self, vdb):
+        rows = vdb.execute(
+            "SELECT t.id, totals.total FROM t JOIN totals "
+            "ON t.k = totals.k WHERE t.id = 2"
+        ).rows
+        assert rows == [(2, 20)]
+
+    def test_view_with_filter_and_alias(self, vdb):
+        rows = vdb.execute(
+            "SELECT x.total FROM totals x WHERE x.k = 'b'"
+        ).rows
+        assert rows == [(20,)]
+
+    def test_view_name_collision_rejected(self, vdb):
+        with pytest.raises(Exception, match="already in use"):
+            vdb.execute("CREATE VIEW t AS SELECT 1")
+        with pytest.raises(Exception, match="already in use"):
+            vdb.execute("CREATE VIEW totals AS SELECT 1")
+
+    def test_drop_view(self, vdb):
+        vdb.execute("DROP VIEW totals")
+        assert vdb.view_names() == []
+        vdb.execute("DROP VIEW IF EXISTS totals")
+        with pytest.raises(Exception, match="no view"):
+            vdb.execute("DROP VIEW totals")
+
+    def test_view_survives_rollback(self, vdb):
+        vdb.execute("BEGIN")
+        vdb.execute("DROP VIEW totals")
+        vdb.execute("ROLLBACK")
+        assert vdb.view_names() == ["totals"]
+
+    def test_view_created_in_rolled_back_txn_disappears(self, vdb):
+        vdb.execute("BEGIN")
+        vdb.execute("CREATE VIEW v2 AS SELECT id FROM t")
+        vdb.execute("ROLLBACK")
+        assert "v2" not in vdb.view_names()
+
+    def test_view_round_trips_to_sql(self, vdb):
+        from repro.sqlengine import parse_sql
+
+        statement = parse_sql(
+            "CREATE VIEW x AS SELECT k FROM t WHERE (v > 5)"
+        )
+        assert parse_sql(statement.to_sql()) == statement
+
+
+def _join_rows(db, sql):
+    return sorted(map(repr, db.execute(sql).rows))
+
+
+@st.composite
+def join_tables(draw):
+    left = draw(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(-5, 5)),
+            min_size=0,
+            max_size=25,
+        )
+    )
+    right = draw(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(-5, 5)),
+            min_size=0,
+            max_size=25,
+        )
+    )
+    return left, right
+
+
+class TestHashJoinEquivalence:
+    @staticmethod
+    def build(enable_hash_join, left, right):
+        db = Database(enable_hash_join=enable_hash_join)
+        db.execute("CREATE TABLE l (k INTEGER, a INTEGER)")
+        db.execute("CREATE TABLE r (k INTEGER, b INTEGER)")
+        if left:
+            db.insert_rows("l", left)
+        if right:
+            db.insert_rows("r", right)
+        return db
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM l JOIN r ON l.k = r.k",
+            "SELECT * FROM l LEFT JOIN r ON l.k = r.k",
+            "SELECT * FROM l RIGHT JOIN r ON l.k = r.k",
+            "SELECT * FROM l FULL JOIN r ON l.k = r.k",
+            "SELECT * FROM l JOIN r ON l.k = r.k AND l.a < r.b",
+            "SELECT * FROM l LEFT JOIN r ON l.k = r.k AND l.a < r.b",
+        ],
+    )
+    @given(tables=join_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_hash_equals_nested(self, sql, tables):
+        left, right = tables
+        hash_db = self.build(True, left, right)
+        nested_db = self.build(False, left, right)
+        assert _join_rows(hash_db, sql) == _join_rows(nested_db, sql)
+
+    def test_null_keys_never_match(self):
+        db = Database()
+        db.execute("CREATE TABLE l (k INTEGER)")
+        db.execute("CREATE TABLE r (k INTEGER)")
+        db.execute("INSERT INTO l VALUES (NULL), (1)")
+        db.execute("INSERT INTO r VALUES (NULL), (1)")
+        rows = db.execute("SELECT * FROM l JOIN r ON l.k = r.k").rows
+        assert rows == [(1, 1)]

@@ -1,0 +1,359 @@
+"""Execution tests for SELECT: filters, joins, grouping, ordering."""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, "
+        "age INTEGER, city TEXT)"
+    )
+    database.execute(
+        "INSERT INTO users VALUES "
+        "(1,'ada',30,'london'),(2,'bob',25,'paris'),"
+        "(3,'eve',35,'london'),(4,'dan',NULL,'rome')"
+    )
+    database.execute(
+        "CREATE TABLE orders (oid INTEGER PRIMARY KEY, uid INTEGER, "
+        "amount REAL, day DATE)"
+    )
+    database.execute(
+        "INSERT INTO orders VALUES "
+        "(1,1,10.5,'2024-01-02'),(2,1,20.0,'2024-02-03'),"
+        "(3,2,5.0,'2024-01-15'),(4,9,7.0,'2024-03-01')"
+    )
+    return database
+
+
+class TestProjectionAndFilter:
+    def test_select_star_order(self, db):
+        result = db.execute("SELECT * FROM users WHERE id = 1")
+        assert result.columns == ["id", "name", "age", "city"]
+        assert result.rows == [(1, "ada", 30, "london")]
+
+    def test_computed_column(self, db):
+        result = db.execute("SELECT age * 2 AS dbl FROM users WHERE id = 1")
+        assert result.rows == [(60,)]
+        assert result.columns == ["dbl"]
+
+    def test_where_comparison(self, db):
+        result = db.execute("SELECT name FROM users WHERE age >= 30")
+        assert sorted(r[0] for r in result.rows) == ["ada", "eve"]
+
+    def test_null_never_matches_comparison(self, db):
+        result = db.execute("SELECT name FROM users WHERE age > 0")
+        assert "dan" not in [r[0] for r in result.rows]
+
+    def test_is_null(self, db):
+        result = db.execute("SELECT name FROM users WHERE age IS NULL")
+        assert result.rows == [("dan",)]
+
+    def test_like_case_insensitive(self, db):
+        result = db.execute("SELECT name FROM users WHERE city LIKE 'LON%'")
+        assert sorted(r[0] for r in result.rows) == ["ada", "eve"]
+
+    def test_like_underscore(self, db):
+        result = db.execute("SELECT name FROM users WHERE name LIKE '_ob'")
+        assert result.rows == [("bob",)]
+
+    def test_between(self, db):
+        result = db.execute("SELECT name FROM users WHERE age BETWEEN 25 AND 30")
+        assert sorted(r[0] for r in result.rows) == ["ada", "bob"]
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT name FROM users WHERE city IN ('paris','rome')")
+        assert sorted(r[0] for r in result.rows) == ["bob", "dan"]
+
+    def test_not_in_list(self, db):
+        result = db.execute(
+            "SELECT name FROM users WHERE city NOT IN ('paris','rome')"
+        )
+        assert sorted(r[0] for r in result.rows) == ["ada", "eve"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 2 + 3").scalar() == 5
+
+    def test_case_expression(self, db):
+        result = db.execute(
+            "SELECT name, CASE WHEN age >= 30 THEN 'senior' "
+            "ELSE 'junior' END AS tier FROM users WHERE age IS NOT NULL "
+            "ORDER BY name"
+        )
+        assert result.rows == [
+            ("ada", "senior"), ("bob", "junior"), ("eve", "senior"),
+        ]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT city FROM users")
+        assert sorted(r[0] for r in result.rows) == ["london", "paris", "rome"]
+
+    def test_cast(self, db):
+        assert db.execute("SELECT CAST('42' AS INTEGER)").scalar() == 42
+
+    def test_bind_parameters(self, db):
+        result = db.execute(
+            "SELECT name FROM users WHERE city = ? AND age > ?",
+            parameters=("london", 31),
+        )
+        assert result.rows == [("eve",)]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.execute(
+            "SELECT u.name, o.amount FROM users u "
+            "JOIN orders o ON u.id = o.uid ORDER BY o.oid"
+        )
+        assert result.rows == [("ada", 10.5), ("ada", 20.0), ("bob", 5.0)]
+
+    def test_left_join_pads_nulls(self, db):
+        result = db.execute(
+            "SELECT u.name, o.oid FROM users u "
+            "LEFT JOIN orders o ON u.id = o.uid WHERE o.oid IS NULL "
+            "ORDER BY u.name"
+        )
+        assert result.rows == [("dan", None), ("eve", None)]
+
+    def test_right_join(self, db):
+        result = db.execute(
+            "SELECT o.oid, u.name FROM users u "
+            "RIGHT JOIN orders o ON u.id = o.uid WHERE u.name IS NULL"
+        )
+        assert result.rows == [(4, None)]
+
+    def test_full_join_row_count(self, db):
+        result = db.execute(
+            "SELECT u.id, o.oid FROM users u FULL JOIN orders o ON u.id = o.uid"
+        )
+        # 3 matches + 2 unmatched users + 1 unmatched order.
+        assert len(result.rows) == 6
+
+    def test_cross_join_cardinality(self, db):
+        result = db.execute("SELECT * FROM users CROSS JOIN orders")
+        assert len(result.rows) == 16
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE cities (city TEXT, country TEXT)")
+        db.execute(
+            "INSERT INTO cities VALUES ('london','uk'),('paris','fr')"
+        )
+        result = db.execute(
+            "SELECT u.name, c.country FROM users u "
+            "JOIN orders o ON u.id = o.uid "
+            "JOIN cities c ON u.city = c.city "
+            "ORDER BY o.oid"
+        )
+        assert result.rows == [("ada", "uk"), ("ada", "uk"), ("bob", "fr")]
+
+    def test_self_join_with_aliases(self, db):
+        result = db.execute(
+            "SELECT a.name, b.name FROM users a JOIN users b "
+            "ON a.city = b.city AND a.id < b.id"
+        )
+        assert result.rows == [("ada", "eve")]
+
+    def test_subquery_in_from(self, db):
+        result = db.execute(
+            "SELECT sub.city FROM (SELECT city FROM users WHERE age > 26) "
+            "AS sub ORDER BY sub.city"
+        )
+        assert result.rows == [("london",), ("london",)]
+
+    def test_ambiguous_column_raises(self, db):
+        db.execute("CREATE TABLE users2 (id INTEGER, name TEXT)")
+        db.execute("INSERT INTO users2 VALUES (1, 'x')")
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            db.execute(
+                "SELECT name FROM users JOIN users2 ON users.id = users2.id"
+            )
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM users").scalar() == 4
+
+    def test_count_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(age) FROM users").scalar() == 3
+
+    def test_sum_avg_min_max(self, db):
+        result = db.execute(
+            "SELECT SUM(age), AVG(age), MIN(age), MAX(age) FROM users"
+        )
+        assert result.rows == [(90, 30.0, 25, 35)]
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT city, COUNT(*) FROM users GROUP BY city ORDER BY city"
+        )
+        assert result.rows == [("london", 2), ("paris", 1), ("rome", 1)]
+
+    def test_group_by_alias(self, db):
+        result = db.execute(
+            "SELECT UPPER(city) AS c, COUNT(*) FROM users GROUP BY c ORDER BY c"
+        )
+        assert result.rows == [("LONDON", 2), ("PARIS", 1), ("ROME", 1)]
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT city FROM users GROUP BY city HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [("london",)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT COUNT(DISTINCT city) FROM users").scalar() == 3
+
+    def test_aggregate_on_empty_input_returns_one_row(self, db):
+        result = db.execute("SELECT COUNT(*), SUM(age) FROM users WHERE id > 99")
+        assert result.rows == [(0, None)]
+
+    def test_group_by_empty_input_returns_no_rows(self, db):
+        result = db.execute(
+            "SELECT city, COUNT(*) FROM users WHERE id > 99 GROUP BY city"
+        )
+        assert result.rows == []
+
+    def test_aggregate_arithmetic(self, db):
+        value = db.execute("SELECT MAX(age) - MIN(age) FROM users").scalar()
+        assert value == 10
+
+    def test_order_by_aggregate(self, db):
+        result = db.execute(
+            "SELECT city, COUNT(*) AS n FROM users GROUP BY city "
+            "ORDER BY n DESC, city"
+        )
+        assert result.rows[0] == ("london", 2)
+
+    def test_group_concat(self, db):
+        value = db.execute(
+            "SELECT GROUP_CONCAT(name) FROM users WHERE city = 'london'"
+        ).scalar()
+        assert value == "ada,eve"
+
+    def test_avg_of_empty_group_is_null(self, db):
+        value = db.execute("SELECT AVG(age) FROM users WHERE age IS NULL").scalar()
+        assert value is None
+
+
+class TestSubqueries:
+    def test_in_subquery(self, db):
+        result = db.execute(
+            "SELECT name FROM users WHERE id IN (SELECT uid FROM orders)"
+        )
+        assert sorted(r[0] for r in result.rows) == ["ada", "bob"]
+
+    def test_not_in_subquery(self, db):
+        result = db.execute(
+            "SELECT name FROM users WHERE id NOT IN "
+            "(SELECT uid FROM orders WHERE uid IS NOT NULL)"
+        )
+        assert sorted(r[0] for r in result.rows) == ["dan", "eve"]
+
+    def test_correlated_scalar_subquery(self, db):
+        result = db.execute(
+            "SELECT u.name, (SELECT COUNT(*) FROM orders o WHERE o.uid = u.id) "
+            "AS cnt FROM users u ORDER BY cnt DESC, u.name"
+        )
+        assert result.rows[0] == ("ada", 2)
+
+    def test_exists_correlated(self, db):
+        result = db.execute(
+            "SELECT name FROM users u WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.uid = u.id AND o.amount > 15)"
+        )
+        assert result.rows == [("ada",)]
+
+    def test_not_exists(self, db):
+        result = db.execute(
+            "SELECT name FROM users u WHERE NOT EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.uid = u.id)"
+        )
+        assert sorted(r[0] for r in result.rows) == ["dan", "eve"]
+
+    def test_scalar_subquery_multiple_rows_raises(self, db):
+        with pytest.raises(ExecutionError, match="multiple rows"):
+            db.execute("SELECT (SELECT name FROM users)")
+
+    def test_scalar_subquery_empty_is_null(self, db):
+        assert db.execute(
+            "SELECT (SELECT name FROM users WHERE id = 99)"
+        ).scalar() is None
+
+
+class TestOrderingAndSlicing:
+    def test_order_asc_desc(self, db):
+        result = db.execute("SELECT name FROM users ORDER BY name DESC")
+        assert [r[0] for r in result.rows] == ["eve", "dan", "bob", "ada"]
+
+    def test_order_by_column_not_in_select(self, db):
+        result = db.execute(
+            "SELECT name FROM users WHERE age IS NOT NULL ORDER BY age"
+        )
+        assert [r[0] for r in result.rows] == ["bob", "ada", "eve"]
+
+    def test_order_by_ordinal(self, db):
+        result = db.execute("SELECT name, age FROM users ORDER BY 2 DESC")
+        assert result.rows[-1][0] == "dan"  # NULL age sorts first asc / kept last here
+
+    def test_nulls_sort_first_ascending(self, db):
+        result = db.execute("SELECT age FROM users ORDER BY age")
+        assert result.rows[0] == (None,)
+
+    def test_limit_offset(self, db):
+        result = db.execute("SELECT id FROM users ORDER BY id LIMIT 2 OFFSET 1")
+        assert result.rows == [(2,), (3,)]
+
+    def test_order_by_expression(self, db):
+        result = db.execute(
+            "SELECT name FROM users WHERE age IS NOT NULL "
+            "ORDER BY age % 10, name"
+        )
+        assert [r[0] for r in result.rows] == ["ada", "bob", "eve"]
+
+    def test_order_stability_multiple_keys(self, db):
+        result = db.execute("SELECT city, name FROM users ORDER BY city, name")
+        assert result.rows == [
+            ("london", "ada"), ("london", "eve"),
+            ("paris", "bob"), ("rome", "dan"),
+        ]
+
+
+class TestCompoundQueries:
+    def test_union_dedupes(self, db):
+        result = db.execute(
+            "SELECT city FROM users UNION SELECT city FROM users"
+        )
+        assert len(result.rows) == 3
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute(
+            "SELECT city FROM users UNION ALL SELECT city FROM users"
+        )
+        assert len(result.rows) == 8
+
+    def test_intersect(self, db):
+        result = db.execute(
+            "SELECT id FROM users INTERSECT SELECT uid FROM orders"
+        )
+        assert sorted(r[0] for r in result.rows) == [1, 2]
+
+    def test_except(self, db):
+        result = db.execute(
+            "SELECT id FROM users EXCEPT SELECT uid FROM orders"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 4]
+
+    def test_compound_order_and_limit(self, db):
+        result = db.execute(
+            "SELECT name FROM users UNION SELECT name FROM users "
+            "ORDER BY 1 LIMIT 2"
+        )
+        assert result.rows == [("ada",), ("bob",)]
+
+    def test_union_column_mismatch_raises(self, db):
+        with pytest.raises(ExecutionError, match="column counts differ"):
+            db.execute("SELECT id, name FROM users UNION SELECT id FROM users")

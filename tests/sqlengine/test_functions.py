@@ -1,0 +1,159 @@
+"""Tests for scalar functions and NULL propagation."""
+
+import datetime
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import ExecutionError
+from repro.sqlengine.functions import call_scalar, make_aggregate
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+class TestStringFunctions:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT UPPER('abc')", "ABC"),
+            ("SELECT LOWER('ABC')", "abc"),
+            ("SELECT LENGTH('hello')", 5),
+            ("SELECT TRIM('  x  ')", "x"),
+            ("SELECT LTRIM('  x')", "x"),
+            ("SELECT RTRIM('x  ')", "x"),
+            ("SELECT SUBSTR('hello', 2, 3)", "ell"),
+            ("SELECT SUBSTR('hello', 2)", "ello"),
+            ("SELECT REPLACE('aba', 'a', 'c')", "cbc"),
+            ("SELECT CONCAT('a', 'b', 'c')", "abc"),
+            ("SELECT INSTR('hello', 'll')", 3),
+            ("SELECT 'a' || 'b'", "ab"),
+        ],
+    )
+    def test_string_function(self, db, sql, expected):
+        assert db.execute(sql).scalar() == expected
+
+    def test_concat_skips_nulls(self, db):
+        assert db.execute("SELECT CONCAT('a', NULL, 'b')").scalar() == "ab"
+
+    def test_null_propagation(self, db):
+        assert db.execute("SELECT UPPER(NULL)").scalar() is None
+        assert db.execute("SELECT LENGTH(NULL)").scalar() is None
+
+
+class TestNumericFunctions:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT ABS(-5)", 5),
+            ("SELECT ROUND(3.567, 2)", 3.57),
+            ("SELECT ROUND(3.5)", 4.0),
+            ("SELECT FLOOR(3.9)", 3),
+            ("SELECT CEIL(3.1)", 4),
+            ("SELECT SQRT(16)", 4.0),
+            ("SELECT POWER(2, 10)", 1024),
+            ("SELECT MOD(10, 3)", 1),
+            ("SELECT SIGN(-3)", -1),
+            ("SELECT SIGN(0)", 0),
+        ],
+    )
+    def test_numeric_function(self, db, sql, expected):
+        assert db.execute(sql).scalar() == expected
+
+    def test_integer_division_stays_int_when_exact(self, db):
+        assert db.execute("SELECT 10 / 2").scalar() == 5
+
+    def test_division_by_zero_raises(self, db):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.execute("SELECT 1 / 0")
+
+    def test_sqrt_negative_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT SQRT(-1)")
+
+
+class TestNullHandlingFunctions:
+    def test_coalesce(self, db):
+        assert db.execute("SELECT COALESCE(NULL, NULL, 3)").scalar() == 3
+        assert db.execute("SELECT COALESCE(NULL, NULL)").scalar() is None
+
+    def test_nullif(self, db):
+        assert db.execute("SELECT NULLIF(1, 1)").scalar() is None
+        assert db.execute("SELECT NULLIF(1, 2)").scalar() == 1
+
+    def test_ifnull(self, db):
+        assert db.execute("SELECT IFNULL(NULL, 'x')").scalar() == "x"
+        assert db.execute("SELECT IFNULL('a', 'x')").scalar() == "a"
+
+
+class TestDateFunctions:
+    def test_year_month_day(self, db):
+        db.execute("CREATE TABLE d (day DATE)")
+        db.execute("INSERT INTO d VALUES ('2024-06-15')")
+        result = db.execute("SELECT YEAR(day), MONTH(day), DAY(day) FROM d")
+        assert result.rows == [(2024, 6, 15)]
+
+    def test_strftime(self, db):
+        assert (
+            db.execute("SELECT STRFTIME('%Y-%m', '2024-06-15')").scalar()
+            == "2024-06"
+        )
+
+    def test_date_function_parses_string(self, db):
+        assert db.execute("SELECT DATE('2024-01-01')").scalar() == datetime.date(
+            2024, 1, 1
+        )
+
+
+class TestFunctionErrors:
+    def test_unknown_function(self, db):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            db.execute("SELECT NOPE(1)")
+
+    def test_call_scalar_unknown(self):
+        with pytest.raises(ExecutionError):
+            call_scalar("BOGUS", [])
+
+    def test_aggregate_outside_group_context(self):
+        from repro.sqlengine.expressions import Evaluator, RowContext
+        from repro.sqlengine.parser import parse_expression
+
+        evaluator = Evaluator()
+        with pytest.raises(ExecutionError, match="aggregate"):
+            evaluator.evaluate(parse_expression("SUM(x)"), RowContext([], []))
+
+
+class TestAggregateAccumulators:
+    def test_sum_rejects_text(self):
+        acc = make_aggregate("SUM", star=False, distinct=False)
+        with pytest.raises(ExecutionError):
+            acc.add("abc")
+
+    def test_distinct_count(self):
+        acc = make_aggregate("COUNT", star=False, distinct=True)
+        for value in [1, 1, 2, None, 2, 3]:
+            acc.add(value)
+        assert acc.result() == 3
+
+    def test_min_max_ignore_nulls(self):
+        low = make_aggregate("MIN", star=False, distinct=False)
+        high = make_aggregate("MAX", star=False, distinct=False)
+        for value in [None, 5, 1, None, 9]:
+            low.add(value)
+            high.add(value)
+        assert low.result() == 1
+        assert high.result() == 9
+
+    def test_count_star_counts_nulls(self):
+        acc = make_aggregate("COUNT", star=True, distinct=False)
+        for value in [None, None, 1]:
+            acc.add(value)
+        assert acc.result() == 3
+
+    def test_group_concat(self):
+        acc = make_aggregate("GROUP_CONCAT", star=False, distinct=False)
+        for value in ["a", None, "b"]:
+            acc.add(value)
+        assert acc.result() == "a,b"

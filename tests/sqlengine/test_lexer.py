@@ -1,0 +1,111 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import TokenType
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("myTable Col_1")
+        assert [t.value for t in tokens[:-1]] == ["myTable", "Col_1"]
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("SELECT 1")[-1].type is TokenType.EOF
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_float_literal(self):
+        token = tokenize("3.14")[0]
+        assert token.value == pytest.approx(3.14)
+        assert isinstance(token.value, float)
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_exponent_float(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5E-2")[0].value == pytest.approx(0.025)
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Order Total"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "Order Total"
+
+    def test_parameter_marker(self):
+        assert tokenize("?")[0].type is TokenType.PARAMETER
+
+
+class TestOperatorsAndComments:
+    def test_multi_char_operators_greedy(self):
+        assert values("a <= b >= c <> d != e || f") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "||", "f",
+        ]
+
+    def test_single_char_operators(self):
+        assert values("1+2-3*4/5%6") == [1, "+", 2, "-", 3, "*", 4, "/", 5, "%", 6]
+
+    def test_line_comment_skipped(self):
+        assert values("SELECT 1 -- comment\n+ 2") == ["SELECT", 1, "+", 2]
+
+    def test_block_comment_skipped(self):
+        assert values("SELECT /* inline */ 1") == ["SELECT", 1]
+
+    def test_punctuation(self):
+        assert values("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT  abc")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 8
+
+
+class TestLexerErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("/* never ends")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @x")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"broken')
+
+    def test_empty_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('""')

@@ -1,0 +1,290 @@
+"""Unit tests for the SQL parser and AST round-tripping."""
+
+import pytest
+
+from repro.sqlengine import nodes
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.parser import parse_expression, parse_sql
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert isinstance(stmt, nodes.Select)
+        assert [i.output_name for i in stmt.items] == ["a", "b"]
+        assert isinstance(stmt.source, nodes.NamedTable)
+        assert stmt.source.name == "t"
+
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, nodes.Star)
+
+    def test_select_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM t")
+        star = stmt.items[0].expression
+        assert isinstance(star, nodes.Star)
+        assert star.table == "t"
+
+    def test_alias_with_as(self):
+        stmt = parse_sql("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse_sql("SELECT a x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_table_alias(self):
+        stmt = parse_sql("SELECT u.a FROM users u")
+        assert stmt.source.alias == "u"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_clause(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > 1 AND b = 'x'")
+        assert isinstance(stmt.where, nodes.BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_limit_offset(self):
+        stmt = parse_sql("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == nodes.Literal(10)
+        assert stmt.offset == nodes.Literal(5)
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1 + 1")
+        assert stmt.source is None
+
+    def test_trailing_semicolon_ok(self):
+        parse_sql("SELECT 1;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT 1 extra nonsense garbage")
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse_sql("SELECT * FROM a JOIN b ON a.id = b.id")
+        assert isinstance(stmt.source, nodes.Join)
+        assert stmt.source.join_type == "INNER"
+
+    def test_left_outer_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert stmt.source.join_type == "LEFT"
+
+    def test_cross_join_no_on(self):
+        stmt = parse_sql("SELECT * FROM a CROSS JOIN b")
+        assert stmt.source.join_type == "CROSS"
+        assert stmt.source.condition is None
+
+    def test_comma_join_is_cross(self):
+        stmt = parse_sql("SELECT * FROM a, b")
+        assert stmt.source.join_type == "CROSS"
+
+    def test_chained_joins_left_deep(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        outer = stmt.source
+        assert isinstance(outer, nodes.Join)
+        assert isinstance(outer.left, nodes.Join)
+
+    def test_subquery_in_from(self):
+        stmt = parse_sql("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(stmt.source, nodes.SubqueryTable)
+        assert stmt.source.alias == "sub"
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM a JOIN b")
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, nodes.BinaryOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a AND b")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, nodes.UnaryOp)
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_comparison_normalizes_not_equal(self):
+        expr = parse_expression("a != b")
+        assert expr.op == "<>"
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, nodes.Between)
+
+    def test_not_between(self):
+        expr = parse_expression("a NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, nodes.InList)
+        assert len(expr.items) == 3
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(expr, nodes.InSubquery)
+
+    def test_like_and_not_like(self):
+        assert isinstance(parse_expression("a LIKE 'x%'"), nodes.Like)
+        assert parse_expression("a NOT LIKE 'x%'").negated
+
+    def test_is_null_variants(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, nodes.Exists)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(a) FROM t)")
+        assert isinstance(expr, nodes.ScalarSubquery)
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, nodes.Case)
+        assert expr.default is not None
+
+    def test_case_simple_form_desugars_to_equality(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'one' END")
+        condition = expr.branches[0][0]
+        assert isinstance(condition, nodes.BinaryOp)
+        assert condition.op == "="
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS INTEGER)")
+        assert isinstance(expr, nodes.Cast)
+        assert expr.type_name == "INTEGER"
+
+    def test_function_call_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], nodes.Star)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, nodes.UnaryOp)
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("TRUE") == nodes.Literal(True)
+        assert parse_expression("FALSE") == nodes.Literal(False)
+        assert parse_expression("NULL") == nodes.Literal(None)
+
+    def test_string_concat_operator(self):
+        expr = parse_expression("a || b")
+        assert expr.op == "||"
+
+    def test_parameters_indexed_in_order(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = ? AND b = ?")
+        params = [
+            e for e in nodes.walk_expressions(stmt.where)
+            if isinstance(e, nodes.Parameter)
+        ]
+        assert [p.index for p in params] == [0, 1]
+
+
+class TestCompound:
+    def test_union(self):
+        stmt = parse_sql("SELECT a FROM t UNION SELECT a FROM s")
+        assert stmt.compound[0][0] == "UNION"
+
+    def test_union_all(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT a FROM s")
+        assert stmt.compound[0][0] == "UNION ALL"
+
+    def test_order_by_binds_to_compound(self):
+        stmt = parse_sql("SELECT a FROM t UNION SELECT a FROM s ORDER BY 1")
+        assert stmt.order_by
+        assert not stmt.compound[0][1].order_by
+
+
+class TestDmlDdl:
+    def test_insert_values(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, nodes.Insert)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_sql("INSERT INTO t SELECT * FROM s")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+        assert isinstance(stmt, nodes.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt, nodes.Delete)
+
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(30) "
+            "NOT NULL, score REAL DEFAULT 0)"
+        )
+        assert isinstance(stmt, nodes.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].default == nodes.Literal(0)
+
+    def test_create_if_not_exists(self):
+        stmt = parse_sql("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+        assert stmt.if_not_exists
+
+    def test_drop_table(self):
+        stmt = parse_sql("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, nodes.DropTable)
+        assert stmt.if_exists
+
+
+class TestToSqlRoundTrip:
+    QUERIES = [
+        "SELECT a, b AS x FROM t WHERE (a > 1) ORDER BY a ASC LIMIT 5",
+        "SELECT DISTINCT city FROM users",
+        "SELECT COUNT(*) FROM t GROUP BY a HAVING (COUNT(*) > 2)",
+        "SELECT * FROM a INNER JOIN b ON (a.id = b.id)",
+        "INSERT INTO t (a) VALUES (1)",
+        "UPDATE t SET a = 2 WHERE (a = 1)",
+        "DELETE FROM t WHERE a IS NULL",
+        "CREATE TABLE t (id INTEGER PRIMARY KEY)",
+        "DROP TABLE t",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_to_sql_reparses_to_same_ast(self, sql):
+        first = parse_sql(sql)
+        second = parse_sql(first.to_sql())
+        assert first == second

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for SQL engine invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine import Database
+from repro.sqlengine.parser import parse_sql
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+ints = st.integers(min_value=-10_000, max_value=10_000)
+
+
+def fresh_db(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (k INTEGER, v INTEGER)")
+    if rows:
+        db.insert_rows("t", rows)
+    return db
+
+
+@st.composite
+def kv_rows(draw, max_rows=40):
+    count = draw(st.integers(min_value=0, max_value=max_rows))
+    return [
+        (draw(st.integers(0, 5)), draw(ints)) for _ in range(count)
+    ]
+
+
+class TestSelectInvariants:
+    @given(kv_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_count_star_matches_row_count(self, rows):
+        db = fresh_db(rows)
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+
+    @given(kv_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_where_partition_is_total(self, rows):
+        db = fresh_db(rows)
+        positive = db.execute("SELECT COUNT(*) FROM t WHERE v >= 0").scalar()
+        negative = db.execute("SELECT COUNT(*) FROM t WHERE v < 0").scalar()
+        assert positive + negative == len(rows)
+
+    @given(kv_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_python(self, rows):
+        db = fresh_db(rows)
+        expected = sum(v for _k, v in rows) if rows else None
+        assert db.execute("SELECT SUM(v) FROM t").scalar() == expected
+
+    @given(kv_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_counts_sum_to_total(self, rows):
+        db = fresh_db(rows)
+        result = db.execute("SELECT k, COUNT(*) FROM t GROUP BY k")
+        assert sum(row[1] for row in result.rows) == len(rows)
+
+    @given(kv_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_produces_sorted_output(self, rows):
+        db = fresh_db(rows)
+        values = db.execute("SELECT v FROM t ORDER BY v").column("v")
+        assert values == sorted(values)
+
+    @given(kv_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_desc_is_reverse_of_asc(self, rows):
+        db = fresh_db(rows)
+        asc = db.execute("SELECT v FROM t ORDER BY v").column("v")
+        desc = db.execute("SELECT v FROM t ORDER BY v DESC").column("v")
+        assert sorted(asc) == sorted(desc)
+        assert desc == sorted(desc, reverse=True)
+
+    @given(kv_rows(), st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_limit_offset_slices_like_python(self, rows, limit, offset):
+        db = fresh_db(rows)
+        full = db.execute("SELECT v FROM t ORDER BY v, k").column("v")
+        sliced = db.execute(
+            f"SELECT v FROM t ORDER BY v, k LIMIT {limit} OFFSET {offset}"
+        ).column("v")
+        assert sliced == full[offset : offset + limit]
+
+    @given(kv_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_removes_duplicates_only(self, rows):
+        db = fresh_db(rows)
+        distinct = db.execute("SELECT DISTINCT v FROM t").column("v")
+        assert sorted(distinct) == sorted(set(v for _k, v in rows))
+
+    @given(kv_rows())
+    @settings(max_examples=30, deadline=None)
+    def test_union_all_cardinality(self, rows):
+        db = fresh_db(rows)
+        result = db.execute(
+            "SELECT v FROM t UNION ALL SELECT v FROM t"
+        )
+        assert len(result.rows) == 2 * len(rows)
+
+    @given(kv_rows())
+    @settings(max_examples=30, deadline=None)
+    def test_except_self_is_empty(self, rows):
+        db = fresh_db(rows)
+        result = db.execute("SELECT v FROM t EXCEPT SELECT v FROM t")
+        assert result.rows == []
+
+    @given(kv_rows())
+    @settings(max_examples=30, deadline=None)
+    def test_self_join_on_key_at_least_row_count(self, rows):
+        db = fresh_db(rows)
+        joined = db.execute(
+            "SELECT COUNT(*) FROM t a JOIN t b ON a.k = b.k"
+        ).scalar()
+        assert joined >= len(rows)
+
+
+class TestDmlInvariants:
+    @given(kv_rows(), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_delete_reduces_count_by_matches(self, rows, key):
+        db = fresh_db(rows)
+        matches = sum(1 for k, _v in rows if k == key)
+        result = db.execute(f"DELETE FROM t WHERE k = {key}")
+        assert result.rowcount == matches
+        assert db.table_rowcount("t") == len(rows) - matches
+
+    @given(kv_rows(), ints)
+    @settings(max_examples=40, deadline=None)
+    def test_update_preserves_row_count(self, rows, delta):
+        db = fresh_db(rows)
+        db.execute(f"UPDATE t SET v = v + {delta}")
+        assert db.table_rowcount("t") == len(rows)
+
+    @given(kv_rows(), ints)
+    @settings(max_examples=40, deadline=None)
+    def test_update_shifts_sum(self, rows, delta):
+        db = fresh_db(rows)
+        before = db.execute("SELECT SUM(v) FROM t").scalar() or 0
+        db.execute(f"UPDATE t SET v = v + {delta}")
+        after = db.execute("SELECT SUM(v) FROM t").scalar() or 0
+        assert after == before + delta * len(rows)
+
+
+class TestParserRoundTrip:
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "SELECT a FROM t WHERE (a > 1)",
+                    "SELECT a, COUNT(*) FROM t GROUP BY a",
+                    "SELECT * FROM t ORDER BY a DESC LIMIT 3",
+                    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+                    "SELECT a FROM t WHERE a LIKE 'x%'",
+                    "SELECT CASE WHEN (a = 1) THEN 'x' ELSE 'y' END FROM t",
+                ]
+            ),
+            min_size=1,
+            max_size=1,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_to_sql_is_stable_fixed_point(self, sqls):
+        first = parse_sql(sqls[0])
+        rendered = first.to_sql()
+        second = parse_sql(rendered)
+        assert second.to_sql() == rendered

@@ -1,0 +1,120 @@
+"""Tests for data types, coercion and sort keys."""
+
+import datetime
+
+import pytest
+
+from repro.sqlengine.errors import TypeCheckError
+from repro.sqlengine.types import (
+    DataType,
+    coerce,
+    infer_type,
+    parse_date,
+    sort_key,
+)
+
+
+class TestDataTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", DataType.INTEGER),
+            ("integer", DataType.INTEGER),
+            ("BIGINT", DataType.INTEGER),
+            ("FLOAT", DataType.REAL),
+            ("double", DataType.REAL),
+            ("VARCHAR", DataType.TEXT),
+            ("text", DataType.TEXT),
+            ("BOOL", DataType.BOOLEAN),
+            ("DATETIME", DataType.DATE),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert DataType.from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeCheckError):
+            DataType.from_name("BLOB9000")
+
+
+class TestCoercion:
+    def test_null_passes_all_types(self):
+        for data_type in DataType:
+            assert coerce(None, data_type) is None
+
+    def test_integer_from_string(self):
+        assert coerce("42", DataType.INTEGER) == 42
+
+    def test_integer_from_whole_float(self):
+        assert coerce(3.0, DataType.INTEGER) == 3
+
+    def test_integer_from_fractional_float_raises(self):
+        with pytest.raises(TypeCheckError):
+            coerce(3.5, DataType.INTEGER)
+
+    def test_real_from_int(self):
+        value = coerce(3, DataType.REAL)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_text_from_number(self):
+        assert coerce(42, DataType.TEXT) == "42"
+
+    def test_boolean_from_string(self):
+        assert coerce("true", DataType.BOOLEAN) is True
+        assert coerce("False", DataType.BOOLEAN) is False
+
+    def test_boolean_from_int(self):
+        assert coerce(1, DataType.BOOLEAN) is True
+
+    def test_boolean_out_of_range_raises(self):
+        with pytest.raises(TypeCheckError):
+            coerce(2, DataType.BOOLEAN)
+
+    def test_date_from_iso_string(self):
+        assert coerce("2024-06-15", DataType.DATE) == datetime.date(2024, 6, 15)
+
+    def test_date_from_datetime(self):
+        moment = datetime.datetime(2024, 6, 15, 12, 30)
+        assert coerce(moment, DataType.DATE) == datetime.date(2024, 6, 15)
+
+    def test_bad_date_raises(self):
+        with pytest.raises(TypeCheckError):
+            coerce("not-a-date", DataType.DATE)
+
+    def test_parse_date_with_time_component(self):
+        assert parse_date("2024-06-15T08:00:00") == datetime.date(2024, 6, 15)
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, DataType.BOOLEAN),
+            (1, DataType.INTEGER),
+            (1.5, DataType.REAL),
+            ("x", DataType.TEXT),
+            (datetime.date(2024, 1, 1), DataType.DATE),
+        ],
+    )
+    def test_infer(self, value, expected):
+        assert infer_type(value) is expected
+
+
+class TestSortKey:
+    def test_null_sorts_before_everything(self):
+        values = [3, None, 1, None]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]
+
+    def test_numbers_before_strings(self):
+        ordered = sorted(["b", 2, "a", 1], key=sort_key)
+        assert ordered == [1, 2, "a", "b"]
+
+    def test_mixed_int_float_ordering(self):
+        assert sorted([2.5, 1, 3], key=sort_key) == [1, 2.5, 3]
+
+    def test_dates_order_by_iso(self):
+        early = datetime.date(2023, 1, 1)
+        late = datetime.date(2024, 1, 1)
+        assert sorted([late, early], key=sort_key) == [early, late]

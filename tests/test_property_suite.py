@@ -1,0 +1,226 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.rag.embedder import HashingEmbedder, IdfTable, tokenize_words
+from repro.rag.icl import ContextPacker, estimate_tokens
+from repro.rag.inverted_index import InvertedIndex
+from repro.rag.privacy import PrivacyScrubber
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.lexer import tokenize
+from repro.viz.spec import ChartSpec, ChartType, DataPoint
+
+printable_text = st.text(
+    alphabet=string.printable, min_size=0, max_size=200
+)
+words_text = st.text(
+    alphabet=string.ascii_lowercase + " ", min_size=1, max_size=120
+)
+
+
+class TestLexerFuzz:
+    @given(printable_text)
+    @settings(max_examples=150, deadline=None)
+    def test_tokenize_never_crashes_unexpectedly(self, text):
+        """Any input either tokenizes or raises SqlSyntaxError."""
+        try:
+            tokens = tokenize(text)
+        except SqlSyntaxError:
+            return
+        assert tokens[-1].type.name == "EOF"
+
+    @given(st.text(alphabet=string.ascii_letters + "_", min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_identifiers_always_tokenize(self, word):
+        tokens = tokenize(word)
+        assert len(tokens) == 2  # the word + EOF
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    @settings(max_examples=60, deadline=None)
+    def test_integers_round_trip(self, value):
+        assert tokenize(str(value))[0].value == value
+
+    @given(st.text(alphabet=string.ascii_letters + " .,!", max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_string_literals_round_trip(self, body):
+        escaped = body.replace("'", "''")
+        token = tokenize(f"'{escaped}'")[0]
+        assert token.value == body
+
+
+class TestEmbedderProperties:
+    @given(words_text)
+    @settings(max_examples=60, deadline=None)
+    def test_norm_at_most_one(self, text):
+        import numpy as np
+
+        vector = HashingEmbedder(dim=64).embed(text)
+        assert np.linalg.norm(vector) <= 1.0 + 1e-9
+
+    @given(words_text)
+    @settings(max_examples=60, deadline=None)
+    def test_self_similarity_is_max(self, text):
+        assume(tokenize_words(text))
+        from repro.rag.embedder import cosine_similarity
+
+        embedder = HashingEmbedder(dim=128)
+        vector = embedder.embed(text)
+        assert cosine_similarity(vector, vector) > 0.999
+
+    @given(st.lists(words_text, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_idf_weights_positive(self, docs):
+        table = IdfTable()
+        for doc in docs:
+            table.add_document(doc)
+        for word in tokenize_words(" ".join(docs)):
+            assert table.weight(word) > 0
+
+
+class TestBm25Properties:
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["apple", "banana", "cherry", "date", "fig"]),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scores_sorted_and_positive(self, docs):
+        index = InvertedIndex()
+        for position, doc in enumerate(docs):
+            index.add(f"d{position}", " ".join(doc))
+        hits = index.search("apple cherry", k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert all(score > 0 for score in scores)
+
+    @given(
+        st.lists(
+            st.sampled_from(["apple", "banana", "cherry"]),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adding_query_term_never_lowers_score(self, doc):
+        index = InvertedIndex()
+        index.add("d", " ".join(doc))
+        index.add("other", "unrelated words entirely")
+        single = {h.item_id: h.score for h in index.search("apple", k=5)}
+        double = {h.item_id: h.score for h in index.search("apple cherry", k=5)}
+        if "d" in single and "d" in double:
+            assert double["d"] >= single["d"] - 1e-9
+
+
+class TestPrivacyProperties:
+    @given(printable_text)
+    @settings(max_examples=80, deadline=None)
+    def test_scrub_restore_round_trip(self, text):
+        scrubber = PrivacyScrubber()
+        result = scrubber.scrub(text)
+        assert scrubber.restore(result.text, result) == text
+
+    @given(printable_text)
+    @settings(max_examples=60, deadline=None)
+    def test_scrub_is_idempotent(self, text):
+        scrubber = PrivacyScrubber()
+        once = scrubber.scrub(text)
+        twice = scrubber.scrub(once.text)
+        assert twice.text == once.text
+
+    @given(st.emails())
+    @settings(max_examples=40, deadline=None)
+    def test_all_emails_masked(self, email):
+        # Quoted local parts ("a b"@x) are outside the scrubber's scope.
+        assume('"' not in email and " " not in email)
+        result = PrivacyScrubber().scrub(f"contact {email} today")
+        assert email not in result.text
+
+
+class TestContextPackerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+                words_text,
+            ),
+            min_size=0,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_respected_and_partition_complete(self, chunks, budget):
+        # Unique chunk ids.
+        chunks = [(f"c{i}", text) for i, (_cid, text) in enumerate(chunks)]
+        packed = ContextPacker(max_tokens=budget).pack(chunks)
+        assert packed.token_count <= budget
+        assert set(packed.used_chunk_ids) | set(packed.dropped_chunk_ids) == {
+            cid for cid, _text in chunks
+        }
+        assert estimate_tokens(packed.text) <= budget + len(chunks)
+
+
+class TestChartSpecProperties:
+    labels = st.text(
+        alphabet=string.ascii_letters + string.digits + " -_",
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(
+        st.lists(
+            st.tuples(
+                labels,
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        st.sampled_from(list(ChartType)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip(self, points, chart_type):
+        spec = ChartSpec(
+            chart_type=chart_type,
+            title="fuzz chart",
+            points=[DataPoint(label, value) for label, value in points],
+        )
+        assert ChartSpec.from_json(spec.to_json()) == spec
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.5, max_value=1e5,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_renderers_never_crash_on_positive_data(self, values):
+        from repro.viz import render_ascii, render_svg
+
+        spec = ChartSpec(
+            chart_type=ChartType.DONUT,
+            title="t",
+            points=[DataPoint(f"p{i}", v) for i, v in enumerate(values)],
+        )
+        for chart_type in ChartType:
+            converted = spec.with_chart_type(chart_type)
+            assert render_ascii(converted)
+            assert render_svg(converted).startswith("<svg")

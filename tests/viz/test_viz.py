@@ -1,0 +1,175 @@
+"""Tests for chart specs, renderers and the dashboard."""
+
+import pytest
+
+from repro.viz import (
+    ChartSpec,
+    ChartType,
+    Dashboard,
+    DataPoint,
+    VizError,
+    render_ascii,
+    render_svg,
+)
+
+
+def sample_spec(chart_type=ChartType.BAR):
+    return ChartSpec(
+        chart_type=chart_type,
+        title="Sales by region",
+        points=[
+            DataPoint("north", 120.0),
+            DataPoint("south", 80.0),
+            DataPoint("east", 40.0),
+        ],
+        x_label="region",
+        y_label="sales",
+    )
+
+
+class TestChartSpec:
+    def test_from_rows(self):
+        spec = ChartSpec.from_rows(
+            "bar", "t", [("a", 1), ("b", 2.5)], x_label="x"
+        )
+        assert [p.value for p in spec.points] == [1.0, 2.5]
+
+    def test_from_rows_skips_null_values(self):
+        spec = ChartSpec.from_rows("bar", "t", [("a", 1), ("b", None)])
+        assert len(spec.points) == 1
+
+    def test_from_rows_rejects_non_numeric(self):
+        with pytest.raises(VizError):
+            ChartSpec.from_rows("bar", "t", [("a", "oops")])
+
+    def test_from_rows_rejects_short_rows(self):
+        with pytest.raises(VizError):
+            ChartSpec.from_rows("bar", "t", [("only-label",)])
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(VizError):
+            ChartSpec(ChartType.BAR, "t", [])
+
+    def test_donut_rejects_negative(self):
+        with pytest.raises(VizError):
+            ChartSpec(ChartType.DONUT, "t", [DataPoint("a", -1.0)])
+
+    def test_bar_allows_negative(self):
+        ChartSpec(ChartType.BAR, "t", [DataPoint("a", -1.0)])
+
+    def test_unknown_chart_type(self):
+        with pytest.raises(VizError):
+            ChartType.from_name("hologram")
+
+    def test_with_chart_type_preserves_data(self):
+        spec = sample_spec()
+        donut = spec.with_chart_type("donut")
+        assert donut.chart_type is ChartType.DONUT
+        assert donut.points == spec.points
+        assert spec.chart_type is ChartType.BAR  # original untouched
+
+    def test_json_round_trip(self):
+        spec = sample_spec(ChartType.AREA)
+        clone = ChartSpec.from_json(spec.to_json())
+        assert clone == spec
+
+    def test_total(self):
+        assert sample_spec().total == 240.0
+
+
+class TestAsciiRender:
+    @pytest.mark.parametrize(
+        "chart_type", [ChartType.BAR, ChartType.DONUT, ChartType.PIE,
+                       ChartType.LINE, ChartType.AREA, ChartType.TABLE]
+    )
+    def test_all_types_render(self, chart_type):
+        text = render_ascii(sample_spec(chart_type))
+        assert "Sales by region" in text
+        assert chart_type.value in text
+
+    def test_bar_heights_proportional(self):
+        text = render_ascii(sample_spec(ChartType.BAR))
+        north = next(l for l in text.splitlines() if l.startswith("north"))
+        east = next(l for l in text.splitlines() if l.startswith("east"))
+        assert north.count("#") > east.count("#")
+
+    def test_donut_shares_sum_to_100(self):
+        text = render_ascii(sample_spec(ChartType.DONUT))
+        shares = [
+            float(line.split("%")[0].split()[-1])
+            for line in text.splitlines()
+            if "%" in line
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.3)
+
+    def test_donut_zero_total_rejected(self):
+        spec = ChartSpec(ChartType.DONUT, "t", [DataPoint("a", 0.0)])
+        with pytest.raises(VizError):
+            render_ascii(spec)
+
+
+class TestSvgRender:
+    @pytest.mark.parametrize(
+        "chart_type", [ChartType.BAR, ChartType.DONUT, ChartType.PIE,
+                       ChartType.LINE, ChartType.AREA, ChartType.TABLE]
+    )
+    def test_all_types_produce_svg(self, chart_type):
+        svg = render_svg(sample_spec(chart_type))
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "Sales by region" in svg
+
+    def test_bar_count_matches_points(self):
+        svg = render_svg(sample_spec(ChartType.BAR))
+        assert svg.count("<rect") == 3
+
+    def test_donut_has_hole(self):
+        svg = render_svg(sample_spec(ChartType.DONUT))
+        assert "circle" in svg
+
+    def test_pie_has_no_hole(self):
+        svg = render_svg(sample_spec(ChartType.PIE))
+        assert "circle" not in svg
+
+    def test_title_escaped(self):
+        spec = ChartSpec(
+            ChartType.BAR, "a<b>&c", [DataPoint("x", 1.0)]
+        )
+        svg = render_svg(spec)
+        assert "a&lt;b&gt;&amp;c" in svg
+
+
+class TestDashboard:
+    def make_dashboard(self):
+        dashboard = Dashboard(title="Q4 report", narrative="Looks good.")
+        dashboard.add_chart(sample_spec(ChartType.DONUT))
+        dashboard.add_chart(
+            ChartSpec(ChartType.AREA, "Monthly trend", [DataPoint("01", 5.0)])
+        )
+        return dashboard
+
+    def test_render_text_includes_all(self):
+        text = self.make_dashboard().render_text()
+        assert "Q4 report" in text
+        assert "Looks good." in text
+        assert "Sales by region" in text
+        assert "Monthly trend" in text
+
+    def test_render_html_valid_shell(self):
+        html = self.make_dashboard().render_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<svg") == 2
+
+    def test_alter_chart_type(self):
+        dashboard = self.make_dashboard()
+        spec = dashboard.alter_chart_type("Sales by region", "bar")
+        assert spec.chart_type is ChartType.BAR
+        assert dashboard.chart("Sales by region").chart_type is ChartType.BAR
+
+    def test_alter_unknown_chart(self):
+        with pytest.raises(VizError):
+            self.make_dashboard().alter_chart_type("nope", "bar")
+
+    def test_chart_lookup_case_insensitive(self):
+        dashboard = self.make_dashboard()
+        assert dashboard.chart("SALES BY REGION").title == "Sales by region"
