@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint bench verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.cli lint examples/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+# The repo self-check: static analysis over the examples plus tier-1.
+verify: lint test

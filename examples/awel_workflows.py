@@ -28,6 +28,16 @@ from repro.datasets import build_sales_database
 from repro.datasources import EngineSource
 
 
+# A module-level flow so `python -m repro.cli lint examples/` has an
+# AWEL graph to check (building a DAG never executes it).
+with DAG("lintable-enrich") as LINT_DEMO_DAG:
+    _src = InputOperator(name="rows")
+    _stream = StreamifyOperator(name="to_stream")
+    _enrich = StreamMapOperator(lambda row: row, name="enrich")
+    _total = ReduceOperator(lambda acc, row: (acc or 0) + 1, name="total")
+    _src >> _stream >> _enrich >> _total
+
+
 def batch_pipeline(dbgpt: DBGPT) -> None:
     """A linear agentic workflow: question -> SQL -> execution -> text."""
     source = dbgpt.sources.get("sales")

@@ -1,0 +1,35 @@
+-- Sample analytics queries over the demo sales schema.
+-- Lint with:  python -m repro.cli lint examples/sales_queries.sql
+
+-- Orders volume.
+SELECT COUNT(*) FROM orders;
+
+-- Revenue by region, largest first.
+SELECT region, SUM(amount) AS revenue
+FROM orders
+JOIN users ON orders.user_id = users.user_id
+GROUP BY region
+ORDER BY revenue DESC;
+
+-- Monthly revenue trend.
+SELECT STRFTIME('%Y-%m', order_date) AS month, SUM(amount) AS revenue
+FROM orders
+GROUP BY month
+ORDER BY month ASC;
+
+-- Top products by quantity sold.
+SELECT product_name, SUM(quantity) AS sold
+FROM orders
+JOIN products ON orders.product_id = products.product_id
+GROUP BY product_name
+ORDER BY sold DESC
+LIMIT 10;
+
+-- Average basket per segment (lint flags the SELECT * below as a
+-- warning on purpose; warnings do not fail the lint run).
+SELECT segment, AVG(amount) AS avg_amount
+FROM orders
+JOIN users ON orders.user_id = users.user_id
+GROUP BY segment;
+
+SELECT * FROM products LIMIT 5;

@@ -1,0 +1,212 @@
+"""Static checks over AWEL workflow graphs.
+
+``DAG.validate()`` rejects cycles and orphan nodes; this linter goes
+further and reports *why* a graph will misbehave before a single
+operator runs: unreachable operators stuck behind a cycle, stream
+outputs nobody materializes, operators whose input arity can never be
+satisfied, and stream operators wired to batch upstreams.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, diagnostic
+from repro.awel.operators import (
+    BranchOperator,
+    InputOperator,
+    MapOperator,
+    ReduceOperator,
+    StreamFilterOperator,
+    StreamMapOperator,
+    StreamifyOperator,
+    UnstreamifyOperator,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.awel.dag import DAG
+
+#: Operators whose output is a lazy stream.
+_STREAM_PRODUCERS = (StreamifyOperator, StreamMapOperator, StreamFilterOperator)
+#: Operators that require a stream input and fail on batch values.
+_STREAM_CONSUMERS = (StreamMapOperator, StreamFilterOperator, ReduceOperator)
+#: Operators that require exactly one upstream value at run time.
+_SINGLE_INPUT = (
+    MapOperator,
+    BranchOperator,
+    StreamifyOperator,
+    StreamMapOperator,
+    StreamFilterOperator,
+    ReduceOperator,
+    UnstreamifyOperator,
+)
+
+
+def _awel(code: str, message: str, **kwargs) -> Diagnostic:
+    return diagnostic(code, message, source="awel", **kwargs)
+
+
+def lint_dag(dag: "DAG") -> list[Diagnostic]:
+    """Analyze one DAG, returning every finding (never raises)."""
+    diags: list[Diagnostic] = []
+    upstream = getattr(dag, "_upstream", {})
+    downstream = getattr(dag, "_downstream", {})
+
+    # AWEL002 — nodes the runner cannot even schedule.
+    orphans = sorted(
+        node_id
+        for node_id in dag.nodes
+        if node_id not in upstream or node_id not in downstream
+    )
+    for node_id in orphans:
+        diags.append(
+            _awel(
+                "AWEL002",
+                f"operator {node_id!r} is registered but missing from the "
+                "adjacency maps; the runner would misreport it as a cycle",
+                subject=node_id,
+                hint="add nodes through DAG.add_node, not by mutating "
+                "dag.nodes",
+            )
+        )
+    if len(dag.nodes) > 1:
+        for node_id in dag.nodes:
+            if node_id in orphans:
+                continue
+            if not upstream.get(node_id) and not downstream.get(node_id):
+                diags.append(
+                    _awel(
+                        "AWEL002",
+                        f"operator {node_id!r} has no edges at all in a "
+                        f"{len(dag.nodes)}-node graph",
+                        subject=node_id,
+                        hint="wire it with >> or remove it",
+                    )
+                )
+
+    wired = [n for n in dag.nodes if n in upstream and n in downstream]
+
+    # AWEL001 / AWEL003 — cycles and the nodes trapped behind them.
+    order: list[str] = []
+    in_degree = {n: len(upstream[n]) for n in wired}
+    ready = sorted(n for n, degree in in_degree.items() if degree == 0)
+    while ready:
+        node_id = ready.pop(0)
+        order.append(node_id)
+        for next_id in downstream.get(node_id, []):
+            if next_id in in_degree:
+                in_degree[next_id] -= 1
+                if in_degree[next_id] == 0:
+                    ready.append(next_id)
+    remaining = set(wired) - set(order)
+    if remaining:
+        # Trim nodes with no remaining successors repeatedly: what
+        # survives sits on a cycle; the trimmed ones are merely
+        # unreachable because a cycle blocks every path to them.
+        cycle = set(remaining)
+        changed = True
+        while changed:
+            changed = False
+            for node_id in sorted(cycle):
+                if not any(d in cycle for d in downstream.get(node_id, [])):
+                    cycle.discard(node_id)
+                    changed = True
+        if not cycle:  # degenerate, should not happen
+            cycle = set(remaining)
+        diags.append(
+            _awel(
+                "AWEL001",
+                "cycle detected among operators: "
+                + ", ".join(sorted(cycle)),
+                subject=", ".join(sorted(cycle))[:80],
+                hint="break the cycle; AWEL graphs must be acyclic",
+            )
+        )
+        for node_id in sorted(remaining - cycle):
+            diags.append(
+                _awel(
+                    "AWEL003",
+                    f"operator {node_id!r} is unreachable: every path to "
+                    "it passes through a cycle",
+                    subject=node_id,
+                )
+            )
+
+    roots = [n for n in wired if not upstream[n]]
+    leaves = [n for n in wired if not downstream[n]]
+
+    # AWEL005 — multiple roots are legal but often accidental.
+    if len(roots) > 1:
+        diags.append(
+            _awel(
+                "AWEL005",
+                f"workflow has {len(roots)} root operators: "
+                + ", ".join(sorted(roots)),
+                subject=", ".join(sorted(roots))[:80],
+                hint="multiple roots all receive the run payload; join "
+                "them explicitly if that is intended",
+            )
+        )
+
+    for node_id in wired:
+        node = dag.nodes[node_id]
+        ups = upstream[node_id]
+        downs = downstream[node_id]
+
+        # AWEL007 — arity the runner will reject at execution time.
+        if isinstance(node, InputOperator) and ups:
+            diags.append(
+                _awel(
+                    "AWEL007",
+                    f"input operator {node_id!r} is a source but has "
+                    f"{len(ups)} upstream edge(s)",
+                    subject=node_id,
+                )
+            )
+        elif isinstance(node, _SINGLE_INPUT) and len(ups) != 1:
+            diags.append(
+                _awel(
+                    "AWEL007",
+                    f"operator {node_id!r} expects exactly one input but "
+                    f"is wired to {len(ups)}",
+                    subject=node_id,
+                    hint="use a JoinOperator to merge multiple upstreams",
+                )
+            )
+
+        # AWEL006 — stream consumers fed by batch producers.
+        if isinstance(node, _STREAM_CONSUMERS):
+            for up_id in ups:
+                if not isinstance(dag.nodes[up_id], _STREAM_PRODUCERS):
+                    diags.append(
+                        _awel(
+                            "AWEL006",
+                            f"stream operator {node_id!r} consumes from "
+                            f"batch operator {up_id!r}",
+                            subject=f"{up_id} -> {node_id}",
+                            hint="insert a StreamifyOperator between them",
+                        )
+                    )
+
+        # AWEL004 — outputs produced but never consumed meaningfully.
+        if node_id in leaves and isinstance(node, _STREAM_PRODUCERS):
+            diags.append(
+                _awel(
+                    "AWEL004",
+                    f"leaf operator {node_id!r} produces a lazy stream "
+                    "that is never materialized",
+                    subject=node_id,
+                    hint="finish with an UnstreamifyOperator or a "
+                    "ReduceOperator",
+                )
+            )
+        if isinstance(node, BranchOperator) and len(downs) < 2:
+            diags.append(
+                _awel(
+                    "AWEL004",
+                    f"branch operator {node_id!r} has {len(downs)} "
+                    "downstream route(s); branching needs at least two",
+                    subject=node_id,
+                )
+            )
+    return diags

@@ -1,0 +1,120 @@
+"""Pre-execution validation gate for model-generated SQL.
+
+Applications call :func:`gate_sql` between generation and execution:
+the draft is analyzed against the data source's schema, and on
+error-severity findings the diagnostics are fed back to the model for
+one bounded repair attempt (the adaptive feedback loop from the paper).
+SQL that still fails is rejected with structured diagnostics — it is
+never executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.diagnostics import Diagnostic, has_errors
+from repro.analysis.sql_analyzer import SqlAnalyzer
+from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
+from repro.sqlengine.errors import TypeCheckError
+from repro.sqlengine.types import DataType
+
+
+def catalog_for_source(source: Any) -> Catalog:
+    """A :class:`Catalog` describing ``source``'s schema.
+
+    Engine-backed sources expose their real catalog; every other
+    connector is reconstructed from its :class:`TableInfo` metadata.
+    """
+    database = getattr(source, "database", None)
+    catalog = getattr(database, "catalog", None)
+    if isinstance(catalog, Catalog):
+        return catalog
+    rebuilt = Catalog()
+    for info in source.tables():
+        columns = []
+        for name, type_name in zip(info.columns, info.column_types):
+            try:
+                data_type = DataType.from_name(type_name)
+            except TypeCheckError:
+                data_type = DataType.TEXT
+            columns.append(ColumnSchema(name, data_type))
+        rebuilt.create_table(TableSchema(info.name, columns))
+    return rebuilt
+
+
+@dataclass
+class GateResult:
+    """Outcome of one pass through the validation gate."""
+
+    sql: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    ok: bool = True
+    repaired: bool = False
+    attempts: int = 0
+
+    def diagnostics_payload(self) -> list[dict[str, Any]]:
+        """JSON-friendly diagnostics for ``AppResponse.metadata``."""
+        return [d.to_dict() for d in self.diagnostics]
+
+    def error_summary(self) -> str:
+        return "; ".join(
+            d.render() for d in self.diagnostics if d.severity.value == "error"
+        )
+
+
+def review_sql(
+    sql: str,
+    source: Any = None,
+    catalog: Optional[Catalog] = None,
+) -> list[Diagnostic]:
+    """Analyze one statement against a source's (or explicit) catalog."""
+    if catalog is None and source is not None:
+        catalog = catalog_for_source(source)
+    return SqlAnalyzer(catalog).analyze_sql(sql)
+
+
+def gate_sql(
+    client: Any,
+    model: str,
+    source: Any,
+    question: str,
+    sql: str,
+    max_repairs: int = 1,
+) -> GateResult:
+    """Validate ``sql``; on errors, retry through the model at most
+    ``max_repairs`` times with the diagnostics as feedback."""
+    from repro.llm.prompts import build_sql_repair_prompt
+    from repro.smmf.client import ClientError
+
+    catalog = catalog_for_source(source)
+    analyzer = SqlAnalyzer(catalog)
+    diagnostics = analyzer.analyze_sql(sql)
+    if not has_errors(diagnostics):
+        return GateResult(sql, diagnostics)
+    attempts = 0
+    for _ in range(max_repairs):
+        attempts += 1
+        prompt = build_sql_repair_prompt(
+            source,
+            question,
+            sql,
+            [d.render() for d in diagnostics],
+        )
+        try:
+            candidate = client.generate(model, prompt, task="text2sql")
+        except ClientError:
+            break
+        candidate_diags = analyzer.analyze_sql(candidate)
+        if not has_errors(candidate_diags):
+            return GateResult(
+                candidate,
+                candidate_diags,
+                ok=True,
+                repaired=True,
+                attempts=attempts,
+            )
+        sql, diagnostics = candidate, candidate_diags
+    return GateResult(
+        sql, diagnostics, ok=False, repaired=False, attempts=attempts
+    )

@@ -1,0 +1,195 @@
+"""``repro lint``: analyze SQL files and AWEL flow modules.
+
+Usage (also wired as ``python -m repro.cli lint``)::
+
+    python -m repro.analysis.lint examples/
+    python -m repro.cli lint examples/queries.sql --schema none
+
+``.sql`` files are split into statements and run through the semantic
+analyzer against the chosen schema (the demo ``sales`` catalog by
+default, a Spider domain via ``--schema spider:retail``, or ``none``
+for schema-independent checks only). ``.py`` files are imported and
+every module-level :class:`~repro.awel.dag.DAG` is linted.
+
+Exit status is 1 when any error-severity finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.sql_analyzer import SqlAnalyzer
+from repro.sqlengine.catalog import Catalog
+
+
+def _build_catalog(schema: str) -> Optional[Catalog]:
+    if schema == "none":
+        return None
+    if schema == "sales":
+        from repro.datasets import build_sales_database
+
+        return build_sales_database(n_orders=1).catalog
+    if schema.startswith("spider:"):
+        from repro.datasets.spider import build_spider_database
+
+        return build_spider_database(schema.split(":", 1)[1]).catalog
+    raise SystemExit(
+        f"unknown --schema {schema!r}; use sales, spider:<domain> or none"
+    )
+
+
+def _split_statements(text: str) -> list[tuple[int, str]]:
+    """Split on ``;`` outside strings/comments; yields (line, statement)."""
+    statements: list[tuple[int, str]] = []
+    start = 0
+    in_string = in_comment = False
+    padded = text + "\n;"
+    for index, char in enumerate(padded):
+        if in_comment:
+            if char == "\n":
+                in_comment = False
+        elif char == "'":
+            in_string = not in_string
+        elif (
+            not in_string
+            and char == "-"
+            and padded[index : index + 2] == "--"
+        ):
+            in_comment = True
+        elif char == ";" and not in_string:
+            fragment = text[start:index]
+            stripped = "\n".join(
+                line
+                for line in fragment.splitlines()
+                if not line.strip().startswith("--")
+            ).strip()
+            if stripped:
+                # Point at the first line with SQL content, skipping
+                # blank and comment lines at the fragment's head.
+                content_at = start
+                for line in fragment.splitlines(keepends=True):
+                    body = line.strip()
+                    if body and not body.startswith("--"):
+                        content_at += len(line) - len(line.lstrip())
+                        break
+                    content_at += len(line)
+                line_no = text.count("\n", 0, content_at) + 1
+                statements.append((line_no, stripped))
+            start = index + 1
+    return statements
+
+
+def _lint_sql_file(
+    path: Path, catalog: Optional[Catalog]
+) -> list[tuple[int, Diagnostic]]:
+    analyzer = SqlAnalyzer(catalog)
+    found: list[tuple[int, Diagnostic]] = []
+    for line_no, statement in _split_statements(path.read_text()):
+        for diag in analyzer.analyze_sql(statement):
+            found.append((line_no, diag))
+    return found
+
+
+def _lint_python_file(path: Path) -> tuple[list[tuple[str, Diagnostic]], int]:
+    """Import the module and lint every module-level DAG.
+
+    Returns (findings tagged with the DAG name, number of DAGs seen).
+    Import failures are reported as a note, not a crash — example
+    scripts may need services this environment lacks.
+    """
+    from repro.analysis.awel_linter import lint_dag
+    from repro.awel.dag import DAG
+
+    module_name = f"_repro_lint_{path.stem}_{abs(hash(str(path))) % 10_000}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        return [], 0
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:  # pragma: no cover - environment dependent
+        print(f"{path}: skipped (import failed: {exc})")
+        return [], 0
+    finally:
+        sys.modules.pop(module_name, None)
+    found: list[tuple[str, Diagnostic]] = []
+    dags = [
+        value for value in vars(module).values() if isinstance(value, DAG)
+    ]
+    for dag in dags:
+        for diag in lint_dag(dag):
+            found.append((dag.name, diag))
+    return found, len(dags)
+
+
+def _gather(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.sql")))
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise SystemExit(f"no such file or directory: {raw}")
+    return files
+
+
+def lint_main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically analyze SQL files and AWEL flow modules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["examples"],
+        help="files or directories to lint (default: examples/)",
+    )
+    parser.add_argument(
+        "--schema",
+        default="sales",
+        help="schema for SQL resolution: sales (default), "
+        "spider:<domain>, or none",
+    )
+    args = parser.parse_args(argv)
+
+    catalog = _build_catalog(args.schema)
+    errors = warnings = infos = 0
+    checked = 0
+    for path in _gather(args.paths or ["examples"]):
+        if path.suffix == ".sql":
+            findings = _lint_sql_file(path, catalog)
+            checked += 1
+            for line_no, diag in findings:
+                print(f"{path}:{line_no}: {diag.render()}")
+        elif path.suffix == ".py":
+            tagged, dag_count = _lint_python_file(path)
+            checked += 1 if dag_count else 0
+            for dag_name, diag in tagged:
+                print(f"{path} [dag {dag_name}]: {diag.render()}")
+            findings = [(0, diag) for _, diag in tagged]
+        else:
+            continue
+        for _, diag in findings:
+            if diag.severity is Severity.ERROR:
+                errors += 1
+            elif diag.severity is Severity.WARNING:
+                warnings += 1
+            else:
+                infos += 1
+    print(
+        f"lint: {checked} target(s) checked — {errors} error(s), "
+        f"{warnings} warning(s), {infos} info(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

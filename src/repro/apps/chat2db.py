@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import re
 
+from repro.analysis.gate import gate_sql
 from repro.apps.base import Application, AppResponse
 from repro.datasources.base import DataSource, DataSourceError
 from repro.datasources.inspector import profile_source
@@ -42,12 +43,16 @@ class Chat2DbApp(Application):
         chat_model: str = "chat",
         max_rows: int = 20,
         read_only: bool = True,
+        validate: bool = True,
+        max_repairs: int = 1,
     ) -> None:
         self._client = client
         self._source = source
         self._sql_model = sql_model
         self._chat_model = chat_model
         self._max_rows = max_rows
+        self._validate = validate
+        self._max_repairs = max_repairs
         #: Conversational interfaces default to read-only: a chat turn
         #: should never mutate the database unless explicitly allowed.
         self.read_only = read_only
@@ -103,8 +108,37 @@ class Chat2DbApp(Application):
                     f"table or column name. ({exc})"
                 ),
                 ok=False,
-                metadata={"error": str(exc)},
+                metadata={"error": str(exc), "diagnostics": []},
             )
+        diagnostics: list[dict] = []
+        if self._validate:
+            # Pre-execution gate: analyze the draft, feed error findings
+            # back through the model once, and never execute SQL that
+            # still carries error-severity diagnostics.
+            gated = gate_sql(
+                self._client,
+                self._sql_model,
+                self._source,
+                text,
+                sql,
+                max_repairs=self._max_repairs,
+            )
+            diagnostics = gated.diagnostics_payload()
+            if not gated.ok:
+                return AppResponse(
+                    text=(
+                        "I generated SQL but it failed validation against "
+                        f"the schema: {gated.error_summary()}"
+                    ),
+                    ok=False,
+                    payload=gated.sql,
+                    metadata={
+                        "sql": gated.sql,
+                        "error": "sql failed validation",
+                        "diagnostics": diagnostics,
+                    },
+                )
+            sql = gated.sql
         if self.read_only and not _is_read_only(sql):
             return AppResponse(
                 text=(
@@ -113,7 +147,11 @@ class Chat2DbApp(Application):
                 ),
                 ok=False,
                 payload=sql,
-                metadata={"sql": sql, "error": "write blocked"},
+                metadata={
+                    "sql": sql,
+                    "error": "write blocked",
+                    "diagnostics": diagnostics,
+                },
             )
         try:
             result = self._source.query(sql)
@@ -122,12 +160,20 @@ class Chat2DbApp(Application):
                 text=f"The query failed to execute: {exc}",
                 ok=False,
                 payload=sql,
-                metadata={"sql": sql, "error": str(exc)},
+                metadata={
+                    "sql": sql,
+                    "error": str(exc),
+                    "diagnostics": diagnostics,
+                },
             )
         table_text = result.format_table(max_rows=self._max_rows)
         answer = f"SQL: {sql}\n{table_text}"
         return AppResponse(
             text=answer,
             payload=result,
-            metadata={"sql": sql, "row_count": len(result.rows)},
+            metadata={
+                "sql": sql,
+                "row_count": len(result.rows),
+                "diagnostics": diagnostics,
+            },
         )

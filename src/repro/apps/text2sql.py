@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
+from repro.analysis.gate import gate_sql
 from repro.apps.base import Application, AppResponse
 from repro.datasources.base import DataSource
 from repro.llm.prompts import build_text2sql_prompt
@@ -13,8 +12,14 @@ from repro.smmf.client import ClientError, LLMClient
 class Text2SqlApp(Application):
     """Translate natural language to SQL via the served model.
 
-    Does not execute the SQL (that is chat2db); optional validation
-    parses the output to guarantee syntactic well-formedness.
+    Does not execute the SQL (that is chat2db). With ``validate=True``
+    every draft passes the semantic analyzer before being returned;
+    error findings trigger up to ``max_repairs`` diagnostics-guided
+    regeneration attempts, and an unrepairable draft is rejected with
+    structured diagnostics instead of handed to the caller as if fine.
+
+    ``metadata["diagnostics"]`` is always present (an empty list on a
+    clean pass) so callers and benchmarks can assert on it uniformly.
     """
 
     name = "text2sql"
@@ -26,11 +31,13 @@ class Text2SqlApp(Application):
         source: DataSource,
         model: str = "sql-coder",
         validate: bool = True,
+        max_repairs: int = 1,
     ) -> None:
         self._client = client
         self._source = source
         self._model = model
         self._validate = validate
+        self._max_repairs = max_repairs
 
     def chat(self, text: str) -> AppResponse:
         prompt = build_text2sql_prompt(self._source, text)
@@ -40,18 +47,37 @@ class Text2SqlApp(Application):
             return AppResponse(
                 text=f"I could not translate that question: {exc}",
                 ok=False,
-                metadata={"error": str(exc)},
+                metadata={"error": str(exc), "diagnostics": []},
             )
-        if self._validate:
-            from repro.sqlengine import SqlSyntaxError, parse_sql
-
-            try:
-                parse_sql(sql)
-            except SqlSyntaxError as exc:
-                return AppResponse(
-                    text=f"The model produced invalid SQL: {exc}",
-                    ok=False,
-                    payload=sql,
-                    metadata={"error": str(exc)},
-                )
-        return AppResponse(text=sql, payload=sql, metadata={"model": self._model})
+        if not self._validate:
+            return AppResponse(
+                text=sql,
+                payload=sql,
+                metadata={"model": self._model, "diagnostics": []},
+            )
+        result = gate_sql(
+            self._client,
+            self._model,
+            self._source,
+            text,
+            sql,
+            max_repairs=self._max_repairs,
+        )
+        metadata = {
+            "model": self._model,
+            "diagnostics": result.diagnostics_payload(),
+            "repaired": result.repaired,
+        }
+        if not result.ok:
+            return AppResponse(
+                text=(
+                    "The generated SQL failed validation: "
+                    f"{result.error_summary()}"
+                ),
+                ok=False,
+                payload=result.sql,
+                metadata={**metadata, "error": "sql failed validation"},
+            )
+        return AppResponse(
+            text=result.sql, payload=result.sql, metadata=metadata
+        )

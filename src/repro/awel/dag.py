@@ -113,7 +113,23 @@ class DAG:
         return [self.nodes[node_id] for node_id in order]
 
     def validate(self) -> None:
-        """Check acyclicity (and implicitly connectivity of edges)."""
+        """Check acyclicity and adjacency-map consistency.
+
+        Operators registered in ``nodes`` but absent from the adjacency
+        maps would be silently dropped by scheduling (and misreported
+        as a cycle by ``topological_order``); reject them explicitly.
+        """
+        orphans = sorted(
+            node_id
+            for node_id in self.nodes
+            if node_id not in self._upstream or node_id not in self._downstream
+        )
+        if orphans:
+            raise AwelError(
+                f"orphan operators not wired into the DAG: {orphans}; "
+                "register nodes via add_node so both adjacency maps "
+                "know them"
+            )
         self.topological_order()
 
     def __len__(self) -> int:

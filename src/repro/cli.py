@@ -8,11 +8,13 @@ Run::
     python -m repro.cli                    # demo sales database
     python -m repro.cli --csv ./data_dir   # your own CSV tables
     python -m repro.cli --command "show tables" --command "/apps"
+    python -m repro.cli lint examples/     # static analysis front-end
 
 Slash commands switch context; anything else goes to the active app::
 
     /apps            list applications
     /app <name>      switch the active application
+    /lint <sql>      analyze a SQL statement against the active schema
     /metrics         model serving metrics
     /help            this text
     /quit            exit
@@ -29,8 +31,8 @@ from repro.datasets import build_sales_database
 from repro.datasources import CsvSource, EngineSource
 
 _HELP = (
-    "commands: /apps, /app <name>, /metrics, /help, /quit — anything "
-    "else is sent to the active app"
+    "commands: /apps, /app <name>, /lint <sql>, /metrics, /help, /quit — "
+    "anything else is sent to the active app"
 )
 
 
@@ -86,6 +88,10 @@ class CliSession:
                 )
             self.active_app = name
             return f"switched to {name}"
+        if command == "/lint":
+            if not args:
+                return "usage: /lint <sql statement>"
+            return self._lint(line.split(None, 1)[1])
         if command == "/metrics":
             lines = [
                 f"{model}: {metrics}"
@@ -93,6 +99,18 @@ class CliSession:
             ]
             return "\n".join(lines) or "no traffic yet"
         return f"unknown command {command!r}; {_HELP}"
+
+    def _lint(self, sql: str) -> str:
+        """Analyze one SQL statement against the default source schema."""
+        from repro.analysis.gate import review_sql
+
+        source = self.dbgpt.default_source()
+        if source is None:
+            return "no data source registered; nothing to lint against"
+        findings = review_sql(sql, source=source)
+        if not findings:
+            return "clean: no findings"
+        return "\n".join(diag.render() for diag in findings)
 
     def run_commands(self, commands: Iterable[str]) -> list[str]:
         """Batch mode: process each command, collecting the outputs."""
@@ -114,6 +132,12 @@ def build_dbgpt(args: argparse.Namespace) -> DBGPT:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.analysis.lint import lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Chat with your data (DB-GPT repro)."
     )

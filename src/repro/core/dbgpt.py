@@ -121,6 +121,10 @@ class DBGPT:
             self.client, source, memory=self.memory
         )
 
+    def default_source(self) -> Optional[DataSource]:
+        """The source the per-source applications were built against."""
+        return self._default_source
+
     # -- interaction -----------------------------------------------------------
 
     def app(self, name: str) -> Application:

@@ -20,6 +20,7 @@ CONTEXT_HEADER = "Context:"
 QA_QUESTION_HEADER = "Question:"
 SQL_HEADER = "Explain in plain language what this SQL does:"
 GOAL_HEADER = "Plan the steps to accomplish:"
+REPAIR_HEADER = "A previous SQL draft was rejected by the analyzer."
 
 
 def build_text2sql_prompt(
@@ -48,6 +49,34 @@ def build_text2sql_prompt(
     lines.append(f"{QUESTION_HEADER} {question}")
     lines.append("SQL:")
     return "\n".join(lines)
+
+
+def build_sql_repair_prompt(
+    source: DataSource,
+    question: str,
+    sql: str,
+    findings: list[str],
+    max_values_per_column: int = 20,
+) -> str:
+    """A text2sql prompt carrying analyzer feedback for one repair turn.
+
+    The feedback block is inserted *before* the question header so
+    :func:`parse_prompt_sections` keeps the question section clean
+    (simulated models re-parse their own prompts; the feedback lines
+    are shaped so the values parser skips them).
+    """
+    base = build_text2sql_prompt(
+        source, question, max_values_per_column=max_values_per_column
+    )
+    # Pre-colon fragments carry no dot, so parse_values_text skips them.
+    feedback_lines = [REPAIR_HEADER, f"Rejected draft: {sql}", "Findings:"]
+    feedback_lines.extend(f"- {finding}" for finding in findings)
+    feedback_lines.append("Write a corrected query fixing every finding.")
+    feedback = "\n".join(feedback_lines)
+    index = base.rfind(QUESTION_HEADER)
+    if index == -1:
+        return f"{base}\n{feedback}"
+    return f"{base[:index]}{feedback}\n{base[index:]}"
 
 
 def build_qa_prompt(context: str, question: str) -> str:

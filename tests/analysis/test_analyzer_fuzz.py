@@ -1,0 +1,56 @@
+"""Fuzzing the analyzer: any parseable SQL must analyze without raising.
+
+Reuses the AST generators from ``tests.sqlengine.test_ast_fuzz``: every
+SELECT tree hypothesis can compose (and therefore everything
+``parse_sql`` accepts from a model) must flow through the analyzer as
+diagnostics, never as an exception — with or without a catalog, and
+regardless of whether the referenced schema objects exist.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis import SqlAnalyzer, analyze_sql
+from repro.analysis.diagnostics import Diagnostic
+from repro.datasets import build_sales_database
+from repro.sqlengine.parser import parse_sql
+from tests.sqlengine.test_ast_fuzz import expressions, selects
+
+SALES_CATALOG = build_sales_database(n_orders=1).catalog
+
+
+def assert_well_formed(findings):
+    assert isinstance(findings, list)
+    for diag in findings:
+        assert isinstance(diag, Diagnostic)
+        assert diag.code and diag.message
+        assert isinstance(diag.to_dict(), dict)
+        assert diag.render()
+
+
+class TestAnalyzerTotality:
+    @given(selects)
+    @settings(max_examples=200, deadline=None)
+    def test_random_select_with_catalog(self, select):
+        assert_well_formed(
+            SqlAnalyzer(SALES_CATALOG).analyze(select)
+        )
+
+    @given(selects)
+    @settings(max_examples=200, deadline=None)
+    def test_random_select_without_catalog(self, select):
+        assert_well_formed(SqlAnalyzer(None).analyze(select))
+
+    @given(selects)
+    @settings(max_examples=100, deadline=None)
+    def test_rendered_sql_reanalyzes_identically(self, select):
+        """to_sql round-trip must not change the diagnostic codes."""
+        direct = SqlAnalyzer(SALES_CATALOG).analyze(select)
+        reparsed = analyze_sql(select.to_sql(), SALES_CATALOG)
+        assert [d.code for d in direct] == [d.code for d in reparsed]
+
+    @given(expressions(2))
+    @settings(max_examples=200, deadline=None)
+    def test_random_expression_in_where(self, expression):
+        sql = f"SELECT 1 FROM orders WHERE {expression.to_sql()}"
+        statement = parse_sql(sql)
+        assert_well_formed(SqlAnalyzer(SALES_CATALOG).analyze(statement))

@@ -1,0 +1,207 @@
+"""AWEL DAG linter and the hardened ``DAG.validate()``."""
+
+import pytest
+
+from repro.analysis import lint_dag
+from repro.analysis.diagnostics import Severity
+from repro.awel import (
+    DAG,
+    BranchOperator,
+    InputOperator,
+    JoinOperator,
+    MapOperator,
+    ReduceOperator,
+    StreamifyOperator,
+    StreamMapOperator,
+    UnstreamifyOperator,
+)
+from repro.awel.errors import AwelError
+
+
+def codes(findings):
+    return {d.code for d in findings}
+
+
+def test_clean_pipeline_has_no_findings():
+    with DAG("clean") as dag:
+        src = InputOperator(name="src")
+        step = MapOperator(str.upper, name="step")
+        src >> step
+    assert lint_dag(dag) == []
+
+
+def test_clean_stream_pipeline_has_no_findings():
+    with DAG("stream") as dag:
+        src = InputOperator(name="src")
+        stream = StreamifyOperator(name="stream")
+        enrich = StreamMapOperator(lambda v: v, name="enrich")
+        total = ReduceOperator(lambda a, b: (a or 0) + b, name="total")
+        src >> stream >> enrich >> total
+    assert lint_dag(dag) == []
+
+
+def test_awel001_cycle():
+    with DAG("cyclic") as dag:
+        a = MapOperator(str, name="a")
+        b = MapOperator(str, name="b")
+        a >> b
+        b >> a
+    findings = lint_dag(dag)
+    assert "AWEL001" in codes(findings)
+    cycle = next(d for d in findings if d.code == "AWEL001")
+    assert cycle.severity is Severity.ERROR
+
+
+def test_awel003_unreachable_behind_cycle():
+    with DAG("trapped") as dag:
+        a = MapOperator(str, name="a")
+        b = MapOperator(str, name="b")
+        tail = MapOperator(str, name="tail")
+        a >> b
+        b >> a
+        b >> tail
+    findings = lint_dag(dag)
+    assert "AWEL001" in codes(findings)
+    unreachable = [d for d in findings if d.code == "AWEL003"]
+    assert [d.subject for d in unreachable] == ["tail"]
+
+
+def test_awel002_orphan_in_adjacency_maps():
+    with DAG("broken") as dag:
+        src = InputOperator(name="src")
+        step = MapOperator(str, name="step")
+        src >> step
+    del dag._upstream["step"]
+    findings = lint_dag(dag)
+    assert "AWEL002" in codes(findings)
+
+
+def test_awel002_edgeless_node():
+    with DAG("floating") as dag:
+        src = InputOperator(name="src")
+        step = MapOperator(str, name="step")
+        MapOperator(str, name="island")
+        src >> step
+    findings = lint_dag(dag)
+    island = [d for d in findings if d.code == "AWEL002"]
+    assert len(island) == 1 and island[0].subject == "island"
+
+
+def test_awel004_dangling_stream_output():
+    with DAG("dangling") as dag:
+        src = InputOperator(name="src")
+        stream = StreamifyOperator(name="stream")
+        src >> stream
+    findings = lint_dag(dag)
+    assert "AWEL004" in codes(findings)
+
+
+def test_awel004_branch_with_one_route():
+    with DAG("half-branch") as dag:
+        src = InputOperator(name="src")
+        branch = BranchOperator(lambda v: "only", name="branch")
+        only = MapOperator(str, name="only")
+        src >> branch >> only
+    findings = lint_dag(dag)
+    assert "AWEL004" in codes(findings)
+
+
+def test_awel005_multiple_roots():
+    with DAG("two-roots") as dag:
+        left = InputOperator(name="left")
+        right = InputOperator(name="right")
+        merge = JoinOperator(lambda *v: v, name="merge")
+        left >> merge
+        right >> merge
+    findings = lint_dag(dag)
+    assert codes(findings) == {"AWEL005"}
+    assert findings[0].severity is Severity.WARNING
+
+
+def test_awel006_stream_consumer_on_batch_producer():
+    with DAG("mode-mismatch") as dag:
+        src = InputOperator(name="src")
+        enrich = StreamMapOperator(lambda v: v, name="enrich")
+        out = UnstreamifyOperator(name="out")
+        src >> enrich >> out
+    findings = lint_dag(dag)
+    assert "AWEL006" in codes(findings)
+    mismatch = next(d for d in findings if d.code == "AWEL006")
+    assert mismatch.subject == "src -> enrich"
+
+
+def test_awel007_input_operator_with_upstream():
+    with DAG("fed-input") as dag:
+        a = MapOperator(str, name="a")
+        src = InputOperator(name="src")
+        a >> src
+    findings = lint_dag(dag)
+    assert "AWEL007" in codes(findings)
+
+
+def test_awel007_map_with_two_upstreams():
+    with DAG("fan-in-map") as dag:
+        left = InputOperator(name="left")
+        right = InputOperator(name="right")
+        step = MapOperator(str, name="step")
+        left >> step
+        right >> step
+    findings = lint_dag(dag)
+    assert "AWEL007" in codes(findings)
+
+
+def test_lint_never_raises_on_mangled_graph():
+    with DAG("mangled") as dag:
+        a = MapOperator(str, name="a")
+        b = MapOperator(str, name="b")
+        a >> b
+    del dag._upstream["a"]
+    del dag._downstream["b"]
+    assert isinstance(lint_dag(dag), list)
+
+
+class TestValidateHardening:
+    """Satellite: ``DAG.validate()`` rejects half-registered operators."""
+
+    def test_validate_accepts_wired_graph(self):
+        with DAG("ok") as dag:
+            src = InputOperator(name="src")
+            step = MapOperator(str, name="step")
+            src >> step
+        dag.validate()
+
+    def test_validate_rejects_missing_upstream_entry(self):
+        with DAG("bad-up") as dag:
+            src = InputOperator(name="src")
+            step = MapOperator(str, name="step")
+            src >> step
+        del dag._upstream["step"]
+        with pytest.raises(AwelError, match="orphan"):
+            dag.validate()
+
+    def test_validate_rejects_missing_downstream_entry(self):
+        with DAG("bad-down") as dag:
+            src = InputOperator(name="src")
+            step = MapOperator(str, name="step")
+            src >> step
+        del dag._downstream["src"]
+        with pytest.raises(AwelError, match="orphan"):
+            dag.validate()
+
+    def test_validate_names_the_orphans(self):
+        with DAG("named") as dag:
+            src = InputOperator(name="src")
+            step = MapOperator(str, name="step")
+            src >> step
+        del dag._upstream["step"]
+        with pytest.raises(AwelError, match="step"):
+            dag.validate()
+
+    def test_validate_still_rejects_cycles(self):
+        with DAG("still-cyclic") as dag:
+            a = MapOperator(str, name="a")
+            b = MapOperator(str, name="b")
+            a >> b
+            b >> a
+        with pytest.raises(AwelError):
+            dag.validate()

@@ -1,0 +1,227 @@
+"""The pre-execution gate: analyze, repair once, never execute bad SQL."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import catalog_for_source, gate_sql, review_sql
+from repro.analysis.diagnostics import has_errors
+from repro.apps import Chat2DbApp, Text2SqlApp
+from repro.datasets import build_sales_database
+from repro.datasources import EngineSource
+from repro.llm import ChatModel, SqlCoderModel
+from repro.llm.prompts import (
+    QUESTION_HEADER,
+    REPAIR_HEADER,
+    build_sql_repair_prompt,
+    parse_prompt_sections,
+)
+from repro.smmf import ModelSpec, deploy
+from repro.smmf.client import ClientError
+
+BAD_SQL = "SELECT frobnitz FROM orders"
+GOOD_SQL = "SELECT COUNT(*) FROM orders"
+
+
+class ScriptedClient:
+    """Stands in for the SMMF client: replays a fixed list of outputs."""
+
+    def __init__(self, outputs):
+        self._outputs = list(outputs)
+        self.prompts = []
+
+    def generate(self, model, prompt, task=None, **kwargs):
+        self.prompts.append(prompt)
+        if not self._outputs:
+            raise ClientError("script exhausted")
+        output = self._outputs.pop(0)
+        if isinstance(output, Exception):
+            raise output
+        return output
+
+
+class SpySource(EngineSource):
+    """EngineSource that records every executed query.
+
+    Prompt construction samples column values through ``query`` too, so
+    assertions check membership of the generated statements rather than
+    the full call list.
+    """
+
+    def __init__(self, database):
+        super().__init__(database)
+        self.executed = []
+
+    def query(self, sql):
+        self.executed.append(sql)
+        return super().query(sql)
+
+
+@pytest.fixture()
+def source():
+    return SpySource(build_sales_database(n_orders=50))
+
+
+@pytest.fixture(scope="module")
+def real_client():
+    _controller, client = deploy(
+        [
+            ModelSpec("sql-coder", lambda: SqlCoderModel("sql-coder")),
+            ModelSpec("chat", lambda: ChatModel("chat")),
+        ]
+    )
+    return client
+
+
+class TestGate:
+    def test_clean_sql_passes_without_model_call(self, source):
+        client = ScriptedClient([])
+        result = gate_sql(client, "m", source, "count orders", GOOD_SQL)
+        assert result.ok and not result.repaired
+        assert result.diagnostics == []
+        assert client.prompts == []
+
+    def test_bad_sql_repaired_once(self, source):
+        client = ScriptedClient([GOOD_SQL])
+        result = gate_sql(client, "m", source, "count orders", BAD_SQL)
+        assert result.ok and result.repaired
+        assert result.sql == GOOD_SQL
+        assert result.attempts == 1
+        # The repair prompt carried the rejected draft and the findings.
+        assert BAD_SQL in client.prompts[0]
+        assert "SQL002" in client.prompts[0]
+
+    def test_unrepairable_sql_rejected(self, source):
+        client = ScriptedClient([BAD_SQL])
+        result = gate_sql(client, "m", source, "count orders", BAD_SQL)
+        assert not result.ok
+        assert has_errors(result.diagnostics)
+        assert result.error_summary()
+
+    def test_repair_budget_respected(self, source):
+        client = ScriptedClient([BAD_SQL, BAD_SQL, GOOD_SQL])
+        result = gate_sql(
+            client, "m", source, "count orders", BAD_SQL, max_repairs=2
+        )
+        assert not result.ok
+        assert result.attempts == 2
+        assert len(client.prompts) == 2
+
+    def test_client_error_during_repair_fails_closed(self, source):
+        client = ScriptedClient([ClientError(503, "model down")])
+        result = gate_sql(client, "m", source, "count orders", BAD_SQL)
+        assert not result.ok
+        assert has_errors(result.diagnostics)
+
+    def test_warnings_alone_do_not_trigger_repair(self, source):
+        client = ScriptedClient([])
+        result = gate_sql(
+            client, "m", source, "everything", "SELECT * FROM orders"
+        )
+        assert result.ok
+        assert [d.code for d in result.diagnostics] == ["SQL010"]
+        assert client.prompts == []
+
+
+class TestCatalogForSource:
+    def test_engine_source_uses_real_catalog(self, source):
+        catalog = catalog_for_source(source)
+        assert catalog is source.database.catalog
+
+    def test_rebuilt_from_table_info(self):
+        info = SimpleNamespace(
+            name="t",
+            columns=["a", "b"],
+            column_types=["INTEGER", "mystery-type"],
+        )
+        fake = SimpleNamespace(tables=lambda: [info])
+        catalog = catalog_for_source(fake)
+        assert review_sql("SELECT a, b FROM t", catalog=catalog) == []
+        assert has_errors(review_sql("SELECT c FROM t", catalog=catalog))
+
+
+class TestRepairPrompt:
+    def test_question_section_stays_clean(self, source):
+        prompt = build_sql_repair_prompt(
+            source, "How many orders?", BAD_SQL, ["SQL002: unknown column"]
+        )
+        assert REPAIR_HEADER in prompt
+        assert prompt.index(REPAIR_HEADER) < prompt.index(QUESTION_HEADER)
+        sections = parse_prompt_sections(prompt)
+        assert sections["question"] == "How many orders?"
+
+
+class TestText2SqlGate:
+    def test_success_has_empty_diagnostics(self, real_client, source):
+        response = Text2SqlApp(real_client, source).chat(
+            "How many orders are there?"
+        )
+        assert response.ok
+        assert response.metadata["diagnostics"] == []
+        assert response.metadata["repaired"] is False
+
+    def test_client_error_still_has_diagnostics_key(self, real_client, source):
+        response = Text2SqlApp(real_client, source).chat("fix my bicycle")
+        assert not response.ok
+        assert response.metadata["diagnostics"] == []
+
+    def test_validate_off_still_has_diagnostics_key(self, source):
+        client = ScriptedClient([BAD_SQL])
+        response = Text2SqlApp(client, source, validate=False).chat("q")
+        assert response.ok
+        assert response.metadata["diagnostics"] == []
+
+    def test_seeded_bad_query_repaired(self, source):
+        client = ScriptedClient([BAD_SQL, GOOD_SQL])
+        response = Text2SqlApp(client, source).chat(
+            "How many orders are there?"
+        )
+        assert response.ok
+        assert response.payload == GOOD_SQL
+        assert response.metadata["repaired"] is True
+
+    def test_seeded_bad_query_rejected_with_diagnostics(self, source):
+        client = ScriptedClient([BAD_SQL, BAD_SQL])
+        response = Text2SqlApp(client, source).chat(
+            "How many orders are there?"
+        )
+        assert not response.ok
+        assert response.metadata["error"] == "sql failed validation"
+        codes = {d["code"] for d in response.metadata["diagnostics"]}
+        assert "SQL002" in codes
+        assert "failed validation" in response.text
+
+
+class TestChat2DbGate:
+    def test_rejected_sql_is_never_executed(self, source):
+        client = ScriptedClient([BAD_SQL, BAD_SQL])
+        response = Chat2DbApp(client, source).chat(
+            "How many orders are there?"
+        )
+        assert not response.ok
+        assert BAD_SQL not in source.executed
+        codes = {d["code"] for d in response.metadata["diagnostics"]}
+        assert "SQL002" in codes
+
+    def test_repaired_sql_is_executed(self, source):
+        client = ScriptedClient([BAD_SQL, GOOD_SQL])
+        response = Chat2DbApp(client, source).chat(
+            "How many orders are there?"
+        )
+        assert response.ok
+        assert BAD_SQL not in source.executed
+        assert source.executed[-1] == GOOD_SQL
+        assert response.payload.scalar() == 50
+
+    def test_success_metadata_has_diagnostics(self, real_client, source):
+        response = Chat2DbApp(real_client, source).chat(
+            "How many orders are there?"
+        )
+        assert response.ok
+        assert response.metadata["diagnostics"] == []
+
+    def test_validate_off_preserves_old_behaviour(self, source):
+        client = ScriptedClient([GOOD_SQL])
+        response = Chat2DbApp(client, source, validate=False).chat("count")
+        assert response.ok
+        assert source.executed[-1] == GOOD_SQL

@@ -1,0 +1,106 @@
+"""The ``repro lint`` command line: files in, findings and exit code out."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import _split_statements, lint_main
+
+
+def test_clean_sql_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "ok.sql"
+    path.write_text("SELECT COUNT(*) FROM orders;\n")
+    assert lint_main([str(path)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_bad_sql_file_exits_one(tmp_path, capsys):
+    path = tmp_path / "bad.sql"
+    path.write_text("SELECT frobnitz FROM orders;\nSELECT * FROM users;\n")
+    assert lint_main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "SQL002" in out
+    assert "SQL010" in out
+    assert f"{path}:1:" in out
+    assert f"{path}:2:" in out
+
+
+def test_schema_none_skips_resolution(tmp_path):
+    path = tmp_path / "bad.sql"
+    path.write_text("SELECT frobnitz FROM orders;\n")
+    assert lint_main([str(path), "--schema", "none"]) == 0
+
+
+def test_spider_schema_selectable(tmp_path):
+    path = tmp_path / "q.sql"
+    path.write_text("SELECT frobnitz FROM orders;\n")
+    assert lint_main([str(path), "--schema", "spider:retail"]) == 1
+
+
+def test_unknown_schema_rejected(tmp_path):
+    path = tmp_path / "q.sql"
+    path.write_text("SELECT 1;\n")
+    with pytest.raises(SystemExit):
+        lint_main([str(path), "--schema", "wat"])
+
+
+def test_python_file_with_dangling_stream_warns(tmp_path, capsys):
+    path = tmp_path / "flow.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            from repro.awel import DAG, InputOperator, StreamifyOperator
+
+            with DAG("dangling") as FLOW:
+                src = InputOperator(name="src")
+                stream = StreamifyOperator(name="stream")
+                src >> stream
+            """
+        )
+    )
+    # Dangling stream output is a warning: reported, exit code stays 0.
+    assert lint_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "AWEL004" in out
+    assert "[dag dangling]" in out
+
+
+def test_python_file_with_cyclic_dag_exits_one(tmp_path, capsys):
+    path = tmp_path / "flow.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            from repro.awel import DAG, MapOperator
+
+            with DAG("cyclic") as FLOW:
+                a = MapOperator(str, name="a")
+                b = MapOperator(str, name="b")
+                a >> b
+                b >> a
+            """
+        )
+    )
+    assert lint_main([str(path)]) == 1
+    assert "AWEL001" in capsys.readouterr().out
+
+
+def test_directory_lints_examples_tree(capsys):
+    # The shipped examples must stay warning-only: exit code 0.
+    assert lint_main(["examples"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_split_statements_handles_comments_and_strings():
+    text = (
+        "-- header; with a semicolon\n"
+        "SELECT 'a;b' AS x;\n"
+        "\n"
+        "SELECT 1; SELECT 2;\n"
+    )
+    statements = _split_statements(text)
+    assert [s for _, s in statements] == [
+        "SELECT 'a;b' AS x",
+        "SELECT 1",
+        "SELECT 2",
+    ]
+    assert statements[0][0] == 2

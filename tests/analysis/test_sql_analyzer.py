@@ -1,0 +1,304 @@
+"""Semantic SQL analyzer: every diagnostic code is demonstrable."""
+
+import pytest
+
+from repro.analysis import SqlAnalyzer, analyze_sql, has_errors
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Severity,
+    diagnostic,
+    max_severity,
+)
+from repro.datasets import build_sales_database
+from repro.sqlengine import Catalog, ColumnSchema, DataType, TableSchema
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_sales_database(n_orders=10).catalog
+
+
+def codes(findings):
+    return {d.code for d in findings}
+
+
+class TestResolution:
+    def test_clean_query_has_no_findings(self, catalog):
+        assert analyze_sql("SELECT COUNT(*) FROM orders", catalog) == []
+
+    def test_unknown_table(self, catalog):
+        findings = analyze_sql("SELECT a FROM nope", catalog)
+        assert codes(findings) == {"SQL001"}
+        assert findings[0].severity is Severity.ERROR
+
+    def test_unknown_column(self, catalog):
+        assert codes(
+            analyze_sql("SELECT missing FROM orders", catalog)
+        ) == {"SQL002"}
+
+    def test_unknown_qualified_column(self, catalog):
+        assert codes(
+            analyze_sql("SELECT o.missing FROM orders o", catalog)
+        ) == {"SQL002"}
+
+    def test_unknown_alias_qualifier(self, catalog):
+        assert "SQL001" in codes(
+            analyze_sql("SELECT z.amount FROM orders o", catalog)
+        )
+
+    def test_ambiguous_column(self, catalog):
+        findings = analyze_sql(
+            "SELECT user_id FROM orders "
+            "JOIN users ON orders.user_id = users.user_id",
+            catalog,
+        )
+        assert codes(findings) == {"SQL003"}
+
+    def test_qualified_reference_disambiguates(self, catalog):
+        assert (
+            analyze_sql(
+                "SELECT orders.user_id FROM orders "
+                "JOIN users ON orders.user_id = users.user_id",
+                catalog,
+            )
+            == []
+        )
+
+    def test_duplicate_alias(self, catalog):
+        assert "SQL013" in codes(
+            analyze_sql(
+                "SELECT 1 FROM orders o JOIN users o ON 1 = 1", catalog
+            )
+        )
+
+    def test_subquery_source_columns_resolve(self, catalog):
+        assert (
+            analyze_sql(
+                "SELECT t.revenue FROM (SELECT SUM(amount) AS revenue "
+                "FROM orders) AS t",
+                catalog,
+            )
+            == []
+        )
+
+    def test_correlated_subquery_sees_outer_scope(self, catalog):
+        sql = (
+            "SELECT user_name FROM users u WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.user_id = u.user_id)"
+        )
+        assert analyze_sql(sql, catalog) == []
+
+    def test_order_by_alias_is_not_unknown(self, catalog):
+        sql = (
+            "SELECT region, SUM(amount) AS revenue FROM orders "
+            "JOIN users ON orders.user_id = users.user_id "
+            "GROUP BY region ORDER BY revenue DESC"
+        )
+        assert analyze_sql(sql, catalog) == []
+
+
+class TestTypes:
+    def test_comparison_type_mismatch(self, catalog):
+        assert "SQL004" in codes(
+            analyze_sql("SELECT 1 FROM orders WHERE amount > 'high'", catalog)
+        )
+
+    def test_date_compares_with_text(self, catalog):
+        assert (
+            analyze_sql(
+                "SELECT 1 FROM orders WHERE order_date > '2023-06-01'",
+                catalog,
+            )
+            == []
+        )
+
+    def test_arithmetic_on_text(self, catalog):
+        assert "SQL004" in codes(
+            analyze_sql("SELECT user_name + 1 FROM users", catalog)
+        )
+
+    def test_unknown_function(self, catalog):
+        assert "SQL005" in codes(
+            analyze_sql("SELECT FROBNICATE(age) FROM users", catalog)
+        )
+
+    def test_function_arity(self, catalog):
+        assert "SQL006" in codes(
+            analyze_sql("SELECT UPPER(region, segment) FROM users", catalog)
+        )
+
+    def test_non_boolean_where(self, catalog):
+        findings = analyze_sql("SELECT 1 FROM users WHERE age", catalog)
+        assert "SQL014" in codes(findings)
+        assert max_severity(findings) is Severity.WARNING
+
+
+class TestAggregation:
+    def test_aggregate_in_where(self, catalog):
+        assert "SQL007" in codes(
+            analyze_sql(
+                "SELECT region FROM users WHERE COUNT(*) > 2", catalog
+            )
+        )
+
+    def test_nested_aggregate(self, catalog):
+        assert "SQL008" in codes(
+            analyze_sql("SELECT SUM(AVG(amount)) FROM orders", catalog)
+        )
+
+    def test_ungrouped_column(self, catalog):
+        assert "SQL009" in codes(
+            analyze_sql(
+                "SELECT region, age FROM users GROUP BY region", catalog
+            )
+        )
+
+    def test_grouped_by_alias_and_ordinal_are_clean(self, catalog):
+        assert (
+            analyze_sql(
+                "SELECT segment AS s, COUNT(*) FROM users GROUP BY s",
+                catalog,
+            )
+            == []
+        )
+        assert (
+            analyze_sql(
+                "SELECT segment, COUNT(*) FROM users GROUP BY 1", catalog
+            )
+            == []
+        )
+
+    def test_mixed_aggregate_without_group(self, catalog):
+        assert "SQL009" in codes(
+            analyze_sql("SELECT region, COUNT(*) FROM users", catalog)
+        )
+
+
+class TestSmells:
+    def test_select_star(self, catalog):
+        findings = analyze_sql("SELECT * FROM users", catalog)
+        assert codes(findings) == {"SQL010"}
+        assert not has_errors(findings)
+
+    def test_cartesian_join(self, catalog):
+        assert "SQL011" in codes(
+            analyze_sql("SELECT 1 FROM users CROSS JOIN orders", catalog)
+        )
+
+    def test_insert_arity(self, catalog):
+        assert "SQL012" in codes(
+            analyze_sql(
+                "INSERT INTO users (user_id, user_name) VALUES (1, 'a', 2)",
+                catalog,
+            )
+        )
+
+    def test_set_op_arity(self, catalog):
+        assert "SQL015" in codes(
+            analyze_sql(
+                "SELECT region FROM users UNION "
+                "SELECT region, age FROM users",
+                catalog,
+            )
+        )
+
+    def test_syntax_error_becomes_sql000(self, catalog):
+        findings = analyze_sql("SELEC wrong", catalog)
+        assert codes(findings) == {"SQL000"}
+
+
+class TestDml:
+    def test_update_unknown_column(self, catalog):
+        assert "SQL002" in codes(
+            analyze_sql("UPDATE users SET nope = 1", catalog)
+        )
+
+    def test_update_type_mismatch(self, catalog):
+        assert "SQL004" in codes(
+            analyze_sql("UPDATE users SET age = 'old'", catalog)
+        )
+
+    def test_delete_unknown_table(self, catalog):
+        assert "SQL001" in codes(analyze_sql("DELETE FROM ghosts", catalog))
+
+    def test_insert_select_width(self, catalog):
+        assert "SQL012" in codes(
+            analyze_sql(
+                "INSERT INTO users (user_id, user_name) "
+                "SELECT user_id FROM users",
+                catalog,
+            )
+        )
+
+
+class TestSchemaFreeMode:
+    def test_no_catalog_skips_resolution(self):
+        analyzer = SqlAnalyzer(None)
+        assert analyzer.analyze_sql("SELECT whatever FROM anything") == []
+
+    def test_no_catalog_still_checks_structure(self):
+        analyzer = SqlAnalyzer(None)
+        assert "SQL007" in {
+            d.code
+            for d in analyzer.analyze_sql(
+                "SELECT a FROM t WHERE SUM(b) > 1"
+            )
+        }
+
+
+class TestDiagnosticInfra:
+    def test_all_codes_registered(self):
+        assert len(DIAGNOSTIC_CODES) >= 20
+        for code, (severity, name) in DIAGNOSTIC_CODES.items():
+            assert isinstance(severity, Severity)
+            assert name and name == name.lower()
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(ValueError):
+            diagnostic("SQL999", "nope")
+
+    def test_to_dict_round_trip(self):
+        diag = diagnostic("SQL002", "missing column", subject="t.c")
+        payload = diag.to_dict()
+        assert payload["code"] == "SQL002"
+        assert payload["name"] == "unknown-column"
+        assert payload["severity"] == "error"
+        assert payload["subject"] == "t.c"
+
+    def test_demonstrates_at_least_eight_distinct_codes(self, catalog):
+        """Acceptance: >= 8 distinct codes across SQL checks alone."""
+        bad = [
+            "SELECT a FROM nope",
+            "SELECT missing FROM orders",
+            "SELECT user_id FROM orders JOIN users "
+            "ON orders.user_id = users.user_id",
+            "SELECT 1 FROM orders WHERE amount > 'high'",
+            "SELECT FROB(1) FROM users",
+            "SELECT UPPER(region, segment) FROM users",
+            "SELECT region FROM users WHERE COUNT(*) > 2",
+            "SELECT SUM(AVG(amount)) FROM orders",
+            "SELECT region, age FROM users GROUP BY region",
+            "SELECT * FROM users",
+            "SELECT 1 FROM users CROSS JOIN orders",
+            "not sql",
+        ]
+        seen = set()
+        for sql in bad:
+            seen |= {d.code for d in analyze_sql(sql, catalog)}
+        assert len(seen) >= 8
+
+
+def test_custom_catalog_types():
+    catalog = Catalog()
+    catalog.create_table(
+        TableSchema(
+            "t",
+            [
+                ColumnSchema("a", DataType.INTEGER),
+                ColumnSchema("b", DataType.TEXT),
+            ],
+        )
+    )
+    assert "SQL004" in {
+        d.code for d in analyze_sql("SELECT 1 FROM t WHERE a = b", catalog)
+    }
