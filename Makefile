@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench verify
+.PHONY: test lint bench verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,5 +12,14 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
-# The repo self-check: static analysis over the examples plus tier-1.
-verify: lint test
+# Validate that every relative link in the documentation resolves.
+docs-check:
+	$(PYTHON) -m repro.doccheck README.md docs
+
+# Run one traced request end-to-end and print its span tree.
+trace-demo:
+	$(PYTHON) -m repro.cli trace
+
+# The repo self-check: static analysis over the examples, doc link
+# integrity, one traced end-to-end request, then tier-1.
+verify: lint docs-check trace-demo test

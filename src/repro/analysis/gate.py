@@ -15,6 +15,7 @@ from typing import Any, Optional
 
 from repro.analysis.diagnostics import Diagnostic, has_errors
 from repro.analysis.sql_analyzer import SqlAnalyzer
+from repro.obs.metrics import get_registry
 from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
 from repro.sqlengine.errors import TypeCheckError
 from repro.sqlengine.types import DataType
@@ -41,6 +42,15 @@ def catalog_for_source(source: Any) -> Catalog:
             columns.append(ColumnSchema(name, data_type))
         rebuilt.create_table(TableSchema(info.name, columns))
     return rebuilt
+
+
+def _count_diagnostics(diagnostics: list[Diagnostic]) -> None:
+    """Publish one ``analysis_diagnostics_total`` sample per finding."""
+    counter = get_registry().counter(
+        "analysis_diagnostics_total", "analyzer findings by code"
+    )
+    for item in diagnostics:
+        counter.inc(code=item.code, severity=item.severity.value)
 
 
 @dataclass
@@ -71,7 +81,9 @@ def review_sql(
     """Analyze one statement against a source's (or explicit) catalog."""
     if catalog is None and source is not None:
         catalog = catalog_for_source(source)
-    return SqlAnalyzer(catalog).analyze_sql(sql)
+    diagnostics = SqlAnalyzer(catalog).analyze_sql(sql)
+    _count_diagnostics(diagnostics)
+    return diagnostics
 
 
 def gate_sql(
@@ -87,10 +99,15 @@ def gate_sql(
     from repro.llm.prompts import build_sql_repair_prompt
     from repro.smmf.client import ClientError
 
+    outcomes = get_registry().counter(
+        "analysis_gate_total", "pre-execution gate outcomes"
+    )
     catalog = catalog_for_source(source)
     analyzer = SqlAnalyzer(catalog)
     diagnostics = analyzer.analyze_sql(sql)
+    _count_diagnostics(diagnostics)
     if not has_errors(diagnostics):
+        outcomes.inc(outcome="clean")
         return GateResult(sql, diagnostics)
     attempts = 0
     for _ in range(max_repairs):
@@ -106,7 +123,9 @@ def gate_sql(
         except ClientError:
             break
         candidate_diags = analyzer.analyze_sql(candidate)
+        _count_diagnostics(candidate_diags)
         if not has_errors(candidate_diags):
+            outcomes.inc(outcome="repaired")
             return GateResult(
                 candidate,
                 candidate_diags,
@@ -115,6 +134,7 @@ def gate_sql(
                 attempts=attempts,
             )
         sql, diagnostics = candidate, candidate_diags
+    outcomes.inc(outcome="rejected")
     return GateResult(
         sql, diagnostics, ok=False, repaired=False, attempts=attempts
     )

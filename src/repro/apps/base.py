@@ -1,10 +1,21 @@
-"""Shared application interface."""
+"""Shared application interface.
+
+Every concrete application's ``chat`` is automatically wrapped with a
+root ``app.chat`` span (one per user turn) plus request/latency
+metrics, so nothing in the subclasses needs to know observability
+exists — see ``docs/observability.md`` for the span and metric names.
+"""
 
 from __future__ import annotations
 
 import abc
+import functools
+import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 
 
 @dataclass
@@ -22,11 +33,51 @@ class AppResponse:
     metadata: dict[str, Any] = field(default_factory=dict)
 
 
+def _traced_chat(chat: Callable[..., "AppResponse"]) -> Callable:
+    """Wrap a ``chat`` implementation in the per-turn root span."""
+
+    @functools.wraps(chat)
+    def wrapped(self: "Application", text: str) -> "AppResponse":
+        tracer = get_tracer()
+        registry = get_registry()
+        started = time.perf_counter()
+        with tracer.span("app.chat", app=self.name) as span:
+            span.set_attribute("chars", len(text))
+            response = chat(self, text)
+            span.set_attribute("ok", response.ok)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        registry.counter(
+            "app_requests_total", "chat turns per application"
+        ).inc(app=self.name, ok=str(response.ok).lower())
+        registry.histogram(
+            "app_latency_ms", "end-to-end chat turn latency"
+        ).observe(elapsed_ms, app=self.name)
+        return response
+
+    wrapped.__obs_wrapped__ = True
+    return wrapped
+
+
 class Application(abc.ABC):
-    """A named data interaction functionality."""
+    """A named data interaction functionality.
+
+    Subclasses implement ``chat``; at class-creation time the
+    implementation is wrapped so every turn opens one root span and
+    records request/latency metrics. The wrap only applies to ``chat``
+    defined in that class body, so inherited (already wrapped)
+    implementations are not double-counted.
+    """
 
     name = "app"
     description = ""
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        chat = cls.__dict__.get("chat")
+        if chat is not None and not getattr(
+            chat, "__obs_wrapped__", False
+        ):
+            cls.chat = _traced_chat(chat)
 
     @abc.abstractmethod
     def chat(self, text: str) -> AppResponse:

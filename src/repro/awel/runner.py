@@ -3,11 +3,40 @@
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
+import contextvars
+import time
 from typing import Any, Optional
 
 from repro.awel.dag import DAG, DAGContext
 from repro.awel.errors import AwelError
-from repro.awel.operators import SKIPPED, BranchOperator, JoinOperator, Operator
+from repro.awel.operators import (
+    SKIPPED,
+    BranchOperator,
+    JoinOperator,
+    Operator,
+    ReduceOperator,
+    StreamFilterOperator,
+    StreamifyOperator,
+    StreamMapOperator,
+    UnstreamifyOperator,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+
+#: Operators whose execution produces or consumes lazy streams; their
+#: spans are tagged ``mode=stream`` (everything else is ``batch``).
+_STREAM_OPERATORS = (
+    StreamifyOperator,
+    StreamMapOperator,
+    StreamFilterOperator,
+    ReduceOperator,
+    UnstreamifyOperator,
+)
+
+
+def _operator_mode(node: Operator) -> str:
+    return "stream" if isinstance(node, _STREAM_OPERATORS) else "batch"
 
 
 class WorkflowRunner:
@@ -25,7 +54,26 @@ class WorkflowRunner:
     async def run_async(
         self, payload: Any = None, ctx: Optional[DAGContext] = None
     ) -> DAGContext:
+        runs = get_registry().counter(
+            "awel_dag_runs_total", "DAG executions by outcome"
+        )
+        try:
+            with get_tracer().span(
+                "awel.dag", dag=self.dag.name, nodes=len(self.dag.nodes)
+            ):
+                result = await self._run_async(payload, ctx)
+        except Exception:
+            runs.inc(dag=self.dag.name, status="error")
+            raise
+        runs.inc(dag=self.dag.name, status="ok")
+        return result
+
+    async def _run_async(
+        self, payload: Any = None, ctx: Optional[DAGContext] = None
+    ) -> DAGContext:
         ctx = ctx or DAGContext(payload)
+        tracer = get_tracer()
+        registry = get_registry()
         loop = asyncio.get_running_loop()
         futures: dict[str, asyncio.Future] = {
             node_id: loop.create_future() for node_id in self.dag.nodes
@@ -58,7 +106,29 @@ class WorkflowRunner:
                         futures[node.node_id].set_result(SKIPPED)
                         ctx.results[node.node_id] = SKIPPED
                         return
-                result = await node.execute(ctx, upstream_values)
+                # The span context manager guarantees closure on the
+                # exception path: a raising operator still ends its
+                # span with status="error" and the exception type.
+                started = time.perf_counter()
+                mode = _operator_mode(node)
+                with tracer.span(
+                    "awel.operator",
+                    operator=node.node_id,
+                    type=type(node).__name__,
+                    mode=mode,
+                ):
+                    result = await node.execute(ctx, upstream_values)
+                registry.histogram(
+                    "awel_operator_latency_ms",
+                    "wall time of one operator execution",
+                ).observe(
+                    (time.perf_counter() - started) * 1000.0,
+                    type=type(node).__name__,
+                )
+                registry.counter(
+                    "awel_operator_runs_total",
+                    "operator executions by type and mode",
+                ).inc(type=type(node).__name__, mode=mode)
             except Exception as exc:
                 if not futures[node.node_id].done():
                     futures[node.node_id].set_exception(exc)
@@ -89,8 +159,24 @@ class WorkflowRunner:
         return ctx
 
     def run(self, payload: Any = None) -> DAGContext:
-        """Synchronous convenience wrapper."""
-        return asyncio.run(self.run_async(payload))
+        """Synchronous convenience wrapper.
+
+        Safe to call from inside a running event loop too (an operator
+        of one DAG synchronously invoking another workflow — e.g. an
+        app whose ``chat`` runs a pipeline, itself wrapped as an AWEL
+        operator): the nested workflow then executes on a private loop
+        in a worker thread, with the caller's context carried over so
+        its spans stay parented to the enclosing trace.
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.run_async(payload))
+        context = contextvars.copy_context()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+            return pool.submit(
+                context.run, asyncio.run, self.run_async(payload)
+            ).result()
 
 
 def _mark_branch_skipped(

@@ -9,12 +9,14 @@ Run::
     python -m repro.cli --csv ./data_dir   # your own CSV tables
     python -m repro.cli --command "show tables" --command "/apps"
     python -m repro.cli lint examples/     # static analysis front-end
+    python -m repro.cli trace              # trace one request end-to-end
 
 Slash commands switch context; anything else goes to the active app::
 
     /apps            list applications
     /app <name>      switch the active application
     /lint <sql>      analyze a SQL statement against the active schema
+    /trace           span tree of the last request, with timings
     /metrics         model serving metrics
     /help            this text
     /quit            exit
@@ -31,8 +33,8 @@ from repro.datasets import build_sales_database
 from repro.datasources import CsvSource, EngineSource
 
 _HELP = (
-    "commands: /apps, /app <name>, /lint <sql>, /metrics, /help, /quit — "
-    "anything else is sent to the active app"
+    "commands: /apps, /app <name>, /lint <sql>, /trace, /metrics, "
+    "/help, /quit — anything else is sent to the active app"
 )
 
 
@@ -92,6 +94,13 @@ class CliSession:
             if not args:
                 return "usage: /lint <sql statement>"
             return self._lint(line.split(None, 1)[1])
+        if command == "/trace":
+            from repro.obs import get_tracer, render_trace
+
+            spans = get_tracer().last_trace()
+            if not spans:
+                return "no completed trace yet; send a message first"
+            return render_trace(spans)
         if command == "/metrics":
             lines = [
                 f"{model}: {metrics}"
@@ -122,6 +131,60 @@ class CliSession:
         return outputs
 
 
+def trace_main(argv: list[str]) -> int:
+    """``repro trace``: run one traced request and print its span tree.
+
+    Boots the demo stack (or a CSV directory), sends one question
+    through the chosen application, and pretty-prints the resulting
+    span tree plus a flat per-stage summary. ``--export`` additionally
+    writes the trace as JSON-lines for offline analysis.
+    """
+    from repro.obs import dump_spans, get_tracer, render_trace, stage_timings
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Trace one request end-to-end and print the span tree.",
+    )
+    parser.add_argument(
+        "--question",
+        default="What is the total amount per region?",
+        help="the question to send (default: a demo aggregate)",
+    )
+    parser.add_argument(
+        "--app",
+        default="text2sql",
+        help="application to exercise (default: text2sql)",
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    parser.add_argument(
+        "--export", help="also write the trace to this JSON-lines file"
+    )
+    args = parser.parse_args(argv)
+    dbgpt = build_dbgpt(args)
+    if args.app not in dbgpt.app_names():
+        print(
+            f"no app named {args.app!r}; known: "
+            f"{', '.join(dbgpt.app_names())}"
+        )
+        return 1
+    response = dbgpt.chat(args.app, args.question)
+    spans = get_tracer().last_trace()
+    print(f"question: {args.question}")
+    print(f"answer:   {response.text.splitlines()[0]}")
+    print()
+    print(render_trace(spans))
+    print()
+    print("per-stage totals:")
+    for name, total_ms in stage_timings(spans):
+        print(f"  {name:<20} {total_ms:8.2f} ms")
+    if args.export:
+        count = dump_spans(spans, args.export)
+        print(f"\nexported {count} spans to {args.export}")
+    return 0
+
+
 def build_dbgpt(args: argparse.Namespace) -> DBGPT:
     dbgpt = DBGPT.boot()
     if args.csv:
@@ -138,6 +201,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.analysis.lint import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Chat with your data (DB-GPT repro)."
     )

@@ -25,11 +25,14 @@ from repro.llm.planner_model import PlannerModel
 from repro.llm.sql_coder import SqlCoderModel
 from repro.rag.knowledge_base import KnowledgeBase
 from repro.rag.loaders import Loader
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.server.middleware import (
     AuthMiddleware,
     LoggingMiddleware,
     Middleware,
     PrivacyMiddleware,
+    TracingMiddleware,
 )
 from repro.server.service import DbGptServer
 from repro.smmf.deploy import deploy
@@ -156,7 +159,9 @@ class DBGPT:
     ) -> DbGptServer:
         """Mount all applications behind the HTTP-shaped server."""
         if middlewares is None:
-            middlewares = [LoggingMiddleware()]
+            # Tracing sits outermost so auth rejections and privacy
+            # scrubbing are visible inside the request span.
+            middlewares = [TracingMiddleware(), LoggingMiddleware()]
             if self.config.auth_token:
                 middlewares.append(AuthMiddleware(self.config.auth_token))
             if self.config.privacy:
@@ -170,3 +175,16 @@ class DBGPT:
 
     def model_metrics(self) -> dict:
         return self.controller.metrics.snapshot()
+
+    @property
+    def tracer(self):
+        """The process-wide tracer all layers report into."""
+        return get_tracer()
+
+    def last_trace(self):
+        """Spans of the most recently completed request trace."""
+        return get_tracer().last_trace()
+
+    def metrics_snapshot(self) -> dict:
+        """Every unified metric (see ``docs/observability.md``)."""
+        return get_registry().snapshot()

@@ -1,0 +1,102 @@
+"""Documentation link checker behind ``make docs-check``.
+
+Scans Markdown files for relative links — ``[text](target)`` and
+reference-style ``[label]: target`` definitions — and verifies each
+target resolves to a real file or directory relative to the file the
+link appears in. External (``http(s)://``, ``mailto:``) and
+in-page (``#anchor``) links are skipped; a ``path#anchor`` target is
+checked for the path part only.
+
+Run::
+
+    python -m repro.doccheck README.md docs
+
+Exit status is the number of broken links (0 == everything resolves).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Optional
+
+#: Inline links. The target group stops at the first ')' or whitespace,
+#: which is enough for the plain relative links this repo uses.
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Reference-style definitions at line start: ``[label]: target``.
+_REF_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Fenced code blocks are stripped first — link-shaped text inside
+#: examples is not a navigable link.
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(markdown: str) -> list[str]:
+    """Every link target in ``markdown``, code fences excluded."""
+    stripped = _CODE_FENCE.sub("", markdown)
+    targets = _INLINE_LINK.findall(stripped)
+    targets += _REF_LINK.findall(stripped)
+    return targets
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Broken relative link targets in one Markdown file."""
+    broken: list[str] = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        if not (path.parent / resolved).exists():
+            broken.append(target)
+    return broken
+
+
+def collect_markdown(paths: list[str]) -> list[pathlib.Path]:
+    """Expand files/directories into the Markdown files to check."""
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv:
+        print("usage: python -m repro.doccheck <file-or-dir> [...]")
+        return 2
+    files = collect_markdown(argv)
+    missing = [path for path in files if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"doccheck: no such file: {path}")
+        return len(missing)
+    failures = 0
+    checked_links = 0
+    for path in files:
+        targets = [
+            t
+            for t in iter_links(path.read_text(encoding="utf-8"))
+            if not t.startswith(_SKIP_PREFIXES) and not t.startswith("#")
+        ]
+        checked_links += len(targets)
+        for target in check_file(path):
+            print(f"{path}: broken link -> {target}")
+            failures += 1
+    print(
+        f"doccheck: {len(files)} files, {checked_links} relative links, "
+        f"{failures} broken"
+    )
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Unified metrics: counters, gauges and fixed-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` replaces the scattered
+per-module counters (``smmf/metrics.py`` now publishes here). Metric
+instruments are label-aware: each unique label set keeps its own value,
+so ``model_requests_total`` can be read per model and summed overall.
+
+Everything is dependency-free and deterministic; the snapshot format
+is plain dicts for dashboards, benchmarks and the ``/metrics`` REPL
+command. Instruments are thread-safe (one registry lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Optional, Sequence
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default latency buckets (milliseconds): micro-benchmark floor up to
+#: multi-second outliers, roughly logarithmic.
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "values": {
+                    _render_labels(key): value
+                    for key, value in sorted(self._values.items())
+                },
+            }
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, pool sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "values": {
+                    _render_labels(key): value
+                    for key, value in sorted(self._values.items())
+                },
+            }
+
+
+class Histogram:
+    """Fixed-bucket distribution per label set.
+
+    Buckets are upper bounds (``value <= bound`` lands in that bucket);
+    observations beyond the last bound count in a ``+Inf`` overflow
+    bucket. ``sum``/``count`` give exact means even though bucket
+    membership is coarse.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS_MS)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.name = name
+        self.description = description
+        self.bounds = bounds
+        #: label key -> (per-bucket counts incl. +Inf, sum, count)
+        self._series: dict[LabelKey, list] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        # bisect_left keeps exact-bound observations in their own
+        # bucket (value <= bound), the Prometheus ``le`` convention.
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [
+                    [0] * (len(self.bounds) + 1), 0.0, 0,
+                ]
+            series[0][index] += 1
+            series[1] += value
+            series[2] += 1
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(_label_key(labels))
+        return series[2] if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        return series[1] if series else 0.0
+
+    def mean(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        if not series or series[2] == 0:
+            return 0.0
+        return series[1] / series[2]
+
+    def bucket_counts(self, **labels: Any) -> dict[str, int]:
+        """``{upper_bound: count}`` with ``"+Inf"`` for the overflow."""
+        series = self._series.get(_label_key(labels))
+        counts = series[0] if series else [0] * (len(self.bounds) + 1)
+        rendered = {str(bound): n for bound, n in zip(self.bounds, counts)}
+        rendered["+Inf"] = counts[-1]
+        return rendered
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "values": {
+                    _render_labels(key): {
+                        "count": series[2],
+                        "sum": round(series[1], 6),
+                        "mean": round(series[1] / series[2], 6)
+                        if series[2]
+                        else 0.0,
+                        "buckets": {
+                            str(bound): n
+                            for bound, n in zip(self.bounds, series[0])
+                        }
+                        | {"+Inf": series[0][-1]},
+                    }
+                    for key, series in sorted(self._series.items())
+                },
+            }
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    return ",".join(f"{name}={value}" for name, value in key)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in the process."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, description), Counter
+        )
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(
+            name, lambda: Gauge(name, description), Gauge
+        )
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, description, buckets), Histogram
+        )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every instrument's current state, sorted by name."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in instruments}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+#: Process-wide registry used by all built-in instrumentation.
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (tests); returns the previous one."""
+    global _registry
+    previous, _registry = _registry, registry
+    return previous

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.rag.embedder import HashingEmbedder
 from repro.rag.graph_index import GraphIndex
 from repro.rag.inverted_index import InvertedIndex
@@ -21,13 +24,58 @@ class RetrievalHit:
 
 
 class Retriever(abc.ABC):
-    """A ranked-retrieval strategy."""
+    """A ranked-retrieval strategy.
+
+    Concrete strategies implement ``retrieve``; at class-creation time
+    it is wrapped in a ``rag.retrieve`` span recording the strategy,
+    ``k`` and candidate count, plus latency/candidate metrics — the
+    hybrid fuser's sub-strategies therefore show up as nested spans.
+    """
 
     name = "base"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        retrieve = cls.__dict__.get("retrieve")
+        if retrieve is not None and not getattr(
+            retrieve, "__obs_wrapped__", False
+        ):
+            cls.retrieve = _traced_retrieve(retrieve)
 
     @abc.abstractmethod
     def retrieve(self, query: str, k: int = 5) -> list[RetrievalHit]:
         """Return the top-k chunk ids for ``query``."""
+
+
+def _traced_retrieve(retrieve):
+    def wrapped(
+        self: "Retriever", query: str, k: int = 5
+    ) -> list[RetrievalHit]:
+        started = time.perf_counter()
+        with get_tracer().span(
+            "rag.retrieve", strategy=self.name, k=k
+        ) as span:
+            hits = retrieve(self, query, k=k)
+            span.set_attribute("candidates", len(hits))
+        registry = get_registry()
+        registry.counter(
+            "rag_retrievals_total", "retrieval calls per strategy"
+        ).inc(strategy=self.name)
+        registry.histogram(
+            "rag_retrieval_latency_ms", "retrieval latency per strategy"
+        ).observe(
+            (time.perf_counter() - started) * 1000.0, strategy=self.name
+        )
+        registry.histogram(
+            "rag_candidates",
+            "candidates returned per retrieval",
+            buckets=(0, 1, 2, 5, 10, 20, 50, 100),
+        ).observe(len(hits), strategy=self.name)
+        return hits
+
+    wrapped.__obs_wrapped__ = True
+    wrapped.__doc__ = retrieve.__doc__
+    return wrapped
 
 
 class EmbeddingRetriever(Retriever):

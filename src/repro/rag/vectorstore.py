@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
+
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -70,6 +73,20 @@ class VectorStore:
 
     def search(self, query: np.ndarray, k: int = 5) -> list[VectorHit]:
         """Top-k items by cosine similarity to ``query``."""
+        started = time.perf_counter()
+        hits = self._search(query, k)
+        registry = get_registry()
+        registry.histogram(
+            "vectorstore_search_latency_ms", "dense top-k search latency"
+        ).observe((time.perf_counter() - started) * 1000.0)
+        registry.histogram(
+            "vectorstore_search_candidates",
+            "results returned per dense search",
+            buckets=(0, 1, 2, 5, 10, 20, 50, 100),
+        ).observe(len(hits))
+        return hits
+
+    def _search(self, query: np.ndarray, k: int = 5) -> list[VectorHit]:
         if k <= 0:
             raise ValueError("k must be positive")
         if not self._ids:

@@ -11,6 +11,7 @@ from repro.server.middleware import (
     LoggingMiddleware,
     Middleware,
     PrivacyMiddleware,
+    TracingMiddleware,
 )
 from repro.server.request import Request, Response
 from repro.server.router import Route, Router, RouterError
@@ -27,4 +28,5 @@ __all__ = [
     "Route",
     "Router",
     "RouterError",
+    "TracingMiddleware",
 ]

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import abc
+import time
 from typing import Callable, Optional
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.rag.privacy import PrivacyScrubber
 from repro.server.request import Request, Response, error
 
@@ -17,6 +20,36 @@ class Middleware(abc.ABC):
     @abc.abstractmethod
     def __call__(self, request: Request, next_handler: Handler) -> Response:
         """Process ``request``, usually delegating to ``next_handler``."""
+
+
+class TracingMiddleware(Middleware):
+    """Open one ``server.request`` span per dispatched request.
+
+    Installed outermost by default (see ``DBGPT.server``) so every
+    other middleware and the application handler nest inside it; also
+    records request-count and latency metrics per route.
+    """
+
+    def __call__(self, request: Request, next_handler: Handler) -> Response:
+        registry = get_registry()
+        started = time.perf_counter()
+        with get_tracer().span(
+            "server.request", method=request.method, path=request.path
+        ) as span:
+            response = next_handler(request)
+            span.set_attribute("status_code", response.status)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        registry.counter(
+            "server_requests_total", "requests through the server router"
+        ).inc(
+            method=request.method,
+            path=request.path,
+            status=str(response.status),
+        )
+        registry.histogram(
+            "server_latency_ms", "request latency through the middleware chain"
+        ).observe(elapsed_ms, path=request.path)
+        return response
 
 
 class LoggingMiddleware(Middleware):

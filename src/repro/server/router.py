@@ -6,6 +6,7 @@ import re
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs.metrics import get_registry
 from repro.server.middleware import Handler, Middleware
 from repro.server.request import Request, Response, error
 
@@ -81,8 +82,13 @@ class Router:
                 name: match.group(name) for name in route.param_names
             }
             return route.handler(request, **params)
+        unrouted = get_registry().counter(
+            "server_unrouted_total", "requests matching no route"
+        )
         if saw_path:
+            unrouted.inc(reason="method_not_allowed")
             return error(405, f"method {request.method} not allowed")
+        unrouted.inc(reason="not_found")
         return error(404, f"no route for {request.path}")
 
 

@@ -6,17 +6,53 @@ import abc
 import random
 from typing import Optional
 
+from repro.obs.metrics import get_registry
 from repro.smmf.registry import WorkerRecord
 
 
 class LoadBalancer(abc.ABC):
-    """Choose one worker among the healthy candidates."""
+    """Choose one worker among the healthy candidates.
+
+    Concrete policies implement ``choose``; at class-creation time it
+    is wrapped to record one ``balancer_choices_total`` sample and the
+    chosen worker's queue depth (``balancer_chosen_inflight``), so
+    balancing behaviour is observable without policy code changes.
+    """
 
     name = "base"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        choose = cls.__dict__.get("choose")
+        if choose is not None and not getattr(
+            choose, "__obs_wrapped__", False
+        ):
+            cls.choose = _metered_choose(choose)
 
     @abc.abstractmethod
     def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
         """Pick a worker; ``candidates`` is non-empty."""
+
+
+def _metered_choose(choose):
+    def wrapped(
+        self: "LoadBalancer", candidates: list[WorkerRecord]
+    ) -> WorkerRecord:
+        record = choose(self, candidates)
+        registry = get_registry()
+        registry.counter(
+            "balancer_choices_total", "routing decisions per policy"
+        ).inc(policy=self.name, model=record.model_name)
+        registry.histogram(
+            "balancer_chosen_inflight",
+            "queue depth of the chosen worker at pick time",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+        ).observe(record.worker.inflight, policy=self.name)
+        return record
+
+    wrapped.__obs_wrapped__ = True
+    wrapped.__doc__ = choose.__doc__
+    return wrapped
 
 
 class RoundRobinBalancer(LoadBalancer):

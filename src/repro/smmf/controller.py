@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.llm.base import GenerationRequest, GenerationResponse, LLMError
+from repro.obs.tracer import get_tracer
 from repro.smmf.balancer import LoadBalancer, RoundRobinBalancer
 from repro.smmf.metrics import MetricsCollector
 from repro.smmf.registry import ModelRegistry, WorkerRecord
@@ -77,6 +78,13 @@ class ModelController:
         self, model_name: str, request: GenerationRequest
     ) -> GenerationResponse:
         """Serve one request with failover across replicas."""
+        with get_tracer().span("smmf.generate", model=model_name) as span:
+            response = self._generate(model_name, request, span)
+        return response
+
+    def _generate(
+        self, model_name: str, request: GenerationRequest, span
+    ) -> GenerationResponse:
         attempts = 0
         tried: set[str] = set()
         last_error: Optional[Exception] = None
@@ -111,6 +119,9 @@ class ModelController:
                 prompt_tokens=response.prompt_tokens,
                 completion_tokens=response.completion_tokens,
                 retries=attempts - 1,
+            )
+            span.set_attributes(
+                worker=worker.worker_id, retries=attempts - 1
             )
             self._clock += latency / 1000.0
             return response

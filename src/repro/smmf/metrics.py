@@ -1,8 +1,19 @@
-"""Serving metrics: counters and latency accounting."""
+"""Serving metrics: counters and latency accounting.
+
+Since the ``repro.obs`` subsystem landed, :class:`MetricsCollector` is
+a thin facade over the unified :class:`~repro.obs.metrics.MetricsRegistry`:
+every recording both updates the per-model aggregates (the historical
+``snapshot()`` shape the API server and benchmarks consume) and
+publishes to the global registry under the documented metric names
+(``model_requests_total``, ``model_latency_ms``, ``model_tokens_total``,
+``model_retries_total``, ``worker_requests_total``).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -48,10 +59,32 @@ class MetricsCollector:
         self._worker_requests[worker_id] = (
             self._worker_requests.get(worker_id, 0) + 1
         )
+        registry = get_registry()
+        registry.counter(
+            "model_requests_total", "inference requests per model"
+        ).inc(model=model, outcome="success")
+        registry.histogram(
+            "model_latency_ms", "per-model serving latency"
+        ).observe(latency_ms, model=model)
+        if retries:
+            registry.counter(
+                "model_retries_total", "failover retries per model"
+            ).inc(retries, model=model)
+        tokens = registry.counter(
+            "model_tokens_total", "tokens processed per model"
+        )
+        tokens.inc(prompt_tokens, model=model, kind="prompt")
+        tokens.inc(completion_tokens, model=model, kind="completion")
+        registry.counter(
+            "worker_requests_total", "requests served per worker"
+        ).inc(worker=worker_id)
 
     def record_failure(self, model: str) -> None:
         metrics = self._models.setdefault(model, ModelMetrics())
         metrics.failures += 1
+        get_registry().counter(
+            "model_requests_total", "inference requests per model"
+        ).inc(model=model, outcome="failure")
 
     def model(self, name: str) -> ModelMetrics:
         return self._models.setdefault(name, ModelMetrics())

@@ -10,8 +10,16 @@ from repro.llm.base import (
     GenerationResponse,
     LanguageModel,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 
 _worker_ids = itertools.count(1)
+
+
+def _queue_depth_gauge():
+    return get_registry().gauge(
+        "worker_inflight", "requests currently executing per worker"
+    )
 
 
 class WorkerCrashed(Exception):
@@ -52,11 +60,23 @@ class ModelWorker:
             raise WorkerCrashed(
                 f"{self.worker_id} crashed handling a request"
             )
+        gauge = _queue_depth_gauge()
         self.inflight += 1
+        gauge.set(self.inflight, worker=self.worker_id)
         try:
-            response = self.model.generate(request)
+            with get_tracer().span(
+                "smmf.worker",
+                worker=self.worker_id,
+                model=self.model.name,
+            ) as span:
+                response = self.model.generate(request)
+                span.set_attributes(
+                    prompt_tokens=response.prompt_tokens,
+                    completion_tokens=response.completion_tokens,
+                )
         finally:
             self.inflight -= 1
+            gauge.set(self.inflight, worker=self.worker_id)
         self.served += 1
         return response
 
@@ -70,11 +90,14 @@ class ModelWorker:
             raise WorkerCrashed(
                 f"{self.worker_id} crashed handling a request"
             )
+        gauge = _queue_depth_gauge()
         self.inflight += 1
+        gauge.set(self.inflight, worker=self.worker_id)
         try:
             yield from self.model.stream(request)
         finally:
             self.inflight -= 1
+            gauge.set(self.inflight, worker=self.worker_id)
         self.served += 1
 
     def kill(self) -> None:

@@ -1,0 +1,32 @@
+"""Isolation fixtures: every obs test gets its own tracer + registry."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    set_registry,
+    set_tracer,
+)
+
+
+@pytest.fixture
+def tracer():
+    """A fresh global tracer, restored after the test."""
+    fresh = Tracer()
+    previous = set_tracer(fresh)
+    try:
+        yield fresh
+    finally:
+        set_tracer(previous)
+
+
+@pytest.fixture
+def registry():
+    """A fresh global metrics registry, restored after the test."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)

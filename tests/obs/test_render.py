@@ -1,0 +1,58 @@
+"""Trace rendering: tree structure, timings, error markers."""
+
+from repro.obs import render_trace, span_tree, stage_timings
+
+
+def _sample_trace(tracer):
+    with tracer.span("app.chat", app="text2sql"):
+        with tracer.span("awel.operator", operator="schema_link"):
+            pass
+        try:
+            with tracer.span("awel.operator", operator="generate"):
+                raise TimeoutError("model hung")
+        except TimeoutError:
+            pass
+    return tracer.last_trace()
+
+
+def test_span_tree_identifies_root_and_children(tracer):
+    spans = _sample_trace(tracer)
+    root, children = span_tree(spans)
+    assert root.name == "app.chat"
+    kids = children[root.span_id]
+    assert [k.attributes["operator"] for k in kids] == [
+        "schema_link", "generate",
+    ]
+    # Chronological order within siblings.
+    assert kids[0].start <= kids[1].start
+
+
+def test_render_trace_shows_structure_and_errors(tracer):
+    rendered = render_trace(_sample_trace(tracer))
+    lines = rendered.splitlines()
+    assert lines[0].startswith("trace trace-")
+    assert "3 spans" in lines[0]
+    assert "app.chat (text2sql)" in lines[1]
+    # Children are indented under the root with tree connectors.
+    assert lines[2].lstrip().startswith("├─ awel.operator (schema_link)")
+    assert lines[3].lstrip().startswith("└─ awel.operator (generate)")
+    assert "!! error: TimeoutError" in lines[3]
+    # Every span line carries a duration and a share of the total.
+    for line in lines[1:]:
+        assert " ms" in line
+        assert "%]" in line
+
+
+def test_render_empty_trace(tracer):
+    assert render_trace([]) == "(no completed trace)"
+
+
+def test_stage_timings_aggregates_by_name(tracer):
+    spans = _sample_trace(tracer)
+    timings = dict(stage_timings(spans))
+    assert set(timings) == {"app.chat", "awel.operator"}
+    # Two operator spans aggregate into one stage entry.
+    operator_spans = [s for s in spans if s.name == "awel.operator"]
+    assert timings["awel.operator"] == sum(
+        s.duration_ms for s in operator_spans
+    )
