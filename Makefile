@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench verify docs-check trace-demo
+.PHONY: test lint bench bench-cache verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,6 +12,10 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
+# Warm-vs-cold cache speedup on text2sql; writes BENCH_cache.json.
+bench-cache:
+	$(PYTHON) -m pytest benchmarks/bench_cache.py -q
+
 # Validate that every relative link in the documentation resolves.
 docs-check:
 	$(PYTHON) -m repro.doccheck README.md docs
@@ -21,5 +25,6 @@ trace-demo:
 	$(PYTHON) -m repro.cli trace
 
 # The repo self-check: static analysis over the examples, doc link
-# integrity, one traced end-to-end request, then tier-1.
-verify: lint docs-check trace-demo test
+# integrity, one traced end-to-end request, tier-1, then the cache
+# speedup smoke.
+verify: lint docs-check trace-demo test bench-cache

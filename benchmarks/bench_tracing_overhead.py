@@ -25,7 +25,8 @@ import gc
 import statistics
 import time
 
-from repro.core import DBGPT
+from repro.cache.config import CacheConfig
+from repro.core import DBGPT, DbGptConfig
 from repro.datasets import build_sales_database
 from repro.datasources import EngineSource
 from repro.obs import get_tracer
@@ -79,7 +80,10 @@ def _measure_overhead(dbgpt: DBGPT) -> float:
 
 
 def test_tracing_overhead_under_five_percent():
-    dbgpt = DBGPT.boot()
+    # Caching off: a repeated question must exercise the full traced
+    # workload, not degenerate into timing cache lookups
+    # (bench_cache.py measures the cached path).
+    dbgpt = DBGPT.boot(DbGptConfig(cache=CacheConfig.disabled()))
     dbgpt.register_source(EngineSource(build_sales_database(n_orders=100)))
 
     # Warm both paths (index builds, prompt value caches, pyc).

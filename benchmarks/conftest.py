@@ -12,7 +12,9 @@ numbers recorded in EXPERIMENTS.md.
 
 import pytest
 
-from repro.core import DBGPT
+from repro.cache.config import CacheConfig
+from repro.cache.manager import CacheManager, set_cache_manager
+from repro.core import DBGPT, DbGptConfig
 from repro.datasets import build_sales_database
 from repro.datasources import EngineSource
 
@@ -46,9 +48,27 @@ def _run_shape_tests_under_benchmark_only(benchmark):
     yield
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_manager():
+    """Reset the process-wide cache manager around every benchmark.
+
+    A benchmark that boots ``DBGPT`` installs that instance's cache
+    configuration globally; without a reset it would leak into later
+    benchmarks and silently turn their measured workloads into cache
+    lookups (``bench_cache.py`` measures the cached path on purpose).
+    """
+    previous = set_cache_manager(CacheManager(CacheConfig.disabled()))
+    yield
+    set_cache_manager(previous)
+
+
 @pytest.fixture(scope="session")
 def sales_dbgpt():
-    """One booted DB-GPT over the seeded sales workload."""
-    dbgpt = DBGPT.boot()
+    """One booted DB-GPT over the seeded sales workload.
+
+    Caching is pinned off: this fixture backs latency and model-call
+    benchmarks whose claims are about the uncached layers.
+    """
+    dbgpt = DBGPT.boot(DbGptConfig(cache=CacheConfig.disabled()))
     dbgpt.register_source(EngineSource(build_sales_database(n_orders=300)))
     return dbgpt

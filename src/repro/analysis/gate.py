@@ -95,7 +95,52 @@ def gate_sql(
     max_repairs: int = 1,
 ) -> GateResult:
     """Validate ``sql``; on errors, retry through the model at most
-    ``max_repairs`` times with the diagnostics as feedback."""
+    ``max_repairs`` times with the diagnostics as feedback.
+
+    For engine-backed sources the verdict is served from the SQL cache
+    tier: gating is a deterministic function of the statement, the
+    schema and the (cached) model, so a repeated question skips
+    re-analysis. The key embeds the database's data version — any DDL
+    retires cached verdicts. Callers must treat the result as
+    read-only (they already do: diagnostics are exported via
+    :meth:`GateResult.diagnostics_payload`, which copies).
+    """
+    from repro.cache.manager import get_cache_manager
+
+    database = getattr(source, "database", None)
+    manager = get_cache_manager()
+    if database is None or not manager.enabled("sql"):
+        return _gate_uncached(
+            client, model, source, question, sql, max_repairs
+        )
+    key = (
+        "gate",
+        database._cache_token,
+        database.data_version,
+        model,
+        int(max_repairs),
+        question,
+        sql,
+    )
+    return manager.cached(
+        "sql",
+        key,
+        lambda: _gate_uncached(
+            client, model, source, question, sql, max_repairs
+        ),
+        database=database.name,
+    )
+
+
+def _gate_uncached(
+    client: Any,
+    model: str,
+    source: Any,
+    question: str,
+    sql: str,
+    max_repairs: int,
+) -> GateResult:
+    """One real pass through analysis and bounded repair."""
     from repro.llm.prompts import build_sql_repair_prompt
     from repro.smmf.client import ClientError
 

@@ -29,11 +29,47 @@ from repro.apps.base import Application, AppResponse
 from repro.awel.dag import DAG
 from repro.awel.operators import InputOperator, MapOperator
 from repro.awel.runner import WorkflowRunner
+from repro.cache.manager import get_cache_manager
 from repro.datasources.base import DataSource
 from repro.llm.prompts import build_text2sql_prompt
 from repro.rag.document import Document
 from repro.rag.knowledge_base import KnowledgeBase
 from repro.smmf.client import ClientError, LLMClient
+
+
+def schema_knowledge_base(source: DataSource) -> Optional[KnowledgeBase]:
+    """One schema card per table, indexed for retrieval linking.
+
+    Building the index embeds every card, so it is memoized in the RAG
+    cache tier keyed on the cards' text: constructing several apps over
+    the same database reuses one index instead of re-embedding the
+    schema, while any schema or row-count change (the cards embed both)
+    builds a fresh one. Returns None for a source without tables.
+    """
+
+    def build() -> Optional[KnowledgeBase]:
+        kb = KnowledgeBase(name=f"schema:{source.name}")
+        count = 0
+        for info in source.tables():
+            kb.add_document(
+                Document(
+                    info.name,
+                    f"table {info.name}: {info.describe()} {info.comment}",
+                )
+            )
+            count += 1
+        return kb if count else None
+
+    manager = get_cache_manager()
+    if not manager.enabled("rag"):
+        return build()
+    cards = tuple(
+        f"{info.name}|{info.describe()}|{info.comment}"
+        for info in source.tables()
+    )
+    return manager.cached(
+        "rag", ("schema-kb", source.name, cards), build
+    )
 
 
 class Text2SqlApp(Application):
@@ -69,25 +105,11 @@ class Text2SqlApp(Application):
         self._validate = validate
         self._max_repairs = max_repairs
         self._link_k = link_k
-        self._schema_kb = self._build_schema_kb()
+        self._schema_kb = schema_knowledge_base(source)
         self._dag, self._tail = self._build_pipeline()
         self._runner = WorkflowRunner(self._dag)
 
     # -- pipeline construction ---------------------------------------------
-
-    def _build_schema_kb(self) -> Optional[KnowledgeBase]:
-        """One schema card per table, indexed for retrieval linking."""
-        kb = KnowledgeBase(name=f"schema:{self._source.name}")
-        count = 0
-        for info in self._source.tables():
-            kb.add_document(
-                Document(
-                    info.name,
-                    f"table {info.name}: {info.describe()} {info.comment}",
-                )
-            )
-            count += 1
-        return kb if count else None
 
     def _build_pipeline(self) -> tuple[DAG, MapOperator]:
         with DAG("text2sql") as dag:

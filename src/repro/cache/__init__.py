@@ -1,0 +1,52 @@
+"""repro.cache — multi-tier caching and invalidation subsystem.
+
+Three tiers accelerate the three hot paths of a chat turn (see
+``docs/caching.md``):
+
+- **inference** — SMMF responses; a cached turn skips the worker pool
+  entirely. Optional embedding-similarity ("semantic") lookup.
+- **rag** — query embeddings, retrieval results and memoized
+  schema-card indexes.
+- **sql** — SELECT results, invalidated by a monotonic data version
+  every DDL/DML statement bumps.
+
+Every tier publishes hit/miss/eviction metrics through ``repro.obs``
+and marks its spans with a ``cache.hit`` attribute.
+"""
+
+from repro.cache.config import TIER_NAMES, CacheConfig, TierConfig
+from repro.cache.keys import (
+    embedding_key,
+    inference_key,
+    instance_token,
+    normalize_prompt,
+    retrieval_key,
+    sql_key,
+)
+from repro.cache.manager import (
+    CacheManager,
+    configure_cache,
+    get_cache_manager,
+    set_cache_manager,
+)
+from repro.cache.semantic import SemanticPromptIndex
+from repro.cache.store import CacheStats, CacheStore
+
+__all__ = [
+    "CacheConfig",
+    "CacheManager",
+    "CacheStats",
+    "CacheStore",
+    "SemanticPromptIndex",
+    "TIER_NAMES",
+    "TierConfig",
+    "configure_cache",
+    "embedding_key",
+    "get_cache_manager",
+    "inference_key",
+    "instance_token",
+    "normalize_prompt",
+    "retrieval_key",
+    "set_cache_manager",
+    "sql_key",
+]

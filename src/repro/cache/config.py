@@ -1,0 +1,89 @@
+"""Configuration for the multi-tier cache subsystem.
+
+Three tiers exist, one per layer the subsystem accelerates:
+
+``inference``
+    SMMF responses, keyed on (client, model, normalized prompt,
+    generation parameters). Optionally extended with an
+    embedding-similarity ("semantic") lookup.
+``rag``
+    Query embeddings, retrieval results and memoized schema-card
+    indexes, keyed on the owning index plus its mutation version.
+``sql``
+    SELECT results, keyed on (database, canonical SQL, parameters,
+    data version) — every DDL/DML statement bumps the version, so a
+    write can never be followed by a stale cached read.
+
+Every knob is plain data so :class:`repro.core.config.DbGptConfig`
+can embed a :class:`CacheConfig` without importing anything heavy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+TIER_NAMES = ("inference", "rag", "sql")
+
+
+@dataclass
+class TierConfig:
+    """Bounds for one cache tier."""
+
+    enabled: bool = True
+    #: Maximum number of entries kept (LRU eviction beyond this).
+    capacity: int = 512
+    #: Seconds before an entry expires; ``None`` disables expiry.
+    ttl_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.ttl_seconds is not None and self.ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+
+
+@dataclass
+class CacheConfig:
+    """Configuration for every tier plus the semantic lookup.
+
+    ``enabled`` is the master switch: when False, every tier is off
+    regardless of its own flag and the wired code paths behave exactly
+    as if the cache subsystem did not exist.
+    """
+
+    enabled: bool = True
+    inference: TierConfig = field(default_factory=TierConfig)
+    rag: TierConfig = field(
+        default_factory=lambda: TierConfig(capacity=2048)
+    )
+    sql: TierConfig = field(
+        default_factory=lambda: TierConfig(capacity=2048)
+    )
+    #: When True, an exact inference miss falls back to an
+    #: embedding-similarity search over previously cached prompts.
+    semantic_lookup: bool = False
+    #: Minimum cosine similarity for a semantic hit.
+    semantic_threshold: float = 0.95
+    #: Maximum prompts remembered per (client, model, params) group.
+    semantic_capacity: int = 512
+
+    def tier(self, name: str) -> TierConfig:
+        if name not in TIER_NAMES:
+            raise KeyError(
+                f"unknown cache tier {name!r}; known: {TIER_NAMES}"
+            )
+        return getattr(self, name)
+
+    def tier_enabled(self, name: str) -> bool:
+        return self.enabled and self.tier(name).enabled
+
+    @classmethod
+    def disabled(cls) -> "CacheConfig":
+        """A configuration with every tier switched off."""
+        return cls(enabled=False)
+
+    def with_tier(self, name: str, **changes) -> "CacheConfig":
+        """A copy with one tier's settings replaced."""
+        updated = replace(self.tier(name), **changes)
+        return replace(self, **{name: updated})

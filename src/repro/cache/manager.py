@@ -1,0 +1,211 @@
+"""The process-wide cache manager: tiers, metrics, spans.
+
+One :class:`CacheManager` owns the three tier stores. Wired call
+sites (the SMMF client, the RAG knowledge base and embedder, the SQL
+engine) never touch stores directly — they call :meth:`cached`, which
+
+- runs the lookup/compute under **single-flight** deduplication,
+- opens a ``cache.lookup`` span carrying ``tier`` and a ``cache.hit``
+  attribute (visible in ``repro trace`` / ``/trace``),
+- publishes hit/miss/eviction counters and latency histograms through
+  the unified :mod:`repro.obs` metrics registry.
+
+When a tier is disabled, :meth:`enabled` is False and call sites take
+their original, pre-cache code path — no span, no metric, no key
+construction — so a disabled configuration behaves byte-identically
+to a build without the subsystem.
+
+The module-level manager starts **disabled**: components built outside
+a booted instance (bare ``deploy()``, a standalone ``Database``) behave
+exactly as they did before this subsystem existed. ``DBGPT.boot``
+installs the instance's configuration via :func:`configure_cache`, and
+:class:`repro.core.config.DbGptConfig` enables all tiers by default —
+so the product default is "caching on".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from repro.cache.config import TIER_NAMES, CacheConfig
+from repro.cache.semantic import SemanticPromptIndex
+from repro.cache.store import CacheStats, CacheStore
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+
+
+class CacheManager:
+    """Owns one :class:`CacheStore` per enabled tier."""
+
+    def __init__(
+        self,
+        config: Optional[CacheConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or CacheConfig()
+        self._stores: dict[str, CacheStore] = {}
+        for tier in TIER_NAMES:
+            settings = self.config.tier(tier)
+            if self.config.enabled and settings.enabled:
+                self._stores[tier] = CacheStore(
+                    capacity=settings.capacity,
+                    ttl_seconds=settings.ttl_seconds,
+                    clock=clock,
+                    on_evict=self._evict_hook(tier),
+                )
+        self.semantic: Optional[SemanticPromptIndex] = None
+        if self.enabled("inference") and self.config.semantic_lookup:
+            self.semantic = SemanticPromptIndex(
+                threshold=self.config.semantic_threshold,
+                capacity=self.config.semantic_capacity,
+            )
+
+    # -- tier access -------------------------------------------------------
+
+    def enabled(self, tier: str) -> bool:
+        return tier in self._stores
+
+    def store(self, tier: str) -> Optional[CacheStore]:
+        """The tier's store, or None when the tier is disabled."""
+        return self._stores.get(tier)
+
+    # -- the one call sites use --------------------------------------------
+
+    def cached(
+        self,
+        tier: str,
+        key: Any,
+        compute: Callable[[], Any],
+        **span_attributes: Any,
+    ) -> Any:
+        """Serve ``key`` from ``tier``, computing (once) on a miss.
+
+        Must only be called when :meth:`enabled` returned True for the
+        tier; disabled tiers take the caller's original code path so
+        their behavior stays byte-identical to pre-cache builds.
+        """
+        store = self._stores[tier]
+        started = time.perf_counter()
+        with get_tracer().span(
+            "cache.lookup", tier=tier, **span_attributes
+        ) as span:
+            value, hit = store.get_or_compute(key, compute)
+            span.set_attribute("cache.hit", hit)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        registry = get_registry()
+        registry.counter(
+            "cache_requests_total", "cache lookups by tier and outcome"
+        ).inc(tier=tier, outcome="hit" if hit else "miss")
+        if hit:
+            registry.histogram(
+                "cache_hit_latency_ms", "latency of cache hits"
+            ).observe(elapsed_ms, tier=tier)
+        else:
+            registry.histogram(
+                "cache_miss_compute_ms",
+                "compute latency behind cache misses",
+            ).observe(elapsed_ms, tier=tier)
+        return value
+
+    def semantic_fetch(self, key: Any) -> tuple[bool, Any]:
+        """Read an exact-store entry found via the semantic index.
+
+        Uses ``peek`` so the alias read does not distort the exact
+        store's hit/miss statistics; a dedicated counter records it.
+        """
+        store = self._stores.get("inference")
+        if store is None:
+            return False, None
+        found, value = store.peek(key)
+        if found:
+            get_registry().counter(
+                "cache_semantic_hits_total",
+                "inference answers served via embedding similarity",
+            ).inc(tier="inference")
+        return found, value
+
+    def _evict_hook(self, tier: str):
+        def on_evict(_key: Any, reason: str) -> None:
+            get_registry().counter(
+                "cache_evictions_total", "entries evicted by tier"
+            ).inc(tier=tier, reason=reason)
+
+        return on_evict
+
+    # -- operations --------------------------------------------------------
+
+    def clear(self, tier: Optional[str] = None) -> int:
+        """Drop cached entries (one tier, or all); returns the count."""
+        dropped = 0
+        for name, store in self._stores.items():
+            if tier is None or name == tier:
+                dropped += store.clear()
+        if self.semantic is not None and tier in (None, "inference"):
+            self.semantic.clear()
+        return dropped
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-tier statistics (disabled tiers report only that)."""
+        snapshot: dict[str, dict[str, Any]] = {}
+        for tier in TIER_NAMES:
+            store = self._stores.get(tier)
+            if store is None:
+                snapshot[tier] = {"enabled": False}
+                continue
+            stats: CacheStats = store.stats()
+            snapshot[tier] = {
+                "enabled": True,
+                "size": len(store),
+                "capacity": store.capacity,
+                "ttl_seconds": store.ttl_seconds,
+                **stats.to_dict(),
+            }
+        if self.semantic is not None:
+            snapshot["inference"]["semantic_entries"] = len(self.semantic)
+        return snapshot
+
+    def render_stats(self) -> str:
+        """A plain-text stats table for the CLI and REPL."""
+        header = (
+            f"{'tier':<10} {'size':>9} {'hits':>7} {'misses':>7} "
+            f"{'coalesced':>9} {'hit-rate':>8} {'evicted':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for tier, row in self.stats().items():
+            if not row["enabled"]:
+                lines.append(f"{tier:<10} {'(disabled)':>9}")
+                continue
+            size = f"{row['size']}/{row['capacity']}"
+            evicted = row["evictions"] + row["expirations"]
+            lines.append(
+                f"{tier:<10} {size:>9} {row['hits']:>7} "
+                f"{row['misses']:>7} {row['coalesced']:>9} "
+                f"{row['hit_rate']:>8.1%} {evicted:>8}"
+            )
+        return "\n".join(lines)
+
+
+#: Process-wide manager used by every wired call site. Starts disabled
+#: so unbooted components are unaffected; ``DBGPT.boot`` installs the
+#: instance's :class:`~repro.core.config.DbGptConfig` configuration
+#: (which enables all tiers by default).
+_manager = CacheManager(CacheConfig.disabled())
+
+
+def get_cache_manager() -> CacheManager:
+    return _manager
+
+
+def set_cache_manager(manager: CacheManager) -> CacheManager:
+    """Swap the global manager (tests); returns the previous one."""
+    global _manager
+    previous, _manager = _manager, manager
+    return previous
+
+
+def configure_cache(config: CacheConfig) -> CacheManager:
+    """Install a fresh manager built from ``config`` and return it."""
+    global _manager
+    _manager = CacheManager(config)
+    return _manager

@@ -1,0 +1,89 @@
+"""Embedding-similarity lookup over cached inference prompts.
+
+An exact inference-cache miss can still be a near-duplicate of a
+prompt answered moments ago ("how many orders are there" vs "how many
+orders are there?"). When the semantic lookup is enabled, the
+inference tier keeps a bounded per-group index of prompt embeddings
+(reusing the deterministic :class:`repro.rag.embedder.HashingEmbedder`)
+and, on an exact miss, returns the cached answer of the most similar
+prompt above a cosine threshold.
+
+Groups partition the index by everything that changes the answer
+besides the prompt text — the owning client, model, task and token
+budget — so similarity never crosses model boundaries. The index only
+stores *keys* into the exact store; TTL and LRU eviction there remain
+authoritative, so a semantically matched entry that has expired is
+simply not served.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+
+class SemanticPromptIndex:
+    """Per-group bounded index of (prompt embedding, exact-store key)."""
+
+    def __init__(
+        self,
+        threshold: float = 0.95,
+        capacity: int = 512,
+        dim: int = 256,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        # Function-level import: repro.cache must stay importable
+        # before repro.rag finishes importing (embedder caches through
+        # the manager, so the reverse edge exists lazily too).
+        from repro.rag.embedder import HashingEmbedder
+
+        self.threshold = threshold
+        self.capacity = capacity
+        self._embedder = HashingEmbedder(dim=dim)
+        #: group -> OrderedDict[exact-store key, unit embedding]
+        self._groups: dict[Any, OrderedDict[Any, np.ndarray]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, group: Any, prompt: str, key: Any) -> None:
+        """Remember ``prompt`` (already normalized) under ``group``."""
+        vector = self._embedder.embed(prompt)
+        if not vector.any():
+            return
+        with self._lock:
+            entries = self._groups.setdefault(group, OrderedDict())
+            entries[key] = vector
+            entries.move_to_end(key)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+
+    def find(self, group: Any, prompt: str) -> Optional[Any]:
+        """The exact-store key of the most similar remembered prompt,
+        or None when nothing clears the threshold."""
+        with self._lock:
+            entries = self._groups.get(group)
+            if not entries:
+                return None
+            keys = list(entries)
+            matrix = np.stack([entries[k] for k in keys])
+        vector = self._embedder.embed(prompt)
+        if not vector.any():
+            return None
+        scores = matrix @ vector
+        best = int(np.argmax(scores))
+        if scores[best] >= self.threshold:
+            return keys[best]
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._groups.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._groups.values())

@@ -1,0 +1,249 @@
+"""The core cache primitive: a thread-safe LRU + TTL store.
+
+:class:`CacheStore` is what every tier is built from. It provides
+
+- **LRU eviction** with a hard capacity bound,
+- **TTL expiry** against an injectable monotonic clock (tests pass a
+  fake clock, so expiry is deterministic without sleeping),
+- **per-store statistics** (hits, misses, coalesced waits, puts,
+  evictions, expirations),
+- **single-flight deduplication**: concurrent ``get_or_compute`` calls
+  for the same missing key run the compute callable exactly once; the
+  other callers block until the leader finishes and then share its
+  result (or its exception — errors are never cached).
+
+Values are stored as given; callers that cache mutable objects are
+responsible for freezing them (the SQL tier stores row tuples, the RAG
+tier stores id/score tuples) so a cache hit cannot alias state a
+caller might mutate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Internal sentinel distinguishing "no entry" from a cached ``None``.
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one store; a snapshot copy is returned by
+    :meth:`CacheStore.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Lookups that waited on another thread's in-flight compute and
+    #: shared its result (single-flight deduplication).
+    coalesced: int = 0
+    puts: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without running the compute."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.hits + self.coalesced) / self.lookups
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    expires_at: Optional[float]
+
+
+class _Flight:
+    """One in-flight compute other threads can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class CacheStore:
+    """Thread-safe bounded LRU cache with optional TTL.
+
+    ``clock`` must be a monotonic ``() -> float``; it exists so tests
+    can drive expiry deterministically. ``on_evict(key, reason)`` is
+    called (outside hot paths, inside the store lock) whenever an entry
+    leaves the store involuntarily; ``reason`` is ``"lru"`` or
+    ``"ttl"``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_evict: Optional[Callable[[Any, str], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._on_evict = on_evict
+        self._entries: OrderedDict[Any, _Entry] = OrderedDict()
+        self._flights: dict[Any, _Flight] = {}
+        self._stats = CacheStats()
+        self._lock = threading.RLock()
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, key: Any) -> tuple[bool, Any]:
+        """``(hit, value)``; counts the hit or miss."""
+        with self._lock:
+            value = self._get_locked(key)
+            if value is _MISS:
+                self._stats.misses += 1
+                return False, None
+            self._stats.hits += 1
+            return True, value
+
+    def peek(self, key: Any) -> tuple[bool, Any]:
+        """Like :meth:`lookup` but without touching statistics or LRU
+        order (used by the semantic alias path and by tests)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry):
+                return False, None
+            return True, entry.value
+
+    def _get_locked(self, key: Any) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            return _MISS
+        if self._expired(entry):
+            del self._entries[key]
+            self._stats.expirations += 1
+            if self._on_evict is not None:
+                self._on_evict(key, "ttl")
+            return _MISS
+        self._entries.move_to_end(key)
+        return entry.value
+
+    def _expired(self, entry: _Entry) -> bool:
+        return (
+            entry.expires_at is not None
+            and self._clock() >= entry.expires_at
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        expires = (
+            self._clock() + self.ttl_seconds
+            if self.ttl_seconds is not None
+            else None
+        )
+        with self._lock:
+            self._entries[key] = _Entry(value, expires)
+            self._entries.move_to_end(key)
+            self._stats.puts += 1
+            while len(self._entries) > self.capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._stats.evictions += 1
+                if self._on_evict is not None:
+                    self._on_evict(evicted_key, "lru")
+
+    def delete(self, key: Any) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+
+    # -- single-flight -----------------------------------------------------
+
+    def get_or_compute(
+        self, key: Any, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """``(value, hit)`` — computing at most once per key at a time.
+
+        The first thread to miss becomes the leader and runs
+        ``compute`` (outside the store lock); any thread that misses
+        the same key meanwhile waits for the leader instead of
+        recomputing. A raising compute propagates its exception to the
+        leader *and* every waiter, and caches nothing.
+        """
+        with self._lock:
+            value = self._get_locked(key)
+            if value is not _MISS:
+                self._stats.hits += 1
+                return value, True
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = self._flights[key] = _Flight()
+                leader = True
+                self._stats.misses += 1
+            else:
+                leader = False
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self._stats.coalesced += 1
+            return flight.value, True
+        try:
+            value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+            raise
+        self.put(key, value)
+        flight.value = value
+        with self._lock:
+            self._flights.pop(key, None)
+        flight.event.set()
+        return value, False
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(**vars(self._stats))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return self.peek(key)[0]
+
+    def keys(self) -> list[Any]:
+        """Current keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)

@@ -10,6 +10,7 @@ Run::
     python -m repro.cli --command "show tables" --command "/apps"
     python -m repro.cli lint examples/     # static analysis front-end
     python -m repro.cli trace              # trace one request end-to-end
+    python -m repro.cli cache stats        # cache tier statistics
 
 Slash commands switch context; anything else goes to the active app::
 
@@ -18,6 +19,7 @@ Slash commands switch context; anything else goes to the active app::
     /lint <sql>      analyze a SQL statement against the active schema
     /trace           span tree of the last request, with timings
     /metrics         model serving metrics
+    /cache [clear]   cache tier statistics (or drop every entry)
     /help            this text
     /quit            exit
 """
@@ -34,7 +36,8 @@ from repro.datasources import CsvSource, EngineSource
 
 _HELP = (
     "commands: /apps, /app <name>, /lint <sql>, /trace, /metrics, "
-    "/help, /quit — anything else is sent to the active app"
+    "/cache [clear], /help, /quit — anything else is sent to the "
+    "active app"
 )
 
 
@@ -101,6 +104,13 @@ class CliSession:
             if not spans:
                 return "no completed trace yet; send a message first"
             return render_trace(spans)
+        if command == "/cache":
+            if args and args[0].lower() == "clear":
+                dropped = self.dbgpt.clear_caches()
+                return f"cleared {dropped} cached entries"
+            if args:
+                return "usage: /cache [clear]"
+            return self.dbgpt.cache.render_stats()
         if command == "/metrics":
             lines = [
                 f"{model}: {metrics}"
@@ -185,6 +195,60 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def cache_main(argv: list[str]) -> int:
+    """``repro cache``: inspect or clear the cache tiers.
+
+    ``stats`` runs a short demo workload against the sales database
+    (so the counters have something to show) and prints the per-tier
+    table; ``clear`` drops every cached entry. ``--json`` emits the
+    raw stats dict for scripting.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli cache",
+        description="Inspect or clear the multi-tier cache.",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default="stats",
+        choices=("stats", "clear"),
+        help="show per-tier statistics (default) or drop every entry",
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    parser.add_argument(
+        "--turns",
+        type=int,
+        default=4,
+        help="demo questions to run before reporting stats (default 4)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    dbgpt = build_dbgpt(args)
+    if args.action == "clear":
+        dropped = dbgpt.clear_caches()
+        print(f"cleared {dropped} cached entries")
+        return 0
+    questions = [
+        "How many orders are there?",
+        "What is the total amount per region?",
+    ]
+    for turn in range(max(args.turns, 0)):
+        dbgpt.chat("text2sql", questions[turn % len(questions)])
+    if args.json:
+        print(json.dumps(dbgpt.cache_stats(), indent=2, sort_keys=True))
+    else:
+        print(dbgpt.cache.render_stats())
+    return 0
+
+
 def build_dbgpt(args: argparse.Namespace) -> DBGPT:
     dbgpt = DBGPT.boot()
     if args.csv:
@@ -203,6 +267,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Chat with your data (DB-GPT repro)."
     )

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cache.config import CacheConfig
+
 
 @dataclass
 class ModelConfig:
@@ -51,6 +53,9 @@ class DbGptConfig:
     memory_path: Optional[str] = None
     #: Default retrieval strategy for knowledge QA.
     retrieval_strategy: str = "hybrid"
+    #: Multi-tier cache configuration (see ``docs/caching.md``).
+    #: ``CacheConfig.disabled()`` turns the subsystem off entirely.
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
     def model_names(self) -> list[str]:
         return [model.name for model in self.models]

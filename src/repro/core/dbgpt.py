@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.agents.memory import AgentMemory
+from repro.cache.manager import configure_cache
 from repro.apps.base import Application
 from repro.apps.chat2data import Chat2DataApp
 from repro.apps.chat2db import Chat2DbApp
@@ -59,6 +60,9 @@ class DBGPT:
 
     def __init__(self, config: Optional[DbGptConfig] = None) -> None:
         self.config = config or DbGptConfig()
+        #: Booting installs the instance's cache configuration as the
+        #: process-wide manager all wired layers consult.
+        self.cache = configure_cache(self.config.cache)
         self.controller, self.client = deploy(
             [
                 ModelSpec(
@@ -188,3 +192,13 @@ class DBGPT:
     def metrics_snapshot(self) -> dict:
         """Every unified metric (see ``docs/observability.md``)."""
         return get_registry().snapshot()
+
+    # -- caching -------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Per-tier cache statistics (see ``docs/caching.md``)."""
+        return self.cache.stats()
+
+    def clear_caches(self) -> int:
+        """Drop every cached entry; returns how many were dropped."""
+        return self.cache.clear()

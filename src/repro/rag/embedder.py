@@ -9,6 +9,7 @@ vectors are stable across processes (Python's ``hash`` is randomized).
 
 from __future__ import annotations
 
+import itertools
 import math
 import re
 import zlib
@@ -17,6 +18,10 @@ from typing import Callable, Iterable, Optional
 import numpy as np
 
 _WORD = re.compile(r"[a-z0-9]+|[一-鿿]")
+
+#: Process-unique tokens for IDF tables (see ``repro.cache.keys`` for
+#: why ``id()`` is not usable as a cache identity).
+_idf_tokens = itertools.count(1)
 
 
 def tokenize_words(text: str) -> list[str]:
@@ -83,6 +88,45 @@ class HashingEmbedder:
             vector /= norm
         return vector
 
+    def embed_cached(
+        self,
+        text: str,
+        word_weight: Optional[Callable[[str], float]] = None,
+        cache_tag: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Embed ``text``, consulting the RAG cache tier when safe.
+
+        Safe means the result is fully determined by the key: either no
+        ``word_weight`` applies (the embedding is a pure function of
+        the text and this embedder's shape), or the caller passes a
+        ``cache_tag`` capturing the weighting context — e.g. the IDF
+        table's token and document count — so a corpus change retires
+        the entry. Weighted calls without a tag fall back to
+        :meth:`embed` uncached. Returned vectors are shared across
+        hits; callers must treat them as read-only.
+        """
+        # Function-level import: the cache's semantic index imports
+        # this module, so the reverse edge must stay lazy.
+        from repro.cache.manager import get_cache_manager
+
+        manager = get_cache_manager()
+        if not manager.enabled("rag") or (
+            word_weight is not None and cache_tag is None
+        ):
+            return self.embed(text, word_weight)
+        from repro.cache.keys import embedding_key
+
+        key = embedding_key(
+            self.dim,
+            self.use_bigrams,
+            self.use_char_trigrams,
+            cache_tag or (),
+            text,
+        )
+        return manager.cached(
+            "rag", key, lambda: self.embed(text, word_weight)
+        )
+
     def embed_batch(
         self,
         texts: list[str],
@@ -105,10 +149,17 @@ class IdfTable:
     def __init__(self) -> None:
         self._df: dict[str, int] = {}
         self._documents = 0
+        self._cache_token = next(_idf_tokens)
 
     @property
     def documents(self) -> int:
         return self._documents
+
+    def cache_tag(self) -> tuple:
+        """Identity + version tuple for embedding cache keys: entries
+        minted before :meth:`add_document` changed the weights are
+        automatically retired."""
+        return ("idf", self._cache_token, self._documents)
 
     def add_document(self, text: str) -> None:
         self._documents += 1

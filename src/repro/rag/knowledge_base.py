@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
+from repro.cache.keys import instance_token, retrieval_key
+from repro.cache.manager import get_cache_manager
 from repro.rag.document import Chunk, Document
 from repro.rag.embedder import HashingEmbedder
 from repro.rag.graph_index import GraphIndex
@@ -66,6 +68,10 @@ class KnowledgeBase:
         self._graph = GraphIndex()
         self._chunks: dict[str, Chunk] = {}
         self._reranker = OverlapReranker(self._embedder)
+        #: Mutation counter embedded in retrieval cache keys — every
+        #: indexed chunk retires previously cached results.
+        self._version = 0
+        self._cache_token = instance_token()
 
     # -- construction ------------------------------------------------------
 
@@ -95,6 +101,7 @@ class KnowledgeBase:
             raise ValueError(
                 f"chunk id {chunk.chunk_id!r} already indexed"
             )
+        self._version += 1
         self._chunks[chunk.chunk_id] = chunk
         self._vector_store.add(chunk)
         self._inverted.add(chunk.chunk_id, chunk.text)
@@ -149,7 +156,35 @@ class KnowledgeBase:
         strategy: str = "hybrid",
         rerank: bool = False,
     ) -> list[RetrievedChunk]:
-        """Top-k chunks for ``query`` under the chosen strategy."""
+        """Top-k chunks for ``query`` under the chosen strategy.
+
+        Results are served from the RAG cache tier (when enabled),
+        keyed on this knowledge base's identity and mutation version —
+        indexing a new document retires every cached result.
+        """
+        manager = get_cache_manager()
+        if not manager.enabled("rag"):
+            return self._retrieve_direct(query, k, strategy, rerank)
+        key = retrieval_key(
+            self._cache_token, self._version, strategy, k, rerank, query
+        )
+        frozen = manager.cached(
+            "rag",
+            key,
+            lambda: tuple(
+                (r.chunk.chunk_id, r.score, r.strategy)
+                for r in self._retrieve_direct(query, k, strategy, rerank)
+            ),
+            strategy=strategy,
+        )
+        return [
+            RetrievedChunk(self._chunks[chunk_id], score, strategy_name)
+            for chunk_id, score, strategy_name in frozen
+        ]
+
+    def _retrieve_direct(
+        self, query: str, k: int, strategy: str, rerank: bool
+    ) -> list[RetrievedChunk]:
         hits = self.retriever(strategy).retrieve(query, k=k * 2 if rerank else k)
         if rerank:
             texts = {
@@ -271,7 +306,10 @@ class VectorStoreHolder:
     def make_retriever(self) -> EmbeddingRetriever:
         self._refresh()
         return EmbeddingRetriever(
-            self.store, self._embedder, word_weight=self._idf.weight
+            self.store,
+            self._embedder,
+            word_weight=self._idf.weight,
+            cache_tag=self._idf.cache_tag(),
         )
 
     def _refresh(self) -> None:

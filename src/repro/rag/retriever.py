@@ -93,13 +93,21 @@ class EmbeddingRetriever(Retriever):
         store: VectorStore,
         embedder: HashingEmbedder,
         word_weight=None,
+        cache_tag=None,
     ) -> None:
         self._store = store
         self._embedder = embedder
         self._word_weight = word_weight
+        #: Weighting-context tag enabling query-embedding caching; see
+        #: :meth:`HashingEmbedder.embed_cached`.
+        self._cache_tag = cache_tag
 
     def retrieve(self, query: str, k: int = 5) -> list[RetrievalHit]:
-        vector = self._embedder.embed(query, word_weight=self._word_weight)
+        vector = self._embedder.embed_cached(
+            query,
+            word_weight=self._word_weight,
+            cache_tag=self._cache_tag,
+        )
         return [
             RetrievalHit(hit.item_id, hit.score, self.name)
             for hit in self._store.search(vector, k)

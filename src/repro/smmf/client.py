@@ -1,9 +1,20 @@
-"""Client SDK applications use to talk to SMMF."""
+"""Client SDK applications use to talk to SMMF.
+
+Since the caching PR the client fronts the serving stack with the
+**inference cache tier**: repeated ``generate`` calls with the same
+(model, normalized prompt, parameters) are answered from cache and
+never reach the worker pool. With the optional semantic lookup
+enabled, an exact miss may still be served by the cached answer of a
+sufficiently similar prompt. Cache keys are scoped to one client
+instance, so two serving stacks in one process never share entries.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.cache.keys import inference_key, instance_token, normalize_prompt
+from repro.cache.manager import get_cache_manager
 from repro.smmf.api_server import ApiRequest, ApiServer
 
 
@@ -24,6 +35,7 @@ class LLMClient:
 
     def __init__(self, server: ApiServer) -> None:
         self._server = server
+        self._cache_token = instance_token()
 
     def generate(
         self,
@@ -33,7 +45,48 @@ class LLMClient:
         max_tokens: int = 512,
         metadata: Optional[dict[str, Any]] = None,
     ) -> str:
-        """Generate text; raises :class:`ClientError` on any failure."""
+        """Generate text; raises :class:`ClientError` on any failure.
+
+        Successful responses are cached in the inference tier; errors
+        are never cached, so a failed call retries the stack next time.
+        """
+        manager = get_cache_manager()
+        if not manager.enabled("inference"):
+            return self._generate_uncached(
+                model, prompt, task, max_tokens, metadata
+            )
+        key = inference_key(
+            self._cache_token, model, prompt, task, max_tokens, metadata
+        )
+
+        def compute() -> str:
+            semantic = manager.semantic
+            group = (self._cache_token, model, task or "", int(max_tokens))
+            normalized = normalize_prompt(prompt)
+            if semantic is not None:
+                alias = semantic.find(group, normalized)
+                if alias is not None:
+                    found, text = manager.semantic_fetch(alias)
+                    if found:
+                        return text
+            text = self._generate_uncached(
+                model, prompt, task, max_tokens, metadata
+            )
+            if semantic is not None:
+                semantic.add(group, normalized, key)
+            return text
+
+        return manager.cached("inference", key, compute, model=model)
+
+    def _generate_uncached(
+        self,
+        model: str,
+        prompt: str,
+        task: Optional[str],
+        max_tokens: int,
+        metadata: Optional[dict[str, Any]],
+    ) -> str:
+        """One real round trip through the serving stack."""
         response = self._server.handle(
             ApiRequest(
                 "POST",

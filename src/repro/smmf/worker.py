@@ -69,6 +69,10 @@ class ModelWorker:
                 worker=self.worker_id,
                 model=self.model.name,
             ) as span:
+                # A worker execution is by definition the cache-miss
+                # path: turns served by the inference cache never get
+                # here (the client short-circuits before the server).
+                span.set_attribute("cache.hit", False)
                 response = self.model.generate(request)
                 span.set_attributes(
                     prompt_tokens=response.prompt_tokens,

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
+from repro.cache.keys import instance_token, sql_key
+from repro.cache.manager import get_cache_manager
 from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
 from repro.sqlengine.errors import CatalogError
 from repro.sqlengine.executor import Executor, Relation
@@ -92,21 +95,78 @@ class Database:
         self._views: dict[str, Any] = {}
         #: Transaction snapshot stack: (catalog, tables, views) triples.
         self._snapshots: list[tuple] = []
+        #: Monotonic catalog/data version. Every mutating statement and
+        #: programmatic write bumps it; the SQL result cache embeds it
+        #: in every key, so a write instantly retires all cached reads.
+        self.data_version = 0
+        self._cache_token = instance_token()
+        #: Raw SQL text -> (Select statement, canonical SQL). Parsing
+        #: dominates a cached SELECT (the result lookup is cheap), so
+        #: the hot path memoizes it; only used while the SQL cache
+        #: tier is enabled, so disabled behavior is untouched.
+        self._parse_memo: OrderedDict[str, tuple] = OrderedDict()
+
+    _PARSE_MEMO_CAPACITY = 512
 
     # -- execution -------------------------------------------------------
 
     def execute(
         self, sql: str, parameters: Sequence[Any] = ()
     ) -> ResultSet:
-        """Parse and execute one SQL statement."""
-        statement = parse_sql(sql)
-        return self.execute_statement(statement, parameters)
+        """Parse and execute one SQL statement.
+
+        SELECT results are served from the SQL cache tier (when
+        enabled), keyed on this database's identity, its current data
+        version and the statement's canonical SQL — so two spellings of
+        the same query share an entry, and any write invalidates it.
+        """
+        from repro.sqlengine import nodes as _nodes
+
+        manager = get_cache_manager()
+        if not manager.enabled("sql"):
+            return self.execute_statement(parse_sql(sql), parameters)
+        memo = self._parse_memo.get(sql)
+        if memo is None:
+            statement = parse_sql(sql)
+            if not isinstance(statement, _nodes.Select):
+                return self.execute_statement(statement, parameters)
+            memo = (statement, statement.to_sql())
+            self._parse_memo[sql] = memo
+            if len(self._parse_memo) > self._PARSE_MEMO_CAPACITY:
+                self._parse_memo.popitem(last=False)
+        statement, canonical = memo
+        params = tuple(parameters)
+        try:
+            key = sql_key(
+                self._cache_token,
+                self.name,
+                self.data_version,
+                canonical,
+                params,
+            )
+            hash(key)
+        except TypeError:
+            # Unhashable parameter values: execute without caching.
+            return self.execute_statement(statement, params)
+        frozen = manager.cached(
+            "sql",
+            key,
+            lambda: _freeze_result(self.execute_statement(statement, params)),
+            database=self.name,
+        )
+        return _thaw_result(frozen)
 
     def execute_statement(
         self, statement: Statement, parameters: Sequence[Any] = ()
     ) -> ResultSet:
         from repro.sqlengine import nodes as _nodes
 
+        if not isinstance(statement, (_nodes.Select, _nodes.Explain)):
+            # DDL/DML (and transaction control, whose COMMIT/ROLLBACK
+            # swap table state) invalidate every cached read. Bumping
+            # before execution errs on the side of extra invalidation:
+            # a failed write costs a recompute, never a stale read.
+            self.data_version += 1
         if isinstance(statement, _nodes.TransactionStatement):
             return self._execute_transaction(statement.action)
         if isinstance(statement, _nodes.DropIndex):
@@ -204,6 +264,7 @@ class Database:
                 )
             )
         schema = TableSchema(name, schemas, comment=comment)
+        self.data_version += 1
         self.catalog.create_table(schema)
         self._tables[name.lower()] = Table(schema)
         return schema
@@ -213,6 +274,7 @@ class Database:
     ) -> int:
         """Bulk insert positional rows."""
         storage = self._storage(table)
+        self.data_version += 1
         count = 0
         for row in rows:
             storage.insert(row)
@@ -224,6 +286,7 @@ class Database:
     ) -> int:
         """Bulk insert mapping rows; missing columns get their default."""
         storage = self._storage(table)
+        self.data_version += 1
         schema = storage.schema
         count = 0
         for record in records:
@@ -314,6 +377,19 @@ def split_statements(sql: str) -> list[str]:
     if text:
         statements.append(text)
     return statements
+
+
+def _freeze_result(result: ResultSet) -> tuple:
+    """An immutable rendering safe to share across cache hits."""
+    return (tuple(result.columns), tuple(result.rows), result.rowcount)
+
+
+def _thaw_result(frozen: tuple) -> ResultSet:
+    """A fresh :class:`ResultSet` per hit — callers may mutate theirs."""
+    columns, rows, rowcount = frozen
+    return ResultSet(
+        columns=list(columns), rows=list(rows), rowcount=rowcount
+    )
 
 
 def _to_result(relation: Relation) -> ResultSet:

@@ -1,0 +1,37 @@
+"""Fixtures for the cache subsystem tests."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.manager import CacheManager, set_cache_manager
+
+
+@pytest.fixture
+def enabled_cache():
+    """Install a fresh fully-enabled manager for one test.
+
+    The suite-wide autouse fixture keeps the global manager disabled;
+    tests that exercise the wired tiers opt in through this.
+    """
+    manager = CacheManager(CacheConfig())
+    previous = set_cache_manager(manager)
+    yield manager
+    set_cache_manager(previous)
+
+
+class FakeClock:
+    """A deterministic monotonic clock tests advance by hand."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()

@@ -1,0 +1,47 @@
+"""The cache CLI surface: ``repro cache`` and the ``/cache`` command."""
+
+import json
+
+from repro.cli import CliSession, cache_main, main
+
+
+class TestReplCommand:
+    def test_cache_stats_table(self):
+        session = CliSession()
+        output = session.handle("/cache")
+        assert "tier" in output
+        for tier in ("inference", "rag", "sql"):
+            assert tier in output
+
+    def test_cache_clear(self):
+        session = CliSession()
+        session.handle("How many orders are there?")
+        assert len(session.dbgpt.cache.store("sql")) > 0
+        output = session.handle("/cache clear")
+        assert output.startswith("cleared ")
+        assert len(session.dbgpt.cache.store("sql")) == 0
+
+    def test_usage_on_bad_argument(self):
+        session = CliSession()
+        assert session.handle("/cache bogus") == "usage: /cache [clear]"
+
+    def test_help_mentions_cache(self):
+        session = CliSession()
+        assert "/cache" in session.handle("/help")
+
+
+class TestSubcommand:
+    def test_stats_json(self, capsys):
+        assert cache_main(["stats", "--turns", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"inference", "rag", "sql"}
+        assert payload["sql"]["hits"] + payload["sql"]["misses"] > 0
+
+    def test_stats_table_via_main(self, capsys):
+        assert main(["cache", "stats", "--turns", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "tier" in out and "hit-rate" in out
+
+    def test_clear(self, capsys):
+        assert cache_main(["clear"]) == 0
+        assert "cleared" in capsys.readouterr().out

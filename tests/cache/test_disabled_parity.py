@@ -1,0 +1,89 @@
+"""Disabled-cache parity: with every tier off, nothing changes.
+
+The subsystem's contract is that ``CacheConfig.disabled()`` makes the
+wired code paths behave exactly as if the subsystem did not exist —
+same answers, no cache spans, no cache metrics.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core import DBGPT, DbGptConfig
+from repro.datasets import build_sales_database
+from repro.datasources import EngineSource
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+QUESTIONS = [
+    ("text2sql", "How many orders are there?"),
+    ("chat2db", "What is the total amount per region?"),
+    ("chat2db", "How many orders are there?"),
+    ("text2sql", "How many orders are there?"),  # warm repeat
+]
+
+
+def boot(config=None):
+    dbgpt = DBGPT.boot(config)
+    dbgpt.register_source(EngineSource(build_sales_database(n_orders=40)))
+    return dbgpt
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+class TestDisabledParity:
+    def test_answers_identical_with_and_without_cache(self):
+        enabled_answers = [
+            boot().chat(app, question).text for app, question in QUESTIONS
+        ]
+        # Fresh stack per turn so no instance state carries over; the
+        # disabled stack recomputes every answer from scratch.
+        disabled = boot(DbGptConfig(cache=CacheConfig.disabled()))
+        disabled_answers = [
+            disabled.chat(app, question).text for app, question in QUESTIONS
+        ]
+        assert enabled_answers == disabled_answers
+
+    def test_disabled_emits_no_cache_metrics(self, registry):
+        dbgpt = boot(DbGptConfig(cache=CacheConfig.disabled()))
+        dbgpt.chat("chat2db", "How many orders are there?")
+        assert not any(
+            name.startswith("cache_") for name in registry.names()
+        )
+
+    def test_disabled_emits_no_cache_spans(self):
+        dbgpt = boot(DbGptConfig(cache=CacheConfig.disabled()))
+        dbgpt.chat("chat2db", "How many orders are there?")
+        names = {span.name for span in dbgpt.last_trace()}
+        assert "cache.lookup" not in names
+
+    def test_enabled_emits_cache_spans_and_metrics(self, registry):
+        dbgpt = boot()
+        dbgpt.chat("chat2db", "How many orders are there?")
+        names = {span.name for span in dbgpt.last_trace()}
+        assert "cache.lookup" in names
+        requests = registry.counter("cache_requests_total")
+        assert requests.total() > 0
+
+    def test_stats_report_disabled_tiers(self):
+        dbgpt = boot(DbGptConfig(cache=CacheConfig.disabled()))
+        stats = dbgpt.cache_stats()
+        assert stats == {
+            "inference": {"enabled": False},
+            "rag": {"enabled": False},
+            "sql": {"enabled": False},
+        }
+
+    def test_single_tier_can_be_disabled(self):
+        config = DbGptConfig(
+            cache=CacheConfig().with_tier("inference", enabled=False)
+        )
+        dbgpt = boot(config)
+        dbgpt.chat("chat2db", "How many orders are there?")
+        stats = dbgpt.cache_stats()
+        assert stats["inference"] == {"enabled": False}
+        assert stats["sql"]["enabled"] is True

@@ -1,0 +1,93 @@
+"""Write invalidation, end to end.
+
+The acceptance scenario for the SQL tier: a cached text-to-data answer
+must never outlive a write. Questions go through the full booted stack
+(DBGPT → app → SMMF → sqlengine) with every cache tier enabled, writes
+go through ``Database.execute``, and the same question asked again
+must reflect the new data.
+"""
+
+import pytest
+
+from repro.core import DBGPT
+from repro.datasets import build_sales_database
+from repro.datasources import EngineSource
+
+
+@pytest.fixture
+def stack():
+    db = build_sales_database(n_orders=60)
+    dbgpt = DBGPT.boot()  # default config: every cache tier enabled
+    dbgpt.register_source(EngineSource(db))
+    return dbgpt, db
+
+
+class TestWriteInvalidation:
+    def test_insert_retires_cached_answer(self, stack):
+        dbgpt, db = stack
+        question = "How many orders are there?"
+        first = dbgpt.chat("chat2db", question)
+        again = dbgpt.chat("chat2db", question)
+        assert "60" in first.text
+        assert again.text == first.text  # warm turn, identical answer
+
+        db.execute(
+            "INSERT INTO orders VALUES (2001, 1, 1, 2, 50.0, '2023-07-01')"
+        )
+        after = dbgpt.chat("chat2db", question)
+        assert "61" in after.text
+        assert "60" not in after.text.split("\n")[-1]
+
+    def test_update_retires_cached_answer(self, stack):
+        dbgpt, db = stack
+        before = db.execute("SELECT SUM(quantity) FROM orders").rows[0][0]
+        cached = db.execute("SELECT SUM(quantity) FROM orders").rows[0][0]
+        assert cached == before
+        db.execute("UPDATE orders SET quantity = quantity + 1 WHERE order_id = 1")
+        after = db.execute("SELECT SUM(quantity) FROM orders").rows[0][0]
+        assert after == before + 1
+
+    def test_delete_retires_cached_answer(self, stack):
+        dbgpt, db = stack
+        question = "How many orders are there?"
+        assert "60" in dbgpt.chat("chat2db", question).text
+        db.execute("DELETE FROM orders WHERE order_id = 1")
+        assert "59" in dbgpt.chat("chat2db", question).text
+
+    def test_drop_and_recreate_serves_fresh_schema(self, stack):
+        _dbgpt, db = stack
+        db.execute("CREATE TABLE scratch (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO scratch VALUES (1, 'old')")
+        assert db.execute("SELECT v FROM scratch").rows == [("old",)]
+        db.execute("DROP TABLE scratch")
+        db.execute("CREATE TABLE scratch (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO scratch VALUES (1, 'new')")
+        assert db.execute("SELECT v FROM scratch").rows == [("new",)]
+
+    def test_rollback_also_invalidates(self, stack):
+        _dbgpt, db = stack
+        count = db.execute("SELECT COUNT(*) FROM orders").rows[0][0]
+        db.execute("BEGIN")
+        db.execute(
+            "INSERT INTO orders VALUES (2002, 1, 1, 1, 10.0, '2023-07-02')"
+        )
+        # Inside the transaction the cached pre-write count must not
+        # be served (the version moved with the INSERT).
+        assert db.execute("SELECT COUNT(*) FROM orders").rows[0][0] == count + 1
+        db.execute("ROLLBACK")
+        # And after rollback the in-transaction result must not be
+        # served either: the version only ever moves forward.
+        assert db.execute("SELECT COUNT(*) FROM orders").rows[0][0] == count
+
+    def test_text2sql_cached_between_writes(self, stack):
+        dbgpt, db = stack
+        question = "How many orders are there?"
+        first = dbgpt.chat("text2sql", question)
+        second = dbgpt.chat("text2sql", question)
+        assert first.ok and first.text == second.text
+        # text2sql only *generates* SQL; a write must not change it,
+        # and executing the (still valid) SQL reflects the new data.
+        db.execute(
+            "INSERT INTO orders VALUES (2003, 1, 1, 1, 10.0, '2023-07-03')"
+        )
+        assert db.execute(first.payload).rows[0][0] == 61

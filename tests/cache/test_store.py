@@ -1,0 +1,186 @@
+"""CacheStore: LRU order, capacity, TTL, statistics."""
+
+import pytest
+
+from repro.cache.store import CacheStore
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        store = CacheStore(capacity=4)
+        hit, value = store.lookup("k")
+        assert (hit, value) == (False, None)
+        store.put("k", 41)
+        assert store.lookup("k") == (True, 41)
+
+    def test_cached_none_is_a_hit(self):
+        store = CacheStore(capacity=4)
+        store.put("k", None)
+        assert store.lookup("k") == (True, None)
+
+    def test_overwrite_replaces_value(self):
+        store = CacheStore(capacity=4)
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.lookup("k") == (True, 2)
+        assert len(store) == 1
+
+    def test_delete_and_clear(self):
+        store = CacheStore(capacity=4)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_contains_and_keys(self):
+        store = CacheStore(capacity=4)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert "a" in store and "c" not in store
+        assert store.keys() == ["a", "b"]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            CacheStore(capacity=0)
+        with pytest.raises(ValueError):
+            CacheStore(ttl_seconds=0)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        evicted = []
+        store = CacheStore(
+            capacity=2, on_evict=lambda key, reason: evicted.append((key, reason))
+        )
+        store.put("a", 1)
+        store.put("b", 2)
+        store.lookup("a")  # refresh "a": "b" is now the LRU entry
+        store.put("c", 3)
+        assert "b" not in store
+        assert "a" in store and "c" in store
+        assert evicted == [("b", "lru")]
+
+    def test_put_refreshes_recency(self):
+        store = CacheStore(capacity=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.put("a", 10)
+        store.put("c", 3)
+        assert store.keys() == ["a", "c"]
+
+    def test_capacity_is_a_hard_bound(self):
+        store = CacheStore(capacity=3)
+        for i in range(50):
+            store.put(i, i)
+        assert len(store) == 3
+        assert store.stats().evictions == 47
+
+
+class TestTtl:
+    def test_entry_expires_at_exact_boundary(self, clock):
+        store = CacheStore(capacity=4, ttl_seconds=10.0, clock=clock)
+        store.put("k", 1)
+        clock.advance(9.999)
+        assert store.lookup("k") == (True, 1)
+        clock.advance(0.001)  # clock() == expires_at: already expired
+        assert store.lookup("k") == (False, None)
+        assert store.stats().expirations == 1
+
+    def test_expiry_reported_to_evict_hook(self, clock):
+        evicted = []
+        store = CacheStore(
+            capacity=4,
+            ttl_seconds=5.0,
+            clock=clock,
+            on_evict=lambda key, reason: evicted.append((key, reason)),
+        )
+        store.put("k", 1)
+        clock.advance(6.0)
+        store.lookup("k")
+        assert evicted == [("k", "ttl")]
+
+    def test_put_resets_ttl(self, clock):
+        store = CacheStore(capacity=4, ttl_seconds=10.0, clock=clock)
+        store.put("k", 1)
+        clock.advance(8.0)
+        store.put("k", 2)
+        clock.advance(8.0)  # 16s after first put, 8s after refresh
+        assert store.lookup("k") == (True, 2)
+
+    def test_peek_does_not_serve_expired(self, clock):
+        store = CacheStore(capacity=4, ttl_seconds=1.0, clock=clock)
+        store.put("k", 1)
+        clock.advance(2.0)
+        assert store.peek("k") == (False, None)
+
+    def test_no_ttl_never_expires(self, clock):
+        store = CacheStore(capacity=4, clock=clock)
+        store.put("k", 1)
+        clock.advance(1e9)
+        assert store.lookup("k") == (True, 1)
+
+
+class TestStats:
+    def test_counts_and_hit_rate(self):
+        store = CacheStore(capacity=4)
+        store.lookup("k")
+        store.put("k", 1)
+        store.lookup("k")
+        store.lookup("k")
+        stats = store.stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.puts == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_peek_leaves_stats_and_order_alone(self):
+        store = CacheStore(capacity=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.peek("a")
+        assert store.keys() == ["a", "b"]  # "a" not refreshed
+        stats = store.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_snapshot_is_a_copy(self):
+        store = CacheStore(capacity=4)
+        snapshot = store.stats()
+        store.lookup("missing")
+        assert snapshot.misses == 0
+
+    def test_to_dict_round_numbers(self):
+        store = CacheStore(capacity=4)
+        store.put("k", 1)
+        store.lookup("k")
+        payload = store.stats().to_dict()
+        assert payload["hits"] == 1
+        assert payload["hit_rate"] == 1.0
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_serves(self):
+        store = CacheStore(capacity=4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "v"
+
+        assert store.get_or_compute("k", compute) == ("v", False)
+        assert store.get_or_compute("k", compute) == ("v", True)
+        assert len(calls) == 1
+
+    def test_error_not_cached(self):
+        store = CacheStore(capacity=4)
+        with pytest.raises(RuntimeError):
+            store.get_or_compute("k", self._boom)
+        assert "k" not in store
+        # The next call retries the compute.
+        value, hit = store.get_or_compute("k", lambda: 7)
+        assert (value, hit) == (7, False)
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("compute failed")

@@ -1,0 +1,174 @@
+"""CacheStore under concurrency: hammering, single-flight, errors.
+
+No ``time.sleep`` anywhere — overlap is forced with events the tests
+control, so the interesting interleavings happen deterministically.
+"""
+
+import threading
+
+from repro.cache.store import CacheStore
+
+
+def run_threads(count, target):
+    threads = [
+        threading.Thread(target=target, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestHammering:
+    def test_mixed_operations_keep_invariants(self):
+        store = CacheStore(capacity=16)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(300):
+                    key = (worker_id * 7 + i) % 40
+                    op = i % 4
+                    if op == 0:
+                        store.put(key, (worker_id, i))
+                    elif op == 1:
+                        hit, value = store.lookup(key)
+                        if hit:
+                            assert isinstance(value, tuple)
+                    elif op == 2:
+                        store.get_or_compute(key, lambda: (worker_id, i))
+                    else:
+                        store.delete(key)
+                    assert len(store) <= 16
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        run_threads(8, worker)
+        assert errors == []
+        assert len(store) <= 16
+        stats = store.stats()
+        assert stats.lookups > 0
+        assert stats.puts > 0
+
+    def test_concurrent_puts_respect_capacity(self):
+        store = CacheStore(capacity=4)
+
+        def worker(worker_id):
+            for i in range(500):
+                store.put((worker_id, i), i)
+
+        run_threads(6, worker)
+        assert len(store) == 4
+        assert store.stats().evictions == 6 * 500 - 4
+
+
+class TestSingleFlight:
+    def test_contended_misses_compute_once(self):
+        store = CacheStore(capacity=4)
+        release = threading.Event()
+        entered = threading.Event()
+        compute_calls = []
+        results = [None] * 8
+
+        def compute():
+            compute_calls.append(1)
+            entered.set()
+            release.wait()
+            return "answer"
+
+        def worker(index):
+            value, hit = store.get_or_compute("k", compute)
+            results[index] = (value, hit)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        threads[0].start()
+        assert entered.wait(timeout=10)
+        # The leader is parked inside compute; everyone else must
+        # coalesce onto its flight rather than recompute.
+        for thread in threads[1:]:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join()
+
+        assert len(compute_calls) == 1
+        assert all(value == "answer" for value, _hit in results)
+        # Exactly one caller computed; the rest were served by it.
+        stats = store.stats()
+        assert stats.misses == 1
+        assert stats.hits + stats.coalesced == 7
+
+    def test_distinct_keys_do_not_serialize(self):
+        store = CacheStore(capacity=16)
+        barrier = threading.Barrier(4)
+        results = {}
+
+        def worker(index):
+            def compute():
+                # Every thread reaches its own compute: flights on
+                # different keys never block each other. A shared
+                # in-flight lock would deadlock this barrier.
+                barrier.wait(timeout=10)
+                return index
+
+            results[index] = store.get_or_compute(("key", index), compute)
+
+        run_threads(4, worker)
+        assert results == {i: (i, False) for i in range(4)}
+
+    def test_error_propagates_to_waiters_and_caches_nothing(self):
+        store = CacheStore(capacity=4)
+        release = threading.Event()
+        entered = threading.Event()
+        outcomes = [None] * 4
+
+        class Boom(RuntimeError):
+            pass
+
+        def compute():
+            entered.set()
+            release.wait()
+            raise Boom("compute failed")
+
+        def worker(index):
+            try:
+                store.get_or_compute("k", compute)
+            except Boom as exc:
+                outcomes[index] = exc
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        threads[0].start()
+        assert entered.wait(timeout=10)
+        for thread in threads[1:]:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join()
+
+        # Every caller saw the failure (as the leader or as a waiter
+        # re-raising the flight error; a late arriver recomputes and
+        # fails the same way) and the failure was never cached.
+        assert all(isinstance(exc, Boom) for exc in outcomes)
+        assert "k" not in store
+        assert len(store) == 0
+
+    def test_flight_cleaned_up_after_success(self):
+        store = CacheStore(capacity=4)
+        store.get_or_compute("k", lambda: 1)
+        assert store._flights == {}
+
+    def test_flight_cleaned_up_after_error(self):
+        store = CacheStore(capacity=4)
+
+        def boom():
+            raise RuntimeError("x")
+
+        try:
+            store.get_or_compute("k", boom)
+        except RuntimeError:
+            pass
+        assert store._flights == {}

@@ -1,0 +1,236 @@
+"""The three wired tiers: SMMF inference, RAG retrieval, SQL results."""
+
+import pytest
+
+from repro.apps.text2sql import Text2SqlApp, schema_knowledge_base
+from repro.cache.config import CacheConfig
+from repro.cache.manager import CacheManager, set_cache_manager
+from repro.datasources import EngineSource
+from repro.llm import ChatModel
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.rag.document import Document
+from repro.rag.knowledge_base import KnowledgeBase
+from repro.smmf import ModelSpec, deploy
+from repro.sqlengine.database import Database
+
+
+def chat_spec(name="chat", replicas=1):
+    return ModelSpec(name, lambda: ChatModel(name), replicas=replicas)
+
+
+def total_served(controller, model="chat"):
+    return sum(r.worker.served for r in controller.workers(model))
+
+
+@pytest.fixture
+def fresh_registry():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+class TestInferenceTier:
+    def test_repeat_prompt_skips_the_worker(self, enabled_cache):
+        controller, client = deploy([chat_spec()])
+        first = client.generate("chat", "hello there")
+        second = client.generate("chat", "hello there")
+        assert first == second
+        assert total_served(controller) == 1
+        stats = enabled_cache.store("inference").stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_whitespace_normalization_shares_entries(self, enabled_cache):
+        controller, client = deploy([chat_spec()])
+        client.generate("chat", "hello   there")
+        client.generate("chat", "  hello there  ")
+        assert total_served(controller) == 1
+
+    def test_parameters_partition_the_cache(self, enabled_cache):
+        controller, client = deploy([chat_spec()])
+        client.generate("chat", "hello", max_tokens=64)
+        client.generate("chat", "hello", max_tokens=128)
+        client.generate("chat", "hello", task="chat")
+        assert total_served(controller) == 3
+
+    def test_two_clients_never_share_entries(self, enabled_cache):
+        controller_a, client_a = deploy([chat_spec()])
+        controller_b, client_b = deploy([chat_spec()])
+        client_a.generate("chat", "hello")
+        client_b.generate("chat", "hello")
+        assert total_served(controller_a) == 1
+        assert total_served(controller_b) == 1
+
+    def test_disabled_tier_always_reaches_worker(self):
+        set_cache_manager(CacheManager(CacheConfig.disabled()))
+        controller, client = deploy([chat_spec()])
+        client.generate("chat", "hello")
+        client.generate("chat", "hello")
+        assert total_served(controller) == 2
+
+    def test_errors_are_never_cached(self, enabled_cache):
+        controller, client = deploy([chat_spec()])
+        from repro.smmf.client import ClientError
+
+        with pytest.raises(ClientError):
+            client.generate("missing-model", "hello")
+        with pytest.raises(ClientError):
+            client.generate("missing-model", "hello")
+        assert len(enabled_cache.store("inference")) == 0
+
+
+class TestSemanticLookup:
+    def test_near_duplicate_prompt_served_semantically(self, fresh_registry):
+        manager = CacheManager(
+            CacheConfig(semantic_lookup=True, semantic_threshold=0.8)
+        )
+        previous = set_cache_manager(manager)
+        try:
+            controller, client = deploy([chat_spec()])
+            question = (
+                "how many orders were placed in the north region "
+                "during the last quarter of the year"
+            )
+            first = client.generate("chat", question)
+            second = client.generate("chat", question + "?")
+            assert second == first
+            assert total_served(controller) == 1
+            semantic_hits = fresh_registry.counter(
+                "cache_semantic_hits_total"
+            ).total()
+            assert semantic_hits == 1
+            # Both exact keys now resolve without the worker.
+            client.generate("chat", question + "?")
+            assert total_served(controller) == 1
+        finally:
+            set_cache_manager(previous)
+
+    def test_dissimilar_prompt_not_served(self):
+        manager = CacheManager(
+            CacheConfig(semantic_lookup=True, semantic_threshold=0.8)
+        )
+        previous = set_cache_manager(manager)
+        try:
+            controller, client = deploy([chat_spec()])
+            client.generate("chat", "total revenue per product category")
+            client.generate("chat", "list every user in the west region")
+            assert total_served(controller) == 2
+        finally:
+            set_cache_manager(previous)
+
+
+class TestRagTier:
+    def build_kb(self):
+        kb = KnowledgeBase(name="docs")
+        kb.add_document(
+            Document("d1", "PostgreSQL uses MVCC for transaction isolation.")
+        )
+        kb.add_document(
+            Document("d2", "Indexes in MySQL speed up query filtering.")
+        )
+        return kb
+
+    def test_repeat_retrieval_is_cached(self, enabled_cache):
+        kb = self.build_kb()
+        first = kb.retrieve("How does PostgreSQL isolation work?", k=1)
+        second = kb.retrieve("How does PostgreSQL isolation work?", k=1)
+        assert [r.chunk.chunk_id for r in first] == [
+            r.chunk.chunk_id for r in second
+        ]
+        assert first[0].chunk.doc_id == "d1"
+        stats = enabled_cache.store("rag").stats()
+        assert stats.hits >= 1
+
+    def test_indexing_invalidates_cached_results(self, enabled_cache):
+        kb = self.build_kb()
+        kb.retrieve("vacuum tuning advice", k=1)
+        kb.add_document(
+            Document("d3", "Vacuum tuning advice for PostgreSQL autovacuum.")
+        )
+        hits = kb.retrieve("vacuum tuning advice", k=1)
+        assert hits[0].chunk.doc_id == "d3"
+
+    def test_strategies_cache_separately(self, enabled_cache):
+        kb = self.build_kb()
+        kb.retrieve("postgresql", k=1, strategy="vector")
+        kb.retrieve("postgresql", k=1, strategy="keyword")
+        stats = enabled_cache.store("rag").stats()
+        assert stats.hits == 0  # distinct keys, no false sharing
+
+
+class TestSqlTier:
+    def build_db(self):
+        db = Database("shop")
+        db.execute(
+            "CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT, price REAL)"
+        )
+        db.insert_rows(
+            "items", [(1, "widget", 9.5), (2, "gadget", 19.0)]
+        )
+        return db
+
+    def test_repeat_select_is_cached(self, enabled_cache):
+        db = self.build_db()
+        first = db.execute("SELECT name FROM items ORDER BY id")
+        second = db.execute("SELECT name FROM items ORDER BY id")
+        assert first.rows == second.rows
+        stats = enabled_cache.store("sql").stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_cached_result_is_not_aliased(self, enabled_cache):
+        db = self.build_db()
+        first = db.execute("SELECT name FROM items ORDER BY id")
+        first.rows.clear()
+        second = db.execute("SELECT name FROM items ORDER BY id")
+        assert second.rows == [("widget",), ("gadget",)]
+
+    def test_write_invalidates(self, enabled_cache):
+        db = self.build_db()
+        before = db.execute("SELECT COUNT(*) FROM items")
+        db.execute("INSERT INTO items VALUES (3, 'doohickey', 4.0)")
+        after = db.execute("SELECT COUNT(*) FROM items")
+        assert before.rows[0][0] == 2
+        assert after.rows[0][0] == 3
+
+    def test_programmatic_writes_invalidate(self, enabled_cache):
+        db = self.build_db()
+        db.execute("SELECT COUNT(*) FROM items")
+        db.insert_rows("items", [(3, "doohickey", 4.0)])
+        assert db.execute("SELECT COUNT(*) FROM items").rows[0][0] == 3
+
+    def test_parameters_partition_the_cache(self, enabled_cache):
+        db = self.build_db()
+        one = db.execute("SELECT name FROM items WHERE id = ?", (1,))
+        two = db.execute("SELECT name FROM items WHERE id = ?", (2,))
+        assert one.rows != two.rows
+
+    def test_two_databases_never_share_entries(self, enabled_cache):
+        db_a = self.build_db()
+        db_b = self.build_db()
+        db_b.execute("INSERT INTO items VALUES (3, 'extra', 1.0)")
+        count_a = db_a.execute("SELECT COUNT(*) FROM items").rows[0][0]
+        count_b = db_b.execute("SELECT COUNT(*) FROM items").rows[0][0]
+        assert (count_a, count_b) == (2, 3)
+
+
+class TestSchemaKbMemoization:
+    def test_apps_over_same_source_share_one_index(self, enabled_cache):
+        _controller, client = deploy(
+            [ModelSpec("sql-coder", lambda: ChatModel("sql-coder"))]
+        )
+        db = Database("shop")
+        db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT)")
+        source = EngineSource(db)
+        app_a = Text2SqlApp(client, source, validate=False)
+        app_b = Text2SqlApp(client, source, validate=False)
+        assert app_a._schema_kb is app_b._schema_kb
+
+    def test_schema_change_rebuilds_the_index(self, enabled_cache):
+        db = Database("shop")
+        db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT)")
+        source = EngineSource(db)
+        kb_before = schema_knowledge_base(source)
+        db.execute("CREATE TABLE extra (id INTEGER PRIMARY KEY)")
+        kb_after = schema_knowledge_base(source)
+        assert kb_before is not kb_after
+        assert len(kb_after) > len(kb_before)

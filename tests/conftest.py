@@ -1,0 +1,20 @@
+"""Process-global isolation shared by the whole test suite."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.manager import CacheManager, set_cache_manager
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_manager():
+    """Reset the process-wide cache manager around every test.
+
+    Each test starts from the module default (disabled) so cached
+    state can never leak between tests; a test that boots ``DBGPT``
+    or calls ``configure_cache`` gets its own fresh manager for the
+    duration of that test only.
+    """
+    previous = set_cache_manager(CacheManager(CacheConfig.disabled()))
+    yield
+    set_cache_manager(previous)
