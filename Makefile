@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-cache verify docs-check trace-demo
+.PHONY: test lint bench bench-cache bench-serving verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,10 @@ bench:
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/bench_cache.py -q
 
+# Micro-batching scheduler vs sequential dispatch; writes BENCH_serving.json.
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py -q
+
 # Validate that every relative link in the documentation resolves.
 docs-check:
 	$(PYTHON) -m repro.doccheck README.md docs
@@ -25,6 +29,6 @@ trace-demo:
 	$(PYTHON) -m repro.cli trace
 
 # The repo self-check: static analysis over the examples, doc link
-# integrity, one traced end-to-end request, tier-1, then the cache
-# speedup smoke.
-verify: lint docs-check trace-demo test bench-cache
+# integrity, one traced end-to-end request, tier-1, then the cache and
+# serving speedup smokes.
+verify: lint docs-check trace-demo test bench-cache bench-serving

@@ -1,0 +1,130 @@
+"""Concurrent-serving throughput: micro-batching vs sequential dispatch.
+
+The claim worth certifying: with the serving scheduler enabled, 16
+concurrent clients over latency-simulating workers sustain **at least
+3x the requests/second** of single-threaded sequential dispatch, and
+the scheduler actually coalesces (**mean batch size > 1**) rather than
+winning on thread parallelism alone.
+
+Methodology: :class:`repro.serving.LatencySimModel` stands in for GPU
+inference (one fixed latency window per forward pass, small marginal
+cost per batched sequence — the economics that make micro-batching pay
+on real accelerators). The baseline deploys the same four replicas with
+no scheduler and issues every request from one thread; the measured run
+deploys with :class:`ServingConfig` enabled and issues the same
+workload through ``LLMClient.generate_many`` at concurrency 16. The
+inference cache is pinned off by the harness conftest and every prompt
+is distinct, so every request reaches a worker. Numbers land in
+``BENCH_serving.json`` at the repo root.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.serving import LatencySimModel, ServingConfig
+from repro.smmf import ModelSpec, deploy
+
+REQUESTS = 64
+CONCURRENCY = 16
+REPLICAS = 4
+LATENCY_S = 0.005
+PER_ITEM_S = 0.0002
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _specs():
+    return [
+        ModelSpec(
+            "sim",
+            lambda: LatencySimModel(
+                "sim", latency_s=LATENCY_S, per_item_s=PER_ITEM_S
+            ),
+            replicas=REPLICAS,
+            latency_ms=LATENCY_S * 1000,
+        )
+    ]
+
+
+def _prompts():
+    return [f"question number {i}" for i in range(REQUESTS)]
+
+
+def test_scheduler_throughput_vs_sequential():
+    # -- baseline: no scheduler, one caller, one request at a time ------
+    _, baseline_client = deploy(_specs())
+    start = time.perf_counter()
+    baseline_answers = [
+        baseline_client.generate("sim", prompt, task="chat")
+        for prompt in _prompts()
+    ]
+    sequential_s = time.perf_counter() - start
+
+    # -- measured: micro-batching scheduler, 16 concurrent clients ------
+    config = ServingConfig(
+        enabled=True,
+        queue_capacity=256,
+        batch_window_ms=4.0,
+        max_batch_size=16,
+        pool_width=REPLICAS,
+    )
+    controller, client = deploy(_specs(), serving=config)
+    try:
+        start = time.perf_counter()
+        scheduled_answers = client.generate_many(
+            "sim",
+            _prompts(),
+            task="chat",
+            max_concurrency=CONCURRENCY,
+        )
+        scheduled_s = time.perf_counter() - start
+        stats = controller.scheduler.stats()
+    finally:
+        controller.scheduler.close()
+
+    assert scheduled_answers == baseline_answers
+    sequential_rps = REQUESTS / sequential_s
+    scheduled_rps = REQUESTS / scheduled_s
+    speedup = scheduled_rps / sequential_rps
+    mean_batch = stats["mean_batch_size"]
+
+    payload = {
+        "workload": {
+            "requests": REQUESTS,
+            "concurrency": CONCURRENCY,
+            "replicas": REPLICAS,
+            "latency_ms": LATENCY_S * 1000,
+            "per_item_ms": PER_ITEM_S * 1000,
+        },
+        "sequential": {
+            "seconds": round(sequential_s, 4),
+            "rps": round(sequential_rps, 1),
+        },
+        "scheduled": {
+            "seconds": round(scheduled_s, 4),
+            "rps": round(scheduled_rps, 1),
+            "batches": stats["dispatched_batches"],
+            "mean_batch_size": mean_batch,
+            "shed": stats["shed"],
+            "expired": stats["expired"],
+        },
+        "speedup": round(speedup, 2),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print("\nconcurrent serving: scheduler vs sequential dispatch")
+    print(f"  sequential   : {sequential_rps:8.1f} req/s "
+          f"({sequential_s * 1000:.0f} ms total)")
+    print(f"  scheduled    : {scheduled_rps:8.1f} req/s "
+          f"({scheduled_s * 1000:.0f} ms total)")
+    print(f"  speedup      : {speedup:.1f}x at concurrency {CONCURRENCY}")
+    print(f"  mean batch   : {mean_batch:.2f} over "
+          f"{stats['dispatched_batches']} batches")
+    print(f"  written to   : {OUTPUT.name}")
+
+    assert speedup >= 3.0, (
+        f"scheduler only {speedup:.2f}x over sequential (need >= 3x)"
+    )
+    assert mean_batch > 1.0, (
+        f"mean batch size {mean_batch} — scheduler never coalesced"
+    )

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cache.config import CacheConfig
+from repro.serving.config import ServingConfig
 
 
 @dataclass
@@ -56,6 +57,11 @@ class DbGptConfig:
     #: Multi-tier cache configuration (see ``docs/caching.md``).
     #: ``CacheConfig.disabled()`` turns the subsystem off entirely.
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: Concurrent-serving scheduler (see ``docs/serving.md``). Off by
+    #: default: single-threaded callers gain nothing from a batching
+    #: window; enable it (``ServingConfig(enabled=True)``) when many
+    #: sessions hit one instance concurrently.
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def model_names(self) -> list[str]:
         return [model.name for model in self.models]

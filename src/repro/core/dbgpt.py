@@ -72,7 +72,8 @@ class DBGPT:
                     latency_ms=model.latency_ms,
                 )
                 for model in self.config.models
-            ]
+            ],
+            serving=self.config.serving,
         )
         self.sources = DataSourceRegistry()
         self.knowledge = KnowledgeBase(name="dbgpt-knowledge")
@@ -192,6 +193,17 @@ class DBGPT:
     def metrics_snapshot(self) -> dict:
         """Every unified metric (see ``docs/observability.md``)."""
         return get_registry().snapshot()
+
+    # -- serving -------------------------------------------------------------
+
+    def serving_stats(self) -> dict:
+        """Scheduler statistics (``{"enabled": False}`` without one)."""
+        return self.client.serving_stats()
+
+    def shutdown(self) -> None:
+        """Stop background serving threads (no-op when none run)."""
+        if self.controller.scheduler is not None:
+            self.controller.scheduler.close()
 
     # -- caching -------------------------------------------------------------
 

@@ -13,6 +13,8 @@ from repro.llm.base import (
     GenerationResponse,
     LanguageModel,
     LLMError,
+    batch_key,
+    deduplicated_batch,
 )
 from repro.llm.chat_model import ChatModel
 from repro.llm.embedding_model import EmbeddingModel
@@ -34,7 +36,9 @@ __all__ = [
     "LanguageModel",
     "PlannerModel",
     "SqlCoderModel",
+    "batch_key",
     "build_qa_prompt",
+    "deduplicated_batch",
     "build_sql2text_prompt",
     "build_text2sql_prompt",
     "parse_prompt_sections",

@@ -83,6 +83,20 @@ class LanguageModel(abc.ABC):
             finish_reason=finish_reason,
         )
 
+    def generate_batch(
+        self, requests: list[GenerationRequest]
+    ) -> list[GenerationResponse]:
+        """Run a batch of inference calls; responses align with inputs.
+
+        The base implementation is a plain loop, so every model gains
+        the API for free. Models whose execution can amortize work
+        across a batch (shared forward pass, deduplicated prompts,
+        one latency window on simulated hardware) override this with a
+        genuinely vectorized implementation — that override is what the
+        SMMF micro-batching scheduler exploits.
+        """
+        return [self.generate(request) for request in requests]
+
     def stream(self, request: GenerationRequest):
         """Yield the completion in token-sized chunks.
 
@@ -97,3 +111,40 @@ class LanguageModel(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def batch_key(request: GenerationRequest) -> tuple:
+    """Identity of a request for deduplicated batch execution.
+
+    Two requests with equal keys are served by one model run; metadata
+    is deliberately excluded because the deterministic models condition
+    only on prompt/task/budget (metadata is routing context).
+    """
+    return (
+        request.prompt,
+        request.task,
+        request.max_tokens,
+        request.temperature,
+    )
+
+
+def deduplicated_batch(
+    model: LanguageModel, requests: list[GenerationRequest]
+) -> list[GenerationResponse]:
+    """Vectorized batch execution for deterministic models.
+
+    Identical requests in one batch — the common shape under concurrent
+    sessions asking the same question — run the model exactly once and
+    share the response object (responses are immutable dataclasses).
+    Distinct requests still execute individually, so output is
+    position-for-position identical to the base loop.
+    """
+    computed: dict[tuple, GenerationResponse] = {}
+    responses: list[GenerationResponse] = []
+    for request in requests:
+        key = batch_key(request)
+        response = computed.get(key)
+        if response is None:
+            response = computed[key] = model.generate(request)
+        responses.append(response)
+    return responses

@@ -5,7 +5,12 @@ from __future__ import annotations
 
 import re
 
-from repro.llm.base import GenerationRequest, LanguageModel, LLMError
+from repro.llm.base import (
+    GenerationRequest,
+    LanguageModel,
+    LLMError,
+    deduplicated_batch,
+)
 from repro.llm.prompts import parse_prompt_sections
 from repro.nlu.sql2text import sql_to_text
 from repro.rag.embedder import tokenize_words
@@ -21,6 +26,10 @@ class ChatModel(LanguageModel):
         super().__init__(
             name, frozenset({"qa", "sql2text", "summary", "chat"})
         )
+
+    def generate_batch(self, requests):
+        """Vectorized batch: identical prompts run the model once."""
+        return deduplicated_batch(self, requests)
 
     def complete(self, request: GenerationRequest) -> str:
         sections = parse_prompt_sections(request.prompt)

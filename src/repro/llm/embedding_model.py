@@ -28,6 +28,37 @@ class EmbeddingModel(LanguageModel):
         vector = self._embedder.embed(request.prompt)
         return json.dumps([round(float(x), 6) for x in vector])
 
+    def generate_batch(self, requests):
+        """Vectorized batch: all prompts embed in one matrix pass.
+
+        The matrix is computed up front (deduplicating repeated
+        prompts); per-request bookkeeping then reuses the precomputed
+        row, so responses are identical to sequential ``generate``.
+        """
+        from repro.llm.base import GenerationResponse, count_tokens, LLMError
+
+        matrix = self._embedder.embed_batch(
+            [request.prompt for request in requests]
+        )
+        responses = []
+        for request, row in zip(requests, matrix):
+            if request.task is not None and request.task not in self.capabilities:
+                raise LLMError(
+                    f"model {self.name!r} does not support task "
+                    f"{request.task!r} (capabilities: "
+                    f"{sorted(self.capabilities)})"
+                )
+            text = json.dumps([round(float(x), 6) for x in row])
+            responses.append(
+                GenerationResponse(
+                    text=text,
+                    model=self.name,
+                    prompt_tokens=count_tokens(request.prompt),
+                    completion_tokens=count_tokens(text),
+                )
+            )
+        return responses
+
     def generate(self, request: GenerationRequest):
         # Vectors must never be truncated by max_tokens; bypass the
         # budget clamp while keeping usage accounting.

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.llm.base import GenerationRequest, LanguageModel, LLMError
+from repro.llm.base import (
+    GenerationRequest,
+    LanguageModel,
+    LLMError,
+    deduplicated_batch,
+)
 from repro.llm.prompts import (
     parse_prompt_sections,
     parse_schema_text,
@@ -37,6 +42,10 @@ class SqlCoderModel(LanguageModel):
         #: Languages the model understands; English-centric hosted
         #: models are simulated with ``languages=("en",)``.
         self.languages = languages
+
+    def generate_batch(self, requests):
+        """Vectorized batch: identical prompts run the parser once."""
+        return deduplicated_batch(self, requests)
 
     def complete(self, request: GenerationRequest) -> str:
         from repro.nlu.multilingual import detect_language

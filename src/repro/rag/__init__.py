@@ -14,7 +14,7 @@ Implements the paper's Figure 2 pipeline:
 """
 
 from repro.rag.document import Chunk, Document
-from repro.rag.embedder import HashingEmbedder
+from repro.rag.embedder import HashingEmbedder, QueryEmbeddingMemo
 from repro.rag.federation import MultiSourceKnowledge
 from repro.rag.graph_index import GraphIndex
 from repro.rag.icl import ContextPacker, PromptTemplate
@@ -61,6 +61,7 @@ __all__ = [
     "ParagraphSplitter",
     "PrivacyScrubber",
     "PromptTemplate",
+    "QueryEmbeddingMemo",
     "RetrievedChunk",
     "Retriever",
     "SentenceSplitter",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 import math
 import re
+import threading
 import zlib
 from typing import Callable, Iterable, Optional
 
@@ -62,6 +63,43 @@ class HashingEmbedder:
                 for i in range(len(padded) - 2):
                     yield f"#{padded[i:i + 3]}", word
 
+    def hashed_features(
+        self, text: str
+    ) -> list[tuple[int, float, str]]:
+        """The tokenize+hash pass of :meth:`embed`, reified.
+
+        Returns ``(index, sign, source_word)`` triples — everything
+        about the embedding that does *not* depend on the weighting.
+        Federated retrieval runs this pass once per query and applies
+        each source's corpus weights to the shared triples
+        (:class:`QueryEmbeddingMemo`).
+        """
+        triples = []
+        for feature, word in self.features(text):
+            digest = zlib.crc32(feature.encode("utf-8"))
+            # Use one spare bit of the hash for the sign, the classic
+            # hashing-trick debiasing.
+            sign = 1.0 if (digest >> 31) & 1 else -1.0
+            triples.append((digest % self.dim, sign, word))
+        return triples
+
+    def embed_features(
+        self,
+        hashed: list[tuple[int, float, str]],
+        word_weight: Optional[Callable[[str], float]] = None,
+    ) -> np.ndarray:
+        """Accumulate precomputed hash triples into a unit vector."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        for index, sign, word in hashed:
+            weight = 1.0 if word_weight is None else word_weight(word)
+            if weight == 0.0:
+                continue
+            vector[index] += sign * weight
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        return vector
+
     def embed(
         self,
         text: str,
@@ -72,21 +110,7 @@ class HashingEmbedder:
         ``word_weight`` scales each feature's contribution by the weight
         of its source word (e.g. corpus IDF); default weight is 1.
         """
-        vector = np.zeros(self.dim, dtype=np.float64)
-        for feature, word in self.features(text):
-            weight = 1.0 if word_weight is None else word_weight(word)
-            if weight == 0.0:
-                continue
-            digest = zlib.crc32(feature.encode("utf-8"))
-            index = digest % self.dim
-            # Use one spare bit of the hash for the sign, the classic
-            # hashing-trick debiasing.
-            sign = 1.0 if (digest >> 31) & 1 else -1.0
-            vector[index] += sign * weight
-        norm = float(np.linalg.norm(vector))
-        if norm > 0:
-            vector /= norm
-        return vector
+        return self.embed_features(self.hashed_features(text), word_weight)
 
     def embed_cached(
         self,
@@ -132,10 +156,71 @@ class HashingEmbedder:
         texts: list[str],
         word_weight: Optional[Callable[[str], float]] = None,
     ) -> np.ndarray:
-        """Embed many texts into a (n, dim) matrix."""
+        """Embed many texts into an (n, dim) matrix.
+
+        Duplicate texts are embedded once and share their row, so bulk
+        ingestion of repetitive corpora pays per *distinct* text.
+        """
         if not texts:
             return np.zeros((0, self.dim), dtype=np.float64)
-        return np.stack([self.embed(text, word_weight) for text in texts])
+        unique: dict[str, np.ndarray] = {}
+        for text in texts:
+            if text not in unique:
+                unique[text] = self.embed(text, word_weight)
+        return np.stack([unique[text] for text in texts])
+
+
+class QueryEmbeddingMemo:
+    """Reuse one query's embedding work across federated sources.
+
+    Federated retrieval embeds the same query once per knowledge base.
+    The tokenize+hash pass (:meth:`HashingEmbedder.hashed_features`) is
+    identical everywhere — only each source's IDF weighting differs —
+    so a memo threaded through the fan-out runs that pass once and
+    re-weights the shared triples per source; same-weighting vectors
+    (keyed by cache tag, or by the weight callable itself) are shared
+    outright. Thread-safe so parallel fan-out workers can share one.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._features: dict[tuple, list] = {}
+        self._vectors: dict[tuple, np.ndarray] = {}
+
+    def embed(
+        self,
+        embedder: "HashingEmbedder",
+        text: str,
+        word_weight: Optional[Callable[[str], float]] = None,
+        cache_tag: Optional[tuple] = None,
+    ) -> np.ndarray:
+        shape = (
+            embedder.dim,
+            embedder.use_bigrams,
+            embedder.use_char_trigrams,
+        )
+        weight_key = (
+            None
+            if word_weight is None
+            else cache_tag
+            if cache_tag is not None
+            else word_weight
+        )
+        vector_key = (shape, weight_key, text)
+        with self._lock:
+            vector = self._vectors.get(vector_key)
+            hashed = self._features.get((shape, text))
+        if vector is not None:
+            return vector
+        if hashed is None:
+            hashed = embedder.hashed_features(text)
+        vector = embedder.embed_features(hashed, word_weight)
+        # A racing thread may have stored the same (deterministic)
+        # values already; last write wins harmlessly.
+        with self._lock:
+            self._features[(shape, text)] = hashed
+            self._vectors[vector_key] = vector
+        return vector
 
 
 class IdfTable:

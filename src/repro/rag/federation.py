@@ -9,8 +9,12 @@ reciprocal-rank fusion, attributing each hit to its source.
 
 from __future__ import annotations
 
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.obs.tracer import get_tracer
+from repro.rag.embedder import QueryEmbeddingMemo
 from repro.rag.knowledge_base import KnowledgeBase, RetrievedChunk
 
 
@@ -37,9 +41,15 @@ class MultiSourceKnowledge:
     >>> # federation.retrieve("rollout incident", k=5)
     """
 
-    def __init__(self, rank_constant: int = 60) -> None:
+    def __init__(
+        self, rank_constant: int = 60, fanout_width: int = 4
+    ) -> None:
+        if fanout_width < 1:
+            raise ValueError("fanout_width must be at least 1")
         self._bases: dict[str, KnowledgeBase] = {}
         self._rank_constant = rank_constant
+        #: Sources queried concurrently per retrieve; 1 = sequential.
+        self._fanout_width = fanout_width
 
     def register(self, name: str, base: KnowledgeBase) -> None:
         key = name.lower()
@@ -79,12 +89,20 @@ class MultiSourceKnowledge:
                 f"unknown sources: {sorted(unknown)}; "
                 f"known: {self.sources()}"
             )
+        names = sorted(selected)
+        with get_tracer().span(
+            "rag.federate", sources=len(names), strategy=strategy
+        ) as span:
+            results = self._fan_out(names, query, k, strategy)
+            span.set_attribute(
+                "parallel", len(names) > 1 and self._fanout_width > 1
+            )
+        # Fusion walks the collected per-source rankings in sorted name
+        # order, so the outcome is identical however the fan-out raced.
         fused: dict[tuple[str, str], float] = {}
         found: dict[tuple[str, str], RetrievedChunk] = {}
-        for name in sorted(selected):
-            base = self._bases[name]
-            hits = base.retrieve(query, k=k, strategy=strategy)
-            for rank, hit in enumerate(hits, start=1):
+        for name in names:
+            for rank, hit in enumerate(results[name], start=1):
                 key = (name, hit.chunk.chunk_id)
                 fused[key] = fused.get(key, 0.0) + 1.0 / (
                     self._rank_constant + rank
@@ -100,6 +118,35 @@ class MultiSourceKnowledge:
             )
             for (name, chunk_id), score in ranked[:k]
         ]
+
+    def _fan_out(
+        self, names: list[str], query: str, k: int, strategy: str
+    ) -> dict[str, list[RetrievedChunk]]:
+        """Query every selected source, concurrently when it pays.
+
+        One :class:`QueryEmbeddingMemo` is shared across the fan-out so
+        the query's tokenize+hash pass runs once, not once per source.
+        Worker threads run under ``contextvars.copy_context()`` so each
+        source's ``rag.retrieve`` span stays parented to this trace.
+        """
+        memo = QueryEmbeddingMemo()
+
+        def run(name: str) -> list[RetrievedChunk]:
+            return self._bases[name].retrieve(
+                query, k=k, strategy=strategy, embed_memo=memo
+            )
+
+        if len(names) == 1 or self._fanout_width == 1:
+            return {name: run(name) for name in names}
+        workers = min(self._fanout_width, len(names))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="rag-fanout"
+        ) as pool:
+            futures = {
+                name: pool.submit(contextvars.copy_context().run, run, name)
+                for name in names
+            }
+            return {name: future.result() for name, future in futures.items()}
 
     def build_context(
         self, query: str, k: int = 5, max_tokens: int = 512

@@ -129,10 +129,16 @@ class KnowledgeBase:
 
     # -- retrieval ---------------------------------------------------------
 
-    def retriever(self, strategy: str = "hybrid") -> Retriever:
-        """Build the retriever implementing ``strategy``."""
+    def retriever(
+        self, strategy: str = "hybrid", embed_memo=None
+    ) -> Retriever:
+        """Build the retriever implementing ``strategy``.
+
+        ``embed_memo`` (a :class:`QueryEmbeddingMemo`) lets federated
+        retrieval share one query's hash pass across sources.
+        """
         if strategy == "vector":
-            return self._vector_store.make_retriever()
+            return self._vector_store.make_retriever(embed_memo=embed_memo)
         if strategy == "keyword":
             return KeywordRetriever(self._inverted)
         if strategy == "graph":
@@ -140,7 +146,7 @@ class KnowledgeBase:
         if strategy == "hybrid":
             return HybridRetriever(
                 [
-                    self._vector_store.make_retriever(),
+                    self._vector_store.make_retriever(embed_memo=embed_memo),
                     KeywordRetriever(self._inverted),
                     GraphRetriever(self._graph),
                 ]
@@ -155,16 +161,19 @@ class KnowledgeBase:
         k: int = 5,
         strategy: str = "hybrid",
         rerank: bool = False,
+        embed_memo=None,
     ) -> list[RetrievedChunk]:
         """Top-k chunks for ``query`` under the chosen strategy.
 
         Results are served from the RAG cache tier (when enabled),
         keyed on this knowledge base's identity and mutation version —
-        indexing a new document retires every cached result.
+        indexing a new document retires every cached result. The
+        ``embed_memo`` only changes *how* the query embedding is
+        computed, never the result, so it stays out of the key.
         """
         manager = get_cache_manager()
         if not manager.enabled("rag"):
-            return self._retrieve_direct(query, k, strategy, rerank)
+            return self._retrieve_direct(query, k, strategy, rerank, embed_memo)
         key = retrieval_key(
             self._cache_token, self._version, strategy, k, rerank, query
         )
@@ -173,7 +182,9 @@ class KnowledgeBase:
             key,
             lambda: tuple(
                 (r.chunk.chunk_id, r.score, r.strategy)
-                for r in self._retrieve_direct(query, k, strategy, rerank)
+                for r in self._retrieve_direct(
+                    query, k, strategy, rerank, embed_memo
+                )
             ),
             strategy=strategy,
         )
@@ -183,9 +194,16 @@ class KnowledgeBase:
         ]
 
     def _retrieve_direct(
-        self, query: str, k: int, strategy: str, rerank: bool
+        self,
+        query: str,
+        k: int,
+        strategy: str,
+        rerank: bool,
+        embed_memo=None,
     ) -> list[RetrievedChunk]:
-        hits = self.retriever(strategy).retrieve(query, k=k * 2 if rerank else k)
+        hits = self.retriever(strategy, embed_memo=embed_memo).retrieve(
+            query, k=k * 2 if rerank else k
+        )
         if rerank:
             texts = {
                 hit.chunk_id: self._chunks[hit.chunk_id].text for hit in hits
@@ -303,13 +321,14 @@ class VectorStoreHolder:
     def idf_weight(self):
         return self._idf.weight
 
-    def make_retriever(self) -> EmbeddingRetriever:
+    def make_retriever(self, embed_memo=None) -> EmbeddingRetriever:
         self._refresh()
         return EmbeddingRetriever(
             self.store,
             self._embedder,
             word_weight=self._idf.weight,
             cache_tag=self._idf.cache_tag(),
+            embed_memo=embed_memo,
         )
 
     def _refresh(self) -> None:
@@ -317,12 +336,17 @@ class VectorStoreHolder:
             return
         from repro.rag.vectorstore import VectorStore
 
-        # IDF weights changed for every stored vector; rebuild all.
+        # IDF weights changed for every stored vector; rebuild all in
+        # one batch pass (duplicate chunk texts embed once).
         self.store = VectorStore(self._embedder.dim)
-        for chunk in self._all_chunks:
+        matrix = self._embedder.embed_batch(
+            [chunk.text for chunk in self._all_chunks],
+            word_weight=self._idf.weight,
+        )
+        for chunk, vector in zip(self._all_chunks, matrix):
             self.store.add(
                 chunk.chunk_id,
-                self._embedder.embed(chunk.text, word_weight=self._idf.weight),
+                vector,
                 metadata={"doc_id": chunk.doc_id},
             )
         self._pending = []

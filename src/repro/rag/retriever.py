@@ -94,6 +94,7 @@ class EmbeddingRetriever(Retriever):
         embedder: HashingEmbedder,
         word_weight=None,
         cache_tag=None,
+        embed_memo=None,
     ) -> None:
         self._store = store
         self._embedder = embedder
@@ -101,13 +102,24 @@ class EmbeddingRetriever(Retriever):
         #: Weighting-context tag enabling query-embedding caching; see
         #: :meth:`HashingEmbedder.embed_cached`.
         self._cache_tag = cache_tag
+        #: Per-query reuse across federated sources; see
+        #: :class:`repro.rag.embedder.QueryEmbeddingMemo`.
+        self._embed_memo = embed_memo
 
     def retrieve(self, query: str, k: int = 5) -> list[RetrievalHit]:
-        vector = self._embedder.embed_cached(
-            query,
-            word_weight=self._word_weight,
-            cache_tag=self._cache_tag,
-        )
+        if self._embed_memo is not None:
+            vector = self._embed_memo.embed(
+                self._embedder,
+                query,
+                word_weight=self._word_weight,
+                cache_tag=self._cache_tag,
+            )
+        else:
+            vector = self._embedder.embed_cached(
+                query,
+                word_weight=self._word_weight,
+                cache_tag=self._cache_tag,
+            )
         return [
             RetrievalHit(hit.item_id, hit.score, self.name)
             for hit in self._store.search(vector, k)

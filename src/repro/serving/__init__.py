@@ -1,0 +1,34 @@
+"""Concurrent serving: the micro-batching scheduler in front of SMMF.
+
+The paper's SMMF exists to serve many simultaneous chat sessions
+across model replicas; ``repro.serving`` adds the concurrency layer
+that makes the worker pool earn its replicas — a bounded admission
+queue with structured backpressure, a micro-batching dispatcher that
+coalesces compatible requests into single ``generate_batch`` calls,
+and per-request deadlines. See ``docs/serving.md`` for the design and
+tuning guide.
+"""
+
+from repro.serving.config import ServingConfig
+from repro.serving.scheduler import (
+    BATCH_SIZE_BUCKETS,
+    DeadlineExceeded,
+    RequestScheduler,
+    SchedulerClosed,
+    SchedulerError,
+    SchedulerOverloaded,
+    shape_key,
+)
+from repro.serving.simulation import LatencySimModel
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "DeadlineExceeded",
+    "LatencySimModel",
+    "RequestScheduler",
+    "SchedulerClosed",
+    "SchedulerError",
+    "SchedulerOverloaded",
+    "ServingConfig",
+    "shape_key",
+]

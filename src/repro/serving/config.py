@@ -1,0 +1,60 @@
+"""Configuration for the concurrent serving scheduler.
+
+Every knob is plain data so :class:`repro.core.config.DbGptConfig` can
+embed a :class:`ServingConfig` without importing the scheduler (the
+same pattern as :class:`repro.cache.config.CacheConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ServingConfig:
+    """Knobs for the SMMF micro-batching scheduler.
+
+    ``enabled`` is the master switch. It defaults to **off**: the
+    scheduler exists to serve *concurrent* clients, and a
+    single-threaded caller would only pay the batching window and
+    thread handoff for nothing. When disabled, the dispatch path is
+    behaviorally identical to a build without the subsystem (certified
+    by the disabled-parity tests, mirroring the cache tier).
+    """
+
+    enabled: bool = False
+    #: Hard bound on queued-but-undispatched requests. Admission past
+    #: this sheds the request with a 429-style error instead of letting
+    #: latency grow without bound.
+    queue_capacity: int = 128
+    #: How long the dispatcher holds the head-of-line request waiting
+    #: for compatible requests to coalesce with. 0 batches only what
+    #: already queued up.
+    batch_window_ms: float = 2.0
+    #: Largest coalesced batch handed to one worker as a single
+    #: ``generate_batch`` call.
+    max_batch_size: int = 16
+    #: Concurrent dispatches (batches or singles) in flight at once —
+    #: the width of the dispatch thread pool.
+    pool_width: int = 4
+    #: Per-request deadline applied when the caller does not pass one;
+    #: ``None`` means requests wait as long as it takes.
+    default_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be non-negative")
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.pool_width <= 0:
+            raise ValueError("pool_width must be positive")
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ValueError("default_timeout_s must be positive (or None)")
+
+    @classmethod
+    def disabled(cls) -> "ServingConfig":
+        """The default: no scheduler, dispatch exactly as before."""
+        return cls(enabled=False)

@@ -1,0 +1,447 @@
+"""The SMMF micro-batching request scheduler.
+
+The paper's SMMF serves many simultaneous chat sessions across model
+replicas; this module is the concurrency layer in front of the worker
+pool that makes that real:
+
+- **admission queue** — a hard-capacity bound with per-request
+  deadlines. Overload sheds the newest request with a structured
+  :class:`SchedulerOverloaded` (surfaced to clients as a 429 with a
+  ``retry_after`` hint) instead of letting latency grow without bound.
+- **micro-batching dispatcher** — requests compatible on
+  ``(model, task, max_tokens)`` that arrive within the batching window
+  are coalesced into one :meth:`LanguageModel.generate_batch` call on
+  one worker; incompatible requests dispatch individually through the
+  existing balancer. Dispatches run on a bounded thread pool
+  (``pool_width``), which is what the admission queue backs up against.
+
+Everything observable: ``serving_*`` metrics (queue depth gauge, batch
+size histogram, shed/expiry counters, queue wait histogram) plus the
+``smmf.generate_batch``/``smmf.batch`` spans opened by the controller
+and worker. The clock is injectable so deadline tests are
+deterministic without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.llm.base import GenerationRequest, GenerationResponse
+from repro.obs.metrics import get_registry
+from repro.serving.config import ServingConfig
+
+#: Bucket bounds for the coalesced batch-size histogram.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+class SchedulerError(Exception):
+    """Base class for scheduler-originated failures."""
+
+
+class SchedulerOverloaded(SchedulerError):
+    """The admission queue is full; retry after ``retry_after`` seconds.
+
+    Maps to a 429 at the API server boundary — structured backpressure
+    instead of unbounded queueing.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(SchedulerError):
+    """The request's deadline passed before a worker picked it up."""
+
+
+class SchedulerClosed(SchedulerError):
+    """The scheduler was shut down while the request was queued."""
+
+
+def shape_key(model: str, request: GenerationRequest) -> tuple:
+    """Batch-compatibility key: requests coalesce only within a key.
+
+    ``(model, task, max_tokens)`` is the contract — one model replica,
+    one capability route, one token budget per fused execution.
+    """
+    return (model, request.task or "", int(request.max_tokens))
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for (or in) dispatch."""
+
+    model: str
+    request: GenerationRequest
+    enqueued_at: float
+    deadline: Optional[float]
+    done: threading.Event = field(default_factory=threading.Event)
+    response: Optional[GenerationResponse] = None
+    error: Optional[BaseException] = None
+
+    def resolve(self, response: GenerationResponse) -> None:
+        self.response = response
+        self.done.set()
+
+    def reject(self, error: BaseException) -> None:
+        self.error = error
+        self.done.set()
+
+
+class RequestScheduler:
+    """Admission queue + micro-batching dispatcher over a controller.
+
+    One dispatcher thread drains the queue one batch at a time —
+    the head-of-line request plus every queued request sharing its
+    :func:`shape_key`, up to ``max_batch_size``, waiting up to
+    ``batch_window_ms`` for stragglers — and hands each batch to a
+    bounded dispatch pool. When every pool slot is busy the dispatcher
+    stops draining, so the admission queue (and its capacity bound) is
+    the real backpressure surface.
+
+    Threads start lazily on first :meth:`submit`; an unused scheduler
+    costs nothing.
+    """
+
+    def __init__(
+        self,
+        controller: Any,
+        config: Optional[ServingConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._controller = controller
+        self.config = config or ServingConfig(enabled=True)
+        self._clock = clock
+        self._queue: deque[_Pending] = deque()
+        self._cond = threading.Condition()
+        self._inflight_batches = 0
+        self._started = False
+        self._closed = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        # Lifetime statistics (under the condition's lock).
+        self._shed = 0
+        self._expired = 0
+        self._dispatched_batches = 0
+        self._dispatched_requests = 0
+
+    # -- public API --------------------------------------------------------
+
+    def schedule(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ) -> GenerationResponse:
+        """Admit, wait for dispatch, and return the response.
+
+        Raises :class:`SchedulerOverloaded` when shed at admission,
+        :class:`DeadlineExceeded` when the deadline expires while
+        queued, or whatever the dispatch itself raised (``SmmfError``,
+        ``LLMError``).
+        """
+        pending = self.submit(model, request, timeout_s=timeout_s)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.response is not None
+        return pending.response
+
+    def submit(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ) -> _Pending:
+        """Admit one request; returns the pending handle immediately."""
+        self._ensure_started()
+        now = self._clock()
+        budget = (
+            timeout_s
+            if timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        deadline = now + budget if budget is not None else None
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is shut down")
+            if len(self._queue) >= self.config.queue_capacity:
+                self._shed += 1
+                retry_after = self._retry_after_locked()
+                registry = get_registry()
+                registry.counter(
+                    "serving_shed_total",
+                    "requests shed at admission (queue full)",
+                ).inc(model=model)
+                registry.counter(
+                    "serving_requests_total",
+                    "scheduler admissions by outcome",
+                ).inc(model=model, outcome="shed")
+                raise SchedulerOverloaded(
+                    f"serving queue full "
+                    f"({self.config.queue_capacity} waiting); "
+                    f"retry in {retry_after:.2f}s",
+                    retry_after=retry_after,
+                )
+            pending = _Pending(
+                model=model,
+                request=request,
+                enqueued_at=now,
+                deadline=deadline,
+            )
+            self._queue.append(pending)
+            self._queue_gauge_locked()
+            get_registry().counter(
+                "serving_requests_total",
+                "scheduler admissions by outcome",
+            ).inc(model=model, outcome="admitted")
+            self._cond.notify_all()
+        return pending
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> dict[str, Any]:
+        """Lifetime scheduler statistics (queue, sheds, batch sizes)."""
+        with self._cond:
+            batches = self._dispatched_batches
+            return {
+                "queue_depth": len(self._queue),
+                "inflight_batches": self._inflight_batches,
+                "shed": self._shed,
+                "expired": self._expired,
+                "dispatched_batches": batches,
+                "dispatched_requests": self._dispatched_requests,
+                "mean_batch_size": (
+                    round(self._dispatched_requests / batches, 3)
+                    if batches
+                    else 0.0
+                ),
+            }
+
+    def close(self) -> None:
+        """Stop dispatching; queued requests fail with SchedulerClosed."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned = list(self._queue)
+            self._queue.clear()
+            self._queue_gauge_locked()
+            self._cond.notify_all()
+        for pending in abandoned:
+            pending.reject(SchedulerClosed("scheduler shut down"))
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        with self._cond:
+            if self._started:
+                return
+            self._started = True
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.pool_width,
+                thread_name_prefix="serving-dispatch",
+            )
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="serving-scheduler",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    def _retry_after_locked(self) -> float:
+        """Heuristic backoff hint: how long until a queue slot frees.
+
+        Scales with the backlog ahead of the caller measured in
+        batch-capacity units of the dispatch pool, floored at one
+        batching window.
+        """
+        window_s = max(self.config.batch_window_ms / 1000.0, 0.005)
+        capacity_per_round = max(
+            1, self.config.pool_width * self.config.max_batch_size
+        )
+        backlog_rounds = 1 + len(self._queue) / capacity_per_round
+        return round(window_s * backlog_rounds, 4)
+
+    def _queue_gauge_locked(self) -> None:
+        get_registry().gauge(
+            "serving_queue_depth", "requests admitted but not dispatched"
+        ).set(len(self._queue))
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            dispatch = self._next_batch()
+            if dispatch is None:
+                return
+            model, batch = dispatch
+            assert self._pool is not None
+            try:
+                self._pool.submit(self._run_batch, model, batch)
+            except RuntimeError:
+                # Pool shut down between drain and submit (close race).
+                for pending in batch:
+                    pending.reject(SchedulerClosed("scheduler shut down"))
+                with self._cond:
+                    self._inflight_batches -= 1
+                    self._cond.notify_all()
+                return
+
+    def _next_batch(self) -> Optional[tuple[str, list[_Pending]]]:
+        """Block until a batch can dispatch; None when closed.
+
+        Waits for both a queued request *and* a free pool slot, then
+        holds the batching window open for compatible stragglers
+        (woken early once ``max_batch_size`` compatible requests are
+        queued — which is why Event/Barrier-driven tests need no real
+        sleeps).
+        """
+        with self._cond:
+            while True:
+                if self._closed:
+                    return None
+                self._expire_locked()
+                if (
+                    self._queue
+                    and self._inflight_batches < self.config.pool_width
+                ):
+                    break
+                self._cond.wait()
+            head = self._queue[0]
+            key = shape_key(head.model, head.request)
+            window_s = self.config.batch_window_ms / 1000.0
+            if window_s > 0:
+                wait_until = self._clock() + window_s
+                while (
+                    not self._closed
+                    and self._compatible_count_locked(key)
+                    < self.config.max_batch_size
+                ):
+                    remaining = wait_until - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            if self._closed:
+                return None
+            self._expire_locked()
+            if not self._queue:
+                # Everything expired while the window was open.
+                return self._next_batch_tail()
+            head = self._queue.popleft()
+            key = shape_key(head.model, head.request)
+            batch = [head]
+            kept: deque[_Pending] = deque()
+            while self._queue:
+                pending = self._queue.popleft()
+                if (
+                    len(batch) < self.config.max_batch_size
+                    and shape_key(pending.model, pending.request) == key
+                ):
+                    batch.append(pending)
+                else:
+                    kept.append(pending)
+            self._queue = kept
+            self._inflight_batches += 1
+            self._queue_gauge_locked()
+        now = self._clock()
+        registry = get_registry()
+        wait_histogram = registry.histogram(
+            "serving_wait_ms", "time from admission to dispatch"
+        )
+        for pending in batch:
+            wait_histogram.observe(
+                (now - pending.enqueued_at) * 1000.0, model=pending.model
+            )
+        return head.model, batch
+
+    def _next_batch_tail(self) -> Optional[tuple[str, list[_Pending]]]:
+        # Re-enter the wait loop without holding the lock recursively.
+        return self._next_batch()
+
+    def _compatible_count_locked(self, key: tuple) -> int:
+        return sum(
+            1
+            for pending in self._queue
+            if shape_key(pending.model, pending.request) == key
+        )
+
+    def _expire_locked(self) -> None:
+        """Fail queued requests whose deadline has already passed."""
+        if not self._queue:
+            return
+        now = self._clock()
+        survivors: deque[_Pending] = deque()
+        expired: list[_Pending] = []
+        for pending in self._queue:
+            if pending.deadline is not None and now >= pending.deadline:
+                expired.append(pending)
+            else:
+                survivors.append(pending)
+        if not expired:
+            return
+        self._queue = survivors
+        self._expired += len(expired)
+        self._queue_gauge_locked()
+        registry = get_registry()
+        for pending in expired:
+            registry.counter(
+                "serving_deadline_expired_total",
+                "requests expired while queued",
+            ).inc(model=pending.model)
+            registry.counter(
+                "serving_requests_total",
+                "scheduler admissions by outcome",
+            ).inc(model=pending.model, outcome="expired")
+            pending.reject(
+                DeadlineExceeded(
+                    f"deadline passed after "
+                    f"{now - pending.enqueued_at:.3f}s in queue"
+                )
+            )
+
+    def _run_batch(self, model: str, batch: list[_Pending]) -> None:
+        registry = get_registry()
+        registry.histogram(
+            "serving_batch_size",
+            "requests per dispatched batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        ).observe(len(batch), model=model)
+        outcome = "completed"
+        try:
+            if len(batch) == 1:
+                responses = [
+                    self._controller.generate(model, batch[0].request)
+                ]
+            else:
+                responses = self._controller.generate_batch(
+                    model, [pending.request for pending in batch]
+                )
+            for pending, response in zip(batch, responses):
+                pending.resolve(response)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            outcome = "error"
+            for pending in batch:
+                pending.reject(exc)
+        finally:
+            registry.counter(
+                "serving_requests_total",
+                "scheduler admissions by outcome",
+            ).inc(len(batch), model=model, outcome=outcome)
+            registry.counter(
+                "serving_batches_total", "dispatched batches"
+            ).inc(model=model)
+            with self._cond:
+                self._inflight_batches -= 1
+                self._dispatched_batches += 1
+                self._dispatched_requests += len(batch)
+                self._cond.notify_all()

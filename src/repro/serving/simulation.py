@@ -1,0 +1,72 @@
+"""Latency-simulating model for serving benchmarks and load tests.
+
+The deterministic models complete in microseconds, which makes serving
+throughput benchmarks measure Python overhead rather than scheduling.
+:class:`LatencySimModel` stands in for GPU inference: every
+``generate`` costs one latency window, while ``generate_batch`` is
+genuinely vectorized — one window for the whole batch plus a small
+per-item cost, which is exactly the economics that make micro-batching
+pay on real accelerators.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.llm.base import GenerationRequest, LanguageModel
+
+
+class LatencySimModel(LanguageModel):
+    """Deterministic echo model with simulated inference latency.
+
+    ``latency_s`` is the fixed cost of one forward pass; ``per_item_s``
+    is the marginal cost of each extra sequence in a batched pass.
+    Call and batch-size accounting is thread-safe so concurrent load
+    tests can assert on it.
+    """
+
+    def __init__(
+        self,
+        name: str = "sim",
+        latency_s: float = 0.005,
+        per_item_s: float = 0.0002,
+        capabilities: tuple[str, ...] = ("chat", "qa", "summary"),
+    ) -> None:
+        super().__init__(name, frozenset(capabilities))
+        if latency_s < 0 or per_item_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self.latency_s = latency_s
+        self.per_item_s = per_item_s
+        self.calls = 0
+        self.batch_calls = 0
+        self.batch_sizes: list[int] = []
+        self._lock = threading.Lock()
+        self._skip_latency = threading.local()
+
+    def complete(self, request: GenerationRequest) -> str:
+        if not getattr(self._skip_latency, "active", False):
+            with self._lock:
+                self.calls += 1
+            if self.latency_s:
+                time.sleep(self.latency_s + self.per_item_s)
+        head = request.prompt.strip().splitlines()[0][:120] if request.prompt else ""
+        return f"sim answer: {head}"
+
+    def generate_batch(self, requests):
+        """One simulated forward pass for the whole batch."""
+        if not requests:
+            return []
+        with self._lock:
+            self.calls += 1
+            self.batch_calls += 1
+            self.batch_sizes.append(len(requests))
+        if self.latency_s:
+            time.sleep(self.latency_s + self.per_item_s * len(requests))
+        # The per-request bookkeeping reuses the sequential path with
+        # its latency charged already (the batch slept once above).
+        self._skip_latency.active = True
+        try:
+            return [self.generate(request) for request in requests]
+        finally:
+            self._skip_latency.active = False

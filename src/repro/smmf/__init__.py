@@ -22,7 +22,7 @@ from repro.smmf.balancer import (
     RandomBalancer,
     RoundRobinBalancer,
 )
-from repro.smmf.client import LLMClient
+from repro.smmf.client import ClientError, LLMClient
 from repro.smmf.controller import ModelController, SmmfError
 from repro.smmf.deploy import deploy
 from repro.smmf.metrics import MetricsCollector
@@ -34,6 +34,7 @@ __all__ = [
     "ApiRequest",
     "ApiResponse",
     "ApiServer",
+    "ClientError",
     "LLMClient",
     "LeastBusyBalancer",
     "LoadBalancer",

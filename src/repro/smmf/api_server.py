@@ -13,6 +13,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.llm.base import GenerationRequest, LLMError
+from repro.serving.scheduler import (
+    DeadlineExceeded,
+    SchedulerClosed,
+    SchedulerOverloaded,
+)
 from repro.smmf.controller import ModelController, SmmfError
 
 
@@ -50,6 +55,8 @@ class ApiServer:
             return ApiResponse(
                 200, {"metrics": self.controller.metrics.snapshot()}
             )
+        if route == ("GET", "/v1/serving"):
+            return self._serving()
         return ApiResponse(
             404, {"error": f"no route {request.method} {request.path}"}
         )
@@ -69,7 +76,28 @@ class ApiServer:
             metadata=dict(body.get("metadata", {})),
         )
         try:
-            response = self.controller.generate(model, generation_request)
+            scheduler = self.controller.scheduler
+            if scheduler is not None:
+                timeout_s = body.get("timeout_s")
+                response = scheduler.schedule(
+                    model,
+                    generation_request,
+                    timeout_s=float(timeout_s)
+                    if timeout_s is not None
+                    else None,
+                )
+            else:
+                response = self.controller.generate(
+                    model, generation_request
+                )
+        except SchedulerOverloaded as exc:
+            return ApiResponse(
+                429, {"error": str(exc), "retry_after": exc.retry_after}
+            )
+        except DeadlineExceeded as exc:
+            return ApiResponse(504, {"error": str(exc)})
+        except SchedulerClosed as exc:
+            return ApiResponse(503, {"error": str(exc)})
         except SmmfError as exc:
             return ApiResponse(503, {"error": str(exc)})
         except LLMError as exc:
@@ -87,6 +115,12 @@ class ApiServer:
                 "finish_reason": response.finish_reason,
             },
         )
+
+    def _serving(self) -> ApiResponse:
+        scheduler = self.controller.scheduler
+        if scheduler is None:
+            return ApiResponse(200, {"enabled": False})
+        return ApiResponse(200, {"enabled": True, **scheduler.stats()})
 
     def _health(self) -> ApiResponse:
         workers = self.controller.workers()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import abc
 import random
+import threading
 from typing import Optional
 
 from repro.obs.metrics import get_registry
@@ -47,7 +48,7 @@ def _metered_choose(choose):
             "balancer_chosen_inflight",
             "queue depth of the chosen worker at pick time",
             buckets=(0, 1, 2, 4, 8, 16, 32, 64),
-        ).observe(record.worker.inflight, policy=self.name)
+        ).observe(record.worker.load_snapshot()[0], policy=self.name)
         return record
 
     wrapped.__obs_wrapped__ = True
@@ -62,13 +63,14 @@ class RoundRobinBalancer(LoadBalancer):
 
     def __init__(self) -> None:
         self._cursors: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
         model = candidates[0].model_name
-        cursor = self._cursors.get(model, 0)
-        chosen = candidates[cursor % len(candidates)]
-        self._cursors[model] = cursor + 1
-        return chosen
+        with self._lock:
+            cursor = self._cursors.get(model, 0)
+            self._cursors[model] = cursor + 1
+        return candidates[cursor % len(candidates)]
 
 
 class RandomBalancer(LoadBalancer):
@@ -78,23 +80,33 @@ class RandomBalancer(LoadBalancer):
 
     def __init__(self, seed: Optional[int] = None) -> None:
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
 
     def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
-        return self._rng.choice(candidates)
+        with self._lock:
+            return self._rng.choice(candidates)
 
 
 class LeastBusyBalancer(LoadBalancer):
     """Prefer the worker with the fewest in-flight requests, breaking
-    ties by total served (coldest worker first)."""
+    ties by total served (coldest worker first).
+
+    Loads are read through :meth:`ModelWorker.load_snapshot` so each
+    candidate's (inflight, served) pair is internally consistent even
+    while scheduler pool threads are mutating the counters.
+    """
 
     name = "least_busy"
 
     def choose(self, candidates: list[WorkerRecord]) -> WorkerRecord:
+        snapshots = [
+            (record.worker.load_snapshot(), record) for record in candidates
+        ]
         return min(
-            candidates,
-            key=lambda record: (
-                record.worker.inflight,
-                record.worker.served,
-                record.worker.worker_id,
+            snapshots,
+            key=lambda pair: (
+                pair[0][0],
+                pair[0][1],
+                pair[1].worker.worker_id,
             ),
-        )
+        )[1]

@@ -11,6 +11,10 @@ instance, so two serving stacks in one process never share entries.
 
 from __future__ import annotations
 
+import asyncio
+import contextvars
+import functools
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
 
 from repro.cache.keys import inference_key, instance_token, normalize_prompt
@@ -19,11 +23,22 @@ from repro.smmf.api_server import ApiRequest, ApiServer
 
 
 class ClientError(Exception):
-    """A request was rejected by the server."""
+    """A request was rejected by the server.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the server's backoff hint (seconds) when
+    the rejection was backpressure (a 429 from the serving scheduler);
+    it is ``None`` for every other failure.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class LLMClient:
@@ -44,16 +59,21 @@ class LLMClient:
         task: Optional[str] = None,
         max_tokens: int = 512,
         metadata: Optional[dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
     ) -> str:
         """Generate text; raises :class:`ClientError` on any failure.
 
         Successful responses are cached in the inference tier; errors
         are never cached, so a failed call retries the stack next time.
+        ``timeout_s`` is the serving deadline: with the micro-batching
+        scheduler enabled, a request still queued when it expires fails
+        with a 504 instead of waiting forever (it does not key the
+        cache — a deadline is an SLO, not part of the answer).
         """
         manager = get_cache_manager()
         if not manager.enabled("inference"):
             return self._generate_uncached(
-                model, prompt, task, max_tokens, metadata
+                model, prompt, task, max_tokens, metadata, timeout_s
             )
         key = inference_key(
             self._cache_token, model, prompt, task, max_tokens, metadata
@@ -70,13 +90,121 @@ class LLMClient:
                     if found:
                         return text
             text = self._generate_uncached(
-                model, prompt, task, max_tokens, metadata
+                model, prompt, task, max_tokens, metadata, timeout_s
             )
             if semantic is not None:
                 semantic.add(group, normalized, key)
             return text
 
         return manager.cached("inference", key, compute, model=model)
+
+    def generate_many(
+        self,
+        model: str,
+        prompts: list[str],
+        task: Optional[str] = None,
+        max_tokens: int = 512,
+        metadata: Optional[dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        max_concurrency: int = 16,
+    ) -> list[str]:
+        """Generate for many prompts concurrently; results align with
+        ``prompts``.
+
+        Requests are issued from a client-side thread pool, so with the
+        serving scheduler enabled they land inside one batching window
+        and coalesce into vectorized worker calls; each request still
+        goes through :meth:`generate`, so the inference cache and its
+        single-flight deduplication apply per prompt. The first failure
+        is re-raised after all requests settle.
+        """
+        if not prompts:
+            return []
+        if len(prompts) == 1:
+            return [
+                self.generate(
+                    model,
+                    prompts[0],
+                    task=task,
+                    max_tokens=max_tokens,
+                    metadata=metadata,
+                    timeout_s=timeout_s,
+                )
+            ]
+        workers = min(max_concurrency, len(prompts))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="llm-client"
+        ) as pool:
+            futures = []
+            for prompt in prompts:
+                # Propagate the caller's context so spans opened in
+                # pool threads stay children of the current trace.
+                context = contextvars.copy_context()
+                futures.append(
+                    pool.submit(
+                        context.run,
+                        self.generate,
+                        model,
+                        prompt,
+                        task,
+                        max_tokens,
+                        metadata,
+                        timeout_s,
+                    )
+                )
+            return [future.result() for future in futures]
+
+    async def agenerate(
+        self,
+        model: str,
+        prompt: str,
+        task: Optional[str] = None,
+        max_tokens: int = 512,
+        metadata: Optional[dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> str:
+        """Async-friendly :meth:`generate`: awaitable without blocking
+        the event loop (the blocking round trip runs on the loop's
+        default executor)."""
+        loop = asyncio.get_running_loop()
+        call = functools.partial(
+            self.generate,
+            model,
+            prompt,
+            task=task,
+            max_tokens=max_tokens,
+            metadata=metadata,
+            timeout_s=timeout_s,
+        )
+        return await loop.run_in_executor(
+            None, contextvars.copy_context().run, call
+        )
+
+    async def agenerate_many(
+        self,
+        model: str,
+        prompts: list[str],
+        task: Optional[str] = None,
+        max_tokens: int = 512,
+        metadata: Optional[dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> list[str]:
+        """Concurrent async generation; results align with ``prompts``."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self.agenerate(
+                        model,
+                        prompt,
+                        task=task,
+                        max_tokens=max_tokens,
+                        metadata=metadata,
+                        timeout_s=timeout_s,
+                    )
+                    for prompt in prompts
+                )
+            )
+        )
 
     def _generate_uncached(
         self,
@@ -85,26 +213,32 @@ class LLMClient:
         task: Optional[str],
         max_tokens: int,
         metadata: Optional[dict[str, Any]],
+        timeout_s: Optional[float] = None,
     ) -> str:
         """One real round trip through the serving stack."""
+        body: dict[str, Any] = {
+            "model": model,
+            "prompt": prompt,
+            "task": task,
+            "max_tokens": max_tokens,
+            "metadata": metadata or {},
+        }
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
         response = self._server.handle(
-            ApiRequest(
-                "POST",
-                "/v1/generate",
-                {
-                    "model": model,
-                    "prompt": prompt,
-                    "task": task,
-                    "max_tokens": max_tokens,
-                    "metadata": metadata or {},
-                },
-            )
+            ApiRequest("POST", "/v1/generate", body)
         )
         if response.status != 200:
             raise ClientError(
-                response.status, response.body.get("error", "unknown error")
+                response.status,
+                response.body.get("error", "unknown error"),
+                retry_after=response.body.get("retry_after"),
             )
         return response.body["text"]
+
+    def serving_stats(self) -> dict[str, Any]:
+        """Scheduler statistics (``{"enabled": False}`` without one)."""
+        return self._server.handle(ApiRequest("GET", "/v1/serving")).body
 
     def models(self) -> list[str]:
         response = self._server.handle(ApiRequest("GET", "/v1/models"))

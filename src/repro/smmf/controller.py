@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.llm.base import GenerationRequest, GenerationResponse, LLMError
@@ -35,13 +36,19 @@ class ModelController:
         self.metrics = MetricsCollector()
         self.max_retries = max_retries
         self._clock = 0.0
+        self._clock_lock = threading.Lock()
+        #: Optional micro-batching scheduler in front of the pool (set
+        #: by :func:`repro.smmf.deploy.deploy` when serving is enabled;
+        #: the API server routes through it when present).
+        self.scheduler = None
 
     # -- time ------------------------------------------------------------
 
     def advance_clock(self, seconds: float) -> float:
         """Advance the controller's logical clock (tests/benchmarks)."""
-        self._clock += seconds
-        return self._clock
+        with self._clock_lock:
+            self._clock += seconds
+            return self._clock
 
     @property
     def clock(self) -> float:
@@ -123,7 +130,7 @@ class ModelController:
             span.set_attributes(
                 worker=worker.worker_id, retries=attempts - 1
             )
-            self._clock += latency / 1000.0
+            self.advance_clock(latency / 1000.0)
             return response
         self.metrics.record_failure(model_name)
         known = self.registry.model_names()
@@ -135,6 +142,85 @@ class ModelController:
         raise SmmfError(
             f"all replicas of {model_name!r} failed "
             f"(last error: {last_error})"
+        )
+
+    def generate_batch(
+        self, model_name: str, requests: list[GenerationRequest]
+    ) -> list[GenerationResponse]:
+        """Serve a coalesced batch on one replica, with batch failover.
+
+        The batch is dispatched as a single ``generate_batch`` model
+        call; if the chosen worker crashes mid-dispatch the *whole*
+        batch retries on another replica (no partial results exist —
+        the batch is one execution), up to ``max_retries`` times.
+        """
+        if not requests:
+            return []
+        with get_tracer().span(
+            "smmf.generate_batch",
+            model=model_name,
+            batch_size=len(requests),
+        ) as span:
+            return self._generate_batch(model_name, requests, span)
+
+    def _generate_batch(
+        self,
+        model_name: str,
+        requests: list[GenerationRequest],
+        span,
+    ) -> list[GenerationResponse]:
+        attempts = 0
+        tried: set[str] = set()
+        last_error: Optional[Exception] = None
+        while attempts <= self.max_retries:
+            candidates = [
+                record
+                for record in self.registry.healthy_workers(model_name)
+                if record.worker.worker_id not in tried
+            ]
+            if not candidates:
+                break
+            record = self.balancer.choose(candidates)
+            worker = record.worker
+            tried.add(worker.worker_id)
+            attempts += 1
+            try:
+                responses = worker.handle_batch(requests)
+            except WorkerCrashed as exc:
+                record.healthy = False
+                last_error = exc
+                continue
+            except LLMError:
+                self.metrics.record_failure(model_name)
+                raise
+            latency = float(record.metadata.get("latency_ms", 0.0))
+            for response in responses:
+                self.metrics.record_success(
+                    model=model_name,
+                    worker_id=worker.worker_id,
+                    latency_ms=latency,
+                    prompt_tokens=response.prompt_tokens,
+                    completion_tokens=response.completion_tokens,
+                    retries=attempts - 1,
+                )
+            span.set_attributes(
+                worker=worker.worker_id, retries=attempts - 1
+            )
+            # One batch occupies the replica for one latency window,
+            # which is exactly the throughput win being modelled.
+            self.advance_clock(latency / 1000.0)
+            return responses
+        for _request in requests:
+            self.metrics.record_failure(model_name)
+        known = self.registry.model_names()
+        if model_name not in known:
+            raise SmmfError(
+                f"no model named {model_name!r} is deployed; "
+                f"available: {known}"
+            )
+        raise SmmfError(
+            f"all replicas of {model_name!r} failed a batch of "
+            f"{len(requests)} (last error: {last_error})"
         )
 
     def stream(self, model_name: str, request: GenerationRequest):

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.serving.config import ServingConfig
+from repro.serving.scheduler import RequestScheduler
 from repro.smmf.api_server import ApiServer
 from repro.smmf.balancer import LoadBalancer
 from repro.smmf.client import LLMClient
@@ -16,11 +18,15 @@ def deploy(
     specs: Iterable[ModelSpec],
     balancer: Optional[LoadBalancer] = None,
     heartbeat_timeout: float = 30.0,
+    serving: Optional[ServingConfig] = None,
 ) -> tuple[ModelController, LLMClient]:
     """Spin up workers for every spec and return controller + client.
 
     This is the one-call "private deployment" path the paper's SMMF
     promises: every model runs locally under the caller's control.
+    Passing an enabled :class:`ServingConfig` mounts the micro-batching
+    scheduler in front of the pool (see ``docs/serving.md``); without
+    one, dispatch is the direct path it has always been.
     """
     controller = ModelController(
         balancer=balancer, heartbeat_timeout=heartbeat_timeout
@@ -35,5 +41,7 @@ def deploy(
                 )
             worker = ModelWorker(model, latency_ms=spec.latency_ms)
             controller.register_worker(worker, latency_ms=spec.latency_ms)
+    if serving is not None and serving.enabled:
+        controller.scheduler = RequestScheduler(controller, serving)
     server = ApiServer(controller)
     return controller, LLMClient(server)

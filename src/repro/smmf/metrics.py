@@ -11,6 +11,7 @@ publishes to the global registry under the documented metric names
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.obs.metrics import get_registry
@@ -40,6 +41,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._models: dict[str, ModelMetrics] = {}
         self._worker_requests: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def record_success(
         self,
@@ -50,15 +52,16 @@ class MetricsCollector:
         completion_tokens: int,
         retries: int = 0,
     ) -> None:
-        metrics = self._models.setdefault(model, ModelMetrics())
-        metrics.requests += 1
-        metrics.retries += retries
-        metrics.prompt_tokens += prompt_tokens
-        metrics.completion_tokens += completion_tokens
-        metrics.total_latency_ms += latency_ms
-        self._worker_requests[worker_id] = (
-            self._worker_requests.get(worker_id, 0) + 1
-        )
+        with self._lock:
+            metrics = self._models.setdefault(model, ModelMetrics())
+            metrics.requests += 1
+            metrics.retries += retries
+            metrics.prompt_tokens += prompt_tokens
+            metrics.completion_tokens += completion_tokens
+            metrics.total_latency_ms += latency_ms
+            self._worker_requests[worker_id] = (
+                self._worker_requests.get(worker_id, 0) + 1
+            )
         registry = get_registry()
         registry.counter(
             "model_requests_total", "inference requests per model"
@@ -80,17 +83,20 @@ class MetricsCollector:
         ).inc(worker=worker_id)
 
     def record_failure(self, model: str) -> None:
-        metrics = self._models.setdefault(model, ModelMetrics())
-        metrics.failures += 1
+        with self._lock:
+            metrics = self._models.setdefault(model, ModelMetrics())
+            metrics.failures += 1
         get_registry().counter(
             "model_requests_total", "inference requests per model"
         ).inc(model=model, outcome="failure")
 
     def model(self, name: str) -> ModelMetrics:
-        return self._models.setdefault(name, ModelMetrics())
+        with self._lock:
+            return self._models.setdefault(name, ModelMetrics())
 
     def worker_requests(self, worker_id: str) -> int:
-        return self._worker_requests.get(worker_id, 0)
+        with self._lock:
+            return self._worker_requests.get(worker_id, 0)
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Plain-dict view for dashboards and benchmark output."""

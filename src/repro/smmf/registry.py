@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -27,7 +28,9 @@ class ModelRegistry:
     """Tracks which workers serve which model, with heartbeats.
 
     Time is an explicit parameter (a logical clock) so tests and
-    benchmarks control it deterministically.
+    benchmarks control it deterministically. A registry lock guards the
+    record tables: scheduler pool threads read candidate lists while
+    heartbeats, sweeps and (de)registrations mutate them.
     """
 
     def __init__(self, heartbeat_timeout: float = 30.0) -> None:
@@ -36,6 +39,7 @@ class ModelRegistry:
         self.heartbeat_timeout = heartbeat_timeout
         self._records: dict[str, WorkerRecord] = {}
         self._by_model: dict[str, list[str]] = {}
+        self._lock = threading.RLock()
 
     def register(
         self,
@@ -43,67 +47,75 @@ class ModelRegistry:
         now: float = 0.0,
         metadata: Optional[dict[str, Any]] = None,
     ) -> None:
-        if worker.worker_id in self._records:
-            raise RegistryError(
-                f"worker {worker.worker_id!r} already registered"
+        with self._lock:
+            if worker.worker_id in self._records:
+                raise RegistryError(
+                    f"worker {worker.worker_id!r} already registered"
+                )
+            record = WorkerRecord(
+                worker=worker,
+                model_name=worker.model.name,
+                heartbeat=now,
+                metadata=dict(metadata or {}),
             )
-        record = WorkerRecord(
-            worker=worker,
-            model_name=worker.model.name,
-            heartbeat=now,
-            metadata=dict(metadata or {}),
-        )
-        self._records[worker.worker_id] = record
-        self._by_model.setdefault(worker.model.name, []).append(
-            worker.worker_id
-        )
+            self._records[worker.worker_id] = record
+            self._by_model.setdefault(worker.model.name, []).append(
+                worker.worker_id
+            )
 
     def deregister(self, worker_id: str) -> None:
-        record = self._records.pop(worker_id, None)
-        if record is None:
-            raise RegistryError(f"unknown worker {worker_id!r}")
-        self._by_model[record.model_name].remove(worker_id)
-        if not self._by_model[record.model_name]:
-            del self._by_model[record.model_name]
+        with self._lock:
+            record = self._records.pop(worker_id, None)
+            if record is None:
+                raise RegistryError(f"unknown worker {worker_id!r}")
+            self._by_model[record.model_name].remove(worker_id)
+            if not self._by_model[record.model_name]:
+                del self._by_model[record.model_name]
 
     def heartbeat(self, worker_id: str, now: float) -> None:
-        record = self._records.get(worker_id)
-        if record is None:
-            raise RegistryError(f"unknown worker {worker_id!r}")
-        record.heartbeat = now
-        record.healthy = True
+        with self._lock:
+            record = self._records.get(worker_id)
+            if record is None:
+                raise RegistryError(f"unknown worker {worker_id!r}")
+            record.heartbeat = now
+            record.healthy = True
 
     def sweep(self, now: float) -> list[str]:
         """Mark workers with stale heartbeats unhealthy; returns them."""
         stale = []
-        for worker_id, record in self._records.items():
-            if now - record.heartbeat > self.heartbeat_timeout:
-                record.healthy = False
-                stale.append(worker_id)
+        with self._lock:
+            for worker_id, record in self._records.items():
+                if now - record.heartbeat > self.heartbeat_timeout:
+                    record.healthy = False
+                    stale.append(worker_id)
         return stale
 
     def healthy_workers(self, model_name: str) -> list[WorkerRecord]:
-        ids = self._by_model.get(model_name, [])
-        return [
-            self._records[worker_id]
-            for worker_id in ids
-            if self._records[worker_id].healthy
-            and self._records[worker_id].worker.alive
-        ]
+        with self._lock:
+            ids = self._by_model.get(model_name, [])
+            return [
+                self._records[worker_id]
+                for worker_id in ids
+                if self._records[worker_id].healthy
+                and self._records[worker_id].worker.alive
+            ]
 
     def all_workers(self, model_name: Optional[str] = None) -> list[WorkerRecord]:
-        if model_name is None:
-            return list(self._records.values())
-        return [
-            self._records[worker_id]
-            for worker_id in self._by_model.get(model_name, [])
-        ]
+        with self._lock:
+            if model_name is None:
+                return list(self._records.values())
+            return [
+                self._records[worker_id]
+                for worker_id in self._by_model.get(model_name, [])
+            ]
 
     def model_names(self) -> list[str]:
-        return sorted(self._by_model)
+        with self._lock:
+            return sorted(self._by_model)
 
     def record(self, worker_id: str) -> WorkerRecord:
-        record = self._records.get(worker_id)
-        if record is None:
-            raise RegistryError(f"unknown worker {worker_id!r}")
-        return record
+        with self._lock:
+            record = self._records.get(worker_id)
+            if record is None:
+                raise RegistryError(f"unknown worker {worker_id!r}")
+            return record

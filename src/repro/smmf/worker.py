@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Optional
 
 from repro.llm.base import (
@@ -22,6 +23,12 @@ def _queue_depth_gauge():
     )
 
 
+def _stream_counter():
+    return get_registry().counter(
+        "worker_streams_total", "streams by worker and outcome"
+    )
+
+
 class WorkerCrashed(Exception):
     """The worker is down (failure injection or explicit kill)."""
 
@@ -31,6 +38,9 @@ class ModelWorker:
 
     Tracks in-flight and served counts (used by the least-busy
     balancer) and supports failure injection for failover tests.
+    Counter updates are guarded by a per-worker lock: the serving
+    scheduler dispatches to one worker from several pool threads
+    concurrently, and unguarded ``+=`` would drop updates.
     """
 
     def __init__(
@@ -45,24 +55,53 @@ class ModelWorker:
         self.inflight = 0
         self.served = 0
         self.failed = 0
+        #: Streams whose consumer walked away before exhaustion.
+        self.abandoned_streams = 0
         self.alive = True
         #: When > 0, the next N requests crash (failure injection).
         self.fail_next = 0
+        self._lock = threading.Lock()
+
+    # -- bookkeeping (all under the worker lock) ---------------------------
+
+    def load_snapshot(self) -> tuple[int, int]:
+        """A consistent ``(inflight, served)`` pair for balancers."""
+        with self._lock:
+            return self.inflight, self.served
+
+    def _check_up(self, amount: int = 1) -> None:
+        """Raise if down or crash-injected; charges ``failed``."""
+        with self._lock:
+            if not self.alive:
+                raise WorkerCrashed(f"{self.worker_id} is not alive")
+            if self.fail_next > 0:
+                self.fail_next -= 1
+                self.failed += amount
+                raise WorkerCrashed(
+                    f"{self.worker_id} crashed handling a request"
+                )
+
+    def _begin(self, amount: int = 1) -> None:
+        with self._lock:
+            self.inflight += amount
+            depth = self.inflight
+        _queue_depth_gauge().set(depth, worker=self.worker_id)
+
+    def _end(self, amount: int = 1, served: int = 0) -> None:
+        with self._lock:
+            self.inflight -= amount
+            self.served += served
+            depth = self.inflight
+        _queue_depth_gauge().set(depth, worker=self.worker_id)
+
+    # -- execution ---------------------------------------------------------
 
     def handle(self, request: GenerationRequest) -> GenerationResponse:
         """Run one inference call; raises :class:`WorkerCrashed` when
         the worker is down."""
-        if not self.alive:
-            raise WorkerCrashed(f"{self.worker_id} is not alive")
-        if self.fail_next > 0:
-            self.fail_next -= 1
-            self.failed += 1
-            raise WorkerCrashed(
-                f"{self.worker_id} crashed handling a request"
-            )
-        gauge = _queue_depth_gauge()
-        self.inflight += 1
-        gauge.set(self.inflight, worker=self.worker_id)
+        self._check_up()
+        self._begin()
+        served = 0
         try:
             with get_tracer().span(
                 "smmf.worker",
@@ -78,31 +117,93 @@ class ModelWorker:
                     prompt_tokens=response.prompt_tokens,
                     completion_tokens=response.completion_tokens,
                 )
+            served = 1
         finally:
-            self.inflight -= 1
-            gauge.set(self.inflight, worker=self.worker_id)
-        self.served += 1
+            self._end(served=served)
         return response
 
-    def handle_stream(self, request: GenerationRequest):
-        """Streaming inference: yields completion chunks."""
-        if not self.alive:
-            raise WorkerCrashed(f"{self.worker_id} is not alive")
-        if self.fail_next > 0:
-            self.fail_next -= 1
-            self.failed += 1
-            raise WorkerCrashed(
-                f"{self.worker_id} crashed handling a request"
-            )
-        gauge = _queue_depth_gauge()
-        self.inflight += 1
-        gauge.set(self.inflight, worker=self.worker_id)
+    def handle_batch(
+        self, requests: list[GenerationRequest]
+    ) -> list[GenerationResponse]:
+        """Run a coalesced batch as one model call.
+
+        The whole batch succeeds or fails together (one replica, one
+        execution); the scheduler fails the batch over to another
+        replica on :class:`WorkerCrashed`.
+        """
+        if not requests:
+            return []
+        self._check_up(amount=len(requests))
+        self._begin(len(requests))
+        served = 0
         try:
-            yield from self.model.stream(request)
+            with get_tracer().span(
+                "smmf.batch",
+                worker=self.worker_id,
+                model=self.model.name,
+            ) as span:
+                span.set_attribute("batch.size", len(requests))
+                span.set_attribute("cache.hit", False)
+                responses = self.model.generate_batch(requests)
+                span.set_attributes(
+                    prompt_tokens=sum(r.prompt_tokens for r in responses),
+                    completion_tokens=sum(
+                        r.completion_tokens for r in responses
+                    ),
+                )
+            served = len(requests)
         finally:
-            self.inflight -= 1
-            gauge.set(self.inflight, worker=self.worker_id)
-        self.served += 1
+            self._end(len(requests), served=served)
+        return responses
+
+    def handle_stream(self, request: GenerationRequest):
+        """Streaming inference: returns a generator of chunks.
+
+        Liveness/failure-injection checks run eagerly at call time (not
+        at first ``next``), the stream runs inside the same
+        ``smmf.worker`` span discipline as :meth:`handle`, and a
+        consumer that abandons the generator mid-stream is counted
+        distinctly (``abandoned_streams`` / ``worker_streams_total``)
+        instead of silently skipping ``served``.
+        """
+        self._check_up()
+        return self._stream_body(request)
+
+    def _stream_body(self, request: GenerationRequest):
+        self._begin()
+        completed = False
+        try:
+            with get_tracer().span(
+                "smmf.worker",
+                worker=self.worker_id,
+                model=self.model.name,
+                stream=True,
+            ) as span:
+                span.set_attribute("cache.hit", False)
+                chunks = 0
+                try:
+                    for chunk in self.model.stream(request):
+                        chunks += 1
+                        yield chunk
+                finally:
+                    span.set_attribute("chunks", chunks)
+            completed = True
+        except GeneratorExit:
+            with self._lock:
+                self.abandoned_streams += 1
+            _stream_counter().inc(
+                worker=self.worker_id, outcome="abandoned"
+            )
+            raise
+        except Exception:
+            _stream_counter().inc(worker=self.worker_id, outcome="error")
+            raise
+        finally:
+            self._end(served=1 if completed else 0)
+            if completed:
+                _stream_counter().inc(
+                    worker=self.worker_id, outcome="completed"
+                )
 
     def kill(self) -> None:
         """Simulate the worker process dying."""
