@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-cache bench-serving verify docs-check trace-demo
+.PHONY: test lint bench bench-cache bench-serving bench-resilience verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,11 @@ bench-cache:
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py -q
 
+# Survival rate and breaker recovery under a deterministic fault
+# timeline; writes BENCH_resilience.json.
+bench-resilience:
+	$(PYTHON) -m pytest benchmarks/bench_resilience.py -q
+
 # Validate that every relative link in the documentation resolves.
 docs-check:
 	$(PYTHON) -m repro.doccheck README.md docs
@@ -29,6 +34,6 @@ trace-demo:
 	$(PYTHON) -m repro.cli trace
 
 # The repo self-check: static analysis over the examples, doc link
-# integrity, one traced end-to-end request, tier-1, then the cache and
-# serving speedup smokes.
-verify: lint docs-check trace-demo test bench-cache bench-serving
+# integrity, one traced end-to-end request, tier-1, then the cache,
+# serving and resilience smokes.
+verify: lint docs-check trace-demo test bench-cache bench-serving bench-resilience

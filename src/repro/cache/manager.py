@@ -125,6 +125,18 @@ class CacheManager:
             ).inc(tier="inference")
         return found, value
 
+    def peek_stale(self, tier: str, key: Any) -> tuple[bool, Any]:
+        """Read an entry even if expired, without touching statistics.
+
+        Used by the resilience layer to serve stale answers when the
+        stack behind the cache is down; ``(False, None)`` when the
+        tier is disabled or the key was never cached.
+        """
+        store = self._stores.get(tier)
+        if store is None:
+            return False, None
+        return store.peek_stale(key)
+
     def _evict_hook(self, tier: str):
         def on_evict(_key: Any, reason: str) -> None:
             get_registry().counter(

@@ -135,6 +135,19 @@ class CacheStore:
                 return False, None
             return True, entry.value
 
+    def peek_stale(self, key: Any) -> tuple[bool, Any]:
+        """Like :meth:`peek` but an expired entry still counts.
+
+        The resilience degradation ladder's last rung: when the
+        serving stack is down, an out-of-date answer beats no answer.
+        Never touches statistics, LRU order, or the entry itself.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False, None
+            return True, entry.value
+
     def _get_locked(self, key: Any) -> Any:
         entry = self._entries.get(key)
         if entry is None:

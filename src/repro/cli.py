@@ -11,6 +11,7 @@ Run::
     python -m repro.cli lint examples/     # static analysis front-end
     python -m repro.cli trace              # trace one request end-to-end
     python -m repro.cli cache stats        # cache tier statistics
+    python -m repro.cli health             # worker health / breaker states
 
 Slash commands switch context; anything else goes to the active app::
 
@@ -20,6 +21,7 @@ Slash commands switch context; anything else goes to the active app::
     /trace           span tree of the last request, with timings
     /metrics         model serving metrics
     /cache [clear]   cache tier statistics (or drop every entry)
+    /health          per-worker health and breaker states
     /help            this text
     /quit            exit
 """
@@ -36,9 +38,29 @@ from repro.datasources import CsvSource, EngineSource
 
 _HELP = (
     "commands: /apps, /app <name>, /lint <sql>, /trace, /metrics, "
-    "/cache [clear], /help, /quit — anything else is sent to the "
-    "active app"
+    "/cache [clear], /health, /help, /quit — anything else is sent "
+    "to the active app"
 )
+
+
+def render_health(rows: list) -> str:
+    """Plain-text worker health table for the CLI and REPL."""
+    if not rows:
+        return "no workers registered"
+    header = (
+        f"{'worker':<12} {'model':<12} {'state':<8} {'breaker':<10} "
+        f"{'reason':<8} {'inflight':>8} {'served':>7} {'failed':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        state = "up" if row["alive"] and row["healthy"] else "down"
+        lines.append(
+            f"{row['worker']:<12} {row['model']:<12} {state:<8} "
+            f"{row['breaker'] or '-':<10} "
+            f"{row['down_reason'] or '-':<8} "
+            f"{row['inflight']:>8} {row['served']:>7} {row['failed']:>7}"
+        )
+    return "\n".join(lines)
 
 
 class CliSession:
@@ -111,6 +133,8 @@ class CliSession:
             if args:
                 return "usage: /cache [clear]"
             return self.dbgpt.cache.render_stats()
+        if command == "/health":
+            return render_health(self.dbgpt.health_snapshot())
         if command == "/metrics":
             lines = [
                 f"{model}: {metrics}"
@@ -249,6 +273,60 @@ def cache_main(argv: list[str]) -> int:
     return 0
 
 
+def health_main(argv: list[str]) -> int:
+    """``repro health``: worker health and breaker states.
+
+    Boots the demo stack (resilience enabled so breaker columns are
+    live), optionally runs a short kill/recover demonstration, and
+    prints the per-worker health table. ``--json`` emits the raw rows.
+    """
+    import json
+
+    from repro.core.config import DbGptConfig
+    from repro.resilience import ResilienceConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli health",
+        description="Show per-worker health and circuit-breaker states.",
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="kill one sql-coder replica, drive traffic, show recovery",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the health rows as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    config = DbGptConfig(resilience=ResilienceConfig(enabled=True))
+    dbgpt = DBGPT.boot(config)
+    if args.csv:
+        dbgpt.register_source(CsvSource(args.csv))
+    else:
+        dbgpt.register_source(EngineSource(build_sales_database()))
+    if args.demo:
+        record = dbgpt.controller.workers("sql-coder")[0]
+        record.worker.kill()
+        print(f"killed {record.worker.worker_id}; sending traffic...")
+        dbgpt.chat("text2sql", "How many orders are there?")
+        print(render_health(dbgpt.health_snapshot()))
+        record.worker.restart()
+        dbgpt.controller.advance_clock(
+            config.resilience.probe_interval_s
+        )
+        print(f"\nrestarted {record.worker.worker_id}; after one probe:")
+    if args.json:
+        print(json.dumps(dbgpt.health_snapshot(), indent=2))
+    else:
+        print(render_health(dbgpt.health_snapshot()))
+    return 0
+
+
 def build_dbgpt(args: argparse.Namespace) -> DBGPT:
     dbgpt = DBGPT.boot()
     if args.csv:
@@ -269,6 +347,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "health":
+        return health_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Chat with your data (DB-GPT repro)."
     )

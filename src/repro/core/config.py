@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cache.config import CacheConfig
+from repro.resilience.config import ResilienceConfig
 from repro.serving.config import ServingConfig
 
 
@@ -62,6 +63,11 @@ class DbGptConfig:
     #: window; enable it (``ServingConfig(enabled=True)``) when many
     #: sessions hit one instance concurrently.
     serving: ServingConfig = field(default_factory=ServingConfig)
+    #: Resilience layer — retry/backoff, per-worker circuit breakers,
+    #: health recovery and degraded routing (``docs/resilience.md``).
+    #: Off by default: the disabled path is behaviorally identical to
+    #: a build without the subsystem.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def model_names(self) -> list[str]:
         return [model.name for model in self.models]

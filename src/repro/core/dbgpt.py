@@ -74,6 +74,7 @@ class DBGPT:
                 for model in self.config.models
             ],
             serving=self.config.serving,
+            resilience=self.config.resilience,
         )
         self.sources = DataSourceRegistry()
         self.knowledge = KnowledgeBase(name="dbgpt-knowledge")
@@ -193,6 +194,10 @@ class DBGPT:
     def metrics_snapshot(self) -> dict:
         """Every unified metric (see ``docs/observability.md``)."""
         return get_registry().snapshot()
+
+    def health_snapshot(self) -> list:
+        """Per-worker health rows (alive/healthy/breaker state)."""
+        return self.controller.health_snapshot()
 
     # -- serving -------------------------------------------------------------
 

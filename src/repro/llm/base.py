@@ -38,6 +38,9 @@ class GenerationResponse:
     prompt_tokens: int
     completion_tokens: int
     finish_reason: str = "stop"
+    #: True when the answer came from the degradation ladder (fallback
+    #: model or stale cache) rather than the requested model's pool.
+    degraded: bool = False
 
     @property
     def total_tokens(self) -> int:

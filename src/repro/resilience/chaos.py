@@ -1,0 +1,146 @@
+"""Deterministic fault injection against the logical clock.
+
+A :class:`ChaosSchedule` is a sorted script of worker faults —
+kills, restarts, crash injections, latency changes — stamped with
+logical-clock times. A :class:`ChaosInjector` binds the schedule to a
+worker pool and applies every event that has come due each time the
+driver advances time. Because the schedule is data and the clock is
+the controller's injectable logical clock, a chaos run is exactly
+reproducible: the chaos tests and ``benchmarks/bench_resilience.py``
+replay identical fault timelines on every run, no randomness and no
+real sleeps.
+
+:func:`flap_schedule` builds the canonical workload: workers that
+cycle down/up ("flap") with a configurable duty cycle and staggered
+phases, the scenario the acceptance benchmark measures recovery under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.smmf.worker import ModelWorker
+
+#: Supported fault actions.
+KILL = "kill"
+RESTART = "restart"
+FAIL_NEXT = "fail_next"
+LATENCY = "latency"
+
+_ACTIONS = (KILL, RESTART, FAIL_NEXT, LATENCY)
+
+
+@dataclass(frozen=True, order=True)
+class ChaosEvent:
+    """One scripted fault: ``action`` on ``worker_index`` at ``at``.
+
+    ``value`` parameterizes the action: injected crash count for
+    ``fail_next``, milliseconds for ``latency``, unused otherwise.
+    """
+
+    at: float
+    worker_index: int
+    action: str = field(compare=False)
+    value: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; known: {_ACTIONS}"
+            )
+        if self.at < 0:
+            raise ValueError("event time must be non-negative")
+
+
+class ChaosSchedule:
+    """An ordered fault script with a consume-as-due cursor."""
+
+    def __init__(self, events: Iterable[ChaosEvent]) -> None:
+        self.events = sorted(events)
+        self._cursor = 0
+
+    def due(self, now: float) -> list[ChaosEvent]:
+        """Pop (in order) every event scheduled at or before ``now``."""
+        fired: list[ChaosEvent] = []
+        while (
+            self._cursor < len(self.events)
+            and self.events[self._cursor].at <= now
+        ):
+            fired.append(self.events[self._cursor])
+            self._cursor += 1
+        return fired
+
+    @property
+    def remaining(self) -> int:
+        return len(self.events) - self._cursor
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+def flap_schedule(
+    worker_count: int,
+    period_s: float,
+    down_fraction: float,
+    until_s: float,
+    stagger: bool = True,
+) -> ChaosSchedule:
+    """Workers cycling down for ``down_fraction`` of each period.
+
+    With ``stagger`` (the default) each worker's cycle is phase-shifted
+    by ``period_s / worker_count`` so outages roll across the pool;
+    without it every worker drops simultaneously — the total-outage
+    storm that exercises timed retries and degraded routing.
+    """
+    if worker_count < 1:
+        raise ValueError("worker_count must be >= 1")
+    if not 0.0 < down_fraction < 1.0:
+        raise ValueError("down_fraction must be in (0, 1)")
+    if period_s <= 0 or until_s <= 0:
+        raise ValueError("period_s and until_s must be positive")
+    events: list[ChaosEvent] = []
+    down_s = period_s * down_fraction
+    for index in range(worker_count):
+        offset = (period_s / worker_count) * index if stagger else 0.0
+        start = offset
+        while start < until_s:
+            events.append(ChaosEvent(start, index, KILL))
+            events.append(ChaosEvent(start + down_s, index, RESTART))
+            start += period_s
+    return ChaosSchedule(events)
+
+
+class ChaosInjector:
+    """Applies a schedule's due events to a worker pool.
+
+    ``applied`` keeps the full fired-event log so tests and benchmarks
+    can assert exactly which faults ran (and recovery latency against
+    the restart timestamps).
+    """
+
+    def __init__(
+        self, workers: Sequence[ModelWorker], schedule: ChaosSchedule
+    ) -> None:
+        self.workers = list(workers)
+        self.schedule = schedule
+        self.applied: list[ChaosEvent] = []
+
+    def advance_to(self, now: float) -> list[ChaosEvent]:
+        """Fire every event due at ``now``; returns what fired."""
+        fired = self.schedule.due(now)
+        for event in fired:
+            self._apply(event)
+            self.applied.append(event)
+        return fired
+
+    def _apply(self, event: ChaosEvent) -> None:
+        worker = self.workers[event.worker_index % len(self.workers)]
+        if event.action == KILL:
+            worker.kill()
+        elif event.action == RESTART:
+            worker.restart()
+        elif event.action == FAIL_NEXT:
+            worker.inject_failures(int(event.value))
+        elif event.action == LATENCY:
+            worker.latency_ms = event.value

@@ -1,0 +1,109 @@
+"""Retry with exponential backoff, jitter and server hints.
+
+One :class:`RetryPolicy` instance wraps one layer's transient-failure
+handling. The clock-side effects are injectable: the SMMF client
+sleeps real wall time between attempts, while the controller "sleeps"
+by advancing its logical clock (which is also what drives health
+probes and breaker reset timeouts), so every retry test is
+deterministic without a real sleep anywhere.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, TypeVar
+
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.resilience.config import RetryConfig
+
+T = TypeVar("T")
+
+#: ``classify(exc) -> (retryable, retry_after_hint_or_None)``.
+Classifier = Callable[[BaseException], tuple[bool, Optional[float]]]
+
+
+def _retry_counter():
+    return get_registry().counter(
+        "resilience_retries_total", "retried attempts by layer and policy"
+    )
+
+
+class RetryPolicy:
+    """Budget-capped exponential backoff around a callable.
+
+    ``sleep`` receives each computed delay; pass ``time.sleep`` for
+    wall-clock waiting or a logical-clock advance for simulated time.
+    ``rng`` seeds the jitter — tests inject a seeded generator so the
+    exact delay sequence is reproducible.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RetryConfig] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        layer: str = "client",
+    ) -> None:
+        self.config = config or RetryConfig()
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+        self.layer = layer
+
+    def delay(self, attempt: int, hint: Optional[float] = None) -> float:
+        """Backoff before retry ``attempt`` (1-based), >= the hint.
+
+        A 429's ``retry_after`` is a server promise that nothing frees
+        up sooner, so it floors (never replaces) the computed backoff.
+        """
+        base = self.config.base_delay_s * (
+            self.config.multiplier ** (attempt - 1)
+        )
+        base = min(base, self.config.max_delay_s)
+        delay = base + base * self.config.jitter * self._rng.random()
+        if hint is not None:
+            delay = max(delay, hint)
+        return delay
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        classify: Classifier,
+        on_retry: Optional[Callable[[int, float], None]] = None,
+    ) -> T:
+        """Call ``fn``, retrying transient failures per the config.
+
+        ``classify`` decides retryability and extracts the server's
+        backoff hint; anything non-retryable (or any failure once
+        attempts/budget run out) re-raises unchanged. Each retry is
+        counted (``resilience_retries_total``) and wrapped in an
+        ``smmf.retry`` span carrying the attempt number and delay.
+        """
+        attempt = 0
+        waited = 0.0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 - reclassified
+                retryable, hint = classify(exc)
+                if not retryable or attempt >= self.config.max_attempts:
+                    raise
+                delay = self.delay(attempt, hint)
+                budget = self.config.budget_s
+                if budget is not None and waited + delay > budget:
+                    raise
+                waited += delay
+                _retry_counter().inc(
+                    layer=self.layer, error=type(exc).__name__
+                )
+                with get_tracer().span(
+                    "smmf.retry",
+                    layer=self.layer,
+                    attempt=attempt,
+                    delay_s=round(delay, 4),
+                ):
+                    if on_retry is not None:
+                        on_retry(attempt, delay)
+                    self._sleep(delay)

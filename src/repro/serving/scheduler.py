@@ -31,7 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.llm.base import GenerationRequest, GenerationResponse
+from repro.llm.base import GenerationRequest, GenerationResponse, LLMError
 from repro.obs.metrics import get_registry
 from repro.serving.config import ServingConfig
 
@@ -416,7 +416,7 @@ class RequestScheduler:
             "requests per dispatched batch",
             buckets=BATCH_SIZE_BUCKETS,
         ).observe(len(batch), model=model)
-        outcome = "completed"
+        outcomes: dict[str, int] = {}
         try:
             if len(batch) == 1:
                 responses = [
@@ -428,15 +428,31 @@ class RequestScheduler:
                 )
             for pending, response in zip(batch, responses):
                 pending.resolve(response)
+            outcomes["completed"] = len(batch)
+        except LLMError as exc:
+            if len(batch) == 1:
+                batch[0].reject(exc)
+                outcomes["error"] = 1
+            else:
+                # A model-level error in a fused execution names no
+                # culprit, so one poison prompt must not fail its
+                # cohabiting waiters: re-dispatch each request on its
+                # own and let only the poison request(s) fail. Worker
+                # crashes never reach here — the controller already
+                # fails the whole batch over to another replica.
+                outcomes = self._isolate_batch(model, batch)
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
-            outcome = "error"
             for pending in batch:
                 pending.reject(exc)
+            outcomes["error"] = len(batch)
         finally:
-            registry.counter(
-                "serving_requests_total",
-                "scheduler admissions by outcome",
-            ).inc(len(batch), model=model, outcome=outcome)
+            for outcome, count in outcomes.items():
+                if not count:
+                    continue
+                registry.counter(
+                    "serving_requests_total",
+                    "scheduler admissions by outcome",
+                ).inc(count, model=model, outcome=outcome)
             registry.counter(
                 "serving_batches_total", "dispatched batches"
             ).inc(model=model)
@@ -445,3 +461,28 @@ class RequestScheduler:
                 self._dispatched_batches += 1
                 self._dispatched_requests += len(batch)
                 self._cond.notify_all()
+
+    def _isolate_batch(
+        self, model: str, batch: list[_Pending]
+    ) -> dict[str, int]:
+        """Per-request fallback after a fused batch hit a model error.
+
+        Each waiter gets its own ``generate`` call: healthy requests
+        still produce their responses, only the poison request(s)
+        observe the error. Returns outcome counts for the metrics.
+        """
+        get_registry().counter(
+            "serving_batch_isolations_total",
+            "fused batches re-dispatched per-request after a model error",
+        ).inc(model=model)
+        outcomes = {"completed": 0, "error": 0}
+        for pending in batch:
+            try:
+                pending.resolve(
+                    self._controller.generate(model, pending.request)
+                )
+                outcomes["completed"] += 1
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                pending.reject(exc)
+                outcomes["error"] += 1
+        return outcomes

@@ -102,19 +102,21 @@ class ApiServer:
             return ApiResponse(503, {"error": str(exc)})
         except LLMError as exc:
             return ApiResponse(422, {"error": str(exc)})
-        return ApiResponse(
-            200,
-            {
-                "text": response.text,
-                "model": response.model,
-                "usage": {
-                    "prompt_tokens": response.prompt_tokens,
-                    "completion_tokens": response.completion_tokens,
-                    "total_tokens": response.total_tokens,
-                },
-                "finish_reason": response.finish_reason,
+        body = {
+            "text": response.text,
+            "model": response.model,
+            "usage": {
+                "prompt_tokens": response.prompt_tokens,
+                "completion_tokens": response.completion_tokens,
+                "total_tokens": response.total_tokens,
             },
-        )
+            "finish_reason": response.finish_reason,
+        }
+        # Only present when the degradation ladder answered (fallback
+        # model), keeping the happy-path body byte-identical.
+        if response.degraded:
+            body["degraded"] = True
+        return ApiResponse(200, body)
 
     def _serving(self) -> ApiResponse:
         scheduler = self.controller.scheduler
@@ -134,5 +136,6 @@ class ApiServer:
                 "workers": len(workers),
                 "healthy": up,
                 "models": self.controller.models(),
+                "detail": self.controller.health_snapshot(),
             },
         )

@@ -14,12 +14,30 @@ from __future__ import annotations
 import asyncio
 import contextvars
 import functools
+import random
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.cache.keys import inference_key, instance_token, normalize_prompt
 from repro.cache.manager import get_cache_manager
+from repro.obs.metrics import get_registry
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.retry import RetryPolicy
 from repro.smmf.api_server import ApiRequest, ApiServer
+
+#: Statuses worth retrying: 429 is scheduler backpressure (comes with
+#: a ``retry_after`` hint), 503 is a transient serving failure (all
+#: replicas down mid-recovery, scheduler restarting).
+_TRANSIENT_STATUSES = (429, 503)
+
+
+def _classify_client_error(
+    exc: BaseException,
+) -> tuple[bool, Optional[float]]:
+    if isinstance(exc, ClientError) and exc.status in _TRANSIENT_STATUSES:
+        return True, exc.retry_after
+    return False, None
 
 
 class ClientError(Exception):
@@ -48,9 +66,32 @@ class LLMClient:
     >>> # client.generate("chat", "hello", task="chat")
     """
 
-    def __init__(self, server: ApiServer) -> None:
+    def __init__(
+        self,
+        server: ApiServer,
+        resilience: Optional[ResilienceConfig] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self._server = server
         self._cache_token = instance_token()
+        self._resilience = (
+            resilience if resilience is not None and resilience.enabled
+            else None
+        )
+        self._retry_policy: Optional[RetryPolicy] = None
+        if self._resilience is not None:
+            self._retry_policy = RetryPolicy(
+                self._resilience.retry,
+                sleep=sleep,
+                rng=rng,
+                layer="client",
+            )
+        #: Lifetime count of turns served stale from cache (degraded).
+        self.stale_serves = 0
+        #: Lifetime count of responses the server marked ``degraded``
+        #: (answered by the fallback model, not the requested one).
+        self.degraded_serves = 0
 
     def generate(
         self,
@@ -96,7 +137,30 @@ class LLMClient:
                 semantic.add(group, normalized, key)
             return text
 
-        return manager.cached("inference", key, compute, model=model)
+        stale = self._peek_stale(manager, key)
+        try:
+            return manager.cached("inference", key, compute, model=model)
+        except ClientError as exc:
+            if stale is not None and exc.status == 503:
+                self.stale_serves += 1
+                get_registry().counter(
+                    "resilience_stale_served_total",
+                    "turns answered from stale cache after a serving "
+                    "failure",
+                ).inc()
+                return stale[0]
+            raise
+
+    def _peek_stale(self, manager, key: Any) -> Optional[tuple[str]]:
+        """Degradation ladder, last rung: snapshot the cached answer
+        for this exact request — fresh *or expired* — before the
+        lookup path can expire-evict it. The snapshot is served only
+        if the stack then 503s (the stack being down, not the request
+        being wrong); a 1-tuple so a cached empty string still counts."""
+        if self._resilience is None or not self._resilience.serve_stale:
+            return None
+        found, text = manager.peek_stale("inference", key)
+        return (text,) if found else None
 
     def generate_many(
         self,
@@ -215,7 +279,14 @@ class LLMClient:
         metadata: Optional[dict[str, Any]],
         timeout_s: Optional[float] = None,
     ) -> str:
-        """One real round trip through the serving stack."""
+        """One logical round trip through the serving stack.
+
+        With resilience enabled, transient rejections (429/503) are
+        retried under the :class:`RetryPolicy` — a 429's
+        ``retry_after`` hint floors the backoff, so shed requests wait
+        out the backlog the server predicted instead of failing the
+        user's turn.
+        """
         body: dict[str, Any] = {
             "model": model,
             "prompt": prompt,
@@ -225,6 +296,14 @@ class LLMClient:
         }
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
+        if self._retry_policy is None:
+            return self._roundtrip(body)
+        return self._retry_policy.run(
+            lambda: self._roundtrip(body),
+            classify=_classify_client_error,
+        )
+
+    def _roundtrip(self, body: dict[str, Any]) -> str:
         response = self._server.handle(
             ApiRequest("POST", "/v1/generate", body)
         )
@@ -234,6 +313,8 @@ class LLMClient:
                 response.body.get("error", "unknown error"),
                 retry_after=response.body.get("retry_after"),
             )
+        if response.body.get("degraded"):
+            self.degraded_serves += 1
         return response.body["text"]
 
     def serving_stats(self) -> dict[str, Any]:

@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Optional
+from dataclasses import replace
+from typing import Any, Callable, Optional
 
 from repro.llm.base import GenerationRequest, GenerationResponse, LLMError
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.health import HealthMonitor
+from repro.resilience.retry import RetryPolicy
 from repro.smmf.balancer import LoadBalancer, RoundRobinBalancer
 from repro.smmf.metrics import MetricsCollector
 from repro.smmf.registry import ModelRegistry, WorkerRecord
@@ -17,12 +24,37 @@ class SmmfError(Exception):
     """A request could not be served (no workers, all retries failed)."""
 
 
+class _AllReplicasFailed(Exception):
+    """Internal: one failover sweep exhausted every admissible replica.
+
+    Carries the last worker error; converted to :class:`SmmfError` (or
+    absorbed by a timed retry round / fallback route) by the caller.
+    """
+
+    def __init__(self, last_error: Optional[Exception]) -> None:
+        super().__init__(str(last_error))
+        self.last_error = last_error
+
+
 class ModelController:
     """Routes requests to model workers with retry-based failover.
 
-    A crashed worker is marked unhealthy and the request retried on the
-    remaining replicas (up to ``max_retries``), which is the behaviour
-    the failover benchmark measures.
+    A crashed worker is retried on the remaining replicas (up to
+    ``max_retries``); what happens to the *crashed* worker depends on
+    the resilience configuration:
+
+    - **disabled** (default): the record is marked unhealthy with
+      ``down_reason="crash"``. It stays out of rotation until routing
+      hits a wall (no healthy candidates) and lazy re-admission finds
+      the worker process alive again — the post-``restart()`` recovery
+      the pre-resilience stack lacked.
+    - **enabled**: a per-worker circuit breaker records the failure
+      (closed → open on consecutive crashes → half-open probe), the
+      balancer consults breakers instead of the one-way healthy flag,
+      timed retry rounds (exponential backoff on the logical clock)
+      re-sweep after the health monitor has had a chance to re-admit
+      recovered workers, and an exhausted model can degrade to a
+      configured fallback model (responses marked ``degraded``).
     """
 
     def __init__(
@@ -30,6 +62,7 @@ class ModelController:
         balancer: Optional[LoadBalancer] = None,
         heartbeat_timeout: float = 30.0,
         max_retries: int = 2,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.registry = ModelRegistry(heartbeat_timeout)
         self.balancer = balancer or RoundRobinBalancer()
@@ -41,14 +74,47 @@ class ModelController:
         #: by :func:`repro.smmf.deploy.deploy` when serving is enabled;
         #: the API server routes through it when present).
         self.scheduler = None
+        self.resilience = (
+            resilience if resilience is not None and resilience.enabled
+            else None
+        )
+        self.breakers: Optional[BreakerBoard] = None
+        self.health: Optional[HealthMonitor] = None
+        self._retry_policy: Optional[RetryPolicy] = None
+        if self.resilience is not None:
+            clock = lambda: self._clock  # noqa: E731 - late-bound read
+            self.breakers = BreakerBoard(self.resilience.breaker, clock)
+            self.health = HealthMonitor(
+                self.registry,
+                probe_interval_s=self.resilience.probe_interval_s,
+                breakers=self.breakers,
+            )
+            # Controller retries advance the *logical* clock (which is
+            # also what runs health probes and breaker timeouts), so
+            # recovery tests are deterministic; the seeded rng keeps
+            # the jittered delay sequence reproducible too.
+            self._retry_policy = RetryPolicy(
+                self.resilience.retry,
+                sleep=self.advance_clock,
+                rng=random.Random(0),
+                layer="controller",
+            )
 
     # -- time ------------------------------------------------------------
 
     def advance_clock(self, seconds: float) -> float:
-        """Advance the controller's logical clock (tests/benchmarks)."""
+        """Advance the controller's logical clock (tests/benchmarks).
+
+        With resilience enabled, every advance also runs due health
+        probes, so recovery happens as a side effect of time passing —
+        traffic latency, retry backoff, or an explicit advance.
+        """
         with self._clock_lock:
             self._clock += seconds
-            return self._clock
+            now = self._clock
+        if self.health is not None:
+            self.health.probe(now)
+        return now
 
     @property
     def clock(self) -> float:
@@ -79,7 +145,145 @@ class ModelController:
     def workers(self, model_name: Optional[str] = None) -> list[WorkerRecord]:
         return self.registry.all_workers(model_name)
 
+    def health_snapshot(self) -> list[dict[str, Any]]:
+        """Per-worker health view for ``repro health`` / ``/health``."""
+        rows = []
+        for record in self.registry.all_workers():
+            worker = record.worker
+            inflight, served = worker.load_snapshot()
+            rows.append(
+                {
+                    "worker": worker.worker_id,
+                    "model": record.model_name,
+                    "alive": worker.alive,
+                    "healthy": record.healthy,
+                    "down_reason": record.down_reason,
+                    "breaker": (
+                        self.breakers.state(worker.worker_id)
+                        if self.breakers is not None
+                        else None
+                    ),
+                    "inflight": inflight,
+                    "served": served,
+                    "failed": worker.failed,
+                }
+            )
+        return rows
+
+    # -- failure accounting ------------------------------------------------
+
+    def _record_worker_failure(self, record: WorkerRecord) -> None:
+        if self.breakers is not None:
+            self.breakers.record_failure(record.worker.worker_id)
+        else:
+            self.registry.mark_crashed(record.worker.worker_id)
+
+    def _record_worker_success(self, record: WorkerRecord) -> None:
+        if self.breakers is not None:
+            self.breakers.record_success(record.worker.worker_id)
+
     # -- routing ----------------------------------------------------------
+
+    def _sweep(
+        self,
+        model_name: str,
+        execute: Callable[[WorkerRecord], Any],
+    ) -> tuple[Any, WorkerRecord, int]:
+        """One failover sweep: try each admissible replica at most once.
+
+        Returns ``(result, record, retries)`` on success. Raises
+        :class:`_AllReplicasFailed` when every candidate crashed or
+        none was admissible; :class:`LLMError` propagates untouched (a
+        bad prompt is not a worker failure, so it must not burn
+        replicas or trip breakers).
+        """
+        attempts = 0
+        tried: set[str] = set()
+        last_error: Optional[Exception] = None
+        readmission_tried = False
+        while attempts <= self.max_retries:
+            candidates = [
+                record
+                for record in self.registry.healthy_workers(model_name)
+                if record.worker.worker_id not in tried
+                and (
+                    self.breakers is None
+                    or self.breakers.available(record.worker.worker_id)
+                )
+            ]
+            if not candidates:
+                # Last resort before giving up: crash-marked workers
+                # whose process has been restarted rejoin rotation.
+                if not readmission_tried:
+                    readmission_tried = True
+                    if self.registry.readmit_recovered(
+                        model_name, exclude=tried
+                    ):
+                        continue
+                break
+            record = self.balancer.choose(candidates)
+            worker = record.worker
+            tried.add(worker.worker_id)
+            if self.breakers is not None and not self.breakers.acquire(
+                worker.worker_id
+            ):
+                # Lost a half-open probe slot to a concurrent request.
+                continue
+            attempts += 1
+            try:
+                result = execute(record)
+            except WorkerCrashed as exc:
+                self._record_worker_failure(record)
+                last_error = exc
+                continue
+            except LLMError:
+                self._record_worker_success(record)
+                raise
+            self._record_worker_success(record)
+            return result, record, attempts - 1
+        raise _AllReplicasFailed(last_error)
+
+    def _route(
+        self,
+        model_name: str,
+        execute: Callable[[WorkerRecord], Any],
+        allow_fallback: bool = True,
+    ) -> tuple[Any, WorkerRecord, int, bool]:
+        """Sweep + resilience: timed retry rounds, then fallback.
+
+        Returns ``(result, record, retries, degraded)``; raises
+        :class:`_AllReplicasFailed` once the whole ladder is exhausted.
+        """
+        run_sweep = lambda: self._sweep(model_name, execute)  # noqa: E731
+        if self._retry_policy is None:
+            result, record, retries = run_sweep()
+            return result, record, retries, False
+        try:
+            result, record, retries = self._retry_policy.run(
+                run_sweep,
+                classify=lambda exc: (
+                    isinstance(exc, _AllReplicasFailed),
+                    None,
+                ),
+            )
+            return result, record, retries, False
+        except _AllReplicasFailed:
+            fallback = self.resilience.fallback_model
+            if (
+                not allow_fallback
+                or fallback is None
+                or fallback == model_name
+                or fallback not in self.registry.model_names()
+            ):
+                raise
+            get_registry().counter(
+                "resilience_fallbacks_total",
+                "requests degraded to the fallback model",
+            ).inc(model=model_name, fallback=fallback)
+            result, record, retries, _ = self._route(
+                fallback, execute, allow_fallback=False
+            )
+            return result, record, retries, True
 
     def generate(
         self, model_name: str, request: GenerationRequest
@@ -92,57 +296,33 @@ class ModelController:
     def _generate(
         self, model_name: str, request: GenerationRequest, span
     ) -> GenerationResponse:
-        attempts = 0
-        tried: set[str] = set()
-        last_error: Optional[Exception] = None
-        while attempts <= self.max_retries:
-            candidates = [
-                record
-                for record in self.registry.healthy_workers(model_name)
-                if record.worker.worker_id not in tried
-            ]
-            if not candidates:
-                break
-            record = self.balancer.choose(candidates)
-            worker = record.worker
-            tried.add(worker.worker_id)
-            attempts += 1
-            try:
-                response = worker.handle(request)
-            except WorkerCrashed as exc:
-                record.healthy = False
-                last_error = exc
-                continue
-            except LLMError:
-                # A model-level error (bad prompt) is not a worker
-                # failure; surface it without burning replicas.
-                self.metrics.record_failure(model_name)
-                raise
-            latency = float(record.metadata.get("latency_ms", 0.0))
-            self.metrics.record_success(
-                model=model_name,
-                worker_id=worker.worker_id,
-                latency_ms=latency,
-                prompt_tokens=response.prompt_tokens,
-                completion_tokens=response.completion_tokens,
-                retries=attempts - 1,
+        try:
+            response, record, retries, degraded = self._route(
+                model_name, lambda rec: rec.worker.handle(request)
             )
-            span.set_attributes(
-                worker=worker.worker_id, retries=attempts - 1
-            )
-            self.advance_clock(latency / 1000.0)
-            return response
-        self.metrics.record_failure(model_name)
-        known = self.registry.model_names()
-        if model_name not in known:
-            raise SmmfError(
-                f"no model named {model_name!r} is deployed; "
-                f"available: {known}"
-            )
-        raise SmmfError(
-            f"all replicas of {model_name!r} failed "
-            f"(last error: {last_error})"
+        except _AllReplicasFailed as exc:
+            self.metrics.record_failure(model_name)
+            raise self._exhausted_error(model_name, exc.last_error)
+        except LLMError:
+            self.metrics.record_failure(model_name)
+            raise
+        if degraded:
+            response = replace(response, degraded=True)
+            span.set_attribute("degraded", True)
+        latency = float(record.metadata.get("latency_ms", 0.0))
+        self.metrics.record_success(
+            model=model_name,
+            worker_id=record.worker.worker_id,
+            latency_ms=latency,
+            prompt_tokens=response.prompt_tokens,
+            completion_tokens=response.completion_tokens,
+            retries=retries,
         )
+        span.set_attributes(
+            worker=record.worker.worker_id, retries=retries
+        )
+        self.advance_clock(latency / 1000.0)
+        return response
 
     def generate_batch(
         self, model_name: str, requests: list[GenerationRequest]
@@ -152,7 +332,10 @@ class ModelController:
         The batch is dispatched as a single ``generate_batch`` model
         call; if the chosen worker crashes mid-dispatch the *whole*
         batch retries on another replica (no partial results exist —
-        the batch is one execution), up to ``max_retries`` times.
+        the batch is one execution), up to ``max_retries`` times. A
+        model-level :class:`LLMError` (one poison request) propagates
+        to the scheduler, which re-dispatches the batch members
+        individually so the poison request fails alone.
         """
         if not requests:
             return []
@@ -169,59 +352,41 @@ class ModelController:
         requests: list[GenerationRequest],
         span,
     ) -> list[GenerationResponse]:
-        attempts = 0
-        tried: set[str] = set()
-        last_error: Optional[Exception] = None
-        while attempts <= self.max_retries:
-            candidates = [
-                record
-                for record in self.registry.healthy_workers(model_name)
-                if record.worker.worker_id not in tried
-            ]
-            if not candidates:
-                break
-            record = self.balancer.choose(candidates)
-            worker = record.worker
-            tried.add(worker.worker_id)
-            attempts += 1
-            try:
-                responses = worker.handle_batch(requests)
-            except WorkerCrashed as exc:
-                record.healthy = False
-                last_error = exc
-                continue
-            except LLMError:
+        try:
+            responses, record, retries, degraded = self._route(
+                model_name, lambda rec: rec.worker.handle_batch(requests)
+            )
+        except _AllReplicasFailed as exc:
+            for _request in requests:
                 self.metrics.record_failure(model_name)
-                raise
-            latency = float(record.metadata.get("latency_ms", 0.0))
-            for response in responses:
-                self.metrics.record_success(
-                    model=model_name,
-                    worker_id=worker.worker_id,
-                    latency_ms=latency,
-                    prompt_tokens=response.prompt_tokens,
-                    completion_tokens=response.completion_tokens,
-                    retries=attempts - 1,
-                )
-            span.set_attributes(
-                worker=worker.worker_id, retries=attempts - 1
+            raise self._exhausted_error(
+                model_name, exc.last_error, batch=len(requests)
             )
-            # One batch occupies the replica for one latency window,
-            # which is exactly the throughput win being modelled.
-            self.advance_clock(latency / 1000.0)
-            return responses
-        for _request in requests:
+        except LLMError:
             self.metrics.record_failure(model_name)
-        known = self.registry.model_names()
-        if model_name not in known:
-            raise SmmfError(
-                f"no model named {model_name!r} is deployed; "
-                f"available: {known}"
+            raise
+        if degraded:
+            responses = [
+                replace(response, degraded=True) for response in responses
+            ]
+            span.set_attribute("degraded", True)
+        latency = float(record.metadata.get("latency_ms", 0.0))
+        for response in responses:
+            self.metrics.record_success(
+                model=model_name,
+                worker_id=record.worker.worker_id,
+                latency_ms=latency,
+                prompt_tokens=response.prompt_tokens,
+                completion_tokens=response.completion_tokens,
+                retries=retries,
             )
-        raise SmmfError(
-            f"all replicas of {model_name!r} failed a batch of "
-            f"{len(requests)} (last error: {last_error})"
+        span.set_attributes(
+            worker=record.worker.worker_id, retries=retries
         )
+        # One batch occupies the replica for one latency window,
+        # which is exactly the throughput win being modelled.
+        self.advance_clock(latency / 1000.0)
+        return responses
 
     def stream(self, model_name: str, request: GenerationRequest):
         """Streaming inference with the same failover as generate().
@@ -230,46 +395,56 @@ class ModelController:
         crash mid-stream surfaces to the caller (tokens were already
         delivered, so transparent retry would duplicate output).
         """
-        attempts = 0
-        tried: set[str] = set()
-        last_error: Optional[Exception] = None
-        while attempts <= self.max_retries:
-            candidates = [
-                record
-                for record in self.registry.healthy_workers(model_name)
-                if record.worker.worker_id not in tried
-            ]
-            if not candidates:
-                break
-            record = self.balancer.choose(candidates)
-            worker = record.worker
-            tried.add(worker.worker_id)
-            attempts += 1
-            try:
-                iterator = worker.handle_stream(request)
-                first = next(iterator, None)
-            except WorkerCrashed as exc:
-                record.healthy = False
-                last_error = exc
-                continue
 
-            def chunks(first_chunk=first, rest=iterator):
-                if first_chunk is not None:
-                    yield first_chunk
-                yield from rest
+        def start(record: WorkerRecord):
+            iterator = record.worker.handle_stream(request)
+            return iterator, next(iterator, None)
 
-            latency = float(record.metadata.get("latency_ms", 0.0))
-            self.metrics.record_success(
-                model=model_name,
-                worker_id=worker.worker_id,
-                latency_ms=latency,
-                prompt_tokens=0,
-                completion_tokens=0,
-                retries=attempts - 1,
+        try:
+            (iterator, first), record, retries, _ = self._route(
+                model_name, start, allow_fallback=False
             )
-            return chunks()
-        self.metrics.record_failure(model_name)
-        raise SmmfError(
-            f"all replicas of {model_name!r} failed to start a stream "
+        except _AllReplicasFailed as exc:
+            self.metrics.record_failure(model_name)
+            raise SmmfError(
+                f"all replicas of {model_name!r} failed to start a "
+                f"stream (last error: {exc.last_error})"
+            )
+
+        def chunks(first_chunk=first, rest=iterator):
+            if first_chunk is not None:
+                yield first_chunk
+            yield from rest
+
+        latency = float(record.metadata.get("latency_ms", 0.0))
+        self.metrics.record_success(
+            model=model_name,
+            worker_id=record.worker.worker_id,
+            latency_ms=latency,
+            prompt_tokens=0,
+            completion_tokens=0,
+            retries=retries,
+        )
+        return chunks()
+
+    def _exhausted_error(
+        self,
+        model_name: str,
+        last_error: Optional[Exception],
+        batch: Optional[int] = None,
+    ) -> SmmfError:
+        known = self.registry.model_names()
+        if model_name not in known:
+            return SmmfError(
+                f"no model named {model_name!r} is deployed; "
+                f"available: {known}"
+            )
+        if batch is not None:
+            return SmmfError(
+                f"all replicas of {model_name!r} failed a batch of "
+                f"{batch} (last error: {last_error})"
+            )
+        return SmmfError(
+            f"all replicas of {model_name!r} failed "
             f"(last error: {last_error})"
         )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.resilience.config import ResilienceConfig
 from repro.serving.config import ServingConfig
 from repro.serving.scheduler import RequestScheduler
 from repro.smmf.api_server import ApiServer
@@ -19,6 +20,7 @@ def deploy(
     balancer: Optional[LoadBalancer] = None,
     heartbeat_timeout: float = 30.0,
     serving: Optional[ServingConfig] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> tuple[ModelController, LLMClient]:
     """Spin up workers for every spec and return controller + client.
 
@@ -26,10 +28,15 @@ def deploy(
     promises: every model runs locally under the caller's control.
     Passing an enabled :class:`ServingConfig` mounts the micro-batching
     scheduler in front of the pool (see ``docs/serving.md``); without
-    one, dispatch is the direct path it has always been.
+    one, dispatch is the direct path it has always been. An enabled
+    :class:`ResilienceConfig` arms retry policies, per-worker circuit
+    breakers and health recovery on both the controller and the client
+    (see ``docs/resilience.md``).
     """
     controller = ModelController(
-        balancer=balancer, heartbeat_timeout=heartbeat_timeout
+        balancer=balancer,
+        heartbeat_timeout=heartbeat_timeout,
+        resilience=resilience,
     )
     for spec in specs:
         for _replica in range(spec.replicas):
@@ -44,4 +51,4 @@ def deploy(
     if serving is not None and serving.enabled:
         controller.scheduler = RequestScheduler(controller, serving)
     server = ApiServer(controller)
-    return controller, LLMClient(server)
+    return controller, LLMClient(server, resilience=resilience)

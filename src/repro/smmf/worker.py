@@ -207,11 +207,34 @@ class ModelWorker:
 
     def kill(self) -> None:
         """Simulate the worker process dying."""
-        self.alive = False
+        with self._lock:
+            self.alive = False
 
     def restart(self) -> None:
-        self.alive = True
-        self.fail_next = 0
+        """Bring the worker back up, clearing injected faults.
+
+        Restarting re-enables execution but does *not* re-admit the
+        worker into routing by itself — the controller's recovery path
+        (lazy re-admission, or a resilience health probe) does that.
+        """
+        with self._lock:
+            self.alive = True
+            self.fail_next = 0
+
+    def inject_failures(self, count: int) -> None:
+        """Arm ``count`` crash injections (chaos harness entry point)."""
+        with self._lock:
+            self.fail_next += count
+
+    def probe(self) -> bool:
+        """Liveness probe: up, with no armed crash injections.
+
+        Used by the resilience health monitor; deliberately not an
+        inference call, so probing never consumes injected faults or
+        occupies the replica.
+        """
+        with self._lock:
+            return self.alive and self.fail_next == 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self.alive else "down"

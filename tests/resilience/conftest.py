@@ -1,0 +1,65 @@
+"""Shared fixtures for the resilience suite: metrics isolation and
+deterministic model/clock helpers (Events/fake-clock style, no sleeps).
+"""
+
+import pytest
+
+from repro.llm.base import GenerationRequest, LanguageModel, LLMError
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+class Sleeper:
+    """Records requested delays instead of sleeping."""
+
+    def __init__(self):
+        self.delays = []
+
+    def __call__(self, seconds):
+        self.delays.append(seconds)
+
+    @property
+    def total(self):
+        return sum(self.delays)
+
+
+class EchoModel(LanguageModel):
+    """Deterministic echo model for routing tests."""
+
+    def __init__(self, name="chat", capabilities=("chat", "qa")):
+        super().__init__(name, frozenset(capabilities))
+
+    def complete(self, request):
+        return f"echo: {request.prompt}"
+
+
+class PoisonModel(EchoModel):
+    """Echoes normally; prompts containing 'poison' raise LLMError."""
+
+    def complete(self, request):
+        if "poison" in request.prompt:
+            raise LLMError(f"poison prompt: {request.prompt!r}")
+        return super().complete(request)
+
+
+def request(prompt, task="chat", **kwargs):
+    return GenerationRequest(prompt, task=task, **kwargs)

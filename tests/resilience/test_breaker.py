@@ -1,0 +1,160 @@
+"""Circuit breaker state machine and the per-worker breaker board."""
+
+from repro.resilience import (
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+)
+
+from tests.resilience.conftest import FakeClock
+
+
+def make_breaker(clock=None, **overrides):
+    config = dict(failure_threshold=3, reset_timeout_s=5.0)
+    config.update(overrides)
+    return CircuitBreaker(BreakerConfig(**config), clock or FakeClock())
+
+
+class TestTransitions:
+    def test_stays_closed_below_threshold(self):
+        breaker = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state() == CLOSED
+        assert breaker.available()
+
+    def test_success_resets_the_failure_count(self):
+        breaker = make_breaker()
+        for _round in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state() == CLOSED
+        assert breaker.opens == 0
+
+    def test_threshold_consecutive_failures_open(self):
+        breaker = make_breaker()
+        for _failure in range(3):
+            breaker.record_failure()
+        assert breaker.state() == OPEN
+        assert not breaker.available()
+        assert not breaker.acquire()
+        assert breaker.opens == 1
+
+    def test_open_half_opens_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _failure in range(3):
+            breaker.record_failure()
+        clock.advance(4.9)
+        assert breaker.state() == OPEN
+        clock.advance(0.1)
+        assert breaker.state() == HALF_OPEN
+        assert breaker.available()
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _failure in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.acquire()
+        breaker.record_success()
+        assert breaker.state() == CLOSED
+        assert breaker.available()
+
+    def test_half_open_failure_reopens_and_restarts_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _failure in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.acquire()
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state() == OPEN
+        assert breaker.opens == 2
+        clock.advance(4.9)
+        assert breaker.state() == OPEN
+        clock.advance(0.1)
+        assert breaker.state() == HALF_OPEN
+
+
+class TestProbeSlots:
+    def test_half_open_admits_limited_probes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, half_open_probes=2)
+        for _failure in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.acquire()
+        assert breaker.acquire()
+        assert not breaker.acquire()  # both probe slots taken
+
+    def test_available_does_not_consume_probe_slots(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, half_open_probes=1)
+        for _failure in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        # The balancer may check availability many times while
+        # filtering candidates; only acquire() takes the slot.
+        assert breaker.available()
+        assert breaker.available()
+        assert breaker.acquire()
+        assert not breaker.available()
+
+    def test_force_half_open_skips_the_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _failure in range(3):
+            breaker.record_failure()
+        assert breaker.state() == OPEN
+        breaker.force_half_open()  # a successful out-of-band probe
+        assert breaker.state() == HALF_OPEN
+        assert clock.now == 0.0
+
+    def test_force_half_open_is_a_noop_when_closed(self):
+        breaker = make_breaker()
+        breaker.force_half_open()
+        assert breaker.state() == CLOSED
+
+
+class TestBreakerBoard:
+    def make_board(self, clock=None, **overrides):
+        config = dict(failure_threshold=2, reset_timeout_s=5.0)
+        config.update(overrides)
+        return BreakerBoard(BreakerConfig(**config), clock or FakeClock())
+
+    def test_breakers_created_lazily_and_independent(self):
+        board = self.make_board()
+        board.record_failure("w1")
+        board.record_failure("w1")
+        assert board.state("w1") == OPEN
+        assert board.state("w2") == CLOSED
+        assert board.available("w2")
+        assert not board.available("w1")
+        assert board.states() == {"w1": OPEN, "w2": CLOSED}
+
+    def test_probe_succeeded_half_opens(self):
+        board = self.make_board()
+        board.record_failure("w1")
+        board.record_failure("w1")
+        board.probe_succeeded("w1")
+        assert board.state("w1") == HALF_OPEN
+        assert board.acquire("w1")
+
+    def test_state_changes_publish_the_gauge(self, registry):
+        board = self.make_board()
+        board.record_failure("w1")
+        gauge = registry.get("resilience_breaker_state")
+        assert gauge is not None
+        assert gauge.value(worker="w1") == 0  # one failure: still closed
+        board.record_failure("w1")
+        assert gauge.value(worker="w1") == 2
+        board.probe_succeeded("w1")
+        assert gauge.value(worker="w1") == 1
+        board.record_success("w1")
+        assert gauge.value(worker="w1") == 0

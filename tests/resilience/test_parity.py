@@ -1,0 +1,127 @@
+"""Disabled-config parity: off must mean *off*.
+
+``ResilienceConfig(enabled=False)`` (the default) has to leave
+routing, failover, the client round trip, metrics and response bodies
+behaviorally identical to a build without the subsystem — the same
+certification the cache and serving subsystems carry.
+"""
+
+import pytest
+
+from repro.core.config import DbGptConfig
+from repro.llm.base import GenerationRequest
+from repro.resilience import ResilienceConfig
+from repro.smmf import ModelSpec, deploy
+from repro.smmf.api_server import ApiRequest
+from repro.smmf.controller import ModelController, SmmfError
+from repro.smmf.worker import ModelWorker
+
+from tests.resilience.conftest import EchoModel
+
+
+def make_pair(replicas=2):
+    """Identical stacks: resilience omitted vs explicitly disabled."""
+    def specs():
+        return [
+            ModelSpec("chat", lambda: EchoModel(), replicas=replicas,
+                      latency_ms=0.0)
+        ]
+
+    bare = deploy(specs())
+    disabled = deploy(specs(), resilience=ResilienceConfig.disabled())
+    return bare, disabled
+
+
+class TestDisabledWiring:
+    def test_controller_arms_nothing_when_disabled(self):
+        controller = ModelController(
+            resilience=ResilienceConfig.disabled()
+        )
+        assert controller.resilience is None
+        assert controller.breakers is None
+        assert controller.health is None
+
+    def test_controller_arms_nothing_when_omitted(self):
+        controller = ModelController()
+        assert controller.resilience is None
+        assert controller.breakers is None
+
+    def test_dbgpt_config_defaults_to_disabled(self):
+        assert DbGptConfig().resilience.enabled is False
+
+    def test_advance_clock_runs_no_probes_when_disabled(self):
+        controller = ModelController()
+        controller.register_worker(
+            ModelWorker(EchoModel(), latency_ms=0.0)
+        )
+        controller.workers("chat")[0].worker.kill()
+        assert controller.advance_clock(100.0) == 100.0
+
+
+class TestDisabledBehavior:
+    def test_answers_match_with_and_without_the_config(self):
+        (_, bare_client), (_, disabled_client) = make_pair()
+        prompts = [f"question {i}" for i in range(4)]
+        bare = [
+            bare_client.generate("chat", p, task="chat") for p in prompts
+        ]
+        disabled = [
+            disabled_client.generate("chat", p, task="chat")
+            for p in prompts
+        ]
+        assert bare == disabled
+
+    def test_failover_behavior_matches(self):
+        """Crash both replicas: both stacks exhaust failover with the
+        same error shape, and both recover on the next request via the
+        (mode-independent) lazy re-admission."""
+        results = []
+        for (controller, _client) in [p for p in make_pair()]:
+            for record in controller.workers("chat"):
+                record.worker.inject_failures(1)
+            with pytest.raises(SmmfError) as excinfo:
+                controller.generate(
+                    "chat", GenerationRequest("boom", task="chat")
+                )
+            response = controller.generate(
+                "chat", GenerationRequest("recovered", task="chat")
+            )
+            results.append((str(excinfo.value), response.text))
+        # Worker ids differ between stacks; the error shape and the
+        # recovery behavior must not.
+        for message, recovered in results:
+            assert "all replicas of 'chat' failed" in message
+            assert "crashed handling a request" in message
+            assert recovered == "echo: recovered"
+
+    def test_disabled_emits_no_resilience_metrics(self, registry):
+        (controller, client), _ = make_pair()
+        client.generate("chat", "hello", task="chat")
+        for record in controller.workers("chat"):
+            record.worker.inject_failures(1)
+        with pytest.raises(SmmfError):
+            controller.generate(
+                "chat", GenerationRequest("boom", task="chat")
+            )
+        assert not any(
+            name.startswith("resilience_") for name in registry.names()
+        )
+
+    def test_responses_carry_no_degraded_marker(self):
+        (_, client), _ = make_pair()
+        body = client._server.handle(  # the raw API body, not the SDK
+            ApiRequest(
+                "POST",
+                "/v1/generate",
+                {"model": "chat", "prompt": "hello", "task": "chat"},
+            )
+        ).body
+        assert "degraded" not in body
+        assert body["text"] == "echo: hello"
+
+    def test_unknown_model_error_message_unchanged(self):
+        (controller, _client), _ = make_pair()
+        with pytest.raises(SmmfError, match="no model named 'nope'"):
+            controller.generate(
+                "nope", GenerationRequest("hello", task="chat")
+            )
