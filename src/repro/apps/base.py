@@ -10,12 +10,12 @@ from __future__ import annotations
 
 import abc
 import functools
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.runtime import perf_clock
 
 
 @dataclass
@@ -40,12 +40,12 @@ def _traced_chat(chat: Callable[..., "AppResponse"]) -> Callable:
     def wrapped(self: "Application", text: str) -> "AppResponse":
         tracer = get_tracer()
         registry = get_registry()
-        started = time.perf_counter()
+        started = perf_clock()
         with tracer.span("app.chat", app=self.name) as span:
             span.set_attribute("chars", len(text))
             response = chat(self, text)
             span.set_attribute("ok", response.ok)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        elapsed_ms = (perf_clock() - started) * 1000.0
         registry.counter(
             "app_requests_total", "chat turns per application"
         ).inc(app=self.name, ok=str(response.ok).lower())

@@ -5,7 +5,6 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextvars
-import time
 from typing import Any, Optional
 
 from repro.awel.dag import DAG, DAGContext
@@ -23,6 +22,7 @@ from repro.awel.operators import (
 )
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.runtime import perf_clock
 
 #: Operators whose execution produces or consumes lazy streams; their
 #: spans are tagged ``mode=stream`` (everything else is ``batch``).
@@ -109,7 +109,7 @@ class WorkflowRunner:
                 # The span context manager guarantees closure on the
                 # exception path: a raising operator still ends its
                 # span with status="error" and the exception type.
-                started = time.perf_counter()
+                started = perf_clock()
                 mode = _operator_mode(node)
                 with tracer.span(
                     "awel.operator",
@@ -122,7 +122,7 @@ class WorkflowRunner:
                     "awel_operator_latency_ms",
                     "wall time of one operator execution",
                 ).observe(
-                    (time.perf_counter() - started) * 1000.0,
+                    (perf_clock() - started) * 1000.0,
                     type=type(node).__name__,
                 )
                 registry.counter(

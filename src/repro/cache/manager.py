@@ -33,6 +33,7 @@ from repro.cache.semantic import SemanticPromptIndex
 from repro.cache.store import CacheStats, CacheStore
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.runtime import perf_clock
 
 
 class CacheManager:
@@ -86,13 +87,13 @@ class CacheManager:
         their behavior stays byte-identical to pre-cache builds.
         """
         store = self._stores[tier]
-        started = time.perf_counter()
+        started = perf_clock()
         with get_tracer().span(
             "cache.lookup", tier=tier, **span_attributes
         ) as span:
             value, hit = store.get_or_compute(key, compute)
             span.set_attribute("cache.hit", hit)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        elapsed_ms = (perf_clock() - started) * 1000.0
         registry = get_registry()
         registry.counter(
             "cache_requests_total", "cache lookups by tier and outcome"

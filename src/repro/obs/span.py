@@ -12,9 +12,10 @@ so the hot path pays no extra wrapper allocation per span.
 from __future__ import annotations
 
 import contextvars
-import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+from repro.runtime import mono_clock
 
 #: Span status values. A span starts ``ok`` and flips to ``error`` when
 #: the traced block raises; there is deliberately no "unset" state — an
@@ -40,7 +41,7 @@ class Span:
     #: (kept cheap — span ids are created on every traced operation).
     span_id: Any
     parent_id: Optional[Any] = None
-    start: float = field(default_factory=time.monotonic)
+    start: float = field(default_factory=mono_clock)
     end: Optional[float] = None
     status: str = STATUS_OK
     attributes: dict[str, Any] = field(default_factory=dict)
@@ -74,7 +75,7 @@ class Span:
     ) -> None:
         """Close the span (idempotent — the first end time wins)."""
         if self.end is None:
-            self.end = time.monotonic()
+            self.end = mono_clock()
         if status is not None:
             self.status = status
         if error_type is not None:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass
 
 from repro.obs.metrics import get_registry
@@ -12,6 +11,7 @@ from repro.rag.embedder import HashingEmbedder
 from repro.rag.graph_index import GraphIndex
 from repro.rag.inverted_index import InvertedIndex
 from repro.rag.vectorstore import VectorStore
+from repro.runtime import perf_clock
 
 
 @dataclass
@@ -51,7 +51,7 @@ def _traced_retrieve(retrieve):
     def wrapped(
         self: "Retriever", query: str, k: int = 5
     ) -> list[RetrievalHit]:
-        started = time.perf_counter()
+        started = perf_clock()
         with get_tracer().span(
             "rag.retrieve", strategy=self.name, k=k
         ) as span:
@@ -64,7 +64,7 @@ def _traced_retrieve(retrieve):
         registry.histogram(
             "rag_retrieval_latency_ms", "retrieval latency per strategy"
         ).observe(
-            (time.perf_counter() - started) * 1000.0, strategy=self.name
+            (perf_clock() - started) * 1000.0, strategy=self.name
         )
         registry.histogram(
             "rag_candidates",

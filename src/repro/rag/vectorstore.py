@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
 
 from repro.obs.metrics import get_registry
+from repro.runtime import perf_clock
 
 
 @dataclass
@@ -73,12 +73,12 @@ class VectorStore:
 
     def search(self, query: np.ndarray, k: int = 5) -> list[VectorHit]:
         """Top-k items by cosine similarity to ``query``."""
-        started = time.perf_counter()
+        started = perf_clock()
         hits = self._search(query, k)
         registry = get_registry()
         registry.histogram(
             "vectorstore_search_latency_ms", "dense top-k search latency"
-        ).observe((time.perf_counter() - started) * 1000.0)
+        ).observe((perf_clock() - started) * 1000.0)
         registry.histogram(
             "vectorstore_search_candidates",
             "results returned per dense search",

@@ -17,6 +17,7 @@ from typing import Callable, Optional, TypeVar
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.resilience.config import RetryConfig
+from repro.runtime import default_rng
 
 T = TypeVar("T")
 
@@ -48,7 +49,7 @@ class RetryPolicy:
     ) -> None:
         self.config = config or RetryConfig()
         self._sleep = sleep
-        self._rng = rng or random.Random()
+        self._rng = rng or default_rng()
         self.layer = layer
 
     def delay(self, attempt: int, hint: Optional[float] = None) -> float:

@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import abc
-import time
 from typing import Callable, Optional
 
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.rag.privacy import PrivacyScrubber
+from repro.runtime import perf_clock
 from repro.server.request import Request, Response, error
 
 Handler = Callable[[Request], Response]
@@ -32,13 +32,13 @@ class TracingMiddleware(Middleware):
 
     def __call__(self, request: Request, next_handler: Handler) -> Response:
         registry = get_registry()
-        started = time.perf_counter()
+        started = perf_clock()
         with get_tracer().span(
             "server.request", method=request.method, path=request.path
         ) as span:
             response = next_handler(request)
             span.set_attribute("status_code", response.status)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        elapsed_ms = (perf_clock() - started) * 1000.0
         registry.counter(
             "server_requests_total", "requests through the server router"
         ).inc(
