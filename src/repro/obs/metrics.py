@@ -49,7 +49,8 @@ class Counter:
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     def total(self) -> float:
         """Sum across every label set."""
@@ -91,7 +92,8 @@ class Gauge:
         self.inc(-amount, **labels)
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
@@ -149,23 +151,31 @@ class Histogram:
             series[2] += 1
 
     def count(self, **labels: Any) -> int:
-        series = self._series.get(_label_key(labels))
-        return series[2] if series else 0
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series[2] if series else 0
 
     def sum(self, **labels: Any) -> float:
-        series = self._series.get(_label_key(labels))
-        return series[1] if series else 0.0
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series[1] if series else 0.0
 
     def mean(self, **labels: Any) -> float:
-        series = self._series.get(_label_key(labels))
-        if not series or series[2] == 0:
-            return 0.0
-        return series[1] / series[2]
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if not series or series[2] == 0:
+                return 0.0
+            return series[1] / series[2]
 
     def bucket_counts(self, **labels: Any) -> dict[str, int]:
         """``{upper_bound: count}`` with ``"+Inf"`` for the overflow."""
-        series = self._series.get(_label_key(labels))
-        counts = series[0] if series else [0] * (len(self.bounds) + 1)
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            counts = (
+                list(series[0])
+                if series
+                else [0] * (len(self.bounds) + 1)
+            )
         rendered = {str(bound): n for bound, n in zip(self.bounds, counts)}
         rendered["+Inf"] = counts[-1]
         return rendered
@@ -242,7 +252,8 @@ class MetricsRegistry:
             return sorted(self._instruments)
 
     def get(self, name: str) -> Optional[Any]:
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def snapshot(self) -> dict[str, Any]:
         """Every instrument's current state, sorted by name."""

@@ -106,6 +106,8 @@ class Tracer:
         # Hot path: appending to an existing trace is a GIL-atomic
         # list.append, so the lock is only taken to open a new trace
         # (and evict the oldest one past the ring-buffer bound).
+        # staticcheck: allow LCK003 - double-checked fast path; the
+        # miss branch re-reads under the lock before writing.
         spans = self._traces.get(span.trace_id)
         if spans is None:
             with self._lock:

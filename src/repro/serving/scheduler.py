@@ -235,12 +235,14 @@ class RequestScheduler:
             self._queue.clear()
             self._queue_gauge_locked()
             self._cond.notify_all()
+            dispatcher = self._dispatcher
+            pool = self._pool
         for pending in abandoned:
             pending.reject(SchedulerClosed("scheduler shut down"))
-        if self._dispatcher is not None:
-            self._dispatcher.join(timeout=5.0)
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        if dispatcher is not None:
+            dispatcher.join(timeout=5.0)
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # -- internals ---------------------------------------------------------
 
@@ -280,14 +282,19 @@ class RequestScheduler:
         ).set(len(self._queue))
 
     def _dispatch_loop(self) -> None:
+        # The pool is written once, under the condition, before this
+        # thread starts; grab it the same way rather than relying on
+        # the Thread.start() happens-before edge.
+        with self._cond:
+            pool = self._pool
         while True:
             dispatch = self._next_batch()
             if dispatch is None:
                 return
             model, batch = dispatch
-            assert self._pool is not None
+            assert pool is not None
             try:
-                self._pool.submit(self._run_batch, model, batch)
+                pool.submit(self._run_batch, model, batch)
             except RuntimeError:
                 # Pool shut down between drain and submit (close race).
                 for pending in batch:

@@ -82,8 +82,7 @@ class ModelController:
         self.health: Optional[HealthMonitor] = None
         self._retry_policy: Optional[RetryPolicy] = None
         if self.resilience is not None:
-            clock = lambda: self._clock  # noqa: E731 - late-bound read
-            self.breakers = BreakerBoard(self.resilience.breaker, clock)
+            self.breakers = BreakerBoard(self.resilience.breaker, self._now)
             self.health = HealthMonitor(
                 self.registry,
                 probe_interval_s=self.resilience.probe_interval_s,
@@ -102,6 +101,17 @@ class ModelController:
 
     # -- time ------------------------------------------------------------
 
+    def _now(self) -> float:
+        """The logical clock, read under its lock.
+
+        ``advance_clock`` runs on whatever thread served the request,
+        so an unguarded read could observe a torn/stale value; every
+        reader (property, registry calls, breaker board) goes through
+        here.
+        """
+        with self._clock_lock:
+            return self._clock
+
     def advance_clock(self, seconds: float) -> float:
         """Advance the controller's logical clock (tests/benchmarks).
 
@@ -118,7 +128,7 @@ class ModelController:
 
     @property
     def clock(self) -> float:
-        return self._clock
+        return self._now()
 
     # -- worker lifecycle ---------------------------------------------------
 
@@ -126,18 +136,18 @@ class ModelController:
         self, worker: ModelWorker, latency_ms: float = 10.0
     ) -> None:
         self.registry.register(
-            worker, now=self._clock, metadata={"latency_ms": latency_ms}
+            worker, now=self._now(), metadata={"latency_ms": latency_ms}
         )
 
     def deregister_worker(self, worker_id: str) -> None:
         self.registry.deregister(worker_id)
 
     def heartbeat(self, worker_id: str) -> None:
-        self.registry.heartbeat(worker_id, self._clock)
+        self.registry.heartbeat(worker_id, self._now())
 
     def health_sweep(self) -> list[str]:
         """Evict workers whose heartbeats are stale."""
-        return self.registry.sweep(self._clock)
+        return self.registry.sweep(self._now())
 
     def models(self) -> list[str]:
         return self.registry.model_names()
@@ -150,12 +160,12 @@ class ModelController:
         rows = []
         for record in self.registry.all_workers():
             worker = record.worker
-            inflight, served = worker.load_snapshot()
+            stats = worker.stats_snapshot()
             rows.append(
                 {
                     "worker": worker.worker_id,
                     "model": record.model_name,
-                    "alive": worker.alive,
+                    "alive": stats["alive"],
                     "healthy": record.healthy,
                     "down_reason": record.down_reason,
                     "breaker": (
@@ -163,9 +173,9 @@ class ModelController:
                         if self.breakers is not None
                         else None
                     ),
-                    "inflight": inflight,
-                    "served": served,
-                    "failed": worker.failed,
+                    "inflight": stats["inflight"],
+                    "served": stats["served"],
+                    "failed": stats["failed"],
                 }
             )
         return rows

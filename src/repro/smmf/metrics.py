@@ -100,14 +100,15 @@ class MetricsCollector:
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Plain-dict view for dashboards and benchmark output."""
-        return {
-            name: {
-                "requests": m.requests,
-                "failures": m.failures,
-                "retries": m.retries,
-                "prompt_tokens": m.prompt_tokens,
-                "completion_tokens": m.completion_tokens,
-                "mean_latency_ms": round(m.mean_latency_ms, 3),
+        with self._lock:
+            return {
+                name: {
+                    "requests": m.requests,
+                    "failures": m.failures,
+                    "retries": m.retries,
+                    "prompt_tokens": m.prompt_tokens,
+                    "completion_tokens": m.completion_tokens,
+                    "mean_latency_ms": round(m.mean_latency_ms, 3),
+                }
+                for name, m in sorted(self._models.items())
             }
-            for name, m in sorted(self._models.items())
-        }

@@ -69,6 +69,22 @@ class ModelWorker:
         with self._lock:
             return self.inflight, self.served
 
+    def stats_snapshot(self) -> dict[str, object]:
+        """Every lock-guarded counter plus liveness, read atomically.
+
+        The controller's health view reads this instead of the bare
+        attributes so a snapshot taken mid-request can never pair a
+        pre-crash ``alive`` with a post-crash ``failed`` count.
+        """
+        with self._lock:
+            return {
+                "inflight": self.inflight,
+                "served": self.served,
+                "failed": self.failed,
+                "abandoned_streams": self.abandoned_streams,
+                "alive": self.alive,
+            }
+
     def _check_up(self, amount: int = 1) -> None:
         """Raise if down or crash-injected; charges ``failed``."""
         with self._lock:

@@ -1,0 +1,84 @@
+"""Regression tests for locked metric reads (LCK remediation).
+
+Instrument reader methods (``value``, ``count``, ``sum``, ``mean``,
+``bucket_counts``, registry ``get``) used to read their backing dicts
+without the instrument lock; these tests pin the locked behavior and
+check readers stay consistent while writers hammer the instrument.
+"""
+
+import threading
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestLockedReaders:
+    def test_counter_value_consistent_under_writes(self):
+        counter = Counter("requests_total")
+        iterations = 500
+
+        def writer():
+            for _ in range(iterations):
+                counter.inc(route="a")
+
+        observed = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                observed.append(counter.value(route="a"))
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        spy = threading.Thread(target=reader)
+        spy.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        spy.join()
+        assert counter.value(route="a") == 4 * iterations
+        assert all(0 <= value <= 4 * iterations for value in observed)
+
+    def test_gauge_value_reads_under_lock(self):
+        gauge = Gauge("depth")
+        gauge.set(3, pool="p")
+        assert gauge.value(pool="p") == 3.0
+
+    def test_histogram_readers_consistent_under_writes(self):
+        histogram = Histogram("latency_ms", buckets=(1.0, 10.0))
+        iterations = 300
+
+        def writer():
+            for _ in range(iterations):
+                histogram.observe(0.5)
+
+        def reader():
+            for _ in range(50):
+                count = histogram.count()
+                total = histogram.sum()
+                # sum advances in lockstep with count (0.5 each).
+                assert total == count * 0.5
+                histogram.mean()
+                buckets = histogram.bucket_counts()
+                assert set(buckets) == {"1.0", "10.0", "+Inf"}
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in writers + readers:
+            thread.start()
+        for thread in writers + readers:
+            thread.join()
+        assert histogram.count() == 2 * iterations
+
+    def test_bucket_counts_returns_a_copy(self):
+        histogram = Histogram("latency_ms", buckets=(1.0,))
+        histogram.observe(0.5)
+        snapshot = histogram.bucket_counts()
+        snapshot["1.0"] = 999
+        assert histogram.bucket_counts()["1.0"] == 1
+
+    def test_registry_get_reads_under_lock(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        assert registry.get("hits_total") is counter
+        assert registry.get("missing") is None
