@@ -1,13 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-cache bench-serving bench-resilience verify docs-check trace-demo
+.PHONY: test lint staticcheck staticcheck-baseline bench bench-cache bench-serving bench-resilience verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	$(PYTHON) -m repro.cli lint examples/
+
+# Concurrency & determinism static analysis over the source tree
+# (LCK/ASY/DET/OBS/CFG — see docs/staticcheck.md). --strict fails on
+# warnings and stale baseline entries too, so any new finding breaks
+# `make verify`.
+staticcheck:
+	$(PYTHON) -m repro.cli check src/ --strict
+
+# Deliberately grandfather every current finding into the baseline.
+# The tree is kept clean, so this should normally be a no-op.
+staticcheck-baseline:
+	$(PYTHON) -m repro.cli check src/ --write-baseline
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
@@ -33,7 +45,7 @@ docs-check:
 trace-demo:
 	$(PYTHON) -m repro.cli trace
 
-# The repo self-check: static analysis over the examples, doc link
-# integrity, one traced end-to-end request, tier-1, then the cache,
-# serving and resilience smokes.
-verify: lint docs-check trace-demo test bench-cache bench-serving bench-resilience
+# The repo self-check: static analysis over the examples and the
+# source tree itself, doc link integrity, one traced end-to-end
+# request, tier-1, then the cache, serving and resilience smokes.
+verify: lint staticcheck docs-check trace-demo test bench-cache bench-serving bench-resilience

@@ -68,6 +68,28 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
     "AWEL005": (Severity.WARNING, "multi-root"),
     "AWEL006": (Severity.ERROR, "mode-mismatch"),
     "AWEL007": (Severity.ERROR, "input-arity"),
+    # --- staticcheck: framework ------------------------------------------
+    "STC000": (Severity.WARNING, "unparsable-file"),
+    # --- staticcheck: lock discipline ------------------------------------
+    "LCK001": (Severity.ERROR, "lock-order-cycle"),
+    "LCK002": (Severity.ERROR, "mixed-guard-write"),
+    "LCK003": (Severity.WARNING, "unguarded-read"),
+    "LCK004": (Severity.ERROR, "locked-helper-without-lock"),
+    # --- staticcheck: async hygiene --------------------------------------
+    "ASY001": (Severity.ERROR, "blocking-call-in-async"),
+    "ASY002": (Severity.ERROR, "unbounded-queue-get-in-async"),
+    # --- staticcheck: determinism ----------------------------------------
+    "DET001": (Severity.ERROR, "wall-clock-call"),
+    "DET002": (Severity.ERROR, "ambient-random-call"),
+    "DET003": (Severity.ERROR, "unseeded-rng"),
+    "DET004": (Severity.ERROR, "raw-timing-call"),
+    # --- staticcheck: observability conventions --------------------------
+    "OBS001": (Severity.ERROR, "span-not-context-managed"),
+    "OBS002": (Severity.ERROR, "counter-name-suffix"),
+    "OBS003": (Severity.ERROR, "unknown-metric-prefix"),
+    "OBS004": (Severity.WARNING, "histogram-unit-suffix"),
+    # --- staticcheck: configuration parity -------------------------------
+    "CFG001": (Severity.WARNING, "dead-config-field"),
 }
 
 

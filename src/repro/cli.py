@@ -9,6 +9,7 @@ Run::
     python -m repro.cli --csv ./data_dir   # your own CSV tables
     python -m repro.cli --command "show tables" --command "/apps"
     python -m repro.cli lint examples/     # static analysis front-end
+    python -m repro.cli check src/         # concurrency/determinism pass
     python -m repro.cli trace              # trace one request end-to-end
     python -m repro.cli cache stats        # cache tier statistics
     python -m repro.cli health             # worker health / breaker states
@@ -18,6 +19,7 @@ Slash commands switch context; anything else goes to the active app::
     /apps            list applications
     /app <name>      switch the active application
     /lint <sql>      analyze a SQL statement against the active schema
+    /check [path]    run the staticcheck pass (default: src/)
     /trace           span tree of the last request, with timings
     /metrics         model serving metrics
     /cache [clear]   cache tier statistics (or drop every entry)
@@ -29,6 +31,7 @@ Slash commands switch context; anything else goes to the active app::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Iterable, Optional
 
@@ -37,9 +40,9 @@ from repro.datasets import build_sales_database
 from repro.datasources import CsvSource, EngineSource
 
 _HELP = (
-    "commands: /apps, /app <name>, /lint <sql>, /trace, /metrics, "
-    "/cache [clear], /health, /help, /quit — anything else is sent "
-    "to the active app"
+    "commands: /apps, /app <name>, /lint <sql>, /check [path], "
+    "/trace, /metrics, /cache [clear], /health, /help, /quit — "
+    "anything else is sent to the active app"
 )
 
 
@@ -119,6 +122,8 @@ class CliSession:
             if not args:
                 return "usage: /lint <sql statement>"
             return self._lint(line.split(None, 1)[1])
+        if command == "/check":
+            return self._check(args)
         if command == "/trace":
             from repro.obs import get_tracer, render_trace
 
@@ -154,6 +159,31 @@ class CliSession:
         if not findings:
             return "clean: no findings"
         return "\n".join(diag.render() for diag in findings)
+
+    def _check(self, args: list[str]) -> str:
+        """Run the staticcheck pass and return its report text."""
+        from repro.staticcheck import run_check
+        from repro.staticcheck.baseline import (
+            load_baseline,
+            split_baselined,
+        )
+        from repro.staticcheck.check import DEFAULT_BASELINE, render_report
+
+        try:
+            project, findings = run_check(args or ["src"])
+        except SystemExit as exc:
+            return str(exc)
+        new, suppressed, stale = split_baselined(
+            findings, load_baseline(pathlib.Path(DEFAULT_BASELINE))
+        )
+        report, _status = render_report(
+            new,
+            len(suppressed),
+            stale,
+            sum(1 for _ in project.modules),
+            strict=False,
+        )
+        return report
 
     def run_commands(self, commands: Iterable[str]) -> list[str]:
         """Batch mode: process each command, collecting the outputs."""
@@ -343,6 +373,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.analysis.lint import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.staticcheck import check_main
+
+        return check_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "cache":

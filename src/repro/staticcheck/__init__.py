@@ -1,0 +1,30 @@
+"""``repro.staticcheck`` — concurrency & determinism static analysis.
+
+An AST-based pass over ``src/repro`` itself that machine-checks the
+invariants the concurrent subsystems rely on: lock discipline (LCK),
+event-loop hygiene (ASY), injectable clocks/rngs (DET), observability
+conventions (OBS) and configuration parity (CFG). See
+``docs/staticcheck.md`` for the rule catalog and baseline workflow.
+
+Entry points: ``repro check`` (CLI), ``/check`` (REPL), and ``make
+staticcheck`` inside ``make verify``.
+"""
+
+from repro.staticcheck.check import check_main, run_check
+from repro.staticcheck.model import (
+    Finding,
+    Project,
+    SourceModule,
+    load_project,
+)
+from repro.staticcheck.rules import all_families
+
+__all__ = [
+    "Finding",
+    "Project",
+    "SourceModule",
+    "all_families",
+    "check_main",
+    "load_project",
+    "run_check",
+]

@@ -1,0 +1,67 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline entry is one tab-separated line — ``CODE<TAB>path<TAB>
+subject`` — matching :attr:`repro.staticcheck.model.Finding.key`.
+Line numbers are deliberately absent so edits elsewhere in a file do
+not churn the baseline.
+
+Workflow:
+
+- the tree is kept clean, so ``staticcheck.baseline`` ships **empty**;
+- a finding may be grandfathered deliberately via ``make
+  staticcheck-baseline`` (never by hand-editing around a failure);
+- ``repro check`` reports baselined findings as suppressed, and flags
+  **stale** entries (baseline lines matching nothing) so fixed
+  findings get removed from the file instead of lingering.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.staticcheck.model import Finding
+
+_HEADER = """\
+# repro.staticcheck baseline — grandfathered findings.
+# One finding per line: CODE<TAB>path<TAB>subject.
+# Regenerate deliberately with `make staticcheck-baseline`;
+# an empty baseline means the tree is clean.
+"""
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The baseline keys in ``path`` (missing file = empty baseline)."""
+    if not path.exists():
+        return set()
+    keys: set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            keys.add(stripped)
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write every finding's key to ``path``; returns the count."""
+    keys = sorted({finding.key for finding in findings})
+    body = "".join(f"{key}\n" for key in keys)
+    path.write_text(_HEADER + body, encoding="utf-8")
+    return len(keys)
+
+
+def split_baselined(
+    findings: list[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Partition into (new, baselined) and report stale entries."""
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    matched: set[str] = set()
+    for finding in findings:
+        if finding.key in baseline:
+            suppressed.append(finding)
+            matched.add(finding.key)
+        else:
+            new.append(finding)
+    stale = baseline - matched
+    return new, suppressed, stale

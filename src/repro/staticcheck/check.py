@@ -1,0 +1,166 @@
+"""``repro check``: the concurrency & determinism static-analysis pass.
+
+Usage (also wired as ``python -m repro.cli check`` and ``/check``)::
+
+    python -m repro.staticcheck.check src/
+    python -m repro.cli check src/ --strict
+    python -m repro.cli check src/ --write-baseline
+
+Runs every registered rule family (LCK, ASY, DET, OBS, CFG — see
+``docs/staticcheck.md``) over the given paths and prints findings as
+:class:`repro.analysis.diagnostics.Diagnostic` lines. Exit status is
+1 when any unbaselined ERROR finding remains; ``--strict`` (what
+``make staticcheck`` runs) also fails on WARNINGs, so a new finding of
+any failing severity breaks ``make verify``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.diagnostics import Severity, diagnostic
+from repro.staticcheck.baseline import (
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.staticcheck.model import (
+    Finding,
+    Project,
+    apply_waivers,
+    load_project,
+)
+from repro.staticcheck.rules import all_families
+
+DEFAULT_BASELINE = "staticcheck.baseline"
+
+
+def run_check(
+    paths: list[str], only: Optional[set[str]] = None
+) -> tuple[Project, list[Finding]]:
+    """Analyze ``paths``; returns the project and unwaived findings,
+    sorted by location. ``only`` restricts to named rule families."""
+    project = load_project(paths)
+    findings: list[Finding] = []
+    for module in project.modules:
+        if module.parse_error is not None:
+            findings.append(
+                Finding(
+                    diagnostic(
+                        "STC000",
+                        f"file could not be parsed: {module.parse_error}",
+                        source="static",
+                        subject=module.rel,
+                    ),
+                    module.rel,
+                    1,
+                )
+            )
+    for family in all_families():
+        if only and family.family not in only:
+            continue
+        findings.extend(family.check(project))
+    findings, _waived = apply_waivers(project, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.diagnostic.code))
+    return project, findings
+
+
+def render_report(
+    findings: list[Finding],
+    suppressed: int,
+    stale: set[str],
+    checked: int,
+    strict: bool,
+) -> tuple[str, int]:
+    """(report text, exit status) for a finished run."""
+    lines = [finding.render() for finding in findings]
+    for key in sorted(stale):
+        label = key.replace("\t", " ")
+        lines.append(f"stale baseline entry (fixed? remove it): {label}")
+    counts = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.INFO: 0}
+    for finding in findings:
+        counts[finding.diagnostic.severity] += 1
+    lines.append(
+        f"staticcheck: {checked} file(s) checked — "
+        f"{counts[Severity.ERROR]} error(s), "
+        f"{counts[Severity.WARNING]} warning(s), "
+        f"{counts[Severity.INFO]} info(s), {suppressed} baselined"
+    )
+    threshold = Severity.WARNING if strict else Severity.ERROR
+    failing = any(
+        finding.diagnostic.severity >= threshold for finding in findings
+    )
+    status = 1 if failing or (strict and stale) else 0
+    return "\n".join(lines), status
+
+
+def check_main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Concurrency & determinism static analysis "
+        "(LCK, ASY, DET, OBS, CFG).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src/)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings and stale baseline entries too "
+        "(what `make staticcheck` uses)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="restrict to a rule family (LCK, ASY, DET, OBS, CFG); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding into the baseline "
+        "and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    only = {family.upper() for family in args.only} or None
+    known = {family.family for family in all_families()}
+    if only and not only <= known:
+        raise SystemExit(
+            f"unknown rule family: {sorted(only - known)}; "
+            f"known: {sorted(known)}"
+        )
+    project, findings = run_check(args.paths or ["src"], only)
+    baseline_path = Path(args.baseline)
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path, findings)
+        print(f"staticcheck: wrote {count} finding(s) to {baseline_path}")
+        return 0
+
+    new, suppressed, stale = split_baselined(
+        findings, load_baseline(baseline_path)
+    )
+    checked = sum(1 for _ in project.modules)
+    report, status = render_report(
+        new, len(suppressed), stale, checked, args.strict
+    )
+    print(report)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(check_main())

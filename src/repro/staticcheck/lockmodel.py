@@ -1,0 +1,376 @@
+"""Inter-procedural lock model for the LCK rule family.
+
+For every class that creates locks in ``__init__`` (``self._lock =
+threading.Lock()`` / ``RLock()`` / ``Condition()``), the model records,
+per method:
+
+- which locks the method **acquires** (``with self._lock:`` blocks),
+- every ``self.<attr>`` **read and write** with the set of locks held
+  at that statement,
+- every intra-class **call** (``self.other()``) with the locks held at
+  the call site.
+
+Held-lock information then propagates across calls to a fixpoint:
+
+- **ambient locks** — a method only ever called while holding L is
+  analyzed as if L were held throughout (the ``_expire_locked``-style
+  helper pattern); ambient locks are the intersection over call sites,
+  so one unlocked call site removes the guarantee;
+- **transitive acquires** — calling a method that takes L is itself an
+  acquisition of L at the call site, which feeds the lock-ordering
+  graph the LCK001 cycle check walks.
+
+The model is deliberately class-local and name-based (`self.X`), which
+matches how every lock in this codebase is actually used; it does not
+chase locks passed between objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.staticcheck.model import Project, SourceModule
+
+#: Constructors whose result makes an attribute a lock.
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+
+#: Methods where writes are construction, not shared-state mutation.
+_INIT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+#: Attribute method calls that mutate their receiver in place.
+_MUTATORS = {
+    "append", "add", "clear", "extend", "insert", "remove",
+    "discard", "pop", "popitem", "update", "setdefault",
+}
+
+
+@dataclass
+class Access:
+    """One read/write of ``self.<attr>`` with the locks held there."""
+
+    attr: str
+    line: int
+    held: frozenset[str]
+    method: str
+
+
+@dataclass
+class CallSite:
+    """One ``self.<method>()`` call with the locks held there."""
+
+    callee: str
+    line: int
+    held: frozenset[str]
+    caller: str
+
+
+@dataclass
+class MethodModel:
+    name: str
+    line: int
+    is_dunder: bool
+    #: Locks taken directly via ``with self.<lock>:``.
+    acquires: list[tuple[str, int, frozenset[str]]] = field(
+        default_factory=list
+    )
+    reads: list[Access] = field(default_factory=list)
+    writes: list[Access] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    #: Locks held at every call site of this method (fixpoint result).
+    ambient: frozenset[str] = frozenset()
+    #: Locks this method may acquire, directly or transitively.
+    all_acquired: frozenset[str] = frozenset()
+
+
+@dataclass
+class ClassLockModel:
+    module: SourceModule
+    name: str
+    line: int
+    locks: set[str]
+    methods: dict[str, MethodModel]
+
+    def guarded_attrs(self) -> dict[str, set[str]]:
+        """attr -> locks it is ever written under (outside init)."""
+        guards: dict[str, set[str]] = {}
+        for method in self.methods.values():
+            if method.name in _INIT_METHODS:
+                continue
+            for write in method.writes:
+                if write.held:
+                    guards.setdefault(write.attr, set()).update(write.held)
+        return guards
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walk one method body tracking the ``with``-held lock set."""
+
+    def __init__(
+        self, module: SourceModule, locks: set[str], model: MethodModel
+    ) -> None:
+        self.module = module
+        self.locks = locks
+        self.model = model
+        self.held: tuple[str, ...] = ()
+
+    # -- lock tracking -----------------------------------------------------
+
+    def _self_attr(self, node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def visit_With(self, node: ast.With) -> None:
+        taken: list[str] = []
+        for item in node.items:
+            attr = self._self_attr(item.context_expr)
+            if attr is not None and attr in self.locks:
+                taken.append(attr)
+                self.model.acquires.append(
+                    (attr, item.context_expr.lineno, frozenset(self.held))
+                )
+            else:
+                self.visit(item.context_expr)
+        previous = self.held
+        self.held = previous + tuple(
+            t for t in taken if t not in previous
+        )
+        for statement in node.body:
+            self.visit(statement)
+        self.held = previous
+
+    visit_AsyncWith = visit_With
+
+    # -- nested scopes -----------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs run later, on unknown threads, with unknown
+        # locks held — analyzing their bodies under the current held
+        # set would be wrong in both directions. Skip them.
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    # -- accesses ----------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self._self_attr(node)
+        if attr is not None:
+            access = Access(
+                attr, node.lineno, frozenset(self.held), self.model.name
+            )
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                self.model.writes.append(access)
+            else:
+                self.model.reads.append(access)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.X[k] = v`` / ``del self.X[k]`` mutate X.
+        attr = self._self_attr(node.value)
+        if attr is not None and isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.model.writes.append(
+                Access(
+                    attr, node.lineno, frozenset(self.held), self.model.name
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            attr = self._self_attr(func.value)
+            if attr is not None and func.attr in _MUTATORS:
+                # ``self.X.append(...)`` mutates X in place.
+                self.model.writes.append(
+                    Access(
+                        attr,
+                        node.lineno,
+                        frozenset(self.held),
+                        self.model.name,
+                    )
+                )
+            callee = self._self_attr(func)
+            if callee is not None:
+                self.model.calls.append(
+                    CallSite(
+                        callee,
+                        node.lineno,
+                        frozenset(self.held),
+                        self.model.name,
+                    )
+                )
+        self.generic_visit(node)
+
+
+def _collect_locks(class_node: ast.ClassDef, module: SourceModule) -> set[str]:
+    locks: set[str] = set()
+    for method in class_node.body:
+        if (
+            isinstance(method, ast.FunctionDef)
+            and method.name == "__init__"
+        ):
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                called = module.dotted_name(node.value.func)
+                if called not in _LOCK_FACTORIES:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        locks.add(target.attr)
+    return locks
+
+
+def _propagate(model: ClassLockModel) -> None:
+    """Fixpoint for ambient locks and transitive acquisitions."""
+    methods = model.methods
+    # Transitive acquires: direct acquires, closed over self-calls.
+    for method in methods.values():
+        method.all_acquired = frozenset(a for a, _, _ in method.acquires)
+    for _ in range(len(methods) + 1):
+        changed = False
+        for method in methods.values():
+            union = set(method.all_acquired)
+            for call in method.calls:
+                callee = methods.get(call.callee)
+                if callee is not None:
+                    union |= callee.all_acquired
+            frozen = frozenset(union)
+            if frozen != method.all_acquired:
+                method.all_acquired = frozen
+                changed = True
+        if not changed:
+            break
+
+    # Ambient locks: intersection of effective held sets over every
+    # intra-class call site; iterate because callers' effective sets
+    # include their own ambient locks.
+    for _ in range(len(methods) + 1):
+        changed = False
+        sites: dict[str, list[frozenset[str]]] = {}
+        for method in methods.values():
+            for call in method.calls:
+                sites.setdefault(call.callee, []).append(
+                    call.held | method.ambient
+                )
+        for method in methods.values():
+            held_sets = sites.get(method.name)
+            if not held_sets:
+                ambient: frozenset[str] = frozenset()
+            else:
+                ambient = frozenset.intersection(*held_sets)
+            if ambient != method.ambient:
+                method.ambient = ambient
+                changed = True
+        if not changed:
+            break
+
+
+def build_lock_models(project: Project) -> list[ClassLockModel]:
+    models: list[ClassLockModel] = []
+    for module in project:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            locks = _collect_locks(node, module)
+            if not locks:
+                continue
+            methods: dict[str, MethodModel] = {}
+            for item in node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                method = MethodModel(
+                    name=item.name,
+                    line=item.lineno,
+                    is_dunder=item.name.startswith("__")
+                    and item.name.endswith("__"),
+                )
+                scanner = _MethodScanner(module, locks, method)
+                for statement in item.body:
+                    scanner.visit(statement)
+                methods[item.name] = method
+            model = ClassLockModel(
+                module=module,
+                name=node.name,
+                line=node.lineno,
+                locks=locks,
+                methods=methods,
+            )
+            _propagate(model)
+            models.append(model)
+    return models
+
+
+def ordering_edges(
+    model: ClassLockModel,
+) -> dict[tuple[str, str], tuple[str, int]]:
+    """Lock-order edges ``(held, acquired)`` -> one witness site."""
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    for method in model.methods.values():
+        for lock, line, held in method.acquires:
+            for outer in held | method.ambient:
+                if outer != lock:
+                    edges.setdefault(
+                        (outer, lock), (method.name, line)
+                    )
+        for call in method.calls:
+            callee = model.methods.get(call.callee)
+            if callee is None:
+                continue
+            for outer in call.held | method.ambient:
+                for inner in callee.all_acquired:
+                    if outer != inner:
+                        edges.setdefault(
+                            (outer, inner), (method.name, call.line)
+                        )
+    return edges
+
+
+def find_cycles(
+    edges: dict[tuple[str, str], tuple[str, int]]
+) -> list[list[str]]:
+    """Cycles in the lock-order graph, each reported once."""
+    graph: dict[str, set[str]] = {}
+    for held, acquired in edges:
+        graph.setdefault(held, set()).add(acquired)
+        graph.setdefault(acquired, set())
+    cycles: list[list[str]] = []
+    seen: set[frozenset[str]] = set()
+
+    def walk(start: str, node: str, path: list[str]) -> None:
+        for neighbor in sorted(graph.get(node, ())):
+            if neighbor == start:
+                signature = frozenset(path)
+                if signature not in seen:
+                    seen.add(signature)
+                    cycles.append(path + [start])
+            elif neighbor not in path and neighbor > start:
+                walk(start, neighbor, path + [neighbor])
+
+    for start in sorted(graph):
+        walk(start, start, [start])
+    return cycles

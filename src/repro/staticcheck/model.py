@@ -1,0 +1,207 @@
+"""The analysis model: parsed modules, name resolution, waivers.
+
+Everything downstream (the lock model and the rule families) works on
+:class:`Project` — the parsed ASTs of every file under the checked
+paths, with two conveniences the rules all need:
+
+- **Import-normalized dotted names.** ``_dt.datetime.now`` under
+  ``import datetime as _dt`` and ``now`` under ``from datetime.datetime
+  import now`` both resolve to ``datetime.datetime.now``, so rules
+  match canonical names instead of spellings.
+- **Inline waivers.** ``# staticcheck: allow LCK003 - reason`` on the
+  flagged line (or on a comment line directly above it) suppresses a
+  finding. Waivers are only honored below ERROR severity — an ERROR
+  must be fixed or deliberately baselined, never waved through.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+_WAIVER = re.compile(r"#\s*staticcheck:\s*allow\s+([A-Z]+\d+)")
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit, located in a file.
+
+    ``key`` identifies the finding across runs for the baseline file:
+    it deliberately excludes the line number so unrelated edits above
+    a grandfathered finding do not churn the baseline.
+    """
+
+    diagnostic: Diagnostic
+    path: str
+    line: int
+
+    @property
+    def key(self) -> str:
+        subject = self.diagnostic.subject or "-"
+        return f"{self.diagnostic.code}\t{self.path}\t{subject}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.diagnostic.render()}"
+
+
+class SourceModule:
+    """One parsed Python file plus its resolution tables."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[str] = None
+        #: local alias -> module path (``import datetime as _dt``).
+        self.alias_map: dict[str, str] = {}
+        #: local name -> dotted origin (``from time import sleep``).
+        self.from_map: dict[str, str] = {}
+        #: line -> waiver codes appearing on that line.
+        self.waivers: dict[int, set[str]] = {}
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.parse_error = f"line {exc.lineno}: {exc.msg}"
+        if self.tree is not None:
+            self._index_imports(self.tree)
+        self._index_waivers()
+
+    # -- construction ------------------------------------------------------
+
+    def _index_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.alias_map[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.alias_map[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports stay project-local
+                for alias in node.names:
+                    self.from_map[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def _index_waivers(self) -> None:
+        for index, line in enumerate(self.lines, start=1):
+            codes = set(_WAIVER.findall(line))
+            if codes:
+                self.waivers[index] = codes
+
+    # -- queries -----------------------------------------------------------
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The canonical dotted name of an expression, if it has one.
+
+        Resolves import aliases and ``from`` imports; returns ``None``
+        for anything that is not a plain ``Name``/``Attribute`` chain
+        (calls, subscripts, literals).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        resolved = self.alias_map.get(root) or self.from_map.get(root) or root
+        parts.append(resolved)
+        return ".".join(reversed(parts))
+
+    def waived(self, line: int, code: str) -> bool:
+        """True when ``code`` is waived at ``line``.
+
+        A waiver counts when it appears on the line itself or in the
+        contiguous comment block directly above it.
+        """
+        if code in self.waivers.get(line, ()):
+            return True
+        cursor = line - 1
+        while cursor >= 1 and _COMMENT_ONLY.match(
+            self.lines[cursor - 1] if cursor <= len(self.lines) else ""
+        ):
+            if code in self.waivers.get(cursor, ()):
+                return True
+            cursor -= 1
+        return False
+
+
+class Project:
+    """Every module under the checked paths, ready for the rules."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules = modules
+        self._lock_models: Optional[list] = None
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(m for m in self.modules if m.tree is not None)
+
+    def lock_models(self) -> list:
+        """Per-class lock models, built once (see ``lockmodel``)."""
+        if self._lock_models is None:
+            from repro.staticcheck.lockmodel import build_lock_models
+
+            self._lock_models = build_lock_models(self)
+        return self._lock_models
+
+
+def gather_files(paths: list[str]) -> list[Path]:
+    """Expand files/directories into the ``.py`` files to analyze."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            if path.suffix == ".py":
+                files.append(path)
+        else:
+            raise SystemExit(f"no such file or directory: {raw}")
+    return files
+
+
+def load_project(paths: list[str]) -> Project:
+    modules = []
+    for file_path in gather_files(paths):
+        rel = file_path.as_posix()
+        modules.append(
+            SourceModule(file_path, rel, file_path.read_text(encoding="utf-8"))
+        )
+    return Project(modules)
+
+
+def apply_waivers(
+    project: Project, findings: list[Finding]
+) -> tuple[list[Finding], int]:
+    """Drop waived sub-ERROR findings; returns (kept, waived count).
+
+    ERROR findings ignore waivers by design: the only sanctioned ways
+    past an ERROR are a fix or a deliberate baseline entry.
+    """
+    by_rel = {module.rel: module for module in project.modules}
+    kept: list[Finding] = []
+    waived = 0
+    for finding in findings:
+        module = by_rel.get(finding.path)
+        if (
+            module is not None
+            and finding.diagnostic.severity < Severity.ERROR
+            and module.waived(finding.line, finding.diagnostic.code)
+        ):
+            waived += 1
+            continue
+        kept.append(finding)
+    return kept, waived

@@ -1,0 +1,54 @@
+"""The rule registry.
+
+Each rule family lives in its own module and exposes
+``check(project) -> Iterable[Finding]``. Families register themselves
+here so the checker, the CLI ``--only`` filter, and the docs catalog
+all enumerate the same set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.staticcheck.model import Finding, Project
+
+
+@dataclass(frozen=True)
+class RuleFamily:
+    """One registered family: an id, its codes, and its entry point."""
+
+    family: str
+    title: str
+    codes: tuple[str, ...]
+    check: Callable[[Project], Iterable[Finding]]
+
+
+_REGISTRY: dict[str, RuleFamily] = {}
+
+
+def register(
+    family: str, title: str, codes: tuple[str, ...]
+) -> Callable:
+    """Decorator registering ``check`` under ``family``."""
+
+    def decorate(check: Callable[[Project], Iterable[Finding]]) -> Callable:
+        if family in _REGISTRY:
+            raise ValueError(f"rule family {family!r} already registered")
+        _REGISTRY[family] = RuleFamily(family, title, codes, check)
+        return check
+
+    return decorate
+
+
+def all_families() -> list[RuleFamily]:
+    """Every registered family, importing the built-ins on first use."""
+    from repro.staticcheck.rules import (  # noqa: F401
+        asy,
+        cfg,
+        det,
+        lck,
+        obs,
+    )
+
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

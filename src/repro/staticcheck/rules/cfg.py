@@ -1,0 +1,127 @@
+"""CFG — configuration parity: no dead knobs.
+
+A field defined on a ``*/config.py`` dataclass but never read anywhere
+in the tree is a flag that silently does nothing — the configuration
+surface promises behavior the code no longer (or never did) implement.
+
+A field counts as *read* when, anywhere outside its defining class:
+
+- an attribute load with the field's name appears (``config.jitter``,
+  ``self.config.tier(...).capacity``), or
+- the field's name appears as a string constant in its defining module
+  (the ``TIER_NAMES`` + ``getattr`` dispatch pattern).
+
+``__post_init__`` validation does not count — a dead flag would still
+be validated. The match is name-based, so a same-named attribute on an
+unrelated class also counts; that keeps the rule quiet rather than
+noisy, which is the right bias for a WARNING.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import diagnostic
+from repro.staticcheck.model import Finding, Project, SourceModule
+from repro.staticcheck.rules import register
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _config_fields(
+    module: SourceModule,
+) -> Iterable[tuple[str, str, int]]:
+    """(class name, field name, line) for every dataclass field."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+            continue
+        for item in node.body:
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and not item.target.id.startswith("_")
+            ):
+                annotation = ast.unparse(item.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                yield node.name, item.target.id, item.lineno
+
+
+class _ReadIndex:
+    """Attribute loads and string constants across the project."""
+
+    def __init__(self, project: Project) -> None:
+        #: attribute name -> modules reading it, with class context.
+        self.attr_reads: dict[str, set[tuple[str, str]]] = {}
+        self.strings: dict[str, set[str]] = {}
+        for module in project:
+            class_stack: list[str] = []
+
+            def walk(node: ast.AST) -> None:
+                is_class = isinstance(node, ast.ClassDef)
+                if is_class:
+                    class_stack.append(node.name)
+                for child in ast.iter_child_nodes(node):
+                    walk(child)
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    owner = class_stack[-1] if class_stack else ""
+                    self.attr_reads.setdefault(node.attr, set()).add(
+                        (module.rel, owner)
+                    )
+                elif isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    self.strings.setdefault(node.value, set()).add(
+                        module.rel
+                    )
+                if is_class:
+                    class_stack.pop()
+
+            walk(module.tree)
+
+    def is_read(
+        self, module: SourceModule, class_name: str, field_name: str
+    ) -> bool:
+        for rel, owner in self.attr_reads.get(field_name, ()):
+            if rel == module.rel and owner == class_name:
+                continue  # the defining class validating itself
+            return True
+        return module.rel in self.strings.get(field_name, set())
+
+
+@register("CFG", "configuration parity", ("CFG001",))
+def check(project: Project) -> Iterable[Finding]:
+    config_modules = [
+        module for module in project if module.rel.endswith("config.py")
+    ]
+    if not config_modules:
+        return
+    index = _ReadIndex(project)
+    for module in config_modules:
+        for class_name, field_name, line in _config_fields(module):
+            if index.is_read(module, class_name, field_name):
+                continue
+            yield Finding(
+                diagnostic(
+                    "CFG001",
+                    f"config field {class_name}.{field_name} is "
+                    "never read — a knob that does nothing",
+                    source="static",
+                    subject=f"{class_name}.{field_name}",
+                    hint="wire the field up or delete it (and its "
+                    "docs entry)",
+                ),
+                module.rel,
+                line,
+            )

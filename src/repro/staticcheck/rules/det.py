@@ -1,0 +1,134 @@
+"""DET — determinism: no ambient clocks or entropy in ``src/``.
+
+The scheduler, breaker board, cache stores and chaos harness are all
+deterministic because time and randomness are *injected*. These rules
+keep it that way:
+
+- **DET001** wall-clock-call: ``time.time()``, ``datetime.now()`` and
+  friends read the real wall clock inline.
+- **DET002** ambient-random-call: module-level ``random.*`` functions
+  draw from the interpreter-global generator.
+- **DET003** unseeded-rng: ``random.Random()`` with no seed draws OS
+  entropy at construction.
+- **DET004** raw-timing-call: inline ``time.perf_counter()`` /
+  ``time.monotonic()`` calls; instrumentation must go through
+  :mod:`repro.runtime` so tests can freeze or script the clocks.
+
+Referencing a clock *as a default parameter value* (``clock:
+Callable[[], float] = time.monotonic``) is the injectable-clock
+pattern itself and is never flagged — only calls are. The single
+allowlisted home for real OS clock calls is ``repro/runtime.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import diagnostic
+from repro.staticcheck.model import Finding, Project, SourceModule
+from repro.staticcheck.rules import register
+
+#: The one module allowed to call the real OS clocks.
+_RUNTIME_SUFFIX = "repro/runtime.py"
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_RAW_TIMING = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+}
+
+#: ``random.<fn>()`` module-level calls; ``random.Random`` is handled
+#: separately (DET003) and ``random.SystemRandom`` is explicit about
+#: wanting OS entropy.
+_RANDOM_EXEMPT = {"random.Random", "random.SystemRandom"}
+
+
+def _module_findings(module: SourceModule) -> Iterable[Finding]:
+    allow_clocks = module.rel.endswith(_RUNTIME_SUFFIX)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name: Optional[str] = module.dotted_name(node.func)
+        if name is None:
+            continue
+        if name in _WALL_CLOCK:
+            yield Finding(
+                diagnostic(
+                    "DET001",
+                    f"inline wall-clock call {name}()",
+                    source="static",
+                    subject=name,
+                    hint="use repro.runtime.wall_clock() or an "
+                    "injected clock parameter",
+                ),
+                module.rel,
+                node.lineno,
+            )
+        elif not allow_clocks and name in _RAW_TIMING:
+            yield Finding(
+                diagnostic(
+                    "DET004",
+                    f"inline timing call {name}()",
+                    source="static",
+                    subject=name,
+                    hint="use repro.runtime.perf_clock()/mono_clock() "
+                    "or take a clock parameter (default-arg "
+                    "references to time.monotonic are fine)",
+                ),
+                module.rel,
+                node.lineno,
+            )
+        elif name == "random.Random" and not node.args and not node.keywords:
+            yield Finding(
+                diagnostic(
+                    "DET003",
+                    "random.Random() without a seed draws OS entropy",
+                    source="static",
+                    subject=name,
+                    hint="seed it, or use repro.runtime.default_rng()",
+                ),
+                module.rel,
+                node.lineno,
+            )
+        elif (
+            name.startswith("random.")
+            and name.count(".") == 1
+            and name not in _RANDOM_EXEMPT
+        ):
+            yield Finding(
+                diagnostic(
+                    "DET002",
+                    f"{name}() uses the interpreter-global generator",
+                    source="static",
+                    subject=name,
+                    hint="take an injected random.Random (the "
+                    "RetryPolicy/chaos-harness pattern)",
+                ),
+                module.rel,
+                node.lineno,
+            )
+
+
+@register(
+    "DET",
+    "determinism",
+    ("DET001", "DET002", "DET003", "DET004"),
+)
+def check(project: Project) -> Iterable[Finding]:
+    for module in project:
+        yield from _module_findings(module)

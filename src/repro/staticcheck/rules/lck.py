@@ -1,0 +1,134 @@
+"""LCK — lock discipline over shared attributes.
+
+Built on the inter-procedural model in ``repro.staticcheck.lockmodel``:
+
+- **LCK001** lock-order-cycle: the class's lock-acquisition graph
+  (including acquisitions reached through intra-class calls) contains
+  a cycle — two threads taking the locks in opposite orders deadlock.
+- **LCK002** mixed-guard-write: an attribute is written both under a
+  lock and with no lock held (outside ``__init__``); one of the two
+  sites is wrong, and the unlocked one can drop updates.
+- **LCK003** unguarded-read: an attribute only ever written under a
+  lock is read with no lock held. Usually a torn/stale-read hazard;
+  WARNING because single-word reads are sometimes deliberately
+  lock-free on CPython (waive with a justification comment).
+- **LCK004** locked-helper-without-lock: a method whose name ends in
+  ``_locked`` — the repo's "caller must hold the lock" contract — is
+  called from a site where no lock is held.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.diagnostics import diagnostic
+from repro.staticcheck.lockmodel import (
+    _INIT_METHODS,
+    ClassLockModel,
+    find_cycles,
+    ordering_edges,
+)
+from repro.staticcheck.model import Finding, Project
+from repro.staticcheck.rules import register
+
+
+def _class_findings(model: ClassLockModel) -> Iterable[Finding]:
+    rel = model.module.rel
+
+    # LCK001 — cycles in the acquisition-order graph.
+    edges = ordering_edges(model)
+    for cycle in find_cycles(edges):
+        witness_method, witness_line = edges[(cycle[0], cycle[1])]
+        yield Finding(
+            diagnostic(
+                "LCK001",
+                f"{model.name} acquires its locks in a cyclic order: "
+                + " -> ".join(cycle),
+                source="static",
+                subject=f"{model.name}.{witness_method}",
+                hint="pick one global order for these locks and take "
+                "them in that order everywhere",
+            ),
+            rel,
+            witness_line,
+        )
+
+    guards = model.guarded_attrs()
+    for method in model.methods.values():
+        if method.name in _INIT_METHODS:
+            continue
+        effective = method.ambient
+
+        # LCK002 — writes outside the guarding lock.
+        for write in method.writes:
+            held = write.held | effective
+            if write.attr in guards and not (held & guards[write.attr]):
+                lock_names = ", ".join(sorted(guards[write.attr]))
+                yield Finding(
+                    diagnostic(
+                        "LCK002",
+                        f"{model.name}.{write.attr} is written under "
+                        f"{lock_names} elsewhere but written here with "
+                        "no lock held",
+                        source="static",
+                        subject=f"{model.name}.{method.name}",
+                        hint=f"take {lock_names} around this write",
+                    ),
+                    rel,
+                    write.line,
+                )
+
+        # LCK003 — reads outside the guarding lock (non-dunder only:
+        # __repr__-style debug output tolerates stale values).
+        if method.is_dunder:
+            continue
+        for read in method.reads:
+            held = read.held | effective
+            if read.attr in guards and not (held & guards[read.attr]):
+                lock_names = ", ".join(sorted(guards[read.attr]))
+                yield Finding(
+                    diagnostic(
+                        "LCK003",
+                        f"{model.name}.{read.attr} is guarded by "
+                        f"{lock_names} but read here with no lock held",
+                        source="static",
+                        subject=f"{model.name}.{method.name}",
+                        hint="read under the lock, or waive with a "
+                        "comment justifying the lock-free read",
+                    ),
+                    rel,
+                    read.line,
+                )
+
+    # LCK004 — `_locked` helpers called without any lock held.
+    for method in model.methods.values():
+        for call in method.calls:
+            if not call.callee.endswith("_locked"):
+                continue
+            if call.callee not in model.methods:
+                continue
+            if not (call.held | method.ambient):
+                yield Finding(
+                    diagnostic(
+                        "LCK004",
+                        f"{model.name}.{call.callee} requires the "
+                        "caller to hold a lock (the `_locked` naming "
+                        "contract) but is called here without one",
+                        source="static",
+                        subject=f"{model.name}.{method.name}",
+                        hint="acquire the lock at this call site or "
+                        "rename the helper if it no longer needs it",
+                    ),
+                    rel,
+                    call.line,
+                )
+
+
+@register(
+    "LCK",
+    "lock discipline",
+    ("LCK001", "LCK002", "LCK003", "LCK004"),
+)
+def check(project: Project) -> Iterable[Finding]:
+    for model in project.lock_models():
+        yield from _class_findings(model)
