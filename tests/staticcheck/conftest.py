@@ -1,0 +1,38 @@
+"""Shared helpers: run rule families over inline source snippets."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck.model import Project, SourceModule, apply_waivers
+from repro.staticcheck.rules import all_families
+
+
+def analyze(
+    source: str,
+    families=None,
+    rel: str = "fixtures/snippet.py",
+    waive: bool = True,
+):
+    """Findings for one dedented snippet, sorted by line."""
+    module = SourceModule(Path(rel), rel, textwrap.dedent(source))
+    project = Project([module])
+    findings = []
+    for family in all_families():
+        if families and family.family not in families:
+            continue
+        findings.extend(family.check(project))
+    if waive:
+        findings, _ = apply_waivers(project, findings)
+    findings.sort(key=lambda f: (f.line, f.diagnostic.code))
+    return findings
+
+
+def codes(findings) -> list[str]:
+    return [finding.diagnostic.code for finding in findings]
+
+
+@pytest.fixture
+def check_snippet():
+    return analyze

@@ -1,0 +1,92 @@
+"""ASY rules: blocking calls inside async bodies."""
+
+from tests.staticcheck.conftest import analyze, codes
+
+
+class TestAsy001BlockingCall:
+    def test_time_sleep_flagged(self):
+        source = """\
+        import time
+
+        async def run():
+            time.sleep(0.1)
+        """
+        found = analyze(source, {"ASY"})
+        assert codes(found) == ["ASY001"]
+
+    def test_asyncio_sleep_clean(self):
+        source = """\
+        import asyncio
+
+        async def run():
+            await asyncio.sleep(0.1)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_lock_acquire_flagged(self):
+        source = """\
+        async def run(self):
+            self._lock.acquire()
+        """
+        assert codes(analyze(source, {"ASY"})) == ["ASY001"]
+
+    def test_nonblocking_acquire_clean(self):
+        source = """\
+        async def run(self):
+            self._lock.acquire(blocking=False)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_open_flagged(self):
+        source = """\
+        async def run(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+        assert codes(analyze(source, {"ASY"})) == ["ASY001"]
+
+    def test_sync_code_not_flagged(self):
+        source = """\
+        import time
+
+        def run():
+            time.sleep(0.1)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_nested_sync_def_exempt(self):
+        # A def nested in an async def runs wherever it is invoked —
+        # here, handed to an executor (the SMMF client pattern).
+        source = """\
+        import time, asyncio
+
+        async def run():
+            def blocking():
+                time.sleep(0.1)
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(None, blocking)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+
+class TestAsy002QueueGet:
+    def test_unbounded_get_flagged(self):
+        source = """\
+        async def drain(self):
+            return self._queue.get()
+        """
+        assert codes(analyze(source, {"ASY"})) == ["ASY002"]
+
+    def test_get_with_timeout_clean(self):
+        source = """\
+        async def drain(self):
+            return self._queue.get(timeout=0.5)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_dict_get_not_flagged(self):
+        source = """\
+        async def lookup(self, key):
+            return self._mapping.get(key)
+        """
+        assert analyze(source, {"ASY"}) == []

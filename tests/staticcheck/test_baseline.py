@@ -1,0 +1,61 @@
+"""Baseline round-trip, suppression and staleness."""
+
+from pathlib import Path
+
+from repro.analysis.diagnostics import diagnostic
+from repro.staticcheck.baseline import (
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.staticcheck.model import Finding
+
+
+def finding(code="DET001", path="src/x.py", subject="time.time", line=3):
+    return Finding(
+        diagnostic(code, "msg", source="static", subject=subject),
+        path,
+        line,
+    )
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / "staticcheck.baseline"
+        one = finding()
+        two = finding(code="LCK002", subject="C.m")
+        count = write_baseline(target, [one, two])
+        assert count == 2
+        assert load_baseline(target) == {one.key, two.key}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent") == set()
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        target = tmp_path / "b"
+        target.write_text("# header\n\nDET001\tsrc/x.py\ttime.time\n")
+        assert load_baseline(target) == {"DET001\tsrc/x.py\ttime.time"}
+
+    def test_key_is_line_independent(self):
+        assert finding(line=3).key == finding(line=99).key
+
+    def test_duplicate_keys_written_once(self, tmp_path):
+        target = tmp_path / "b"
+        assert write_baseline(target, [finding(), finding(line=9)]) == 1
+
+
+class TestSplitBaselined:
+    def test_partition_and_stale(self):
+        known = finding()
+        fresh = finding(code="LCK002", subject="C.m")
+        baseline = {known.key, "OBS002\tsrc/gone.py\told_metric"}
+        new, suppressed, stale = split_baselined(
+            [known, fresh], baseline
+        )
+        assert new == [fresh]
+        assert suppressed == [known]
+        assert stale == {"OBS002\tsrc/gone.py\told_metric"}
+
+    def test_empty_baseline_passes_everything_through(self):
+        new, suppressed, stale = split_baselined([finding()], set())
+        assert len(new) == 1 and not suppressed and not stale

@@ -1,0 +1,94 @@
+"""CFG rule: dead config fields."""
+
+import textwrap
+from pathlib import Path
+
+from repro.staticcheck.model import Project, SourceModule
+from repro.staticcheck.rules import all_families
+from tests.staticcheck.conftest import codes
+
+
+def analyze_modules(**sources) -> list:
+    modules = [
+        SourceModule(Path(rel), rel, textwrap.dedent(source))
+        for rel, source in (
+            (name.replace("__", "/") + ".py", text)
+            for name, text in sources.items()
+        )
+    ]
+    project = Project(modules)
+    findings = []
+    for family in all_families():
+        if family.family == "CFG":
+            findings.extend(family.check(project))
+    return findings
+
+
+_CONFIG = """\
+from dataclasses import dataclass
+
+
+@dataclass
+class ServingConfig:
+    enabled: bool = False
+    pool_width: int = 4
+
+    def __post_init__(self):
+        if self.pool_width <= 0:
+            raise ValueError("pool_width must be positive")
+"""
+
+
+class TestCfg001DeadField:
+    def test_unread_field_flagged(self):
+        found = analyze_modules(
+            pkg__config=_CONFIG,
+            pkg__engine="""\
+            def build(config):
+                if config.enabled:
+                    return object()
+            """,
+        )
+        assert codes(found) == ["CFG001"]
+        assert found[0].diagnostic.subject == "ServingConfig.pool_width"
+
+    def test_read_field_clean(self):
+        found = analyze_modules(
+            pkg__config=_CONFIG,
+            pkg__engine="""\
+            def build(config):
+                if config.enabled:
+                    return [None] * config.pool_width
+            """,
+        )
+        assert found == []
+
+    def test_post_init_validation_does_not_count(self):
+        # The only mention of pool_width is its own validation.
+        found = analyze_modules(pkg__config=_CONFIG)
+        assert "CFG001" in codes(found)
+
+    def test_getattr_string_dispatch_counts(self):
+        config = """\
+        from dataclasses import dataclass
+
+        TIERS = ("inference",)
+
+
+        @dataclass
+        class CacheConfig:
+            inference: int = 1
+
+            def tier(self, name):
+                if name not in TIERS:
+                    raise KeyError(name)
+                return getattr(self, name)
+        """
+        found = analyze_modules(pkg__config=config)
+        assert found == []
+
+    def test_non_config_modules_ignored(self):
+        found = analyze_modules(
+            pkg__settings=_CONFIG.replace("ServingConfig", "Plain")
+        )
+        assert found == []

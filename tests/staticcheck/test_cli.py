@@ -1,0 +1,92 @@
+"""The ``repro check`` CLI surface: exit codes, baseline, REPL."""
+
+import textwrap
+
+import pytest
+
+from repro.staticcheck.check import check_main
+
+_DIRTY = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+_WARN_ONLY = """\
+def record(registry):
+    registry.histogram("cache_latency").observe(1.0)
+"""
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A temp working dir so the default baseline path is isolated."""
+    monkeypatch.chdir(tmp_path)
+    def write(rel, source):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return rel
+    return write
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        tree("src/ok.py", "x = 1\n")
+        assert check_main(["src"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, tree, capsys):
+        tree("src/bad.py", _DIRTY)
+        assert check_main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "src/bad.py:5" in out
+
+    def test_warning_passes_unless_strict(self, tree):
+        tree("src/warn.py", _WARN_ONLY)
+        assert check_main(["src"]) == 0
+        assert check_main(["src", "--strict"]) == 1
+
+    def test_unparsable_file_is_a_warning(self, tree, capsys):
+        tree("src/broken.py", "def broken(:\n")
+        assert check_main(["src", "--strict"]) == 1
+        assert "STC000" in capsys.readouterr().out
+
+    def test_unknown_family_rejected(self, tree):
+        tree("src/ok.py", "x = 1\n")
+        with pytest.raises(SystemExit):
+            check_main(["src", "--only", "NOPE"])
+
+    def test_only_filter_limits_rules(self, tree):
+        tree("src/bad.py", _DIRTY)
+        assert check_main(["src", "--only", "LCK"]) == 0
+        assert check_main(["src", "--only", "DET"]) == 1
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_clean(self, tree, capsys):
+        tree("src/bad.py", _DIRTY)
+        assert check_main(["src", "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert check_main(["src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_stale_entry_fails_strict_only(self, tree, capsys):
+        tree("src/bad.py", _DIRTY)
+        assert check_main(["src", "--write-baseline"]) == 0
+        tree("src/bad.py", "x = 1\n")  # finding fixed, entry now stale
+        assert check_main(["src"]) == 0
+        assert check_main(["src", "--strict"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestReplCommand:
+    def test_slash_check_reports(self, tree):
+        from repro.cli import CliSession
+
+        tree("src/bad.py", _DIRTY)
+        session = CliSession.__new__(CliSession)
+        out = session._check(["src"])
+        assert "DET001" in out and "staticcheck:" in out

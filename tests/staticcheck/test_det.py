@@ -1,0 +1,106 @@
+"""DET rules: wall clocks, ambient randomness, unseeded rngs."""
+
+from tests.staticcheck.conftest import analyze, codes
+
+
+class TestDet001WallClock:
+    def test_time_time_flagged(self):
+        found = analyze("import time\nstamp = time.time()\n", {"DET"})
+        assert codes(found) == ["DET001"]
+        assert found[0].line == 2
+
+    def test_datetime_now_flagged_through_alias(self):
+        source = """\
+        import datetime as _dt
+
+        def stamp():
+            return _dt.datetime.now()
+        """
+        assert codes(analyze(source, {"DET"})) == ["DET001"]
+
+    def test_from_import_resolved(self):
+        source = """\
+        from time import time
+
+        def stamp():
+            return time()
+        """
+        assert codes(analyze(source, {"DET"})) == ["DET001"]
+
+    def test_injected_clock_call_clean(self):
+        source = """\
+        from repro.runtime import wall_clock
+
+        def stamp():
+            return wall_clock()
+        """
+        assert analyze(source, {"DET"}) == []
+
+
+class TestDet002AmbientRandom:
+    def test_module_level_random_flagged(self):
+        source = """\
+        import random
+
+        def jitter():
+            return random.random() * 0.5
+        """
+        assert codes(analyze(source, {"DET"})) == ["DET002"]
+
+    def test_instance_rng_clean(self):
+        source = """\
+        def jitter(rng):
+            return rng.random() * 0.5
+        """
+        assert analyze(source, {"DET"}) == []
+
+    def test_system_random_exempt(self):
+        source = """\
+        import random
+
+        def token():
+            return random.SystemRandom().random()
+        """
+        # SystemRandom *construction* is exempt; .random() on the
+        # instance is not a module-level call either.
+        assert analyze(source, {"DET"}) == []
+
+
+class TestDet003UnseededRng:
+    def test_unseeded_flagged(self):
+        source = "import random\nrng = random.Random()\n"
+        assert codes(analyze(source, {"DET"})) == ["DET003"]
+
+    def test_seeded_clean(self):
+        source = "import random\nrng = random.Random(0)\n"
+        assert analyze(source, {"DET"}) == []
+
+
+class TestDet004RawTiming:
+    def test_perf_counter_call_flagged(self):
+        source = """\
+        import time
+
+        def measure():
+            return time.perf_counter()
+        """
+        assert codes(analyze(source, {"DET"})) == ["DET004"]
+
+    def test_default_arg_reference_clean(self):
+        source = """\
+        import time
+
+        def __init__(self, clock=time.monotonic):
+            self.clock = clock
+        """
+        assert analyze(source, {"DET"}) == []
+
+    def test_runtime_module_allowlisted(self):
+        source = """\
+        import time
+
+        def perf_clock():
+            return time.perf_counter()
+        """
+        assert analyze(source, {"DET"}, rel="src/repro/runtime.py") == []
+        assert codes(analyze(source, {"DET"})) == ["DET004"]

@@ -1,0 +1,266 @@
+"""LCK rules: the inter-procedural lock model."""
+
+from tests.staticcheck.conftest import analyze, codes
+
+_MIXED_WRITE = """\
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def inc(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        self.count = 0
+"""
+
+_CLEAN_COUNTER = """\
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def inc(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        with self._lock:
+            self.count = 0
+"""
+
+
+class TestLck002MixedGuardWrite:
+    def test_unlocked_write_flagged(self):
+        found = analyze(_MIXED_WRITE, {"LCK"})
+        assert "LCK002" in codes(found)
+        (finding,) = [
+            f for f in found if f.diagnostic.code == "LCK002"
+        ]
+        assert finding.diagnostic.subject == "Counter.reset"
+
+    def test_locked_everywhere_clean(self):
+        assert analyze(_CLEAN_COUNTER, {"LCK"}) == []
+
+    def test_init_writes_exempt(self):
+        # Constructor writes are single-threaded by definition; only
+        # the post-construction unlocked write should fire.
+        found = analyze(_MIXED_WRITE, {"LCK"})
+        lck002 = [f for f in found if f.diagnostic.code == "LCK002"]
+        assert len(lck002) == 1
+
+    def test_container_mutation_counts_as_write(self):
+        source = """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+
+            def sneak(self, item):
+                self._items.append(item)
+        """
+        found = analyze(source, {"LCK"})
+        assert "LCK002" in codes(found)
+
+
+class TestLck003UnguardedRead:
+    def test_unlocked_read_flagged(self):
+        source = _CLEAN_COUNTER + """\
+
+    def peek(self):
+        return self.count
+"""
+        found = analyze(source, {"LCK"})
+        assert codes(found) == ["LCK003"]
+
+    def test_waiver_suppresses_warning(self):
+        source = _CLEAN_COUNTER + """\
+
+    def peek(self):
+        # staticcheck: allow LCK003 - deliberate lock-free read
+        return self.count
+"""
+        assert analyze(source, {"LCK"}) == []
+
+    def test_dunder_reads_exempt(self):
+        source = _CLEAN_COUNTER + """\
+
+    def __repr__(self):
+        return f"Counter({self.count})"
+"""
+        assert analyze(source, {"LCK"}) == []
+
+
+class TestAmbientLockPropagation:
+    def test_helper_called_under_lock_is_clean(self):
+        # The `_expire_locked` pattern: the helper writes with no
+        # local `with`, but every call site holds the lock.
+        source = """\
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def push(self, item):
+                with self._lock:
+                    self._items.append(item)
+                    self._trim_locked()
+
+            def clear(self):
+                with self._lock:
+                    self._items = []
+                    self._trim_locked()
+
+            def _trim_locked(self):
+                while len(self._items) > 10:
+                    self._items.pop()
+        """
+        assert analyze(source, {"LCK"}) == []
+
+    def test_one_unlocked_call_site_breaks_ambience(self):
+        source = """\
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def push(self, item):
+                with self._lock:
+                    self._items.append(item)
+                    self._trim_locked()
+
+            def leak(self):
+                self._trim_locked()
+
+            def _trim_locked(self):
+                while len(self._items) > 10:
+                    self._items.pop()
+        """
+        found = analyze(source, {"LCK"})
+        assert "LCK004" in codes(found)
+        # With ambience broken, the helper's write is mixed-guard too.
+        assert "LCK002" in codes(found)
+
+
+class TestLck001OrderCycle:
+    def test_opposite_order_flagged(self):
+        source = """\
+        import threading
+
+        class Transfer:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+        found = analyze(source, {"LCK"})
+        assert "LCK001" in codes(found)
+
+    def test_consistent_order_clean(self):
+        source = """\
+        import threading
+
+        class Transfer:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def also_forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+        """
+        assert analyze(source, {"LCK"}) == []
+
+    def test_cycle_through_method_call(self):
+        source = """\
+        import threading
+
+        class Transfer:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    self.take_b()
+
+            def take_b(self):
+                with self._b:
+                    pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+        found = analyze(source, {"LCK"})
+        assert "LCK001" in codes(found)
+
+
+class TestLck004LockedNamingContract:
+    def test_unlocked_call_flagged(self):
+        source = """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def _evict_locked(self):
+                self._data.clear()
+
+            def evict(self):
+                self._evict_locked()
+        """
+        found = analyze(source, {"LCK"})
+        assert "LCK004" in codes(found)
+
+    def test_locked_call_clean(self):
+        source = """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def _evict_locked(self):
+                self._data.clear()
+
+            def evict(self):
+                with self._lock:
+                    self._evict_locked()
+        """
+        assert analyze(source, {"LCK"}) == []

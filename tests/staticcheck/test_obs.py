@@ -1,0 +1,101 @@
+"""OBS rules: span hygiene and metric naming conventions."""
+
+from tests.staticcheck.conftest import analyze, codes
+
+
+class TestObs001SpanContextManager:
+    def test_bare_span_call_flagged(self):
+        source = """\
+        from repro.obs.tracer import get_tracer
+
+        def work():
+            get_tracer().span("cache.lookup", tier="sql")
+        """
+        assert codes(analyze(source, {"OBS"})) == ["OBS001"]
+
+    def test_assigned_span_flagged(self):
+        source = """\
+        def work(tracer):
+            span = tracer.span("cache.lookup")
+            span.set_attribute("tier", "sql")
+        """
+        assert codes(analyze(source, {"OBS"})) == ["OBS001"]
+
+    def test_with_managed_span_clean(self):
+        source = """\
+        def work(tracer):
+            with tracer.span("cache.lookup") as span:
+                span.set_attribute("tier", "sql")
+        """
+        assert analyze(source, {"OBS"}) == []
+
+    def test_unrelated_span_method_clean(self):
+        source = """\
+        def work(layout):
+            layout.span("two-columns")
+        """
+        assert analyze(source, {"OBS"}) == []
+
+
+class TestObs002CounterSuffix:
+    def test_bad_counter_name_flagged(self):
+        source = """\
+        def record(registry):
+            registry.counter("cache_hits", "hits").inc()
+        """
+        assert codes(analyze(source, {"OBS"})) == ["OBS002"]
+
+    def test_total_suffix_clean(self):
+        source = """\
+        def record(registry):
+            registry.counter("cache_hits_total", "hits").inc()
+        """
+        assert analyze(source, {"OBS"}) == []
+
+
+class TestObs003MetricPrefix:
+    def test_unknown_prefix_flagged(self):
+        source = """\
+        def record(registry):
+            registry.counter("mystery_events_total").inc()
+        """
+        assert codes(analyze(source, {"OBS"})) == ["OBS003"]
+
+    def test_known_prefix_clean(self):
+        source = """\
+        def record(registry):
+            registry.gauge("serving_queue_depth").set(3)
+        """
+        assert analyze(source, {"OBS"}) == []
+
+    def test_dynamic_name_skipped(self):
+        source = """\
+        def record(registry, name):
+            registry.counter(name).inc()
+        """
+        assert analyze(source, {"OBS"}) == []
+
+
+class TestObs004HistogramSuffix:
+    def test_missing_unit_flagged(self):
+        source = """\
+        def record(registry):
+            registry.histogram("cache_latency").observe(1.0)
+        """
+        found = analyze(source, {"OBS"})
+        assert codes(found) == ["OBS004"]
+
+    def test_unit_suffix_clean(self):
+        source = """\
+        def record(registry):
+            registry.histogram("cache_latency_ms").observe(1.0)
+        """
+        assert analyze(source, {"OBS"}) == []
+
+    def test_waiver_applies_to_warning(self):
+        source = """\
+        def record(registry):
+            # staticcheck: allow OBS004 - unit is in the description
+            registry.histogram("cache_latency").observe(1.0)
+        """
+        assert analyze(source, {"OBS"}) == []

@@ -1,0 +1,44 @@
+"""The self-check: the shipped tree stays clean at every severity.
+
+This is the acceptance gate the ISSUE demands: ``repro check src/``
+must report zero unbaselined findings with the shipped (empty)
+baseline — ERRORs were fixed, not suppressed, and the few deliberate
+lock-free reads carry inline waivers with justifications.
+"""
+
+from pathlib import Path
+
+from repro.analysis.diagnostics import DIAGNOSTIC_CODES, Severity
+from repro.staticcheck import run_check
+from repro.staticcheck.baseline import load_baseline, split_baselined
+from repro.staticcheck.rules import all_families
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean(self):
+        _project, findings = run_check([str(REPO_ROOT / "src")])
+        baseline = load_baseline(REPO_ROOT / "staticcheck.baseline")
+        new, _suppressed, _stale = split_baselined(findings, baseline)
+        assert new == [], "\n".join(f.render() for f in new)
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = load_baseline(REPO_ROOT / "staticcheck.baseline")
+        assert baseline == set()
+
+    def test_every_family_code_is_registered(self):
+        for family in all_families():
+            for code in family.codes:
+                assert code in DIAGNOSTIC_CODES, code
+                assert code.startswith(family.family)
+
+    def test_family_coverage(self):
+        families = {family.family for family in all_families()}
+        assert families == {"ASY", "CFG", "DET", "LCK", "OBS"}
+
+    def test_error_codes_have_error_default(self):
+        severity, _ = DIAGNOSTIC_CODES["LCK002"]
+        assert severity is Severity.ERROR
+        severity, _ = DIAGNOSTIC_CODES["DET001"]
+        assert severity is Severity.ERROR
