@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint staticcheck staticcheck-baseline bench bench-cache bench-serving bench-resilience verify docs-check trace-demo
+.PHONY: test lint staticcheck staticcheck-baseline bench bench-cache bench-serving bench-resilience bench-sqlengine verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,11 @@ bench-serving:
 bench-resilience:
 	$(PYTHON) -m pytest benchmarks/bench_resilience.py -q
 
+# Indexed point lookups, sorted range scans and hash joins vs their
+# naive counterparts; writes BENCH_sqlengine.json.
+bench-sqlengine:
+	$(PYTHON) -m pytest benchmarks/bench_sqlengine.py -q
+
 # Validate that every relative link in the documentation resolves.
 docs-check:
 	$(PYTHON) -m repro.doccheck README.md docs
@@ -47,5 +52,6 @@ trace-demo:
 
 # The repo self-check: static analysis over the examples and the
 # source tree itself, doc link integrity, one traced end-to-end
-# request, tier-1, then the cache, serving and resilience smokes.
-verify: lint staticcheck docs-check trace-demo test bench-cache bench-serving bench-resilience
+# request, tier-1, then the cache, serving, resilience and sql
+# engine smokes.
+verify: lint staticcheck docs-check trace-demo test bench-cache bench-serving bench-resilience bench-sqlengine

@@ -60,6 +60,8 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
     "SQL013": (Severity.ERROR, "duplicate-alias"),
     "SQL014": (Severity.WARNING, "non-boolean-predicate"),
     "SQL015": (Severity.ERROR, "set-op-arity"),
+    "SQL016": (Severity.ERROR, "duplicate-cte"),
+    "SQL017": (Severity.ERROR, "cte-column-arity"),
     # --- AWEL workflow graphs --------------------------------------------
     "AWEL001": (Severity.ERROR, "cycle"),
     "AWEL002": (Severity.ERROR, "orphan-node"),

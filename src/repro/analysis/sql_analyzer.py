@@ -161,6 +161,11 @@ class SqlAnalyzer:
 
     def __init__(self, catalog: Optional[Catalog] = None) -> None:
         self._catalog = catalog
+        #: WITH-clause scope frames (innermost last): lower-cased CTE
+        #: name -> output columns, or None when unknowable (SELECT *).
+        self._cte_frames: list[
+            dict[str, Optional[dict[str, Optional[DataType]]]]
+        ] = []
 
     # -- public API --------------------------------------------------------
 
@@ -218,6 +223,16 @@ class SqlAnalyzer:
     def _known_table(self, name: str) -> bool:
         return self._catalog is not None and self._catalog.has_table(name)
 
+    def _lookup_cte(
+        self, name: str
+    ) -> tuple[bool, Optional[dict[str, Optional[DataType]]]]:
+        """(is a CTE in scope, its columns or None when unknowable)."""
+        key = name.lower()
+        for frame in reversed(self._cte_frames):
+            if key in frame:
+                return True, frame[key]
+        return False, None
+
     def _collect_bindings(
         self,
         source: nodes.TableRef,
@@ -226,17 +241,19 @@ class SqlAnalyzer:
         diags: list[Diagnostic],
     ) -> None:
         if isinstance(source, nodes.NamedTable):
-            columns = self._table_columns(source.name)
-            if columns is None and self._catalog is not None:
-                diags.append(
-                    diagnostic(
-                        "SQL001",
-                        f"unknown table {source.name!r}",
-                        subject=source.name,
-                        hint="known tables: "
-                        + ", ".join(sorted(self._catalog.table_names())),
+            is_cte, columns = self._lookup_cte(source.name)
+            if not is_cte:
+                columns = self._table_columns(source.name)
+                if columns is None and self._catalog is not None:
+                    diags.append(
+                        diagnostic(
+                            "SQL001",
+                            f"unknown table {source.name!r}",
+                            subject=source.name,
+                            hint="known tables: "
+                            + ", ".join(sorted(self._catalog.table_names())),
+                        )
                     )
-                )
             self._bind(source.binding, columns, scope, diags)
         elif isinstance(source, nodes.SubqueryTable):
             info = self._select(source.subquery, scope.parent, diags)
@@ -731,6 +748,68 @@ class SqlAnalyzer:
         parent: Optional[_Scope],
         diags: list[Diagnostic],
     ) -> _SelectInfo:
+        if select.ctes:
+            self._cte_frames.append({})
+            try:
+                self._analyze_ctes(select, parent, diags)
+                return self._select_body(select, parent, diags)
+            finally:
+                self._cte_frames.pop()
+        return self._select_body(select, parent, diags)
+
+    def _analyze_ctes(
+        self,
+        select: nodes.Select,
+        parent: Optional[_Scope],
+        diags: list[Diagnostic],
+    ) -> None:
+        frame = self._cte_frames[-1]
+        for cte in select.ctes:
+            key = cte.name.lower()
+            if key in frame:
+                diags.append(
+                    diagnostic(
+                        "SQL016",
+                        f"duplicate CTE name {cte.name!r} in WITH clause",
+                        subject=cte.name,
+                        hint="give each CTE a distinct name",
+                    )
+                )
+            info = self._select(cte.query, parent, diags)
+            columns: Optional[dict[str, Optional[DataType]]]
+            if info.columns is None:
+                columns = None
+            else:
+                columns = {name.lower(): dtype for name, dtype in info.columns}
+            if cte.columns:
+                if info.width is not None and len(cte.columns) != info.width:
+                    diags.append(
+                        diagnostic(
+                            "SQL017",
+                            f"CTE {cte.name!r} declares "
+                            f"{len(cte.columns)} columns but its query "
+                            f"returns {info.width}",
+                            subject=cte.name,
+                        )
+                    )
+                types = (
+                    [dtype for _name, dtype in info.columns]
+                    if info.columns is not None
+                    and len(info.columns) == len(cte.columns)
+                    else [None] * len(cte.columns)
+                )
+                columns = {
+                    name.lower(): dtype
+                    for name, dtype in zip(cte.columns, types)
+                }
+            frame[key] = columns
+
+    def _select_body(
+        self,
+        select: nodes.Select,
+        parent: Optional[_Scope],
+        diags: list[Diagnostic],
+    ) -> _SelectInfo:
         scope = _Scope(parent=parent)
         conditions: list[nodes.Expression] = []
         if select.source is not None:
@@ -1079,14 +1158,17 @@ class SqlAnalyzer:
         self, stmt: nodes.CreateIndex, diags: list[Diagnostic]
     ) -> None:
         columns = self._require_table(stmt.table, diags)
-        if columns is not None and stmt.column.lower() not in columns:
-            diags.append(
-                diagnostic(
-                    "SQL002",
-                    f"table {stmt.table!r} has no column {stmt.column!r}",
-                    subject=stmt.column,
+        if columns is None:
+            return
+        for column in stmt.columns:
+            if column.lower() not in columns:
+                diags.append(
+                    diagnostic(
+                        "SQL002",
+                        f"table {stmt.table!r} has no column {column!r}",
+                        subject=column,
+                    )
                 )
-            )
 
     def _drop(self, stmt, diags: list[Diagnostic]) -> None:
         if getattr(stmt, "if_exists", False):

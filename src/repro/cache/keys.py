@@ -71,9 +71,24 @@ def sql_key(
     version: int,
     canonical_sql: str,
     parameters: tuple,
+    index_epoch: int = 0,
 ) -> tuple:
-    """SQL tier: (database, data version, canonical SQL, parameters)."""
-    return ("sql", token, database, version, canonical_sql, parameters)
+    """SQL tier: database identity, data version, index epoch,
+    canonical SQL and parameters.
+
+    ``index_epoch`` counts CREATE/DROP INDEX events: a changed index
+    set changes the plan, so cached results keyed on the old epoch are
+    never served for the new plan's queries.
+    """
+    return (
+        "sql",
+        token,
+        database,
+        version,
+        index_epoch,
+        canonical_sql,
+        parameters,
+    )
 
 
 def retrieval_key(

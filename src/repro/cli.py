@@ -10,6 +10,7 @@ Run::
     python -m repro.cli --command "show tables" --command "/apps"
     python -m repro.cli lint examples/     # static analysis front-end
     python -m repro.cli check src/         # concurrency/determinism pass
+    python -m repro.cli explain "SELECT …" # engine query plan (EXPLAIN)
     python -m repro.cli trace              # trace one request end-to-end
     python -m repro.cli cache stats        # cache tier statistics
     python -m repro.cli health             # worker health / breaker states
@@ -19,6 +20,7 @@ Slash commands switch context; anything else goes to the active app::
     /apps            list applications
     /app <name>      switch the active application
     /lint <sql>      analyze a SQL statement against the active schema
+    /explain <sql>   show the SQL engine's plan for a query
     /check [path]    run the staticcheck pass (default: src/)
     /trace           span tree of the last request, with timings
     /metrics         model serving metrics
@@ -40,9 +42,9 @@ from repro.datasets import build_sales_database
 from repro.datasources import CsvSource, EngineSource
 
 _HELP = (
-    "commands: /apps, /app <name>, /lint <sql>, /check [path], "
-    "/trace, /metrics, /cache [clear], /health, /help, /quit — "
-    "anything else is sent to the active app"
+    "commands: /apps, /app <name>, /lint <sql>, /explain <sql>, "
+    "/check [path], /trace, /metrics, /cache [clear], /health, "
+    "/help, /quit — anything else is sent to the active app"
 )
 
 
@@ -122,6 +124,10 @@ class CliSession:
             if not args:
                 return "usage: /lint <sql statement>"
             return self._lint(line.split(None, 1)[1])
+        if command == "/explain":
+            if not args:
+                return "usage: /explain <select statement>"
+            return self._explain(line.split(None, 1)[1])
         if command == "/check":
             return self._check(args)
         if command == "/trace":
@@ -160,6 +166,22 @@ class CliSession:
             return "clean: no findings"
         return "\n".join(diag.render() for diag in findings)
 
+    def _explain(self, sql: str) -> str:
+        """Render the engine's query plan for one SELECT statement."""
+        from repro.sqlengine.errors import SqlEngineError
+
+        source = self.dbgpt.default_source()
+        database = getattr(source, "database", None)
+        if database is None:
+            return "no SQL-engine data source registered"
+        if not sql.lstrip().upper().startswith("EXPLAIN"):
+            sql = f"EXPLAIN {sql}"
+        try:
+            result = database.execute(sql)
+        except SqlEngineError as exc:
+            return f"error: {exc}"
+        return "\n".join(row[0] for row in result.rows)
+
     def _check(self, args: list[str]) -> str:
         """Run the staticcheck pass and return its report text."""
         from repro.staticcheck import run_check
@@ -193,6 +215,44 @@ class CliSession:
             if self.done:
                 break
         return outputs
+
+
+def explain_main(argv: list[str]) -> int:
+    """``repro explain``: print the engine's plan for one query.
+
+    Loads the demo sales database (or a CSV directory) and renders the
+    plan tree EXPLAIN produces — scans with access paths and pushed
+    filters, join strategies, then the pipeline steps. Nothing is
+    executed.
+    """
+    from repro.sqlengine.errors import SqlEngineError
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli explain",
+        description="Show the SQL engine's plan for a query (no execution).",
+    )
+    parser.add_argument(
+        "sql", help="the SELECT (or WITH) statement to plan"
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    args = parser.parse_args(argv)
+    if args.csv:
+        database = CsvSource(args.csv).database
+    else:
+        database = build_sales_database()
+    sql = args.sql
+    if not sql.lstrip().upper().startswith("EXPLAIN"):
+        sql = f"EXPLAIN {sql}"
+    try:
+        result = database.execute(sql)
+    except SqlEngineError as exc:
+        print(f"error: {exc}")
+        return 1
+    for row in result.rows:
+        print(row[0])
+    return 0
 
 
 def trace_main(argv: list[str]) -> int:
@@ -377,6 +437,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.staticcheck import check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "cache":

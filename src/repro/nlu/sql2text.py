@@ -46,7 +46,7 @@ def sql_to_text(sql: str, language: str = "en") -> str:
     elif isinstance(statement, nodes.CreateIndex):
         sentence = (
             f"This creates index {statement.name} on "
-            f"{statement.table}({statement.column})"
+            f"{statement.table}({', '.join(statement.columns)})"
         )
     elif isinstance(statement, nodes.DropIndex):
         sentence = f"This drops index {statement.name}"

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from repro.sqlengine.errors import CatalogError, TypeCheckError
+from repro.sqlengine.indexes import IndexInfo
 from repro.sqlengine.types import DataType, coerce
 
 
@@ -95,10 +96,17 @@ class TableSchema:
 
 
 class Catalog:
-    """Case-insensitive registry of table schemas."""
+    """Case-insensitive registry of table schemas and index metadata.
+
+    Tables own the index *structures*; the catalog records the index
+    *metadata* (:class:`~repro.sqlengine.indexes.IndexInfo`) so the
+    planner, ``DROP INDEX`` and introspection can reason about indexes
+    without touching row storage.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, TableSchema] = {}
+        self._indexes: dict[str, IndexInfo] = {}
 
     def create_table(self, schema: TableSchema) -> None:
         key = schema.name.lower()
@@ -111,6 +119,11 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"no table named {name!r}")
         del self._tables[key]
+        self._indexes = {
+            index_key: info
+            for index_key, info in self._indexes.items()
+            if info.table.lower() != key
+        }
 
     def table(self, name: str) -> TableSchema:
         key = name.lower()
@@ -138,7 +151,49 @@ class Catalog:
         """Shallow copy (schemas are treated as immutable after DDL)."""
         twin = Catalog()
         twin._tables = dict(self._tables)
+        twin._indexes = dict(self._indexes)
         return twin
+
+    # -- secondary-index metadata -------------------------------------
+
+    def register_index(self, info: IndexInfo) -> None:
+        key = info.name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {info.name!r} already exists")
+        self._indexes[key] = info
+
+    def drop_index(self, name: str) -> IndexInfo:
+        key = name.lower()
+        info = self._indexes.get(key)
+        if info is None:
+            raise CatalogError(f"no index named {name!r}")
+        del self._indexes[key]
+        return info
+
+    def index(self, name: str) -> Optional[IndexInfo]:
+        return self._indexes.get(name.lower())
+
+    def indexes_for(self, table: str) -> list[IndexInfo]:
+        """Index metadata for one table, in name order (deterministic
+        planner choice)."""
+        lowered = table.lower()
+        return sorted(
+            (
+                info
+                for info in self._indexes.values()
+                if info.table.lower() == lowered
+            ),
+            key=lambda info: info.name.lower(),
+        )
+
+    def index_names(self) -> list[str]:
+        return sorted(info.name for info in self._indexes.values())
+
+    def describe_indexes(self) -> str:
+        """Multi-line rendering of all indexes (not part of prompts)."""
+        return "\n".join(
+            self._indexes[key].describe() for key in sorted(self._indexes)
+        )
 
     def find_column(self, column_name: str) -> list[tuple[str, ColumnSchema]]:
         """All (table name, column) pairs whose column matches ``column_name``."""

@@ -1,7 +1,14 @@
-"""Public database facade: the object applications hold on to."""
+"""Public database facade: the object applications hold on to.
+
+Statement execution is guarded by a readers-writer lock: any number of
+SELECT/EXPLAIN statements run concurrently, while DML/DDL waits for
+exclusive access. The lock is write-preferring, so a steady stream of
+readers cannot starve a writer.
+"""
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
@@ -11,6 +18,7 @@ from repro.cache.manager import get_cache_manager
 from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
 from repro.sqlengine.errors import CatalogError
 from repro.sqlengine.executor import Executor, Relation
+from repro.sqlengine.locking import ReadWriteLock
 from repro.sqlengine.nodes import Statement
 from repro.sqlengine.parser import parse_sql
 from repro.sqlengine.table import Table
@@ -86,12 +94,19 @@ class Database:
     """
 
     def __init__(
-        self, name: str = "main", enable_hash_join: bool = True
+        self,
+        name: str = "main",
+        enable_hash_join: bool = True,
+        optimize: bool = True,
     ) -> None:
         self.name = name
         self.catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self.enable_hash_join = enable_hash_join
+        #: Planner rules on/off. ``optimize=False`` runs every SELECT
+        #: naively (full scans, no pushdown) — the reference the
+        #: planner equivalence tests compare against.
+        self.optimize = optimize
         self._views: dict[str, Any] = {}
         #: Transaction snapshot stack: (catalog, tables, views) triples.
         self._snapshots: list[tuple] = []
@@ -99,12 +114,22 @@ class Database:
         #: programmatic write bumps it; the SQL result cache embeds it
         #: in every key, so a write instantly retires all cached reads.
         self.data_version = 0
+        #: Counts CREATE/DROP INDEX events (and ROLLBACKs, which can
+        #: restore a dropped index). Part of every SQL cache key, so a
+        #: changed index set — hence a changed plan — never serves a
+        #: result cached under the old plan.
+        self.index_epoch = 0
         self._cache_token = instance_token()
+        #: Guards statement execution: concurrent SELECTs share the
+        #: read side; DML/DDL takes the write side exclusively.
+        self._rwlock = ReadWriteLock()
         #: Raw SQL text -> (Select statement, canonical SQL). Parsing
         #: dominates a cached SELECT (the result lookup is cheap), so
         #: the hot path memoizes it; only used while the SQL cache
         #: tier is enabled, so disabled behavior is untouched.
+        #: Guarded by ``_memo_lock`` (readers run concurrently).
         self._parse_memo: OrderedDict[str, tuple] = OrderedDict()
+        self._memo_lock = threading.Lock()
 
     _PARSE_MEMO_CAPACITY = 512
 
@@ -125,15 +150,17 @@ class Database:
         manager = get_cache_manager()
         if not manager.enabled("sql"):
             return self.execute_statement(parse_sql(sql), parameters)
-        memo = self._parse_memo.get(sql)
+        with self._memo_lock:
+            memo = self._parse_memo.get(sql)
         if memo is None:
             statement = parse_sql(sql)
             if not isinstance(statement, _nodes.Select):
                 return self.execute_statement(statement, parameters)
             memo = (statement, statement.to_sql())
-            self._parse_memo[sql] = memo
-            if len(self._parse_memo) > self._PARSE_MEMO_CAPACITY:
-                self._parse_memo.popitem(last=False)
+            with self._memo_lock:
+                self._parse_memo[sql] = memo
+                if len(self._parse_memo) > self._PARSE_MEMO_CAPACITY:
+                    self._parse_memo.popitem(last=False)
         statement, canonical = memo
         params = tuple(parameters)
         try:
@@ -143,6 +170,7 @@ class Database:
                 self.data_version,
                 canonical,
                 params,
+                index_epoch=self.index_epoch,
             )
             hash(key)
         except TypeError:
@@ -161,25 +189,38 @@ class Database:
     ) -> ResultSet:
         from repro.sqlengine import nodes as _nodes
 
-        if not isinstance(statement, (_nodes.Select, _nodes.Explain)):
+        if isinstance(statement, (_nodes.Select, _nodes.Explain)):
+            with self._rwlock.reading():
+                return self._run_statement(statement, parameters)
+        with self._rwlock.writing():
             # DDL/DML (and transaction control, whose COMMIT/ROLLBACK
             # swap table state) invalidate every cached read. Bumping
             # before execution errs on the side of extra invalidation:
             # a failed write costs a recompute, never a stale read.
             self.data_version += 1
-        if isinstance(statement, _nodes.TransactionStatement):
-            return self._execute_transaction(statement.action)
-        if isinstance(statement, _nodes.DropIndex):
-            return self._drop_index(statement.name)
+            if isinstance(
+                statement, (_nodes.CreateIndex, _nodes.DropIndex)
+            ) or (
+                isinstance(statement, _nodes.TransactionStatement)
+                and statement.action == "ROLLBACK"
+            ):
+                self.index_epoch += 1
+            if isinstance(statement, _nodes.TransactionStatement):
+                return self._execute_transaction(statement.action)
+            return self._run_statement(statement, parameters)
+
+    def _run_statement(
+        self, statement: Statement, parameters: Sequence[Any]
+    ) -> ResultSet:
         executor = Executor(
             self.catalog,
             self._tables,
             parameters,
             enable_hash_join=self.enable_hash_join,
             views=self._views,
+            optimize=self.optimize,
         )
-        relation = executor.execute(statement)
-        return _to_result(relation)
+        return _to_result(executor.execute(statement))
 
     # -- transactions ------------------------------------------------------
 
@@ -211,16 +252,31 @@ class Database:
 
     # -- indexes -------------------------------------------------------------
 
-    def _drop_index(self, name: str) -> ResultSet:
-        from repro.sqlengine.errors import ExecutionError
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        columns: str | Sequence[str],
+        kind: str = "hash",
+    ) -> None:
+        """Create a secondary index from Python (no SQL round trip)."""
+        from repro.sqlengine.indexes import IndexInfo
 
-        for table in self._tables.values():
-            if name in table.index_names():
-                table.drop_secondary_index(name)
-                return ResultSet(
-                    columns=["rowcount"], rows=[(0,)], rowcount=0
+        if isinstance(columns, str):
+            columns = (columns,)
+        with self._rwlock.writing():
+            storage = self._storage(table)
+            storage.create_secondary_index(name, columns, kind)
+            self.catalog.register_index(
+                IndexInfo(
+                    name=name,
+                    table=table,
+                    columns=tuple(columns),
+                    kind=kind,
                 )
-        raise ExecutionError(f"no index named {name!r}")
+            )
+            self.index_epoch += 1
+            self.data_version += 1
 
     def view_names(self) -> list[str]:
         return sorted(self._views)
@@ -264,38 +320,41 @@ class Database:
                 )
             )
         schema = TableSchema(name, schemas, comment=comment)
-        self.data_version += 1
-        self.catalog.create_table(schema)
-        self._tables[name.lower()] = Table(schema)
+        with self._rwlock.writing():
+            self.data_version += 1
+            self.catalog.create_table(schema)
+            self._tables[name.lower()] = Table(schema)
         return schema
 
     def insert_rows(
         self, table: str, rows: Iterable[Sequence[Any]]
     ) -> int:
         """Bulk insert positional rows."""
-        storage = self._storage(table)
-        self.data_version += 1
-        count = 0
-        for row in rows:
-            storage.insert(row)
-            count += 1
+        with self._rwlock.writing():
+            storage = self._storage(table)
+            self.data_version += 1
+            count = 0
+            for row in rows:
+                storage.insert(row)
+                count += 1
         return count
 
     def insert_dicts(
         self, table: str, records: Iterable[dict[str, Any]]
     ) -> int:
         """Bulk insert mapping rows; missing columns get their default."""
-        storage = self._storage(table)
-        self.data_version += 1
-        schema = storage.schema
-        count = 0
-        for record in records:
-            row = [
-                record.get(column.name, column.default)
-                for column in schema.columns
-            ]
-            storage.insert(row)
-            count += 1
+        with self._rwlock.writing():
+            storage = self._storage(table)
+            self.data_version += 1
+            schema = storage.schema
+            count = 0
+            for record in records:
+                row = [
+                    record.get(column.name, column.default)
+                    for column in schema.columns
+                ]
+                storage.insert(row)
+                count += 1
         return count
 
     def load_table(

@@ -1,12 +1,17 @@
-"""Statement execution: SELECT pipeline, DML and DDL.
+"""Statement execution: planned SELECT pipeline, DML and DDL.
 
-The SELECT pipeline is the textbook order of operations::
+Every SELECT core goes through :func:`repro.sqlengine.planner.build_plan`
+first; the executor then runs the plan tree (scans with index access
+paths and pushed filters, hash/nested-loop joins) and the textbook
+pipeline on top::
 
-    FROM/JOIN -> WHERE -> GROUP BY -> HAVING -> SELECT -> DISTINCT
-    -> ORDER BY -> LIMIT/OFFSET -> compound set operators
+    FROM/JOIN -> WHERE residual -> GROUP BY -> HAVING -> SELECT
+    -> DISTINCT -> ORDER BY -> LIMIT/OFFSET -> compound set operators
 
 Rows flow through as plain tuples alongside a column layout
-``[(binding, name), ...]`` held by :class:`RowContext`.
+``[(binding, name), ...]`` held by :class:`RowContext`. WITH clauses
+materialize each CTE once, eagerly, into a scope frame that shadows
+views and tables for the duration of the owning select.
 """
 
 from __future__ import annotations
@@ -23,8 +28,23 @@ from repro.sqlengine.functions import (
     is_aggregate_function,
     make_aggregate,
 )
+from repro.sqlengine.indexes import IndexInfo, SortedIndex
+from repro.sqlengine.planner import (
+    CteScanPlan,
+    IndexEqAccess,
+    IndexRangeAccess,
+    JoinPlan,
+    ScanPlan,
+    SelectPlan,
+    SourcePlan,
+    SubqueryScanPlan,
+    ViewScanPlan,
+    build_plan,
+    output_columns,
+    render_plan,
+)
 from repro.sqlengine.table import Table
-from repro.sqlengine.types import DataType, sort_key
+from repro.sqlengine.types import DataType, coerce, sort_key
 
 
 @dataclass
@@ -39,6 +59,32 @@ class Relation:
         return [name for _binding, name in self.columns]
 
 
+@dataclass
+class _CteSlot:
+    """One WITH-clause binding: the materialized relation plus its
+    lower-cased output column names. During EXPLAIN only the column
+    names are known — ``relation`` stays None."""
+
+    name: str
+    relation: Optional[Relation]
+    columns: Optional[list[str]]
+
+
+class _PlannerContext:
+    """Adapter exposing the executor's name scope and the catalog's
+    index metadata to the planner (see
+    :class:`repro.sqlengine.planner.PlannerContext`)."""
+
+    def __init__(self, executor: "Executor") -> None:
+        self._executor = executor
+
+    def resolve(self, name: str) -> tuple[Optional[str], Any]:
+        return self._executor._resolve_name(name)
+
+    def indexes(self, table: str) -> list[IndexInfo]:
+        return self._executor._catalog.indexes_for(table)
+
+
 class Executor:
     """Execute parsed statements against a catalog + table storage."""
 
@@ -49,11 +95,16 @@ class Executor:
         parameters: Sequence[Any] = (),
         enable_hash_join: bool = True,
         views: Optional[dict[str, nodes.Select]] = None,
+        optimize: bool = True,
     ) -> None:
         self._catalog = catalog
         self._tables = tables
         self._views = views if views is not None else {}
         self.enable_hash_join = enable_hash_join
+        self.optimize = optimize
+        #: WITH-clause scope frames, innermost last; each maps a
+        #: lower-cased CTE name to its materialized slot.
+        self._cte_stack: list[dict[str, _CteSlot]] = []
         self._evaluator = Evaluator(
             run_subquery=self._run_subquery, parameters=parameters
         )
@@ -66,9 +117,9 @@ class Executor:
         if isinstance(statement, nodes.Explain):
             return self.explain(statement.query)
         if isinstance(statement, nodes.CreateIndex):
-            table = self._storage(statement.table)
-            table.create_secondary_index(statement.name, statement.column)
-            return _rowcount_relation(0)
+            return self._execute_create_index(statement)
+        if isinstance(statement, nodes.DropIndex):
+            return self._execute_drop_index(statement)
         if isinstance(statement, nodes.CreateView):
             key = statement.name.lower()
             if key in self._views or self._catalog.has_table(statement.name):
@@ -98,6 +149,37 @@ class Executor:
         raise ExecutionError(f"cannot execute statement: {statement!r}")
 
     def execute_select(
+        self,
+        select: nodes.Select,
+        outer: Optional[RowContext] = None,
+    ) -> Relation:
+        if not select.ctes:
+            return self._execute_query(select, outer)
+        frame: dict[str, _CteSlot] = {}
+        self._cte_stack.append(frame)
+        try:
+            for cte in select.ctes:
+                key = cte.name.lower()
+                if key in frame:
+                    raise ExecutionError(
+                        f"duplicate CTE name {cte.name!r} in WITH clause"
+                    )
+                # The CTE's own name is registered only after its body
+                # runs, so self-references fail with the usual "no
+                # table" error instead of recursing.
+                relation = _apply_cte_columns(
+                    cte, self.execute_select(cte.query, outer)
+                )
+                frame[key] = _CteSlot(
+                    cte.name,
+                    relation,
+                    [name.lower() for name in relation.column_names],
+                )
+            return self._execute_query(select, outer)
+        finally:
+            self._cte_stack.pop()
+
+    def _execute_query(
         self,
         select: nodes.Select,
         outer: Optional[RowContext] = None,
@@ -168,19 +250,18 @@ class Executor:
         select: nodes.Select,
         outer: Optional[RowContext],
     ) -> Relation:
-        if select.source is None:
+        plan = self._build_plan(select)
+        if plan.source is None:
             source = Relation(columns=[], rows=[()])
         else:
-            source = self._evaluate_source(
-                select.source, outer, where=select.where
-            )
+            source = self._run_source_plan(plan.source, outer)
         ctx = RowContext(source.columns, [None] * len(source.columns), outer)
 
-        if select.where is not None:
+        if plan.residual is not None:
             kept = []
             for row in source.rows:
                 if self._evaluator.evaluate_truth(
-                    select.where, ctx.with_values(row)
+                    plan.residual, ctx.with_values(row)
                 ):
                     kept.append(row)
             source = Relation(source.columns, kept)
@@ -401,114 +482,192 @@ class Executor:
             return Relation(columns, rows)
         return Relation(relation.columns, list(rows))
 
-    # -- FROM clause -------------------------------------------------------
+    # -- plan construction and runtime -------------------------------------
 
-    def _evaluate_source(
-        self,
-        source: nodes.TableRef,
-        outer: Optional[RowContext],
-        where: Optional[nodes.Expression] = None,
+    def _build_plan(self, select: nodes.Select) -> SelectPlan:
+        return build_plan(
+            select,
+            _PlannerContext(self),
+            optimize=self.optimize,
+            enable_hash_join=self.enable_hash_join,
+        )
+
+    def _resolve_name(self, name: str) -> tuple[Optional[str], Any]:
+        """Resolve a FROM-clause name: CTE scopes (innermost first),
+        then views, then base tables."""
+        key = name.lower()
+        for frame in reversed(self._cte_stack):
+            slot = frame.get(key)
+            if slot is not None:
+                return "cte", slot.columns
+        view = self._views.get(key)
+        if view is not None:
+            return "view", view
+        if self._catalog.has_table(name):
+            return "table", self._catalog.table(name)
+        return None, None
+
+    def _run_source_plan(
+        self, plan: SourcePlan, outer: Optional[RowContext]
     ) -> Relation:
-        if isinstance(source, nodes.NamedTable):
-            view = self._views.get(source.name.lower())
-            if view is not None:
-                inner = self.execute_select(view, outer)
-                binding = source.binding
-                return Relation(
-                    [(binding, name) for _b, name in inner.columns],
-                    inner.rows,
-                )
-            table = self._storage(source.name)
-            binding = source.binding
-            columns = [
-                (binding, column.name) for column in table.schema.columns
-            ]
-            rows = None
-            if where is not None:
-                indexed = self._indexed_equality(where, table, binding)
-                if indexed is not None:
-                    column_name, literal = indexed
-                    rows = table.secondary_lookup(column_name, literal)
-            if rows is None:
-                rows = table.snapshot()
-            return Relation(columns, rows)
-        if isinstance(source, nodes.SubqueryTable):
-            inner = self.execute_select(source.subquery, outer)
-            columns = [
-                (source.alias, name) for _binding, name in inner.columns
-            ]
-            return Relation(columns, inner.rows)
-        if isinstance(source, nodes.Join):
-            return self._evaluate_join(source, outer)
-        raise ExecutionError(f"unsupported FROM source: {source!r}")
-
-    def _indexed_equality(
-        self,
-        where: nodes.Expression,
-        table: Table,
-        binding: str,
-    ) -> Optional[tuple[str, Any]]:
-        """An index-covered ``col = literal`` conjunct of WHERE, if any.
-
-        The index pre-filters the scan; the full WHERE still runs on
-        the surviving rows, so correctness never depends on this.
-        """
-        from repro.sqlengine.types import coerce
-
-        for conjunct in _conjuncts(where):
-            if not (
-                isinstance(conjunct, nodes.BinaryOp) and conjunct.op == "="
-            ):
-                continue
-            pairs = (
-                (conjunct.left, conjunct.right),
-                (conjunct.right, conjunct.left),
+        if isinstance(plan, ScanPlan):
+            return self._run_scan(plan, outer)
+        if isinstance(plan, (ViewScanPlan, SubqueryScanPlan)):
+            assert plan.query is not None
+            inner = self.execute_select(plan.query, outer)
+            return self._rebind_and_filter(plan, inner, outer)
+        if isinstance(plan, CteScanPlan):
+            return self._rebind_and_filter(
+                plan, self._cte_relation(plan.name), outer
             )
-            for column_side, literal_side in pairs:
-                if not isinstance(column_side, nodes.ColumnRef):
-                    continue
-                if not isinstance(literal_side, nodes.Literal):
-                    continue
-                if column_side.table is not None and (
-                    column_side.table.lower() != binding.lower()
-                ):
-                    continue
-                if not table.schema.has_column(column_side.name):
-                    continue
-                if not table.has_secondary_index(column_side.name):
-                    continue
-                column = table.schema.column(column_side.name)
-                try:
-                    value = coerce(literal_side.value, column.data_type)
-                except Exception:
-                    continue
-                return column_side.name, value
-        return None
+        if isinstance(plan, JoinPlan):
+            return self._run_join_plan(plan, outer)
+        raise ExecutionError(f"unsupported plan node: {plan!r}")
 
-    def _evaluate_join(
-        self, join: nodes.Join, outer: Optional[RowContext]
+    def _cte_relation(self, name: str) -> Relation:
+        key = name.lower()
+        for frame in reversed(self._cte_stack):
+            slot = frame.get(key)
+            if slot is not None and slot.relation is not None:
+                return slot.relation
+        raise ExecutionError(f"CTE {name!r} is not materialized")
+
+    def _rebind_and_filter(
+        self,
+        plan: SourcePlan,
+        inner: Relation,
+        outer: Optional[RowContext],
     ) -> Relation:
-        left = self._evaluate_source(join.left, outer)
-        right = self._evaluate_source(join.right, outer)
+        relation = Relation(
+            [(plan.binding, name) for _b, name in inner.columns],
+            inner.rows,
+        )
+        return self._apply_plan_filter(plan, relation, outer)
+
+    def _apply_plan_filter(
+        self,
+        plan: SourcePlan,
+        relation: Relation,
+        outer: Optional[RowContext],
+    ) -> Relation:
+        """Run a scan's pushed-down conjuncts over its rows."""
+        if plan.filter is None:
+            return relation
+        ctx = RowContext(
+            relation.columns, [None] * len(relation.columns), outer
+        )
+        kept = [
+            row
+            for row in relation.rows
+            if self._evaluator.evaluate_truth(
+                plan.filter, ctx.with_values(row)
+            )
+        ]
+        return Relation(relation.columns, kept)
+
+    def _run_scan(
+        self, plan: ScanPlan, outer: Optional[RowContext]
+    ) -> Relation:
+        table = self._storage(plan.table)
+        rows = self._access_rows(table, plan.access, outer)
+        columns = [
+            (plan.binding, column.name) for column in table.schema.columns
+        ]
+        relation = self._apply_plan_filter(
+            plan, Relation(columns, rows), outer
+        )
+        if plan.columns is not None:
+            keep = [
+                table.schema.column_index(name) for name in plan.columns
+            ]
+            relation = Relation(
+                [columns[i] for i in keep],
+                [tuple(row[i] for i in keep) for row in relation.rows],
+            )
+        return relation
+
+    def _access_rows(
+        self,
+        plan_table: Table,
+        access: Any,
+        outer: Optional[RowContext],
+    ) -> list[tuple[Any, ...]]:
+        """Fetch candidate rows through the plan's access path.
+
+        Index paths only *pre-filter*: the scan filter re-checks every
+        row, so falling back to a full snapshot is always safe.
+        """
+        base_ctx = RowContext([], [], outer)
+        if isinstance(access, IndexEqAccess):
+            values = []
+            for column_name, expr in zip(
+                access.index.columns, access.values
+            ):
+                value = self._evaluator.evaluate(expr, base_ctx)
+                if value is None:
+                    return []  # col = NULL matches nothing
+                column = plan_table.schema.column(column_name)
+                try:
+                    values.append(coerce(value, column.data_type))
+                except Exception:
+                    return plan_table.snapshot()  # type mismatch
+            index = plan_table.get_index(access.index.name)
+            return plan_table.rows_at(index.lookup(tuple(values)))
+        if isinstance(access, IndexRangeAccess):
+            index = plan_table.get_index(access.index.name)
+            if not isinstance(index, SortedIndex):
+                return plan_table.snapshot()
+            column = plan_table.schema.column(access.column)
+            bounds: dict[str, Any] = {"low": None, "high": None}
+            for side, expr in (("low", access.low), ("high", access.high)):
+                if expr is None:
+                    continue
+                value = self._evaluator.evaluate(expr, base_ctx)
+                if value is None:
+                    return []  # range against NULL matches nothing
+                try:
+                    bounds[side] = coerce(value, column.data_type)
+                except Exception:
+                    return plan_table.snapshot()
+            positions = index.range_lookup(
+                bounds["low"],
+                bounds["high"],
+                low_inclusive=access.low_inclusive,
+                high_inclusive=access.high_inclusive,
+            )
+            return plan_table.rows_at(positions)
+        return plan_table.snapshot()
+
+    def _run_join_plan(
+        self, plan: JoinPlan, outer: Optional[RowContext]
+    ) -> Relation:
+        assert plan.left is not None and plan.right is not None
+        left = self._run_source_plan(plan.left, outer)
+        right = self._run_source_plan(plan.right, outer)
         columns = left.columns + right.columns
         ctx = RowContext(columns, [None] * len(columns), outer)
         rows: list[tuple[Any, ...]] = []
-        if join.join_type == "CROSS":
+        if plan.join_type == "CROSS":
             for lrow in left.rows:
                 for rrow in right.rows:
                     rows.append(lrow + rrow)
             return Relation(columns, rows)
 
-        condition = join.condition
+        condition = plan.condition
         matched_right: set[int] = set()
         null_right = tuple([None] * len(right.columns))
         null_left = tuple([None] * len(left.columns))
 
-        equi = (
-            _find_equi_join(condition, left.columns, right.columns)
-            if self.enable_hash_join
-            else None
-        )
+        equi: Optional[tuple[int, int]] = None
+        if plan.strategy == "hash" and plan.equi is not None:
+            # Re-resolve the planner's equi-conjunct refs against the
+            # runtime layouts; fall back to a nested loop when either
+            # side fails to resolve uniquely.
+            left_ref, right_ref = plan.equi
+            left_pos = _resolve_position(left_ref, left.columns)
+            right_pos = _resolve_position(right_ref, right.columns)
+            if left_pos is not None and right_pos is not None:
+                equi = (left_pos, right_pos)
         if equi is not None:
             # Hash join: build on the right input, probe with the left.
             # The full ON condition is still evaluated per candidate
@@ -531,7 +690,7 @@ class Executor:
                         matched = True
                         matched_right.add(rindex)
                         rows.append(combined)
-                if not matched and join.join_type in ("LEFT", "FULL"):
+                if not matched and plan.join_type in ("LEFT", "FULL"):
                     rows.append(lrow + null_right)
         else:
             for lrow in left.rows:
@@ -548,9 +707,9 @@ class Executor:
                         matched = True
                         matched_right.add(rindex)
                         rows.append(combined)
-                if not matched and join.join_type in ("LEFT", "FULL"):
+                if not matched and plan.join_type in ("LEFT", "FULL"):
                     rows.append(lrow + null_right)
-        if join.join_type in ("RIGHT", "FULL"):
+        if plan.join_type in ("RIGHT", "FULL"):
             for rindex, rrow in enumerate(right.rows):
                 if rindex not in matched_right:
                     rows.append(null_left + rrow)
@@ -685,93 +844,84 @@ class Executor:
         del self._tables[statement.name.lower()]
         return _rowcount_relation(0)
 
+    def _execute_create_index(self, statement: nodes.CreateIndex) -> Relation:
+        if self._catalog.index(statement.name) is not None:
+            raise ExecutionError(
+                f"index {statement.name!r} already exists"
+            )
+        table = self._storage(statement.table)
+        table.create_secondary_index(
+            statement.name, statement.columns, statement.kind
+        )
+        self._catalog.register_index(
+            IndexInfo(
+                name=statement.name,
+                table=statement.table,
+                columns=tuple(statement.columns),
+                kind=statement.kind,
+            )
+        )
+        return _rowcount_relation(0)
+
+    def _execute_drop_index(self, statement: nodes.DropIndex) -> Relation:
+        info = self._catalog.index(statement.name)
+        if info is not None:
+            self._catalog.drop_index(statement.name)
+            self._storage(info.table).drop_secondary_index(info.name)
+            return _rowcount_relation(0)
+        # Indexes created through the storage API may lack catalog
+        # metadata; fall back to a table-level search.
+        for table in self._tables.values():
+            if statement.name in table.index_names():
+                table.drop_secondary_index(statement.name)
+                return _rowcount_relation(0)
+        raise ExecutionError(f"no index named {statement.name!r}")
+
     # -- EXPLAIN -----------------------------------------------------------
 
     def explain(self, select: nodes.Select) -> Relation:
         """Describe the plan the executor would use (no execution)."""
-        lines: list[str] = []
-        if select.source is not None:
-            self._explain_source(select.source, select.where, lines, 0)
-        else:
-            lines.append("Result (no table)")
-        if select.where is not None:
-            lines.append(f"Filter: {select.where.to_sql()}")
-        if select.group_by or _uses_aggregates(
-            list(select.items), select.having, select.order_by
-        ):
-            grouped = ", ".join(e.to_sql() for e in select.group_by)
-            lines.append(f"Aggregate{f' by {grouped}' if grouped else ''}")
-        if select.having is not None:
-            lines.append(f"Having: {select.having.to_sql()}")
-        if select.distinct:
-            lines.append("Distinct")
-        if select.order_by:
-            keys = ", ".join(o.to_sql() for o in select.order_by)
-            lines.append(f"Sort: {keys}")
-        if select.limit is not None:
-            lines.append(f"Limit: {select.limit.to_sql()}")
-        for op, _query in select.compound:
-            lines.append(f"SetOp: {op}")
+        lines = self._explain_lines(select, 0)
         return Relation([(None, "plan")], [(line,) for line in lines])
 
-    def _explain_source(
-        self,
-        source: nodes.TableRef,
-        where: Optional[nodes.Expression],
-        lines: list[str],
-        depth: int,
-    ) -> None:
-        pad = "  " * depth
-        if isinstance(source, nodes.NamedTable):
-            table = self._storage(source.name)
-            indexed = (
-                self._indexed_equality(where, table, source.binding)
-                if where is not None
-                else None
-            )
-            if indexed is not None:
-                column, value = indexed
-                lines.append(
-                    f"{pad}IndexScan({source.name}.{column} = {value!r})"
-                )
-            else:
-                lines.append(f"{pad}SeqScan({source.name})")
-            return
-        if isinstance(source, nodes.SubqueryTable):
-            lines.append(f"{pad}Subquery({source.alias})")
-            return
-        if isinstance(source, nodes.Join):
-            left = self._relation_columns(source.left)
-            right = self._relation_columns(source.right)
-            equi = (
-                _find_equi_join(source.condition, left, right)
-                if self.enable_hash_join
-                else None
-            )
-            strategy = "HashJoin" if equi is not None else "NestedLoopJoin"
-            if source.join_type == "CROSS":
-                strategy = "CrossJoin"
-            lines.append(f"{pad}{strategy}({source.join_type})")
-            self._explain_source(source.left, None, lines, depth + 1)
-            self._explain_source(source.right, None, lines, depth + 1)
+    def _explain_lines(self, select: nodes.Select, depth: int) -> list[str]:
+        """Render one select (and its WITH clause) as plan lines.
 
-    def _relation_columns(
-        self, source: nodes.TableRef
-    ) -> list[tuple[Optional[str], str]]:
-        if isinstance(source, nodes.NamedTable):
-            table = self._storage(source.name)
-            return [
-                (source.binding, column.name)
-                for column in table.schema.columns
-            ]
-        if isinstance(source, nodes.SubqueryTable):
-            items = source.subquery.items
-            return [(source.alias, item.output_name) for item in items]
-        if isinstance(source, nodes.Join):
-            return self._relation_columns(source.left) + self._relation_columns(
-                source.right
-            )
-        return []
+        CTE bodies are *planned* but never run: phantom scope frames
+        carry only the output column names, so the main query's plan
+        resolves CTE references exactly as execution would.
+        """
+        if not select.ctes:
+            return self._explain_query_lines(select, depth)
+        pad = "  " * depth
+        frame: dict[str, _CteSlot] = {}
+        self._cte_stack.append(frame)
+        try:
+            lines: list[str] = []
+            for cte in select.ctes:
+                key = cte.name.lower()
+                if key in frame:
+                    raise ExecutionError(
+                        f"duplicate CTE name {cte.name!r} in WITH clause"
+                    )
+                lines.append(f"{pad}Cte {cte.name}:")
+                lines.extend(self._explain_lines(cte.query, depth + 1))
+                columns = (
+                    [name.lower() for name in cte.columns]
+                    if cte.columns
+                    else output_columns(cte.query)
+                )
+                frame[key] = _CteSlot(cte.name, None, columns)
+            lines.extend(self._explain_query_lines(select, depth))
+            return lines
+        finally:
+            self._cte_stack.pop()
+
+    def _explain_query_lines(
+        self, select: nodes.Select, depth: int
+    ) -> list[str]:
+        plan = self._build_plan(select)
+        return render_plan(plan, depth, render_subselect=self._explain_lines)
 
     # -- helpers -----------------------------------------------------------
 
@@ -870,43 +1020,18 @@ def _rowcount_relation(count: int) -> Relation:
     return Relation(columns=[(None, "rowcount")], rows=[(count,)])
 
 
-def _conjuncts(expression: nodes.Expression):
-    """Yield the top-level AND conjuncts of an expression."""
-    if isinstance(expression, nodes.BinaryOp) and expression.op == "AND":
-        yield from _conjuncts(expression.left)
-        yield from _conjuncts(expression.right)
-    else:
-        yield expression
-
-
-def _find_equi_join(
-    condition: Optional[nodes.Expression],
-    left_columns: list[tuple[Optional[str], str]],
-    right_columns: list[tuple[Optional[str], str]],
-) -> Optional[tuple[int, int]]:
-    """Positions of an equi-join pair (left pos, right pos), if any
-    conjunct is ``left_col = right_col``."""
-    if condition is None:
-        return None
-    for conjunct in _conjuncts(condition):
-        if not (
-            isinstance(conjunct, nodes.BinaryOp) and conjunct.op == "="
-        ):
-            continue
-        if not (
-            isinstance(conjunct.left, nodes.ColumnRef)
-            and isinstance(conjunct.right, nodes.ColumnRef)
-        ):
-            continue
-        for first, second in (
-            (conjunct.left, conjunct.right),
-            (conjunct.right, conjunct.left),
-        ):
-            left_pos = _resolve_position(first, left_columns)
-            right_pos = _resolve_position(second, right_columns)
-            if left_pos is not None and right_pos is not None:
-                return left_pos, right_pos
-    return None
+def _apply_cte_columns(
+    cte: nodes.CommonTableExpr, relation: Relation
+) -> Relation:
+    """Apply a CTE's declared column list, checking arity."""
+    if not cte.columns:
+        return relation
+    if len(cte.columns) != len(relation.columns):
+        raise ExecutionError(
+            f"CTE {cte.name!r} declares {len(cte.columns)} columns but "
+            f"its query returns {len(relation.columns)}"
+        )
+    return Relation([(None, name) for name in cte.columns], relation.rows)
 
 
 def _resolve_position(

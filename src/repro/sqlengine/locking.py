@@ -1,0 +1,101 @@
+"""Readers-writer lock for the SQL engine.
+
+The serving layer fans SELECTs out across worker threads; with a single
+mutex those reads serialize on the engine even though they never touch
+shared mutable state. :class:`ReadWriteLock` lets any number of readers
+proceed concurrently while writers (DML, DDL, transactions) get
+exclusive access.
+
+The lock is **write-preferring**: once a writer is waiting, new readers
+queue behind it. A steady stream of cheap SELECTs therefore cannot
+starve an INSERT indefinitely — the trade-off documented in
+docs/sqlengine.md.
+
+Neither side is reentrant. :class:`~repro.sqlengine.database.Database`
+acquires the lock only at its public statement boundary and never
+nests acquisitions, so reentrancy is not needed; attempting to nest
+would deadlock (by design — it surfaces layering bugs immediately).
+
+All internal state lives behind one :class:`threading.Condition`, which
+keeps the repo's staticcheck LCK rules (lock-order, guarded attributes)
+clean over this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Write-preferring readers-writer lock.
+
+    Use the :meth:`reading` / :meth:`writing` context managers::
+
+        lock = ReadWriteLock()
+        with lock.reading():
+            ...  # shared access; other readers run concurrently
+        with lock.writing():
+            ...  # exclusive access
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._lock:
+            while self._writer_active or self._writers_waiting:
+                self._lock.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._lock:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._lock.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._lock:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._lock.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._lock:
+            self._writer_active = False
+            self._lock.notify_all()
+
+    @contextmanager
+    def reading(self) -> Iterator[None]:
+        """Hold a shared read lock for the duration of the block."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def writing(self) -> Iterator[None]:
+        """Hold the exclusive write lock for the duration of the block."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def stats(self) -> dict[str, int]:
+        """Instantaneous counters (for tests and diagnostics)."""
+        with self._lock:
+            return {
+                "active_readers": self._active_readers,
+                "writer_active": int(self._writer_active),
+                "writers_waiting": self._writers_waiting,
+            }

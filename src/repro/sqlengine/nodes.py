@@ -296,6 +296,19 @@ class Statement:
 
 
 @dataclass(frozen=True)
+class CommonTableExpr:
+    """One ``name [(cols)] AS (select)`` member of a WITH clause."""
+
+    name: str
+    query: "Select"
+    columns: tuple[str, ...] = ()  # optional output-column renames
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        return f"{self.name}{cols} AS ({self.query.to_sql()})"
+
+
+@dataclass(frozen=True)
 class Select(Statement):
     items: tuple[SelectItem, ...]
     source: Optional[TableRef] = None
@@ -307,9 +320,13 @@ class Select(Statement):
     offset: Optional[Expression] = None
     distinct: bool = False
     compound: tuple[tuple[str, "Select"], ...] = ()  # UNION [ALL]/INTERSECT/EXCEPT
+    ctes: tuple[CommonTableExpr, ...] = ()  # WITH clause, in declaration order
 
     def to_sql(self) -> str:
-        parts = ["SELECT"]
+        parts = []
+        if self.ctes:
+            parts.append("WITH " + ", ".join(cte.to_sql() for cte in self.ctes))
+        parts.append("SELECT")
         if self.distinct:
             parts.append("DISTINCT")
         parts.append(", ".join(item.to_sql() for item in self.items))
@@ -425,10 +442,13 @@ class Delete(Statement):
 class CreateIndex(Statement):
     name: str
     table: str
-    column: str
+    columns: tuple[str, ...]
+    kind: str = "hash"  # 'hash' | 'sorted'
 
     def to_sql(self) -> str:
-        return f"CREATE INDEX {self.name} ON {self.table} ({self.column})"
+        cols = ", ".join(self.columns)
+        using = "" if self.kind == "hash" else f" USING {self.kind.upper()}"
+        return f"CREATE INDEX {self.name} ON {self.table} ({cols}){using}"
 
 
 @dataclass(frozen=True)

@@ -3,10 +3,16 @@
 Grammar (informal)::
 
     statement     := select | insert | update | delete | create | drop
-    select        := SELECT [DISTINCT] items [FROM source] [WHERE expr]
+                   | explain | transaction
+    select        := [WITH cte {, cte}]
+                     SELECT [DISTINCT] items [FROM source] [WHERE expr]
                      [GROUP BY exprs] [HAVING expr] [ORDER BY orders]
                      [LIMIT expr [OFFSET expr]]
                      { (UNION [ALL] | INTERSECT | EXCEPT) select }
+    cte           := name [( columns )] AS ( select )
+    create_index  := CREATE INDEX name ON table ( columns )
+                     [USING (HASH | SORTED)]
+    explain       := EXPLAIN select
     source        := table_ref { join }
     expression    := or-precedence climbing down to primary
 
@@ -73,6 +79,23 @@ class _Parser:
         if not self._accept_keyword(name):
             raise self._error(f"expected {name}")
 
+    def _check_word(self, *words: str) -> bool:
+        """Contextual keyword check: matches an IDENTIFIER token whose
+        text equals one of ``words`` (case-insensitively). Words like
+        USING or SORTED are not reserved, so they lex as identifiers
+        and stay usable as table/column names."""
+        token = self._current
+        return (
+            token.type is TokenType.IDENTIFIER
+            and token.value.upper() in words
+        )
+
+    def _accept_word(self, *words: str) -> bool:
+        if self._check_word(*words):
+            self._advance()
+            return True
+        return False
+
     def _accept_punct(self, char: str) -> bool:
         token = self._current
         if token.type is TokenType.PUNCTUATION and token.value == char:
@@ -120,8 +143,12 @@ class _Parser:
 
     # -- statements ---------------------------------------------------
 
+    def _at_query_start(self) -> bool:
+        """True at the start of a query: SELECT or a WITH clause."""
+        return self._check_keyword("SELECT", "WITH")
+
     def parse_statement(self) -> nodes.Statement:
-        if self._check_keyword("SELECT"):
+        if self._at_query_start():
             return self.parse_select()
         if self._check_keyword("INSERT"):
             return self._parse_insert()
@@ -143,10 +170,13 @@ class _Parser:
             self._accept_keyword("TRANSACTION")
             return nodes.TransactionStatement("ROLLBACK")
         if self._accept_keyword("EXPLAIN"):
+            if not self._at_query_start():
+                raise self._error("EXPLAIN supports SELECT (and WITH) only")
             return nodes.Explain(self.parse_select())
         raise self._error("expected a SQL statement")
 
     def parse_select(self) -> nodes.Select:
+        ctes = self._parse_with_clause()
         select = self._parse_select_core(allow_tail=False)
         compound: list[tuple[str, nodes.Select]] = []
         while True:
@@ -172,7 +202,32 @@ class _Parser:
             offset=offset,
             distinct=select.distinct,
             compound=tuple(compound),
+            ctes=ctes,
         )
+
+    def _parse_with_clause(self) -> tuple[nodes.CommonTableExpr, ...]:
+        if not self._accept_keyword("WITH"):
+            return ()
+        if self._check_word("RECURSIVE"):
+            raise self._error("WITH RECURSIVE is not supported")
+        ctes = [self._parse_cte()]
+        while self._accept_punct(","):
+            ctes.append(self._parse_cte())
+        return tuple(ctes)
+
+    def _parse_cte(self) -> nodes.CommonTableExpr:
+        name = self._expect_identifier("CTE name")
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_identifier("column name"))
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        self._expect_keyword("AS")
+        self._expect_punct("(")
+        query = self.parse_select()
+        self._expect_punct(")")
+        return nodes.CommonTableExpr(name, query, tuple(columns))
 
     def _parse_select_tail(
         self,
@@ -307,7 +362,7 @@ class _Parser:
 
     def _parse_table_ref(self) -> nodes.TableRef:
         if self._accept_punct("("):
-            subquery = self.parse_select()
+            subquery = self.parse_select()  # derived table: (SELECT/WITH ...)
             self._expect_punct(")")
             self._accept_keyword("AS")
             alias = self._expect_identifier("subquery alias")
@@ -332,7 +387,7 @@ class _Parser:
             while self._accept_punct(","):
                 columns.append(self._expect_identifier("column name"))
             self._expect_punct(")")
-        if self._check_keyword("SELECT"):
+        if self._at_query_start():
             query = self.parse_select()
             return nodes.Insert(table, tuple(columns), query=query)
         self._expect_keyword("VALUES")
@@ -381,9 +436,19 @@ class _Parser:
             self._expect_keyword("ON")
             table = self._expect_identifier("table name")
             self._expect_punct("(")
-            column = self._expect_identifier("column name")
+            columns = [self._expect_identifier("column name")]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
             self._expect_punct(")")
-            return nodes.CreateIndex(name, table, column)
+            kind = "hash"
+            if self._accept_word("USING"):
+                if self._accept_word("HASH"):
+                    kind = "hash"
+                elif self._accept_word("SORTED"):
+                    kind = "sorted"
+                else:
+                    raise self._error("expected HASH or SORTED after USING")
+            return nodes.CreateIndex(name, table, tuple(columns), kind)
         self._expect_keyword("TABLE")
         if_not_exists = False
         if self._accept_keyword("IF"):
@@ -518,7 +583,7 @@ class _Parser:
         self, operand: nodes.Expression, negated: bool
     ) -> nodes.Expression:
         self._expect_punct("(")
-        if self._check_keyword("SELECT"):
+        if self._at_query_start():
             subquery = self.parse_select()
             self._expect_punct(")")
             return nodes.InSubquery(operand, subquery, negated)
@@ -583,7 +648,7 @@ class _Parser:
             self._expect_punct(")")
             return nodes.Exists(subquery)
         if self._accept_punct("("):
-            if self._check_keyword("SELECT"):
+            if self._at_query_start():
                 subquery = self.parse_select()
                 self._expect_punct(")")
                 return nodes.ScalarSubquery(subquery)

@@ -1,11 +1,21 @@
-"""Row storage for one table, with constraint enforcement."""
+"""Row storage for one table, with constraint enforcement.
+
+Alongside the unique/PK hash maps that enforce constraints, a table
+carries the *secondary* indexes created by ``CREATE INDEX`` — the
+:class:`~repro.sqlengine.indexes.HashIndex` /
+:class:`~repro.sqlengine.indexes.SortedIndex` structures the planner
+targets for point and range access paths. All indexes are maintained
+incrementally on INSERT and rebuilt on the bulk ``replace_rows`` path
+that backs UPDATE/DELETE, so they can never lag the heap.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.sqlengine.catalog import TableSchema
-from repro.sqlengine.errors import ExecutionError, TypeCheckError
+from repro.sqlengine.errors import ExecutionError
+from repro.sqlengine.indexes import SecondaryIndex, make_index
 
 
 class Table:
@@ -19,8 +29,8 @@ class Table:
         self.schema = schema
         self._rows: list[tuple[Any, ...]] = []
         self._unique_indexes: dict[int, dict[Any, int]] = {}
-        #: name -> (column position, value -> row positions)
-        self._secondary: dict[str, tuple[int, dict[Any, list[int]]]] = {}
+        #: CREATE INDEX structures, keyed by index name.
+        self._secondary: dict[str, SecondaryIndex] = {}
         for index, column in enumerate(schema.columns):
             if column.primary_key or column.unique:
                 self._unique_indexes[index] = {}
@@ -33,6 +43,11 @@ class Table:
 
     def snapshot(self) -> list[tuple[Any, ...]]:
         return list(self._rows)
+
+    def rows_at(self, positions: Iterable[int]) -> list[tuple[Any, ...]]:
+        """Materialize the rows at the given heap positions, in order."""
+        heap = self._rows
+        return [heap[position] for position in positions]
 
     def insert(self, values: Iterable[Any]) -> None:
         row = self._validate_row(tuple(values))
@@ -52,10 +67,8 @@ class Table:
             value = row[column_index]
             if value is not None:
                 index[value] = position
-        for column_index, mapping in self._secondary.values():
-            value = row[column_index]
-            if value is not None:
-                mapping.setdefault(value, []).append(position)
+        for secondary in self._secondary.values():
+            secondary.add(position, row)
 
     def _validate_row(self, values: tuple[Any, ...]) -> tuple[Any, ...]:
         if len(values) != len(self.schema.columns):
@@ -69,7 +82,7 @@ class Table:
         return tuple(validated)
 
     def replace_rows(self, rows: list[tuple[Any, ...]]) -> None:
-        """Bulk replace after UPDATE/DELETE; rebuilds unique indexes."""
+        """Bulk replace after UPDATE/DELETE; rebuilds all indexes."""
         validated = [self._validate_row(row) for row in rows]
         new_indexes: dict[int, dict[Any, int]] = {
             column_index: {} for column_index in self._unique_indexes
@@ -88,12 +101,8 @@ class Table:
                 index[value] = position
         self._rows = validated
         self._unique_indexes = new_indexes
-        for name in list(self._secondary):
-            column_index, _old = self._secondary[name]
-            self._secondary[name] = (
-                column_index,
-                self._build_secondary(column_index),
-            )
+        for secondary in self._secondary.values():
+            secondary.rebuild(self._rows)
 
     def clone(self) -> "Table":
         """Independent copy (transaction snapshots)."""
@@ -103,21 +112,36 @@ class Table:
             key: dict(value) for key, value in self._unique_indexes.items()
         }
         twin._secondary = {
-            name: (position, {k: list(v) for k, v in mapping.items()})
-            for name, (position, mapping) in self._secondary.items()
+            name: secondary.clone()
+            for name, secondary in self._secondary.items()
         }
         return twin
 
     # -- secondary indexes (CREATE INDEX) -----------------------------
 
-    def create_secondary_index(self, name: str, column_name: str) -> None:
+    def create_secondary_index(
+        self,
+        name: str,
+        columns: Union[str, Sequence[str]],
+        kind: str = "hash",
+    ) -> None:
+        """Create and backfill a secondary index over ``columns``."""
         if name in self._secondary:
             raise ExecutionError(f"index {name!r} already exists")
-        column_index = self.schema.column_index(column_name)
-        self._secondary[name] = (
-            column_index,
-            self._build_secondary(column_index),
+        if isinstance(columns, str):
+            columns = (columns,)
+        if not columns:
+            raise ExecutionError("an index needs at least one column")
+        positions = tuple(
+            self.schema.column_index(column) for column in columns
         )
+        if len(set(positions)) != len(positions):
+            raise ExecutionError(
+                f"index {name!r} lists a column more than once"
+            )
+        secondary = make_index(kind, name, positions)
+        secondary.rebuild(self._rows)
+        self._secondary[name] = secondary
 
     def drop_secondary_index(self, name: str) -> None:
         if name not in self._secondary:
@@ -125,40 +149,42 @@ class Table:
         del self._secondary[name]
 
     def has_secondary_index(self, column_name: str) -> bool:
+        """True when a single-column index (either kind) supports
+        equality lookups on ``column_name``."""
+        return self._equality_index(column_name) is not None
+
+    def _equality_index(self, column_name: str) -> Optional[SecondaryIndex]:
         try:
             column_index = self.schema.column_index(column_name)
         except Exception:
-            return False
-        return any(
-            idx == column_index for idx, _m in self._secondary.values()
-        )
+            return None
+        for secondary in self._secondary.values():
+            if secondary.column_positions == (column_index,):
+                return secondary
+        return None
 
     def index_names(self) -> list[str]:
         return sorted(self._secondary)
+
+    def indexes(self) -> list[SecondaryIndex]:
+        """All secondary indexes, in name order."""
+        return [self._secondary[name] for name in sorted(self._secondary)]
+
+    def get_index(self, name: str) -> SecondaryIndex:
+        try:
+            return self._secondary[name]
+        except KeyError:
+            raise ExecutionError(f"no index named {name!r}") from None
 
     def secondary_lookup(
         self, column_name: str, value: Any
     ) -> Optional[list[tuple[Any, ...]]]:
         """Rows where ``column_name == value`` via an index, or None
         when no index covers the column."""
-        column_index = self.schema.column_index(column_name)
-        for idx, mapping in self._secondary.values():
-            if idx == column_index:
-                return [
-                    self._rows[position]
-                    for position in mapping.get(value, [])
-                ]
-        return None
-
-    def _build_secondary(
-        self, column_index: int
-    ) -> dict[Any, list[int]]:
-        mapping: dict[Any, list[int]] = {}
-        for position, row in enumerate(self._rows):
-            value = row[column_index]
-            if value is not None:
-                mapping.setdefault(value, []).append(position)
-        return mapping
+        secondary = self._equality_index(column_name)
+        if secondary is None:
+            return None
+        return self.rows_at(secondary.lookup((value,)))
 
     def lookup_unique(self, column_name: str, value: Any) -> Optional[tuple]:
         """Point lookup through a unique index, or None."""

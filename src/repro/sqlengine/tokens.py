@@ -31,7 +31,7 @@ KEYWORDS = frozenset(
         "DEFAULT", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "TRUE",
         "FALSE", "INDEX", "VIEW", "INTERSECT", "EXCEPT", "ALTER", "ADD",
         "COLUMN", "RENAME", "TO", "BEGIN", "COMMIT", "ROLLBACK",
-        "TRANSACTION", "EXPLAIN",
+        "TRANSACTION", "EXPLAIN", "WITH",
     }
 )
 

@@ -28,7 +28,7 @@ identifiers = st.text(
         "DEFAULT", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "TRUE",
         "FALSE", "INDEX", "VIEW", "INTERSECT", "EXCEPT", "ALTER", "ADD",
         "COLUMN", "RENAME", "TO", "BEGIN", "COMMIT", "ROLLBACK",
-        "TRANSACTION", "EXPLAIN", "MOD",
+        "TRANSACTION", "EXPLAIN", "MOD", "WITH",
     }
 )
 

@@ -1,0 +1,131 @@
+"""Execution and analysis semantics of WITH (common table expressions)."""
+
+import pytest
+
+from repro.analysis.sql_analyzer import SqlAnalyzer
+from repro.sqlengine import Database, ExecutionError, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, "
+        "amount INTEGER)"
+    )
+    rows = [
+        (1, "east", 10),
+        (2, "west", 20),
+        (3, "east", 30),
+        (4, "west", 40),
+    ]
+    database.insert_rows("sales", rows)
+    return database
+
+
+class TestCteExecution:
+    def test_basic_cte(self, db):
+        result = db.execute(
+            "WITH east AS (SELECT * FROM sales WHERE region = 'east') "
+            "SELECT SUM(amount) FROM east"
+        )
+        assert result.rows == [(40,)]
+
+    def test_cte_column_rename(self, db):
+        result = db.execute(
+            "WITH totals(r, total) AS "
+            "(SELECT region, SUM(amount) FROM sales GROUP BY region) "
+            "SELECT r, total FROM totals ORDER BY r"
+        )
+        assert result.rows == [("east", 40), ("west", 60)]
+
+    def test_chained_ctes_reference_earlier_ones(self, db):
+        result = db.execute(
+            "WITH a AS (SELECT amount FROM sales WHERE amount > 10), "
+            "b AS (SELECT SUM(amount) AS s FROM a) "
+            "SELECT s FROM b"
+        )
+        assert result.rows == [(90,)]
+
+    def test_cte_shadows_table(self, db):
+        # A CTE named like an existing table wins during its statement.
+        result = db.execute(
+            "WITH sales AS (SELECT 1 AS only_one) SELECT * FROM sales"
+        )
+        assert result.rows == [(1,)]
+        # ...and the real table is untouched afterwards.
+        assert db.execute("SELECT COUNT(*) FROM sales").rows == [(4,)]
+
+    def test_cte_joins_with_base_table(self, db):
+        result = db.execute(
+            "WITH big AS (SELECT id FROM sales WHERE amount >= 30) "
+            "SELECT sales.region FROM big "
+            "JOIN sales ON big.id = sales.id ORDER BY sales.region"
+        )
+        assert result.rows == [("east",), ("west",)]
+
+    def test_duplicate_cte_name_rejected(self, db):
+        with pytest.raises(ExecutionError, match="duplicate"):
+            db.execute(
+                "WITH a AS (SELECT 1 AS x), a AS (SELECT 2 AS x) "
+                "SELECT * FROM a"
+            )
+
+    def test_cte_arity_mismatch_rejected(self, db):
+        with pytest.raises(ExecutionError, match="declares"):
+            db.execute(
+                "WITH t(x, y) AS (SELECT 1 AS only_one) SELECT * FROM t"
+            )
+
+    def test_recursive_rejected_at_parse(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute(
+                "WITH RECURSIVE r AS (SELECT 1 AS n) SELECT * FROM r"
+            )
+
+    def test_cte_round_trips_to_sql(self, db):
+        from repro.sqlengine import parse_sql
+
+        sql = (
+            "WITH totals(r, total) AS (SELECT region, SUM(amount) "
+            "FROM sales GROUP BY region) SELECT r FROM totals"
+        )
+        statement = parse_sql(sql)
+        assert parse_sql(statement.to_sql()).to_sql() == statement.to_sql()
+
+
+class TestCteAnalysis:
+    @pytest.fixture
+    def analyzer(self, db):
+        return SqlAnalyzer(db.catalog)
+
+    def codes(self, analyzer, sql):
+        return [d.code for d in analyzer.analyze_sql(sql)]
+
+    def test_cte_resolves_without_unknown_table(self, analyzer):
+        assert (
+            self.codes(
+                analyzer,
+                "WITH c AS (SELECT region FROM sales) SELECT region FROM c",
+            )
+            == []
+        )
+
+    def test_duplicate_cte_flagged(self, analyzer):
+        assert "SQL016" in self.codes(
+            analyzer,
+            "WITH a AS (SELECT 1 AS x), a AS (SELECT 2 AS x) "
+            "SELECT x FROM a",
+        )
+
+    def test_cte_arity_flagged(self, analyzer):
+        assert "SQL017" in self.codes(
+            analyzer,
+            "WITH t(x, y) AS (SELECT 1 AS only_one) SELECT x FROM t",
+        )
+
+    def test_unknown_column_inside_cte_flagged(self, analyzer):
+        assert "SQL002" in self.codes(
+            analyzer,
+            "WITH c AS (SELECT nope FROM sales) SELECT 1 FROM c",
+        )

@@ -1,0 +1,175 @@
+"""Unit tests for the secondary index structures and their maintenance.
+
+Covers the in-memory structures (``HashIndex``, ``SortedIndex``)
+directly, plus the table-level lifecycle (create / rebuild / drop) and
+the catalog metadata that ``CREATE INDEX`` registers.
+"""
+
+import pytest
+
+from repro.sqlengine import Database, ExecutionError
+from repro.sqlengine.indexes import (
+    INDEX_KINDS,
+    HashIndex,
+    IndexInfo,
+    SortedIndex,
+    make_index,
+)
+
+ROWS = [
+    (1, "ant", 10),
+    (2, "bee", 20),
+    (3, "ant", 30),
+    (4, None, 40),
+    (5, "cat", None),
+]
+
+
+class TestHashIndex:
+    def test_point_lookup(self):
+        index = HashIndex("idx", (1,))
+        index.rebuild(ROWS)
+        assert sorted(index.lookup(("ant",))) == [0, 2]
+        assert index.lookup(("bee",)) == [1]
+        assert index.lookup(("dog",)) == []
+
+    def test_null_rows_are_skipped(self):
+        index = HashIndex("idx", (1,))
+        index.rebuild(ROWS)
+        # Row 4 has NULL in the indexed column: not in the index, and a
+        # NULL probe never matches (SQL equality is never true vs NULL).
+        assert index.lookup((None,)) == []
+        assert len(index) == 4
+
+    def test_multi_column_key(self):
+        index = HashIndex("idx", (1, 2))
+        index.rebuild(ROWS)
+        assert index.lookup(("ant", 10)) == [0]
+        assert index.lookup(("ant", 30)) == [2]
+        assert index.lookup(("ant", 99)) == []
+        # Row 5 has NULL in the second key part: excluded entirely.
+        assert index.lookup(("cat", None)) == []
+
+    def test_incremental_add(self):
+        index = HashIndex("idx", (1,))
+        index.rebuild(ROWS)
+        index.add(5, (6, "bee", 60))
+        assert sorted(index.lookup(("bee",))) == [1, 5]
+
+    def test_unhashable_probe_is_empty_not_error(self):
+        index = HashIndex("idx", (1,))
+        index.rebuild(ROWS)
+        assert index.lookup(([1, 2],)) == []
+
+    def test_clone_is_independent(self):
+        index = HashIndex("idx", (1,))
+        index.rebuild(ROWS)
+        twin = index.clone()
+        twin.add(9, (9, "ant", 90))
+        assert sorted(twin.lookup(("ant",))) == [0, 2, 9]
+        assert sorted(index.lookup(("ant",))) == [0, 2]
+
+
+class TestSortedIndex:
+    def test_point_lookup(self):
+        index = SortedIndex("idx", (2,))
+        index.rebuild(ROWS)
+        assert index.lookup((20,)) == [1]
+        assert index.lookup((99,)) == []
+
+    def test_range_lookup_inclusive_bounds(self):
+        index = SortedIndex("idx", (2,))
+        index.rebuild(ROWS)
+        assert sorted(index.range_lookup(10, 30)) == [0, 1, 2]
+        assert sorted(index.range_lookup(10, 30, low_inclusive=False)) == [1, 2]
+        assert sorted(index.range_lookup(10, 30, high_inclusive=False)) == [0, 1]
+
+    def test_range_lookup_open_ends(self):
+        index = SortedIndex("idx", (2,))
+        index.rebuild(ROWS)
+        assert sorted(index.range_lookup(low=20)) == [1, 2, 3]
+        assert sorted(index.range_lookup(high=20)) == [0, 1]
+        # Fully open range returns every indexed row — but never the
+        # NULL row (row 5's amount is NULL).
+        assert sorted(index.range_lookup()) == [0, 1, 2, 3]
+
+    def test_incremental_add_keeps_order(self):
+        index = SortedIndex("idx", (2,))
+        index.rebuild(ROWS)
+        index.add(5, (6, "fox", 25))
+        assert sorted(index.range_lookup(20, 30)) == [1, 2, 5]
+
+    def test_mixed_types_do_not_break_ordering(self):
+        # sort_key gives the engine a total order across types, so a
+        # column mixing numbers and text must not corrupt the bisect.
+        index = SortedIndex("idx", (0,))
+        index.rebuild([("b",), (1,), ("a",), (2,)])
+        assert index.lookup(("a",)) == [2]
+        assert sorted(index.range_lookup(1, 2)) == [1, 3]
+
+
+class TestMakeIndex:
+    def test_kinds(self):
+        assert isinstance(make_index("hash", "i", (0,)), HashIndex)
+        assert isinstance(make_index("SORTED", "i", (0,)), SortedIndex)
+        assert set(INDEX_KINDS) == {"hash", "sorted"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown index kind"):
+            make_index("btree", "i", (0,))
+
+    def test_info_describe(self):
+        info = IndexInfo("idx_uv", "t", ("u", "v"), "sorted")
+        assert info.describe() == "idx_uv ON t (u, v) USING SORTED"
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, v INTEGER)"
+    )
+    for i in range(20):
+        database.execute(f"INSERT INTO t VALUES ({i}, 'k{i % 4}', {i * 10})")
+    return database
+
+
+class TestIndexLifecycle:
+    def test_catalog_metadata(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        db.execute("CREATE INDEX idx_v ON t (v) USING SORTED")
+        infos = db.catalog.indexes_for("t")
+        assert [info.name for info in infos] == ["idx_k", "idx_v"]
+        assert infos[0].kind == "hash"
+        assert infos[1].kind == "sorted"
+
+    def test_multi_column_index_used_and_correct(self, db):
+        db.execute("CREATE INDEX idx_kv ON t (k, v)")
+        rows = db.execute("SELECT id FROM t WHERE k = 'k1' AND v = 50").rows
+        assert rows == [(5,)]
+        plan = db.execute(
+            "EXPLAIN SELECT id FROM t WHERE k = 'k1' AND v = 50"
+        ).rows
+        assert "idx_kv" in plan[0][0]
+
+    def test_drop_index_falls_back_to_scan(self, db):
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        db.execute("DROP INDEX idx_v")
+        plan = db.execute("EXPLAIN SELECT id FROM t WHERE v = 50").rows
+        assert plan[0][0] == "SeqScan(t)"
+        assert db.execute("SELECT id FROM t WHERE v = 50").rows == [(5,)]
+
+    def test_unknown_index_column_rejected(self, db):
+        with pytest.raises(Exception):
+            db.execute("CREATE INDEX idx_bad ON t (nope)")
+
+    def test_index_tracks_update_of_indexed_column(self, db):
+        db.execute("CREATE INDEX idx_v ON t (v) USING SORTED")
+        db.execute("UPDATE t SET v = 999 WHERE id = 3")
+        assert db.execute("SELECT id FROM t WHERE v = 999").rows == [(3,)]
+        assert db.execute("SELECT id FROM t WHERE v = 30").rows == []
+
+    def test_index_tracks_delete(self, db):
+        db.execute("CREATE INDEX idx_k ON t (k)")
+        db.execute("DELETE FROM t WHERE k = 'k2'")
+        assert db.execute("SELECT COUNT(*) FROM t WHERE k = 'k2'").rows == [(0,)]
