@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint staticcheck staticcheck-baseline bench bench-cache bench-serving bench-resilience bench-sqlengine verify docs-check trace-demo
+.PHONY: test lint staticcheck staticcheck-baseline bench bench-cache bench-serving bench-resilience bench-sqlengine bench-multitenant verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +42,11 @@ bench-resilience:
 bench-sqlengine:
 	$(PYTHON) -m pytest benchmarks/bench_sqlengine.py -q
 
+# Noisy-neighbor isolation: 8 compliant tenants x 16 concurrent
+# sessions vs one tenant 10x over quota; writes BENCH_multitenant.json.
+bench-multitenant:
+	$(PYTHON) -m pytest benchmarks/bench_multitenant.py -q
+
 # Validate that every relative link in the documentation resolves.
 docs-check:
 	$(PYTHON) -m repro.doccheck README.md docs
@@ -52,6 +57,6 @@ trace-demo:
 
 # The repo self-check: static analysis over the examples and the
 # source tree itself, doc link integrity, one traced end-to-end
-# request, tier-1, then the cache, serving, resilience and sql
-# engine smokes.
-verify: lint staticcheck docs-check trace-demo test bench-cache bench-serving bench-resilience bench-sqlengine
+# request, tier-1, then the cache, serving, resilience, sql engine
+# and multi-tenant isolation smokes.
+verify: lint staticcheck docs-check trace-demo test bench-cache bench-serving bench-resilience bench-sqlengine bench-multitenant

@@ -16,6 +16,7 @@ from typing import Any, Callable, Optional
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.runtime import perf_clock
+from repro.tenancy.context import current_tenant
 
 
 @dataclass
@@ -42,6 +43,11 @@ def _traced_chat(chat: Callable[..., "AppResponse"]) -> Callable:
         registry = get_registry()
         started = perf_clock()
         with tracer.span("app.chat", app=self.name) as span:
+            # Root spans carry the tenant only when a tenant scope is
+            # active, so untenanted traces are unchanged.
+            tenant = current_tenant()
+            if tenant is not None:
+                span.set_attribute("tenant", tenant)
             span.set_attribute("chars", len(text))
             response = chat(self, text)
             span.set_attribute("ok", response.ok)

@@ -25,6 +25,7 @@ so the product default is "caching on".
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -34,10 +35,21 @@ from repro.cache.store import CacheStats, CacheStore
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.runtime import perf_clock
+from repro.tenancy.context import current_tenant
 
 
 class CacheManager:
-    """Owns one :class:`CacheStore` per enabled tier."""
+    """Owns one :class:`CacheStore` per enabled tier.
+
+    With tenant partitions enabled (the tenancy fabric calls
+    :meth:`enable_tenant_partitions`), lookups made inside a
+    :func:`~repro.tenancy.context.tenant_scope` are served from a
+    lazily-created per-``(tenant, tier)`` store with its own capacity
+    budget: one tenant's working set can neither evict another's
+    entries nor poison them, and metrics for those lookups carry a
+    ``tenant`` label. Lookups outside any tenant scope — the entire
+    disabled path — use the shared stores exactly as before.
+    """
 
     def __init__(
         self,
@@ -45,6 +57,12 @@ class CacheManager:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config or CacheConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: Per-(tenant, tier) private stores; populated lazily once
+        #: partition mode is on. Guarded by ``self._lock``.
+        self._partitions: dict[tuple[str, str], CacheStore] = {}
+        self._partition_capacity: Optional[int] = None
         self._stores: dict[str, CacheStore] = {}
         for tier in TIER_NAMES:
             settings = self.config.tier(tier)
@@ -71,6 +89,48 @@ class CacheManager:
         """The tier's store, or None when the tier is disabled."""
         return self._stores.get(tier)
 
+    # -- tenant partitions ---------------------------------------------------
+
+    def enable_tenant_partitions(self, capacity: int) -> None:
+        """Switch on per-tenant cache partitions (tenancy fabric).
+
+        Each tenant-scoped lookup gets a private per-tier store bounded
+        to ``capacity`` entries. Existing shared stores are untouched —
+        work outside any tenant scope keeps its cache behavior.
+        """
+        if capacity <= 0:
+            raise ValueError("partition capacity must be positive")
+        with self._lock:
+            self._partition_capacity = capacity
+
+    def partitions_enabled(self) -> bool:
+        with self._lock:
+            return self._partition_capacity is not None
+
+    def _store_for(
+        self, tier: str, tenant: Optional[str]
+    ) -> Optional[CacheStore]:
+        """The store serving this lookup: the tenant's partition when
+        partition mode is on and a tenant scope is active, else the
+        shared tier store."""
+        shared = self._stores.get(tier)
+        if shared is None or tenant is None:
+            return shared
+        with self._lock:
+            capacity = self._partition_capacity
+            if capacity is None:
+                return shared
+            key = (tenant, tier)
+            store = self._partitions.get(key)
+            if store is None:
+                store = self._partitions[key] = CacheStore(
+                    capacity=capacity,
+                    ttl_seconds=shared.ttl_seconds,
+                    clock=self._clock,
+                    on_evict=self._partition_evict_hook(tenant, tier),
+                )
+            return store
+
     # -- the one call sites use --------------------------------------------
 
     def cached(
@@ -86,7 +146,13 @@ class CacheManager:
         tier; disabled tiers take the caller's original code path so
         their behavior stays byte-identical to pre-cache builds.
         """
-        store = self._stores[tier]
+        tenant = current_tenant()
+        store = self._store_for(tier, tenant)
+        if store is None:
+            store = self._stores[tier]
+        # The tenant label exists only for tenant-scoped lookups, so
+        # label sets on the untenanted path match pre-tenancy builds.
+        extra = {} if tenant is None else {"tenant": tenant}
         started = perf_clock()
         with get_tracer().span(
             "cache.lookup", tier=tier, **span_attributes
@@ -97,16 +163,16 @@ class CacheManager:
         registry = get_registry()
         registry.counter(
             "cache_requests_total", "cache lookups by tier and outcome"
-        ).inc(tier=tier, outcome="hit" if hit else "miss")
+        ).inc(tier=tier, outcome="hit" if hit else "miss", **extra)
         if hit:
             registry.histogram(
                 "cache_hit_latency_ms", "latency of cache hits"
-            ).observe(elapsed_ms, tier=tier)
+            ).observe(elapsed_ms, tier=tier, **extra)
         else:
             registry.histogram(
                 "cache_miss_compute_ms",
                 "compute latency behind cache misses",
-            ).observe(elapsed_ms, tier=tier)
+            ).observe(elapsed_ms, tier=tier, **extra)
         return value
 
     def semantic_fetch(self, key: Any) -> tuple[bool, Any]:
@@ -115,7 +181,7 @@ class CacheManager:
         Uses ``peek`` so the alias read does not distort the exact
         store's hit/miss statistics; a dedicated counter records it.
         """
-        store = self._stores.get("inference")
+        store = self._store_for("inference", current_tenant())
         if store is None:
             return False, None
         found, value = store.peek(key)
@@ -133,7 +199,7 @@ class CacheManager:
         stack behind the cache is down; ``(False, None)`` when the
         tier is disabled or the key was never cached.
         """
-        store = self._stores.get(tier)
+        store = self._store_for(tier, current_tenant())
         if store is None:
             return False, None
         return store.peek_stale(key)
@@ -146,12 +212,31 @@ class CacheManager:
 
         return on_evict
 
+    def _partition_evict_hook(self, tenant: str, tier: str):
+        # Partition evictions are the tenant's own budget at work —
+        # the tenant label makes noisy-neighbor churn attributable.
+        def on_evict(_key: Any, reason: str) -> None:
+            get_registry().counter(
+                "cache_evictions_total", "entries evicted by tier"
+            ).inc(tier=tier, reason=reason, tenant=tenant)
+
+        return on_evict
+
     # -- operations --------------------------------------------------------
 
     def clear(self, tier: Optional[str] = None) -> int:
-        """Drop cached entries (one tier, or all); returns the count."""
+        """Drop cached entries (one tier, or all); returns the count.
+
+        Partition stores are cleared alongside the shared tier they
+        shadow, so "clear the cache" means every tenant's too.
+        """
         dropped = 0
         for name, store in self._stores.items():
+            if tier is None or name == tier:
+                dropped += store.clear()
+        with self._lock:
+            partitions = list(self._partitions.items())
+        for (_tenant, name), store in partitions:
             if tier is None or name == tier:
                 dropped += store.clear()
         if self.semantic is not None and tier in (None, "inference"):
@@ -176,6 +261,24 @@ class CacheManager:
             }
         if self.semantic is not None:
             snapshot["inference"]["semantic_entries"] = len(self.semantic)
+        return snapshot
+
+    def tenant_stats(self) -> dict[str, dict[str, dict[str, Any]]]:
+        """Per-tenant, per-tier partition statistics.
+
+        Empty until partition mode is on and tenants have cached
+        something; the shared stores' numbers stay in :meth:`stats`.
+        """
+        with self._lock:
+            partitions = list(self._partitions.items())
+        snapshot: dict[str, dict[str, dict[str, Any]]] = {}
+        for (tenant, tier), store in partitions:
+            stats: CacheStats = store.stats()
+            snapshot.setdefault(tenant, {})[tier] = {
+                "size": len(store),
+                "capacity": store.capacity,
+                **stats.to_dict(),
+            }
         return snapshot
 
     def render_stats(self) -> str:

@@ -14,6 +14,7 @@ Run::
     python -m repro.cli trace              # trace one request end-to-end
     python -m repro.cli cache stats        # cache tier statistics
     python -m repro.cli health             # worker health / breaker states
+    python -m repro.cli tenants            # multi-tenant fabric demo table
 
 Slash commands switch context; anything else goes to the active app::
 
@@ -417,6 +418,80 @@ def health_main(argv: list[str]) -> int:
     return 0
 
 
+def tenants_main(argv: list[str]) -> int:
+    """``repro tenants``: the multi-tenant fabric, demonstrated.
+
+    Boots with tenancy enabled, registers two tenants over the demo
+    sales database (one with a tighter quota), drives a few turns per
+    tenant, and prints the per-tenant control-plane table — shard
+    placement, session counts, quota state, cache hit rate. ``--json``
+    emits the raw rows.
+    """
+    import json
+
+    from repro.core.config import DbGptConfig
+    from repro.tenancy import QuotaConfig, TenancyConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli tenants",
+        description="Show the multi-tenant session fabric at work.",
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    parser.add_argument(
+        "--turns",
+        type=int,
+        default=3,
+        help="demo turns to run per tenant (default 3)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the tenant rows as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    config = DbGptConfig(tenancy=TenancyConfig(enabled=True))
+    dbgpt = DBGPT.boot(config)
+    if args.csv:
+        dbgpt.register_source(CsvSource(args.csv))
+    else:
+        dbgpt.register_source(EngineSource(build_sales_database()))
+    dbgpt.register_tenant("acme", name="Acme Corp")
+    dbgpt.register_tenant(
+        "globex",
+        name="Globex",
+        quota=QuotaConfig(refill_per_second=1.0, burst=2.0),
+    )
+    questions = [
+        "How many orders are there?",
+        "What is the total amount per region?",
+        "Show the tables.",
+    ]
+    from repro.tenancy.quotas import TenantThrottled
+
+    for tenant_id in ("acme", "globex"):
+        record = None
+        for turn in range(max(args.turns, 0)):
+            try:
+                record, _ = dbgpt.tenant_chat(
+                    tenant_id,
+                    questions[turn % len(questions)],
+                    session_id=record.session_id if record else None,
+                    app_name="chat2db",
+                )
+            except TenantThrottled as exc:
+                print(
+                    f"{tenant_id}: throttled "
+                    f"(retry in {exc.retry_after:.2f}s)"
+                )
+    if args.json:
+        print(json.dumps(dbgpt.tenants(), indent=2, sort_keys=True))
+    else:
+        print(dbgpt.fabric.render_table())
+    return 0
+
+
 def build_dbgpt(args: argparse.Namespace) -> DBGPT:
     dbgpt = DBGPT.boot()
     if args.csv:
@@ -445,6 +520,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "health":
         return health_main(argv[1:])
+    if argv and argv[0] == "tenants":
+        return tenants_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Chat with your data (DB-GPT repro)."
     )

@@ -8,6 +8,7 @@ from typing import Optional
 from repro.cache.config import CacheConfig
 from repro.resilience.config import ResilienceConfig
 from repro.serving.config import ServingConfig
+from repro.tenancy.config import TenancyConfig
 
 
 @dataclass
@@ -51,6 +52,10 @@ class DbGptConfig:
     privacy: bool = True
     #: Bearer token for the server layer (None disables auth).
     auth_token: Optional[str] = None
+    #: Per-tenant bearer tokens: token -> principal (tenant id). Each
+    #: authenticated request is stamped with its principal, which the
+    #: ``/v1`` tenant surface uses for ownership checks.
+    auth_principals: Optional[dict[str, str]] = None
     #: File path for the agent communication archive (None = memory only).
     memory_path: Optional[str] = None
     #: Default retrieval strategy for knowledge QA.
@@ -68,6 +73,11 @@ class DbGptConfig:
     #: Off by default: the disabled path is behaviorally identical to
     #: a build without the subsystem.
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Multi-tenant session fabric — registry + shard router, session
+    #: store, admission quotas, partitioned caches (``docs/tenancy.md``).
+    #: Off by default; the disabled path is behaviorally identical to a
+    #: build without the subsystem.
+    tenancy: TenancyConfig = field(default_factory=TenancyConfig)
 
     def model_names(self) -> list[str]:
         return [model.name for model in self.models]

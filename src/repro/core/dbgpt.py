@@ -50,6 +50,33 @@ def _model_factory(config: ModelConfig):
     return builders[config.kind]
 
 
+def build_source_apps(
+    client,
+    source: DataSource,
+    memory: Optional[AgentMemory] = None,
+    sql_model: str = "sql-coder",
+) -> dict[str, Application]:
+    """The standard application set over one datasource.
+
+    Shared by the facade (its default source) and the tenant fabric
+    (per-tenant sources, honoring the tenant's ``model_preference``
+    via ``sql_model``). ``data_analysis`` needs an agent memory, so it
+    only exists when one is supplied.
+    """
+    apps: dict[str, Application] = {
+        "text2sql": Text2SqlApp(client, source, model=sql_model),
+        "sql2text": Sql2TextApp(client),
+        "chat2db": Chat2DbApp(client, source),
+        "chat2data": Chat2DataApp(client, source),
+        "chat2viz": Chat2VizApp(client, source),
+    }
+    if memory is not None:
+        apps["data_analysis"] = GenerativeAnalysisApp(
+            client, source, memory=memory
+        )
+    return apps
+
+
 class DBGPT:
     """Boot and operate a complete DB-GPT instance.
 
@@ -82,6 +109,14 @@ class DBGPT:
         self._apps: dict[str, Application] = {}
         self._sessions: dict[str, ChatSession] = {}
         self._default_source: Optional[DataSource] = None
+        #: The multi-tenant session fabric; None unless
+        #: ``config.tenancy.enabled`` (the disabled path never imports
+        #: the subsystem, let alone runs it).
+        self.fabric = None
+        if self.config.tenancy.enabled:
+            from repro.tenancy.fabric import TenantFabric
+
+            self.fabric = TenantFabric(self, self.config.tenancy)
 
     @classmethod
     def boot(cls, config: Optional[DbGptConfig] = None) -> "DBGPT":
@@ -121,13 +156,8 @@ class DBGPT:
         return count
 
     def _build_source_apps(self, source: DataSource) -> None:
-        self._apps["text2sql"] = Text2SqlApp(self.client, source)
-        self._apps["sql2text"] = Sql2TextApp(self.client)
-        self._apps["chat2db"] = Chat2DbApp(self.client, source)
-        self._apps["chat2data"] = Chat2DataApp(self.client, source)
-        self._apps["chat2viz"] = Chat2VizApp(self.client, source)
-        self._apps["data_analysis"] = GenerativeAnalysisApp(
-            self.client, source, memory=self.memory
+        self._apps.update(
+            build_source_apps(self.client, source, memory=self.memory)
         )
 
     def default_source(self) -> Optional[DataSource]:
@@ -158,21 +188,67 @@ class DBGPT:
             self._sessions[key] = ChatSession(self.app(key))
         return self._sessions[key]
 
+    # -- tenancy -------------------------------------------------------------
+
+    def _require_fabric(self):
+        if self.fabric is None:
+            raise RuntimeError(
+                "tenancy is disabled; boot with "
+                "DbGptConfig(tenancy=TenancyConfig(enabled=True))"
+            )
+        return self.fabric
+
+    def register_tenant(self, tenant_id: str, **kwargs):
+        """Register a tenant on the fabric (tenancy must be enabled).
+
+        See :meth:`repro.tenancy.fabric.TenantFabric.register_tenant`
+        for the resource-binding keywords (``source``, ``documents``,
+        ``model_preference``, ``quota``).
+        """
+        return self._require_fabric().register_tenant(tenant_id, **kwargs)
+
+    def tenant_chat(
+        self,
+        tenant_id: str,
+        text: str,
+        session_id: Optional[str] = None,
+        app_name: Optional[str] = None,
+    ):
+        """One tenant turn through the fabric; returns
+        ``(session_record, response)``."""
+        return self._require_fabric().chat(
+            tenant_id, text, session_id=session_id, app_name=app_name
+        )
+
+    def tenants(self) -> list[dict]:
+        """Control-plane rows for every registered tenant."""
+        return self._require_fabric().describe()
+
     # -- server layer -----------------------------------------------------------
 
     def server(
         self, middlewares: Optional[list[Middleware]] = None
     ) -> DbGptServer:
-        """Mount all applications behind the HTTP-shaped server."""
+        """Mount all applications behind the HTTP-shaped server.
+
+        With tenancy enabled the ``/v1`` multi-tenant surface mounts
+        too, and per-tenant bearer tokens (``auth_principals``)
+        authenticate callers as their tenant.
+        """
         if middlewares is None:
             # Tracing sits outermost so auth rejections and privacy
             # scrubbing are visible inside the request span.
             middlewares = [TracingMiddleware(), LoggingMiddleware()]
-            if self.config.auth_token:
-                middlewares.append(AuthMiddleware(self.config.auth_token))
+            if self.config.auth_token or self.config.auth_principals:
+                middlewares.append(
+                    AuthMiddleware(
+                        self.config.auth_token or "",
+                        principals=self.config.auth_principals,
+                    )
+                )
             if self.config.privacy:
                 middlewares.append(PrivacyMiddleware())
-        server = DbGptServer(middlewares)
+        server = DbGptServer(middlewares, fabric=self.fabric)
         for application in self._apps.values():
             server.register_app(application)
         return server

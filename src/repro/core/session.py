@@ -1,14 +1,46 @@
-"""Chat sessions: multi-turn interaction state per application."""
+"""Chat sessions: multi-turn interaction state per application.
+
+Since the tenancy PR the conversation state lives in a
+:class:`SessionRecord` — the unit the server-side session store
+(:mod:`repro.tenancy.sessions`) persists, evicts and expires — and
+:class:`ChatSession` is a thin handle binding a record to one
+application. A standalone ``ChatSession`` (no store) simply owns a
+detached record, so the embedded API is unchanged.
+
+Session ids derive from the injectable :mod:`repro.runtime` rng, never
+from module-global counters: the old ``itertools.count`` was shared
+across every ``DBGPT`` instance in the process, which made ids
+test-order-dependent and collision-prone across stores. Turn appends
+are serialized by a per-record lock, so two threads sending into the
+same session cannot interleave their history entries.
+"""
 
 from __future__ import annotations
 
-import itertools
+import random
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.apps.base import Application, AppResponse
+from repro.cache.keys import instance_token
+from repro.runtime import default_rng
 
-_session_ids = itertools.count(1)
+#: Tenant id recorded on sessions created outside any tenant fabric.
+DEFAULT_TENANT = "-"
+
+
+def new_session_id(rng: Optional[random.Random] = None) -> str:
+    """A fresh session id from an injectable rng.
+
+    Callers that care about reproducible ids (stores, tests) pass
+    their own generator; without one, a generator seeded with a
+    process-unique instance token keeps ids distinct across every
+    store and facade in the process.
+    """
+    if rng is None:
+        rng = default_rng(instance_token())
+    return f"session-{rng.getrandbits(48):012x}"
 
 
 @dataclass
@@ -21,36 +53,91 @@ class ChatTurn:
     metadata: dict = field(default_factory=dict)
 
 
+class SessionRecord:
+    """Server-side state of one conversation.
+
+    ``turns`` is guarded by ``lock`` (held across the whole turn, so
+    concurrent senders serialize); ``last_active`` / ``inflight`` are
+    bookkeeping owned by the session store, which guards them with its
+    own lock.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        app_name: str = "",
+        tenant_id: str = DEFAULT_TENANT,
+        created_at: float = 0.0,
+    ) -> None:
+        self.session_id = session_id
+        self.app_name = app_name
+        self.tenant_id = tenant_id
+        self.created_at = created_at
+        self.last_active = created_at
+        self.inflight = 0
+        self.turns: list[ChatTurn] = []
+        self.lock = threading.Lock()
+
+    def append_turn(self, turn: ChatTurn) -> None:
+        """Record one completed exchange (caller holds ``lock``)."""
+        self.turns.append(turn)
+
+    def __len__(self) -> int:
+        return len(self.turns)
+
+
 class ChatSession:
     """A conversation with one application (Figure 3, areas 1 and 7).
 
     Keeps the turn history so the front-end can re-render the thread
-    and users can continue engaging with their data.
+    and users can continue engaging with their data. The history lives
+    in a :class:`SessionRecord`; store-backed sessions share theirs
+    with the server-side session store.
     """
 
-    def __init__(self, app: Application, session_id: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        app: Application,
+        session_id: Optional[str] = None,
+        record: Optional[SessionRecord] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.app = app
-        self.session_id = session_id or f"session-{next(_session_ids)}"
-        self.turns: list[ChatTurn] = []
+        if record is None:
+            record = SessionRecord(
+                session_id or new_session_id(rng), app_name=app.name
+            )
+        self.record = record
+
+    @property
+    def session_id(self) -> str:
+        return self.record.session_id
+
+    @property
+    def turns(self) -> list[ChatTurn]:
+        return self.record.turns
 
     def send(self, text: str) -> AppResponse:
-        response = self.app.chat(text)
-        self.turns.append(
-            ChatTurn(
-                user=text,
-                assistant=response.text,
-                ok=response.ok,
-                metadata=dict(response.metadata),
+        """One turn; concurrent senders serialize on the record lock,
+        so turn ordering in the history matches execution order."""
+        with self.record.lock:
+            response = self.app.chat(text)
+            self.record.append_turn(
+                ChatTurn(
+                    user=text,
+                    assistant=response.text,
+                    ok=response.ok,
+                    metadata=dict(response.metadata),
+                )
             )
-        )
         return response
 
     def transcript(self) -> str:
         lines = []
-        for turn in self.turns:
+        for turn in list(self.record.turns):
             lines.append(f"user> {turn.user}")
             lines.append(f"{self.app.name}> {turn.assistant}")
         return "\n".join(lines)
 
     def __len__(self) -> int:
-        return len(self.turns)
+        return len(self.record.turns)

@@ -65,17 +65,40 @@ class LoggingMiddleware(Middleware):
 
 
 class AuthMiddleware(Middleware):
-    """Static bearer-token check (private deployments gate access)."""
+    """Bearer-token check (private deployments gate access).
 
-    def __init__(self, token: str) -> None:
-        if not token:
+    Single-token mode (``AuthMiddleware("secret")``) authenticates
+    without identifying anyone. ``principals`` mode maps each token to
+    a principal id — under the tenancy fabric, the tenant id — which
+    is attached to ``request.principal`` for downstream ownership
+    checks. Rejections carry the stable code ``"unauthorized"``.
+    """
+
+    def __init__(
+        self,
+        token: str = "",
+        principals: Optional[dict[str, str]] = None,
+    ) -> None:
+        if not token and not principals:
             raise ValueError("auth token must be non-empty")
         self._token = token
+        self._principals = dict(principals or {})
 
     def __call__(self, request: Request, next_handler: Handler) -> Response:
         supplied = request.header("authorization")
-        if supplied != f"Bearer {self._token}":
-            return error(401, "missing or invalid bearer token")
+        if not supplied.startswith("Bearer "):
+            return error(
+                401, "missing or invalid bearer token", code="unauthorized"
+            )
+        token = supplied[len("Bearer ") :]
+        if self._token and token == self._token:
+            return next_handler(request)
+        principal = self._principals.get(token)
+        if principal is None:
+            return error(
+                401, "missing or invalid bearer token", code="unauthorized"
+            )
+        request.principal = principal
         return next_handler(request)
 
 

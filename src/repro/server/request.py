@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 
 @dataclass
@@ -13,6 +13,9 @@ class Request:
     path: str
     body: dict[str, Any] = field(default_factory=dict)
     headers: dict[str, str] = field(default_factory=dict)
+    #: Identity attached by the auth middleware (a tenant id under the
+    #: tenancy fabric); None until authenticated.
+    principal: Optional[str] = None
 
     def header(self, name: str, default: str = "") -> str:
         for key, value in self.headers.items():
@@ -39,5 +42,19 @@ def ok(body: dict[str, Any]) -> Response:
     return Response(200, body)
 
 
-def error(status: int, message: str) -> Response:
-    return Response(status, {"error": message})
+def error(
+    status: int,
+    message: str,
+    code: Optional[str] = None,
+    **extra: Any,
+) -> Response:
+    """A structured error body: human text plus a stable ``code``.
+
+    Clients branch on ``code`` (machine-stable), never on the message
+    text; ``extra`` carries structured hints such as ``retry_after``.
+    """
+    body: dict[str, Any] = {"error": message}
+    if code is not None:
+        body["code"] = code
+    body.update(extra)
+    return Response(status, body)

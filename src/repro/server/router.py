@@ -87,9 +87,15 @@ class Router:
         )
         if saw_path:
             unrouted.inc(reason="method_not_allowed")
-            return error(405, f"method {request.method} not allowed")
+            return error(
+                405,
+                f"method {request.method} not allowed",
+                code="method_not_allowed",
+            )
         unrouted.inc(reason="not_found")
-        return error(404, f"no route for {request.path}")
+        return error(
+            404, f"no route for {request.path}", code="route_not_found"
+        )
 
 
 def _wrap(middleware: Middleware, inner: Handler) -> Handler:

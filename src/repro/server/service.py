@@ -14,15 +14,38 @@ class DbGptServer:
     """Serve registered applications at ``POST /api/chat/{app}``.
 
     Also exposes ``GET /api/apps`` (discovery) and ``GET /api/health``.
+    With a tenant fabric attached the multi-tenant surface mounts too:
+    ``POST /v1/sessions`` (create/resume by id), ``GET`` and ``DELETE``
+    on ``/v1/sessions/{session_id}``, ``POST /v1/chat`` (takes
+    ``tenant_id``/``session_id``) and ``GET /v1/tenants``. Without a
+    fabric none of the ``/v1`` routes exist — the server is exactly
+    the pre-tenancy one.
     """
 
-    def __init__(self, middlewares: Optional[list[Middleware]] = None) -> None:
+    def __init__(
+        self,
+        middlewares: Optional[list[Middleware]] = None,
+        fabric: Any = None,
+    ) -> None:
         self.router = Router(middlewares)
+        self.fabric = fabric
         self._apps: dict[str, Application] = {}
         self.router.add_route("GET", "/api/apps", self._list_apps)
         self.router.add_route("GET", "/api/health", self._health)
         self.router.add_route("GET", "/api/openapi", self._openapi)
         self.router.add_route("POST", "/api/chat/{app}", self._chat)
+        if fabric is not None:
+            self.router.add_route(
+                "POST", "/v1/sessions", self._create_session
+            )
+            self.router.add_route(
+                "GET", "/v1/sessions/{session_id}", self._get_session
+            )
+            self.router.add_route(
+                "DELETE", "/v1/sessions/{session_id}", self._drop_session
+            )
+            self.router.add_route("POST", "/v1/chat", self._tenant_chat)
+            self.router.add_route("GET", "/v1/tenants", self._list_tenants)
 
     def register_app(self, app: Application) -> None:
         key = app.name.lower()
@@ -72,11 +95,17 @@ class DbGptServer:
         application = self._apps.get(app.lower())
         if application is None:
             return error(
-                404, f"no app named {app!r}; known: {self.app_names()}"
+                404,
+                f"no app named {app!r}; known: {self.app_names()}",
+                code="unknown_app",
             )
         message = request.body.get("message")
         if not isinstance(message, str) or not message.strip():
-            return error(400, "body requires a non-empty 'message'")
+            return error(
+                400,
+                "body requires a non-empty 'message'",
+                code="invalid_request",
+            )
         response = application.chat(message)
         payload: dict[str, Any] = {
             "text": response.text,
@@ -84,3 +113,174 @@ class DbGptServer:
             "metadata": response.metadata,
         }
         return Response(200 if response.ok else 422, payload)
+
+    # -- tenant surface (mounted only with a fabric) -------------------------
+
+    def _resolve_tenant(self, request: Request) -> Any:
+        """The effective tenant id, or an error Response.
+
+        An authenticated principal *is* its tenant: a body naming a
+        different tenant is a cross-tenant access attempt (403), and a
+        request naming none inherits the principal's.
+        """
+        tenant_id = request.body.get("tenant_id")
+        if tenant_id is not None and not isinstance(tenant_id, str):
+            return error(
+                400, "'tenant_id' must be a string", code="invalid_request"
+            )
+        if request.principal is not None:
+            if tenant_id is not None and tenant_id != request.principal:
+                return error(
+                    403,
+                    f"principal {request.principal!r} may not act as "
+                    f"tenant {tenant_id!r}",
+                    code="tenant_forbidden",
+                )
+            return request.principal
+        if tenant_id is None:
+            return error(
+                400, "body requires a 'tenant_id'", code="invalid_request"
+            )
+        return tenant_id
+
+    def _map_tenancy_error(self, exc: Exception) -> Optional[Response]:
+        """Structured responses for tenancy control-plane failures."""
+        from repro.tenancy.fabric import TenantForbidden
+        from repro.tenancy.quotas import TenantThrottled
+        from repro.tenancy.registry import UnknownTenant
+        from repro.tenancy.sessions import UnknownSession
+
+        if isinstance(exc, TenantThrottled):
+            return error(
+                429,
+                str(exc),
+                code=exc.code,
+                retry_after=exc.retry_after,
+            )
+        if isinstance(exc, TenantForbidden):
+            return error(403, str(exc), code="tenant_forbidden")
+        if isinstance(exc, UnknownTenant):
+            return error(404, str(exc), code="unknown_tenant")
+        if isinstance(exc, UnknownSession):
+            return error(404, str(exc), code="unknown_session")
+        if isinstance(exc, KeyError):
+            return error(404, str(exc.args[0]), code="unknown_app")
+        return None
+
+    def _create_session(self, request: Request) -> Response:
+        tenant_id = self._resolve_tenant(request)
+        if isinstance(tenant_id, Response):
+            return tenant_id
+        app_name = request.body.get("app")
+        if not isinstance(app_name, str) or not app_name.strip():
+            return error(
+                400,
+                "body requires a non-empty 'app'",
+                code="invalid_request",
+            )
+        session_id = request.body.get("session_id")
+        try:
+            record = self.fabric.open_session(
+                tenant_id, app_name, session_id=session_id
+            )
+        except Exception as exc:  # noqa: BLE001 - mapped to structured codes
+            mapped = self._map_tenancy_error(exc)
+            if mapped is None:
+                raise
+            return mapped
+        return Response(
+            201,
+            {
+                "session_id": record.session_id,
+                "tenant_id": record.tenant_id,
+                "app": record.app_name,
+                "turns": len(record.turns),
+            },
+        )
+
+    def _session_record(
+        self, request: Request, session_id: str
+    ) -> Any:
+        tenant_id = self._resolve_tenant(request)
+        if isinstance(tenant_id, Response):
+            return tenant_id
+        return self.fabric.session(tenant_id, session_id)
+
+    def _get_session(self, request: Request, session_id: str) -> Response:
+        try:
+            record = self._session_record(request, session_id)
+        except Exception as exc:  # noqa: BLE001 - mapped to structured codes
+            mapped = self._map_tenancy_error(exc)
+            if mapped is None:
+                raise
+            return mapped
+        if isinstance(record, Response):
+            return record
+        with record.lock:
+            turns = [
+                {"user": turn.user, "assistant": turn.assistant, "ok": turn.ok}
+                for turn in record.turns
+            ]
+        return ok(
+            {
+                "session_id": record.session_id,
+                "tenant_id": record.tenant_id,
+                "app": record.app_name,
+                "turns": turns,
+            }
+        )
+
+    def _drop_session(self, request: Request, session_id: str) -> Response:
+        try:
+            record = self._session_record(request, session_id)
+            if isinstance(record, Response):
+                return record
+            self.fabric.store.drop(session_id)
+        except Exception as exc:  # noqa: BLE001 - mapped to structured codes
+            mapped = self._map_tenancy_error(exc)
+            if mapped is not None:
+                return mapped
+            from repro.tenancy.registry import TenancyError
+
+            if isinstance(exc, TenancyError):
+                # An in-flight turn pins the session; deletion must wait.
+                return error(409, str(exc), code="session_busy")
+            raise
+        return ok({"session_id": session_id, "deleted": True})
+
+    def _tenant_chat(self, request: Request) -> Response:
+        tenant_id = self._resolve_tenant(request)
+        if isinstance(tenant_id, Response):
+            return tenant_id
+        message = request.body.get("message")
+        if not isinstance(message, str) or not message.strip():
+            return error(
+                400,
+                "body requires a non-empty 'message'",
+                code="invalid_request",
+            )
+        session_id = request.body.get("session_id")
+        app_name = request.body.get("app")
+        try:
+            record, response = self.fabric.chat(
+                tenant_id,
+                message,
+                session_id=session_id,
+                app_name=app_name,
+            )
+        except Exception as exc:  # noqa: BLE001 - mapped to structured codes
+            mapped = self._map_tenancy_error(exc)
+            if mapped is None:
+                raise
+            return mapped
+        payload: dict[str, Any] = {
+            "text": response.text,
+            "ok": response.ok,
+            "metadata": response.metadata,
+            "session_id": record.session_id,
+            "tenant_id": record.tenant_id,
+        }
+        return Response(200 if response.ok else 422, payload)
+
+    def _list_tenants(self, request: Request) -> Response:
+        return ok({"tenants": self.fabric.describe()})

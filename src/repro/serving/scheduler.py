@@ -47,8 +47,11 @@ class SchedulerOverloaded(SchedulerError):
     """The admission queue is full; retry after ``retry_after`` seconds.
 
     Maps to a 429 at the API server boundary — structured backpressure
-    instead of unbounded queueing.
+    instead of unbounded queueing. ``code`` is the stable machine
+    identifier surfaced in error bodies; subclasses override it.
     """
+
+    code = "scheduler_overloaded"
 
     def __init__(self, message: str, retry_after: float) -> None:
         super().__init__(message)
@@ -124,6 +127,12 @@ class RequestScheduler:
         self._closed = False
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
+        #: Optional admission gate installed by the tenancy fabric: a
+        #: callable ``(model, request) -> None`` that raises (typically
+        #: a SchedulerOverloaded subclass) to reject before enqueue.
+        self._admission_hook: Optional[
+            Callable[[str, GenerationRequest], None]
+        ] = None
         # Lifetime statistics (under the condition's lock).
         self._shed = 0
         self._expired = 0
@@ -160,6 +169,12 @@ class RequestScheduler:
     ) -> _Pending:
         """Admit one request; returns the pending handle immediately."""
         self._ensure_started()
+        with self._cond:
+            hook = self._admission_hook
+        if hook is not None:
+            # Invoked outside the condition: hooks take their own locks
+            # (e.g. the quota manager's) and must not nest under ours.
+            hook(model, request)
         now = self._clock()
         budget = (
             timeout_s
@@ -202,6 +217,18 @@ class RequestScheduler:
             ).inc(model=model, outcome="admitted")
             self._cond.notify_all()
         return pending
+
+    def set_admission_hook(
+        self,
+        hook: Optional[Callable[[str, GenerationRequest], None]],
+    ) -> None:
+        """Install (or clear, with None) the pre-enqueue admission gate.
+
+        The hook runs on every :meth:`submit` before capacity checks;
+        raising from it rejects the request without touching the queue.
+        """
+        with self._cond:
+            self._admission_hook = hook
 
     def queue_depth(self) -> int:
         with self._cond:

@@ -58,7 +58,11 @@ class ApiServer:
         if route == ("GET", "/v1/serving"):
             return self._serving()
         return ApiResponse(
-            404, {"error": f"no route {request.method} {request.path}"}
+            404,
+            {
+                "error": f"no route {request.method} {request.path}",
+                "code": "route_not_found",
+            },
         )
 
     def _generate(self, body: dict[str, Any]) -> ApiResponse:
@@ -66,7 +70,11 @@ class ApiServer:
         prompt = body.get("prompt")
         if not model or prompt is None:
             return ApiResponse(
-                400, {"error": "body requires 'model' and 'prompt'"}
+                400,
+                {
+                    "error": "body requires 'model' and 'prompt'",
+                    "code": "invalid_request",
+                },
             )
         generation_request = GenerationRequest(
             prompt=prompt,
@@ -91,17 +99,29 @@ class ApiServer:
                     model, generation_request
                 )
         except SchedulerOverloaded as exc:
+            # Subclasses (tenant throttling) carry their own stable code.
             return ApiResponse(
-                429, {"error": str(exc), "retry_after": exc.retry_after}
+                429,
+                {
+                    "error": str(exc),
+                    "code": getattr(exc, "code", "scheduler_overloaded"),
+                    "retry_after": exc.retry_after,
+                },
             )
         except DeadlineExceeded as exc:
-            return ApiResponse(504, {"error": str(exc)})
+            return ApiResponse(
+                504, {"error": str(exc), "code": "deadline_exceeded"}
+            )
         except SchedulerClosed as exc:
-            return ApiResponse(503, {"error": str(exc)})
+            return ApiResponse(
+                503, {"error": str(exc), "code": "scheduler_closed"}
+            )
         except SmmfError as exc:
-            return ApiResponse(503, {"error": str(exc)})
+            return ApiResponse(
+                503, {"error": str(exc), "code": "smmf_unavailable"}
+            )
         except LLMError as exc:
-            return ApiResponse(422, {"error": str(exc)})
+            return ApiResponse(422, {"error": str(exc), "code": "llm_error"})
         body = {
             "text": response.text,
             "model": response.model,

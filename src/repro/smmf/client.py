@@ -25,6 +25,7 @@ from repro.obs.metrics import get_registry
 from repro.resilience.config import ResilienceConfig
 from repro.resilience.retry import RetryPolicy
 from repro.smmf.api_server import ApiRequest, ApiServer
+from repro.tenancy.context import current_tenant
 
 #: Statuses worth retrying: 429 is scheduler backpressure (comes with
 #: a ``retry_after`` hint), 503 is a transient serving failure (all
@@ -45,7 +46,9 @@ class ClientError(Exception):
 
     ``retry_after`` carries the server's backoff hint (seconds) when
     the rejection was backpressure (a 429 from the serving scheduler);
-    it is ``None`` for every other failure.
+    it is ``None`` for every other failure. ``code`` is the server's
+    stable machine identifier for the failure (``"tenant_throttled"``,
+    ``"scheduler_overloaded"``, ...) — branch on it, not the message.
     """
 
     def __init__(
@@ -53,10 +56,12 @@ class ClientError(Exception):
         status: int,
         message: str,
         retry_after: Optional[float] = None,
+        code: Optional[str] = None,
     ) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = status
         self.retry_after = retry_after
+        self.code = code
 
 
 class LLMClient:
@@ -123,6 +128,12 @@ class LLMClient:
         def compute() -> str:
             semantic = manager.semantic
             group = (self._cache_token, model, task or "", int(max_tokens))
+            # The semantic index is shared across partitions, so under
+            # a tenant scope the group carries the tenant: one tenant's
+            # prompts can never alias onto another's cached answers.
+            tenant = current_tenant()
+            if tenant is not None:
+                group = group + (tenant,)
             normalized = normalize_prompt(prompt)
             if semantic is not None:
                 alias = semantic.find(group, normalized)
@@ -312,6 +323,7 @@ class LLMClient:
                 response.status,
                 response.body.get("error", "unknown error"),
                 retry_after=response.body.get("retry_after"),
+                code=response.body.get("code"),
             )
         if response.body.get("degraded"):
             self.degraded_serves += 1

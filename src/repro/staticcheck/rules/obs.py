@@ -25,7 +25,7 @@ from repro.staticcheck.rules import register
 #: First name segment -> owning layer, per docs/observability.md.
 KNOWN_PREFIXES = {
     "analysis", "app", "awel", "balancer", "cache", "model", "rag",
-    "resilience", "server", "serving", "vectorstore", "worker",
+    "resilience", "server", "serving", "tenant", "vectorstore", "worker",
 }
 
 #: Unit suffixes histograms may carry.

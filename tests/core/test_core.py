@@ -81,6 +81,40 @@ class TestSessions:
         session.send("paint my fence")
         assert not session.turns[-1].ok
 
+    def test_session_ids_unique_across_instances(self, dbgpt):
+        # The old module-level counter produced colliding, test-order-
+        # dependent ids across facades; ids now come from a
+        # process-unique-seeded rng.
+        app = dbgpt.app("chat2db")
+        ids = {ChatSession(app).session_id for _ in range(50)}
+        assert len(ids) == 50
+        assert all(session_id.startswith("session-") for session_id in ids)
+
+    def test_session_injected_rng_reproducible(self, dbgpt):
+        import random
+
+        app = dbgpt.app("chat2db")
+        first = ChatSession(app, rng=random.Random(3)).session_id
+        second = ChatSession(app, rng=random.Random(3)).session_id
+        assert first == second
+
+    def test_concurrent_sends_serialize_turn_history(self, dbgpt):
+        import threading
+
+        session = dbgpt.session("chat2db")
+        base = len(session)
+        threads = [
+            threading.Thread(target=session.send, args=("show tables",))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every turn recorded exactly once; the record lock prevents
+        # interleaved/lost appends.
+        assert len(session) == base + 8
+
 
 class TestServerIntegration:
     def test_server_serves_apps(self, dbgpt):

@@ -1,0 +1,18 @@
+"""Isolation fixtures for the tenancy suite.
+
+Every test gets a fresh metrics registry: the suite asserts exact
+counter values (throttles, evictions, cache hits), which must not see
+increments leaked from other tests.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)

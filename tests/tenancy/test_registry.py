@@ -1,0 +1,107 @@
+"""Tests for the tenant registry and consistent-hash ring."""
+
+import pytest
+
+from repro.tenancy.config import QuotaConfig
+from repro.tenancy.registry import (
+    HashRing,
+    Tenant,
+    TenantRegistry,
+    UnknownTenant,
+)
+
+
+class TestHashRing:
+    def test_routing_is_deterministic(self):
+        ring_a = HashRing(shards=4, virtual_nodes=32)
+        ring_b = HashRing(shards=4, virtual_nodes=32)
+        keys = [f"tenant-{i}" for i in range(50)]
+        assert [ring_a.route(k) for k in keys] == [
+            ring_b.route(k) for k in keys
+        ]
+
+    def test_all_shards_receive_keys(self):
+        ring = HashRing(shards=4, virtual_nodes=64)
+        placements = {ring.route(f"tenant-{i}") for i in range(500)}
+        assert placements == set(ring.shards())
+
+    def test_adding_a_shard_moves_bounded_fraction(self):
+        ring = HashRing(shards=4, virtual_nodes=64)
+        keys = [f"tenant-{i}" for i in range(1000)]
+        before = {k: ring.route(k) for k in keys}
+        ring.add_shard("shard-4")
+        moved = sum(1 for k in keys if ring.route(k) != before[k])
+        # Consistent hashing: ~1/5 of keys move to the new shard; far
+        # below the ~4/5 a naive modulo re-placement would move.
+        assert 0 < moved < len(keys) * 0.40
+        # Every moved key moved *to* the new shard, never between old ones.
+        for key in keys:
+            after = ring.route(key)
+            if after != before[key]:
+                assert after == "shard-4"
+
+    def test_remove_shard_reroutes_only_its_keys(self):
+        ring = HashRing(shards=4, virtual_nodes=64)
+        keys = [f"tenant-{i}" for i in range(500)]
+        before = {k: ring.route(k) for k in keys}
+        ring.remove_shard("shard-1")
+        for key in keys:
+            if before[key] != "shard-1":
+                assert ring.route(key) == before[key]
+            else:
+                assert ring.route(key) != "shard-1"
+
+    def test_duplicate_and_missing_shards_rejected(self):
+        ring = HashRing(shards=2)
+        with pytest.raises(ValueError):
+            ring.add_shard("shard-0")
+        with pytest.raises(ValueError):
+            ring.remove_shard("shard-9")
+
+    def test_cannot_remove_last_shard(self):
+        ring = HashRing(shards=1)
+        with pytest.raises(ValueError):
+            ring.remove_shard("shard-0")
+
+
+class TestTenantRegistry:
+    def test_register_get_remove(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("acme", name="Acme Corp"))
+        assert "acme" in registry
+        assert registry.get("acme").name == "Acme Corp"
+        registry.remove("acme")
+        with pytest.raises(UnknownTenant):
+            registry.get("acme")
+
+    def test_duplicate_registration_rejected(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("acme"))
+        with pytest.raises(ValueError):
+            registry.register(Tenant("acme"))
+
+    def test_invalid_tenant_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Tenant("")
+        with pytest.raises(ValueError):
+            Tenant("a/b")
+
+    def test_shard_placement_stable_across_instances(self):
+        a, b = TenantRegistry(), TenantRegistry()
+        assert a.shard_for("acme") == b.shard_for("acme")
+
+    def test_quota_for_override_and_default(self):
+        registry = TenantRegistry()
+        quota = QuotaConfig(refill_per_second=1.0, burst=2.0)
+        registry.register(Tenant("limited", quota=quota))
+        registry.register(Tenant("default"))
+        assert registry.quota_for("limited") is quota
+        assert registry.quota_for("default") is None
+        assert registry.quota_for("never-registered") is None
+
+    def test_tenant_ids_sorted(self):
+        registry = TenantRegistry()
+        for tenant_id in ("zeta", "acme", "mid"):
+            registry.register(Tenant(tenant_id))
+        assert registry.tenant_ids() == ["acme", "mid", "zeta"]
+        assert len(registry) == 3
