@@ -80,6 +80,7 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
     # --- staticcheck: async hygiene --------------------------------------
     "ASY001": (Severity.ERROR, "blocking-call-in-async"),
     "ASY002": (Severity.ERROR, "unbounded-queue-get-in-async"),
+    "ASY003": (Severity.ERROR, "blocking-sync-primitive-in-async"),
     # --- staticcheck: determinism ----------------------------------------
     "DET001": (Severity.ERROR, "wall-clock-call"),
     "DET002": (Severity.ERROR, "ambient-random-call"),

@@ -14,6 +14,7 @@ Run::
     python -m repro.cli trace              # trace one request end-to-end
     python -m repro.cli cache stats        # cache tier statistics
     python -m repro.cli health             # worker health / breaker states
+    python -m repro.cli serve              # continuous-batching engine demo
     python -m repro.cli tenants            # multi-tenant fabric demo table
 
 Slash commands switch context; anything else goes to the active app::
@@ -25,6 +26,7 @@ Slash commands switch context; anything else goes to the active app::
     /check [path]    run the staticcheck pass (default: src/)
     /trace           span tree of the last request, with timings
     /metrics         model serving metrics
+    /stats           serving scheduler stats (occupancy, admissions)
     /cache [clear]   cache tier statistics (or drop every entry)
     /health          per-worker health and breaker states
     /help            this text
@@ -44,9 +46,36 @@ from repro.datasources import CsvSource, EngineSource
 
 _HELP = (
     "commands: /apps, /app <name>, /lint <sql>, /explain <sql>, "
-    "/check [path], /trace, /metrics, /cache [clear], /health, "
+    "/check [path], /trace, /metrics, /stats, /cache [clear], /health, "
     "/help, /quit — anything else is sent to the active app"
 )
+
+
+def render_serving_stats(stats: dict) -> str:
+    """Plain-text serving scheduler stats for the CLI and REPL."""
+    if not stats.get("enabled", True):
+        return (
+            "serving scheduler disabled; boot with "
+            "ServingConfig(enabled=True)"
+        )
+    lines = [f"mode: {stats.get('mode', 'windowed')}"]
+    rows = [
+        ("queue depth", "queue_depth"),
+        ("in-flight batches", "inflight_batches"),
+        ("in-flight members", "inflight_members"),
+        ("batch occupancy", "occupancy"),
+        ("admitted into flight", "admitted_into_flight"),
+        ("dispatched batches", "dispatched_batches"),
+        ("dispatched requests", "dispatched_requests"),
+        ("mean batch size", "mean_batch_size"),
+        ("shed", "shed"),
+        ("expired", "expired"),
+        ("cancelled streams", "cancelled"),
+    ]
+    for label, key in rows:
+        if key in stats:
+            lines.append(f"{label:<22} {stats[key]}")
+    return "\n".join(lines)
 
 
 def render_health(rows: list) -> str:
@@ -147,6 +176,8 @@ class CliSession:
             return self.dbgpt.cache.render_stats()
         if command == "/health":
             return render_health(self.dbgpt.health_snapshot())
+        if command == "/stats":
+            return render_serving_stats(self.dbgpt.serving_stats())
         if command == "/metrics":
             lines = [
                 f"{model}: {metrics}"
@@ -418,6 +449,88 @@ def health_main(argv: list[str]) -> int:
     return 0
 
 
+def serve_main(argv: list[str]) -> int:
+    """``repro serve``: the continuous-batching engine, demonstrated.
+
+    Boots with the serving scheduler enabled, drives a burst of
+    concurrent chat turns plus a few token streams through it (one
+    stream is cancelled mid-flight), and prints the scheduler stats —
+    in-flight batch occupancy, admissions into live batches,
+    cancellations. ``--mode windowed`` runs the fixed-window baseline
+    for comparison; ``--json`` emits the raw stats dict.
+    """
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.config import DbGptConfig
+    from repro.serving import ServingConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Demonstrate the continuous-batching serving engine.",
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    parser.add_argument(
+        "--mode",
+        default="continuous",
+        choices=("continuous", "windowed"),
+        help="scheduler to mount (default: continuous)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=24,
+        help="concurrent demo turns to drive (default 24)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    config = DbGptConfig(
+        serving=ServingConfig(
+            enabled=True, mode=args.mode, batch_window_ms=5.0
+        )
+    )
+    dbgpt = DBGPT.boot(config)
+    if args.csv:
+        dbgpt.register_source(CsvSource(args.csv))
+    else:
+        dbgpt.register_source(EngineSource(build_sales_database()))
+    total = max(args.requests, 1)
+    print(f"driving {total} concurrent turns ({args.mode} scheduler)...")
+    with ThreadPoolExecutor(max_workers=min(total, 32)) as pool:
+        futures = [
+            pool.submit(
+                dbgpt.client.generate,
+                "chat",
+                f"demo question {index}",
+                "chat",
+            )
+            for index in range(total)
+        ]
+        for future in futures:
+            future.result()
+    if args.mode == "continuous":
+        # A couple of live token streams, one abandoned mid-flight so
+        # the cancellation counters have something to show.
+        for chunk in dbgpt.client.stream("chat", "stream me a reply"):
+            pass
+        aborted = dbgpt.client.stream("chat", "stream to abandon")
+        next(aborted, None)
+        aborted.close()
+    stats = dbgpt.serving_stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(render_serving_stats(stats))
+    dbgpt.shutdown()
+    return 0
+
+
 def tenants_main(argv: list[str]) -> int:
     """``repro tenants``: the multi-tenant fabric, demonstrated.
 
@@ -520,6 +633,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "health":
         return health_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "tenants":
         return tenants_main(argv[1:])
     parser = argparse.ArgumentParser(

@@ -181,6 +181,15 @@ class DBGPT:
         """One-shot interaction with an application."""
         return self.app(app_name).chat(text)
 
+    def stream_chat(self, app_name: str, text: str):
+        """Streaming interaction: ``(chunk_iterator, response_getter)``.
+
+        Chunks arrive as the turn is produced; once the iterator is
+        exhausted ``response_getter()`` returns the full
+        :class:`AppResponse` (``ok``, ``payload``, ``metadata``).
+        """
+        return self.app(app_name).stream_chat(text)
+
     def session(self, app_name: str) -> ChatSession:
         """Start (or resume) a chat session with an application."""
         key = app_name.lower()

@@ -52,6 +52,21 @@ def count_tokens(text: str) -> int:
     return len(tokenize_words(text))
 
 
+def chunk_text(text: str) -> list[str]:
+    """Split a completion into the token-sized chunks streaming emits.
+
+    One canonical chunking shared by :meth:`LanguageModel.stream` and
+    the continuous-batching engine's per-member streams, so a response
+    streams identically whichever path delivered it: the first word
+    bare, every following word with its leading space.
+    """
+    words = text.split(" ")
+    return [
+        word if index == 0 else f" {word}"
+        for index, word in enumerate(words)
+    ]
+
+
 class LanguageModel(abc.ABC):
     """A deployable model: name, capabilities, and generate()."""
 
@@ -108,12 +123,94 @@ class LanguageModel(abc.ABC):
         client-side streaming code paths are real.
         """
         response = self.generate(request)
-        words = response.text.split(" ")
-        for index, word in enumerate(words):
-            yield word if index == 0 else f" {word}"
+        yield from chunk_text(response.text)
+
+    def start_batch(
+        self, requests: list[GenerationRequest]
+    ) -> "BatchExecution":
+        """Open a resumable batched run (the continuous-batching hook).
+
+        Where :meth:`generate_batch` is one closed-world call, a
+        :class:`BatchExecution` is a *live* batch: the serving engine
+        admits newly arrived compatible requests into it between
+        forward passes and cancels members whose consumer walked away.
+        The base execution drives :meth:`generate_batch` one fused
+        pass at a time, so every model supports step-level scheduling
+        without further code; models with their own batch economics
+        (e.g. :class:`repro.serving.simulation.LatencySimModel`)
+        inherit them automatically because each step *is* a
+        ``generate_batch`` call.
+        """
+        return BatchExecution(self, requests)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BatchExecution:
+    """One in-flight batched inference run with admit/step/cancel.
+
+    The vLLM-style decomposition of ``generate_batch``: instead of one
+    call over a frozen request list, the batch is a set of *members*
+    that changes between steps. :meth:`step` runs one fused forward
+    pass over every admitted-but-uncomputed member; :meth:`admit` adds
+    a member mid-run; :meth:`cancel` removes one whose consumer
+    disconnected — before its pass, it never executes at all.
+
+    Not thread-safe by itself: the serving engine serializes all calls
+    per execution (one engine task owns one execution).
+    """
+
+    def __init__(
+        self, model: LanguageModel, requests: list[GenerationRequest]
+    ) -> None:
+        self.model = model
+        self._requests: dict[int, GenerationRequest] = {}
+        self._responses: dict[int, GenerationResponse] = {}
+        self._next_member = 0
+        for request in requests:
+            self.admit(request)
+
+    def admit(self, request: GenerationRequest) -> int:
+        """Add one member; returns its id (stable for this run)."""
+        member = self._next_member
+        self._next_member += 1
+        self._requests[member] = request
+        return member
+
+    def cancel(self, member: int) -> None:
+        """Drop a member; uncomputed members never run."""
+        self._requests.pop(member, None)
+        self._responses.pop(member, None)
+
+    def pending(self) -> list[int]:
+        """Members admitted but not yet computed, in admission order."""
+        return [
+            member
+            for member in sorted(self._requests)
+            if member not in self._responses
+        ]
+
+    def step(self) -> list[int]:
+        """One fused forward pass over every pending member.
+
+        Returns the member ids computed by this pass. Raises whatever
+        ``generate_batch`` raises (:class:`LLMError` for a poison
+        prompt — no member is marked computed, so the caller can
+        isolate them individually).
+        """
+        todo = self.pending()
+        if not todo:
+            return []
+        responses = self.model.generate_batch(
+            [self._requests[member] for member in todo]
+        )
+        for member, response in zip(todo, responses):
+            self._responses[member] = response
+        return todo
+
+    def response(self, member: int) -> GenerationResponse:
+        return self._responses[member]
 
 
 def batch_key(request: GenerationRequest) -> tuple:

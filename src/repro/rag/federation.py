@@ -9,8 +9,8 @@ reciprocal-rank fusion, attributing each hit to its source.
 
 from __future__ import annotations
 
+import asyncio
 import contextvars
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.obs.tracer import get_tracer
@@ -124,11 +124,21 @@ class MultiSourceKnowledge:
     ) -> dict[str, list[RetrievedChunk]]:
         """Query every selected source, concurrently when it pays.
 
-        One :class:`QueryEmbeddingMemo` is shared across the fan-out so
-        the query's tokenize+hash pass runs once, not once per source.
-        Worker threads run under ``contextvars.copy_context()`` so each
-        source's ``rag.retrieve`` span stays parented to this trace.
+        The fan-out is an ``asyncio.gather`` on the process-shared
+        serving loop — no per-retrieve thread pool to spin up and tear
+        down; a semaphore caps in-flight sources at ``fanout_width``
+        and each source's blocking retrieve runs on the loop's default
+        executor. One :class:`QueryEmbeddingMemo` is shared across the
+        fan-out so the query's tokenize+hash pass runs once, not once
+        per source, and each task runs under its own copy of the
+        caller's ``contextvars`` context so every source's
+        ``rag.retrieve`` span stays parented to this trace.
         """
+        # Function-level import: repro.serving pulls repro.llm, which
+        # pulls repro.rag back — importing it at module scope would
+        # close that cycle during package init.
+        from repro.serving.loop import get_loop_runner
+
         memo = QueryEmbeddingMemo()
 
         def run(name: str) -> list[RetrievedChunk]:
@@ -138,15 +148,30 @@ class MultiSourceKnowledge:
 
         if len(names) == 1 or self._fanout_width == 1:
             return {name: run(name) for name in names}
-        workers = min(self._fanout_width, len(names))
-        with ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="rag-fanout"
-        ) as pool:
-            futures = {
-                name: pool.submit(contextvars.copy_context().run, run, name)
-                for name in names
-            }
-            return {name: future.result() for name, future in futures.items()}
+        # One context copy per task, made in the calling thread: a
+        # single Context cannot be entered concurrently.
+        contexts = {
+            name: contextvars.copy_context() for name in names
+        }
+
+        async def gather_all() -> dict[str, list[RetrievedChunk]]:
+            loop = asyncio.get_running_loop()
+            gate = asyncio.Semaphore(
+                min(self._fanout_width, len(names))
+            )
+
+            async def one(name: str) -> list[RetrievedChunk]:
+                async with gate:
+                    return await loop.run_in_executor(
+                        None, contexts[name].run, run, name
+                    )
+
+            results = await asyncio.gather(
+                *(one(name) for name in names)
+            )
+            return dict(zip(names, results))
+
+        return get_loop_runner().run(gather_all())
 
     def build_context(
         self, query: str, k: int = 5, max_tokens: int = 512

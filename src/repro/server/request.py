@@ -38,6 +38,25 @@ class Response:
         return json.dumps(self.body, ensure_ascii=False)
 
 
+@dataclass
+class StreamingResponse:
+    """A chunked response: ``chunks`` iterates token chunks on a 200.
+
+    Non-200 statuses carry the same structured error body as
+    :class:`Response` and no chunk iterator. Closing the iterator
+    early cancels the underlying generation (the serving engine frees
+    the request's batch slot mid-stream).
+    """
+
+    status: int
+    body: dict[str, Any] = field(default_factory=dict)
+    chunks: Optional[Any] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
 def ok(body: dict[str, Any]) -> Response:
     return Response(200, body)
 

@@ -6,7 +6,13 @@ from typing import Any, Optional
 
 from repro.apps.base import Application
 from repro.server.middleware import Middleware
-from repro.server.request import Request, Response, error, ok
+from repro.server.request import (
+    Request,
+    Response,
+    StreamingResponse,
+    error,
+    ok,
+)
 from repro.server.router import Router
 
 
@@ -58,6 +64,51 @@ class DbGptServer:
 
     def handle(self, request: Request) -> Response:
         return self.router.dispatch(request)
+
+    def handle_stream(self, request: Request) -> StreamingResponse:
+        """``POST /api/chat/{app}/stream``: a chunked chat turn.
+
+        Validation failures return the same structured error bodies as
+        the unary route; a 200 carries the chunk iterator (closing it
+        early abandons the turn).
+        """
+        parts = request.path.strip("/").split("/")
+        if (
+            request.method.upper() != "POST"
+            or len(parts) != 4
+            or parts[:2] != ["api", "chat"]
+            or parts[3] != "stream"
+        ):
+            return StreamingResponse(
+                404,
+                {
+                    "error": f"no stream route {request.method} "
+                    f"{request.path}",
+                    "code": "route_not_found",
+                },
+            )
+        app = parts[2]
+        application = self._apps.get(app.lower())
+        if application is None:
+            return StreamingResponse(
+                404,
+                {
+                    "error": f"no app named {app!r}; "
+                    f"known: {self.app_names()}",
+                    "code": "unknown_app",
+                },
+            )
+        message = request.body.get("message")
+        if not isinstance(message, str) or not message.strip():
+            return StreamingResponse(
+                400,
+                {
+                    "error": "body requires a non-empty 'message'",
+                    "code": "invalid_request",
+                },
+            )
+        chunks, _response = application.stream_chat(message)
+        return StreamingResponse(200, {}, chunks=chunks)
 
     # -- handlers -----------------------------------------------------------
 

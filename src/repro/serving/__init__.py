@@ -1,34 +1,50 @@
-"""Concurrent serving: the micro-batching scheduler in front of SMMF.
+"""Concurrent serving: the batching engine in front of SMMF.
 
 The paper's SMMF exists to serve many simultaneous chat sessions
 across model replicas; ``repro.serving`` adds the concurrency layer
 that makes the worker pool earn its replicas — a bounded admission
-queue with structured backpressure, a micro-batching dispatcher that
-coalesces compatible requests into single ``generate_batch`` calls,
-and per-request deadlines. See ``docs/serving.md`` for the design and
-tuning guide.
+queue with structured backpressure, per-request deadlines, and two
+dispatchers behind one interface: the asyncio-native
+continuous-batching engine (:class:`RequestScheduler`, the default,
+with end-to-end token streaming, per-stream backpressure, and
+mid-generation cancellation) and the original fixed-window
+thread-pooled dispatcher (:class:`WindowedScheduler`, selected with
+``ServingConfig(mode="windowed")``, kept as the benchmark baseline).
+See ``docs/serving.md`` for the design and tuning guide.
 """
 
 from repro.serving.config import ServingConfig
+from repro.serving.engine import RequestScheduler
+from repro.serving.loop import LoopRunner, LoopRunnerClosed, get_loop_runner
 from repro.serving.scheduler import (
     BATCH_SIZE_BUCKETS,
     DeadlineExceeded,
-    RequestScheduler,
     SchedulerClosed,
     SchedulerError,
     SchedulerOverloaded,
+    StreamCancelled,
+    StreamClosed,
+    WindowedScheduler,
     shape_key,
 )
 from repro.serving.simulation import LatencySimModel
+from repro.serving.streams import TokenStream
 
 __all__ = [
     "BATCH_SIZE_BUCKETS",
     "DeadlineExceeded",
     "LatencySimModel",
+    "LoopRunner",
+    "LoopRunnerClosed",
     "RequestScheduler",
     "SchedulerClosed",
     "SchedulerError",
     "SchedulerOverloaded",
     "ServingConfig",
+    "StreamCancelled",
+    "StreamClosed",
+    "TokenStream",
+    "WindowedScheduler",
+    "get_loop_runner",
     "shape_key",
 ]

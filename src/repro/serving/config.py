@@ -24,6 +24,12 @@ class ServingConfig:
     """
 
     enabled: bool = False
+    #: Scheduler implementation. ``"continuous"`` (the default) is the
+    #: asyncio engine with continuous batching — compatible requests
+    #: are admitted into in-flight batches between generation steps.
+    #: ``"windowed"`` is the thread-pooled fixed-window dispatcher kept
+    #: as the comparison baseline for benchmarks.
+    mode: str = "continuous"
     #: Hard bound on queued-but-undispatched requests. Admission past
     #: this sheds the request with a 429-style error instead of letting
     #: latency grow without bound.
@@ -41,8 +47,18 @@ class ServingConfig:
     #: Per-request deadline applied when the caller does not pass one;
     #: ``None`` means requests wait as long as it takes.
     default_timeout_s: Optional[float] = None
+    #: Bound on buffered-but-unconsumed chunks per token stream. A
+    #: consumer that lags this far behind pauses *its own* stream's
+    #: delivery (per-stream backpressure) without stalling co-members
+    #: of the same batch.
+    stream_buffer: int = 32
 
     def __post_init__(self) -> None:
+        if self.mode not in ("continuous", "windowed"):
+            raise ValueError(
+                "mode must be 'continuous' or 'windowed', "
+                f"not {self.mode!r}"
+            )
         if self.queue_capacity <= 0:
             raise ValueError("queue_capacity must be positive")
         if self.batch_window_ms < 0:
@@ -53,6 +69,8 @@ class ServingConfig:
             raise ValueError("pool_width must be positive")
         if self.default_timeout_s is not None and self.default_timeout_s <= 0:
             raise ValueError("default_timeout_s must be positive (or None)")
+        if self.stream_buffer <= 0:
+            raise ValueError("stream_buffer must be positive")
 
     @classmethod
     def disabled(cls) -> "ServingConfig":

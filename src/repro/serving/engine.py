@@ -1,0 +1,1201 @@
+"""The asyncio continuous-batching serving engine.
+
+This is the production scheduler behind SMMF (``ServingConfig(
+mode="continuous")``, the default): an event loop on a dedicated
+daemon thread runs step-level scheduling against the worker pool,
+vLLM-style. Where the windowed baseline freezes a batch at dispatch,
+the engine keeps every batch **live**: between fused forward passes it
+admits newly arrived compatible requests into the in-flight execution
+(no window to wait out, no head-of-line straggle), and a member whose
+stream consumer cancels is released *mid-generation* — its worker
+in-flight slot and batch seat free immediately.
+
+The admission surface is unchanged from the windowed scheduler —
+hard-capacity queue, structured :class:`SchedulerOverloaded` sheds
+with ``retry_after``, per-request deadlines, the tenancy admission
+hook running synchronously in the caller's context — so every
+existing caller, test and error-mapping works identically. New
+surfaces are the async ones: :meth:`aschedule` awaits a response
+without blocking a thread, :meth:`stream`/:meth:`astream` deliver
+token chunks through bounded per-stream queues
+(:class:`repro.serving.streams.TokenStream`) with backpressure and
+cancellation propagation.
+
+Execution model, per batch:
+
+1. **form** — the main loop pops the head-of-line request plus queued
+   compatible requests (same ``shape_key`` contract and batching
+   window as before; the window is skipped once ``max_batch_size``
+   compatible requests queue).
+2. **lease** — :meth:`ModelController.start_batch` routes the batch
+   to a replica with the existing whole-batch failover ladder.
+3. **step** — one fused ``generate_batch`` pass computes every
+   pending member (one latency window on simulated hardware). A
+   poison :class:`LLMError` sends the step's members to per-request
+   isolation; a mid-run :class:`WorkerCrashed` fails uncomputed
+   members over to another replica.
+4. **deliver + admit** — computed members resolve (or stream chunks
+   until their bounded buffer fills); compatible queued requests are
+   admitted into the live batch and the loop returns to step 3.
+
+Everything is observable under the same ``serving_*`` metric names,
+plus ``serving_stream_cancelled_total`` and the continuous-batching
+stats (``admitted_into_flight``, member occupancy) in :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Optional
+
+from repro.llm.base import GenerationRequest, GenerationResponse, LLMError
+from repro.llm.base import chunk_text
+from repro.obs.metrics import get_registry
+from repro.serving.config import ServingConfig
+from repro.serving.loop import LoopRunner
+from repro.serving.scheduler import (
+    BATCH_SIZE_BUCKETS,
+    SchedulerClosed,
+    SchedulerOverloaded,
+    StreamCancelled,
+    StreamClosed,
+    _Pending,
+    shape_key,
+)
+from repro.serving.streams import TokenStream
+
+
+class _Member:
+    """One request's seat in a live execution (loop-thread state)."""
+
+    __slots__ = ("pending", "computed", "response", "chunks", "pos",
+                 "lease_done")
+
+    def __init__(self, pending: _Pending) -> None:
+        self.pending = pending
+        self.computed = False
+        self.response: Optional[GenerationResponse] = None
+        self.chunks: Optional[list[str]] = None
+        self.pos = 0
+        #: True once worker accounting settled outside the lease
+        #: (isolation / crash failover served it elsewhere).
+        self.lease_done = False
+
+
+class _Execution:
+    """One in-flight continuous batch (owned by one engine task)."""
+
+    def __init__(self, model: str, key: tuple, lease: Any) -> None:
+        self.model = model
+        self.key = key
+        self.lease = lease
+        self.members: dict[int, _Member] = {}
+        #: Popped from the queue, joining at the next step (the
+        #: worker admit handshake runs in the step's executor call).
+        self.to_admit: list[_Pending] = []
+        self.wake = asyncio.Event()
+        #: Stops further admissions (replica crashed mid-run).
+        self.no_admit = False
+        #: True once the first fused pass ran — admissions after that
+        #: are the continuous-batching capability being exercised.
+        self.stepped = False
+        self.admitted_in_flight = 0
+        #: Batching-window deadline while the drained execution holds
+        #: its lease waiting for a full cohort to accumulate.
+        self.refill_until: Optional[float] = None
+        #: Set by ``_wake_engine`` on every submit so a step thread
+        #: holding the lease inline (see ``run_step``) wakes without
+        #: a loop round trip — the engine-thread analog of ``wake``.
+        self.thread_wake = threading.Event()
+
+
+class RequestScheduler:
+    """Continuous-batching admission queue over a controller.
+
+    Drop-in for the windowed scheduler (same constructor, same sync
+    ``schedule``/``submit`` facade, same structured errors and
+    metrics) with the asyncio engine underneath. The event loop and
+    its bounded step executor start lazily on first submit; an unused
+    scheduler costs nothing.
+    """
+
+    def __init__(
+        self,
+        controller: Any,
+        config: Optional[ServingConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._controller = controller
+        self.config = config or ServingConfig(enabled=True)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queue: deque[_Pending] = deque()
+        self._executions: list[_Execution] = []
+        self._started = False
+        self._closed = False
+        self._runner: Optional[LoopRunner] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._kick = asyncio.Event()
+        self._tasks: set = set()
+        #: Optional admission gate installed by the tenancy fabric; it
+        #: runs synchronously in the submitting caller's context (so
+        #: ``contextvars`` tenant scopes are visible) whether the wait
+        #: that follows is sync or async.
+        self._admission_hook: Optional[
+            Callable[[str, GenerationRequest], None]
+        ] = None
+        # Lifetime statistics (under self._lock).
+        self._shed = 0
+        self._expired = 0
+        self._cancelled = 0
+        self._dispatched_batches = 0
+        self._dispatched_requests = 0
+        self._admitted_into_flight = 0
+        self._active_slots = 0
+        #: True while a ``_wake_all`` callback is queued on the loop.
+        self._wake_pending = False
+
+    # -- sync facade -------------------------------------------------------
+
+    def schedule(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ) -> GenerationResponse:
+        """Admit, block until dispatched, and return the response."""
+        pending = self.submit(model, request, timeout_s=timeout_s)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.response is not None
+        return pending.response
+
+    def submit(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ) -> _Pending:
+        """Admit one request; returns the pending handle immediately."""
+        return self._admit(model, request, timeout_s, stream=False)
+
+    def submit_stream(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ) -> _Pending:
+        """Admit a streaming request; ``pending.stream`` is the
+        bounded :class:`TokenStream` chunks arrive on."""
+        return self._admit(model, request, timeout_s, stream=True)
+
+    def _admit(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float],
+        stream: bool,
+    ) -> _Pending:
+        self._ensure_started()
+        with self._lock:
+            hook = self._admission_hook
+        if hook is not None:
+            # Outside the lock: hooks take their own locks (the quota
+            # manager's) and must not nest under ours.
+            hook(model, request)
+        now = self._clock()
+        budget = (
+            timeout_s
+            if timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        deadline = now + budget if budget is not None else None
+        with self._lock:
+            if self._closed:
+                raise SchedulerClosed("scheduler is shut down")
+            if len(self._queue) >= self.config.queue_capacity:
+                self._shed += 1
+                retry_after = self._retry_after_locked()
+                registry = get_registry()
+                registry.counter(
+                    "serving_shed_total",
+                    "requests shed at admission (queue full)",
+                ).inc(model=model)
+                registry.counter(
+                    "serving_requests_total",
+                    "scheduler admissions by outcome",
+                ).inc(model=model, outcome="shed")
+                raise SchedulerOverloaded(
+                    f"serving queue full "
+                    f"({self.config.queue_capacity} waiting); "
+                    f"retry in {retry_after:.2f}s",
+                    retry_after=retry_after,
+                )
+            pending = _Pending(
+                model=model,
+                request=request,
+                enqueued_at=now,
+                deadline=deadline,
+            )
+            if stream:
+                pending.stream = TokenStream(
+                    self.config.stream_buffer,
+                    on_event=self._wake_engine,
+                )
+            self._queue.append(pending)
+            self._queue_gauge_locked()
+            get_registry().counter(
+                "serving_requests_total",
+                "scheduler admissions by outcome",
+            ).inc(model=model, outcome="admitted")
+        self._wake_engine()
+        return pending
+
+    # -- async facade ------------------------------------------------------
+
+    async def aschedule(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ) -> GenerationResponse:
+        """Awaitable :meth:`schedule`: admission (and the tenancy
+        hook) run synchronously in the caller's task, then the wait
+        parks on the caller's loop without occupying a thread."""
+        pending = self.submit(model, request, timeout_s=timeout_s)
+        return await self._await_pending(pending)
+
+    @staticmethod
+    async def _await_pending(pending: _Pending) -> GenerationResponse:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def relay() -> None:
+            def settle() -> None:
+                if future.cancelled():
+                    return
+                if pending.error is not None:
+                    future.set_exception(pending.error)
+                else:
+                    future.set_result(pending.response)
+
+            try:
+                loop.call_soon_threadsafe(settle)
+            except RuntimeError:
+                pass  # caller's loop already closed
+
+        pending.add_done_callback(relay)
+        return await future
+
+    def stream(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[str]:
+        """Sync token stream; closing the generator mid-stream cancels
+        the member and frees its slot mid-generation."""
+        pending = self.submit_stream(model, request, timeout_s=timeout_s)
+        return self._drain_sync(pending)
+
+    @staticmethod
+    def _drain_sync(pending: _Pending) -> Iterator[str]:
+        stream = pending.stream
+        try:
+            yield from stream
+        finally:
+            stream.cancel()
+
+    async def astream(
+        self,
+        model: str,
+        request: GenerationRequest,
+        timeout_s: Optional[float] = None,
+    ):
+        """Async token stream with the same cancellation contract."""
+        pending = self.submit_stream(model, request, timeout_s=timeout_s)
+        stream = pending.stream
+        try:
+            async for chunk in stream:
+                yield chunk
+        finally:
+            stream.cancel()
+
+    # -- introspection / control ------------------------------------------
+
+    def set_admission_hook(
+        self,
+        hook: Optional[Callable[[str, GenerationRequest], None]],
+    ) -> None:
+        """Install (or clear, with None) the pre-enqueue admission
+        gate; raising from it rejects before the queue is touched."""
+        with self._lock:
+            self._admission_hook = hook
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def stats(self) -> dict[str, Any]:
+        """Lifetime scheduler statistics, windowed-compatible keys
+        plus the continuous-batching view (in-flight member occupancy,
+        admissions into live batches, cancellations)."""
+        with self._lock:
+            batches = self._dispatched_batches
+            inflight_members = sum(
+                len(execution.members) for execution in self._executions
+            )
+            capacity = self.config.pool_width * self.config.max_batch_size
+            return {
+                "mode": "continuous",
+                "queue_depth": len(self._queue),
+                "inflight_batches": self._active_slots,
+                "inflight_members": inflight_members,
+                "occupancy": round(inflight_members / capacity, 3),
+                "shed": self._shed,
+                "expired": self._expired,
+                "cancelled": self._cancelled,
+                "dispatched_batches": batches,
+                "dispatched_requests": self._dispatched_requests,
+                "admitted_into_flight": self._admitted_into_flight,
+                "mean_batch_size": (
+                    round(self._dispatched_requests / batches, 3)
+                    if batches
+                    else 0.0
+                ),
+            }
+
+    def close(self) -> None:
+        """Stop the engine. Queued requests fail with SchedulerClosed;
+        members still generating are released (their streams fail with
+        ``stream_closed``); the loop and executor shut down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned = list(self._queue)
+            self._queue.clear()
+            self._queue_gauge_locked()
+            started = self._started
+            runner, executor = self._runner, self._executor
+            # Step threads parked on an inline refill hold see
+            # ``_closed`` on their next pop; wake them now so
+            # ``executor.shutdown`` below never waits out a window.
+            for execution in self._executions:
+                execution.thread_wake.set()
+        for pending in abandoned:
+            self._settle_reject(
+                pending, SchedulerClosed("scheduler shut down")
+            )
+        if not started:
+            return
+        try:
+            runner.run(self._ashutdown(), timeout=10.0)
+        except Exception:
+            pass  # loop died first; executor shutdown below still runs
+        executor.shutdown(wait=True)
+        runner.close()
+
+    # -- engine internals (loop thread unless noted) -----------------------
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._started or self._closed:
+                return
+            self._started = True
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.pool_width,
+                thread_name_prefix="serving-step",
+            )
+            runner = self._runner = LoopRunner(name="serving-engine")
+        # The engine task runs in a clean context: spans opened by
+        # steps are roots, exactly like the windowed pool threads.
+        runner.submit(self._main(), context=contextvars.Context())
+
+    def _wake_engine(self) -> None:
+        """Thread-safe: kick the main loop and every execution.
+
+        Wakeups coalesce: while one ``_wake_all`` callback is pending
+        on the loop, further submits/drains/cancels piggyback on it
+        instead of each paying a ``call_soon_threadsafe`` round trip —
+        under a 64-client burst that is one loop callback, not 64.
+        """
+        with self._lock:
+            if not self._started:
+                return
+            # Step threads waiting out a refill hold wake directly —
+            # setting an already-set Event is near-free, so this is
+            # NOT gated by the coalescing flag below.
+            for execution in self._executions:
+                execution.thread_wake.set()
+            if self._wake_pending:
+                return
+            runner = self._runner
+            self._wake_pending = True
+        try:
+            runner.loop.call_soon_threadsafe(self._wake_all)
+        except RuntimeError:  # loop shut down concurrently
+            with self._lock:
+                self._wake_pending = False
+
+    def _wake_all(self) -> None:
+        with self._lock:
+            # Cleared before the events are set: a state change racing
+            # in after this point schedules a fresh callback.
+            self._wake_pending = False
+            executions = list(self._executions)
+        self._kick.set()
+        for execution in executions:
+            execution.wake.set()
+
+    def _is_closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    async def _ashutdown(self) -> None:
+        self._wake_all()
+        tasks = list(self._tasks)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _in_executor(self, fn, *args):
+        """Run blocking work on the bounded step executor."""
+        with self._lock:
+            executor = self._executor
+        return await asyncio.get_running_loop().run_in_executor(
+            executor, fn, *args
+        )
+
+    async def _main(self) -> None:
+        self._tasks.add(asyncio.current_task())
+        while not self._is_closed():
+            self._expire()
+            with self._lock:
+                formed, wait_s = self._form_locked()
+            if formed is not None:
+                model, batch = formed
+                if len(batch) == 1 and batch[0].stream is None:
+                    self._spawn(self._run_single(batch[0]))
+                else:
+                    self._spawn(self._run_execution(model, batch))
+                continue
+            if wait_s is None:
+                await self._kick.wait()
+            else:
+                try:
+                    await asyncio.wait_for(
+                        self._kick.wait(), timeout=wait_s
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            self._kick.clear()
+
+    def _form_locked(
+        self,
+    ) -> tuple[Optional[tuple[str, list[_Pending]]], Optional[float]]:
+        """Pop the next cohort, or report how long to wait.
+
+        Returns ``(cohort, None)`` when a batch should start,
+        ``(None, seconds)`` while the head-of-line batching window is
+        open, and ``(None, None)`` when there is nothing to do until
+        the next kick.
+        """
+        self._expire_locked()
+        if (
+            self._closed
+            or not self._queue
+            or self._active_slots >= self.config.pool_width
+        ):
+            return None, None
+        head = self._queue[0]
+        key = shape_key(head.model, head.request)
+        holder_wait = self._holder_wait_locked(key)
+        if holder_wait is not None:
+            return None, holder_wait
+        window_s = self.config.batch_window_ms / 1000.0
+        if window_s > 0:
+            compatible = sum(
+                1
+                for pending in self._queue
+                if shape_key(pending.model, pending.request) == key
+            )
+            if compatible < self.config.max_batch_size:
+                now = self._clock()
+                if head.window_until is None:
+                    head.window_until = now + window_s
+                    head.window_cap = now + 2 * window_s
+                    head.window_seen = compatible
+                remaining = head.window_until - now
+                if remaining > 0:
+                    return None, remaining
+                if (
+                    compatible > head.window_seen
+                    and head.window_until < head.window_cap
+                ):
+                    # Arrivals are still streaming in (a client-herd
+                    # ramp): a ragged batch now would knock every
+                    # later cohort out of phase and cost a trailing
+                    # fragment pass. Extend briefly, hard-capped at
+                    # twice the window.
+                    head.window_seen = compatible
+                    head.window_until = min(
+                        head.window_until + window_s / 4,
+                        head.window_cap,
+                    )
+                    return None, head.window_until - now
+        batch = [self._queue.popleft()]
+        kept: deque[_Pending] = deque()
+        while self._queue:
+            pending = self._queue.popleft()
+            if (
+                len(batch) < self.config.max_batch_size
+                and shape_key(pending.model, pending.request) == key
+            ):
+                batch.append(pending)
+            else:
+                kept.append(pending)
+        self._queue = kept
+        self._active_slots += 1
+        self._queue_gauge_locked()
+        self._observe_wait(batch)
+        return (head.model, batch), None
+
+    def _holder_wait_locked(self, key: tuple) -> Optional[float]:
+        """Defer formation while a drained same-shape execution holds
+        its lease through the batching window: it will admit the
+        cohort in place, skipping a fresh ``start_batch``. Returns a
+        bounded re-check interval (never an open-ended sleep) so a
+        holder that retires in the race can't strand the queue.
+
+        Only worth it when one holder can absorb everything queued —
+        with more than a full cohort waiting, deferring would serialize
+        work one replica could not take anyway, so formation proceeds
+        and the holder admits from whatever remains."""
+        now = self._clock()
+        wait: Optional[float] = None
+        for execution in self._executions:
+            if execution.key != key or execution.refill_until is None:
+                continue
+            remaining = execution.refill_until - now
+            candidate = remaining if remaining > 0.0005 else 0.0005
+            if wait is None or candidate < wait:
+                wait = candidate
+        if wait is None:
+            return None
+        compatible = sum(
+            1
+            for pending in self._queue
+            if shape_key(pending.model, pending.request) == key
+        )
+        if compatible > self.config.max_batch_size:
+            return None
+        return wait
+
+    def _observe_wait(self, batch: list[_Pending]) -> None:
+        now = self._clock()
+        histogram = get_registry().histogram(
+            "serving_wait_ms", "time from admission to dispatch"
+        )
+        for pending in batch:
+            histogram.observe(
+                (now - pending.enqueued_at) * 1000.0, model=pending.model
+            )
+
+    # -- single-request fast path -----------------------------------------
+
+    async def _run_single(self, pending: _Pending) -> None:
+        """Cohorts of one non-streaming request dispatch through the
+        controller's plain ``generate`` — per-request failover, no
+        batch machinery — exactly as the windowed scheduler did."""
+        model = pending.model
+        registry = get_registry()
+        registry.histogram(
+            "serving_batch_size",
+            "requests per dispatched batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        ).observe(1, model=model)
+        outcome = "completed"
+        try:
+            response = await self._in_executor(
+                self._controller.generate, model, pending.request
+            )
+            pending.resolve(response)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+            pending.reject(exc)
+            outcome = "error"
+        finally:
+            registry.counter(
+                "serving_requests_total",
+                "scheduler admissions by outcome",
+            ).inc(model=model, outcome=outcome)
+            registry.counter(
+                "serving_batches_total", "dispatched batches"
+            ).inc(model=model)
+            with self._lock:
+                self._active_slots -= 1
+                self._dispatched_batches += 1
+                self._dispatched_requests += 1
+            self._kick.set()
+
+    # -- continuous execution ---------------------------------------------
+
+    async def _run_execution(
+        self, model: str, batch: list[_Pending]
+    ) -> None:
+        key = shape_key(model, batch[0].request)
+        try:
+            lease = await self._in_executor(
+                self._controller.start_batch,
+                model,
+                [pending.request for pending in batch],
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            self._count_step(model, len(batch))
+            for pending in batch:
+                self._settle_reject(pending, exc)
+                self._count_outcome(model, "error")
+            with self._lock:
+                self._active_slots -= 1
+            self._kick.set()
+            return
+        execution = _Execution(model, key, lease)
+        for member_id, pending in zip(lease.pending(), batch):
+            execution.members[member_id] = _Member(pending)
+        with self._lock:
+            self._executions.append(execution)
+        try:
+            await self._execution_loop(execution)
+        finally:
+            with self._lock:
+                self._executions.remove(execution)
+                self._active_slots -= 1
+            self._kick.set()
+
+    async def _execution_loop(self, execution: _Execution) -> None:
+        while not self._is_closed():
+            self._reap_cancelled(execution)
+            if execution.to_admit or any(
+                not member.computed
+                for member in execution.members.values()
+            ):
+                await self._step(execution)
+                self._reap_cancelled(execution)
+            self._deliver(execution)
+            refill_wait = self._admit_into(execution)
+            with self._lock:
+                if (
+                    not execution.members
+                    and not execution.to_admit
+                    and refill_wait is None
+                ):
+                    return
+            if refill_wait is not None and not execution.to_admit:
+                # Drained, but compatible requests are trickling in:
+                # hold the lease for the batching window instead of
+                # retiring and paying a fresh ``start_batch``.
+                try:
+                    await asyncio.wait_for(
+                        execution.wake.wait(), timeout=refill_wait
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                execution.wake.clear()
+                continue
+            if not execution.to_admit and all(
+                member.computed
+                for member in execution.members.values()
+            ):
+                # Every runnable member ran; delivery is blocked on
+                # consumers. Sleep until a drain, cancel, or submit.
+                await execution.wake.wait()
+                execution.wake.clear()
+        # Engine shut down mid-execution: flush what computed, then
+        # release the rest (including requests popped for admission
+        # that never reached the worker).
+        self._reap_cancelled(execution)
+        self._deliver(execution)
+        for pending in execution.to_admit:
+            self._settle_reject(
+                pending, SchedulerClosed("scheduler shut down")
+            )
+            self._count_outcome(execution.model, "error")
+        execution.to_admit = []
+        for member_id, member in list(execution.members.items()):
+            if not member.lease_done:
+                execution.lease.release(member_id)
+            error: Exception
+            if member.pending.stream is not None:
+                error = StreamClosed(
+                    "scheduler shut down mid-stream"
+                )
+            else:
+                error = SchedulerClosed("scheduler shut down")
+            self._settle_reject(member.pending, error)
+            self._count_outcome(execution.model, "error")
+            del execution.members[member_id]
+
+    async def _step(self, execution: _Execution) -> None:
+        """One fused forward pass, with isolation and crash failover."""
+        from repro.smmf.worker import WorkerCrashed
+
+        members = execution.members
+        lease = execution.lease
+        model = execution.model
+        to_admit = execution.to_admit
+        execution.to_admit = []
+        stepped_before = execution.stepped
+
+        # One executor call does ALL per-member work — the worker
+        # admit handshakes for joining requests, the fused pass, and
+        # for members with no stream to pace, completion + waiter
+        # wakeup + outcome metrics. The engine task is parked on the
+        # await, so the step thread owns the member table for the
+        # duration; the single loop thread never serializes worker
+        # locks or per-member metric writes across executions.
+        #
+        # While the batch is pure non-stream and the next cohort is
+        # immediately admittable, the thread cycles admit → step →
+        # settle in place: zero loop handoffs per round, the same
+        # inline economics as a windowed pool thread — with mid-flight
+        # admission on top. Streams (which need loop-paced delivery)
+        # and refill holds (which need an awaitable wait) hand control
+        # back to the engine task.
+        def run_step() -> None:
+            cohort = to_admit
+            stepped = stepped_before
+            while True:
+                if cohort:
+                    try:
+                        member_ids = lease.admit_many(
+                            [pending.request for pending in cohort]
+                        )
+                    except BaseException:  # replica died; requeue them
+                        execution.no_admit = True
+                        with self._lock:
+                            self._queue.extendleft(reversed(cohort))
+                            self._queue_gauge_locked()
+                        self._wake_engine()
+                        return
+                    for member_id, pending in zip(member_ids, cohort):
+                        members[member_id] = _Member(pending)
+                    if stepped:
+                        execution.admitted_in_flight += len(cohort)
+                        with self._lock:
+                            self._admitted_into_flight += len(cohort)
+                    self._observe_wait(cohort)
+                todo = [
+                    member_id
+                    for member_id in sorted(members)
+                    if not members[member_id].computed
+                ]
+                if not todo:
+                    return
+                self._count_step(model, len(todo))
+                computed = lease.step()
+                stepped = True
+                settled: list[_Member] = []
+                settled_ids: list[int] = []
+                for member_id in computed:
+                    member = members.get(member_id)
+                    if member is None:
+                        continue
+                    member.computed = True
+                    member.response = lease.response(member_id)
+                    if member.pending.stream is not None:
+                        member.chunks = chunk_text(member.response.text)
+                    elif not member.lease_done:
+                        del members[member_id]
+                        settled.append(member)
+                        settled_ids.append(member_id)
+                if settled:
+                    # Accounting first, waiter wakeups second, so a
+                    # caller that observes its response also observes
+                    # the worker's served count.
+                    lease.complete_many(settled_ids)
+                    self._count_outcome(
+                        model, "completed", count=len(settled)
+                    )
+                    for member in settled:
+                        member.pending.resolve(member.response)
+                if any(
+                    member.pending.stream is not None
+                    for member in members.values()
+                ):
+                    return
+                while True:
+                    with self._lock:
+                        execution.thread_wake.clear()
+                        cohort, refill = self._pop_compatible_locked(
+                            execution
+                        )
+                    if cohort or refill is None:
+                        break
+                    # Drained refill hold, taken inline: park this
+                    # step thread on the wake event for the remaining
+                    # window instead of handing control back to the
+                    # loop — the same zero-handoff wait the windowed
+                    # dispatcher gets from its condition variable.
+                    # The clear-then-pop above runs under the lock,
+                    # so a submit landing after the pop is never
+                    # missed: its ``_wake_engine`` sets the event.
+                    execution.thread_wake.wait(timeout=refill)
+                if not cohort:
+                    return
+
+        try:
+            await self._in_executor(run_step)
+        except LLMError as exc:
+            await self._isolate(execution, self._todo(execution), exc)
+            return
+        except WorkerCrashed:
+            await self._failover(execution, self._todo(execution))
+            return
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            for member_id in self._todo(execution):
+                member = execution.members.pop(member_id, None)
+                if member is None:
+                    continue
+                execution.lease.release(member_id)
+                self._settle_reject(member.pending, exc)
+                self._count_outcome(execution.model, "error")
+            return
+        execution.stepped = True
+
+    @staticmethod
+    def _todo(execution: _Execution) -> list[int]:
+        """Member ids a failed fused pass left uncomputed."""
+        return [
+            member_id
+            for member_id in sorted(execution.members)
+            if not execution.members[member_id].computed
+        ]
+
+    def _count_step(self, model: str, size: int) -> None:
+        registry = get_registry()
+        registry.histogram(
+            "serving_batch_size",
+            "requests per dispatched batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        ).observe(size, model=model)
+        registry.counter(
+            "serving_batches_total", "dispatched batches"
+        ).inc(model=model)
+        with self._lock:
+            self._dispatched_batches += 1
+            self._dispatched_requests += size
+
+    def _count_outcome(
+        self, model: str, outcome: str, count: int = 1
+    ) -> None:
+        get_registry().counter(
+            "serving_requests_total",
+            "scheduler admissions by outcome",
+        ).inc(count, model=model, outcome=outcome)
+
+    async def _isolate(
+        self, execution: _Execution, todo: list[int], error: LLMError
+    ) -> None:
+        """A poison prompt failed the fused pass: the step's members
+        re-dispatch individually so only the poison request fails."""
+        if len(todo) == 1:
+            member = execution.members.pop(todo[0], None)
+            if member is not None:
+                execution.lease.release(todo[0])
+                self._settle_reject(member.pending, error)
+                self._count_outcome(execution.model, "error")
+            return
+        get_registry().counter(
+            "serving_batch_isolations_total",
+            "fused batches re-dispatched per-request after a model error",
+        ).inc(model=execution.model)
+        requests = [
+            execution.members[member_id].pending.request
+            for member_id in todo
+        ]
+
+        def run_all() -> list[tuple[str, Any]]:
+            results: list[tuple[str, Any]] = []
+            for request in requests:
+                try:
+                    results.append(
+                        (
+                            "ok",
+                            self._controller.generate(
+                                execution.model, request
+                            ),
+                        )
+                    )
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    results.append(("err", exc))
+            return results
+
+        results = await self._in_executor(run_all)
+        for member_id, (kind, value) in zip(todo, results):
+            member = execution.members.get(member_id)
+            if member is None:
+                continue
+            execution.lease.release(member_id)
+            member.lease_done = True
+            if kind == "ok":
+                member.computed = True
+                member.response = value
+                if member.pending.stream is not None:
+                    member.chunks = chunk_text(value.text)
+            else:
+                self._settle_reject(member.pending, value)
+                self._count_outcome(execution.model, "error")
+                del execution.members[member_id]
+
+    async def _failover(
+        self, execution: _Execution, todo: list[int]
+    ) -> None:
+        """The replica crashed mid-run: uncomputed members move
+        wholesale to another replica through the controller's batch
+        failover; already-computed members keep draining their
+        buffered output."""
+        execution.no_admit = True
+        for member_id in todo:
+            execution.lease.release(member_id)
+            execution.members[member_id].lease_done = True
+        requests = [
+            execution.members[member_id].pending.request
+            for member_id in todo
+        ]
+        try:
+            responses = await self._in_executor(
+                self._controller.generate_batch,
+                execution.model,
+                requests,
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            for member_id in todo:
+                member = execution.members.pop(member_id, None)
+                if member is None:
+                    continue
+                self._settle_reject(member.pending, exc)
+                self._count_outcome(execution.model, "error")
+            return
+        execution.stepped = True
+        for member_id, response in zip(todo, responses):
+            member = execution.members.get(member_id)
+            if member is None:
+                continue
+            member.computed = True
+            member.response = response
+            if member.pending.stream is not None:
+                member.chunks = chunk_text(response.text)
+
+    def _reap_cancelled(self, execution: _Execution) -> None:
+        """Release members whose stream consumer walked away — the
+        mid-generation slot free the windowed scheduler could not do."""
+        for member_id, member in list(execution.members.items()):
+            stream = member.pending.stream
+            if stream is None or not stream.cancelled:
+                continue
+            if not member.lease_done:
+                execution.lease.release(member_id, cancelled=True)
+            registry = get_registry()
+            registry.counter(
+                "serving_stream_cancelled_total",
+                "streams cancelled by their consumer mid-generation",
+            ).inc(model=execution.model)
+            self._count_outcome(execution.model, "cancelled")
+            with self._lock:
+                self._cancelled += 1
+            member.pending.reject(
+                StreamCancelled("stream cancelled by consumer")
+            )
+            del execution.members[member_id]
+            stream.released.set()
+
+    def _deliver(self, execution: _Execution) -> None:
+        """Resolve computed members; push stream chunks until each
+        member's bounded buffer fills (per-stream backpressure — a
+        slow consumer pauses only its own member)."""
+        for member_id, member in list(execution.members.items()):
+            if not member.computed:
+                continue
+            stream = member.pending.stream
+            if stream is None:
+                response = self._finish_member(execution, member_id, member)
+                member.pending.resolve(response)
+                continue
+            chunks = member.chunks or []
+            while member.pos < len(chunks):
+                if not stream.offer(chunks[member.pos]):
+                    break
+                member.pos += 1
+            if member.pos >= len(chunks) and not stream.cancelled:
+                response = self._finish_member(execution, member_id, member)
+                stream.finish()
+                member.pending.resolve(response)
+                stream.released.set()
+
+    def _finish_member(
+        self, execution: _Execution, member_id: int, member: _Member
+    ) -> GenerationResponse:
+        if member.lease_done:
+            response = member.response
+        else:
+            response = execution.lease.complete(member_id)
+        self._count_outcome(execution.model, "completed")
+        del execution.members[member_id]
+        return response
+
+    def _admit_into(self, execution: _Execution) -> Optional[float]:
+        """Pull compatible queued requests into the live batch — the
+        continuous-batching admission the windowed design lacked.
+        Called by the execution's task between steps only: queue
+        surgery under the engine lock here; the per-member
+        ``lease.admit`` worker handshakes in the next step's executor
+        call (the lease is owned by this task).
+
+        Returns ``None`` normally, or a number of seconds the drained
+        execution should keep its lease while the batching window
+        accumulates a cohort (see :meth:`_pop_compatible_locked`)."""
+        with self._lock:
+            admitted, refill_wait = self._pop_compatible_locked(execution)
+        if admitted:
+            execution.to_admit.extend(admitted)
+        return refill_wait
+
+    def _pop_compatible_locked(
+        self, execution: _Execution
+    ) -> tuple[list[_Pending], Optional[float]]:
+        if execution.no_admit or self._closed:
+            return [], None
+        seats = len(execution.members) + len(execution.to_admit)
+        if seats >= self.config.max_batch_size:
+            return [], None
+        if not execution.members and not execution.to_admit:
+            # The batch fully drained, so this would *form* a batch,
+            # not extend one. Admitting a fragment immediately would
+            # bypass the batching window — but retiring costs a fresh
+            # ``start_batch`` and task spin-up. Middle path: while
+            # compatible requests are trickling in, hold the lease
+            # for the window (returning the remaining wait), then
+            # admit whatever accumulated. Retirement happens only at
+            # window expiry with nothing compatible queued, freeing
+            # the slot for other shapes.
+            window_s = self.config.batch_window_ms / 1000.0
+            if window_s > 0:
+                compatible = sum(
+                    1
+                    for pending in self._queue
+                    if shape_key(pending.model, pending.request)
+                    == execution.key
+                )
+                if compatible < self.config.max_batch_size:
+                    now = self._clock()
+                    if execution.refill_until is None:
+                        execution.refill_until = now + window_s
+                    remaining = execution.refill_until - now
+                    if remaining > 0:
+                        # Hold even on an empty queue: the members
+                        # that just settled usually resubmit within
+                        # the window, and the hold is never longer
+                        # than the formation window a fresh cohort
+                        # would pay anyway.
+                        return [], remaining
+                    if compatible == 0:
+                        return [], None
+        execution.refill_until = None
+        now = self._clock()
+        kept: deque[_Pending] = deque()
+        admitted: list[_Pending] = []
+        while self._queue:
+            pending = self._queue.popleft()
+            if (
+                pending.deadline is not None
+                and now >= pending.deadline
+            ):
+                self._expire_one_locked(pending, now)
+                continue
+            if (
+                seats + len(admitted) < self.config.max_batch_size
+                and shape_key(pending.model, pending.request)
+                == execution.key
+            ):
+                admitted.append(pending)
+            else:
+                kept.append(pending)
+        self._queue = kept
+        self._queue_gauge_locked()
+        return admitted, None
+
+    # -- expiry / shared plumbing -----------------------------------------
+
+    def _expire(self) -> None:
+        with self._lock:
+            self._expire_locked()
+
+    def _expire_locked(self) -> None:
+        if not self._queue:
+            return
+        now = self._clock()
+        survivors: deque[_Pending] = deque()
+        expired: list[_Pending] = []
+        for pending in self._queue:
+            if pending.deadline is not None and now >= pending.deadline:
+                expired.append(pending)
+            else:
+                survivors.append(pending)
+        if not expired:
+            return
+        self._queue = survivors
+        for pending in expired:
+            self._expire_one_locked(pending, now)
+        self._queue_gauge_locked()
+
+    def _expire_one_locked(self, pending: _Pending, now: float) -> None:
+        from repro.serving.scheduler import DeadlineExceeded
+
+        self._expired += 1
+        registry = get_registry()
+        registry.counter(
+            "serving_deadline_expired_total",
+            "requests expired while queued",
+        ).inc(model=pending.model)
+        registry.counter(
+            "serving_requests_total",
+            "scheduler admissions by outcome",
+        ).inc(model=pending.model, outcome="expired")
+        self._settle_reject(
+            pending,
+            DeadlineExceeded(
+                f"deadline passed after "
+                f"{now - pending.enqueued_at:.3f}s in queue"
+            ),
+        )
+
+    @staticmethod
+    def _settle_reject(pending: _Pending, error: BaseException) -> None:
+        if pending.stream is not None:
+            pending.stream.fail(error)
+        pending.reject(error)
+
+    def _retry_after_locked(self) -> float:
+        """Backoff hint mirroring the windowed heuristic: backlog
+        ahead of the caller in batch-capacity units of the pool."""
+        window_s = max(self.config.batch_window_ms / 1000.0, 0.005)
+        capacity_per_round = max(
+            1, self.config.pool_width * self.config.max_batch_size
+        )
+        backlog_rounds = 1 + len(self._queue) / capacity_per_round
+        return round(window_s * backlog_rounds, 4)
+
+    def _queue_gauge_locked(self) -> None:
+        get_registry().gauge(
+            "serving_queue_depth", "requests admitted but not dispatched"
+        ).set(len(self._queue))

@@ -1,25 +1,26 @@
-"""The SMMF micro-batching request scheduler.
+"""Shared serving vocabulary + the windowed-batching baseline.
 
-The paper's SMMF serves many simultaneous chat sessions across model
-replicas; this module is the concurrency layer in front of the worker
-pool that makes that real:
+This module holds what every scheduler implementation (and its
+clients) share — the structured error types, the batch-compatibility
+:func:`shape_key`, and the :class:`_Pending` request handle — plus
+:class:`WindowedScheduler`, the original fixed-window thread-pooled
+dispatcher. The production scheduler is the asyncio continuous-
+batching engine in :mod:`repro.serving.engine`
+(:class:`~repro.serving.engine.RequestScheduler`); the windowed
+implementation is kept as the benchmark baseline
+(``ServingConfig(mode="windowed")``) so the continuous-vs-windowed
+invariant in ``benchmarks/bench_serving_throughput.py`` measures a
+real alternative, not a strawman.
 
-- **admission queue** — a hard-capacity bound with per-request
-  deadlines. Overload sheds the newest request with a structured
-  :class:`SchedulerOverloaded` (surfaced to clients as a 429 with a
-  ``retry_after`` hint) instead of letting latency grow without bound.
-- **micro-batching dispatcher** — requests compatible on
-  ``(model, task, max_tokens)`` that arrive within the batching window
-  are coalesced into one :meth:`LanguageModel.generate_batch` call on
-  one worker; incompatible requests dispatch individually through the
-  existing balancer. Dispatches run on a bounded thread pool
-  (``pool_width``), which is what the admission queue backs up against.
-
-Everything observable: ``serving_*`` metrics (queue depth gauge, batch
-size histogram, shed/expiry counters, queue wait histogram) plus the
-``smmf.generate_batch``/``smmf.batch`` spans opened by the controller
-and worker. The clock is injectable so deadline tests are
-deterministic without sleeping.
+The windowed dispatcher in one paragraph: an **admission queue** — a
+hard-capacity bound with per-request deadlines; overload sheds the
+newest request with a structured :class:`SchedulerOverloaded`
+(surfaced as a 429 with a ``retry_after`` hint) — feeds a
+**micro-batching dispatcher**: requests compatible on
+``(model, task, max_tokens)`` that arrive within the batching window
+coalesce into one :meth:`LanguageModel.generate_batch` call on one
+worker, run from a bounded thread pool (``pool_width``). The clock is
+injectable so deadline tests are deterministic without sleeping.
 """
 
 from __future__ import annotations
@@ -61,9 +62,30 @@ class SchedulerOverloaded(SchedulerError):
 class DeadlineExceeded(SchedulerError):
     """The request's deadline passed before a worker picked it up."""
 
+    code = "deadline_exceeded"
+
 
 class SchedulerClosed(SchedulerError):
     """The scheduler was shut down while the request was queued."""
+
+    code = "scheduler_closed"
+
+
+class StreamCancelled(SchedulerError):
+    """The stream's consumer cancelled (disconnected) mid-generation.
+
+    Recorded as the pending request's terminal error when the engine
+    releases a cancelled member's slot; ``code`` is the stable
+    identifier streaming endpoints surface.
+    """
+
+    code = "client_cancelled"
+
+
+class StreamClosed(SchedulerError):
+    """The scheduler shut down while the stream was still producing."""
+
+    code = "stream_closed"
 
 
 def shape_key(model: str, request: GenerationRequest) -> tuple:
@@ -77,7 +99,15 @@ def shape_key(model: str, request: GenerationRequest) -> tuple:
 
 @dataclass
 class _Pending:
-    """One admitted request waiting for (or in) dispatch."""
+    """One admitted request waiting for (or in) dispatch.
+
+    ``done`` is the sync-facade bridge: blocking callers wait on the
+    threading event, async callers register a callback (fired exactly
+    once, on whatever thread resolves the request) that relays into
+    their own event loop. ``stream`` is set for streaming submissions;
+    ``window_until`` is the continuous engine's armed batching-window
+    deadline for the head-of-line request.
+    """
 
     model: str
     request: GenerationRequest
@@ -86,26 +116,56 @@ class _Pending:
     done: threading.Event = field(default_factory=threading.Event)
     response: Optional[GenerationResponse] = None
     error: Optional[BaseException] = None
+    stream: Optional[Any] = None
+    window_until: Optional[float] = None
+    #: Adaptive-window state (continuous engine only): hard cap on
+    #: extensions, and the compatible count seen at the last check —
+    #: the window extends while arrivals are still streaming in.
+    window_cap: float = 0.0
+    window_seen: int = 0
+    _callbacks: list = field(default_factory=list)
+    _cb_lock: threading.Lock = field(default_factory=threading.Lock)
 
     def resolve(self, response: GenerationResponse) -> None:
         self.response = response
-        self.done.set()
+        self._finish()
 
     def reject(self, error: BaseException) -> None:
         self.error = error
-        self.done.set()
+        self._finish()
+
+    def _finish(self) -> None:
+        with self._cb_lock:
+            self.done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def add_done_callback(self, callback) -> None:
+        """Invoke ``callback`` once the request settles (immediately
+        if it already has). Registration races with resolution from
+        another thread, hence the lock."""
+        with self._cb_lock:
+            if not self.done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback()
 
 
-class RequestScheduler:
-    """Admission queue + micro-batching dispatcher over a controller.
+class WindowedScheduler:
+    """Admission queue + fixed-window micro-batching dispatcher.
 
-    One dispatcher thread drains the queue one batch at a time —
-    the head-of-line request plus every queued request sharing its
-    :func:`shape_key`, up to ``max_batch_size``, waiting up to
-    ``batch_window_ms`` for stragglers — and hands each batch to a
-    bounded dispatch pool. When every pool slot is busy the dispatcher
-    stops draining, so the admission queue (and its capacity bound) is
-    the real backpressure surface.
+    The original serving scheduler, retained as the benchmark
+    baseline (``ServingConfig(mode="windowed")``). One dispatcher
+    thread drains the queue one batch at a time — the head-of-line
+    request plus every queued request sharing its :func:`shape_key`,
+    up to ``max_batch_size``, waiting up to ``batch_window_ms`` for
+    stragglers — and hands each batch to a bounded dispatch pool.
+    When every pool slot is busy the dispatcher stops draining, so
+    the admission queue (and its capacity bound) is the real
+    backpressure surface. A batch, once dispatched, is frozen: late
+    arrivals wait for the next window — exactly the head-of-line
+    latency the continuous engine removes.
 
     Threads start lazily on first :meth:`submit`; an unused scheduler
     costs nothing.
@@ -239,6 +299,7 @@ class RequestScheduler:
         with self._cond:
             batches = self._dispatched_batches
             return {
+                "mode": "windowed",
                 "queue_depth": len(self._queue),
                 "inflight_batches": self._inflight_batches,
                 "shed": self._shed,

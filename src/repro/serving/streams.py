@@ -1,0 +1,193 @@
+"""Bounded token streams bridging the serving engine to consumers.
+
+One :class:`TokenStream` is the pipe for one streaming request: the
+engine's loop thread produces chunks into a bounded buffer, and the
+consumer — a plain ``for`` loop on any thread, or an ``async for`` on
+any event loop — drains it. The bound is the backpressure contract: a
+consumer that stops reading pauses *its own* stream's delivery (the
+engine keeps the chunk cursor and retries when space frees) without
+buffering unboundedly and without stalling co-members of the batch.
+
+Cancellation flows the other way: :meth:`cancel` (called explicitly,
+or implicitly when the consuming generator is closed) marks the
+stream and wakes the engine, which releases the member's batch slot
+and worker in-flight count mid-generation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+
+class TokenStream:
+    """A bounded, thread-safe chunk pipe with one producer, one consumer.
+
+    The producer side (``offer``/``finish``/``fail``) is called only
+    from the engine's loop thread; the consumer side (``get``, the
+    iterators, ``cancel``) may run on any thread or event loop.
+    ``on_event`` is the engine's wakeup: invoked (thread-safely, by
+    the caller's choice of callable) whenever the consumer drains
+    below capacity or cancels.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        on_event: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._on_event = on_event
+        self._lock = threading.Lock()
+        self._chunks: deque[str] = deque()
+        self._done = False
+        self._cancelled = False
+        self._error: Optional[BaseException] = None
+        #: Consumer-side wake for the sync iterator.
+        self._ready = threading.Event()
+        #: Consumer-side wake for the async iterator, bound lazily to
+        #: the consuming loop on first ``__anext__``.
+        self._aready: Optional[asyncio.Event] = None
+        self._aloop: Optional[asyncio.AbstractEventLoop] = None
+        #: Set when the engine has released the member's slot — what
+        #: deterministic cancellation tests wait on.
+        self.released = threading.Event()
+
+    # -- producer side (engine loop thread) ------------------------------
+
+    def offer(self, chunk: str) -> bool:
+        """Append one chunk if the buffer has room; False when full
+        (the engine keeps its cursor and retries on the next drain
+        wake) or when the stream is already terminal."""
+        with self._lock:
+            if self._done or self._cancelled or self._error is not None:
+                return False
+            if len(self._chunks) >= self._capacity:
+                return False
+            self._chunks.append(chunk)
+        self._wake_consumer()
+        return True
+
+    def finish(self) -> None:
+        """Producer is done; buffered chunks still drain."""
+        with self._lock:
+            self._done = True
+        self._wake_consumer()
+
+    def fail(self, error: BaseException) -> None:
+        """Terminate with an error (raised to the consumer after any
+        buffered chunks)."""
+        with self._lock:
+            if self._done or self._error is not None:
+                return
+            self._error = error
+        self._wake_consumer()
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            return self._cancelled
+
+    def buffered(self) -> int:
+        with self._lock:
+            return len(self._chunks)
+
+    # -- consumer side (any thread / any loop) ---------------------------
+
+    def cancel(self) -> None:
+        """Consumer walks away: drop the buffer, wake the engine.
+
+        Idempotent, and a no-op after ``finish``/``fail`` — closing a
+        fully-drained generator is not a cancellation.
+        """
+        with self._lock:
+            if self._done or self._cancelled or self._error is not None:
+                return
+            self._cancelled = True
+            self._chunks.clear()
+        self._wake_consumer()
+        self._notify_engine()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Pop the next chunk, blocking; ``None`` means end-of-stream.
+
+        Raises the stream's error once the buffer is drained, and
+        :class:`TimeoutError` if nothing arrives within ``timeout``.
+        """
+        while True:
+            drained = False
+            with self._lock:
+                if self._chunks:
+                    chunk = self._chunks.popleft()
+                    drained = len(self._chunks) == self._capacity - 1
+                elif self._error is not None:
+                    raise self._error
+                elif self._done or self._cancelled:
+                    return None
+                else:
+                    chunk = None
+                    self._ready.clear()
+            if chunk is not None:
+                if drained:
+                    self._notify_engine()
+                return chunk
+            # staticcheck: allow LCK003 - Event is internally
+            # synchronized; blocking on it under the stream lock would
+            # deadlock the producer.
+            if not self._ready.wait(timeout):
+                raise TimeoutError("no chunk arrived in time")
+
+    def __iter__(self):
+        while True:
+            chunk = self.get()
+            if chunk is None:
+                return
+            yield chunk
+
+    def __aiter__(self):
+        return self
+
+    async def __anext__(self) -> str:
+        while True:
+            drained = False
+            with self._lock:
+                if self._aready is None:
+                    self._aready = asyncio.Event()
+                    self._aloop = asyncio.get_running_loop()
+                if self._chunks:
+                    chunk = self._chunks.popleft()
+                    drained = len(self._chunks) == self._capacity - 1
+                elif self._error is not None:
+                    raise self._error
+                elif self._done or self._cancelled:
+                    raise StopAsyncIteration
+                else:
+                    chunk = None
+                    self._aready.clear()
+            if chunk is not None:
+                if drained:
+                    self._notify_engine()
+                return chunk
+            await self._aready.wait()
+
+    # -- wakeups ---------------------------------------------------------
+
+    def _wake_consumer(self) -> None:
+        # staticcheck: allow LCK003 - Event is internally synchronized
+        # and never rebound; set() needs no stream lock.
+        self._ready.set()
+        with self._lock:
+            aready, aloop = self._aready, self._aloop
+        if aready is not None and aloop is not None:
+            try:
+                aloop.call_soon_threadsafe(aready.set)
+            except RuntimeError:
+                pass  # consumer loop already closed; nothing to wake
+
+    def _notify_engine(self) -> None:
+        if self._on_event is not None:
+            self._on_event()

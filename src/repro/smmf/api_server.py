@@ -8,9 +8,10 @@ in-process (DESIGN.md records the substitution).
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator, Optional
 
 from repro.llm.base import GenerationRequest, LLMError
 from repro.serving.scheduler import (
@@ -35,6 +36,39 @@ class ApiResponse:
 
     def json(self) -> str:
         return json.dumps(self.body)
+
+
+@dataclass
+class ApiStreamResponse:
+    """A chunked (SSE-shaped) response.
+
+    ``chunks`` is the token iterator on a 200 — a sync iterator from
+    :meth:`ApiServer.handle_stream`, an async iterator from
+    :meth:`ApiServer.ahandle_stream`. Admission failures surface as a
+    non-200 status with the same error body :class:`ApiResponse`
+    carries; mid-stream failures raise out of the iterator (the
+    connection would drop mid-transfer over real HTTP).
+    """
+
+    status: int
+    body: dict[str, Any]
+    chunks: Optional[Any] = None
+
+
+async def _drain_in_executor(chunks: Iterator[str]):
+    """Adapt a sync chunk iterator to async without blocking the loop."""
+    loop = asyncio.get_running_loop()
+    sentinel = object()
+    try:
+        while True:
+            chunk = await loop.run_in_executor(None, next, chunks, sentinel)
+            if chunk is sentinel:
+                return
+            yield chunk
+    finally:
+        close = getattr(chunks, "close", None)
+        if close is not None:
+            await loop.run_in_executor(None, close)
 
 
 class ApiServer:
@@ -65,11 +99,17 @@ class ApiServer:
             },
         )
 
-    def _generate(self, body: dict[str, Any]) -> ApiResponse:
+    @staticmethod
+    def _parse_generation(
+        body: dict[str, Any],
+    ) -> tuple[
+        Optional[tuple[str, GenerationRequest, Optional[float]]],
+        Optional[ApiResponse],
+    ]:
         model = body.get("model")
         prompt = body.get("prompt")
         if not model or prompt is None:
-            return ApiResponse(
+            return None, ApiResponse(
                 400,
                 {
                     "error": "body requires 'model' and 'prompt'",
@@ -83,22 +123,18 @@ class ApiServer:
             temperature=float(body.get("temperature", 0.0)),
             metadata=dict(body.get("metadata", {})),
         )
-        try:
-            scheduler = self.controller.scheduler
-            if scheduler is not None:
-                timeout_s = body.get("timeout_s")
-                response = scheduler.schedule(
-                    model,
-                    generation_request,
-                    timeout_s=float(timeout_s)
-                    if timeout_s is not None
-                    else None,
-                )
-            else:
-                response = self.controller.generate(
-                    model, generation_request
-                )
-        except SchedulerOverloaded as exc:
+        timeout_s = body.get("timeout_s")
+        return (
+            model,
+            generation_request,
+            float(timeout_s) if timeout_s is not None else None,
+        ), None
+
+    @staticmethod
+    def _error_response(exc: Exception) -> Optional[ApiResponse]:
+        """The one serving-error → HTTP mapping, shared by the unary
+        and streaming endpoints so codes stay identical."""
+        if isinstance(exc, SchedulerOverloaded):
             # Subclasses (tenant throttling) carry their own stable code.
             return ApiResponse(
                 429,
@@ -108,20 +144,44 @@ class ApiServer:
                     "retry_after": exc.retry_after,
                 },
             )
-        except DeadlineExceeded as exc:
+        if isinstance(exc, DeadlineExceeded):
             return ApiResponse(
                 504, {"error": str(exc), "code": "deadline_exceeded"}
             )
-        except SchedulerClosed as exc:
+        if isinstance(exc, SchedulerClosed):
             return ApiResponse(
                 503, {"error": str(exc), "code": "scheduler_closed"}
             )
-        except SmmfError as exc:
+        if isinstance(exc, SmmfError):
             return ApiResponse(
                 503, {"error": str(exc), "code": "smmf_unavailable"}
             )
-        except LLMError as exc:
-            return ApiResponse(422, {"error": str(exc), "code": "llm_error"})
+        if isinstance(exc, LLMError):
+            return ApiResponse(
+                422, {"error": str(exc), "code": "llm_error"}
+            )
+        return None
+
+    def _generate(self, body: dict[str, Any]) -> ApiResponse:
+        parsed, error = self._parse_generation(body)
+        if error is not None:
+            return error
+        model, generation_request, timeout_s = parsed
+        try:
+            scheduler = self.controller.scheduler
+            if scheduler is not None:
+                response = scheduler.schedule(
+                    model, generation_request, timeout_s=timeout_s
+                )
+            else:
+                response = self.controller.generate(
+                    model, generation_request
+                )
+        except Exception as exc:
+            mapped = self._error_response(exc)
+            if mapped is None:
+                raise
+            return mapped
         body = {
             "text": response.text,
             "model": response.model,
@@ -137,6 +197,82 @@ class ApiServer:
         if response.degraded:
             body["degraded"] = True
         return ApiResponse(200, body)
+
+    def handle_stream(self, request: ApiRequest) -> ApiStreamResponse:
+        """``POST /v1/generate/stream``: token streaming.
+
+        With the continuous engine mounted the stream rides the
+        engine's bounded per-request :class:`TokenStream` (end-to-end
+        backpressure; closing the returned iterator cancels the member
+        mid-generation). Otherwise it falls back to the controller's
+        direct streaming path.
+        """
+        route = (request.method.upper(), request.path)
+        if route != ("POST", "/v1/generate/stream"):
+            return ApiStreamResponse(
+                404,
+                {
+                    "error": f"no stream route {request.method} "
+                    f"{request.path}",
+                    "code": "route_not_found",
+                },
+            )
+        parsed, error = self._parse_generation(request.body)
+        if error is not None:
+            return ApiStreamResponse(error.status, error.body)
+        model, generation_request, timeout_s = parsed
+        scheduler = self.controller.scheduler
+        try:
+            if scheduler is not None and hasattr(scheduler, "stream"):
+                chunks = scheduler.stream(
+                    model, generation_request, timeout_s=timeout_s
+                )
+            else:
+                chunks = self.controller.stream(model, generation_request)
+        except Exception as exc:
+            mapped = self._error_response(exc)
+            if mapped is None:
+                raise
+            return ApiStreamResponse(mapped.status, mapped.body)
+        return ApiStreamResponse(200, {}, chunks=chunks)
+
+    async def ahandle_stream(self, request: ApiRequest) -> ApiStreamResponse:
+        """Async ``POST /v1/generate/stream``: ``chunks`` is an async
+        iterator. With the continuous engine this is async end-to-end
+        (admission in the caller's task, chunks awaited off the
+        engine's loop); the fallback drains the sync stream through
+        the default executor one chunk at a time."""
+        route = (request.method.upper(), request.path)
+        if route != ("POST", "/v1/generate/stream"):
+            return ApiStreamResponse(
+                404,
+                {
+                    "error": f"no stream route {request.method} "
+                    f"{request.path}",
+                    "code": "route_not_found",
+                },
+            )
+        parsed, error = self._parse_generation(request.body)
+        if error is not None:
+            return ApiStreamResponse(error.status, error.body)
+        model, generation_request, timeout_s = parsed
+        scheduler = self.controller.scheduler
+        try:
+            if scheduler is not None and hasattr(scheduler, "astream"):
+                chunks = scheduler.astream(
+                    model, generation_request, timeout_s=timeout_s
+                )
+            else:
+                sync_chunks = self.controller.stream(
+                    model, generation_request
+                )
+                chunks = _drain_in_executor(sync_chunks)
+        except Exception as exc:
+            mapped = self._error_response(exc)
+            if mapped is None:
+                raise
+            return ApiStreamResponse(mapped.status, mapped.body)
+        return ApiStreamResponse(200, {}, chunks=chunks)
 
     def _serving(self) -> ApiResponse:
         scheduler = self.controller.scheduler

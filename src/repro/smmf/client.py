@@ -21,10 +21,19 @@ from typing import Any, Callable, Optional
 
 from repro.cache.keys import inference_key, instance_token, normalize_prompt
 from repro.cache.manager import get_cache_manager
+from repro.llm.base import LLMError
 from repro.obs.metrics import get_registry
 from repro.resilience.config import ResilienceConfig
 from repro.resilience.retry import RetryPolicy
+from repro.serving.scheduler import (
+    DeadlineExceeded,
+    SchedulerClosed,
+    SchedulerOverloaded,
+    StreamCancelled,
+    StreamClosed,
+)
 from repro.smmf.api_server import ApiRequest, ApiServer
+from repro.smmf.controller import SmmfError
 from repro.tenancy.context import current_tenant
 
 #: Statuses worth retrying: 429 is scheduler backpressure (comes with
@@ -39,6 +48,33 @@ def _classify_client_error(
     if isinstance(exc, ClientError) and exc.status in _TRANSIENT_STATUSES:
         return True, exc.retry_after
     return False, None
+
+
+def _stream_client_error(exc: BaseException) -> Optional["ClientError"]:
+    """Map a mid-stream serving failure to the same structured
+    :class:`ClientError` the unary endpoint would raise, so callers
+    branch on ``code``/``retry_after`` identically for both shapes."""
+    if isinstance(exc, SchedulerOverloaded):
+        return ClientError(
+            429,
+            str(exc),
+            retry_after=exc.retry_after,
+            code=getattr(exc, "code", "scheduler_overloaded"),
+        )
+    if isinstance(exc, DeadlineExceeded):
+        return ClientError(504, str(exc), code="deadline_exceeded")
+    if isinstance(exc, StreamCancelled):
+        # 499: the nginx convention for "client closed the request".
+        return ClientError(499, str(exc), code="client_cancelled")
+    if isinstance(exc, StreamClosed):
+        return ClientError(503, str(exc), code="stream_closed")
+    if isinstance(exc, SchedulerClosed):
+        return ClientError(503, str(exc), code="scheduler_closed")
+    if isinstance(exc, SmmfError):
+        return ClientError(503, str(exc), code="smmf_unavailable")
+    if isinstance(exc, LLMError):
+        return ClientError(422, str(exc), code="llm_error")
+    return None
 
 
 class ClientError(Exception):
@@ -280,6 +316,122 @@ class LLMClient:
                 )
             )
         )
+
+    def stream(
+        self,
+        model: str,
+        prompt: str,
+        task: Optional[str] = None,
+        max_tokens: int = 512,
+        metadata: Optional[dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        """Stream chunks of a response as they are generated.
+
+        Streams bypass the inference cache (a partial transcript is
+        not a cacheable answer). Closing the returned generator — or
+        just breaking out of the ``for`` — cancels the request: with
+        the continuous engine its batch slot and worker in-flight
+        count free mid-generation. Admission and mid-stream failures
+        both raise :class:`ClientError` with the same codes as
+        :meth:`generate`, plus ``stream_closed`` (server shut down
+        mid-stream) and ``client_cancelled``.
+        """
+        result = self._server.handle_stream(
+            ApiRequest(
+                "POST",
+                "/v1/generate/stream",
+                self._stream_body(
+                    model, prompt, task, max_tokens, metadata, timeout_s
+                ),
+            )
+        )
+        if result.status != 200:
+            raise ClientError(
+                result.status,
+                result.body.get("error", "unknown error"),
+                retry_after=result.body.get("retry_after"),
+                code=result.body.get("code"),
+            )
+        return self._relay_chunks(result.chunks)
+
+    async def astream(
+        self,
+        model: str,
+        prompt: str,
+        task: Optional[str] = None,
+        max_tokens: int = 512,
+        metadata: Optional[dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        """Async :meth:`stream`: an async generator of chunks.
+
+        With the continuous engine this is async end-to-end — no
+        thread is parked per stream; chunks are awaited straight off
+        the engine's bounded per-stream buffer.
+        """
+        result = await self._server.ahandle_stream(
+            ApiRequest(
+                "POST",
+                "/v1/generate/stream",
+                self._stream_body(
+                    model, prompt, task, max_tokens, metadata, timeout_s
+                ),
+            )
+        )
+        if result.status != 200:
+            raise ClientError(
+                result.status,
+                result.body.get("error", "unknown error"),
+                retry_after=result.body.get("retry_after"),
+                code=result.body.get("code"),
+            )
+        try:
+            async for chunk in result.chunks:
+                yield chunk
+        except BaseException as exc:
+            mapped = _stream_client_error(exc)
+            if mapped is None:
+                raise
+            raise mapped from exc
+        finally:
+            aclose = getattr(result.chunks, "aclose", None)
+            if aclose is not None:
+                await aclose()
+
+    @staticmethod
+    def _stream_body(
+        model: str,
+        prompt: str,
+        task: Optional[str],
+        max_tokens: int,
+        metadata: Optional[dict[str, Any]],
+        timeout_s: Optional[float],
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "model": model,
+            "prompt": prompt,
+            "task": task,
+            "max_tokens": max_tokens,
+            "metadata": metadata or {},
+        }
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return body
+
+    @staticmethod
+    def _relay_chunks(chunks):
+        try:
+            yield from chunks
+        except BaseException as exc:
+            mapped = _stream_client_error(exc)
+            if mapped is None:
+                raise
+            raise mapped from exc
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
 
     def _generate_uncached(
         self,

@@ -17,7 +17,7 @@ from repro.resilience.retry import RetryPolicy
 from repro.smmf.balancer import LoadBalancer, RoundRobinBalancer
 from repro.smmf.metrics import MetricsCollector
 from repro.smmf.registry import ModelRegistry, WorkerRecord
-from repro.smmf.worker import ModelWorker, WorkerCrashed
+from repro.smmf.worker import ModelWorker, WorkerCrashed, WorkerExecution
 
 
 class SmmfError(Exception):
@@ -398,6 +398,44 @@ class ModelController:
         self.advance_clock(latency / 1000.0)
         return responses
 
+    def start_batch(
+        self, model_name: str, requests: list[GenerationRequest]
+    ) -> "ExecutionLease":
+        """Open a continuous-batching execution on one replica.
+
+        Routing and failover mirror :meth:`generate_batch`: the whole
+        just-formed batch retries on another replica if the chosen
+        worker crashes at start (no model call happened yet), and an
+        exhausted model degrades to the configured fallback. What
+        comes back is a lease the serving engine steps: forward
+        passes, mid-run admissions, and per-member completion all run
+        against the leased replica.
+        """
+        if not requests:
+            raise ValueError("cannot start an empty execution")
+        with get_tracer().span(
+            "smmf.start_batch",
+            model=model_name,
+            batch_size=len(requests),
+        ) as span:
+            try:
+                wexec, record, retries, degraded = self._route(
+                    model_name,
+                    lambda rec: rec.worker.start_batch(requests),
+                )
+            except _AllReplicasFailed as exc:
+                for _request in requests:
+                    self.metrics.record_failure(model_name)
+                raise self._exhausted_error(
+                    model_name, exc.last_error, batch=len(requests)
+                )
+            span.set_attributes(
+                worker=record.worker.worker_id,
+                retries=retries,
+                degraded=degraded,
+            )
+        return ExecutionLease(self, model_name, wexec, record, degraded)
+
     def stream(self, model_name: str, request: GenerationRequest):
         """Streaming inference with the same failover as generate().
 
@@ -458,3 +496,112 @@ class ModelController:
             f"all replicas of {model_name!r} failed "
             f"(last error: {last_error})"
         )
+
+
+class ExecutionLease:
+    """A continuous-batching execution leased from one replica.
+
+    Bridges the serving engine to the controller's accounting: each
+    :meth:`step` charges one replica latency window to the logical
+    clock (a fused pass occupies the replica exactly like a windowed
+    batch did) and feeds the circuit breakers; :meth:`complete`
+    records per-member success metrics; a :class:`WorkerCrashed` from
+    a step is recorded as a worker failure before propagating, so the
+    engine's failover re-dispatch routes around the dead replica.
+    """
+
+    def __init__(
+        self,
+        controller: ModelController,
+        model_name: str,
+        wexec: WorkerExecution,
+        record: WorkerRecord,
+        degraded: bool,
+    ) -> None:
+        self._controller = controller
+        self.model_name = model_name
+        self._wexec = wexec
+        self.record = record
+        self.degraded = degraded
+
+    @property
+    def worker_id(self) -> str:
+        return self.record.worker.worker_id
+
+    def admit(self, request: GenerationRequest) -> int:
+        return self._wexec.admit(request)
+
+    def admit_many(self, requests: list[GenerationRequest]) -> list[int]:
+        """Batched :meth:`admit`: one worker handshake for a cohort
+        joining the live batch between steps."""
+        return self._wexec.admit_many(requests)
+
+    def pending(self) -> list[int]:
+        return self._wexec.pending()
+
+    def step(self) -> list[int]:
+        """One fused forward pass; returns the member ids computed.
+
+        :class:`LLMError` (poison prompt) leaves the members pending
+        for the engine's per-request isolation and is *not* a worker
+        failure; :class:`WorkerCrashed` is recorded against the
+        replica before re-raising.
+        """
+        try:
+            computed = self._wexec.step()
+        except WorkerCrashed:
+            self._controller._record_worker_failure(self.record)
+            raise
+        except LLMError:
+            self._controller._record_worker_success(self.record)
+            self._controller.metrics.record_failure(self.model_name)
+            raise
+        self._controller._record_worker_success(self.record)
+        if computed:
+            latency = float(self.record.metadata.get("latency_ms", 0.0))
+            # One fused pass occupies the replica for one latency
+            # window — the same clock charge a windowed batch made.
+            self._controller.advance_clock(latency / 1000.0)
+        return computed
+
+    def response(self, member: int) -> GenerationResponse:
+        response = self._wexec.response(member)
+        if self.degraded and not response.degraded:
+            response = replace(response, degraded=True)
+        return response
+
+    def complete(self, member: int) -> GenerationResponse:
+        """Member delivered: worker ``served`` + success metrics."""
+        response = self.response(member)
+        self._wexec.complete(member)
+        self._controller.metrics.record_success(
+            model=self.model_name,
+            worker_id=self.worker_id,
+            latency_ms=float(self.record.metadata.get("latency_ms", 0.0)),
+            prompt_tokens=response.prompt_tokens,
+            completion_tokens=response.completion_tokens,
+            retries=0,
+        )
+        return response
+
+    def complete_many(self, members: list[int]) -> None:
+        """Batched :meth:`complete`: one worker accounting update for
+        members delivered in the same step, then per-member success
+        metrics (the per-request ledger the windowed path kept)."""
+        self._wexec.complete_many(members)
+        latency = float(self.record.metadata.get("latency_ms", 0.0))
+        for member in members:
+            response = self.response(member)
+            self._controller.metrics.record_success(
+                model=self.model_name,
+                worker_id=self.worker_id,
+                latency_ms=latency,
+                prompt_tokens=response.prompt_tokens,
+                completion_tokens=response.completion_tokens,
+                retries=0,
+            )
+
+    def release(self, member: int, *, cancelled: bool = False) -> None:
+        """Member leaves unserved (cancelled / isolated / failed
+        over); frees its worker slot immediately."""
+        self._wexec.release(member, cancelled=cancelled)

@@ -6,7 +6,8 @@ from typing import Iterable, Optional
 
 from repro.resilience.config import ResilienceConfig
 from repro.serving.config import ServingConfig
-from repro.serving.scheduler import RequestScheduler
+from repro.serving.engine import RequestScheduler
+from repro.serving.scheduler import WindowedScheduler
 from repro.smmf.api_server import ApiServer
 from repro.smmf.balancer import LoadBalancer
 from repro.smmf.client import LLMClient
@@ -49,6 +50,9 @@ def deploy(
             worker = ModelWorker(model, latency_ms=spec.latency_ms)
             controller.register_worker(worker, latency_ms=spec.latency_ms)
     if serving is not None and serving.enabled:
-        controller.scheduler = RequestScheduler(controller, serving)
+        if serving.mode == "windowed":
+            controller.scheduler = WindowedScheduler(controller, serving)
+        else:
+            controller.scheduler = RequestScheduler(controller, serving)
     server = ApiServer(controller)
     return controller, LLMClient(server, resilience=resilience)

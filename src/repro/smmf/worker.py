@@ -57,6 +57,9 @@ class ModelWorker:
         self.failed = 0
         #: Streams whose consumer walked away before exhaustion.
         self.abandoned_streams = 0
+        #: Streams cancelled mid-generation through the continuous
+        #: engine (slot released before the response finished).
+        self.cancelled_streams = 0
         self.alive = True
         #: When > 0, the next N requests crash (failure injection).
         self.fail_next = 0
@@ -82,6 +85,7 @@ class ModelWorker:
                 "served": self.served,
                 "failed": self.failed,
                 "abandoned_streams": self.abandoned_streams,
+                "cancelled_streams": self.cancelled_streams,
                 "alive": self.alive,
             }
 
@@ -172,6 +176,24 @@ class ModelWorker:
             self._end(len(requests), served=served)
         return responses
 
+    def start_batch(self, requests: list[GenerationRequest]):
+        """Open a continuous-batching execution on this replica.
+
+        Liveness/failure-injection checks run *before* the model sees
+        anything (so the whole just-formed batch fails over without a
+        partial model call), and every member is charged to
+        ``inflight`` until :class:`WorkerExecution` individually ends
+        it — completed, cancelled, or abandoned to isolation.
+        """
+        self._check_up(amount=len(requests))
+        self._begin(len(requests))
+        try:
+            execution = self.model.start_batch(list(requests))
+        except BaseException:
+            self._end(len(requests))
+            raise
+        return WorkerExecution(self, execution)
+
     def handle_stream(self, request: GenerationRequest):
         """Streaming inference: returns a generator of chunks.
 
@@ -258,3 +280,118 @@ class ModelWorker:
             f"ModelWorker({self.worker_id}, model={self.model.name!r}, "
             f"{state})"
         )
+
+
+class WorkerExecution:
+    """One live continuous batch on one worker: steps + accounting.
+
+    Wraps the model-side :class:`repro.llm.base.BatchExecution` with
+    the worker's in-flight/served bookkeeping. Members are charged to
+    the worker at admission and individually released — ``complete``
+    counts ``served``, ``release`` does not (cancellation, isolation,
+    crash failover). Calls are serialized by the owning engine task;
+    the worker's own counters stay lock-guarded as everywhere else.
+    """
+
+    def __init__(self, worker: ModelWorker, execution) -> None:
+        self._worker = worker
+        self.execution = execution
+
+    @property
+    def worker(self) -> ModelWorker:
+        return self._worker
+
+    def admit(self, request: GenerationRequest) -> int:
+        """Add one member mid-run; raises :class:`WorkerCrashed` if
+        the replica died (the engine leaves the request queued for a
+        fresh execution)."""
+        self._worker._check_up()
+        self._worker._begin()
+        try:
+            return self.execution.admit(request)
+        except BaseException:
+            self._worker._end()
+            raise
+
+    def admit_many(self, requests: list[GenerationRequest]) -> list[int]:
+        """Batched :meth:`admit`: one liveness check and one in-flight
+        charge for the whole group — the engine admits a cohort
+        between steps without paying per-member lock and gauge
+        traffic. All-or-nothing, like :meth:`start_batch`."""
+        if not requests:
+            return []
+        self._worker._check_up(amount=len(requests))
+        self._worker._begin(len(requests))
+        members: list[int] = []
+        try:
+            for request in requests:
+                members.append(self.execution.admit(request))
+        except BaseException:
+            for member in members:
+                self.execution.cancel(member)
+            self._worker._end(len(requests))
+            raise
+        return members
+
+    def pending(self) -> list[int]:
+        return self.execution.pending()
+
+    def step(self) -> list[int]:
+        """One fused forward pass over every pending member.
+
+        The liveness check runs first — a worker killed (or
+        crash-injected) mid-run crashes the *step*, and the engine
+        fails the uncomputed members over to another replica; members
+        already computed keep streaming their buffered output.
+        """
+        todo = self.execution.pending()
+        if not todo:
+            return []
+        self._worker._check_up(amount=len(todo))
+        with get_tracer().span(
+            "smmf.batch",
+            worker=self._worker.worker_id,
+            model=self._worker.model.name,
+            continuous=True,
+        ) as span:
+            span.set_attribute("batch.size", len(todo))
+            span.set_attribute("cache.hit", False)
+            computed = self.execution.step()
+            span.set_attributes(
+                prompt_tokens=sum(
+                    self.execution.response(m).prompt_tokens
+                    for m in computed
+                ),
+                completion_tokens=sum(
+                    self.execution.response(m).completion_tokens
+                    for m in computed
+                ),
+            )
+        return computed
+
+    def response(self, member: int) -> GenerationResponse:
+        return self.execution.response(member)
+
+    def complete(self, member: int) -> None:
+        """Member delivered its response: count it served."""
+        self._worker._end(served=1)
+
+    def complete_many(self, members: list[int]) -> None:
+        """Batched :meth:`complete`: one accounting update for a
+        group of members delivered in the same step."""
+        if members:
+            self._worker._end(len(members), served=len(members))
+
+    def release(self, member: int, *, cancelled: bool = False) -> None:
+        """Member leaves without a served response — cancelled by its
+        consumer, handed to per-request isolation, or failed over
+        after a crash. Frees the worker in-flight slot immediately
+        (mid-generation for cancellations)."""
+        self.execution.cancel(member)
+        self._worker._end(served=0)
+        if cancelled:
+            with self._worker._lock:
+                self._worker.cancelled_streams += 1
+            _stream_counter().inc(
+                worker=self._worker.worker_id, outcome="cancelled"
+            )

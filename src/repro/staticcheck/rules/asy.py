@@ -12,6 +12,13 @@ every concurrently scheduled task.
 - **ASY002** unbounded-queue-get-in-async: ``<queue>.get()`` /
   ``<queue>.get_nowait``-less waits with no ``timeout=`` inside
   ``async def`` — an empty queue parks the loop forever.
+- **ASY003** blocking-sync-primitive-in-async: a non-awaited
+  ``.wait()`` (``threading.Condition``/``Event``), an argument-less
+  ``.join()`` (threads/processes; ``str.join`` takes an argument and
+  is exempt), or a blocking ``<queue>.put()`` inside ``async def``.
+  ``await``-ed calls are fine — that is how asyncio's own primitives
+  are used — including anywhere under an ``await`` expression
+  (``await asyncio.wait_for(event.wait(), ...)``).
 
 Nested non-async ``def`` bodies are skipped: they run wherever the
 caller runs them (usually an executor thread), not on the loop.
@@ -85,8 +92,19 @@ def _receiver_text(node: ast.expr, module: SourceModule) -> str:
     return (module.dotted_name(node) or "").lower()
 
 
+def _awaited_nodes(tree: ast.Module) -> set[int]:
+    """ids of every AST node that sits under an ``await`` expression."""
+    ids: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Await):
+            for sub in ast.walk(node.value):
+                ids.add(id(sub))
+    return ids
+
+
 def _module_findings(module: SourceModule) -> Iterable[Finding]:
     seen: set[int] = set()
+    awaited = _awaited_nodes(module.tree)
     for node, owner in _async_statements(module.tree):
         if not isinstance(node, ast.Call) or node.lineno in seen:
             continue
@@ -128,6 +146,52 @@ def _module_findings(module: SourceModule) -> Iterable[Finding]:
             )
             continue
         if (
+            attr in ("wait", "join")
+            and id(node) not in awaited
+            and not (attr == "join" and node.args)
+        ):
+            seen.add(node.lineno)
+            primitive = (
+                "Condition/Event .wait()"
+                if attr == "wait"
+                else "thread/process .join()"
+            )
+            yield Finding(
+                diagnostic(
+                    "ASY003",
+                    f"non-awaited {primitive} blocks the event loop "
+                    f"inside async def {owner}",
+                    source="static",
+                    subject=f".{attr}",
+                    hint="await an asyncio primitive, or off-load via "
+                    "loop.run_in_executor",
+                ),
+                module.rel,
+                node.lineno,
+            )
+            continue
+        if (
+            attr == "put"
+            and "queue" in _receiver_text(node.func.value, module)
+            and not _has_keyword(node, "timeout")
+            and not _keyword_is_false(node, "block")
+        ):
+            seen.add(node.lineno)
+            yield Finding(
+                diagnostic(
+                    "ASY003",
+                    f"blocking queue .put() inside async def {owner} "
+                    f"parks the event loop when the queue is full",
+                    source="static",
+                    subject=module.dotted_name(node.func) or ".put",
+                    hint="pass block=False or timeout= and handle "
+                    "queue.Full, or use an asyncio.Queue",
+                ),
+                module.rel,
+                node.lineno,
+            )
+            continue
+        if (
             attr == "get"
             and "queue" in _receiver_text(node.func.value, module)
             and not _has_keyword(node, "timeout")
@@ -148,7 +212,7 @@ def _module_findings(module: SourceModule) -> Iterable[Finding]:
             )
 
 
-@register("ASY", "async hygiene", ("ASY001", "ASY002"))
+@register("ASY", "async hygiene", ("ASY001", "ASY002", "ASY003"))
 def check(project: Project) -> Iterable[Finding]:
     for module in project:
         yield from _module_findings(module)

@@ -33,6 +33,7 @@ class TestWorkerStatsSnapshot:
             "served": 1,
             "failed": 1,
             "abandoned_streams": 0,
+            "cancelled_streams": 0,
             "alive": True,
         }
 

@@ -90,3 +90,90 @@ class TestAsy002QueueGet:
             return self._mapping.get(key)
         """
         assert analyze(source, {"ASY"}) == []
+
+
+class TestAsy003SyncPrimitives:
+    def test_condition_wait_flagged(self):
+        source = """\
+        async def run(self):
+            self._cond.wait()
+        """
+        assert codes(analyze(source, {"ASY"})) == ["ASY003"]
+
+    def test_event_wait_with_timeout_still_flagged(self):
+        # threading.Event.wait(timeout) parks the loop for the whole
+        # timeout; only awaiting is loop-safe.
+        source = """\
+        async def run(self):
+            self._ready.wait(0.5)
+        """
+        assert codes(analyze(source, {"ASY"})) == ["ASY003"]
+
+    def test_awaited_wait_clean(self):
+        source = """\
+        async def run(self):
+            await self._event.wait()
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_wait_under_wait_for_clean(self):
+        # The call is not the direct await operand, but it is inside
+        # the awaited expression — asyncio.wait_for(event.wait(), ...)
+        # is the canonical timed wait.
+        source = """\
+        import asyncio
+
+        async def run(self):
+            await asyncio.wait_for(self._kick.wait(), timeout=1.0)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_thread_join_flagged(self):
+        source = """\
+        async def run(self):
+            self._thread.join()
+        """
+        assert codes(analyze(source, {"ASY"})) == ["ASY003"]
+
+    def test_str_join_clean(self):
+        source = """\
+        async def render(self, parts):
+            return ", ".join(parts)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_blocking_queue_put_flagged(self):
+        source = """\
+        async def push(self, item):
+            self._queue.put(item)
+        """
+        assert codes(analyze(source, {"ASY"})) == ["ASY003"]
+
+    def test_nonblocking_queue_put_clean(self):
+        source = """\
+        async def push(self, item):
+            self._queue.put(item, block=False)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_queue_put_with_timeout_clean(self):
+        source = """\
+        async def push(self, item):
+            self._queue.put(item, timeout=0.5)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_list_append_not_flagged(self):
+        source = """\
+        async def push(self, item):
+            self._items.put(item)
+        """
+        assert analyze(source, {"ASY"}) == []
+
+    def test_sync_def_exempt(self):
+        source = """\
+        def run(self):
+            self._cond.wait()
+            self._thread.join()
+        """
+        assert analyze(source, {"ASY"}) == []
