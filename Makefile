@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint staticcheck staticcheck-baseline bench bench-cache bench-serving bench-resilience bench-sqlengine bench-multitenant verify docs-check trace-demo
+.PHONY: test lint staticcheck staticcheck-baseline bench bench-cache bench-serving bench-resilience bench-sqlengine bench-multitenant bench-agents verify docs-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +47,11 @@ bench-sqlengine:
 bench-multitenant:
 	$(PYTHON) -m pytest benchmarks/bench_multitenant.py -q
 
+# Multi-hop agent plan completion under 20% sql-coder flapping,
+# resilience on vs off; writes BENCH_agents.json.
+bench-agents:
+	$(PYTHON) -m pytest benchmarks/bench_agents.py -q
+
 # Validate that every relative link in the documentation resolves.
 docs-check:
 	$(PYTHON) -m repro.doccheck README.md docs
@@ -57,6 +62,6 @@ trace-demo:
 
 # The repo self-check: static analysis over the examples and the
 # source tree itself, doc link integrity, one traced end-to-end
-# request, tier-1, then the cache, serving, resilience, sql engine
-# and multi-tenant isolation smokes.
-verify: lint staticcheck docs-check trace-demo test bench-cache bench-serving bench-resilience bench-sqlengine bench-multitenant
+# request, tier-1, then the cache, serving, resilience, sql engine,
+# multi-tenant isolation and agent-plan chaos smokes.
+verify: lint staticcheck docs-check trace-demo test bench-cache bench-serving bench-resilience bench-sqlengine bench-multitenant bench-agents

@@ -13,6 +13,7 @@ from repro.agents.actions import Action, ActionResult, ChartAction, SqlAction
 from repro.agents.awel_integration import (
     AgentOperator,
     build_analysis_dag,
+    compile_plan_dag,
     run_analysis_workflow,
 )
 from repro.agents.base import Agent, AgentError, ConversableAgent
@@ -27,7 +28,11 @@ from repro.agents.memory import AgentMemory
 from repro.agents.messages import AgentMessage
 from repro.agents.planner import Plan, PlannerAgent, PlanStep
 from repro.agents.registry import AgentRegistry
-from repro.agents.team import AnalysisReport, DataAnalysisTeam
+from repro.agents.team import (
+    AnalysisReport,
+    DataAnalysisTeam,
+    new_conversation_id,
+)
 
 __all__ = [
     "Action",
@@ -41,6 +46,8 @@ __all__ = [
     "ForecastAgent",
     "SeasonalForecaster",
     "build_analysis_dag",
+    "compile_plan_dag",
+    "new_conversation_id",
     "run_analysis_workflow",
     "AggregatorAgent",
     "AnalysisReport",

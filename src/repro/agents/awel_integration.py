@@ -12,18 +12,33 @@ explicit DAG — the declarative alternative to the imperative
 :func:`run_analysis_workflow` executes it. Chart agents run as
 independent DAG branches, so they execute concurrently under the async
 runner.
+
+:func:`compile_plan_dag` goes further (ROADMAP item 3): it compiles the
+*planner's output* — a concrete :class:`~repro.agents.planner.Plan` —
+into an executable DAG whose chart steps are operator chains
+``schema-link → sqlgen → execute → viz`` feeding a shared
+``collect → aggregate → narrative → report`` tail. The LLM-bound stages
+(``sqlgen``, ``narrative``) await :meth:`ConversableAgent.aask_llm`, so
+concurrent step chains (and concurrent teams) submit to the serving
+scheduler together and share continuous batches instead of queueing
+behind one another.
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextvars
+import copy
+import functools
+import itertools
 import json
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.agents.base import AgentError, ConversableAgent
 from repro.agents.data_agents import AggregatorAgent, ChartAgent
 from repro.agents.memory import AgentMemory
 from repro.agents.messages import AgentMessage
-from repro.agents.planner import PlannerAgent
+from repro.agents.planner import Plan, PlannerAgent, PlanStep
 from repro.awel.dag import DAG, DAGContext
 from repro.awel.operators import (
     InputOperator,
@@ -33,6 +48,9 @@ from repro.awel.operators import (
 )
 from repro.awel.runner import WorkflowRunner
 from repro.datasources.base import DataSource
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.smmf.client import ClientError
 from repro.viz.dashboard import Dashboard
 from repro.viz.spec import ChartSpec
 
@@ -79,7 +97,7 @@ class AgentOperator(Operator):
             metadata=metadata,
         )
         self.agent.memory.append(message)
-        reply = self.agent.receive(message)
+        reply = await self.agent.areceive(message)
         self.agent.memory.append(reply)
         return reply
 
@@ -192,3 +210,409 @@ def run_analysis_workflow(
     )
     ctx = WorkflowRunner(dag).run(goal)
     return ctx.results["dashboard"]
+
+
+# ---------------------------------------------------------------------------
+# Plan compilation (ROADMAP item 3): planner output -> executable DAG.
+# ---------------------------------------------------------------------------
+
+
+class PlanStageOperator(Operator):
+    """Base for compiled-plan stages.
+
+    Each stage execution runs inside an ``agent.step`` span (child of
+    the team's ``agent.plan`` root) carrying the plan step number, the
+    stage name and the executing agent, and is counted in
+    ``agent_stage_runs_total``.
+    """
+
+    stage = "stage"
+
+    def __init__(
+        self,
+        agent: ConversableAgent,
+        step_no: int,
+        conversation_id: str,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.agent = agent
+        self.step_no = step_no
+        self.conversation_id = conversation_id
+
+    async def execute(self, ctx: DAGContext, inputs: list[Any]) -> Any:
+        ctx.tick(self.cost)
+        with get_tracer().span(
+            "agent.step",
+            step=self.step_no,
+            stage=self.stage,
+            agent=self.agent.name,
+        ):
+            result = await self.run_stage(ctx, inputs)
+        get_registry().counter(
+            "agent_stage_runs_total",
+            "compiled-plan stage executions by stage and agent",
+        ).inc(stage=self.stage, agent=self.agent.name)
+        return result
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> Any:
+        raise NotImplementedError
+
+    def _archive_reply(self, state: dict, reply: AgentMessage) -> dict:
+        self.agent.memory.append(reply)
+        state["reply"] = reply
+        return state
+
+    async def _offload(self, fn, *args):
+        """Run blocking work on the executor with the span context."""
+        loop = asyncio.get_running_loop()
+        call = functools.partial(fn, *args)
+        return await loop.run_in_executor(
+            None, contextvars.copy_context().run, call
+        )
+
+
+class SchemaLinkOperator(PlanStageOperator):
+    """Stage 1 of a chart step: archive the request, link the schema.
+
+    Replicates :meth:`ConversableAgent.receive` semantics: the archive
+    is consulted first, and a recalled answer short-circuits the whole
+    chain (the remaining stages pass the reply through untouched).
+    """
+
+    stage = "schema-link"
+
+    def __init__(
+        self,
+        agent: ChartAgent,
+        step: PlanStep,
+        conversation_id: str,
+        round_index: int,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(agent, step.step, conversation_id, **kwargs)
+        self.step = step
+        self.round_index = round_index
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> dict:
+        step = self.step
+        request = AgentMessage(
+            sender="user",
+            recipient=self.agent.name,
+            content=(
+                f"produce the chart for step {step.step}: "
+                f"{step.description}"
+            ),
+            conversation_id=self.conversation_id,
+            round=self.round_index,
+            metadata=copy.deepcopy(step.params),
+        )
+        self.agent.memory.append(request)
+        state: dict = {"step": step.step, "request": request, "reply": None}
+        if self.agent.use_recall:
+            recalled = self.agent.memory.recall_similar(
+                request.content, sender=self.agent.name
+            )
+            if recalled is not None:
+                reply = AgentMessage(
+                    sender=self.agent.name,
+                    recipient=request.sender,
+                    content=recalled.content,
+                    conversation_id=request.conversation_id,
+                    round=request.round,
+                    metadata={
+                        **recalled.metadata,
+                        "recalled_from": recalled.message_id,
+                        "request": request.content,
+                    },
+                )
+                return self._archive_reply(state, reply)
+        link = self.agent.link_schema(request)
+        if not link["ok"]:
+            return self._archive_reply(
+                state, self.agent.unknown_dimension_reply(request, link)
+            )
+        state["link"] = link
+        return state
+
+
+class SqlGenOperator(PlanStageOperator):
+    """Stage 2: text2sql through the async serving path.
+
+    ``aask_llm`` submits to the continuous-batching scheduler when the
+    client exposes one, so sibling chart steps (and other teams) share
+    batches. A transport failure that survives the client's own retry
+    and failover budget becomes a recorded step failure, not a dead
+    plan.
+    """
+
+    stage = "sqlgen"
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> dict:
+        state = inputs[0]
+        if state["reply"] is not None:
+            return state
+        try:
+            state["sql"] = await self.agent.aask_llm(
+                state["link"]["prompt"], task="text2sql"
+            )
+        except ClientError as exc:
+            return self._archive_reply(
+                state,
+                self.agent.reply_to(
+                    state["request"],
+                    f"chart query generation failed: {exc}",
+                    metadata={"ok": False, "error": str(exc)},
+                ),
+            )
+        return state
+
+
+class ExecuteOperator(PlanStageOperator):
+    """Stage 3: run the SQL against the source (off the event loop)."""
+
+    stage = "execute"
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> dict:
+        state = inputs[0]
+        if state["reply"] is not None:
+            return state
+        state["result"] = await self._offload(
+            self.agent.execute_chart, state["link"], state["sql"]
+        )
+        return state
+
+
+class VizOperator(PlanStageOperator):
+    """Stage 4: shape the result into the chart reply and archive it."""
+
+    stage = "viz"
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> dict:
+        state = inputs[0]
+        if state["reply"] is not None:
+            return state
+        reply = self.agent.chart_reply(
+            state["request"], state["link"], state["sql"], state["result"]
+        )
+        return self._archive_reply(state, reply)
+
+
+class ForecastStepOperator(PlanStageOperator):
+    """A forecast plan step as a single (async) agent exchange."""
+
+    stage = "forecast"
+
+    def __init__(
+        self,
+        agent: ConversableAgent,
+        step: PlanStep,
+        conversation_id: str,
+        round_index: int,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(agent, step.step, conversation_id, **kwargs)
+        self.step = step
+        self.round_index = round_index
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> dict:
+        step = self.step
+        request = AgentMessage(
+            sender="user",
+            recipient=self.agent.name,
+            content=(
+                f"produce the forecast for step {step.step}: "
+                f"{step.description}"
+            ),
+            conversation_id=self.conversation_id,
+            round=self.round_index,
+            metadata=copy.deepcopy(step.params),
+        )
+        self.agent.memory.append(request)
+        reply = await self.agent.areceive(request)
+        state: dict = {"step": step.step, "request": request, "reply": None}
+        return self._archive_reply(state, reply)
+
+
+class AggregateOperator(PlanStageOperator):
+    """Archive the aggregation request and assemble the dashboard."""
+
+    stage = "aggregate"
+
+    def __init__(
+        self,
+        agent: AggregatorAgent,
+        plan: Plan,
+        conversation_id: str,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(agent, len(plan.steps), conversation_id, **kwargs)
+        self.plan = plan
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> dict:
+        collected = inputs[0]
+        request = AgentMessage(
+            sender="user",
+            recipient=self.agent.name,
+            content=f"aggregate the report for: {self.plan.goal}",
+            conversation_id=self.conversation_id,
+            round=len(self.plan.steps),
+            metadata={
+                "charts": collected["charts"],
+                "title": f"Report: {self.plan.goal}",
+            },
+        )
+        self.agent.memory.append(request)
+        dashboard, lines = self.agent.assemble(request)
+        return {
+            "request": request,
+            "dashboard": dashboard,
+            "lines": lines,
+            "failures": collected["failures"],
+        }
+
+
+class NarrativeOperator(PlanStageOperator):
+    """Refine the narrative via the async LLM path, archive the reply.
+
+    A transport failure degrades to the plain-line narrative — the
+    same fallback :class:`AggregatorAgent` applies synchronously.
+    """
+
+    stage = "narrative"
+
+    async def run_stage(self, ctx: DAGContext, inputs: list[Any]) -> dict:
+        state = inputs[0]
+        lines = state["lines"]
+        narrative = " ".join(lines)
+        if self.agent.llm_client is not None:
+            try:
+                narrative = await self.agent.aask_llm(
+                    self.agent.narrative_prompt(lines), task="summary"
+                )
+            except ClientError:
+                pass
+        reply = self.agent.finalize(
+            state["request"], state["dashboard"], narrative
+        )
+        self.agent.memory.append(reply)
+        return {
+            "reply": reply,
+            "dashboard": state["dashboard"],
+            "failures": state["failures"],
+        }
+
+
+def _collect_step_states(*states: dict) -> dict:
+    """Join the per-step chains: split chart specs from failures.
+
+    States are re-ordered by plan step number — join input order is
+    connection order, but the report contract (e.g. the forecast chart
+    rendering last) is defined by the plan.
+    """
+    charts: list[str] = []
+    failures: list[str] = []
+    for state in sorted(states, key=lambda s: s["step"]):
+        reply = state["reply"]
+        if reply.metadata.get("ok") and "chart" in reply.metadata:
+            charts.append(reply.metadata["chart"])
+        else:
+            failures.append(
+                f"step {state['step']}: "
+                f"{reply.metadata.get('error', 'failed')}"
+            )
+    if not charts:
+        raise AgentError(f"no charts were produced; failures: {failures}")
+    return {"charts": charts, "failures": failures}
+
+
+def _to_report(state: dict) -> dict:
+    return {"dashboard": state["dashboard"], "failures": state["failures"]}
+
+
+def compile_plan_dag(
+    plan: Plan,
+    *,
+    conversation_id: str,
+    chart_agents: Sequence[ChartAgent],
+    aggregator: AggregatorAgent,
+    forecaster: Optional[ConversableAgent] = None,
+    name: str = "compiled-plan",
+) -> DAG:
+    """Compile planner output into an executable AWEL DAG.
+
+    Each executable plan step becomes its own operator chain —
+    ``schema-link → sqlgen → execute → viz`` for chart steps (agents
+    assigned round-robin, as the imperative team does), one
+    :class:`ForecastStepOperator` for forecast steps — all feeding
+    ``collect → aggregate → narrative → report``. Step chains are
+    independent subgraphs, so the async runner executes them
+    concurrently and their LLM calls coalesce in the serving scheduler.
+
+    A failing step short-circuits its own chain into a failure reply
+    that ``collect`` records; only a plan where *every* step failed
+    raises (``no charts were produced``), matching the imperative
+    team's contract. The final ``report`` node yields
+    ``{"dashboard": Dashboard, "failures": [str, ...]}``.
+    """
+    executable = [
+        step for step in plan.steps if step.action in ("chart", "forecast")
+    ]
+    if not executable:
+        raise AgentError(
+            "no charts were produced; the plan has no executable steps"
+        )
+    chart_cycle = itertools.cycle(chart_agents)
+    with DAG(name) as dag:
+        plan_input = InputOperator(name="plan")
+        tails: list[Operator] = []
+        for round_index, step in enumerate(executable, start=1):
+            if step.action == "forecast":
+                if forecaster is None:
+                    raise AgentError(
+                        f"plan step {step.step} needs a forecaster"
+                    )
+                node = ForecastStepOperator(
+                    forecaster,
+                    step,
+                    conversation_id,
+                    round_index,
+                    name=f"forecast-{step.step}",
+                )
+                plan_input >> node
+                tails.append(node)
+                continue
+            agent = next(chart_cycle)
+            link = SchemaLinkOperator(
+                agent,
+                step,
+                conversation_id,
+                round_index,
+                name=f"schema-link-{step.step}",
+            )
+            sqlgen = SqlGenOperator(
+                agent, step.step, conversation_id,
+                name=f"sqlgen-{step.step}",
+            )
+            execute = ExecuteOperator(
+                agent, step.step, conversation_id,
+                name=f"execute-{step.step}",
+            )
+            viz = VizOperator(
+                agent, step.step, conversation_id,
+                name=f"viz-{step.step}",
+            )
+            plan_input >> link >> sqlgen >> execute >> viz
+            tails.append(viz)
+        collect = JoinOperator(_collect_step_states, name="collect")
+        for tail in tails:
+            tail >> collect
+        aggregate = AggregateOperator(
+            aggregator, plan, conversation_id, name="aggregate"
+        )
+        narrative = NarrativeOperator(
+            aggregator, len(plan.steps), conversation_id, name="narrative"
+        )
+        report = MapOperator(_to_report, name="report")
+        collect >> aggregate >> narrative >> report
+    return dag

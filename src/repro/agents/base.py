@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import abc
+import asyncio
+import contextvars
+import functools
 from typing import Any, Optional
 
 from repro.agents.memory import AgentMemory
@@ -112,6 +115,45 @@ class ConversableAgent(Agent):
             metadata=merged,
         )
 
+    async def areceive(self, message: AgentMessage) -> AgentMessage:
+        """Async :meth:`receive`: the recall check runs inline (fast,
+        lock-guarded memory scan) and reply generation awaits, so
+        concurrent agent branches never block the event loop — their
+        LLM calls land in the serving scheduler together and coalesce
+        into shared batches."""
+        if self.use_recall:
+            recalled = self.memory.recall_similar(
+                message.content, sender=self.name
+            )
+            if recalled is not None:
+                return AgentMessage(
+                    sender=self.name,
+                    recipient=message.sender,
+                    content=recalled.content,
+                    conversation_id=message.conversation_id,
+                    round=message.round,
+                    metadata={
+                        **recalled.metadata,
+                        "recalled_from": recalled.message_id,
+                        "request": message.content,
+                    },
+                )
+        return await self.agenerate_reply(message)
+
+    async def agenerate_reply(self, message: AgentMessage) -> AgentMessage:
+        """Async reply generation.
+
+        The default offloads the synchronous :meth:`generate_reply` to
+        the loop's executor (propagating the caller's context so spans
+        stay parented), which keeps every agent awaitable; agents with
+        natively-async work override this instead.
+        """
+        loop = asyncio.get_running_loop()
+        call = functools.partial(self.generate_reply, message)
+        return await loop.run_in_executor(
+            None, contextvars.copy_context().run, call
+        )
+
     # -- LLM access --------------------------------------------------------
 
     def ask_llm(self, prompt: str, task: Optional[str] = None) -> str:
@@ -120,3 +162,27 @@ class ConversableAgent(Agent):
                 f"agent {self.name!r} has no LLM binding for task {task!r}"
             )
         return self.llm_client.generate(self.model, prompt, task=task)
+
+    async def aask_llm(self, prompt: str, task: Optional[str] = None) -> str:
+        """Async :meth:`ask_llm`, routed through the serving engine.
+
+        With the continuous-batching scheduler mounted the call goes
+        through its ``aschedule`` path end-to-end (no thread parked per
+        agent); otherwise the blocking round trip runs on the loop's
+        executor. Either way concurrent agents submit together and
+        share batches.
+        """
+        if self.llm_client is None or self.model is None:
+            raise AgentError(
+                f"agent {self.name!r} has no LLM binding for task {task!r}"
+            )
+        agenerate = getattr(self.llm_client, "agenerate", None)
+        if agenerate is not None:
+            return await agenerate(self.model, prompt, task=task)
+        loop = asyncio.get_running_loop()
+        call = functools.partial(
+            self.llm_client.generate, self.model, prompt, task=task
+        )
+        return await loop.run_in_executor(
+            None, contextvars.copy_context().run, call
+        )

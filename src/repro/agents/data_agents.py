@@ -118,28 +118,70 @@ class ChartAgent(ConversableAgent):
         self._action = ChartAction(source)
 
     def generate_reply(self, message: AgentMessage) -> AgentMessage:
-        dimension = message.metadata.get("dimension")
-        chart_type = message.metadata.get("chart_type", "bar")
-        if dimension not in _DIMENSION_QUESTIONS:
-            return self.reply_to(
-                message,
-                f"I do not know how to chart dimension {dimension!r}.",
-                metadata={"ok": False, "error": f"unknown dimension {dimension}"},
-            )
-        question = _DIMENSION_QUESTIONS[dimension].format(measure=self.measure)
-        prompt = build_text2sql_prompt(self.source, question)
+        link = self.link_schema(message)
+        if not link["ok"]:
+            return self.unknown_dimension_reply(message, link)
         try:
-            sql = self.ask_llm(prompt, task="text2sql")
+            sql = self.ask_llm(link["prompt"], task="text2sql")
         except ClientError as exc:
             return self.reply_to(
                 message,
                 f"chart query generation failed: {exc}",
                 metadata={"ok": False, "error": str(exc)},
             )
-        title = f"Total {self.measure} by {dimension}"
-        result = self._action.run(
-            sql=sql, chart_type=chart_type, title=title
+        result = self.execute_chart(link, sql)
+        return self.chart_reply(message, link, sql, result)
+
+    # -- pipeline stages ---------------------------------------------------
+    # generate_reply above is the one-call form; the compiled AWEL plan
+    # (repro.agents.awel_integration.compile_plan_dag) runs the same
+    # stages as separate operators: link_schema -> (LLM text2sql) ->
+    # execute_chart -> chart_reply.
+
+    def link_schema(self, message: AgentMessage) -> dict:
+        """Schema linking: ground the requested dimension in the source.
+
+        Returns the stage context for the rest of the pipeline: the
+        grounded question, the text2sql prompt and the chart framing —
+        or ``ok=False`` when the dimension is unknown.
+        """
+        dimension = message.metadata.get("dimension")
+        chart_type = message.metadata.get("chart_type", "bar")
+        if dimension not in _DIMENSION_QUESTIONS:
+            return {
+                "ok": False,
+                "dimension": dimension,
+                "error": f"unknown dimension {dimension}",
+            }
+        question = _DIMENSION_QUESTIONS[dimension].format(measure=self.measure)
+        return {
+            "ok": True,
+            "dimension": dimension,
+            "chart_type": chart_type,
+            "question": question,
+            "prompt": build_text2sql_prompt(self.source, question),
+            "title": f"Total {self.measure} by {dimension}",
+        }
+
+    def unknown_dimension_reply(
+        self, message: AgentMessage, link: dict
+    ) -> AgentMessage:
+        return self.reply_to(
+            message,
+            f"I do not know how to chart dimension {link['dimension']!r}.",
+            metadata={"ok": False, "error": link["error"]},
         )
+
+    def execute_chart(self, link: dict, sql: str):
+        """Execute the generated SQL and shape rows into a chart spec."""
+        return self._action.run(
+            sql=sql, chart_type=link["chart_type"], title=link["title"]
+        )
+
+    def chart_reply(
+        self, message: AgentMessage, link: dict, sql: str, result
+    ) -> AgentMessage:
+        """Visualization stage: wrap the action result into the reply."""
         if not result.ok:
             return self.reply_to(
                 message,
@@ -154,8 +196,8 @@ class ChartAgent(ConversableAgent):
                 "ok": True,
                 "sql": sql,
                 "chart": spec.to_json(),
-                "dimension": dimension,
-                "chart_type": chart_type,
+                "dimension": link["dimension"],
+                "chart_type": link["chart_type"],
             },
         )
 
@@ -206,6 +248,23 @@ class AggregatorAgent(ConversableAgent):
         )
 
     def generate_reply(self, message: AgentMessage) -> AgentMessage:
+        dashboard, lines = self.assemble(message)
+        narrative = " ".join(lines)
+        if self.llm_client is not None:
+            try:
+                narrative = self.ask_llm(
+                    self.narrative_prompt(lines), task="summary"
+                )
+            except ClientError:
+                pass  # fall back to the plain-line narrative
+        return self.finalize(message, dashboard, narrative)
+
+    # -- pipeline stages ---------------------------------------------------
+    # The compiled AWEL plan runs assemble and finalize as separate
+    # operators, with the narrative refinement awaited in between.
+
+    def assemble(self, message: AgentMessage) -> tuple[Dashboard, list[str]]:
+        """Collect the chart specs into a dashboard plus summary lines."""
         charts_json = message.metadata.get("charts", [])
         if not charts_json:
             raise AgentError("aggregator received no charts")
@@ -219,17 +278,18 @@ class AggregatorAgent(ConversableAgent):
             f"total {spec.total:g}"
             for spec in charts
         ]
-        narrative = " ".join(lines)
-        if self.llm_client is not None:
-            prompt = (
-                "Summarize the following result for the user:\n"
-                + "\n".join(lines)
-                + "\nSummary:"
-            )
-            try:
-                narrative = self.ask_llm(prompt, task="summary")
-            except ClientError:
-                pass  # fall back to the plain-line narrative
+        return dashboard, lines
+
+    def narrative_prompt(self, lines: list[str]) -> str:
+        return (
+            "Summarize the following result for the user:\n"
+            + "\n".join(lines)
+            + "\nSummary:"
+        )
+
+    def finalize(
+        self, message: AgentMessage, dashboard: Dashboard, narrative: str
+    ) -> AgentMessage:
         dashboard.narrative = narrative
         return self.reply_to(
             message,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Optional
 
 from repro.agents.base import AgentError, ConversableAgent
@@ -54,10 +54,13 @@ class PlannerAgent(ConversableAgent):
 
     def generate_reply(self, message: AgentMessage) -> AgentMessage:
         plan = self.make_plan(message.content)
+        # asdict deep-copies the nested params dict: the archived
+        # message must not alias the live PlanStep objects, or post-hoc
+        # step mutation would silently rewrite the communication history.
         return self.reply_to(
             message,
             plan.describe(),
-            metadata={"plan": [step.__dict__ for step in plan.steps]},
+            metadata={"plan": [asdict(step) for step in plan.steps]},
         )
 
     def make_plan(self, goal: str) -> Plan:

@@ -1,26 +1,66 @@
 """Team orchestration: the generative data analysis flow of Figure 3.
 
-A user goal enters; the planner devises a strategy; chart agents
-execute each step; the aggregator assembles the dashboard. Every
-message is archived in the shared :class:`AgentMemory`.
+A user goal enters; the planner devises a strategy; the plan is
+compiled into an AWEL DAG (``schema-link → sqlgen → execute → viz``
+per chart step, joined into ``collect → aggregate → narrative``) and
+executed by the async workflow runner, so independent steps run
+concurrently and their LLM calls share serving batches. Every message
+is archived in the shared :class:`AgentMemory`, and the whole run is
+traced under one ``agent.plan`` span with per-stage ``agent.step``
+children.
 """
 
 from __future__ import annotations
 
-import itertools
+import asyncio
+import concurrent.futures
+import contextvars
+import copy
+import os
+import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.agents.awel_integration import compile_plan_dag
 from repro.agents.base import AgentError, ConversableAgent
 from repro.agents.data_agents import AggregatorAgent, ChartAgent
 from repro.agents.memory import AgentMemory
 from repro.agents.messages import AgentMessage
 from repro.agents.planner import Plan, PlannerAgent
+from repro.awel.runner import WorkflowRunner
+from repro.cache.keys import instance_token
 from repro.datasources.base import DataSource
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.runtime import perf_clock
+from repro.smmf.client import ClientError
 from repro.viz.dashboard import Dashboard
-from repro.viz.spec import ChartSpec
 
-_conversation_ids = itertools.count(1)
+#: Mixed into every conversation id: per-process OS entropy, drawn once
+#: at import. ``instance_token()`` alone restarts from 1 in every new
+#: process, so ids derived only from it collide across restarts that
+#: share a persisted archive.
+_process_seed = int.from_bytes(os.urandom(8), "big")
+
+#: Client error statuses worth re-sending a whole planner request for
+#: (the client has already exhausted its own per-call retry budget).
+_RESENDABLE_STATUSES = frozenset({408, 429, 500, 502, 503, 504})
+
+
+def new_conversation_id(rng: Optional[random.Random] = None) -> str:
+    """Process-unique conversation id for one analysis run.
+
+    The old module-level ``itertools.count(1)`` produced ``analysis-1``,
+    ``analysis-2``, ... — two teams in one process stayed distinct only
+    by accident of sharing the counter, and a restarted process reusing
+    a persisted archive re-issued the very same ids, interleaving
+    unrelated conversations. Ids now mix per-process OS entropy with a
+    process-local counter, so they are unique across teams, threads and
+    restarts; pass ``rng`` to pin the sequence in tests.
+    """
+    if rng is None:
+        rng = random.Random((_process_seed << 16) + instance_token())
+    return f"analysis-{rng.getrandbits(48):012x}"
 
 
 @dataclass
@@ -51,7 +91,15 @@ class _UserProxy(ConversableAgent):
 
 
 class DataAnalysisTeam:
-    """Planner + chart agents + aggregator over one data source."""
+    """Planner + chart agents + aggregator over one data source.
+
+    ``run`` compiles each plan into an AWEL DAG and executes it; the
+    team survives serving-layer flap because each LLM-bound stage rides
+    the client's retry/failover/fallback machinery and a step that
+    still fails is recorded in ``AnalysisReport.failures`` instead of
+    killing the plan. Responses served by a degraded fallback model are
+    surfaced there too.
+    """
 
     def __init__(
         self,
@@ -60,9 +108,14 @@ class DataAnalysisTeam:
         memory: Optional[AgentMemory] = None,
         measure: str = "amount",
         use_recall: bool = True,
+        rng: Optional[random.Random] = None,
+        planner_retries: int = 1,
     ) -> None:
         self.memory = memory if memory is not None else AgentMemory()
         self.source = source
+        self.llm_client = llm_client
+        self.planner_retries = planner_retries
+        self._rng = rng
         self.user = _UserProxy(self.memory)
         self.planner = PlannerAgent(
             self.memory, llm_client, schema=source.describe_schema()
@@ -87,13 +140,56 @@ class DataAnalysisTeam:
         self.aggregator = AggregatorAgent(self.memory, llm_client)
 
     def run(self, goal: str) -> AnalysisReport:
-        """Execute the full Figure 3 flow for ``goal``."""
-        conversation_id = f"analysis-{next(_conversation_ids)}"
-        before = len(self.memory)
+        """Execute the full Figure 3 flow for ``goal``.
 
-        plan_reply = self.user.send(
-            self.planner, goal, conversation_id=conversation_id, round=0
-        )
+        Synchronous wrapper over :meth:`arun`; safe to call from inside
+        a running event loop (the run then executes on a private loop
+        in a worker thread, carrying the caller's trace context).
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.arun(goal))
+        context = contextvars.copy_context()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+            return pool.submit(
+                context.run, asyncio.run, self.arun(goal)
+            ).result()
+
+    async def arun(self, goal: str) -> AnalysisReport:
+        """Async analysis run — concurrent teams share serving batches."""
+        conversation_id = new_conversation_id(self._rng)
+        registry = get_registry()
+        started = perf_clock()
+        degraded_before = getattr(self.llm_client, "degraded_serves", 0)
+        status = "error"
+        try:
+            with get_tracer().span(
+                "agent.plan", conversation=conversation_id, goal=goal
+            ):
+                report = await self._arun(goal, conversation_id)
+            degraded = (
+                getattr(self.llm_client, "degraded_serves", 0)
+                - degraded_before
+            )
+            if degraded:
+                report.failures.append(
+                    f"degraded: {degraded} response(s) served by the "
+                    "fallback model"
+                )
+            status = "degraded" if report.failures else "ok"
+            return report
+        finally:
+            registry.counter(
+                "agent_plans_total", "analysis plan runs by outcome"
+            ).inc(status=status)
+            registry.histogram(
+                "agent_plan_latency_ms",
+                "wall time of one full analysis plan",
+            ).observe((perf_clock() - started) * 1000.0)
+
+    async def _arun(self, goal: str, conversation_id: str) -> AnalysisReport:
+        plan_reply = await self._request_plan(goal, conversation_id)
         steps = plan_reply.metadata.get("plan")
         if not steps:
             raise AgentError("planner returned no plan")
@@ -101,68 +197,60 @@ class DataAnalysisTeam:
             goal=goal,
             steps=[_step_from_dict(item) for item in steps],
         )
-
-        charts: list[str] = []
-        failures: list[str] = []
-        chart_cycle = itertools.cycle(self.chart_agents)
-        executable = [
-            step for step in plan.steps
-            if step.action in ("chart", "forecast")
-        ]
-        for round_index, step in enumerate(executable, start=1):
-            if step.action == "forecast":
-                agent = self.forecaster
-                content = (
-                    f"produce the forecast for step {step.step}: "
-                    f"{step.description}"
-                )
-            else:
-                agent = next(chart_cycle)
-                content = (
-                    f"produce the chart for step {step.step}: "
-                    f"{step.description}"
-                )
-            reply = self.user.send(
-                agent,
-                content,
-                conversation_id=conversation_id,
-                round=round_index,
-                metadata=step.params,
-            )
-            if reply.metadata.get("ok") and "chart" in reply.metadata:
-                charts.append(reply.metadata["chart"])
-            else:
-                failures.append(
-                    f"step {step.step}: {reply.metadata.get('error', 'failed')}"
-                )
-        if not charts:
-            raise AgentError(
-                f"no charts were produced; failures: {failures}"
-            )
-
-        final = self.user.send(
-            self.aggregator,
-            f"aggregate the report for: {goal}",
+        dag = compile_plan_dag(
+            plan,
             conversation_id=conversation_id,
-            round=len(plan.steps),
-            metadata={"charts": charts, "title": f"Report: {goal}"},
+            chart_agents=self.chart_agents,
+            aggregator=self.aggregator,
+            forecaster=self.forecaster,
         )
-        dashboard = Dashboard(
-            title=f"Report: {goal}",
-            charts=[
-                ChartSpec.from_json(text)
-                for text in final.metadata["charts"]
-            ],
-            narrative=final.metadata.get("narrative", ""),
-        )
+        ctx = await WorkflowRunner(dag).run_async(plan)
+        outcome = ctx.results["report"]
         return AnalysisReport(
             goal=goal,
             plan=plan,
-            dashboard=dashboard,
+            dashboard=outcome["dashboard"],
             conversation_id=conversation_id,
-            message_count=len(self.memory) - before,
-            failures=failures,
+            message_count=len(self.memory.conversation(conversation_id)),
+            failures=list(outcome["failures"]),
         )
+
+    async def _request_plan(
+        self, goal: str, conversation_id: str
+    ) -> AgentMessage:
+        """The planner exchange, re-sent on transient serving failures.
+
+        The SMMF client retries and fails over *within* one call; this
+        outer loop re-sends the whole planner request after the client
+        gives up, so a plan started mid-outage still begins once a
+        replacement worker registers.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            request = AgentMessage(
+                sender=self.user.name,
+                recipient=self.planner.name,
+                content=goal,
+                conversation_id=conversation_id,
+                round=0,
+            )
+            self.memory.append(request)
+            try:
+                reply = await self.planner.areceive(request)
+            except ClientError as exc:
+                resendable = (
+                    getattr(exc, "status", None) in _RESENDABLE_STATUSES
+                )
+                if not resendable or attempt > self.planner_retries:
+                    raise
+                get_registry().counter(
+                    "agent_plan_retries_total",
+                    "planner requests re-sent after transient failures",
+                ).inc()
+                continue
+            self.memory.append(reply)
+            return reply
 
 
 def _step_from_dict(item: dict) -> "PlanStep":
@@ -172,5 +260,7 @@ def _step_from_dict(item: dict) -> "PlanStep":
         step=item["step"],
         action=item["action"],
         description=item.get("description", ""),
-        params=item.get("params", {}),
+        # Deep-copied so the live plan never aliases the archived plan
+        # metadata (mutating one must not rewrite the other).
+        params=copy.deepcopy(item.get("params", {})),
     )

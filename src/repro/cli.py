@@ -16,6 +16,7 @@ Run::
     python -m repro.cli health             # worker health / breaker states
     python -m repro.cli serve              # continuous-batching engine demo
     python -m repro.cli tenants            # multi-tenant fabric demo table
+    python -m repro.cli agents             # multi-agent analysis plan demo
 
 Slash commands switch context; anything else goes to the active app::
 
@@ -605,6 +606,85 @@ def tenants_main(argv: list[str]) -> int:
     return 0
 
 
+def agents_main(argv: list[str]) -> int:
+    """``repro agents``: one generative analysis plan, end to end.
+
+    Boots the demo stack (resilience enabled), assembles the planner /
+    chart-agent / aggregator team over the sales database, compiles the
+    plan into an AWEL DAG and executes it. Prints the plan, the
+    resulting dashboard, any recorded failures, and the archived
+    conversation. ``--chaos`` kills one sql-coder replica mid-plan to
+    demonstrate that the plan still completes; ``--trace`` prints the
+    ``agent.plan`` span tree afterwards.
+    """
+    from repro.agents import DataAnalysisTeam
+    from repro.core.config import DbGptConfig
+    from repro.resilience import ResilienceConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli agents",
+        description="Run a multi-agent generative analysis plan.",
+    )
+    parser.add_argument(
+        "--goal",
+        default="sales report from three dimensions",
+        help="the analysis goal to hand the planner",
+    )
+    parser.add_argument(
+        "--csv", help="directory of CSV files to load as tables"
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="kill one sql-coder replica before running the plan",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the agent.plan span tree after the run",
+    )
+    args = parser.parse_args(argv)
+    config = DbGptConfig(resilience=ResilienceConfig(enabled=True))
+    dbgpt = DBGPT.boot(config)
+    if args.csv:
+        dbgpt.register_source(CsvSource(args.csv))
+    else:
+        dbgpt.register_source(EngineSource(build_sales_database()))
+    if args.chaos:
+        record = dbgpt.controller.workers("sql-coder")[0]
+        record.worker.kill()
+        print(f"chaos: killed {record.worker.worker_id}")
+    team = DataAnalysisTeam(
+        dbgpt.default_source(), dbgpt.client, memory=dbgpt.memory
+    )
+    report = team.run(args.goal)
+    print(f"goal: {report.goal}")
+    print(f"conversation: {report.conversation_id} "
+          f"({report.message_count} archived messages)")
+    print("\nplan:")
+    for step in report.plan.steps:
+        print(f"  {step.step}. [{step.action}] {step.description}")
+    print(f"\ndashboard: {report.dashboard.title}")
+    for chart in report.dashboard.charts:
+        print(
+            f"  - {chart.title} ({chart.chart_type.value}, "
+            f"{len(chart.points)} points)"
+        )
+    print(f"narrative: {report.dashboard.narrative}")
+    if report.failures:
+        print("\nfailures:")
+        for failure in report.failures:
+            print(f"  - {failure}")
+    else:
+        print("\nfailures: none")
+    if args.trace:
+        from repro.obs import get_tracer, render_trace
+
+        print()
+        print(render_trace(get_tracer().last_trace()))
+    return 0
+
+
 def build_dbgpt(args: argparse.Namespace) -> DBGPT:
     dbgpt = DBGPT.boot()
     if args.csv:
@@ -637,6 +717,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "tenants":
         return tenants_main(argv[1:])
+    if argv and argv[0] == "agents":
+        return agents_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Chat with your data (DB-GPT repro)."
     )

@@ -10,9 +10,10 @@ deterministic without a real sleep anywhere.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import time
-from typing import Callable, Optional, TypeVar
+from typing import Awaitable, Callable, Optional, TypeVar
 
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
@@ -108,3 +109,45 @@ class RetryPolicy:
                     if on_retry is not None:
                         on_retry(attempt, delay)
                     self._sleep(delay)
+
+    async def arun(
+        self,
+        fn: Callable[[], Awaitable[T]],
+        classify: Classifier,
+        on_retry: Optional[Callable[[int, float], None]] = None,
+    ) -> T:
+        """Async twin of :meth:`run` — ``fn`` is awaited each attempt.
+
+        The backoff sleep runs on the loop's default executor, so a
+        retrying caller never blocks the event loop, and an injected
+        logical-clock ``sleep`` keeps async retry tests deterministic
+        exactly like the sync path.
+        """
+        attempt = 0
+        waited = 0.0
+        loop = asyncio.get_running_loop()
+        while True:
+            attempt += 1
+            try:
+                return await fn()
+            except BaseException as exc:  # noqa: BLE001 - reclassified
+                retryable, hint = classify(exc)
+                if not retryable or attempt >= self.config.max_attempts:
+                    raise
+                delay = self.delay(attempt, hint)
+                budget = self.config.budget_s
+                if budget is not None and waited + delay > budget:
+                    raise
+                waited += delay
+                _retry_counter().inc(
+                    layer=self.layer, error=type(exc).__name__
+                )
+                with get_tracer().span(
+                    "smmf.retry",
+                    layer=self.layer,
+                    attempt=attempt,
+                    delay_s=round(delay, 4),
+                ):
+                    if on_retry is not None:
+                        on_retry(attempt, delay)
+                    await loop.run_in_executor(None, self._sleep, delay)

@@ -9,6 +9,8 @@ in-process (DESIGN.md records the substitution).
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import functools
 import json
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
@@ -162,6 +164,24 @@ class ApiServer:
             )
         return None
 
+    @staticmethod
+    def _generation_body(response) -> dict[str, Any]:
+        body = {
+            "text": response.text,
+            "model": response.model,
+            "usage": {
+                "prompt_tokens": response.prompt_tokens,
+                "completion_tokens": response.completion_tokens,
+                "total_tokens": response.total_tokens,
+            },
+            "finish_reason": response.finish_reason,
+        }
+        # Only present when the degradation ladder answered (fallback
+        # model), keeping the happy-path body byte-identical.
+        if response.degraded:
+            body["degraded"] = True
+        return body
+
     def _generate(self, body: dict[str, Any]) -> ApiResponse:
         parsed, error = self._parse_generation(body)
         if error is not None:
@@ -182,21 +202,43 @@ class ApiServer:
             if mapped is None:
                 raise
             return mapped
-        body = {
-            "text": response.text,
-            "model": response.model,
-            "usage": {
-                "prompt_tokens": response.prompt_tokens,
-                "completion_tokens": response.completion_tokens,
-                "total_tokens": response.total_tokens,
-            },
-            "finish_reason": response.finish_reason,
-        }
-        # Only present when the degradation ladder answered (fallback
-        # model), keeping the happy-path body byte-identical.
-        if response.degraded:
-            body["degraded"] = True
-        return ApiResponse(200, body)
+        return ApiResponse(200, self._generation_body(response))
+
+    async def ahandle(self, request: ApiRequest) -> ApiResponse:
+        """Async :meth:`handle`.
+
+        ``POST /v1/generate`` awaits the continuous engine's
+        ``aschedule`` when one is mounted, so no thread is parked per
+        in-flight request and concurrent callers coalesce into shared
+        batches; every other route (and the scheduler-less fallback)
+        runs the sync handler on the default executor.
+        """
+        route = (request.method.upper(), request.path)
+        if route == ("POST", "/v1/generate"):
+            scheduler = self.controller.scheduler
+            if scheduler is not None and hasattr(scheduler, "aschedule"):
+                return await self._agenerate(request.body, scheduler)
+        loop = asyncio.get_running_loop()
+        call = functools.partial(self.handle, request)
+        return await loop.run_in_executor(
+            None, contextvars.copy_context().run, call
+        )
+
+    async def _agenerate(self, body: dict[str, Any], scheduler) -> ApiResponse:
+        parsed, error = self._parse_generation(body)
+        if error is not None:
+            return error
+        model, generation_request, timeout_s = parsed
+        try:
+            response = await scheduler.aschedule(
+                model, generation_request, timeout_s=timeout_s
+            )
+        except Exception as exc:
+            mapped = self._error_response(exc)
+            if mapped is None:
+                raise
+            return mapped
+        return ApiResponse(200, self._generation_body(response))
 
     def handle_stream(self, request: ApiRequest) -> ApiStreamResponse:
         """``POST /v1/generate/stream``: token streaming.

@@ -274,22 +274,56 @@ class LLMClient:
         metadata: Optional[dict[str, Any]] = None,
         timeout_s: Optional[float] = None,
     ) -> str:
-        """Async-friendly :meth:`generate`: awaitable without blocking
-        the event loop (the blocking round trip runs on the loop's
-        default executor)."""
-        loop = asyncio.get_running_loop()
-        call = functools.partial(
-            self.generate,
-            model,
-            prompt,
-            task=task,
-            max_tokens=max_tokens,
-            metadata=metadata,
-            timeout_s=timeout_s,
+        """Async-friendly :meth:`generate`.
+
+        With the inference cache tier disabled the call is async
+        end-to-end: the request awaits :meth:`ApiServer.ahandle`
+        (riding the continuous engine's ``aschedule`` when mounted)
+        and transient rejections back off via the retry policy's
+        async path — no thread parked per in-flight request, so
+        concurrent agents coalesce into shared batches. With the
+        cache enabled, the blocking path runs on the loop's default
+        executor: the cache's single-flight de-duplication is
+        synchronous by design, and its hit path never blocks long.
+        """
+        if get_cache_manager().enabled("inference"):
+            loop = asyncio.get_running_loop()
+            call = functools.partial(
+                self.generate,
+                model,
+                prompt,
+                task=task,
+                max_tokens=max_tokens,
+                metadata=metadata,
+                timeout_s=timeout_s,
+            )
+            return await loop.run_in_executor(
+                None, contextvars.copy_context().run, call
+            )
+        body = self._request_body(
+            model, prompt, task, max_tokens, metadata, timeout_s
         )
-        return await loop.run_in_executor(
-            None, contextvars.copy_context().run, call
+        if self._retry_policy is None:
+            return await self._aroundtrip(body)
+        return await self._retry_policy.arun(
+            lambda: self._aroundtrip(body),
+            classify=_classify_client_error,
         )
+
+    async def _aroundtrip(self, body: dict[str, Any]) -> str:
+        response = await self._server.ahandle(
+            ApiRequest("POST", "/v1/generate", body)
+        )
+        if response.status != 200:
+            raise ClientError(
+                response.status,
+                response.body.get("error", "unknown error"),
+                retry_after=response.body.get("retry_after"),
+                code=response.body.get("code"),
+            )
+        if response.body.get("degraded"):
+            self.degraded_serves += 1
+        return response.body["text"]
 
     async def agenerate_many(
         self,
@@ -341,7 +375,7 @@ class LLMClient:
             ApiRequest(
                 "POST",
                 "/v1/generate/stream",
-                self._stream_body(
+                self._request_body(
                     model, prompt, task, max_tokens, metadata, timeout_s
                 ),
             )
@@ -374,7 +408,7 @@ class LLMClient:
             ApiRequest(
                 "POST",
                 "/v1/generate/stream",
-                self._stream_body(
+                self._request_body(
                     model, prompt, task, max_tokens, metadata, timeout_s
                 ),
             )
@@ -400,7 +434,7 @@ class LLMClient:
                 await aclose()
 
     @staticmethod
-    def _stream_body(
+    def _request_body(
         model: str,
         prompt: str,
         task: Optional[str],
